@@ -1,0 +1,155 @@
+//! Circular-buffer convolution planning (Figure 5).
+
+use crate::quantized::QuantizedModel;
+use core::fmt;
+
+/// The activation-buffer plan for one model.
+///
+/// §III-B: "Instead of allocating memory for individual layers, ACE
+/// requires only two buffers (input and output) at most … The size
+/// required for the buffer is `max(L_i)`." This type computes both that
+/// requirement and the naive per-layer total it replaces, and hands out
+/// the ping-pong assignment (which buffer holds layer `i`'s input).
+///
+/// # Example
+///
+/// ```
+/// use ehdl_ace::{CircularBufferPlan, QuantizedModel};
+/// use ehdl_nn::zoo;
+///
+/// let q = QuantizedModel::from_model(&zoo::mnist())?;
+/// let plan = CircularBufferPlan::new(&q);
+/// assert!(plan.circular_words() < plan.per_layer_words());
+/// # Ok::<(), ehdl_ace::AceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircularBufferPlan {
+    layer_elems: Vec<usize>,
+    max_elems: usize,
+}
+
+impl CircularBufferPlan {
+    /// Plans buffers for a deployed model.
+    pub fn new(model: &QuantizedModel) -> Self {
+        let n = model.layers().len();
+        let mut layer_elems = Vec::with_capacity(n + 1);
+        layer_elems.push(model.input_len());
+        for i in 0..n {
+            layer_elems.push(model.layer_output_shape(i).iter().product());
+        }
+        let max_elems = layer_elems.iter().copied().max().unwrap_or(0);
+        CircularBufferPlan {
+            layer_elems,
+            max_elems,
+        }
+    }
+
+    /// Words needed by the circular scheme: two buffers of `max(L_i)`.
+    pub fn circular_words(&self) -> usize {
+        2 * self.max_elems
+    }
+
+    /// Words the naive per-layer scheme would need: `Σ L_i` (Figure 5,
+    /// left).
+    pub fn per_layer_words(&self) -> usize {
+        self.layer_elems.iter().sum()
+    }
+
+    /// Memory saving factor of the circular scheme.
+    pub fn saving_factor(&self) -> f64 {
+        if self.circular_words() == 0 {
+            1.0
+        } else {
+            self.per_layer_words() as f64 / self.circular_words() as f64
+        }
+    }
+
+    /// Which ping-pong buffer (0 or 1) holds the **input** of layer `i`.
+    /// The output goes to the other buffer; after the layer completes the
+    /// roles swap — "interchanging and overwriting the input and output
+    /// pointer after finishing a layer-level computation".
+    pub fn input_buffer_of(&self, layer: usize) -> usize {
+        layer % 2
+    }
+
+    /// Activation element count entering layer `i` (`i == 0` is the
+    /// model input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` exceeds the layer count.
+    pub fn activation_elems(&self, layer: usize) -> usize {
+        self.layer_elems[layer]
+    }
+
+    /// The single-buffer size `max(L_i)` in elements.
+    pub fn max_elems(&self) -> usize {
+        self.max_elems
+    }
+}
+
+impl fmt::Display for CircularBufferPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circular: 2x{} words vs per-layer {} words ({:.1}x saving)",
+            self.max_elems,
+            self.per_layer_words(),
+            self.saving_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::zoo;
+
+    #[test]
+    fn mnist_plan_matches_hand_computation() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        let plan = CircularBufferPlan::new(&q);
+        // Largest activation is conv1's 6x24x24 = 3456.
+        assert_eq!(plan.max_elems(), 3456);
+        assert_eq!(plan.circular_words(), 6912);
+        // Naive total includes input 784, 3456, pooled maps, FCs...
+        assert!(plan.per_layer_words() > plan.circular_words());
+        assert!(plan.saving_factor() > 1.5);
+    }
+
+    #[test]
+    fn ping_pong_alternates() {
+        let q = QuantizedModel::from_model(&zoo::har()).unwrap();
+        let plan = CircularBufferPlan::new(&q);
+        assert_eq!(plan.input_buffer_of(0), 0);
+        assert_eq!(plan.input_buffer_of(1), 1);
+        assert_eq!(plan.input_buffer_of(2), 0);
+    }
+
+    #[test]
+    fn all_models_fit_fram_scratch_with_circular() {
+        for m in zoo::all() {
+            let q = QuantizedModel::from_model(&m).unwrap();
+            let plan = CircularBufferPlan::new(&q);
+            // 2 bytes per word; scratch + model must fit 256 KB.
+            assert!(
+                2 * plan.circular_words() + q.fram_bytes() < 256 * 1024,
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn saving_grows_with_depth() {
+        // OKG has 4 FC layers: per-layer allocation wastes more.
+        let okg = CircularBufferPlan::new(&QuantizedModel::from_model(&zoo::okg()).unwrap());
+        assert!(okg.saving_factor() > 1.3, "{}", okg.saving_factor());
+    }
+
+    #[test]
+    fn display_shows_saving() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        assert!(CircularBufferPlan::new(&q).to_string().contains("saving"));
+    }
+}

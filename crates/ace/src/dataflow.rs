@@ -1,0 +1,144 @@
+//! Acceleration-aware dataflow decisions.
+//!
+//! §III-B: "ACE also selects the right kind of data movement method based
+//! on the energy and latency of moving the data. For example, large
+//! vector of data is moved with DMA while a single data is moved with
+//! CPU." The policy here makes that choice explicit and testable, and
+//! carries the ablation switches the benches exercise (no-LEA, no-DMA,
+//! no-circular-buffers).
+
+use ehdl_device::{Board, DeviceOp, MemoryKind};
+
+/// How to move a vector between memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoveMethod {
+    /// CPU word-by-word copy loop.
+    Cpu,
+    /// DMA block transfer.
+    Dma,
+}
+
+/// Compile-time knobs for program generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataflowPolicy {
+    /// Route vector math through the LEA (false = CPU-only ablation).
+    pub use_lea: bool,
+    /// Use DMA for moves of at least this many words (a huge value
+    /// disables DMA — the CPU-copy ablation).
+    pub dma_threshold_words: u64,
+    /// Reuse two ping-pong activation buffers instead of per-layer
+    /// allocations (Figure 5).
+    pub use_circular_buffers: bool,
+}
+
+impl Default for DataflowPolicy {
+    fn default() -> Self {
+        DataflowPolicy {
+            use_lea: true,
+            dma_threshold_words: 8,
+            use_circular_buffers: true,
+        }
+    }
+}
+
+impl DataflowPolicy {
+    /// The paper's ACE configuration.
+    pub fn ace() -> Self {
+        DataflowPolicy::default()
+    }
+
+    /// CPU-only ablation (what BASE/SONIC-style software execution uses).
+    pub fn cpu_only() -> Self {
+        DataflowPolicy {
+            use_lea: false,
+            dma_threshold_words: u64::MAX,
+            use_circular_buffers: true,
+        }
+    }
+
+    /// Picks the move method for a transfer of `words`.
+    pub fn choose_move(&self, words: u64) -> MoveMethod {
+        if words >= self.dma_threshold_words {
+            MoveMethod::Dma
+        } else {
+            MoveMethod::Cpu
+        }
+    }
+
+    /// Builds the transfer op for the chosen method.
+    pub fn move_op(&self, from: MemoryKind, to: MemoryKind, words: u64) -> DeviceOp {
+        match self.choose_move(words) {
+            MoveMethod::Dma => DeviceOp::DmaTransfer { from, to, words },
+            MoveMethod::Cpu => DeviceOp::CpuCopy { from, to, words },
+        }
+    }
+}
+
+/// Finds the break-even transfer size on a given board: the smallest
+/// word count where DMA is cheaper (in cycles) than a CPU copy. ACE's
+/// default threshold is validated against this in the tests.
+pub fn dma_breakeven_words(board: &Board) -> u64 {
+    for words in 1..=256u64 {
+        let dma = board.cost(&DeviceOp::DmaTransfer {
+            from: MemoryKind::Fram,
+            to: MemoryKind::Sram,
+            words,
+        });
+        let cpu = board.cost(&DeviceOp::CpuCopy {
+            from: MemoryKind::Fram,
+            to: MemoryKind::Sram,
+            words,
+        });
+        if dma.cycles < cpu.cycles {
+            return words;
+        }
+    }
+    257
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_moves_go_cpu_large_go_dma() {
+        let p = DataflowPolicy::default();
+        assert_eq!(p.choose_move(1), MoveMethod::Cpu);
+        assert_eq!(p.choose_move(256), MoveMethod::Dma);
+    }
+
+    #[test]
+    fn default_threshold_matches_board_breakeven() {
+        let board = Board::msp430fr5994();
+        let breakeven = dma_breakeven_words(&board);
+        let policy = DataflowPolicy::default();
+        // The static threshold must sit at (or just above) the measured
+        // break-even so neither method is chosen against its own cost.
+        assert!(
+            policy.dma_threshold_words >= breakeven
+                && policy.dma_threshold_words <= breakeven * 4,
+            "threshold {} vs breakeven {breakeven}",
+            policy.dma_threshold_words
+        );
+    }
+
+    #[test]
+    fn cpu_only_policy_never_picks_dma() {
+        let p = DataflowPolicy::cpu_only();
+        assert_eq!(p.choose_move(1_000_000), MoveMethod::Cpu);
+        assert!(!p.use_lea);
+    }
+
+    #[test]
+    fn move_op_matches_method() {
+        let p = DataflowPolicy::default();
+        assert!(matches!(
+            p.move_op(MemoryKind::Fram, MemoryKind::Sram, 100),
+            DeviceOp::DmaTransfer { words: 100, .. }
+        ));
+        assert!(matches!(
+            p.move_op(MemoryKind::Fram, MemoryKind::Sram, 2),
+            DeviceOp::CpuCopy { words: 2, .. }
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! The ACE error type.
+
+use core::fmt;
+
+/// Errors from deploying or executing a quantized model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AceError {
+    /// The float model contains a layer ACE cannot deploy.
+    Unsupported {
+        /// Layer kind name.
+        layer: &'static str,
+        /// Why it cannot be deployed.
+        detail: String,
+    },
+    /// Input shape mismatch at inference time.
+    BadInput {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// An internal FFT failed (block size not a power of two, etc.).
+    Fft(ehdl_dsp::FftError),
+    /// The model does not fit the device memory budgets.
+    Resources(String),
+}
+
+impl fmt::Display for AceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AceError::Unsupported { layer, detail } => {
+                write!(f, "cannot deploy {layer}: {detail}")
+            }
+            AceError::BadInput { expected, got } => {
+                write!(f, "bad input: expected {expected} elements, got {got}")
+            }
+            AceError::Fft(e) => write!(f, "fft error: {e}"),
+            AceError::Resources(msg) => write!(f, "resource violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AceError::Fft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ehdl_dsp::FftError> for AceError {
+    fn from(e: ehdl_dsp::FftError) -> Self {
+        AceError::Fft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = AceError::BadInput {
+            expected: 784,
+            got: 100,
+        };
+        assert!(e.to_string().contains("784"));
+        let e = AceError::from(ehdl_dsp::FftError::NotPowerOfTwo(12));
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn source_chains_fft_errors() {
+        use std::error::Error;
+        let e = AceError::from(ehdl_dsp::FftError::Empty);
+        assert!(e.source().is_some());
+    }
+}

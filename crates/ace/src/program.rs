@@ -1,0 +1,525 @@
+//! Compilation of a quantized model into a tagged device-op stream.
+
+use crate::dataflow::DataflowPolicy;
+use crate::quantized::{QLayer, QuantizedModel};
+use crate::AceError;
+use core::fmt;
+use ehdl_device::{DeviceOp, LeaOp, MemoryKind};
+
+/// The stages of one BCM chain — Figure 6's state machine, encoded by
+/// FLEX in control bits `b0–b2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BcmStage {
+    /// Operands DMA'd into the LEA SRAM region.
+    DmaIn,
+    /// Forward FFT of the input block.
+    FftX,
+    /// Forward FFT of the weight block.
+    FftW,
+    /// Element-wise complex multiply.
+    Mpy,
+    /// Inverse FFT of the product.
+    Ifft,
+    /// Accumulation / write-back of the block result.
+    DmaOut,
+}
+
+impl BcmStage {
+    /// The 3-bit state code FLEX persists (Figure 6's b0–b2).
+    pub fn state_bits(self) -> u8 {
+        match self {
+            BcmStage::DmaIn => 0b000,
+            BcmStage::FftX => 0b001,
+            BcmStage::FftW => 0b010,
+            BcmStage::Mpy => 0b011,
+            BcmStage::Ifft => 0b100,
+            BcmStage::DmaOut => 0b101,
+        }
+    }
+}
+
+/// Semantic position of an op within the inference — the hooks the
+/// checkpointing runtimes (`ehdl-flex`) translate into commit points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpTag {
+    /// Interior op with no special meaning.
+    Plain,
+    /// Completes one innermost loop iteration (a conv window, a dense
+    /// row, a pooling window) whose result is durably written.
+    LoopIter,
+    /// First op of a vector-op chain (the rollback target of TAILS —
+    /// Figure 6, left).
+    ChainStart,
+    /// Completes one stage of a BCM chain (the resume points of FLEX —
+    /// Figure 6, right).
+    BcmStage(BcmStage),
+    /// Last op of a layer; the layer output is durable in FRAM.
+    LayerEnd,
+}
+
+/// One costed op with its semantic tag and the volatile state footprint
+/// at that point (what an on-demand checkpoint would persist).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaggedOp {
+    /// The device action.
+    pub op: DeviceOp,
+    /// Semantic position.
+    pub tag: OpTag,
+    /// Index of the layer this op belongs to.
+    pub layer: u16,
+    /// Live volatile state in words (indices + SRAM intermediates).
+    pub live_words: u32,
+}
+
+/// A compiled ACE inference: the exact op sequence the device executes.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_ace::{AceProgram, QuantizedModel};
+/// use ehdl_nn::zoo;
+///
+/// let q = QuantizedModel::from_model(&zoo::mnist())?;
+/// let p = AceProgram::compile(&q)?;
+/// assert!(p.lea_invocations() > 1000); // one MAC per conv window
+/// # Ok::<(), ehdl_ace::AceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AceProgram {
+    name: String,
+    ops: Vec<TaggedOp>,
+}
+
+impl AceProgram {
+    /// Compiles with the paper's ACE policy (LEA + DMA + circular
+    /// buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AceError`] if a layer cannot be lowered.
+    pub fn compile(model: &QuantizedModel) -> Result<Self, AceError> {
+        Self::compile_with(model, DataflowPolicy::ace())
+    }
+
+    /// Compiles with explicit dataflow knobs (ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AceError`] if a layer cannot be lowered.
+    pub fn compile_with(model: &QuantizedModel, policy: DataflowPolicy) -> Result<Self, AceError> {
+        let mut b = Builder {
+            policy,
+            ops: Vec::new(),
+            layer: 0,
+        };
+        for (i, layer) in model.layers().iter().enumerate() {
+            b.layer = i as u16;
+            let in_shape = model.layer_input_shape(i).to_vec();
+            match layer {
+                QLayer::Conv2d(c) => b.emit_conv(c, &in_shape),
+                QLayer::MaxPool2d { size } => b.emit_maxpool(&in_shape, *size),
+                QLayer::Relu => b.emit_relu(in_shape.iter().product()),
+                QLayer::Flatten => b.emit_flatten(),
+                QLayer::Dense(d) => b.emit_dense(d),
+                QLayer::BcmDense(d) => b.emit_bcm(d),
+                QLayer::ArgmaxHead => b.emit_argmax(model.output_dim()),
+            }
+            b.mark_layer_end();
+        }
+        Ok(AceProgram {
+            name: format!("{}-ace", model.name()),
+            ops: b.ops,
+        })
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tagged ops.
+    pub fn ops(&self) -> &[TaggedOp] {
+        &self.ops
+    }
+
+    /// Op count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of LEA commands issued.
+    pub fn lea_invocations(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|t| matches!(t.op, DeviceOp::Lea(_)))
+            .count()
+    }
+
+    /// Number of DMA transfers issued.
+    pub fn dma_transfers(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|t| matches!(t.op, DeviceOp::DmaTransfer { .. }))
+            .count()
+    }
+
+    /// Ops belonging to layer `i`.
+    pub fn layer_ops(&self, layer: usize) -> impl Iterator<Item = &TaggedOp> {
+        self.ops.iter().filter(move |t| t.layer as usize == layer)
+    }
+}
+
+impl fmt::Display for AceProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ops ({} LEA, {} DMA)",
+            self.name,
+            self.len(),
+            self.lea_invocations(),
+            self.dma_transfers()
+        )
+    }
+}
+
+struct Builder {
+    policy: DataflowPolicy,
+    ops: Vec<TaggedOp>,
+    layer: u16,
+}
+
+impl Builder {
+    fn push(&mut self, op: DeviceOp, tag: OpTag, live_words: u32) {
+        self.ops.push(TaggedOp {
+            op,
+            tag,
+            layer: self.layer,
+            live_words,
+        });
+    }
+
+    /// Retags the final op of the current layer as its durable end.
+    fn mark_layer_end(&mut self) {
+        if let Some(last) = self.ops.last_mut() {
+            if last.layer == self.layer {
+                last.tag = OpTag::LayerEnd;
+            }
+        }
+    }
+
+    fn mac_like(&mut self, len: usize, tag: OpTag, live: u32) {
+        if self.policy.use_lea {
+            self.push(DeviceOp::Lea(LeaOp::Mac { len }), tag, live);
+        } else {
+            // Software MAC: one hardware multiply plus loads/accumulate
+            // bookkeeping per element.
+            self.push(DeviceOp::CpuMul { count: len as u64 }, OpTag::Plain, live);
+            self.push(
+                DeviceOp::CpuOps {
+                    count: 10 * len as u64,
+                },
+                tag,
+                live,
+            );
+        }
+    }
+
+    fn fft_like(&mut self, n: usize, inverse: bool, tag: OpTag, live: u32) {
+        if self.policy.use_lea {
+            let op = if inverse {
+                LeaOp::Ifft { n }
+            } else {
+                LeaOp::Fft { n }
+            };
+            self.push(DeviceOp::Lea(op), tag, live);
+        } else {
+            let butterflies = (n as u64 / 2) * n.trailing_zeros() as u64;
+            self.push(
+                DeviceOp::CpuMul {
+                    count: 4 * butterflies,
+                },
+                OpTag::Plain,
+                live,
+            );
+            self.push(
+                DeviceOp::CpuOps {
+                    count: 12 * butterflies,
+                },
+                tag,
+                live,
+            );
+        }
+    }
+
+    fn emit_conv(&mut self, c: &crate::quantized::QConv2d, in_shape: &[usize]) {
+        let (ih, iw) = (in_shape[1], in_shape[2]);
+        let (oh, ow) = (ih - c.kh + 1, iw - c.kw + 1);
+        let klen = c.kept.len() as u64;
+        for _o in 0..c.out_ch {
+            // Filter weights staged once per filter.
+            let mv = self
+                .policy
+                .move_op(MemoryKind::Fram, MemoryKind::Sram, klen);
+            self.push(mv, OpTag::Plain, 8);
+            for _pix in 0..oh * ow {
+                let mv = self
+                    .policy
+                    .move_op(MemoryKind::Fram, MemoryKind::Sram, klen);
+                self.push(mv, OpTag::Plain, 8);
+                self.mac_like(klen as usize, OpTag::Plain, 8);
+                self.push(
+                    DeviceOp::MemWrite {
+                        mem: MemoryKind::Fram,
+                        words: 1,
+                    },
+                    OpTag::LoopIter,
+                    8,
+                );
+            }
+        }
+    }
+
+    fn emit_maxpool(&mut self, in_shape: &[usize], size: usize) {
+        let (ch, ih, iw) = (in_shape[0], in_shape[1], in_shape[2]);
+        let (oh, ow) = (ih / size, iw / size);
+        let window = (size * size) as u64;
+        for _ in 0..ch * oh * ow {
+            self.push(
+                DeviceOp::MemRead {
+                    mem: MemoryKind::Fram,
+                    words: window,
+                },
+                OpTag::Plain,
+                4,
+            );
+            self.push(DeviceOp::CpuOps { count: window }, OpTag::Plain, 4);
+            self.push(
+                DeviceOp::MemWrite {
+                    mem: MemoryKind::Fram,
+                    words: 1,
+                },
+                OpTag::LoopIter,
+                4,
+            );
+        }
+    }
+
+    fn emit_relu(&mut self, elems: usize) {
+        const CHUNK: usize = 64;
+        let mut left = elems;
+        while left > 0 {
+            let n = left.min(CHUNK) as u64;
+            self.push(
+                DeviceOp::MemRead {
+                    mem: MemoryKind::Fram,
+                    words: n,
+                },
+                OpTag::Plain,
+                4,
+            );
+            self.push(DeviceOp::CpuOps { count: n }, OpTag::Plain, 4);
+            self.push(
+                DeviceOp::MemWrite {
+                    mem: MemoryKind::Fram,
+                    words: n,
+                },
+                OpTag::LoopIter,
+                4,
+            );
+            left -= n as usize;
+        }
+    }
+
+    fn emit_flatten(&mut self) {
+        // A pointer reinterpretation: a couple of CPU instructions.
+        self.push(DeviceOp::CpuOps { count: 4 }, OpTag::LoopIter, 4);
+    }
+
+    fn emit_dense(&mut self, d: &crate::quantized::QDense) {
+        // Input vector staged once.
+        let mv = self
+            .policy
+            .move_op(MemoryKind::Fram, MemoryKind::Sram, d.in_dim as u64);
+        self.push(mv, OpTag::Plain, 8);
+        for _o in 0..d.out_dim {
+            let mv = self
+                .policy
+                .move_op(MemoryKind::Fram, MemoryKind::Sram, d.in_dim as u64);
+            self.push(mv, OpTag::Plain, 8);
+            self.mac_like(d.in_dim, OpTag::Plain, 8);
+            self.push(
+                DeviceOp::MemWrite {
+                    mem: MemoryKind::Fram,
+                    words: 1,
+                },
+                OpTag::LoopIter,
+                8,
+            );
+        }
+    }
+
+    fn emit_bcm(&mut self, d: &crate::quantized::QBcmDense) {
+        let b = d.block as u64;
+        // Live state inside a chain: the two transformed complex blocks
+        // plus the wide row accumulator and indices.
+        let chain_live = (4 * b + 2 * b + 8) as u32;
+        let row_live = (2 * b + 8) as u32;
+        for _rb in 0..d.rows_b {
+            // Zero the wide accumulator.
+            self.push(DeviceOp::CpuOps { count: b }, OpTag::Plain, row_live);
+            for _cb in 0..d.cols_b {
+                // Stage input block + weight block (Figure 6: DMA).
+                let mv = self
+                    .policy
+                    .move_op(MemoryKind::Fram, MemoryKind::Sram, 2 * b);
+                self.push(mv, OpTag::ChainStart, row_live);
+                self.push(
+                    DeviceOp::CpuOps { count: 2 * b },
+                    OpTag::BcmStage(BcmStage::DmaIn),
+                    chain_live,
+                );
+                self.fft_like(d.block, false, OpTag::BcmStage(BcmStage::FftX), chain_live);
+                self.fft_like(d.block, false, OpTag::BcmStage(BcmStage::FftW), chain_live);
+                if self.policy.use_lea {
+                    self.push(
+                        DeviceOp::Lea(LeaOp::CMpy { len: d.block }),
+                        OpTag::BcmStage(BcmStage::Mpy),
+                        chain_live,
+                    );
+                } else {
+                    self.push(
+                        DeviceOp::CpuMul { count: 4 * b },
+                        OpTag::BcmStage(BcmStage::Mpy),
+                        chain_live,
+                    );
+                }
+                self.fft_like(d.block, true, OpTag::BcmStage(BcmStage::Ifft), chain_live);
+                // Accumulate the block result into the row accumulator.
+                self.push(
+                    DeviceOp::CpuOps { count: 2 * b },
+                    OpTag::BcmStage(BcmStage::DmaOut),
+                    row_live,
+                );
+            }
+            // Scale-up + bias, then write the row block to FRAM.
+            self.push(DeviceOp::CpuOps { count: 2 * b }, OpTag::Plain, row_live);
+            let mv = self.policy.move_op(MemoryKind::Sram, MemoryKind::Fram, b);
+            self.push(mv, OpTag::LoopIter, 8);
+        }
+    }
+
+    fn emit_argmax(&mut self, dim: usize) {
+        self.push(
+            DeviceOp::MemRead {
+                mem: MemoryKind::Fram,
+                words: dim as u64,
+            },
+            OpTag::Plain,
+            4,
+        );
+        self.push(DeviceOp::CpuOps { count: dim as u64 }, OpTag::LoopIter, 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::zoo;
+
+    fn mnist_program() -> AceProgram {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        AceProgram::compile(&q).unwrap()
+    }
+
+    #[test]
+    fn conv_emits_one_mac_per_window() {
+        let p = mnist_program();
+        // conv1: 6 filters x 24x24 windows; conv2: 16 x 8x8.
+        let macs = p
+            .ops()
+            .iter()
+            .filter(|t| matches!(t.op, DeviceOp::Lea(LeaOp::Mac { .. })))
+            .count();
+        // conv MACs plus dense-layer MACs (10 rows).
+        assert_eq!(macs, 6 * 576 + 16 * 64 + 10);
+    }
+
+    #[test]
+    fn bcm_chains_have_all_six_stages() {
+        let p = mnist_program();
+        use BcmStage::*;
+        for stage in [DmaIn, FftX, FftW, Mpy, Ifft, DmaOut] {
+            let n = p
+                .ops()
+                .iter()
+                .filter(|t| t.tag == OpTag::BcmStage(stage))
+                .count();
+            // MNIST FC1 is a 2x2 block grid = 4 chains.
+            assert_eq!(n, 4, "stage {stage:?}");
+        }
+        let starts = p
+            .ops()
+            .iter()
+            .filter(|t| t.tag == OpTag::ChainStart)
+            .count();
+        assert_eq!(starts, 4);
+    }
+
+    #[test]
+    fn every_layer_ends_with_layer_end() {
+        let q = QuantizedModel::from_model(&zoo::har()).unwrap();
+        let p = AceProgram::compile(&q).unwrap();
+        for layer in 0..q.layers().len() {
+            let last = p.layer_ops(layer).last().expect("layer has ops");
+            assert_eq!(last.tag, OpTag::LayerEnd, "layer {layer}");
+        }
+    }
+
+    #[test]
+    fn cpu_only_policy_emits_no_lea_or_dma() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        let p = AceProgram::compile_with(&q, DataflowPolicy::cpu_only()).unwrap();
+        assert_eq!(p.lea_invocations(), 0);
+        assert_eq!(p.dma_transfers(), 0);
+    }
+
+    #[test]
+    fn ace_program_is_dominated_by_lea_and_dma() {
+        let p = mnist_program();
+        assert!(p.lea_invocations() > 4000);
+        assert!(p.dma_transfers() > 4000);
+    }
+
+    #[test]
+    fn chain_live_state_exceeds_loop_live_state() {
+        // The reason TAILS rolls back: mid-chain volatile state is large.
+        let p = mnist_program();
+        let chain_live = p
+            .ops()
+            .iter()
+            .filter(|t| matches!(t.tag, OpTag::BcmStage(_)))
+            .map(|t| t.live_words)
+            .max()
+            .unwrap();
+        let loop_live = p
+            .ops()
+            .iter()
+            .filter(|t| t.tag == OpTag::LoopIter)
+            .map(|t| t.live_words)
+            .max()
+            .unwrap();
+        assert!(chain_live > 10 * loop_live);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let p = mnist_program();
+        let text = p.to_string();
+        assert!(text.contains("LEA") && text.contains("ops"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The deployed (quantized) model representation.
+
+use crate::AceError;
+use core::fmt;
+use ehdl_fixed::Q15;
+use ehdl_nn::{Layer, Model};
+
+/// A quantized convolution with the shared kernel-shape mask resolved to
+/// a packed list of kept positions (what actually ships to FRAM — the
+/// "regular shape" property of structured pruning means no per-weight
+/// index metadata is needed, only the shared position list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QConv2d {
+    /// Output channels.
+    pub out_ch: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Kept kernel positions `(c, u, v)` flattened as `(c*kh+u)*kw+v`,
+    /// shared across filters.
+    pub kept: Vec<u32>,
+    /// Packed weights: `out_ch × kept.len()`, row-major.
+    pub weights: Vec<Q15>,
+    /// Per-filter bias.
+    pub bias: Vec<Q15>,
+}
+
+/// A quantized dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QDense {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Row-major `[out][in]` weights.
+    pub weights: Vec<Q15>,
+    /// Bias.
+    pub bias: Vec<Q15>,
+}
+
+/// A quantized block-circulant dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QBcmDense {
+    /// Input dimension (unpadded).
+    pub in_dim: usize,
+    /// Output dimension (unpadded).
+    pub out_dim: usize,
+    /// Circulant block size (power of two).
+    pub block: usize,
+    /// Grid rows.
+    pub rows_b: usize,
+    /// Grid cols.
+    pub cols_b: usize,
+    /// First-column vectors, grid row-major.
+    pub blocks: Vec<Vec<Q15>>,
+    /// Bias.
+    pub bias: Vec<Q15>,
+}
+
+/// One deployed layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QLayer {
+    /// Quantized convolution.
+    Conv2d(QConv2d),
+    /// Max pooling.
+    MaxPool2d {
+        /// Window edge.
+        size: usize,
+    },
+    /// ReLU (fixed-point clamp at zero).
+    Relu,
+    /// Shape collapse (free on device).
+    Flatten,
+    /// Quantized dense layer.
+    Dense(QDense),
+    /// Quantized BCM layer.
+    BcmDense(QBcmDense),
+    /// Terminal softmax — a no-op on device: the MCU reports the argmax
+    /// of the logits, and softmax preserves argmax.
+    ArgmaxHead,
+}
+
+impl QLayer {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QLayer::Conv2d(_) => "conv2d",
+            QLayer::MaxPool2d { .. } => "maxpool2d",
+            QLayer::Relu => "relu",
+            QLayer::Flatten => "flatten",
+            QLayer::Dense(_) => "dense",
+            QLayer::BcmDense(_) => "bcm_dense",
+            QLayer::ArgmaxHead => "argmax",
+        }
+    }
+
+    /// FRAM bytes this layer's parameters occupy (2 bytes per Q15).
+    pub fn fram_bytes(&self) -> usize {
+        match self {
+            QLayer::Conv2d(c) => 2 * (c.weights.len() + c.bias.len()) + 4 * c.kept.len(),
+            QLayer::Dense(d) => 2 * (d.weights.len() + d.bias.len()),
+            QLayer::BcmDense(d) => {
+                2 * (d.blocks.iter().map(Vec::len).sum::<usize>() + d.bias.len())
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// A model deployed for on-device execution: quantized weights plus the
+/// shape chain.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_ace::QuantizedModel;
+/// use ehdl_nn::zoo;
+///
+/// let q = QuantizedModel::from_model(&zoo::mnist())?;
+/// assert_eq!(q.output_dim(), 10);
+/// assert!(q.fram_bytes() < 256 * 1024);
+/// # Ok::<(), ehdl_ace::AceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedModel {
+    name: String,
+    input_shape: Vec<usize>,
+    layers: Vec<QLayer>,
+    /// `shapes[0]` = input, `shapes[i+1]` = output of layer i.
+    shapes: Vec<Vec<usize>>,
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained float model (weights are assumed normalized
+    /// into `[-1, 1]` by RAD; values outside saturate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AceError::Unsupported`] for layers outside the Table II
+    /// vocabulary (none exist in `ehdl-nn` today, but the contract is
+    /// explicit).
+    pub fn from_model(model: &Model) -> Result<Self, AceError> {
+        let mut layers = Vec::with_capacity(model.layers().len());
+        let mut shapes = vec![model.input_shape().to_vec()];
+        for (i, layer) in model.layers().iter().enumerate() {
+            shapes.push(model.layer_output_shape(i).to_vec());
+            layers.push(match layer {
+                Layer::Conv2d(c) => {
+                    let kept: Vec<u32> = c
+                        .kernel_mask()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, &m)| m.then_some(k as u32))
+                        .collect();
+                    let per_filter = c.in_ch() * c.kh() * c.kw();
+                    let mut weights = Vec::with_capacity(c.out_ch() * kept.len());
+                    for o in 0..c.out_ch() {
+                        for &k in &kept {
+                            weights.push(Q15::from_f32(c.weights()[o * per_filter + k as usize]));
+                        }
+                    }
+                    QLayer::Conv2d(QConv2d {
+                        out_ch: c.out_ch(),
+                        in_ch: c.in_ch(),
+                        kh: c.kh(),
+                        kw: c.kw(),
+                        kept,
+                        weights,
+                        bias: c.bias().iter().map(|&b| Q15::from_f32(b)).collect(),
+                    })
+                }
+                Layer::MaxPool2d { size } => QLayer::MaxPool2d { size: *size },
+                Layer::Relu => QLayer::Relu,
+                Layer::Flatten => QLayer::Flatten,
+                Layer::Dense(d) => QLayer::Dense(QDense {
+                    in_dim: d.in_dim(),
+                    out_dim: d.out_dim(),
+                    weights: d.weights().iter().map(|&w| Q15::from_f32(w)).collect(),
+                    bias: d.bias().iter().map(|&b| Q15::from_f32(b)).collect(),
+                }),
+                Layer::BcmDense(d) => QLayer::BcmDense(QBcmDense {
+                    in_dim: d.in_dim(),
+                    out_dim: d.out_dim(),
+                    block: d.block(),
+                    rows_b: d.rows_b(),
+                    cols_b: d.cols_b(),
+                    blocks: (0..d.rows_b())
+                        .flat_map(|rb| {
+                            (0..d.cols_b()).map(move |cb| (rb, cb))
+                        })
+                        .map(|(rb, cb)| {
+                            d.block_at(rb, cb)
+                                .iter()
+                                .map(|&w| Q15::from_f32(w))
+                                .collect()
+                        })
+                        .collect(),
+                    bias: d.bias().iter().map(|&b| Q15::from_f32(b)).collect(),
+                }),
+                Layer::Softmax => QLayer::ArgmaxHead,
+            });
+        }
+        Ok(QuantizedModel {
+            name: model.name().to_string(),
+            input_shape: model.input_shape().to_vec(),
+            layers,
+            shapes,
+        })
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Expected input element count.
+    pub fn input_len(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+
+    /// Output (logit) dimension.
+    pub fn output_dim(&self) -> usize {
+        self.shapes.last().map(|s| s.iter().product()).unwrap_or(0)
+    }
+
+    /// The deployed layers.
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Input shape of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_input_shape(&self, i: usize) -> &[usize] {
+        &self.shapes[i]
+    }
+
+    /// Output shape of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_output_shape(&self, i: usize) -> &[usize] {
+        &self.shapes[i + 1]
+    }
+
+    /// Total FRAM bytes for weights.
+    pub fn fram_bytes(&self) -> usize {
+        self.layers.iter().map(QLayer::fram_bytes).sum()
+    }
+
+    /// Largest activation in elements (circular-buffer sizing).
+    pub fn max_activation_elems(&self) -> usize {
+        self.shapes
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for QuantizedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} (quantized): {} layers, {} KB FRAM",
+            self.name,
+            self.layers.len(),
+            self.fram_bytes() / 1024
+        )?;
+        for (i, l) in self.layers.iter().enumerate() {
+            writeln!(f, "  [{i}] {} -> {:?}", l.name(), self.shapes[i + 1])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::zoo;
+
+    #[test]
+    fn mnist_deploys_with_expected_footprint() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        assert_eq!(q.input_shape(), &[1, 28, 28]);
+        assert_eq!(q.output_dim(), 10);
+        // conv1 6*25+6, conv2 packed 16*75+16, bcm 4 blocks... footprint
+        // must be far under dense.
+        assert!(q.fram_bytes() < 40 * 1024, "{} bytes", q.fram_bytes());
+    }
+
+    #[test]
+    fn conv2_packing_respects_mask() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        let QLayer::Conv2d(conv2) = &q.layers()[3] else {
+            panic!("layer 3 is conv2");
+        };
+        assert_eq!(conv2.kept.len(), 75); // 150 positions pruned 2x
+        assert_eq!(conv2.weights.len(), 16 * 75);
+    }
+
+    #[test]
+    fn all_zoo_models_fit_fram() {
+        for m in zoo::all() {
+            let q = QuantizedModel::from_model(&m).unwrap();
+            assert!(
+                q.fram_bytes() + 2 * 2 * q.max_activation_elems() < 256 * 1024,
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_becomes_argmax_head() {
+        let q = QuantizedModel::from_model(&zoo::har()).unwrap();
+        assert!(matches!(q.layers().last(), Some(QLayer::ArgmaxHead)));
+    }
+
+    #[test]
+    fn shapes_survive_deployment() {
+        let m = zoo::okg();
+        let q = QuantizedModel::from_model(&m).unwrap();
+        for i in 0..m.layers().len() {
+            assert_eq!(q.layer_output_shape(i), m.layer_output_shape(i));
+        }
+    }
+
+    #[test]
+    fn display_names_layers() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        let text = q.to_string();
+        assert!(text.contains("bcm_dense") && text.contains("argmax"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-layer latency/energy breakdown — the analysis behind Figure 7(c)
+//! and the paper's observation that "most of the computation time is
+//! spent on convolutional layer while FC layer runs extremely fast".
+
+use crate::program::AceProgram;
+use crate::quantized::QuantizedModel;
+use core::fmt;
+use ehdl_device::{Board, Cycles, Energy};
+
+/// Cost attributed to one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Layer index.
+    pub layer: usize,
+    /// Layer kind name.
+    pub name: String,
+    /// Cycles spent in this layer's ops.
+    pub cycles: Cycles,
+    /// Energy spent in this layer's ops.
+    pub energy: Energy,
+}
+
+/// Prices every op of the program on the board (without executing it)
+/// and groups by layer.
+pub fn per_layer_costs(
+    program: &AceProgram,
+    model: &QuantizedModel,
+    board: &Board,
+) -> Vec<LayerCost> {
+    let mut out: Vec<LayerCost> = model
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| LayerCost {
+            layer: i,
+            name: l.name().to_string(),
+            cycles: Cycles::ZERO,
+            energy: Energy::ZERO,
+        })
+        .collect();
+    for t in program.ops() {
+        let c = board.cost(&t.op);
+        let entry = &mut out[t.layer as usize];
+        entry.cycles += c.cycles;
+        entry.energy += c.energy;
+    }
+    out
+}
+
+/// Total program cost.
+pub fn total_cost(program: &AceProgram, board: &Board) -> (Cycles, Energy) {
+    let mut cycles = Cycles::ZERO;
+    let mut energy = Energy::ZERO;
+    for t in program.ops() {
+        let c = board.cost(&t.op);
+        cycles += c.cycles;
+        energy += c.energy;
+    }
+    (cycles, energy)
+}
+
+/// A printable layer-cost table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTableDisplay {
+    rows: Vec<LayerCost>,
+    clock_hz: f64,
+}
+
+impl CostTableDisplay {
+    /// Wraps rows for display with the board clock for ms conversion.
+    pub fn new(rows: Vec<LayerCost>, clock_hz: f64) -> Self {
+        CostTableDisplay { rows, clock_hz }
+    }
+}
+
+impl fmt::Display for CostTableDisplay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<4} {:<12} {:>12} {:>12}", "#", "layer", "ms", "energy")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<4} {:<12} {:>12.3} {:>12}",
+                r.layer,
+                r.name,
+                r.cycles.as_millis(self.clock_hz),
+                r.energy
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantizedModel;
+    use ehdl_nn::zoo;
+
+    #[test]
+    fn conv_dominates_fc_on_mnist() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        let p = AceProgram::compile(&q).unwrap();
+        let board = Board::msp430fr5994();
+        let costs = per_layer_costs(&p, &q, &board);
+        let conv_cycles: u64 = costs
+            .iter()
+            .filter(|c| c.name == "conv2d")
+            .map(|c| c.cycles.raw())
+            .sum();
+        let fc_cycles: u64 = costs
+            .iter()
+            .filter(|c| c.name == "bcm_dense" || c.name == "dense")
+            .map(|c| c.cycles.raw())
+            .sum();
+        // The paper: "most of the computation time is spent on
+        // convolutional layer while FC layer runs extremely fast".
+        assert!(
+            conv_cycles > 5 * fc_cycles,
+            "conv {conv_cycles} vs fc {fc_cycles}"
+        );
+    }
+
+    #[test]
+    fn totals_equal_layer_sums() {
+        let q = QuantizedModel::from_model(&zoo::har()).unwrap();
+        let p = AceProgram::compile(&q).unwrap();
+        let board = Board::msp430fr5994();
+        let costs = per_layer_costs(&p, &q, &board);
+        let (total_cycles, total_energy) = total_cost(&p, &board);
+        let sum_cycles: u64 = costs.iter().map(|c| c.cycles.raw()).sum();
+        let sum_energy: f64 = costs.iter().map(|c| c.energy.nanojoules()).sum();
+        assert_eq!(total_cycles.raw(), sum_cycles);
+        assert!((total_energy.nanojoules() - sum_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        let p = AceProgram::compile(&q).unwrap();
+        let board = Board::msp430fr5994();
+        let table = CostTableDisplay::new(per_layer_costs(&p, &q, &board), 16e6);
+        let text = table.to_string();
+        assert!(text.contains("conv2d") && text.contains("ms"));
+    }
+
+    #[test]
+    fn inference_latency_is_sub_second() {
+        // Sanity on absolute scale: MNIST on a 16 MHz MCU with LEA should
+        // land in the tens-to-hundreds of ms (SONIC-era papers report
+        // seconds for software-only).
+        let q = QuantizedModel::from_model(&zoo::mnist()).unwrap();
+        let p = AceProgram::compile(&q).unwrap();
+        let board = Board::msp430fr5994();
+        let (cycles, _) = total_cost(&p, &board);
+        let ms = cycles.as_millis(16e6);
+        assert!((10.0..2000.0).contains(&ms), "latency {ms} ms");
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion microbench: BCM FFT-route matvec vs direct circulant vs
+//! dense matvec — the asymptotic claim behind Table I / Figure 8
+//! (`O(pqk log k)` vs `O(n²)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehdl::ace::reference;
+use ehdl::dsp::{circulant, FftPlan};
+use ehdl::fixed::{OverflowStats, Q15};
+use std::hint::black_box;
+
+fn inputs(n: usize) -> (Vec<Q15>, Vec<Q15>) {
+    let w: Vec<Q15> = (0..n)
+        .map(|i| Q15::from_f32(0.02 * ((i as f32) * 1.3).sin()))
+        .collect();
+    let x: Vec<Q15> = (0..n)
+        .map(|i| Q15::from_f32(0.5 * ((i as f32) * 0.4).cos()))
+        .collect();
+    (w, x)
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcm_vs_dense");
+    for n in [64usize, 128, 256] {
+        let (w, x) = inputs(n);
+        let plan = FftPlan::new(n).expect("power of two");
+
+        group.bench_with_input(BenchmarkId::new("bcm_fft_route", n), &n, |b, _| {
+            b.iter(|| {
+                let mut stats = OverflowStats::new();
+                black_box(
+                    reference::bcm_block_matvec(&plan, black_box(&w), black_box(&x), &mut stats)
+                        .expect("valid plan"),
+                )
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("circulant_direct", n), &n, |b, _| {
+            b.iter(|| black_box(circulant::matvec_direct_q15(black_box(&w), black_box(&x))))
+        });
+
+        // Dense-equivalent: n rows of n-long dot products.
+        group.bench_with_input(BenchmarkId::new("dense_equivalent", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    // Row i of the circulant: w[(i - j) mod n].
+                    let mut acc = ehdl::fixed::MacAcc::ZERO;
+                    for (j, &xj) in x.iter().enumerate() {
+                        acc.mac(w[(n + i - j) % n], xj);
+                    }
+                    out.push(acc.to_q15());
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion microbench: quantization and the reference quantized
+//! forward pass (the golden-model cost per inference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehdl::ace::{reference, QuantizedModel};
+use ehdl::compress::quantize::{quantize_slice, QuantParams};
+use ehdl::fixed::Q15;
+use std::hint::black_box;
+
+fn bench_quantize_slice(c: &mut Criterion) {
+    let data: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.37).sin() * 0.9).collect();
+    c.bench_function("quantize_4096_f32", |b| {
+        b.iter(|| black_box(quantize_slice(black_box(&data), QuantParams::UNIT)))
+    });
+}
+
+fn bench_reference_forward(c: &mut Criterion) {
+    let q = QuantizedModel::from_model(&ehdl::nn::zoo::har()).expect("deploys");
+    let x = vec![Q15::from_f32(0.1); q.input_len()];
+    c.bench_function("reference_forward_har", |b| {
+        b.iter(|| black_box(reference::forward(black_box(&q), black_box(&x)).expect("runs")))
+    });
+}
+
+fn bench_bcm_layer(c: &mut Criterion) {
+    let q = QuantizedModel::from_model(&ehdl::nn::zoo::mnist()).expect("deploys");
+    let ehdl::ace::QLayer::BcmDense(layer) = q.layers()[7].clone() else {
+        panic!("layer 7 is the BCM FC");
+    };
+    let x = vec![Q15::from_f32(0.05); layer.in_dim];
+    c.bench_function("bcm_forward_256x256_b128", |b| {
+        b.iter(|| {
+            let mut stats = ehdl::fixed::OverflowStats::new();
+            black_box(reference::bcm_forward(black_box(&layer), black_box(&x), &mut stats))
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_quantize_slice,
+    bench_reference_forward,
+    bench_bcm_layer
+);
+criterion_main!(benches);

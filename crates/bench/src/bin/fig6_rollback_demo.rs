@@ -1,0 +1,64 @@
+//! Figure 6 demo: TAILS chain rollback vs FLEX stage resume, on the real
+//! MNIST FC1 layer with fault injection at increasing rates.
+//!
+//! ```text
+//! cargo run --release -p ehdl-bench --bin fig6_rollback_demo
+//! ```
+
+use ehdl::ace::{reference, QLayer, QuantizedModel};
+use ehdl::fixed::{OverflowStats, Q15};
+use ehdl::flex::machine::{BcmChainMachine, ChainPolicy};
+use ehdl_bench::section;
+
+fn main() {
+    let q = QuantizedModel::from_model(&ehdl::nn::zoo::mnist()).unwrap();
+    let QLayer::BcmDense(layer) = q.layers()[7].clone() else {
+        panic!("layer 7 is the BCM FC");
+    };
+    let x: Vec<Q15> = (0..layer.in_dim)
+        .map(|i| Q15::from_f32(0.2 * ((i as f32) * 0.13).sin()))
+        .collect();
+    let mut stats = OverflowStats::new();
+    let want = reference::bcm_forward(&layer, &x, &mut stats).unwrap();
+
+    section("Figure 6 — MNIST FC1 (256x256, block 128) under fault injection");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12} {:>10}",
+        "failure period", "FLEX stages", "TAILS stages", "TAILS waste", "correct"
+    );
+    // Periods ≥ 7 leave room for a 6-stage chain to commit between
+    // failures; shorter periods livelock TAILS outright (see the
+    // `tails_livelocks_when_failures_outpace_chains` integration test).
+    for period in [7u64, 9, 12, 16, 24] {
+        let mut rows = Vec::new();
+        for policy in [ChainPolicy::Flex, ChainPolicy::Tails] {
+            let mut m = BcmChainMachine::new(layer.clone(), &x, policy).unwrap();
+            let mut k = 0u64;
+            loop {
+                if m.step().unwrap() {
+                    break;
+                }
+                k += 1;
+                if k.is_multiple_of(period) {
+                    m.power_fail();
+                }
+            }
+            assert_eq!(m.output().unwrap(), want.as_slice(), "{policy:?} corrupted data");
+            rows.push(m.stages_executed());
+        }
+        println!(
+            "every {:<3} steps {:>17} {:>14} {:>11.1}% {:>10}",
+            period,
+            rows[0],
+            rows[1],
+            100.0 * (rows[1] as f64 - rows[0] as f64) / rows[0] as f64,
+            "yes"
+        );
+    }
+    println!(
+        "\nBoth policies recover bit-exact outputs; TAILS re-executes every\n\
+         interrupted DMA→FFT→MPY→IFFT chain from its start (Figure 6 left),\n\
+         while FLEX resumes at the interrupted stage via the b0–b2 state bits\n\
+         and the saved intermediate (Figure 6 right)."
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 7(a): inference time under continuous power, all strategies,
+//! all three workloads.
+//!
+//! ```text
+//! cargo run --release -p ehdl-bench --bin fig7a_continuous
+//! ```
+
+use ehdl::ace::QuantizedModel;
+use ehdl::flex::compare::{compare, paper_supply};
+use ehdl_bench::{section, vs_paper, workloads};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Paper speedups of ACE+FLEX: (BASE, SONIC, TAILS) per model.
+    let paper = [
+        ("mnist", 3.0, 4.0, 3.3),
+        ("har", 5.4, 5.7, 2.6),
+        ("okg", 1.7, 3.3, 2.1),
+    ];
+    let (h, c) = paper_supply();
+    for ((model, _, _), (name, p_base, p_sonic, p_tails)) in
+        workloads(4, 1).into_iter().zip(paper)
+    {
+        let q = QuantizedModel::from_model(&model)?;
+        let cmp = compare(&q, &h, &c, false)?;
+        section(&format!("Figure 7(a) — {name}, continuous power"));
+        print!("{cmp}");
+        println!("{}", vs_paper("  vs BASE ", cmp.speedup_over("BASE"), p_base));
+        println!("{}", vs_paper("  vs SONIC", cmp.speedup_over("SONIC"), p_sonic));
+        println!("{}", vs_paper("  vs TAILS", cmp.speedup_over("TAILS"), p_tails));
+    }
+    println!(
+        "\nShape check: ACE+FLEX fastest everywhere; SONIC slowest; HAR shows the\n\
+         largest SONIC gap (FC-heavy, where BCM+FFT pays off most)."
+    );
+    Ok(())
+}

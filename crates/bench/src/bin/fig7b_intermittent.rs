@@ -1,0 +1,57 @@
+//! Figure 7(b): inference time under intermittent power (100 µF).
+//!
+//! BASE and bare ACE must fail (the paper's ✗ columns); SONIC, TAILS
+//! and ACE+FLEX complete, with ACE+FLEX fastest.
+//!
+//! ```text
+//! cargo run --release -p ehdl-bench --bin fig7b_intermittent [--quick]
+//! ```
+
+use ehdl::ace::QuantizedModel;
+use ehdl::flex::compare::{compare, paper_supply};
+use ehdl_bench::{quick_mode, section, vs_paper, workloads};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Paper intermittent speedups of ACE+FLEX: (SONIC, TAILS) per model.
+    let paper = [("mnist", 5.1, 3.8), ("har", 4.7, 2.4), ("okg", 3.3, 1.7)];
+    let (h, c) = paper_supply();
+    let quick = quick_mode();
+    for ((model, _, _), (name, p_sonic, p_tails)) in workloads(4, 1).into_iter().zip(paper) {
+        if quick && name != "har" {
+            continue; // HAR is the smallest op stream
+        }
+        let q = QuantizedModel::from_model(&model)?;
+        let cmp = compare(&q, &h, &c, true)?;
+        section(&format!(
+            "Figure 7(b) — {name}, intermittent power ({h}, {:.0} µF)",
+            c.farads() * 1e6
+        ));
+        print!("{cmp}");
+        for ckpt_less in ["BASE", "ACE"] {
+            let r = cmp.get(ckpt_less);
+            println!(
+                "  {ckpt_less}: {}  (paper: ✗)",
+                r.intermittent
+                    .as_ref()
+                    .map(|rep| rep.outcome.to_string())
+                    .unwrap_or_default()
+            );
+            assert!(!r.completes_intermittently(), "{ckpt_less} must starve");
+        }
+        if let Some(s) = cmp.intermittent_speedup_over("SONIC") {
+            println!("{}", vs_paper("  vs SONIC (active time)", s, p_sonic));
+        }
+        if let Some(s) = cmp.intermittent_speedup_over("TAILS") {
+            println!("{}", vs_paper("  vs TAILS (active time)", s, p_tails));
+        }
+        if let Some(rep) = &cmp.get("ACE+FLEX").intermittent {
+            println!(
+                "  ACE+FLEX: {} outages, {} on-demand checkpoints, {:.2}% ckpt overhead",
+                rep.outages,
+                rep.ondemand_checkpoints,
+                100.0 * rep.checkpoint_overhead()
+            );
+        }
+    }
+    Ok(())
+}

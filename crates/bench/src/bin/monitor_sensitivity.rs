@@ -1,0 +1,71 @@
+//! Sensitivity study: how the voltage monitor's warn threshold shapes
+//! FLEX's behaviour.
+//!
+//! The on-demand scheme (§III-C) hinges on one parameter the paper fixes
+//! implicitly: the margin between the warn and brown-out voltages. Warn
+//! too late and a checkpoint may not fit in the remaining energy (data
+//! loss risk / wasted work); warn too early and FLEX checkpoints long
+//! before death, paying overhead like an eager scheme. This sweep
+//! quantifies the trade-off on the HAR workload.
+//!
+//! ```text
+//! cargo run --release -p ehdl-bench --bin monitor_sensitivity
+//! ```
+
+use ehdl::ace::{AceProgram, QuantizedModel};
+use ehdl::device::VoltageMonitor;
+use ehdl::flex::strategies;
+use ehdl::prelude::*;
+use ehdl_bench::section;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let q = QuantizedModel::from_model(&ehdl::nn::zoo::har())?;
+    let ace = AceProgram::compile(&q)?;
+    let flex = strategies::flex_program(&ace);
+    let (h, c) = ehdl::flex::compare::paper_supply();
+
+    // Worst-case single checkpoint, for the safety column.
+    let max_live = ace.ops().iter().map(|t| t.live_words).max().unwrap() as u64;
+    let board = Board::msp430fr5994();
+    let ckpt_j = board
+        .cost(&ehdl::device::DeviceOp::Checkpoint {
+            words: max_live + 4,
+        })
+        .energy
+        .nanojoules()
+        * 1e-9;
+
+    section("Voltage-monitor warn-threshold sweep (HAR, FLEX, 15 µF / 2 mW)");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "warn (V)", "margin µJ", "safe?", "outages", "ckpts", "wasted", "ckpt %"
+    );
+    for warn in [1.85f64, 1.9, 2.0, 2.2, 2.5, 2.8] {
+        let monitor = VoltageMonitor::new(warn, 1.8);
+        let margin_j = monitor.margin_energy_joules(c.farads());
+        let mut board = Board::msp430fr5994();
+        board.set_monitor(monitor);
+        let mut supply = PowerSupply::new(h.clone(), c.clone());
+        let report = IntermittentExecutor::default().run(&flex, &mut board, &mut supply);
+        assert!(report.completed(), "warn {warn}: {report}");
+        println!(
+            "{:<10.2} {:>12.2} {:>10} {:>10} {:>12} {:>10} {:>9.2}%",
+            warn,
+            margin_j * 1e6,
+            if margin_j > ckpt_j { "yes" } else { "NO" },
+            report.outages,
+            report.ondemand_checkpoints,
+            report.wasted_ops,
+            100.0 * report.checkpoint_overhead()
+        );
+    }
+    println!(
+        "\nReading: the margin must exceed the worst-case checkpoint ({:.2} µJ here)\n\
+         for the on-demand commit to be guaranteed; raising the threshold beyond\n\
+         that only grows checkpoint traffic (toward eager-scheme overhead) without\n\
+         reducing wasted work. The default warn level (2.0 V) sits just above the\n\
+         safety line — the paper's 0.033 mJ bound plays exactly this role.",
+        ckpt_j * 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Table I: BCM compression for a 512×512 fully connected layer.
+//!
+//! ```text
+//! cargo run --release -p ehdl-bench --bin table1_bcm_compression
+//! ```
+
+use ehdl::compress::bcm;
+
+fn main() {
+    ehdl_bench::section("Table I — BCM compression, 512x512 FC kernel");
+    println!(
+        "{:<12} {:>12} {:>18} {:>20} {:>20}",
+        "Block size", "Kernel B", "Compressed B", "Reduction (meas.)", "Reduction (paper)"
+    );
+    let paper = [93.75, 96.87, 98.43, 99.21, 99.60];
+    for (row, paper_pct) in bcm::table1().iter().zip(paper) {
+        println!(
+            "{:<12} {:>12} {:>18} {:>19.2}% {:>19.2}%",
+            row.block, row.dense_bytes, row.compressed_bytes, row.reduction_percent, paper_pct
+        );
+        assert!(
+            (row.reduction_percent - paper_pct).abs() < 0.01,
+            "Table I row {} diverged",
+            row.block
+        );
+    }
+    println!("\nAll five rows match the paper exactly (same arithmetic).");
+
+    // Bonus: the actual FC kernels of the Table II models.
+    ehdl_bench::section("BCM rows for the paper's own FC layers (Table II)");
+    println!(
+        "{:<28} {:>10} {:>16} {:>14}",
+        "layer", "block", "compressed B", "reduction"
+    );
+    for (name, rows, cols, block) in [
+        ("mnist FC1 256x256", 256usize, 256usize, 128usize),
+        ("har FC1 3520x128", 128, 3520, 128),
+        ("har FC2 128x64", 64, 128, 64),
+        ("okg FC1 3456x512", 512, 3456, 256),
+        ("okg FC2 512x256", 256, 512, 128),
+        ("okg FC3 256x128", 128, 256, 64),
+    ] {
+        let row = bcm::storage_row(rows, cols, block);
+        println!(
+            "{:<28} {:>10} {:>16} {:>13.2}%",
+            name, block, row.compressed_bytes, row.reduction_percent
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! # ehdl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index) plus Criterion microbenches for the hot kernels. The binaries
+//! print the same rows/series the paper reports, with the paper's
+//! numbers alongside for comparison; EXPERIMENTS.md records a captured
+//! run.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1_bcm_compression` | Table I |
+//! | `table2_models` | Table II |
+//! | `fig7a_continuous` | Figure 7(a) |
+//! | `fig7b_intermittent` | Figure 7(b) |
+//! | `fig7c_energy` | Figure 7(c) |
+//! | `fig8_fc_blocksize` | Figure 8(a,b) |
+//! | `checkpoint_overhead` | §IV-A.5 |
+//! | `fig6_rollback_demo` | Figure 6 (mechanism) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ehdl::datasets::Dataset;
+use ehdl::nn::{Model, Tensor};
+
+/// Prints a separator header for a report section.
+pub fn section(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Formats a reproduced-vs-paper factor pair.
+pub fn vs_paper(label: &str, measured: f64, paper: f64) -> String {
+    format!("{label}: measured {measured:.2}x (paper {paper:.1}x)")
+}
+
+/// Training pairs from a dataset.
+pub fn pairs_of(data: &Dataset) -> Vec<(Tensor, usize)> {
+    data.samples()
+        .iter()
+        .map(|s| (s.input.clone(), s.label))
+        .collect()
+}
+
+/// The three Table II models with their synthetic datasets and the
+/// paper's reported accuracies.
+pub fn workloads(n: usize, seed: u64) -> Vec<(Model, Dataset, f64)> {
+    vec![
+        (ehdl::nn::zoo::mnist(), ehdl::datasets::mnist(n, seed), 0.99),
+        (ehdl::nn::zoo::har(), ehdl::datasets::har(n, seed), 0.89),
+        (ehdl::nn::zoo::okg(), ehdl::datasets::okg(n, seed), 0.82),
+    ]
+}
+
+/// `--quick` flag helper for CI-friendly runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_cover_three_tasks() {
+        let w = workloads(6, 1);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].1.classes(), 10);
+        assert_eq!(w[1].1.classes(), 6);
+        assert_eq!(w[2].1.classes(), 12);
+    }
+
+    #[test]
+    fn vs_paper_formats() {
+        let s = vs_paper("speedup", 3.9, 4.0);
+        assert!(s.contains("3.90x") && s.contains("4.0x"));
+    }
+
+    #[test]
+    fn pairs_match_dataset_len() {
+        let d = ehdl::datasets::har(10, 2);
+        assert_eq!(pairs_of(&d).len(), 10);
+    }
+}

@@ -1,0 +1,355 @@
+//! ADMM-regularized optimization for structured constraints.
+//!
+//! The paper (Eq. 1) casts structured pruning as
+//!
+//! ```text
+//! minimize  F({W_i}, {b_i})   subject to   W_i ∈ S_i
+//! ```
+//!
+//! solved with the ADMM-NN recipe: introduce auxiliary variables `Z` and
+//! scaled duals `U`, then alternate
+//!
+//! 1. `W ← argmin F(W) + ρ/2‖W − Z + U‖²`   (a training step with a
+//!    quadratic pull toward `Z − U`),
+//! 2. `Z ← Π_S(W + U)`                        (Euclidean projection onto
+//!    the constraint set),
+//! 3. `U ← U + W − Z`                         (dual ascent).
+//!
+//! This module owns the structure-agnostic state machine; the projections
+//! come from [`pruning`](crate::pruning) / [`bcm`](crate::bcm), and
+//! `ehdl-train` supplies the gradient of `F`.
+
+/// Euclidean projector onto a constraint set.
+pub trait Projector {
+    /// Returns the closest member of the constraint set to `w`.
+    fn project(&self, w: &[f32]) -> Vec<f32>;
+}
+
+/// Projection onto "at most `keep` nonzero *positions*, shared across
+/// `groups` equal-length groups" — the shape-pruning set. For a conv
+/// layer, `groups` is the number of filters and positions are kernel
+/// coordinates; the projection zeroes the weakest positions by group-wise
+/// L2 norm (the Euclidean-optimal choice for group sparsity).
+#[derive(Debug, Clone)]
+pub struct ShapePruneProjector {
+    /// Number of equal-length groups (filters).
+    pub groups: usize,
+    /// Positions to keep.
+    pub keep: usize,
+}
+
+impl Projector for ShapePruneProjector {
+    fn project(&self, w: &[f32]) -> Vec<f32> {
+        assert!(self.groups > 0, "need at least one group");
+        assert_eq!(w.len() % self.groups, 0, "weights not divisible by groups");
+        let positions = w.len() / self.groups;
+        let keep = self.keep.clamp(1, positions);
+        let mut norms: Vec<(usize, f64)> = (0..positions)
+            .map(|k| {
+                let sum: f64 = (0..self.groups)
+                    .map(|g| {
+                        let v = w[g * positions + k] as f64;
+                        v * v
+                    })
+                    .sum();
+                (k, sum)
+            })
+            .collect();
+        norms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+        let mut mask = vec![false; positions];
+        for &(k, _) in norms.iter().take(keep) {
+            mask[k] = true;
+        }
+        let mut out = w.to_vec();
+        for g in 0..self.groups {
+            for k in 0..positions {
+                if !mask[k] {
+                    out[g * positions + k] = 0.0;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Projection onto the block-circulant set for a flattened `out×in`
+/// matrix: every `block×block` sub-matrix is replaced by its nearest
+/// circulant (diagonal means).
+#[derive(Debug, Clone)]
+pub struct BcmProjector {
+    /// Matrix rows.
+    pub out_dim: usize,
+    /// Matrix columns.
+    pub in_dim: usize,
+    /// Circulant block size.
+    pub block: usize,
+}
+
+impl Projector for BcmProjector {
+    fn project(&self, w: &[f32]) -> Vec<f32> {
+        assert_eq!(w.len(), self.out_dim * self.in_dim, "weight length mismatch");
+        let b = self.block;
+        let rows_b = self.out_dim.div_ceil(b);
+        let cols_b = self.in_dim.div_ceil(b);
+        let mut out = w.to_vec();
+        for rb in 0..rows_b {
+            for cb in 0..cols_b {
+                // Mean over each diagonal d = (i - j) mod b, counting only
+                // in-range cells.
+                let mut sums = vec![0.0f64; b];
+                let mut counts = vec![0usize; b];
+                for bi in 0..b {
+                    let r = rb * b + bi;
+                    if r >= self.out_dim {
+                        continue;
+                    }
+                    for bj in 0..b {
+                        let c = cb * b + bj;
+                        if c >= self.in_dim {
+                            continue;
+                        }
+                        let d = (b + bi - bj) % b;
+                        sums[d] += w[r * self.in_dim + c] as f64;
+                        counts[d] += 1;
+                    }
+                }
+                let means: Vec<f32> = sums
+                    .iter()
+                    .zip(&counts)
+                    .map(|(&s, &n)| if n == 0 { 0.0 } else { (s / n as f64) as f32 })
+                    .collect();
+                for bi in 0..b {
+                    let r = rb * b + bi;
+                    if r >= self.out_dim {
+                        continue;
+                    }
+                    for bj in 0..b {
+                        let c = cb * b + bj;
+                        if c >= self.in_dim {
+                            continue;
+                        }
+                        out[r * self.in_dim + c] = means[(b + bi - bj) % b];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// ADMM state for one constrained weight tensor.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_compress::admm::{AdmmState, Projector, ShapePruneProjector};
+///
+/// let w = vec![1.0, 0.1, 0.9, 0.2]; // 2 groups x 2 positions
+/// let projector = ShapePruneProjector { groups: 2, keep: 1 };
+/// let mut admm = AdmmState::new(&w, 0.1);
+/// admm.update_auxiliary(&w, &projector);
+/// // The regularization target pulls W toward the projected Z.
+/// assert_eq!(admm.z().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmmState {
+    z: Vec<f32>,
+    u: Vec<f32>,
+    rho: f32,
+}
+
+impl AdmmState {
+    /// Initializes `Z = W`, `U = 0` with penalty `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not positive.
+    pub fn new(w: &[f32], rho: f32) -> Self {
+        assert!(rho > 0.0, "rho must be positive");
+        AdmmState {
+            z: w.to_vec(),
+            u: vec![0.0; w.len()],
+            rho,
+        }
+    }
+
+    /// The auxiliary (projected) variable.
+    pub fn z(&self) -> &[f32] {
+        &self.z
+    }
+
+    /// The scaled dual variable.
+    pub fn u(&self) -> &[f32] {
+        &self.u
+    }
+
+    /// The penalty parameter ρ.
+    pub fn rho(&self) -> f32 {
+        self.rho
+    }
+
+    /// Gradient of the augmented term `ρ/2‖W − Z + U‖²` with respect to
+    /// `W` — added to the task-loss gradient during the W-update.
+    pub fn penalty_grad(&self, w: &[f32]) -> Vec<f32> {
+        assert_eq!(w.len(), self.z.len(), "dimension changed mid-ADMM");
+        w.iter()
+            .zip(self.z.iter().zip(&self.u))
+            .map(|(&wi, (&zi, &ui))| self.rho * (wi - zi + ui))
+            .collect()
+    }
+
+    /// The Z- and U-updates: `Z ← Π_S(W + U)`, `U ← U + W − Z`.
+    pub fn update_auxiliary<P: Projector + ?Sized>(&mut self, w: &[f32], projector: &P) {
+        assert_eq!(w.len(), self.z.len(), "dimension changed mid-ADMM");
+        let wu: Vec<f32> = w.iter().zip(&self.u).map(|(&a, &b)| a + b).collect();
+        self.z = projector.project(&wu);
+        for ((ui, &wi), &zi) in self.u.iter_mut().zip(w).zip(&self.z) {
+            *ui += wi - zi;
+        }
+    }
+
+    /// Primal residual `‖W − Z‖` — convergence indicator.
+    pub fn primal_residual(&self, w: &[f32]) -> f64 {
+        w.iter()
+            .zip(&self.z)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Solves `min ½‖W − target‖²  s.t.  W ∈ S` by ADMM with the exact
+/// quadratic W-update. Used by tests and by RAD's post-training "snap to
+/// structure" step; returns the converged `W` (which lies in `S` after
+/// the final projection).
+pub fn admm_quadratic<P: Projector + ?Sized>(
+    target: &[f32],
+    projector: &P,
+    rho: f32,
+    iterations: usize,
+) -> Vec<f32> {
+    let mut state = AdmmState::new(target, rho);
+    let mut w = target.to_vec();
+    for _ in 0..iterations {
+        // Exact W-update: argmin ½|w-t|² + ρ/2|w-z+u|² = (t + ρ(z-u))/(1+ρ).
+        for (i, wi) in w.iter_mut().enumerate() {
+            *wi = (target[i] + rho * (state.z[i] - state.u[i])) / (1.0 + rho);
+        }
+        state.update_auxiliary(&w, projector);
+    }
+    state.z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_projector_zeroes_weak_positions() {
+        let w = vec![1.0, 0.1, 0.9, 0.2]; // 2 groups x 2 positions
+        let p = ShapePruneProjector { groups: 2, keep: 1 };
+        let z = p.project(&w);
+        assert_eq!(z, vec![1.0, 0.0, 0.9, 0.0]);
+    }
+
+    #[test]
+    fn shape_projection_is_idempotent() {
+        let w = vec![1.0, 0.0, 0.9, 0.0];
+        let p = ShapePruneProjector { groups: 2, keep: 1 };
+        assert_eq!(p.project(&w), w);
+    }
+
+    #[test]
+    fn bcm_projector_produces_circulant_blocks() {
+        let w: Vec<f32> = (0..16).map(|v| v as f32).collect(); // 4x4, block 2
+        let p = BcmProjector {
+            out_dim: 4,
+            in_dim: 4,
+            block: 2,
+        };
+        let z = p.project(&w);
+        // Each 2x2 block must be circulant: z[r][c] depends on (r-c) mod 2.
+        for rb in 0..2 {
+            for cb in 0..2 {
+                let a = z[(rb * 2) * 4 + cb * 2]; // (0,0) of block
+                let d = z[(rb * 2 + 1) * 4 + cb * 2 + 1]; // (1,1)
+                assert_eq!(a, d, "main diagonal equal");
+                let b = z[(rb * 2) * 4 + cb * 2 + 1]; // (0,1)
+                let c = z[(rb * 2 + 1) * 4 + cb * 2]; // (1,0)
+                assert_eq!(b, c, "off diagonal equal");
+            }
+        }
+    }
+
+    #[test]
+    fn bcm_projection_is_idempotent() {
+        let w: Vec<f32> = (0..16).map(|v| (v as f32 * 0.37).sin()).collect();
+        let p = BcmProjector {
+            out_dim: 4,
+            in_dim: 4,
+            block: 4,
+        };
+        let z1 = p.project(&w);
+        let z2 = p.project(&z1);
+        for (a, b) in z1.iter().zip(&z2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn admm_quadratic_converges_to_constraint_set() {
+        let target = vec![1.0, 0.3, -0.8, 0.25, 0.9, 0.31, -0.7, 0.26];
+        let p = ShapePruneProjector { groups: 2, keep: 2 };
+        let w = admm_quadratic(&target, &p, 0.5, 60);
+        // Result is in the set (projection of itself).
+        let reproj = p.project(&w);
+        for (a, b) in w.iter().zip(&reproj) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // And close to the direct projection of the target (the optimum).
+        let direct = p.project(&target);
+        for (a, b) in w.iter().zip(&direct) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn primal_residual_shrinks_over_iterations() {
+        let target: Vec<f32> = (0..32).map(|v| ((v * 13 % 17) as f32 - 8.0) / 8.0).collect();
+        let p = BcmProjector {
+            out_dim: 8,
+            in_dim: 4,
+            block: 4,
+        };
+        let mut state = AdmmState::new(&target, 0.5);
+        let mut w = target.clone();
+        let mut residuals = Vec::new();
+        for _ in 0..30 {
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi = (target[i] + 0.5 * (state.z()[i] - state.u()[i])) / 1.5;
+            }
+            state.update_auxiliary(&w, &p);
+            residuals.push(state.primal_residual(&w));
+        }
+        assert!(residuals.last().unwrap() < &(residuals[0] * 0.2 + 1e-6));
+    }
+
+    #[test]
+    fn penalty_grad_points_toward_z_minus_u() {
+        let w = vec![1.0, -1.0];
+        let mut state = AdmmState::new(&w, 2.0);
+        state.z = vec![0.0, 0.0];
+        state.u = vec![0.0, 0.0];
+        let g = state.penalty_grad(&w);
+        assert_eq!(g, vec![2.0, -2.0]); // rho * (w - z + u)
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be positive")]
+    fn non_positive_rho_panics() {
+        let _ = AdmmState::new(&[1.0], 0.0);
+    }
+}

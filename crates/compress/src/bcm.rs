@@ -1,0 +1,319 @@
+//! Block-circulant compression of fully-connected layers.
+
+use ehdl_dsp::circulant;
+use ehdl_nn::{BcmDense, Dense, Layer, Model, WeightRng};
+
+/// One row of the paper's Table I: storage of an FC kernel before and
+/// after BCM compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageRow {
+    /// Rows of the weight matrix.
+    pub rows: usize,
+    /// Columns of the weight matrix.
+    pub cols: usize,
+    /// Circulant block size.
+    pub block: usize,
+    /// Dense storage in bytes (4-byte floats, as Table I counts).
+    pub dense_bytes: usize,
+    /// Compressed storage in bytes.
+    pub compressed_bytes: usize,
+    /// `100·(1 − compressed/dense)`.
+    pub reduction_percent: f64,
+}
+
+/// Computes one Table I row for an FC kernel of `rows×cols` at the given
+/// block size, using Table I's 4-byte-per-weight accounting.
+///
+/// # Panics
+///
+/// Panics if `block` is zero.
+pub fn storage_row(rows: usize, cols: usize, block: usize) -> StorageRow {
+    assert!(block > 0, "block must be non-zero");
+    let dense_bytes = rows * cols * 4;
+    let blocks = rows.div_ceil(block) * cols.div_ceil(block);
+    let compressed_bytes = blocks * block * 4;
+    StorageRow {
+        rows,
+        cols,
+        block,
+        dense_bytes,
+        compressed_bytes,
+        reduction_percent: 100.0 * (1.0 - compressed_bytes as f64 / dense_bytes as f64),
+    }
+}
+
+/// The full Table I: a 512×512 kernel at blocks 16, 32, 64, 128, 256.
+pub fn table1() -> Vec<StorageRow> {
+    [16, 32, 64, 128, 256]
+        .iter()
+        .map(|&b| storage_row(512, 512, b))
+        .collect()
+}
+
+/// Projects a dense layer onto the nearest block-circulant layer in the
+/// Frobenius norm: each `block×block` sub-matrix is replaced by the
+/// circulant whose diagonals are the sub-matrix's diagonal means.
+///
+/// Out-of-range cells of a padded edge block are treated as zeros, so the
+/// projection stays Frobenius-optimal for the real (unpadded) matrix.
+///
+/// # Panics
+///
+/// Panics if `block` is not a power of two (the FFT execution path
+/// requires it).
+pub fn project_dense_to_bcm(dense: &Dense, block: usize) -> BcmDense {
+    assert!(block.is_power_of_two(), "block must be a power of two");
+    let (out_dim, in_dim) = (dense.out_dim(), dense.in_dim());
+    let mut rng = WeightRng::new(0); // placeholder init, immediately overwritten
+    let mut bcm = BcmDense::new(in_dim, out_dim, block, &mut rng);
+    let w = dense.weights();
+
+    for rb in 0..bcm.rows_b() {
+        for cb in 0..bcm.cols_b() {
+            // Gather the block (zeros beyond the matrix edge).
+            let mut sub = vec![vec![0.0f64; block]; block];
+            for (bi, row) in sub.iter_mut().enumerate() {
+                let r = rb * block + bi;
+                if r >= out_dim {
+                    continue;
+                }
+                for (bj, cell) in row.iter_mut().enumerate() {
+                    let c = cb * block + bj;
+                    if c < in_dim {
+                        *cell = w[r * in_dim + c] as f64;
+                    }
+                }
+            }
+            let first_col = circulant::project_to_circulant(&sub);
+            let dst = bcm.block_at_mut(rb, cb);
+            for (d, s) in dst.iter_mut().zip(&first_col) {
+                *d = *s as f32;
+            }
+        }
+    }
+    bcm.bias_mut().copy_from_slice(dense.bias());
+    bcm
+}
+
+/// Frobenius distance between a dense layer and a BCM layer of the same
+/// dimensions — the projection residual RAD monitors during training.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn projection_residual(dense: &Dense, bcm: &BcmDense) -> f64 {
+    assert_eq!(dense.out_dim(), bcm.out_dim(), "out_dim mismatch");
+    assert_eq!(dense.in_dim(), bcm.in_dim(), "in_dim mismatch");
+    let dw = dense.weights();
+    let bw = bcm.to_dense_weights();
+    dw.iter()
+        .zip(&bw)
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Per-layer instructions for compressing a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionPlan {
+    /// `(layer index, block size)` for every Dense layer to convert to BCM.
+    pub bcm_layers: Vec<(usize, usize)>,
+    /// `(layer index, keep fraction numerator/denominator)` for conv
+    /// shape pruning, e.g. `(3, 1, 2)` keeps half the kernel positions.
+    pub prune_layers: Vec<(usize, usize, usize)>,
+}
+
+impl CompressionPlan {
+    /// An empty plan (no compression).
+    pub fn none() -> Self {
+        CompressionPlan {
+            bcm_layers: Vec::new(),
+            prune_layers: Vec::new(),
+        }
+    }
+}
+
+/// Applies a compression plan: converts the selected Dense layers to BCM
+/// (by projection) and installs magnitude-based shape masks on the
+/// selected conv layers.
+///
+/// # Errors
+///
+/// Returns a message naming the offending layer if an index does not
+/// refer to a layer of the right kind.
+pub fn compress_model(model: &Model, plan: &CompressionPlan) -> Result<Model, String> {
+    let mut layers: Vec<Layer> = model.layers().to_vec();
+
+    for &(idx, block) in &plan.bcm_layers {
+        match layers.get(idx) {
+            Some(Layer::Dense(d)) => {
+                let bcm = project_dense_to_bcm(d, block);
+                layers[idx] = Layer::BcmDense(bcm);
+            }
+            Some(other) => {
+                return Err(format!(
+                    "layer {idx} is {}, expected dense for BCM conversion",
+                    other.name()
+                ))
+            }
+            None => return Err(format!("layer index {idx} out of range")),
+        }
+    }
+
+    for &(idx, keep_num, keep_den) in &plan.prune_layers {
+        match layers.get_mut(idx) {
+            Some(Layer::Conv2d(c)) => {
+                let mask =
+                    crate::pruning::magnitude_shape_mask(c, keep_num as f64 / keep_den as f64);
+                c.set_kernel_mask(mask);
+            }
+            Some(other) => {
+                return Err(format!(
+                    "layer {idx} is {}, expected conv2d for pruning",
+                    other.name()
+                ))
+            }
+            None => return Err(format!("layer index {idx} out of range")),
+        }
+    }
+
+    let mut builder = Model::builder(model.name().to_string(), model.input_shape());
+    for layer in layers {
+        builder = builder.layer(layer);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+// Test-only helper: expose Dense::forward through the Layer wrapper.
+#[cfg(test)]
+trait DenseForward {
+    fn forward_public(&self, x: &ehdl_nn::Tensor) -> Vec<f32>;
+}
+
+#[cfg(test)]
+impl DenseForward for Dense {
+    fn forward_public(&self, x: &ehdl_nn::Tensor) -> Vec<f32> {
+        Layer::Dense(self.clone())
+            .forward(x)
+            .expect("dense forward")
+            .into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::Tensor;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let rows = table1();
+        let expected: [(usize, usize, f64); 5] = [
+            (16, 65536, 93.75),
+            (32, 32768, 96.875),
+            (64, 16384, 98.4375),
+            (128, 8192, 99.21875),
+            (256, 4096, 99.609375),
+        ];
+        assert_eq!(rows.len(), 5);
+        for (row, (block, bytes, pct)) in rows.iter().zip(expected) {
+            assert_eq!(row.dense_bytes, 1_048_576);
+            assert_eq!(row.block, block);
+            assert_eq!(row.compressed_bytes, bytes);
+            assert!((row.reduction_percent - pct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projecting_a_circulant_matrix_is_lossless() {
+        let mut rng = WeightRng::new(5);
+        let bcm_src = BcmDense::new(8, 8, 4, &mut rng);
+        let mut dense = Dense::new(8, 8, &mut rng);
+        dense
+            .weights_mut()
+            .copy_from_slice(&bcm_src.to_dense_weights());
+        let projected = project_dense_to_bcm(&dense, 4);
+        assert!(projection_residual(&dense, &projected) < 1e-5);
+    }
+
+    #[test]
+    fn projection_reduces_residual_vs_random_bcm() {
+        let mut rng = WeightRng::new(6);
+        let dense = Dense::new(16, 16, &mut rng);
+        let projected = project_dense_to_bcm(&dense, 4);
+        let random = BcmDense::new(16, 16, 4, &mut rng);
+        assert!(
+            projection_residual(&dense, &projected) < projection_residual(&dense, &random)
+        );
+    }
+
+    #[test]
+    fn projected_layer_approximates_dense_outputs() {
+        let mut rng = WeightRng::new(7);
+        // A dense layer whose weights are nearly circulant plus noise.
+        let bcm_src = BcmDense::new(8, 8, 8, &mut rng);
+        let mut w = bcm_src.to_dense_weights();
+        for (i, v) in w.iter_mut().enumerate() {
+            *v += ((i % 7) as f32 - 3.0) * 1e-3;
+        }
+        let mut dense = Dense::new(8, 8, &mut rng);
+        dense.weights_mut().copy_from_slice(&w);
+        let projected = project_dense_to_bcm(&dense, 8);
+
+        let x = Tensor::from_vec((0..8).map(|v| v as f32 * 0.1 - 0.4).collect(), &[8]).unwrap();
+        let yd = dense.forward_public(&x);
+        let yb = Layer::BcmDense(projected).forward(&x).unwrap();
+        for (a, b) in yd.iter().zip(yb.as_slice()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compress_model_converts_and_prunes() {
+        let mut rng = WeightRng::new(8);
+        let model = Model::builder("t", &[1, 6, 6])
+            .layer(Layer::Conv2d(ehdl_nn::Conv2d::new(2, 1, 3, 3, &mut rng)))
+            .layer(Layer::Flatten)
+            .layer(Layer::Dense(Dense::new(32, 16, &mut rng)))
+            .layer(Layer::Dense(Dense::new(16, 4, &mut rng)))
+            .build()
+            .unwrap();
+        let plan = CompressionPlan {
+            bcm_layers: vec![(2, 8)],
+            prune_layers: vec![(0, 1, 2)],
+        };
+        let compressed = compress_model(&model, &plan).unwrap();
+        assert!(matches!(compressed.layers()[2], Layer::BcmDense(_)));
+        let Layer::Conv2d(c) = &compressed.layers()[0] else {
+            panic!()
+        };
+        assert!(c.kept_positions() * 2 <= c.kernel_mask().len() + 1);
+        assert!(compressed.param_count() < model.param_count());
+    }
+
+    #[test]
+    fn compress_model_rejects_wrong_layer_kind() {
+        let mut rng = WeightRng::new(9);
+        let model = Model::builder("t", &[4])
+            .layer(Layer::Dense(Dense::new(4, 4, &mut rng)))
+            .build()
+            .unwrap();
+        let plan = CompressionPlan {
+            bcm_layers: vec![(0, 4)],
+            prune_layers: vec![(0, 1, 2)], // layer 0 is dense, not conv
+        };
+        let err = compress_model(&model, &plan).unwrap_err();
+        assert!(err.contains("expected conv2d"));
+    }
+
+    #[test]
+    fn storage_row_handles_padding() {
+        // 100x100 at block 64: 2x2 blocks of 64 = 16384 stored weights.
+        let row = storage_row(100, 100, 64);
+        assert_eq!(row.compressed_bytes, 2 * 2 * 64 * 4);
+        assert!(row.reduction_percent > 0.0);
+    }
+}

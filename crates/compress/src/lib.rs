@@ -1,0 +1,42 @@
+//! # ehdl-compress — RAD: resource-aware structured DNN compression
+//!
+//! RAD (§III-A) prepares a model for an energy-harvesting device offline:
+//!
+//! * [`bcm`] — block-circulant compression of FC layers: projection of
+//!   dense weights onto the BCM set, conversion of [`Dense`] layers to
+//!   [`BcmDense`], and the storage accounting behind **Table I**,
+//! * [`pruning`] — structured (kernel-shape) pruning of CONV layers with
+//!   magnitude-based mask selection,
+//! * [`admm`] — the ADMM-regularized optimization (Eq. 1) that drives
+//!   weights toward the structured constraint set during training,
+//! * [`quantize`] — the 16-bit fixed-point mapping `B = A·2^(b-1)` with
+//!   error reporting,
+//! * [`normalize`] — range calibration into `[-1, 1]` plus cosine
+//!   normalization, RAD's defense against fixed-point overflow,
+//! * [`search`] — resource-aware architecture search: reject candidates
+//!   whose quantized footprint misses the FRAM budget or whose estimated
+//!   latency misses the deadline.
+//!
+//! [`Dense`]: ehdl_nn::Dense
+//! [`BcmDense`]: ehdl_nn::BcmDense
+//!
+//! # Example
+//!
+//! ```
+//! use ehdl_compress::bcm;
+//!
+//! // Table I, row "block 128": a 512x512 FC kernel shrinks 128x.
+//! let row = bcm::storage_row(512, 512, 128);
+//! assert_eq!(row.compressed_bytes, 8192);
+//! assert!((row.reduction_percent - 99.21875).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admm;
+pub mod bcm;
+pub mod normalize;
+pub mod pruning;
+pub mod quantize;
+pub mod search;

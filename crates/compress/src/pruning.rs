@@ -1,0 +1,198 @@
+//! Structured (kernel-shape) pruning of CONV layers.
+//!
+//! §II: structured pruning removes "entire filters, channels, or filter
+//! shapes from the weight matrix", keeping the pruned matrix regular so
+//! no index metadata is needed on device. RAD uses the **filter shape**
+//! variant on the CONV layers (Table II: "Structured Pruning 2x" on the
+//! MNIST conv2): one mask over kernel positions, shared by all filters,
+//! so the per-window MAC simply gets shorter.
+
+use ehdl_nn::Conv2d;
+
+/// Builds a shape mask keeping the `keep_fraction` of kernel positions
+/// with the largest L2 norm across filters.
+///
+/// The returned mask has `in_ch·kh·kw` flags; at least one position is
+/// always kept.
+///
+/// # Panics
+///
+/// Panics if `keep_fraction` is not within `(0, 1]`.
+pub fn magnitude_shape_mask(conv: &Conv2d, keep_fraction: f64) -> Vec<bool> {
+    assert!(
+        keep_fraction > 0.0 && keep_fraction <= 1.0,
+        "keep_fraction must be in (0, 1]"
+    );
+    let positions = conv.in_ch() * conv.kh() * conv.kw();
+    let per_filter = positions;
+    let w = conv.weights();
+
+    // L2 norm of each kernel position across all output filters.
+    let mut norms: Vec<(usize, f64)> = (0..positions)
+        .map(|k| {
+            let sum: f64 = (0..conv.out_ch())
+                .map(|o| {
+                    let v = w[o * per_filter + k] as f64;
+                    v * v
+                })
+                .sum();
+            (k, sum)
+        })
+        .collect();
+    norms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+
+    let keep = ((positions as f64 * keep_fraction).round() as usize).clamp(1, positions);
+    let mut mask = vec![false; positions];
+    for &(k, _) in norms.iter().take(keep) {
+        mask[k] = true;
+    }
+    mask
+}
+
+/// Per-filter L2 norms — the ranking used for whole-filter pruning
+/// (provided for the ablation benches; Table II's models use shape
+/// pruning to preserve downstream dimensions).
+pub fn filter_norms(conv: &Conv2d) -> Vec<f64> {
+    let per_filter = conv.in_ch() * conv.kh() * conv.kw();
+    let w = conv.weights();
+    (0..conv.out_ch())
+        .map(|o| {
+            w[o * per_filter..(o + 1) * per_filter]
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+/// Summary of one layer's pruning outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneReport {
+    /// Kernel positions before pruning.
+    pub total_positions: usize,
+    /// Kernel positions kept.
+    pub kept_positions: usize,
+    /// Weights removed across all filters.
+    pub weights_removed: usize,
+    /// Achieved compression factor (`total/kept`).
+    pub compression: f64,
+}
+
+/// Prunes a conv layer in place to the given keep fraction and reports
+/// the outcome.
+///
+/// # Panics
+///
+/// Panics if `keep_fraction` is not within `(0, 1]`.
+pub fn prune_conv_shape(conv: &mut Conv2d, keep_fraction: f64) -> PruneReport {
+    let mask = magnitude_shape_mask(conv, keep_fraction);
+    let total = mask.len();
+    conv.set_kernel_mask(mask);
+    let kept = conv.kept_positions();
+    PruneReport {
+        total_positions: total,
+        kept_positions: kept,
+        weights_removed: (total - kept) * conv.out_ch(),
+        compression: total as f64 / kept as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::{Tensor, WeightRng};
+
+    fn conv_with_known_norms() -> Conv2d {
+        let mut rng = WeightRng::new(11);
+        let mut conv = Conv2d::new(2, 1, 2, 2, &mut rng);
+        // Position norms across 2 filters: make position 3 strongest,
+        // then 0, then 2, then 1.
+        conv.weights_mut()
+            .copy_from_slice(&[0.5, 0.1, 0.2, 0.9, 0.5, 0.1, 0.2, 0.9]);
+        conv
+    }
+
+    #[test]
+    fn mask_keeps_strongest_positions() {
+        let conv = conv_with_known_norms();
+        let mask = magnitude_shape_mask(&conv, 0.5);
+        assert_eq!(mask, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn mask_always_keeps_at_least_one() {
+        let conv = conv_with_known_norms();
+        let mask = magnitude_shape_mask(&conv, 0.01);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 1);
+        assert!(mask[3]); // the strongest position survives
+    }
+
+    #[test]
+    fn keep_fraction_one_keeps_everything() {
+        let conv = conv_with_known_norms();
+        let mask = magnitude_shape_mask(&conv, 1.0);
+        assert!(mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn zero_fraction_panics() {
+        let conv = conv_with_known_norms();
+        let _ = magnitude_shape_mask(&conv, 0.0);
+    }
+
+    #[test]
+    fn prune_report_accounts_weights() {
+        let mut conv = conv_with_known_norms();
+        let report = prune_conv_shape(&mut conv, 0.5);
+        assert_eq!(report.total_positions, 4);
+        assert_eq!(report.kept_positions, 2);
+        assert_eq!(report.weights_removed, 4); // 2 positions * 2 filters
+        assert!((report.compression - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruned_conv_still_runs_and_masked_weights_are_dead() {
+        let mut rng = WeightRng::new(12);
+        let mut conv = Conv2d::new(16, 6, 5, 5, &mut rng);
+        let report = prune_conv_shape(&mut conv, 0.5);
+        assert_eq!(report.kept_positions, 75);
+        let x = Tensor::from_vec(vec![0.1; 6 * 8 * 8], &[6, 8, 8]).unwrap();
+        let layer = ehdl_nn::Layer::Conv2d(conv.clone());
+        let y1 = layer.forward(&x).unwrap();
+        // Perturbing a masked weight must not change the output.
+        let dead = conv
+            .kernel_mask()
+            .iter()
+            .position(|&m| !m)
+            .expect("something was pruned");
+        conv.weights_mut()[dead] = 1e6;
+        conv.apply_mask(); // device-side invariant: masked weights are zero
+        let y2 = ehdl_nn::Layer::Conv2d(conv).forward(&x).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice());
+    }
+
+    #[test]
+    fn filter_norms_rank_filters() {
+        let mut rng = WeightRng::new(13);
+        let mut conv = Conv2d::new(2, 1, 1, 2, &mut rng);
+        conv.weights_mut().copy_from_slice(&[3.0, 4.0, 0.1, 0.1]);
+        let norms = filter_norms(&conv);
+        assert!((norms[0] - 5.0).abs() < 1e-9);
+        assert!(norms[0] > norms[1]);
+    }
+
+    #[test]
+    fn pruning_preserves_output_shape() {
+        // The point of shape pruning: downstream dims are untouched.
+        let mut rng = WeightRng::new(14);
+        let mut conv = Conv2d::new(16, 6, 5, 5, &mut rng);
+        prune_conv_shape(&mut conv, 0.5);
+        let layer = ehdl_nn::Layer::Conv2d(conv);
+        assert_eq!(
+            layer.output_shape(&[6, 12, 12]).unwrap(),
+            vec![16, 8, 8]
+        );
+    }
+}

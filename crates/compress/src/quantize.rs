@@ -1,0 +1,135 @@
+//! 16-bit fixed-point quantization (`B = A · 2^(b-1)`, b = 16).
+
+use ehdl_fixed::Q15;
+
+/// Quantization parameters for one tensor: the value is stored as
+/// `Q15(value / scale)`, so `scale` is the largest representable
+/// magnitude.
+///
+/// RAD normalizes data into `[-1, 1]` *before* quantization (§III-A), so
+/// in the normalized pipeline `scale == 1.0`; the general form supports
+/// the unnormalized ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value represented by Q15 full scale.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Unit scale — the normalized pipeline.
+    pub const UNIT: QuantParams = QuantParams { scale: 1.0 };
+
+    /// Chooses the smallest power-of-two scale covering `max_abs` (power
+    /// of two so that rescaling on device is a shift, not a divide).
+    pub fn fit_pow2(max_abs: f32) -> Self {
+        if !(max_abs.is_finite()) || max_abs <= 1.0 {
+            return QuantParams::UNIT;
+        }
+        let exp = max_abs.log2().ceil() as i32;
+        QuantParams {
+            scale: 2.0f32.powi(exp),
+        }
+    }
+
+    /// Quantizes one value.
+    #[inline]
+    pub fn quantize(&self, v: f32) -> Q15 {
+        Q15::from_f32(v / self.scale)
+    }
+
+    /// Dequantizes one value.
+    #[inline]
+    pub fn dequantize(&self, q: Q15) -> f32 {
+        q.to_f32() * self.scale
+    }
+}
+
+/// Error statistics of a quantization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuantReport {
+    /// Largest absolute error.
+    pub max_abs_error: f32,
+    /// Mean absolute error.
+    pub mean_abs_error: f32,
+    /// Count of values clipped at the representable range.
+    pub clipped: usize,
+}
+
+/// Quantizes a slice, returning the codes and an error report.
+pub fn quantize_slice(data: &[f32], params: QuantParams) -> (Vec<Q15>, QuantReport) {
+    let mut report = QuantReport::default();
+    let mut sum_err = 0.0f64;
+    let codes: Vec<Q15> = data
+        .iter()
+        .map(|&v| {
+            let q = params.quantize(v);
+            let back = params.dequantize(q);
+            let err = (back - v).abs();
+            report.max_abs_error = report.max_abs_error.max(err);
+            sum_err += err as f64;
+            if v / params.scale > Q15::MAX.to_f32() || v / params.scale < -1.0 {
+                report.clipped += 1;
+            }
+            q
+        })
+        .collect();
+    if !data.is_empty() {
+        report.mean_abs_error = (sum_err / data.len() as f64) as f32;
+    }
+    (codes, report)
+}
+
+/// Dequantizes a slice.
+pub fn dequantize_slice(codes: &[Q15], params: QuantParams) -> Vec<f32> {
+    codes.iter().map(|&q| params.dequantize(q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scale_roundtrip_error_is_half_lsb() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 / 100.0) * 1.9 - 0.95).collect();
+        let (codes, report) = quantize_slice(&data, QuantParams::UNIT);
+        assert_eq!(codes.len(), 100);
+        assert!(report.max_abs_error <= 0.5 / 32768.0 + 1e-7);
+        assert_eq!(report.clipped, 0);
+    }
+
+    #[test]
+    fn out_of_range_values_clip() {
+        let data = vec![1.5, -2.0, 0.5];
+        let (_, report) = quantize_slice(&data, QuantParams::UNIT);
+        assert_eq!(report.clipped, 2);
+        assert!(report.max_abs_error > 0.4);
+    }
+
+    #[test]
+    fn fit_pow2_covers_range() {
+        let p = QuantParams::fit_pow2(3.7);
+        assert_eq!(p.scale, 4.0);
+        let q = p.quantize(3.7);
+        assert!((p.dequantize(q) - 3.7).abs() < 4.0 / 32768.0);
+        assert_eq!(QuantParams::fit_pow2(0.3), QuantParams::UNIT);
+        assert_eq!(QuantParams::fit_pow2(f32::NAN), QuantParams::UNIT);
+    }
+
+    #[test]
+    fn dequantize_inverts_quantize() {
+        let p = QuantParams::fit_pow2(8.0);
+        let data = vec![-7.5, 0.0, 3.25, 7.99];
+        let (codes, _) = quantize_slice(&data, p);
+        let back = dequantize_slice(&codes, p);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= p.scale / 32768.0);
+        }
+    }
+
+    #[test]
+    fn empty_slice_reports_zero() {
+        let (codes, report) = quantize_slice(&[], QuantParams::UNIT);
+        assert!(codes.is_empty());
+        assert_eq!(report.mean_abs_error, 0.0);
+    }
+}

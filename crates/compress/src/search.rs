@@ -1,0 +1,296 @@
+//! Resource-aware architecture search.
+//!
+//! §III-A: "The model must fit into the FRAM with acceptable inference
+//! time and accuracy. RAD's architecture search technology finds a
+//! suitable model and further compresses it." The search here is the
+//! honest version of that sentence: enumerate candidate topologies /
+//! compression settings, price each against the device budgets (FRAM
+//! bytes, SRAM buffer words, estimated latency), drop violators, and
+//! rank the survivors.
+
+use core::fmt;
+use ehdl_nn::{Layer, Model};
+
+/// The device budgets a candidate must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceConstraints {
+    /// FRAM available for the quantized model plus the two circular
+    /// activation buffers, in bytes.
+    pub fram_bytes: usize,
+    /// SRAM available for LEA staging buffers, in 16-bit words.
+    pub sram_words: usize,
+    /// Latency budget in estimated cycles (`None` = unconstrained).
+    pub max_cycles: Option<u64>,
+}
+
+impl ResourceConstraints {
+    /// The paper's board: 256 KB FRAM (minus a 16 KB system reserve),
+    /// 4096-word SRAM.
+    pub fn msp430fr5994() -> Self {
+        ResourceConstraints {
+            fram_bytes: 240 * 1024,
+            sram_words: 4096,
+            max_cycles: None,
+        }
+    }
+}
+
+/// A priced candidate.
+///
+/// Memory is split the way Figure 2 splits it: SRAM holds only the LEA
+/// **staging** buffers (operands of the current vector op), while the two
+/// circular activation buffers spill to FRAM scratch ("Intermediate
+/// results Buffer (SRAM overflow)").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Candidate label.
+    pub name: String,
+    /// Quantized model footprint in bytes.
+    pub model_bytes: usize,
+    /// FRAM scratch for the two circular activation buffers, in bytes.
+    pub fram_scratch_bytes: usize,
+    /// Peak LEA staging requirement in SRAM words.
+    pub sram_staging_words: usize,
+    /// Estimated inference cycles on the accelerator path.
+    pub est_cycles: u64,
+    /// Proxy accuracy in `[0, 1]` (validation accuracy when available,
+    /// or a capacity heuristic during early search).
+    pub accuracy_proxy: f64,
+}
+
+/// Why a candidate was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// Needs more FRAM than available.
+    FramExceeded {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Needs more SRAM than available.
+    SramExceeded {
+        /// Words required.
+        needed: usize,
+        /// Words available.
+        available: usize,
+    },
+    /// Estimated latency misses the deadline.
+    TooSlow {
+        /// Cycles estimated.
+        needed: u64,
+        /// Cycle budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::FramExceeded { needed, available } => {
+                write!(f, "FRAM exceeded: {needed} > {available} bytes")
+            }
+            Rejection::SramExceeded { needed, available } => {
+                write!(f, "SRAM exceeded: {needed} > {available} words")
+            }
+            Rejection::TooSlow { needed, budget } => {
+                write!(f, "too slow: {needed} > {budget} cycles")
+            }
+        }
+    }
+}
+
+/// Prices a model: footprint, buffer need and a coarse cycle estimate
+/// (LEA-accelerated path: one MAC per conv window, FFT pipeline per BCM
+/// block, one CPU pass per element for activations).
+pub fn price_model(model: &Model, accuracy_proxy: f64) -> Candidate {
+    let mut cycles: u64 = 0;
+    let mut staging_words: usize = 64; // scalar scratch floor
+    for (i, layer) in model.layers().iter().enumerate() {
+        let in_shape = model.layer_input_shape(i);
+        let out_shape = model.layer_output_shape(i);
+        let out_elems: u64 = out_shape.iter().product::<usize>() as u64;
+        match layer {
+            Layer::Conv2d(c) => {
+                // One LEA MAC of kept-length per output element.
+                let mac_len = c.kept_positions() as u64;
+                cycles += out_elems * (mac_len + 40);
+                // Window staging (DMA-ish, 2 cycles/word).
+                cycles += out_elems * mac_len * 2;
+                // SRAM: input window + weights for one MAC.
+                staging_words = staging_words.max(2 * c.kept_positions());
+            }
+            Layer::Dense(d) => {
+                cycles += d.out_dim() as u64 * (d.in_dim() as u64 + 40);
+                // SRAM: one weight row + the input vector, streamed.
+                staging_words = staging_words.max(2 * d.in_dim().min(1024));
+            }
+            Layer::BcmDense(d) => {
+                let b = d.block() as u64;
+                let fft = (b / 2) * (63 - b.leading_zeros() as u64).max(1) * 5 / 2 + 40;
+                let blocks = (d.rows_b() * d.cols_b()) as u64;
+                // Per block: FFT(x) + FFT(w) + CMPY + IFFT + moves.
+                cycles += blocks * (3 * fft + 4 * b + 8 * b);
+                // SRAM: cI, cW, cOut complex buffers = 3 * 2b words.
+                staging_words = staging_words.max(6 * d.block());
+            }
+            Layer::MaxPool2d { .. } | Layer::Relu | Layer::Softmax | Layer::Flatten => {
+                cycles += in_shape.iter().product::<usize>() as u64 * 2;
+            }
+        }
+    }
+    Candidate {
+        name: model.name().to_string(),
+        model_bytes: model.quantized_bytes(),
+        fram_scratch_bytes: 2 * model.max_activation_elems() * 2,
+        sram_staging_words: staging_words,
+        est_cycles: cycles,
+        accuracy_proxy,
+    }
+}
+
+/// Checks one candidate against the budgets.
+pub fn check(candidate: &Candidate, constraints: &ResourceConstraints) -> Result<(), Rejection> {
+    let fram_needed = candidate
+        .model_bytes
+        .saturating_add(candidate.fram_scratch_bytes);
+    if fram_needed > constraints.fram_bytes {
+        return Err(Rejection::FramExceeded {
+            needed: fram_needed,
+            available: constraints.fram_bytes,
+        });
+    }
+    if candidate.sram_staging_words > constraints.sram_words {
+        return Err(Rejection::SramExceeded {
+            needed: candidate.sram_staging_words,
+            available: constraints.sram_words,
+        });
+    }
+    if let Some(budget) = constraints.max_cycles {
+        if candidate.est_cycles > budget {
+            return Err(Rejection::TooSlow {
+                needed: candidate.est_cycles,
+                budget,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Searches a candidate set: drops budget violators, ranks survivors by
+/// accuracy proxy (descending) then latency (ascending). Returns the
+/// ranked survivors and the rejects with reasons.
+pub fn search(
+    candidates: Vec<Candidate>,
+    constraints: &ResourceConstraints,
+) -> (Vec<Candidate>, Vec<(Candidate, Rejection)>) {
+    let mut accepted = Vec::new();
+    let mut rejected = Vec::new();
+    for c in candidates {
+        match check(&c, constraints) {
+            Ok(()) => accepted.push(c),
+            Err(r) => rejected.push((c, r)),
+        }
+    }
+    accepted.sort_by(|a, b| {
+        b.accuracy_proxy
+            .partial_cmp(&a.accuracy_proxy)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(a.est_cycles.cmp(&b.est_cycles))
+    });
+    (accepted, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::zoo;
+
+    #[test]
+    fn table2_models_pass_fr5994_budgets() {
+        let constraints = ResourceConstraints::msp430fr5994();
+        for m in zoo::all() {
+            let c = price_model(&m, 0.9);
+            assert!(
+                check(&c, &constraints).is_ok(),
+                "{} rejected: {:?}",
+                m.name(),
+                check(&c, &constraints)
+            );
+        }
+    }
+
+    #[test]
+    fn uncompressed_okg_fc_would_blow_fram() {
+        // A dense 3456x512 layer alone: 1.77M params * 2 bytes = 3.5 MB.
+        let mut rng = ehdl_nn::WeightRng::new(31);
+        let model = ehdl_nn::Model::builder("okg-dense", &[3456])
+            .layer(Layer::Dense(ehdl_nn::Dense::new(3456, 512, &mut rng)))
+            .build()
+            .unwrap();
+        let c = price_model(&model, 0.9);
+        let err = check(&c, &ResourceConstraints::msp430fr5994()).unwrap_err();
+        assert!(matches!(err, Rejection::FramExceeded { .. }));
+    }
+
+    #[test]
+    fn latency_constraint_rejects_slow_candidates() {
+        let mnist = price_model(&zoo::mnist(), 0.99);
+        let tight = ResourceConstraints {
+            max_cycles: Some(mnist.est_cycles / 2),
+            ..ResourceConstraints::msp430fr5994()
+        };
+        assert!(matches!(
+            check(&mnist, &tight),
+            Err(Rejection::TooSlow { .. })
+        ));
+    }
+
+    #[test]
+    fn search_ranks_by_accuracy_then_speed() {
+        let mk = |name: &str, acc: f64, cycles: u64| Candidate {
+            name: name.into(),
+            model_bytes: 1000,
+            fram_scratch_bytes: 200,
+            sram_staging_words: 100,
+            est_cycles: cycles,
+            accuracy_proxy: acc,
+        };
+        let (accepted, rejected) = search(
+            vec![
+                mk("slow-accurate", 0.95, 10_000),
+                mk("fast-accurate", 0.95, 5_000),
+                mk("fast-sloppy", 0.80, 1_000),
+                Candidate {
+                    model_bytes: usize::MAX,
+                    ..mk("too-big", 0.99, 100)
+                },
+            ],
+            &ResourceConstraints::msp430fr5994(),
+        );
+        assert_eq!(accepted[0].name, "fast-accurate");
+        assert_eq!(accepted[1].name, "slow-accurate");
+        assert_eq!(accepted[2].name, "fast-sloppy");
+        assert_eq!(rejected.len(), 1);
+        assert!(rejected[0].1.to_string().contains("FRAM"));
+    }
+
+    #[test]
+    fn bcm_candidates_are_priced_cheaper_than_dense() {
+        // The same logical FC, dense vs BCM: BCM must estimate faster
+        // and smaller (the whole point of Figure 8).
+        let mut rng = ehdl_nn::WeightRng::new(32);
+        let dense = ehdl_nn::Model::builder("fc-dense", &[256])
+            .layer(Layer::Dense(ehdl_nn::Dense::new(256, 256, &mut rng)))
+            .build()
+            .unwrap();
+        let bcm = ehdl_nn::Model::builder("fc-bcm", &[256])
+            .layer(Layer::BcmDense(ehdl_nn::BcmDense::new(256, 256, 128, &mut rng)))
+            .build()
+            .unwrap();
+        let cd = price_model(&dense, 0.9);
+        let cb = price_model(&bcm, 0.9);
+        assert!(cb.model_bytes < cd.model_bytes / 50);
+        assert!(cb.est_cycles < cd.est_cycles);
+    }
+}

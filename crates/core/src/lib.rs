@@ -1,0 +1,73 @@
+//! # ehdl — fast deep learning on tiny energy-harvesting IoT devices
+//!
+//! A from-scratch Rust reproduction of *"Enabling Fast Deep Learning on
+//! Tiny Energy-Harvesting IoT Devices"* (DATE 2022): the **RAD**
+//! training/compression framework, the **ACE** accelerator-enabled
+//! runtime, and the **FLEX** intermittent-computation support, together
+//! with the MSP430FR5994-class device model and energy-harvesting
+//! environment they run on.
+//!
+//! The workspace crates are re-exported here under short names:
+//!
+//! | Module | Crate | Paper role |
+//! |---|---|---|
+//! | [`fixed`] | `ehdl-fixed` | Q15 arithmetic (§III-A quantization) |
+//! | [`dsp`] | `ehdl-dsp` | FFT/IFFT + circulant algebra (Algorithm 1) |
+//! | [`device`] | `ehdl-device` | MSP430FR5994 + LEA + DMA cost model |
+//! | [`ehsim`] | `ehdl-ehsim` | capacitor, harvester, intermittent executor |
+//! | [`nn`] | `ehdl-nn` | layers, models, Table II zoo |
+//! | [`compress`] | `ehdl-compress` | RAD: BCM, pruning, ADMM, normalization |
+//! | [`train`] | `ehdl-train` | offline training, ADMM-regularized |
+//! | [`datasets`] | `ehdl-datasets` | synthetic MNIST/HAR/OKG |
+//! | [`ace`] | `ehdl-ace` | ACE: quantized deploy, programs, Alg 1 |
+//! | [`flex`] | `ehdl-flex` | FLEX + BASE/SONIC/TAILS baselines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ehdl::prelude::*;
+//!
+//! // 1. A Table II model and a synthetic dataset.
+//! let mut model = ehdl::nn::zoo::har();
+//! let data = ehdl::datasets::har(60, 7);
+//!
+//! // 2. RAD: normalize intermediates into [-1, 1] and quantize.
+//! let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
+//!
+//! // 3. ACE: run one inference on the simulated board.
+//! let outcome = ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input)?;
+//! assert!(outcome.prediction < 6);
+//!
+//! // 4. FLEX: the same inference under harvested power.
+//! let report = ehdl::pipeline::infer_intermittent(&deployed)?;
+//! assert!(report.completed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ehdl_ace as ace;
+pub use ehdl_compress as compress;
+pub use ehdl_datasets as datasets;
+pub use ehdl_device as device;
+pub use ehdl_dsp as dsp;
+pub use ehdl_ehsim as ehsim;
+pub use ehdl_fixed as fixed;
+pub use ehdl_flex as flex;
+pub use ehdl_nn as nn;
+pub use ehdl_train as train;
+
+pub mod pipeline;
+
+/// The most commonly used types, one `use` away.
+pub mod prelude {
+    pub use crate::pipeline::{DeployedModel, InferenceOutcome};
+    pub use ehdl_ace::{AceProgram, QuantizedModel};
+    pub use ehdl_compress::quantize::QuantParams;
+    pub use ehdl_datasets::{Dataset, Sample};
+    pub use ehdl_device::{Board, Component, Cycles, Energy};
+    pub use ehdl_ehsim::{Capacitor, Harvester, IntermittentExecutor, PowerSupply, RunReport};
+    pub use ehdl_fixed::Q15;
+    pub use ehdl_nn::{Layer, Model, Tensor};
+}

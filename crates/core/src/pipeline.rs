@@ -1,0 +1,260 @@
+//! The end-to-end RAD → ACE → FLEX pipeline.
+
+use core::fmt;
+use ehdl_ace::{reference, AceProgram, QuantizedModel};
+use ehdl_compress::normalize;
+use ehdl_datasets::Dataset;
+use ehdl_device::{Board, Cost};
+use ehdl_ehsim::{run_continuous, Capacitor, Harvester, IntermittentExecutor, PowerSupply, RunReport};
+use ehdl_fixed::{OverflowStats, Q15};
+use ehdl_flex::strategies;
+use ehdl_nn::{Model, Tensor};
+
+/// Everything produced by [`deploy`]: the quantized model, its compiled
+/// ACE program, and bookkeeping from the normalization pass.
+#[derive(Debug, Clone)]
+pub struct DeployedModel {
+    /// The quantized (device) model.
+    pub quantized: QuantizedModel,
+    /// The compiled ACE op stream.
+    pub program: AceProgram,
+    /// Per-layer normalization divisors applied by RAD.
+    pub calibration: normalize::Calibration,
+}
+
+/// One inference result on the simulated device.
+#[derive(Debug, Clone)]
+pub struct InferenceOutcome {
+    /// Raw logits.
+    pub logits: Vec<Q15>,
+    /// Argmax class.
+    pub prediction: usize,
+    /// Cycles and energy of the ACE program on the board.
+    pub cost: Cost,
+    /// Fixed-point saturation counters (zero on a normalized model).
+    pub overflow: OverflowStats,
+}
+
+impl fmt::Display for InferenceOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "class {} in {:.2} ms / {}",
+            self.prediction,
+            self.cost.cycles.as_millis(16e6),
+            self.cost.energy
+        )
+    }
+}
+
+/// Pipeline errors.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Model-side failure (shapes, normalization).
+    Model(ehdl_nn::ModelError),
+    /// Deployment/execution failure.
+    Ace(ehdl_ace::AceError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Model(e) => write!(f, "model error: {e}"),
+            PipelineError::Ace(e) => write!(f, "deployment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ehdl_nn::ModelError> for PipelineError {
+    fn from(e: ehdl_nn::ModelError) -> Self {
+        PipelineError::Model(e)
+    }
+}
+
+impl From<ehdl_ace::AceError> for PipelineError {
+    fn from(e: ehdl_ace::AceError) -> Self {
+        PipelineError::Ace(e)
+    }
+}
+
+/// RAD's deployment pass: calibrates the model's intermediates into
+/// `[-1, 1]` on (a sample of) the dataset, quantizes to Q15, and
+/// compiles the ACE program.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if calibration forward passes or ACE
+/// compilation fail.
+pub fn deploy(model: &mut Model, data: &Dataset) -> Result<DeployedModel, PipelineError> {
+    let calibration_inputs: Vec<Tensor> = data
+        .samples()
+        .iter()
+        .take(32)
+        .map(|s| s.input.clone())
+        .collect();
+    let calibration = normalize::normalize_model(model, &calibration_inputs, 0.9)?;
+    let quantized = QuantizedModel::from_model(model)?;
+    let program = AceProgram::compile(&quantized)?;
+    Ok(DeployedModel {
+        quantized,
+        program,
+        calibration,
+    })
+}
+
+/// Quantizes a float input tensor for the device.
+pub fn quantize_input(input: &Tensor) -> Vec<Q15> {
+    input.as_slice().iter().map(|&v| Q15::from_f32(v)).collect()
+}
+
+/// Runs one inference under continuous power: the bit-exact reference
+/// arithmetic for the *values*, the ACE program on a fresh board for the
+/// *costs*.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on input-shape mismatch.
+pub fn infer_continuous(
+    deployed: &DeployedModel,
+    input: &Tensor,
+) -> Result<InferenceOutcome, PipelineError> {
+    let x = quantize_input(input);
+    let mut overflow = OverflowStats::new();
+    let logits = reference::forward_with_stats(&deployed.quantized, &x, &mut overflow)?;
+    let prediction = reference::argmax(&logits);
+
+    let mut board = Board::msp430fr5994();
+    let program = strategies::ace_bare_program(&deployed.program);
+    let cost = run_continuous(&program, &mut board);
+    Ok(InferenceOutcome {
+        logits,
+        prediction,
+        cost,
+        overflow,
+    })
+}
+
+/// Runs the deployed model under the bench intermittent supply (see
+/// [`ehdl_flex::compare::paper_supply`]) with FLEX checkpointing.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the program cannot be built.
+pub fn infer_intermittent(deployed: &DeployedModel) -> Result<RunReport, PipelineError> {
+    let (harvester, capacitor) = ehdl_flex::compare::paper_supply();
+    infer_intermittent_with(deployed, &harvester, &capacitor)
+}
+
+/// [`infer_intermittent`] with a custom supply.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the program cannot be built.
+pub fn infer_intermittent_with(
+    deployed: &DeployedModel,
+    harvester: &Harvester,
+    capacitor: &Capacitor,
+) -> Result<RunReport, PipelineError> {
+    let program = strategies::flex_program(&deployed.program);
+    let mut board = Board::msp430fr5994();
+    let mut supply = PowerSupply::new(harvester.clone(), capacitor.clone());
+    Ok(IntermittentExecutor::default().run(&program, &mut board, &mut supply))
+}
+
+/// Quantized-model accuracy over a dataset (the Table II "Accuracy"
+/// column, measured post-compression and post-quantization).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on shape mismatch.
+pub fn quantized_accuracy(
+    quantized: &QuantizedModel,
+    data: &Dataset,
+) -> Result<f64, PipelineError> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for s in data.samples() {
+        let x = quantize_input(&s.input);
+        let logits = reference::forward(quantized, &x)?;
+        if reference::argmax(&logits) == s.label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / data.len() as f64)
+}
+
+/// Float-model accuracy over a dataset (for quantization-gap reporting).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on shape mismatch.
+pub fn float_accuracy(model: &Model, data: &Dataset) -> Result<f64, PipelineError> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for s in data.samples() {
+        if model.forward(&s.input)?.argmax() == s.label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / data.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_and_infer_har() {
+        let mut model = ehdl_nn::zoo::har();
+        let data = ehdl_datasets::har(40, 11);
+        let deployed = deploy(&mut model, &data).unwrap();
+        let outcome = infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+        assert_eq!(outcome.logits.len(), 6);
+        assert!(outcome.cost.cycles.raw() > 0);
+        // Normalized model: no fixed-point saturation.
+        assert_eq!(outcome.overflow.saturations(), 0, "{}", outcome.overflow);
+    }
+
+    #[test]
+    fn quantized_tracks_float_predictions() {
+        let mut model = ehdl_nn::zoo::har();
+        let data = ehdl_datasets::har(30, 12);
+        let deployed = deploy(&mut model, &data).unwrap();
+        let mut agree = 0;
+        for s in data.samples() {
+            let float_pred = model.forward(&s.input).unwrap().argmax();
+            let q_pred = infer_continuous(&deployed, &s.input).unwrap().prediction;
+            if float_pred == q_pred {
+                agree += 1;
+            }
+        }
+        // Quantization may flip a few near-ties but not the bulk.
+        assert!(agree * 10 >= data.len() * 8, "{agree}/{}", data.len());
+    }
+
+    #[test]
+    fn intermittent_inference_completes() {
+        let mut model = ehdl_nn::zoo::har();
+        let data = ehdl_datasets::har(20, 13);
+        let deployed = deploy(&mut model, &data).unwrap();
+        let report = infer_intermittent(&deployed).unwrap();
+        assert!(report.completed(), "{report}");
+        // §IV-A.5: checkpoint overhead is a small fraction.
+        assert!(report.checkpoint_overhead() < 0.1);
+    }
+
+    #[test]
+    fn accuracy_helpers_agree_on_empty() {
+        let model = ehdl_nn::zoo::har();
+        let empty = ehdl_datasets::Dataset::new("e", 6, vec![]);
+        assert_eq!(float_accuracy(&model, &empty).unwrap(), 0.0);
+        let q = QuantizedModel::from_model(&model).unwrap();
+        assert_eq!(quantized_accuracy(&q, &empty).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The calibrated cost table.
+//!
+//! Every constant is annotated with the datasheet/app-note figure it is
+//! derived from. Absolute values are approximations — we do not have the
+//! authors' board or EnergyTrace — but the *ratios* between CPU, LEA, DMA
+//! and FRAM costs are what determine every comparison in the paper's
+//! evaluation, and those ratios follow TI documentation:
+//!
+//! * MSP430FR5994 datasheet (SLASE54): active mode ≈ 118 µA/MHz @ 3.0 V,
+//!   LPM0 with LEA running ≈ 45 µA/MHz system current.
+//! * LEA app note (SLAA720): 256-point complex FFT in ≈ 2.6k cycles on LEA
+//!   vs ≈ 38k cycles in software ⇒ ~14× cycle advantage, ~36× energy.
+//! * FRAM access beyond 8 MHz inserts wait states; writes cost ≈ 2–3×
+//!   reads (SLAA498).
+
+/// Cycle and energy constants for one device configuration.
+///
+/// The default [`CostTable::msp430fr5994`] models the paper's board. All
+/// energies are nanojoules, all counts are MCLK cycles at `clock_hz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    /// System clock in Hz (16 MHz on the FR5994 LaunchPad).
+    pub clock_hz: f64,
+
+    // ---- CPU ----
+    /// Energy per active CPU cycle. 118 µA/MHz × 3.0 V ⇒ ≈ 0.354 nJ/cycle.
+    pub cpu_energy_per_cycle_nj: f64,
+    /// Cycles for one generic ALU/register instruction.
+    pub cpu_op_cycles: u64,
+    /// Cycles for one 16×16 multiply through the MPY32 peripheral
+    /// (datasheet: result ready after 8 CPU clocks incl. operand writes).
+    pub cpu_mul_cycles: u64,
+    /// Cycles for a CPU-driven word copy (load + store + pointer/branch
+    /// overhead in a copy loop, §III-B "a single data is moved with CPU").
+    pub cpu_copy_cycles_per_word: u64,
+
+    // ---- SRAM ----
+    /// Extra energy per SRAM word access beyond the CPU cycle itself.
+    pub sram_access_nj_per_word: f64,
+
+    // ---- FRAM ----
+    /// Extra cycles per FRAM word access at 16 MHz (wait states; the FRAM
+    /// cache hides some, we charge the post-cache average).
+    pub fram_wait_cycles_per_word: u64,
+    /// Energy per FRAM word read (SLAA498 scale).
+    pub fram_read_nj_per_word: f64,
+    /// Energy per FRAM word written — ≈ 3× read cost.
+    pub fram_write_nj_per_word: f64,
+
+    // ---- DMA ----
+    /// DMA transfer cycles per word (2 MCLK per word in block mode).
+    pub dma_cycles_per_word: u64,
+    /// Fixed DMA channel setup cycles per transfer.
+    pub dma_setup_cycles: u64,
+    /// DMA energy per word moved — bus traffic only, CPU sleeps, so well
+    /// below a CPU-driven copy. This gap is why ACE's bulk DMA beats
+    /// CPU moves (§III-B "Acceleration-aware dataflow").
+    pub dma_nj_per_word: f64,
+
+    // ---- LEA ----
+    /// Energy per LEA-active cycle: system in LPM0 + LEA ≈ 45 µA/MHz ×
+    /// 3.0 V ⇒ ≈ 0.135 nJ/cycle — the "ultra-low power mode" of §IV-A.4.
+    pub lea_energy_per_cycle_nj: f64,
+    /// Fixed command issue/configure cycles per LEA invocation.
+    pub lea_setup_cycles: u64,
+    /// LEA cycles per butterfly in FFT/IFFT (SLAA720: 256-pt complex FFT
+    /// ≈ 2.6k cycles ⇒ ≈ 2.5 cycles per butterfly at 128·log2(256)=1024
+    /// butterflies, plus setup).
+    pub lea_fft_cycles_per_butterfly: f64,
+    /// LEA cycles per element for MAC (one multiply-accumulate per cycle).
+    pub lea_mac_cycles_per_elem: f64,
+    /// LEA cycles per element for element-wise ops (ADD/MPY/SCALE).
+    pub lea_vector_cycles_per_elem: f64,
+    /// LEA cycles per element for complex multiply (4 real MACs).
+    pub lea_cmul_cycles_per_elem: f64,
+}
+
+impl CostTable {
+    /// The paper's evaluation board: MSP430FR5994 at 16 MHz.
+    pub fn msp430fr5994() -> Self {
+        CostTable {
+            clock_hz: 16e6,
+            cpu_energy_per_cycle_nj: 0.354,
+            cpu_op_cycles: 1,
+            cpu_mul_cycles: 8,
+            cpu_copy_cycles_per_word: 6,
+            sram_access_nj_per_word: 0.04,
+            fram_wait_cycles_per_word: 1,
+            fram_read_nj_per_word: 0.25,
+            fram_write_nj_per_word: 0.75,
+            dma_cycles_per_word: 2,
+            dma_setup_cycles: 30,
+            dma_nj_per_word: 0.20,
+            lea_energy_per_cycle_nj: 0.135,
+            lea_setup_cycles: 40,
+            lea_fft_cycles_per_butterfly: 2.5,
+            lea_mac_cycles_per_elem: 1.0,
+            lea_vector_cycles_per_elem: 1.0,
+            lea_cmul_cycles_per_elem: 4.0,
+        }
+    }
+
+    /// Cycles a CPU (software) dot product of `len` elements needs:
+    /// per element two loads, one hardware multiply, one wide add and loop
+    /// overhead — the cost SONIC pays for every kernel window.
+    pub fn cpu_mac_cycles(&self, len: u64) -> u64 {
+        let per_elem = 2 * self.cpu_op_cycles   // loads
+            + self.cpu_mul_cycles               // multiply
+            + 2 * self.cpu_op_cycles            // accumulate (32-bit add)
+            + 2 * self.cpu_op_cycles;           // pointer bump + branch
+        len * per_elem
+    }
+
+    /// Cycles of a software radix-2 complex FFT of size `n` on the CPU
+    /// (≈ 14× the LEA per SLAA720; each butterfly is 4 multiplies plus
+    /// adds and index bookkeeping).
+    pub fn cpu_fft_cycles(&self, n: u64) -> u64 {
+        if n < 2 {
+            return 0;
+        }
+        let butterflies = (n / 2) * n.trailing_zeros() as u64;
+        let per_butterfly = 4 * self.cpu_mul_cycles + 12 * self.cpu_op_cycles;
+        butterflies * per_butterfly
+    }
+
+    /// LEA cycles for an FFT/IFFT of size `n`.
+    pub fn lea_fft_cycles(&self, n: u64) -> u64 {
+        if n < 2 {
+            return self.lea_setup_cycles;
+        }
+        let butterflies = (n / 2) * n.trailing_zeros() as u64;
+        self.lea_setup_cycles + (butterflies as f64 * self.lea_fft_cycles_per_butterfly) as u64
+    }
+}
+
+impl Default for CostTable {
+    fn default() -> Self {
+        CostTable::msp430fr5994()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lea_fft_matches_app_note_scale() {
+        let t = CostTable::msp430fr5994();
+        let lea = t.lea_fft_cycles(256);
+        // SLAA720 reports ~2.6k cycles for a 256-point FFT.
+        assert!((2000..4000).contains(&lea), "lea fft cycles = {lea}");
+    }
+
+    #[test]
+    fn lea_fft_advantage_over_cpu_is_about_14x() {
+        let t = CostTable::msp430fr5994();
+        let ratio = t.cpu_fft_cycles(256) as f64 / t.lea_fft_cycles(256) as f64;
+        assert!((8.0..25.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn lea_mac_advantage_over_cpu() {
+        let t = CostTable::msp430fr5994();
+        let len = 150; // 6x5x5 kernel
+        let cpu = t.cpu_mac_cycles(len);
+        let lea = t.lea_setup_cycles + (len as f64 * t.lea_mac_cycles_per_elem) as u64;
+        let ratio = cpu as f64 / lea as f64;
+        assert!(ratio > 5.0, "MAC speedup = {ratio}");
+    }
+
+    #[test]
+    fn fram_write_costs_more_than_read() {
+        let t = CostTable::msp430fr5994();
+        assert!(t.fram_write_nj_per_word > 2.0 * t.fram_read_nj_per_word);
+    }
+
+    #[test]
+    fn lea_cycle_energy_below_cpu() {
+        let t = CostTable::msp430fr5994();
+        assert!(t.lea_energy_per_cycle_nj < 0.5 * t.cpu_energy_per_cycle_nj);
+    }
+
+    #[test]
+    fn dma_cheaper_than_cpu_copy() {
+        let t = CostTable::msp430fr5994();
+        // Per-word cycles and energy must both favor DMA for bulk moves.
+        assert!(t.dma_cycles_per_word < t.cpu_copy_cycles_per_word);
+        let cpu_copy_nj = t.cpu_copy_cycles_per_word as f64 * t.cpu_energy_per_cycle_nj;
+        assert!(t.dma_nj_per_word < cpu_copy_nj);
+    }
+
+    #[test]
+    fn degenerate_fft_sizes() {
+        let t = CostTable::msp430fr5994();
+        assert_eq!(t.cpu_fft_cycles(1), 0);
+        assert_eq!(t.lea_fft_cycles(1), t.lea_setup_cycles);
+    }
+}

@@ -1,0 +1,432 @@
+//! Energy, time and per-component metering (the EnergyTrace substitute).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An amount of energy in nanojoules.
+///
+/// All device costs are expressed in nJ; a whole inference on the paper's
+/// workloads lands in the µJ–mJ range, comfortably inside `f64` precision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from nanojoules.
+    #[inline]
+    pub const fn from_nanojoules(nj: f64) -> Self {
+        Energy(nj)
+    }
+
+    /// Creates an energy from microjoules.
+    #[inline]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Energy(uj * 1e3)
+    }
+
+    /// Creates an energy from millijoules.
+    #[inline]
+    pub fn from_millijoules(mj: f64) -> Self {
+        Energy(mj * 1e6)
+    }
+
+    /// Value in nanojoules.
+    #[inline]
+    pub const fn nanojoules(self) -> f64 {
+        self.0
+    }
+
+    /// Value in microjoules.
+    #[inline]
+    pub fn microjoules(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Value in millijoules.
+    #[inline]
+    pub fn millijoules(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Saturating subtraction (an energy store cannot go negative).
+    #[inline]
+    pub fn saturating_sub(self, rhs: Energy) -> Energy {
+        Energy((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Numeric ratio `self / rhs` (used for speedup/saving factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    pub fn ratio(self, rhs: Energy) -> f64 {
+        assert!(rhs.0 != 0.0, "ratio denominator is zero energy");
+        self.0 / rhs.0
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    #[inline]
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} mJ", self.millijoules())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} µJ", self.microjoules())
+        } else {
+            write!(f, "{:.1} nJ", self.0)
+        }
+    }
+}
+
+/// A count of MCLK cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Raw count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Wall-clock duration at the given clock frequency.
+    #[inline]
+    pub fn as_seconds(self, hz: f64) -> f64 {
+        self.0 as f64 / hz
+    }
+
+    /// Wall-clock duration in milliseconds at the given clock frequency.
+    #[inline]
+    pub fn as_millis(self, hz: f64) -> f64 {
+        self.as_seconds(hz) * 1e3
+    }
+
+    /// Numeric ratio `self / rhs` (speedup factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero cycles.
+    #[inline]
+    pub fn ratio(self, rhs: Cycles) -> f64 {
+        assert!(rhs.0 != 0, "ratio denominator is zero cycles");
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// The hardware components whose energy is metered separately.
+///
+/// The split matches Figure 7(c)'s energy breakdown: CPU compute, LEA
+/// compute, DMA movement, FRAM traffic and SRAM traffic, plus the
+/// checkpointing cost FLEX adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// The MSP430 CPU core executing instructions.
+    Cpu,
+    /// The Low-Energy Accelerator vector unit.
+    Lea,
+    /// The DMA controller.
+    Dma,
+    /// FRAM reads (nonvolatile memory).
+    FramRead,
+    /// FRAM writes (nonvolatile memory, more expensive than reads).
+    FramWrite,
+    /// SRAM traffic beyond what CPU cycles already include.
+    Sram,
+    /// Checkpoint/restore bookkeeping (FLEX, SONIC, TAILS overheads).
+    Checkpoint,
+}
+
+impl Component {
+    /// All components, in display order.
+    pub const ALL: [Component; 7] = [
+        Component::Cpu,
+        Component::Lea,
+        Component::Dma,
+        Component::FramRead,
+        Component::FramWrite,
+        Component::Sram,
+        Component::Checkpoint,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Component::Cpu => "cpu",
+            Component::Lea => "lea",
+            Component::Dma => "dma",
+            Component::FramRead => "fram.read",
+            Component::FramWrite => "fram.write",
+            Component::Sram => "sram",
+            Component::Checkpoint => "checkpoint",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-component energy and cycle tallies — the EnergyTrace substitute.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_device::{Component, Cycles, Energy, EnergyMeter};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.record(Component::Lea, Cycles::new(2600), Energy::from_nanojoules(340.0));
+/// assert_eq!(meter.energy_of(Component::Lea).nanojoules(), 340.0);
+/// assert_eq!(meter.total_cycles(), Cycles::new(2600));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    energy: [f64; Component::ALL.len()],
+    cycles: [u64; Component::ALL.len()],
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    fn idx(c: Component) -> usize {
+        Component::ALL.iter().position(|&x| x == c).expect("known component")
+    }
+
+    /// Adds a cost sample for a component.
+    pub fn record(&mut self, component: Component, cycles: Cycles, energy: Energy) {
+        let i = Self::idx(component);
+        self.energy[i] += energy.nanojoules();
+        self.cycles[i] += cycles.raw();
+    }
+
+    /// Energy attributed to one component.
+    pub fn energy_of(&self, component: Component) -> Energy {
+        Energy::from_nanojoules(self.energy[Self::idx(component)])
+    }
+
+    /// Cycles attributed to one component.
+    pub fn cycles_of(&self, component: Component) -> Cycles {
+        Cycles::new(self.cycles[Self::idx(component)])
+    }
+
+    /// Total energy across all components.
+    pub fn total_energy(&self) -> Energy {
+        Energy::from_nanojoules(self.energy.iter().sum())
+    }
+
+    /// Total cycles across all components.
+    ///
+    /// LEA and DMA cycles overlap CPU sleep, so this is a work tally, not a
+    /// wall clock; the [`Board`](crate::Board) tracks elapsed time.
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles::new(self.cycles.iter().sum())
+    }
+
+    /// `(component, energy)` pairs in display order — Figure 7(c) rows.
+    pub fn breakdown(&self) -> Vec<(Component, Energy)> {
+        Component::ALL
+            .iter()
+            .map(|&c| (c, self.energy_of(c)))
+            .collect()
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for i in 0..self.energy.len() {
+            self.energy[i] += other.energy[i];
+            self.cycles[i] += other.cycles[i];
+        }
+    }
+
+    /// Resets all tallies.
+    pub fn reset(&mut self) {
+        *self = EnergyMeter::default();
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {}", self.total_energy())?;
+        for (c, e) in self.breakdown() {
+            if e.nanojoules() > 0.0 {
+                writeln!(f, "  {c:<12} {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_units_convert() {
+        let e = Energy::from_millijoules(0.033);
+        assert!((e.microjoules() - 33.0).abs() < 1e-9);
+        assert!((e.nanojoules() - 33_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_arithmetic() {
+        let a = Energy::from_nanojoules(10.0);
+        let b = Energy::from_nanojoules(4.0);
+        assert_eq!((a + b).nanojoules(), 14.0);
+        assert_eq!((a - b).nanojoules(), 6.0);
+        assert_eq!(b.saturating_sub(a), Energy::ZERO);
+        assert!((a.ratio(b) - 2.5).abs() < 1e-12);
+        assert_eq!((a * 2.0).nanojoules(), 20.0);
+        assert_eq!((a / 2.0).nanojoules(), 5.0);
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        let c = Cycles::new(16_000_000);
+        assert!((c.as_seconds(16e6) - 1.0).abs() < 1e-12);
+        assert!((c.as_millis(16e6) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_tallies_per_component() {
+        let mut m = EnergyMeter::new();
+        m.record(Component::Cpu, Cycles::new(100), Energy::from_nanojoules(36.0));
+        m.record(Component::Cpu, Cycles::new(50), Energy::from_nanojoules(18.0));
+        m.record(Component::FramWrite, Cycles::new(10), Energy::from_nanojoules(7.5));
+        assert_eq!(m.energy_of(Component::Cpu).nanojoules(), 54.0);
+        assert_eq!(m.cycles_of(Component::Cpu), Cycles::new(150));
+        assert_eq!(m.total_energy().nanojoules(), 61.5);
+        assert_eq!(m.total_cycles(), Cycles::new(160));
+        assert_eq!(m.energy_of(Component::Lea), Energy::ZERO);
+    }
+
+    #[test]
+    fn meter_merge_and_reset() {
+        let mut a = EnergyMeter::new();
+        a.record(Component::Dma, Cycles::new(5), Energy::from_nanojoules(1.0));
+        let mut b = EnergyMeter::new();
+        b.record(Component::Dma, Cycles::new(7), Energy::from_nanojoules(2.0));
+        a.merge(&b);
+        assert_eq!(a.cycles_of(Component::Dma), Cycles::new(12));
+        a.reset();
+        assert_eq!(a.total_energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn breakdown_covers_all_components() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.breakdown().len(), Component::ALL.len());
+    }
+
+    #[test]
+    fn display_formats_scale() {
+        assert_eq!(format!("{}", Energy::from_nanojoules(5.0)), "5.0 nJ");
+        assert!(format!("{}", Energy::from_microjoules(12.0)).contains("µJ"));
+        assert!(format!("{}", Energy::from_millijoules(2.0)).contains("mJ"));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_ratio_panics() {
+        let _ = Cycles::new(5).ratio(Cycles::ZERO);
+    }
+}

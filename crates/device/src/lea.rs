@@ -1,0 +1,146 @@
+//! The Low-Energy Accelerator command set.
+
+use crate::costs::CostTable;
+use core::fmt;
+
+/// One LEA vector command (§II "Low Energy Accelerators": "vector
+/// operations such as FFT, IFFT, MAC, ADD, etc., without any CPU
+/// intervention").
+///
+/// Operands must already reside in the LEA-accessible SRAM region; the
+/// runtimes charge the DMA/CPU moves separately, which is exactly the
+/// dataflow discipline Figure 3 of the paper illustrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeaOp {
+    /// Complex FFT of `n` points (n must be a power of two on real LEA).
+    Fft {
+        /// Transform size.
+        n: usize,
+    },
+    /// Complex inverse FFT of `n` points.
+    Ifft {
+        /// Transform size.
+        n: usize,
+    },
+    /// Dot product of two `len`-element vectors (one kernel window per
+    /// command — Figure 4).
+    Mac {
+        /// Vector length.
+        len: usize,
+    },
+    /// Element-wise multiply of `len`-element vectors.
+    Mpy {
+        /// Vector length.
+        len: usize,
+    },
+    /// Element-wise complex multiply of `len` complex elements (the
+    /// step between FFT and IFFT in Algorithm 1).
+    CMpy {
+        /// Complex vector length.
+        len: usize,
+    },
+    /// Element-wise add of `len`-element vectors.
+    Add {
+        /// Vector length.
+        len: usize,
+    },
+    /// Scale a `len`-element vector by a constant (SCALE-DOWN/SCALE-UP of
+    /// Algorithm 1 when run on the accelerator).
+    Scale {
+        /// Vector length.
+        len: usize,
+    },
+}
+
+impl LeaOp {
+    /// LEA-busy cycles for this command.
+    pub fn cycles(&self, t: &CostTable) -> u64 {
+        match *self {
+            LeaOp::Fft { n } | LeaOp::Ifft { n } => t.lea_fft_cycles(n as u64),
+            LeaOp::Mac { len } => {
+                t.lea_setup_cycles + (len as f64 * t.lea_mac_cycles_per_elem) as u64
+            }
+            LeaOp::Mpy { len } | LeaOp::Add { len } | LeaOp::Scale { len } => {
+                t.lea_setup_cycles + (len as f64 * t.lea_vector_cycles_per_elem) as u64
+            }
+            LeaOp::CMpy { len } => {
+                t.lea_setup_cycles + (len as f64 * t.lea_cmul_cycles_per_elem) as u64
+            }
+        }
+    }
+
+    /// Energy drawn while the command runs (LEA + sleeping system).
+    pub fn energy_nj(&self, t: &CostTable) -> f64 {
+        self.cycles(t) as f64 * t.lea_energy_per_cycle_nj
+    }
+
+    /// Number of SRAM words the command's operands occupy (used by the
+    /// dataflow planner to size staging buffers).
+    pub fn operand_words(&self) -> usize {
+        match *self {
+            // complex in-place: n complex = 2n words
+            LeaOp::Fft { n } | LeaOp::Ifft { n } => 2 * n,
+            LeaOp::Mac { len } => 2 * len,
+            LeaOp::Mpy { len } | LeaOp::Add { len } => 3 * len,
+            LeaOp::CMpy { len } => 6 * len,
+            LeaOp::Scale { len } => len,
+        }
+    }
+}
+
+impl fmt::Display for LeaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LeaOp::Fft { n } => write!(f, "FFT({n})"),
+            LeaOp::Ifft { n } => write!(f, "IFFT({n})"),
+            LeaOp::Mac { len } => write!(f, "MAC({len})"),
+            LeaOp::Mpy { len } => write!(f, "MPY({len})"),
+            LeaOp::CMpy { len } => write!(f, "CMPY({len})"),
+            LeaOp::Add { len } => write!(f, "ADD({len})"),
+            LeaOp::Scale { len } => write!(f, "SCALE({len})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_and_ifft_cost_the_same() {
+        let t = CostTable::msp430fr5994();
+        assert_eq!(
+            LeaOp::Fft { n: 128 }.cycles(&t),
+            LeaOp::Ifft { n: 128 }.cycles(&t)
+        );
+    }
+
+    #[test]
+    fn bigger_vectors_cost_more() {
+        let t = CostTable::msp430fr5994();
+        assert!(LeaOp::Mac { len: 150 }.cycles(&t) > LeaOp::Mac { len: 25 }.cycles(&t));
+        assert!(LeaOp::Fft { n: 256 }.cycles(&t) > LeaOp::Fft { n: 64 }.cycles(&t));
+    }
+
+    #[test]
+    fn energy_scales_with_cycles() {
+        let t = CostTable::msp430fr5994();
+        let op = LeaOp::CMpy { len: 64 };
+        assert!(
+            (op.energy_nj(&t) - op.cycles(&t) as f64 * t.lea_energy_per_cycle_nj).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn operand_words_cover_inputs_and_outputs() {
+        assert_eq!(LeaOp::Fft { n: 64 }.operand_words(), 128);
+        assert_eq!(LeaOp::Mac { len: 9 }.operand_words(), 18);
+        assert_eq!(LeaOp::CMpy { len: 8 }.operand_words(), 48);
+    }
+
+    #[test]
+    fn display_names_commands() {
+        assert_eq!(LeaOp::Fft { n: 64 }.to_string(), "FFT(64)");
+        assert_eq!(LeaOp::Mac { len: 9 }.to_string(), "MAC(9)");
+    }
+}

@@ -1,0 +1,55 @@
+//! # ehdl-device — cycle/energy-accounted MSP430FR5994-class device model
+//!
+//! The paper evaluates on TI's MSP430FR5994 LaunchPad: a 16 MHz MCU with
+//! 8 KB of volatile SRAM, 256 KB of nonvolatile FRAM, a DMA controller and
+//! the Low-Energy Accelerator (LEA) vector unit, measured with EnergyTrace
+//! (§III-D "Hardware Setup"). We do not have that hardware, so this crate
+//! is the calibrated substitute: every primitive the runtimes perform —
+//! CPU arithmetic, SRAM/FRAM access, DMA block moves, LEA vector commands —
+//! is a [`DeviceOp`] with a cycle and energy cost drawn from a documented
+//! [`CostTable`] whose *ratios* follow TI's datasheet and the LEA app note
+//! (SLAA720). The evaluation sections of the paper compare implementation
+//! strategies on the same device, so reproducing the ratios reproduces the
+//! result shapes.
+//!
+//! * [`Board`] — the composed device: executes ops, tallies cycles and
+//!   per-component energy into an [`EnergyMeter`], enforces SRAM/FRAM
+//!   capacity through [`SramArena`] / [`FramLayout`].
+//! * [`LeaOp`] — the accelerator command set the paper uses: FFT, IFFT,
+//!   MAC, MPY, ADD, SCALE (§II "Low Energy Accelerators").
+//! * [`VoltageMonitor`] — the comparator FLEX uses to predict power
+//!   failures and checkpoint on demand (§III-C "Other layer").
+//!
+//! # Example
+//!
+//! ```
+//! use ehdl_device::{Board, DeviceOp, LeaOp, MemoryKind};
+//!
+//! let mut board = Board::msp430fr5994();
+//! // One whole-kernel MAC (Figure 4: 3x3 window, one LEA command).
+//! board.execute(&DeviceOp::Lea(LeaOp::Mac { len: 9 }));
+//! board.execute(&DeviceOp::DmaTransfer {
+//!     from: MemoryKind::Fram,
+//!     to: MemoryKind::Sram,
+//!     words: 9,
+//! });
+//! assert!(board.meter().total_energy().nanojoules() > 0.0);
+//! assert!(board.elapsed_cycles().raw() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod board;
+mod costs;
+mod energy;
+mod lea;
+mod memory;
+mod voltage;
+
+pub use board::{Board, Cost, DeviceOp};
+pub use costs::CostTable;
+pub use energy::{Component, Cycles, Energy, EnergyMeter};
+pub use lea::LeaOp;
+pub use memory::{AllocError, FramLayout, MemoryKind, SramArena};
+pub use voltage::VoltageMonitor;

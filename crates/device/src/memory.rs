@@ -1,0 +1,313 @@
+//! SRAM/FRAM capacity modeling.
+//!
+//! Figure 2 of the paper shows the resource split: SRAM is the small,
+//! cheap-to-access buffer for accelerator operands and intermediates;
+//! FRAM is the large nonvolatile store for the model, inputs, SRAM
+//! overflow, and checkpoints. These types enforce the capacities so that
+//! an ACE dataflow that would not fit on the real board fails loudly here.
+
+use core::fmt;
+
+/// Which physical memory a datum lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryKind {
+    /// 8 KB volatile SRAM — lost on power failure.
+    Sram,
+    /// 256 KB nonvolatile FRAM — survives power failure.
+    Fram,
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemoryKind::Sram => "SRAM",
+            MemoryKind::Fram => "FRAM",
+        })
+    }
+}
+
+/// Error returned when an allocation exceeds a memory's capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// Which memory was exhausted.
+    pub memory: MemoryKind,
+    /// Words requested.
+    pub requested_words: usize,
+    /// Words still available.
+    pub available_words: usize,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} exhausted: requested {} words, {} available",
+            self.memory, self.requested_words, self.available_words
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A bump allocator over the SRAM budget (8 KB = 4096 16-bit words on the
+/// FR5994).
+///
+/// The ACE circular-buffer scheme (§III-B) needs at most two staging
+/// buffers of `max(L_i)` words; this arena is how that claim is *checked*
+/// rather than assumed — allocating a dataflow that needs more than the
+/// physical SRAM fails.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_device::SramArena;
+///
+/// let mut sram = SramArena::new(4096);
+/// let buf = sram.alloc(1024)?;
+/// assert_eq!(buf.words(), 1024);
+/// assert_eq!(sram.used_words(), 1024);
+/// sram.reset();
+/// assert_eq!(sram.used_words(), 0);
+/// # Ok::<(), ehdl_device::AllocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramArena {
+    capacity_words: usize,
+    used_words: usize,
+    high_water: usize,
+}
+
+/// A granted SRAM allocation (opaque handle; the simulator does not model
+/// addresses, only capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SramBlock {
+    words: usize,
+}
+
+impl SramBlock {
+    /// Size of this block in 16-bit words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+}
+
+impl SramArena {
+    /// Creates an arena with the given capacity in 16-bit words.
+    pub fn new(capacity_words: usize) -> Self {
+        SramArena {
+            capacity_words,
+            used_words: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The FR5994's 8 KB SRAM (4096 words).
+    pub fn msp430fr5994() -> Self {
+        SramArena::new(4096)
+    }
+
+    /// Allocates `words` 16-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the arena lacks capacity.
+    pub fn alloc(&mut self, words: usize) -> Result<SramBlock, AllocError> {
+        let available = self.capacity_words - self.used_words;
+        if words > available {
+            return Err(AllocError {
+                memory: MemoryKind::Sram,
+                requested_words: words,
+                available_words: available,
+            });
+        }
+        self.used_words += words;
+        self.high_water = self.high_water.max(self.used_words);
+        Ok(SramBlock { words })
+    }
+
+    /// Returns a block's words to the arena.
+    pub fn free(&mut self, block: SramBlock) {
+        self.used_words = self.used_words.saturating_sub(block.words);
+    }
+
+    /// Frees everything (power failure: SRAM contents are gone anyway).
+    pub fn reset(&mut self) {
+        self.used_words = 0;
+    }
+
+    /// Words currently allocated.
+    pub fn used_words(&self) -> usize {
+        self.used_words
+    }
+
+    /// Capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Largest simultaneous allocation observed — the "required buffer
+    /// size" statistic ACE reports (`max(L_i)`).
+    pub fn high_water_words(&self) -> usize {
+        self.high_water
+    }
+}
+
+/// The FRAM budget: model weights + checkpoint area + working regions.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_device::FramLayout;
+///
+/// let mut fram = FramLayout::msp430fr5994();
+/// fram.reserve_model(120_000)?;        // bytes
+/// fram.reserve_checkpoint(2_048)?;
+/// assert!(fram.free_bytes() > 0);
+/// # Ok::<(), ehdl_device::AllocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramLayout {
+    capacity_bytes: usize,
+    model_bytes: usize,
+    checkpoint_bytes: usize,
+    scratch_bytes: usize,
+}
+
+impl FramLayout {
+    /// Creates a layout with the given capacity in bytes.
+    pub fn new(capacity_bytes: usize) -> Self {
+        FramLayout {
+            capacity_bytes,
+            model_bytes: 0,
+            checkpoint_bytes: 0,
+            scratch_bytes: 0,
+        }
+    }
+
+    /// The FR5994's 256 KB FRAM.
+    pub fn msp430fr5994() -> Self {
+        FramLayout::new(256 * 1024)
+    }
+
+    fn try_reserve(&mut self, bytes: usize) -> Result<(), AllocError> {
+        if bytes > self.free_bytes() {
+            return Err(AllocError {
+                memory: MemoryKind::Fram,
+                requested_words: bytes / 2,
+                available_words: self.free_bytes() / 2,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reserves space for the (compressed, quantized) model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the model does not fit — the constraint
+    /// RAD's architecture search enforces ("the model must fit into the
+    /// FRAM", §III-A).
+    pub fn reserve_model(&mut self, bytes: usize) -> Result<(), AllocError> {
+        self.try_reserve(bytes)?;
+        self.model_bytes += bytes;
+        Ok(())
+    }
+
+    /// Reserves the checkpoint region (FLEX control bits, indices and
+    /// double-buffered intermediates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on capacity exhaustion.
+    pub fn reserve_checkpoint(&mut self, bytes: usize) -> Result<(), AllocError> {
+        self.try_reserve(bytes)?;
+        self.checkpoint_bytes += bytes;
+        Ok(())
+    }
+
+    /// Reserves working storage (layer outputs spilled from SRAM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on capacity exhaustion.
+    pub fn reserve_scratch(&mut self, bytes: usize) -> Result<(), AllocError> {
+        self.try_reserve(bytes)?;
+        self.scratch_bytes += bytes;
+        Ok(())
+    }
+
+    /// Unreserved bytes.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity_bytes - self.model_bytes - self.checkpoint_bytes - self.scratch_bytes
+    }
+
+    /// Bytes reserved for the model.
+    pub fn model_bytes(&self) -> usize {
+        self.model_bytes
+    }
+
+    /// Bytes reserved for checkpoints.
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.checkpoint_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_alloc_free_cycle() {
+        let mut sram = SramArena::msp430fr5994();
+        let a = sram.alloc(2000).unwrap();
+        let b = sram.alloc(2000).unwrap();
+        assert_eq!(sram.used_words(), 4000);
+        assert!(sram.alloc(200).is_err());
+        sram.free(a);
+        assert_eq!(sram.used_words(), 2000);
+        let _ = sram.alloc(1000).unwrap();
+        sram.free(b);
+        assert_eq!(sram.high_water_words(), 4000);
+    }
+
+    #[test]
+    fn sram_reset_clears_used_not_high_water() {
+        let mut sram = SramArena::new(100);
+        let _ = sram.alloc(80).unwrap();
+        sram.reset();
+        assert_eq!(sram.used_words(), 0);
+        assert_eq!(sram.high_water_words(), 80);
+    }
+
+    #[test]
+    fn alloc_error_reports_context() {
+        let mut sram = SramArena::new(10);
+        let err = sram.alloc(20).unwrap_err();
+        assert_eq!(err.memory, MemoryKind::Sram);
+        assert_eq!(err.requested_words, 20);
+        assert_eq!(err.available_words, 10);
+        assert!(err.to_string().contains("SRAM exhausted"));
+    }
+
+    #[test]
+    fn fram_budget_enforced() {
+        let mut fram = FramLayout::new(1000);
+        fram.reserve_model(600).unwrap();
+        fram.reserve_checkpoint(300).unwrap();
+        assert_eq!(fram.free_bytes(), 100);
+        assert!(fram.reserve_scratch(200).is_err());
+        fram.reserve_scratch(100).unwrap();
+        assert_eq!(fram.free_bytes(), 0);
+    }
+
+    #[test]
+    fn fr5994_capacities() {
+        assert_eq!(SramArena::msp430fr5994().capacity_words(), 4096); // 8 KB
+        assert_eq!(FramLayout::msp430fr5994().capacity_bytes(), 262_144); // 256 KB
+    }
+}

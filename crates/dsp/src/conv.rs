@@ -1,0 +1,116 @@
+//! Direct 2-D convolution / cross-correlation references.
+//!
+//! The CONV layers of the paper's models are evaluated on-device as one
+//! LEA MAC per kernel window (§III-B, Figure 4). These direct
+//! implementations define the expected arithmetic; `ehdl-nn` uses them for
+//! the float forward pass and `ehdl-ace`'s MAC-based executor is tested
+//! against them.
+
+/// Valid-padding 2-D cross-correlation (what ML frameworks call
+/// "convolution"): `out[i][j] = Σ_{u,v} input[i+u][j+v] * kernel[u][v]`.
+///
+/// `input` is row-major `ih×iw`, `kernel` row-major `kh×kw`; the output is
+/// row-major `(ih-kh+1)×(iw-kw+1)`.
+///
+/// # Panics
+///
+/// Panics if the kernel is larger than the input in either dimension, or
+/// if slice lengths are inconsistent with the stated dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn correlate2d_valid(
+    input: &[f64],
+    ih: usize,
+    iw: usize,
+    kernel: &[f64],
+    kh: usize,
+    kw: usize,
+) -> Vec<f64> {
+    assert_eq!(input.len(), ih * iw, "input slice length mismatch");
+    assert_eq!(kernel.len(), kh * kw, "kernel slice length mismatch");
+    assert!(kh <= ih && kw <= iw, "kernel larger than input");
+    let oh = ih - kh + 1;
+    let ow = iw - kw + 1;
+    let mut out = vec![0.0; oh * ow];
+    for i in 0..oh {
+        for j in 0..ow {
+            let mut acc = 0.0;
+            for u in 0..kh {
+                for v in 0..kw {
+                    acc += input[(i + u) * iw + (j + v)] * kernel[u * kw + v];
+                }
+            }
+            out[i * ow + j] = acc;
+        }
+    }
+    out
+}
+
+/// Valid-padding true 2-D convolution (kernel flipped in both axes).
+///
+/// # Panics
+///
+/// Same conditions as [`correlate2d_valid`].
+pub fn conv2d_valid(
+    input: &[f64],
+    ih: usize,
+    iw: usize,
+    kernel: &[f64],
+    kh: usize,
+    kw: usize,
+) -> Vec<f64> {
+    let flipped: Vec<f64> = kernel.iter().rev().copied().collect();
+    correlate2d_valid(input, ih, iw, &flipped, kh, kw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_crops_nothing() {
+        let input: Vec<f64> = (0..9).map(|v| v as f64).collect();
+        let out = correlate2d_valid(&input, 3, 3, &[1.0], 1, 1);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn box_kernel_sums_window() {
+        let input = vec![1.0; 16];
+        let kernel = vec![1.0; 4];
+        let out = correlate2d_valid(&input, 4, 4, &kernel, 2, 2);
+        assert_eq!(out.len(), 9);
+        assert!(out.iter().all(|&v| (v - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn correlation_vs_convolution_flip() {
+        let input: Vec<f64> = (0..16).map(|v| v as f64).collect();
+        let kernel = vec![1.0, 2.0, 3.0, 4.0];
+        let corr = correlate2d_valid(&input, 4, 4, &kernel, 2, 2);
+        let flipped = vec![4.0, 3.0, 2.0, 1.0];
+        let conv = conv2d_valid(&input, 4, 4, &flipped, 2, 2);
+        assert_eq!(corr, conv);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // 2x2 input, 2x2 kernel -> single dot product.
+        let out = correlate2d_valid(&[1.0, 2.0, 3.0, 4.0], 2, 2, &[0.5, 0.5, 0.5, 0.5], 2, 2);
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than input")]
+    fn oversized_kernel_panics() {
+        let _ = correlate2d_valid(&[1.0], 1, 1, &[1.0, 1.0, 1.0, 1.0], 2, 2);
+    }
+
+    #[test]
+    fn output_shape_matches_lenet_dimensions() {
+        // 28x28 input, 5x5 kernel -> 24x24 (MNIST conv1 of Table II).
+        let input = vec![0.0; 28 * 28];
+        let kernel = vec![0.0; 25];
+        let out = correlate2d_valid(&input, 28, 28, &kernel, 5, 5);
+        assert_eq!(out.len(), 24 * 24);
+    }
+}

@@ -1,0 +1,343 @@
+//! Fixed-point radix-2 FFT with per-stage scaling (the LEA discipline).
+
+use core::fmt;
+use ehdl_fixed::{ComplexQ15, MacAcc, Q15};
+
+/// Error returned when an [`FftPlan`] cannot be built or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The requested length is not a power of two (radix-2 requirement,
+    /// matching the LEA FFT command).
+    NotPowerOfTwo(usize),
+    /// The requested length is zero.
+    Empty,
+    /// A buffer passed to `fft`/`ifft` does not match the plan length.
+    LengthMismatch {
+        /// The plan's transform size.
+        expected: usize,
+        /// The buffer length supplied by the caller.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => {
+                write!(f, "fft length {n} is not a power of two")
+            }
+            FftError::Empty => write!(f, "fft length must be non-zero"),
+            FftError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match plan length {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// A precomputed fixed-point FFT/IFFT of a fixed power-of-two size.
+///
+/// The butterflies divide by two at every stage (round-to-nearest), so a
+/// forward transform returns `DFT(x) / N` and can never overflow Q15 —
+/// exactly the scaling strategy of the LEA's `msp_fft_q15` and the reason
+/// Algorithm 1 needs its final SCALE-UP. The twiddle factors are stored as
+/// Q15 pairs, mirroring the ROM tables on the real device.
+///
+/// The inverse transform uses the conjugation identity
+/// `IDFT(z) = conj(DFT(conj(z)))/N`; combined with the scaled forward pass
+/// it returns the properly normalized IDFT, again without overflow.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_dsp::FftPlan;
+/// use ehdl_fixed::{ComplexQ15, Q15};
+///
+/// let plan = FftPlan::new(4)?;
+/// let mut buf = vec![ComplexQ15::from_real(Q15::from_f32(0.5)); 4];
+/// plan.fft(&mut buf)?;           // DC signal -> energy in bin 0, scaled by 1/N
+/// assert_eq!(buf[0].re.to_f32(), 0.5);
+/// assert_eq!(buf[1].re, Q15::ZERO);
+/// # Ok::<(), ehdl_dsp::FftError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    stages: u32,
+    /// Twiddles `e^{-2πik/N}` for `k in 0..N/2`, Q15 pairs.
+    twiddles: Vec<ComplexQ15>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] or [`FftError::Empty`] if `n`
+    /// is unusable.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 {
+            return Err(FftError::Empty);
+        }
+        if !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let ang = -core::f64::consts::TAU * k as f64 / n as f64;
+                ComplexQ15::new(
+                    Q15::from_f32(ang.cos() as f32),
+                    Q15::from_f32(ang.sin() as f32),
+                )
+            })
+            .collect();
+        Ok(FftPlan {
+            n,
+            stages: n.trailing_zeros(),
+            twiddles,
+        })
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Number of butterfly stages (`log2 N`).
+    #[inline]
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    fn check(&self, len: usize) -> Result<(), FftError> {
+        if len != self.n {
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: len,
+            });
+        }
+        Ok(())
+    }
+
+    /// In-place scaled forward transform: `data <- DFT(data) / N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from
+    /// the plan length.
+    pub fn fft(&self, data: &mut [ComplexQ15]) -> Result<(), FftError> {
+        self.check(data.len())?;
+        bit_reverse_permute(data);
+        let n = self.n;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for chunk in data.chunks_mut(len) {
+                for j in 0..half {
+                    let w = self.twiddles[j * stride];
+                    let u = chunk[j];
+                    // k = 0 twiddle is exactly 1; skip the lossy multiply.
+                    let v = if j == 0 { chunk[half] } else { chunk[j + half].mul_exact(w) };
+                    // Per-stage scaling: butterflies emit (u ± v)/2, which
+                    // cannot overflow and accumulates to a 1/N factor.
+                    chunk[j] = butterfly_avg(u, v, false);
+                    chunk[j + half] = butterfly_avg(u, v, true);
+                }
+            }
+            len <<= 1;
+        }
+        Ok(())
+    }
+
+    /// In-place normalized inverse transform: `data <- IDFT(data)`.
+    ///
+    /// Uses the conjugation identity so the same scaled forward kernel
+    /// (and thus the same LEA command) serves both directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from
+    /// the plan length.
+    pub fn ifft(&self, data: &mut [ComplexQ15]) -> Result<(), FftError> {
+        self.check(data.len())?;
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.fft(data)?;
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        Ok(())
+    }
+
+    /// Convenience: forward-transforms a real vector into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on length mismatch.
+    pub fn fft_real(&self, data: &[Q15]) -> Result<Vec<ComplexQ15>, FftError> {
+        self.check(data.len())?;
+        let mut buf: Vec<ComplexQ15> = data.iter().copied().map(ComplexQ15::from_real).collect();
+        self.fft(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// Computes `(u ± v) / 2` with the halving folded into the wide
+/// accumulator so no intermediate saturates.
+#[inline]
+fn butterfly_avg(u: ComplexQ15, v: ComplexQ15, subtract: bool) -> ComplexQ15 {
+    let (vre, vim) = if subtract { (-v.re, -v.im) } else { (v.re, v.im) };
+    let re = (MacAcc::from_q15(u.re) + MacAcc::from_q15(vre)).shr_round(1);
+    let im = (MacAcc::from_q15(u.im) + MacAcc::from_q15(vim)).shr_round(1);
+    ComplexQ15::new(re.to_q15(), im.to_q15())
+}
+
+fn bit_reverse_permute(data: &mut [ComplexQ15]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft_f64::{fft_f64, Cf64};
+
+    fn q(v: f32) -> Q15 {
+        Q15::from_f32(v)
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(matches!(FftPlan::new(0), Err(FftError::Empty)));
+        assert!(matches!(FftPlan::new(12), Err(FftError::NotPowerOfTwo(12))));
+        assert!(FftPlan::new(64).is_ok());
+    }
+
+    #[test]
+    fn rejects_mismatched_buffers() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut buf = vec![ComplexQ15::ZERO; 4];
+        assert!(matches!(
+            plan.fft(&mut buf),
+            Err(FftError::LengthMismatch { expected: 8, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let plan = FftPlan::new(16).unwrap();
+        let mut buf = vec![ComplexQ15::from_real(q(0.5)); 16];
+        plan.fft(&mut buf).unwrap();
+        assert!((buf[0].re.to_f64() - 0.5).abs() < 1e-3);
+        for v in &buf[1..] {
+            assert!(v.re.to_f64().abs() < 1e-3 && v.im.to_f64().abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matches_f64_reference_within_quantization_noise() {
+        for n in [4usize, 16, 64, 256] {
+            let plan = FftPlan::new(n).unwrap();
+            let signal: Vec<Q15> = (0..n)
+                .map(|i| q(0.4 * (i as f32 * 0.7).sin() + 0.2 * (i as f32 * 1.9).cos()))
+                .collect();
+            let fixed = plan.fft_real(&signal).unwrap();
+
+            let mut reference: Vec<Cf64> = signal
+                .iter()
+                .map(|v| Cf64::from_real(v.to_f64()))
+                .collect();
+            fft_f64(&mut reference);
+
+            // Fixed output is DFT/N; error budget grows with log2(N) stages.
+            let tol = 1.5 * plan.stages() as f64 / 32768.0 + 2e-4;
+            for (f, r) in fixed.iter().zip(&reference) {
+                assert!(
+                    (f.re.to_f64() - r.re / n as f64).abs() < tol,
+                    "n={n} re: {} vs {}",
+                    f.re.to_f64(),
+                    r.re / n as f64
+                );
+                assert!((f.im.to_f64() - r.im / n as f64).abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_recovers_signal_over_n() {
+        // fft gives x_hat = DFT(x)/N; ifft(x_hat) = IDFT(DFT(x))/N = x/N.
+        let n = 32;
+        let plan = FftPlan::new(n).unwrap();
+        let signal: Vec<Q15> = (0..n).map(|i| q(0.8 * ((i % 7) as f32 / 7.0 - 0.5))).collect();
+        let mut buf: Vec<ComplexQ15> =
+            signal.iter().copied().map(ComplexQ15::from_real).collect();
+        plan.fft(&mut buf).unwrap();
+        plan.ifft(&mut buf).unwrap();
+        for (got, want) in buf.iter().zip(&signal) {
+            let expect = want.to_f64() / n as f64;
+            assert!(
+                (got.re.to_f64() - expect).abs() < 4.0 / 32768.0,
+                "{} vs {}",
+                got.re.to_f64(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_transform_never_saturates() {
+        // Worst case input: full-scale alternating signal.
+        let n = 256;
+        let plan = FftPlan::new(n).unwrap();
+        let signal: Vec<Q15> = (0..n)
+            .map(|i| if i % 2 == 0 { Q15::MAX } else { Q15::MIN })
+            .collect();
+        // If any butterfly overflowed, outputs would alias wildly; the
+        // alternating signal's energy must land in bin N/2.
+        let out = plan.fft_real(&signal).unwrap();
+        assert!(out[n / 2].re.to_f64() > 0.9);
+        for (k, v) in out.iter().enumerate() {
+            if k != n / 2 {
+                assert!(v.re.to_f64().abs() < 0.02, "bin {k} leaked {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_in_fixed_point() {
+        let n = 16;
+        let plan = FftPlan::new(n).unwrap();
+        let a: Vec<Q15> = (0..n).map(|i| q(0.2 * (i as f32 * 0.3).sin())).collect();
+        let b: Vec<Q15> = (0..n).map(|i| q(0.2 * (i as f32 * 1.1).cos())).collect();
+        let sum: Vec<Q15> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+
+        let fa = plan.fft_real(&a).unwrap();
+        let fb = plan.fft_real(&b).unwrap();
+        let fsum = plan.fft_real(&sum).unwrap();
+        for k in 0..n {
+            let lin = fa[k].re.to_f64() + fb[k].re.to_f64();
+            assert!((fsum[k].re.to_f64() - lin).abs() < 3.0 / 32768.0 * plan.stages() as f64);
+        }
+    }
+}

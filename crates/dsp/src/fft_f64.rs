@@ -1,0 +1,233 @@
+//! Double-precision reference FFT.
+//!
+//! RAD trains and validates in floating point before quantization; these
+//! transforms are also the golden reference the fixed-point [`FftPlan`]
+//! (and therefore the whole BCM pipeline) is tested against.
+//!
+//! [`FftPlan`]: crate::FftPlan
+
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// A double-precision complex number (the standard library has none).
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Cf64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cf64 {
+    /// The additive identity.
+    pub const ZERO: Cf64 = Cf64 { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cf64 { re, im }
+    }
+
+    /// Lifts a real number to complex.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Cf64 { re, im: 0.0 }
+    }
+
+    /// `e^{i·theta}`.
+    #[inline]
+    pub fn from_polar(theta: f64) -> Self {
+        Cf64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cf64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl Add for Cf64 {
+    type Output = Cf64;
+    #[inline]
+    fn add(self, rhs: Cf64) -> Cf64 {
+        Cf64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Cf64 {
+    type Output = Cf64;
+    #[inline]
+    fn sub(self, rhs: Cf64) -> Cf64 {
+        Cf64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cf64 {
+    type Output = Cf64;
+    #[inline]
+    fn mul(self, rhs: Cf64) -> Cf64 {
+        Cf64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Cf64 {
+    type Output = Cf64;
+    #[inline]
+    fn neg(self) -> Cf64 {
+        Cf64::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Debug for Cf64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Cf64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}+{:.6}i", self.re, self.im)
+    }
+}
+
+fn bit_reverse_permute(data: &mut [Cf64]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn fft_inner(data: &mut [Cf64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * core::f64::consts::TAU / len as f64;
+        let wlen = Cf64::from_polar(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Cf64::new(1.0, 0.0);
+            let half = len / 2;
+            for j in 0..half {
+                let u = chunk[j];
+                let v = chunk[j + half] * w;
+                chunk[j] = u + v;
+                chunk[j + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place forward DFT (unnormalized): `X[k] = Σ x[n] e^{-2πikn/N}`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_f64(data: &mut [Cf64]) {
+    fft_inner(data, false);
+}
+
+/// In-place inverse DFT with the `1/N` normalization:
+/// `x[n] = (1/N) Σ X[k] e^{+2πikn/N}`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft_f64(data: &mut [Cf64]) {
+    fft_inner(data, true);
+    let inv_n = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = Cf64::new(v.re * inv_n, v.im * inv_n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_transforms_to_ones() {
+        let mut data = vec![Cf64::ZERO; 8];
+        data[0] = Cf64::from_real(1.0);
+        fft_f64(&mut data);
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let mut data: Vec<Cf64> = (0..16)
+            .map(|i| Cf64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        let orig = data.clone();
+        fft_f64(&mut data);
+        ifft_f64(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Cf64> = (0..8).map(|i| Cf64::from_real(i as f64 * 0.1)).collect();
+        let mut fast = x.clone();
+        fft_f64(&mut fast);
+        for k in 0..8 {
+            let mut want = Cf64::ZERO;
+            for (n, xn) in x.iter().enumerate() {
+                let ang = -core::f64::consts::TAU * (k * n) as f64 / 8.0;
+                want = want + *xn * Cf64::from_polar(ang);
+            }
+            assert!((fast[k].re - want.re).abs() < 1e-10);
+            assert!((fast[k].im - want.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x: Vec<Cf64> = (0..32)
+            .map(|i| Cf64::from_real(((i * 7 % 13) as f64 - 6.0) / 13.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
+        let mut freq = x.clone();
+        fft_f64(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|v| v.abs() * v.abs()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Cf64::ZERO; 6];
+        fft_f64(&mut data);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ehdl-dsp — FFT/IFFT and circulant algebra for BCM-compressed layers
+//!
+//! Block-circulant-matrix (BCM) compression turns every fully-connected
+//! layer into a grid of circulant blocks whose matrix-vector product is
+//! computed as `IFFT(FFT(w) ∘ FFT(x))` (§II "Block-circulant matrix",
+//! Algorithm 1). This crate provides that machinery:
+//!
+//! * [`FftPlan`] — a radix-2 fixed-point FFT/IFFT with **per-stage scaling**,
+//!   the same overflow-avoidance discipline TI's LEA FFT command uses. A
+//!   scaled forward transform returns `DFT(x)/N`, so the full BCM pipeline
+//!   yields `y/N²` and Algorithm 1's SCALE-UP by `lI·lW = N²` recovers the
+//!   result — precision loss for large blocks is faithfully reproduced
+//!   (the paper's "larger block size … accuracy degradation" trade-off).
+//! * [`Cf64`] / [`fft_f64`] / [`ifft_f64`] — double-precision reference
+//!   transforms used by tests and by RAD's float-side training.
+//! * [`circulant`] — circulant matrix-vector products, both direct
+//!   (`O(n²)`) and FFT-based (`O(n log n)`), in float and fixed point;
+//!   property tests assert they agree.
+//! * [`conv2d_valid`] — the direct 2-D convolution reference the CONV
+//!   layers and the ACE MAC-based executor are checked against.
+//!
+//! # Example
+//!
+//! ```
+//! use ehdl_dsp::{FftPlan, Cf64};
+//!
+//! // A float circular convolution through the reference transforms.
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let w = [1.0, 0.0, 0.0, 0.0]; // identity kernel
+//! let y = ehdl_dsp::circulant::matvec_f64(&w, &x);
+//! assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+//!
+//! // The fixed-point plan computes DFT/N.
+//! let plan = FftPlan::new(8).expect("power of two");
+//! assert_eq!(plan.len(), 8);
+//! # let _ = Cf64::new(0.0, 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circulant;
+mod conv;
+mod fft;
+mod fft_f64;
+
+pub use conv::{conv2d_valid, correlate2d_valid};
+pub use fft::{FftError, FftPlan};
+pub use fft_f64::{fft_f64, ifft_f64, Cf64};

@@ -1,0 +1,81 @@
+//! Property tests: the four circulant evaluation routes agree, and the
+//! fixed-point FFT obeys transform identities within quantization noise.
+
+use ehdl_dsp::{circulant, fft_f64, ifft_f64, Cf64, FftPlan};
+use ehdl_fixed::Q15;
+use proptest::prelude::*;
+
+fn small_signal(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-0.45f64..0.45, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn circulant_fft_equals_direct_f64(
+        c in small_signal(16),
+        x in small_signal(16),
+    ) {
+        let direct = circulant::matvec_f64(&c, &x);
+        let fast = circulant::matvec_fft_f64(&c, &x);
+        for (a, b) in direct.iter().zip(&fast) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn f64_fft_roundtrip(x in small_signal(32)) {
+        let mut buf: Vec<Cf64> = x.iter().copied().map(Cf64::from_real).collect();
+        fft_f64(&mut buf);
+        ifft_f64(&mut buf);
+        for (got, want) in buf.iter().zip(&x) {
+            prop_assert!((got.re - want).abs() < 1e-10);
+            prop_assert!(got.im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn q15_fft_tracks_f64_fft(x in small_signal(64)) {
+        let n = x.len();
+        let plan = FftPlan::new(n).unwrap();
+        let qx: Vec<Q15> = x.iter().map(|&v| Q15::from_f32(v as f32)).collect();
+        let fixed = plan.fft_real(&qx).unwrap();
+
+        let mut reference: Vec<Cf64> = x.iter().copied().map(Cf64::from_real).collect();
+        fft_f64(&mut reference);
+
+        let tol = 2.0 * plan.stages() as f64 / 32768.0 + 1e-3;
+        for (f, r) in fixed.iter().zip(&reference) {
+            prop_assert!((f.re.to_f64() - r.re / n as f64).abs() < tol);
+            prop_assert!((f.im.to_f64() - r.im / n as f64).abs() < tol);
+        }
+    }
+
+    #[test]
+    fn q15_circulant_fft_tracks_exact(
+        c in small_signal(32),
+        x in small_signal(32),
+    ) {
+        let n = c.len();
+        let plan = FftPlan::new(n).unwrap();
+        let qc: Vec<Q15> = c.iter().map(|&v| Q15::from_f32(v as f32)).collect();
+        let qx: Vec<Q15> = x.iter().map(|&v| Q15::from_f32(v as f32)).collect();
+
+        let exact = circulant::matvec_direct_q15(&qc, &qx);
+        let fft = circulant::matvec_fft_q15(&plan, &qc, &qx).unwrap();
+        for (f, e) in fft.iter().zip(&exact) {
+            let want = e.to_f64() / (n * n) as f64;
+            prop_assert!((f.to_f64() - want).abs() < 8.0 / 32768.0);
+        }
+    }
+
+    #[test]
+    fn projection_then_expansion_is_idempotent(c in small_signal(8)) {
+        let dense = circulant::to_dense_f64(&c);
+        let back = circulant::project_to_circulant(&dense);
+        for (a, b) in back.iter().zip(&c) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The energy-buffer capacitor.
+
+use core::fmt;
+
+/// A capacitor energy buffer with turn-on and brown-out thresholds.
+///
+/// Stored energy follows `E = ½CV²`. The device boots when the voltage
+/// reaches `v_on`, dies when it falls to `v_off` (the MSP430FR5994's
+/// minimum supply), and the source never charges beyond `v_max` (the
+/// function generator's amplitude). The paper's bench uses **100 µF**
+/// (§III-D, Figure 7(b) caption).
+///
+/// # Example
+///
+/// ```
+/// use ehdl_ehsim::Capacitor;
+///
+/// let mut cap = Capacitor::paper_100uf();
+/// let before = cap.volts();
+/// cap.drain_joules(10e-6);
+/// assert!(cap.volts() < before);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    farads: f64,
+    v_max: f64,
+    v_on: f64,
+    v_off: f64,
+    volts: f64,
+}
+
+impl Capacitor {
+    /// Creates a capacitor. The initial voltage is `v_on` (device just
+    /// booted).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_max >= v_on > v_off >= 0` and `farads > 0`.
+    pub fn new(farads: f64, v_max: f64, v_on: f64, v_off: f64) -> Self {
+        assert!(farads > 0.0, "capacitance must be positive");
+        assert!(
+            v_max >= v_on && v_on > v_off && v_off >= 0.0,
+            "need v_max >= v_on > v_off >= 0"
+        );
+        Capacitor {
+            farads,
+            v_max,
+            v_on,
+            v_off,
+            volts: v_on,
+        }
+    }
+
+    /// The paper's setup: 100 µF, charged to 3.3 V, boot at 3.0 V,
+    /// brown-out at 1.8 V. One full discharge carries
+    /// `½·100µF·(3.0² − 1.8²) ≈ 288 µJ` of usable energy.
+    pub fn paper_100uf() -> Self {
+        Capacitor::new(100e-6, 3.3, 3.0, 1.8)
+    }
+
+    /// Capacitance in farads.
+    pub fn farads(&self) -> f64 {
+        self.farads
+    }
+
+    /// Present voltage.
+    pub fn volts(&self) -> f64 {
+        self.volts
+    }
+
+    /// Turn-on threshold.
+    pub fn v_on(&self) -> f64 {
+        self.v_on
+    }
+
+    /// Brown-out threshold.
+    pub fn v_off(&self) -> f64 {
+        self.v_off
+    }
+
+    /// Maximum (source-limited) voltage.
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Stored energy in joules at the present voltage.
+    pub fn energy_joules(&self) -> f64 {
+        0.5 * self.farads * self.volts * self.volts
+    }
+
+    /// Energy in joules usable before brown-out.
+    pub fn usable_joules(&self) -> f64 {
+        (self.energy_joules() - self.energy_at(self.v_off)).max(0.0)
+    }
+
+    /// Usable joules in one full `v_on → v_off` discharge.
+    pub fn discharge_budget_joules(&self) -> f64 {
+        self.energy_at(self.v_on) - self.energy_at(self.v_off)
+    }
+
+    fn energy_at(&self, v: f64) -> f64 {
+        0.5 * self.farads * v * v
+    }
+
+    fn set_energy(&mut self, joules: f64) {
+        let v = (2.0 * joules / self.farads).max(0.0).sqrt();
+        self.volts = v.min(self.v_max);
+    }
+
+    /// Removes `joules`; voltage floors at zero.
+    pub fn drain_joules(&mut self, joules: f64) {
+        let e = (self.energy_joules() - joules).max(0.0);
+        self.set_energy(e);
+    }
+
+    /// Adds `joules`; voltage is capped at `v_max`.
+    pub fn charge_joules(&mut self, joules: f64) {
+        let e = self.energy_joules() + joules;
+        self.set_energy(e);
+    }
+
+    /// `true` once the voltage has fallen below brown-out.
+    pub fn browned_out(&self) -> bool {
+        self.volts < self.v_off
+    }
+
+    /// `true` once the voltage has recovered to the boot threshold.
+    pub fn can_boot(&self) -> bool {
+        self.volts >= self.v_on
+    }
+
+    /// Forces the voltage to the brown-out level (used by the executor
+    /// when a power failure interrupts an op midway).
+    pub fn collapse_to_off(&mut self) {
+        self.volts = self.v_off;
+    }
+
+    /// Recharges to exactly the boot threshold (bench reset in tests).
+    pub fn recharge_to_on(&mut self) {
+        self.volts = self.v_on;
+    }
+}
+
+impl fmt::Display for Capacitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} µF @ {:.2} V ({:.1} µJ usable)",
+            self.farads * 1e6,
+            self.volts,
+            self.usable_joules() * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacitor_budget_is_288uj() {
+        let cap = Capacitor::paper_100uf();
+        let budget = cap.discharge_budget_joules();
+        assert!((budget - 288e-6).abs() < 1e-6, "budget = {budget}");
+    }
+
+    #[test]
+    fn starts_at_boot_voltage() {
+        let cap = Capacitor::paper_100uf();
+        assert_eq!(cap.volts(), 3.0);
+        assert!(cap.can_boot());
+        assert!(!cap.browned_out());
+    }
+
+    #[test]
+    fn drain_to_brownout() {
+        let mut cap = Capacitor::paper_100uf();
+        cap.drain_joules(cap.usable_joules() + 1e-9);
+        assert!(cap.browned_out());
+        assert!(cap.usable_joules() < 1e-9);
+    }
+
+    #[test]
+    fn charge_caps_at_v_max() {
+        let mut cap = Capacitor::paper_100uf();
+        cap.charge_joules(1.0); // way more than capacity
+        assert_eq!(cap.volts(), 3.3);
+    }
+
+    #[test]
+    fn drain_floors_at_zero() {
+        let mut cap = Capacitor::new(1e-6, 3.0, 2.5, 1.0);
+        cap.drain_joules(1.0);
+        assert_eq!(cap.volts(), 0.0);
+        assert_eq!(cap.energy_joules(), 0.0);
+    }
+
+    #[test]
+    fn energy_voltage_roundtrip() {
+        let mut cap = Capacitor::paper_100uf();
+        let e = cap.energy_joules();
+        cap.drain_joules(50e-6);
+        cap.charge_joules(50e-6);
+        assert!((cap.energy_joules() - e).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_max >= v_on > v_off")]
+    fn invalid_thresholds_panic() {
+        let _ = Capacitor::new(100e-6, 3.0, 1.0, 2.0);
+    }
+
+    #[test]
+    fn collapse_and_recharge_helpers() {
+        let mut cap = Capacitor::paper_100uf();
+        cap.collapse_to_off();
+        assert!(!cap.can_boot());
+        assert_eq!(cap.volts(), cap.v_off());
+        cap.recharge_to_on();
+        assert!(cap.can_boot());
+    }
+
+    #[test]
+    fn display_mentions_capacitance() {
+        assert!(Capacitor::paper_100uf().to_string().contains("100 µF"));
+    }
+}

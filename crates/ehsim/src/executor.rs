@@ -1,0 +1,501 @@
+//! The intermittent executor: programs vs. the capacitor.
+
+use crate::program::Program;
+use crate::PowerSupply;
+use core::fmt;
+use ehdl_device::{Board, Component, Cycles, DeviceOp, Energy, EnergyMeter};
+
+/// Tunables for an intermittent run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorConfig {
+    /// Give up after this many power failures.
+    pub max_outages: u64,
+    /// Give up after this many consecutive outages with no committed
+    /// progress — how BASE and bare ACE earn their "✗" in Figure 7(b).
+    pub stall_outages: u64,
+    /// Integration step while recharging with the device off.
+    pub charge_step_s: f64,
+    /// Hard cap on simulated wall-clock time.
+    pub max_wall_seconds: f64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            max_outages: 1_000_000,
+            stall_outages: 50,
+            charge_step_s: 1e-3,
+            max_wall_seconds: 7200.0,
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// All ops executed.
+    Completed,
+    /// Consecutive outages without progress — the inference can never
+    /// finish under this supply (insufficient per-discharge energy for
+    /// the distance between commit points).
+    NoProgress,
+    /// The outage budget was exhausted.
+    OutageLimit,
+    /// The simulated time budget was exhausted.
+    TimeLimit,
+}
+
+impl RunOutcome {
+    /// `true` for [`RunOutcome::Completed`].
+    pub fn is_completed(self) -> bool {
+        self == RunOutcome::Completed
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::NoProgress => "no progress (✗)",
+            RunOutcome::OutageLimit => "outage limit",
+            RunOutcome::TimeLimit => "time limit",
+        })
+    }
+}
+
+/// Everything measured during one intermittent run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Number of power failures.
+    pub outages: u64,
+    /// On-demand (voltage-triggered) checkpoints taken.
+    pub ondemand_checkpoints: u64,
+    /// Restores performed after outages.
+    pub restores: u64,
+    /// Ops executed, including re-execution after rollbacks.
+    pub executed_ops: u64,
+    /// Ops whose work was lost to rollbacks (re-executed later).
+    pub wasted_ops: u64,
+    /// Cycles spent computing (excludes charging) — Figure 7(b)'s metric.
+    pub active_cycles: Cycles,
+    /// Seconds spent computing.
+    pub active_seconds: f64,
+    /// Seconds spent dark, waiting for the capacitor.
+    pub charging_seconds: f64,
+    /// Total simulated wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Total energy drawn from the capacitor.
+    pub energy: Energy,
+    /// Energy attributed to checkpoint/restore traffic (§IV-A.5).
+    pub checkpoint_energy: Energy,
+    /// Full per-component breakdown.
+    pub meter: EnergyMeter,
+}
+
+impl RunReport {
+    /// `true` if the inference finished.
+    pub fn completed(&self) -> bool {
+        self.outcome.is_completed()
+    }
+
+    /// Checkpoint overhead as a fraction of total energy.
+    pub fn checkpoint_overhead(&self) -> f64 {
+        if self.energy.nanojoules() == 0.0 {
+            0.0
+        } else {
+            self.checkpoint_energy.nanojoules() / self.energy.nanojoules()
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} outages, {} ondemand ckpts, active {:.2} ms, charging {:.2} ms, {}",
+            self.outcome,
+            self.outages,
+            self.ondemand_checkpoints,
+            self.active_seconds * 1e3,
+            self.charging_seconds * 1e3,
+            self.energy
+        )
+    }
+}
+
+/// Replays [`Program`]s against a [`PowerSupply`].
+///
+/// # Example
+///
+/// ```
+/// use ehdl_device::{Board, DeviceOp};
+/// use ehdl_ehsim::{
+///     Capacitor, CheckpointSpec, ExecutorConfig, Harvester, IntermittentExecutor,
+///     PowerSupply, Program,
+/// };
+///
+/// let mut program = Program::new("tiny");
+/// for _ in 0..100 {
+///     program.push(DeviceOp::CpuOps { count: 1000 }, CheckpointSpec::COMMIT);
+/// }
+/// let mut board = Board::msp430fr5994();
+/// let mut supply = PowerSupply::new(
+///     Harvester::constant(0.002),
+///     Capacitor::paper_100uf(),
+/// );
+/// let report = IntermittentExecutor::new(ExecutorConfig::default())
+///     .run(&program, &mut board, &mut supply);
+/// assert!(report.completed());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IntermittentExecutor {
+    config: ExecutorConfig,
+}
+
+impl IntermittentExecutor {
+    /// Creates an executor with the given tunables.
+    pub fn new(config: ExecutorConfig) -> Self {
+        IntermittentExecutor { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Runs `program` on `board` powered by `supply`.
+    ///
+    /// The board's meter keeps accumulating across calls; use
+    /// [`Board::reset_clock`] between runs for isolated measurements.
+    pub fn run(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+    ) -> RunReport {
+        let clock = board.costs().clock_hz;
+        let monitor = board.monitor();
+        let ops = program.ops();
+        let n = ops.len();
+
+        let meter_before = board.meter().clone();
+        let mut t = 0.0f64;
+        let mut i = 0usize;
+        let mut committed = 0usize;
+        let mut outages = 0u64;
+        let mut wasted = 0u64;
+        let mut executed = 0u64;
+        let mut ondemand = 0u64;
+        let mut restores = 0u64;
+        let mut active_cycles = 0u64;
+        let mut charging_s = 0.0f64;
+        let mut committed_at_last_outage = usize::MAX;
+        let mut stall = 0u64;
+
+        let outcome = 'run: loop {
+            if i >= n {
+                break 'run RunOutcome::Completed;
+            }
+            if t > self.config.max_wall_seconds {
+                break 'run RunOutcome::TimeLimit;
+            }
+
+            // On-demand (voltage-triggered) checkpoint before op i.
+            if let Some(words) = ops[i].spec.ondemand_words {
+                if committed < i && monitor.warns(supply.capacitor().volts()) {
+                    let ck = DeviceOp::Checkpoint {
+                        words: words as u64,
+                    };
+                    if self.try_execute(&ck, board, supply, &mut t, clock, &mut active_cycles) {
+                        // Checkpoint committed atomically (double-buffered
+                        // in FRAM): progress up to i is now durable.
+                        committed = i;
+                        ondemand += 1;
+                        executed += 1;
+                    }
+                    // If it failed, the previous checkpoint still stands;
+                    // fall through and let the op attempt trigger the
+                    // outage path.
+                }
+            }
+
+            let pop = &ops[i];
+            if self.try_execute(&pop.op, board, supply, &mut t, clock, &mut active_cycles) {
+                executed += 1;
+                if pop.spec.commits {
+                    committed = i + 1;
+                }
+                i += 1;
+                continue;
+            }
+
+            // ---- power failure ----
+            outages += 1;
+            wasted += (i - committed) as u64;
+            supply.capacitor_mut().collapse_to_off();
+
+            if committed == committed_at_last_outage {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            committed_at_last_outage = committed;
+            if stall >= self.config.stall_outages {
+                break 'run RunOutcome::NoProgress;
+            }
+            if outages >= self.config.max_outages {
+                break 'run RunOutcome::OutageLimit;
+            }
+
+            // ---- dark charging phase ----
+            let step = self.config.charge_step_s;
+            while !supply.capacitor().can_boot() {
+                let harvested = supply.harvester().energy_over(t, step);
+                supply.capacitor_mut().charge_joules(harvested);
+                t += step;
+                charging_s += step;
+                if t > self.config.max_wall_seconds {
+                    break 'run RunOutcome::TimeLimit;
+                }
+            }
+
+            // ---- restore ----
+            let restore = DeviceOp::Restore {
+                words: program.restore_words() as u64,
+            };
+            // Freshly booted at v_on: the restore always fits.
+            let cost = board.execute(&restore);
+            supply
+                .capacitor_mut()
+                .drain_joules(cost.energy.nanojoules() * 1e-9);
+            t += cost.cycles.raw() as f64 / clock;
+            active_cycles += cost.cycles.raw();
+            restores += 1;
+            i = committed;
+        };
+
+        let mut meter = board.meter().clone();
+        // Report only this run's share.
+        let mut before_neg = EnergyMeter::new();
+        before_neg.merge(&meter_before);
+        meter = diff_meters(&meter, &before_neg);
+
+        RunReport {
+            outcome,
+            outages,
+            ondemand_checkpoints: ondemand,
+            restores,
+            executed_ops: executed,
+            wasted_ops: wasted,
+            active_cycles: Cycles::new(active_cycles),
+            active_seconds: active_cycles as f64 / clock,
+            charging_seconds: charging_s,
+            wall_seconds: t,
+            energy: meter.total_energy(),
+            checkpoint_energy: meter.energy_of(Component::Checkpoint),
+            meter,
+        }
+    }
+
+    /// Attempts one op: harvests over its duration, checks the budget,
+    /// executes and drains on success. Returns `false` on power failure
+    /// (capacitor collapsed by the caller).
+    fn try_execute(
+        &self,
+        op: &DeviceOp,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        t: &mut f64,
+        clock: f64,
+        active_cycles: &mut u64,
+    ) -> bool {
+        let cost = board.cost(op);
+        let dt = cost.cycles.raw() as f64 / clock;
+        let harvested = supply.harvester().energy_over(*t, dt);
+        supply.capacitor_mut().charge_joules(harvested);
+        let need_j = cost.energy.nanojoules() * 1e-9;
+        if supply.capacitor().usable_joules() < need_j {
+            // Dies partway through the op; time passes anyway.
+            *t += dt;
+            return false;
+        }
+        supply.capacitor_mut().drain_joules(need_j);
+        board.execute(op);
+        *t += dt;
+        *active_cycles += cost.cycles.raw();
+        true
+    }
+}
+
+/// `a - b`, component-wise, assuming `a` extends `b`.
+fn diff_meters(a: &EnergyMeter, b: &EnergyMeter) -> EnergyMeter {
+    let mut out = EnergyMeter::new();
+    for &c in Component::ALL.iter() {
+        let e = a.energy_of(c).saturating_sub(b.energy_of(c));
+        let cy = a.cycles_of(c) - b.cycles_of(c);
+        out.record(c, cy, e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Capacitor, CheckpointSpec, Harvester};
+
+    fn cpu_heavy_program(ops: usize, cycles_per_op: u64, spec: CheckpointSpec) -> Program {
+        let mut p = Program::new("test");
+        for _ in 0..ops {
+            p.push(
+                DeviceOp::CpuOps {
+                    count: cycles_per_op,
+                },
+                spec,
+            );
+        }
+        p
+    }
+
+    fn bench_supply() -> PowerSupply {
+        PowerSupply::new(Harvester::constant(0.010), Capacitor::paper_100uf())
+    }
+
+    fn weak_supply() -> PowerSupply {
+        // 2 mW average square wave: forces many outages on mJ workloads.
+        PowerSupply::new(Harvester::square(0.004, 0.05, 0.5), Capacitor::paper_100uf())
+    }
+
+    #[test]
+    fn strong_supply_completes_without_outage() {
+        // 10 mW in vs ~5.7 mW CPU draw: never browns out.
+        let p = cpu_heavy_program(100, 10_000, CheckpointSpec::COMMIT);
+        let mut board = Board::msp430fr5994();
+        let mut supply = bench_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(r.completed());
+        assert_eq!(r.outages, 0);
+        assert_eq!(r.wasted_ops, 0);
+        assert_eq!(r.executed_ops, 100);
+    }
+
+    #[test]
+    fn committing_program_survives_weak_supply() {
+        // ~3.6 mJ total, ~288 µJ per discharge -> needs many outages but
+        // commits every op, so it always progresses.
+        let p = cpu_heavy_program(1000, 10_000, CheckpointSpec::COMMIT);
+        let mut board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(r.completed(), "{r}");
+        assert!(r.outages > 3, "expected several outages, got {}", r.outages);
+        assert!(r.charging_seconds > 0.0);
+        assert_eq!(r.wasted_ops, 0); // every op commits: nothing re-done
+    }
+
+    #[test]
+    fn base_style_program_never_completes() {
+        // No commits: every outage restarts. Total energy far exceeds one
+        // discharge -> stalls forever -> NoProgress (the paper's ✗).
+        let p = cpu_heavy_program(1000, 10_000, CheckpointSpec::NONE);
+        let mut board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert_eq!(r.outcome, RunOutcome::NoProgress);
+        assert!(!r.completed());
+        assert!(r.wasted_ops > 0);
+    }
+
+    #[test]
+    fn sparse_commits_cause_wasted_work() {
+        // Commit every 50 ops: failures roll back within the window.
+        let mut p = Program::new("sparse");
+        for k in 0..1000usize {
+            let spec = if k % 50 == 49 {
+                CheckpointSpec::COMMIT
+            } else {
+                CheckpointSpec::NONE
+            };
+            p.push(DeviceOp::CpuOps { count: 10_000 }, spec);
+        }
+        let mut board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(r.completed(), "{r}");
+        assert!(r.wasted_ops > 0, "rollbacks must waste work");
+        assert!(r.executed_ops > 1000);
+    }
+
+    #[test]
+    fn ondemand_checkpoint_rescues_commitless_program() {
+        // No eager commits, but on-demand checkpoints allowed everywhere:
+        // the voltage monitor fires near brown-out and saves progress.
+        let mut p = Program::new("ondemand");
+        for _ in 0..1000usize {
+            p.push(
+                DeviceOp::CpuOps { count: 10_000 },
+                CheckpointSpec::ondemand(64),
+            );
+        }
+        let mut board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(r.completed(), "{r}");
+        assert!(r.ondemand_checkpoints > 0);
+        assert!(r.checkpoint_energy.nanojoules() > 0.0);
+        // Wasted work is bounded by the ops between warning and death.
+        assert!(r.wasted_ops < 200, "wasted = {}", r.wasted_ops);
+    }
+
+    #[test]
+    fn checkpoint_overhead_is_small_fraction() {
+        let mut p = Program::new("ondemand");
+        for _ in 0..2000usize {
+            p.push(
+                DeviceOp::CpuOps { count: 5_000 },
+                CheckpointSpec::ondemand(64),
+            );
+        }
+        let mut board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(r.completed());
+        assert!(
+            r.checkpoint_overhead() < 0.05,
+            "overhead = {}",
+            r.checkpoint_overhead()
+        );
+    }
+
+    #[test]
+    fn active_and_wall_time_split() {
+        let p = cpu_heavy_program(500, 10_000, CheckpointSpec::COMMIT);
+        let mut board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(r.completed());
+        assert!(r.wall_seconds >= r.active_seconds + r.charging_seconds - 1e-9);
+        // Active time ≈ cycles/clock.
+        assert!((r.active_seconds - r.active_cycles.raw() as f64 / 16e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_program_completes_trivially() {
+        let p = Program::new("empty");
+        let mut board = Board::msp430fr5994();
+        let mut supply = bench_supply();
+        let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(r.completed());
+        assert_eq!(r.executed_ops, 0);
+    }
+
+    #[test]
+    fn run_continuous_sums_costs() {
+        let p = cpu_heavy_program(10, 100, CheckpointSpec::NONE);
+        let mut board = Board::msp430fr5994();
+        let c = crate::run_continuous(&p, &mut board);
+        assert_eq!(c.cycles.raw(), 1000);
+        assert!(c.energy.nanojoules() > 0.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Harvested-power source waveforms.
+
+use core::fmt;
+
+/// A deterministic power waveform `P(t)` in watts.
+///
+/// The paper drives its board from a SIGLENT SDG1032X function generator
+/// "to simulate the energy harvesting scenario" (§III-D); [`Harvester::square`]
+/// is that instrument. The other shapes cover common harvesting profiles
+/// (solar flicker, RF bursts, recorded traces) so the intermittent runtime
+/// can be stress-tested beyond the paper's setup.
+///
+/// Waveforms are value types evaluated analytically; the executor
+/// integrates them in closed form over each op's duration, so simulation
+/// cost does not depend on the time step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Harvester {
+    /// Constant power (bench supply through a current limiter).
+    Constant {
+        /// Power in watts.
+        watts: f64,
+    },
+    /// Square wave: `watts` during the first `duty` fraction of each
+    /// `period_s`, zero otherwise — the function generator.
+    Square {
+        /// On-phase power in watts.
+        watts: f64,
+        /// Waveform period in seconds.
+        period_s: f64,
+        /// On-phase fraction in `(0, 1]`.
+        duty: f64,
+    },
+    /// Rectified sine: `watts · max(0, sin(2πt/period))` — solar/vibration
+    /// style slow variation.
+    Sine {
+        /// Peak power in watts.
+        watts: f64,
+        /// Waveform period in seconds.
+        period_s: f64,
+    },
+    /// Pseudo-random on/off bursts from a counter-based hash — RF-style
+    /// unpredictable power, deterministic per seed.
+    Bursts {
+        /// On-phase power in watts.
+        watts: f64,
+        /// Length of one on/off decision slot in seconds.
+        slot_s: f64,
+        /// Probability a slot is on, in `[0, 1]`.
+        p_on: f64,
+        /// Hash seed.
+        seed: u64,
+    },
+    /// Piecewise-constant recorded trace, cycled. Samples are
+    /// `(duration_s, watts)` segments.
+    Trace {
+        /// The `(duration, power)` segments, repeated forever.
+        segments: Vec<(f64, f64)>,
+    },
+}
+
+impl Harvester {
+    /// Constant supply.
+    pub fn constant(watts: f64) -> Self {
+        Harvester::Constant { watts }
+    }
+
+    /// Function-generator square wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period_s > 0` and `0 < duty <= 1`.
+    pub fn square(watts: f64, period_s: f64, duty: f64) -> Self {
+        assert!(period_s > 0.0, "period must be positive");
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        Harvester::Square {
+            watts,
+            period_s,
+            duty,
+        }
+    }
+
+    /// Rectified sine source.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period_s > 0`.
+    pub fn sine(watts: f64, period_s: f64) -> Self {
+        assert!(period_s > 0.0, "period must be positive");
+        Harvester::Sine { watts, period_s }
+    }
+
+    /// Random burst source (deterministic per seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slot_s > 0` and `p_on` is a probability.
+    pub fn bursts(watts: f64, slot_s: f64, p_on: f64, seed: u64) -> Self {
+        assert!(slot_s > 0.0, "slot must be positive");
+        assert!((0.0..=1.0).contains(&p_on), "p_on must be in [0, 1]");
+        Harvester::Bursts {
+            watts,
+            slot_s,
+            p_on,
+            seed,
+        }
+    }
+
+    /// Piecewise-constant trace, cycled forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or any duration is non-positive.
+    pub fn trace(segments: Vec<(f64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "trace needs at least one segment");
+        assert!(
+            segments.iter().all(|&(d, _)| d > 0.0),
+            "segment durations must be positive"
+        );
+        Harvester::Trace { segments }
+    }
+
+    /// Instantaneous power at time `t` seconds.
+    pub fn power_at(&self, t: f64) -> f64 {
+        match self {
+            Harvester::Constant { watts } => *watts,
+            Harvester::Square {
+                watts,
+                period_s,
+                duty,
+            } => {
+                let phase = (t / period_s).rem_euclid(1.0);
+                if phase < *duty {
+                    *watts
+                } else {
+                    0.0
+                }
+            }
+            Harvester::Sine { watts, period_s } => {
+                let s = (core::f64::consts::TAU * t / period_s).sin();
+                watts * s.max(0.0)
+            }
+            Harvester::Bursts {
+                watts,
+                slot_s,
+                p_on,
+                seed,
+            } => {
+                let slot = (t / slot_s).floor() as i64 as u64;
+                if split_mix(slot.wrapping_add(*seed)) < (*p_on * u64::MAX as f64) as u64 {
+                    *watts
+                } else {
+                    0.0
+                }
+            }
+            Harvester::Trace { segments } => {
+                let total: f64 = segments.iter().map(|&(d, _)| d).sum();
+                let mut phase = t.rem_euclid(total);
+                for &(d, w) in segments {
+                    if phase < d {
+                        return w;
+                    }
+                    phase -= d;
+                }
+                segments.last().map(|&(_, w)| w).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Energy in joules delivered over `[t0, t0 + dt]`.
+    ///
+    /// Closed-form for constant/square/trace; numeric (Simpson) for the
+    /// remaining shapes with a step well below any waveform feature.
+    pub fn energy_over(&self, t0: f64, dt: f64) -> f64 {
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            Harvester::Constant { watts } => watts * dt,
+            Harvester::Square {
+                watts,
+                period_s,
+                duty,
+            } => {
+                // Integrate the on-fraction of [t0, t0+dt] exactly.
+                let on_time = square_on_time(t0, dt, *period_s, *duty);
+                watts * on_time
+            }
+            Harvester::Trace { segments } => {
+                // Whole cycles in closed form, then a bounded walk over
+                // the remainder. (A naive boundary walk can take
+                // denormal-sized steps from rem_euclid rounding and never
+                // terminate — caught by the executor property tests.)
+                let total: f64 = segments.iter().map(|&(d, _)| d).sum();
+                let per_cycle: f64 = segments.iter().map(|&(d, w)| d * w).sum();
+                let cycles = (dt / total).floor();
+                let mut energy = cycles * per_cycle;
+                let start = t0 + cycles * total;
+                let mut remaining = (t0 + dt) - start;
+
+                // Locate the segment containing the starting phase.
+                let mut phase = start.rem_euclid(total);
+                let mut idx = 0usize;
+                for _ in 0..segments.len() {
+                    if phase < segments[idx].0 {
+                        break;
+                    }
+                    phase -= segments[idx].0;
+                    idx = (idx + 1) % segments.len();
+                }
+
+                // The remainder spans < 2 cycles even with floor slack.
+                for _ in 0..3 * segments.len() {
+                    if remaining <= 1e-15 {
+                        break;
+                    }
+                    let (d, w) = segments[idx];
+                    let step = (d - phase).max(0.0).min(remaining);
+                    energy += w * step;
+                    remaining -= step;
+                    phase = 0.0;
+                    idx = (idx + 1) % segments.len();
+                }
+                energy
+            }
+            _ => {
+                // Simpson's rule with a step bounded by waveform features.
+                let feature = match self {
+                    Harvester::Sine { period_s, .. } => period_s / 64.0,
+                    Harvester::Bursts { slot_s, .. } => slot_s / 4.0,
+                    _ => dt,
+                };
+                let steps = ((dt / feature).ceil() as usize).clamp(2, 100_000);
+                let steps = steps + steps % 2; // Simpson needs even count
+                let h = dt / steps as f64;
+                let mut acc = self.power_at(t0) + self.power_at(t0 + dt);
+                for i in 1..steps {
+                    let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+                    acc += w * self.power_at(t0 + i as f64 * h);
+                }
+                acc * h / 3.0
+            }
+        }
+    }
+
+    /// Long-run average power in watts.
+    pub fn average_power(&self) -> f64 {
+        match self {
+            Harvester::Constant { watts } => *watts,
+            Harvester::Square { watts, duty, .. } => watts * duty,
+            Harvester::Sine { watts, .. } => watts / core::f64::consts::PI,
+            Harvester::Bursts { watts, p_on, .. } => watts * p_on,
+            Harvester::Trace { segments } => {
+                let total: f64 = segments.iter().map(|&(d, _)| d).sum();
+                let energy: f64 = segments.iter().map(|&(d, w)| d * w).sum();
+                energy / total
+            }
+        }
+    }
+}
+
+impl fmt::Display for Harvester {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Harvester::Constant { watts } => write!(f, "constant {:.1} mW", watts * 1e3),
+            Harvester::Square {
+                watts,
+                period_s,
+                duty,
+            } => write!(
+                f,
+                "square {:.1} mW, {:.0} ms period, {:.0}% duty",
+                watts * 1e3,
+                period_s * 1e3,
+                duty * 100.0
+            ),
+            Harvester::Sine { watts, period_s } => write!(
+                f,
+                "sine {:.1} mW peak, {:.0} ms period",
+                watts * 1e3,
+                period_s * 1e3
+            ),
+            Harvester::Bursts { watts, p_on, .. } => write!(
+                f,
+                "bursts {:.1} mW, {:.0}% on",
+                watts * 1e3,
+                p_on * 100.0
+            ),
+            Harvester::Trace { segments } => write!(f, "trace ({} segments)", segments.len()),
+        }
+    }
+}
+
+/// Exact on-time of a square wave over `[t0, t0+dt]`.
+fn square_on_time(t0: f64, dt: f64, period: f64, duty: f64) -> f64 {
+    let on_len = period * duty;
+    // Whole periods contribute on_len each.
+    let full = (dt / period).floor();
+    let mut on = full * on_len;
+    let mut t = t0 + full * period;
+    let end = t0 + dt;
+    // Remainder: walk at most two phase boundaries.
+    while t < end - 1e-15 {
+        let phase = (t / period).rem_euclid(1.0) * period;
+        if phase < on_len {
+            let step = (on_len - phase).min(end - t);
+            on += step;
+            t += step;
+        } else {
+            let step = (period - phase).min(end - t);
+            t += step;
+        }
+    }
+    on
+}
+
+/// SplitMix64 — tiny counter-based hash for the burst source.
+fn split_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_energy_is_linear() {
+        let h = Harvester::constant(0.002);
+        assert!((h.energy_over(0.0, 2.0) - 0.004).abs() < 1e-12);
+        assert_eq!(h.energy_over(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn square_on_phase_and_off_phase() {
+        let h = Harvester::square(0.004, 0.1, 0.5);
+        assert_eq!(h.power_at(0.01), 0.004); // first half: on
+        assert_eq!(h.power_at(0.06), 0.0); // second half: off
+        assert_eq!(h.power_at(0.11), 0.004); // wraps
+    }
+
+    #[test]
+    fn square_energy_exact_over_full_periods() {
+        let h = Harvester::square(0.004, 0.1, 0.25);
+        // 10 periods: on 25% of 1 s = 0.25 s at 4 mW = 1 mJ.
+        assert!((h.energy_over(0.0, 1.0) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_energy_partial_window() {
+        let h = Harvester::square(1.0, 1.0, 0.5);
+        // [0.25, 0.75]: on during [0.25, 0.5] = 0.25 s.
+        assert!((h.energy_over(0.25, 0.5) - 0.25).abs() < 1e-12);
+        // [0.6, 1.2]: on during [1.0, 1.2] = 0.2 s.
+        assert!((h.energy_over(0.6, 0.6) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_average_power_matches_integral() {
+        let h = Harvester::sine(0.003, 0.05);
+        let integral = h.energy_over(0.0, 1.0);
+        assert!((integral - h.average_power()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bursts_are_deterministic_and_respect_p_on() {
+        let h = Harvester::bursts(0.005, 0.01, 0.3, 42);
+        let a = h.power_at(0.123);
+        let b = h.power_at(0.123);
+        assert_eq!(a, b);
+        let on_fraction = (0..10_000)
+            .filter(|i| h.power_at(*i as f64 * 0.01 + 0.005) > 0.0)
+            .count() as f64
+            / 10_000.0;
+        assert!((on_fraction - 0.3).abs() < 0.03, "fraction = {on_fraction}");
+    }
+
+    #[test]
+    fn trace_cycles_segments() {
+        let h = Harvester::trace(vec![(0.1, 0.001), (0.1, 0.0)]);
+        assert_eq!(h.power_at(0.05), 0.001);
+        assert_eq!(h.power_at(0.15), 0.0);
+        assert_eq!(h.power_at(0.25), 0.001); // wrapped
+        let e = h.energy_over(0.0, 0.4); // two full cycles
+        assert!((e - 2.0 * 0.1 * 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_by_shape() {
+        assert!((Harvester::square(4.0, 1.0, 0.5).average_power() - 2.0).abs() < 1e-12);
+        assert!((Harvester::bursts(2.0, 0.1, 0.25, 1).average_power() - 0.5).abs() < 1e-12);
+        let t = Harvester::trace(vec![(1.0, 1.0), (3.0, 0.0)]);
+        assert!((t.average_power() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn bad_duty_panics() {
+        let _ = Harvester::square(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn display_names_waveforms() {
+        assert!(Harvester::constant(0.002).to_string().contains("constant"));
+        assert!(Harvester::square(0.004, 0.05, 0.5).to_string().contains("square"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests on the energy-harvesting executor's invariants.
+
+use ehdl_device::{Board, DeviceOp};
+use ehdl_ehsim::{
+    Capacitor, CheckpointSpec, ExecutorConfig, Harvester, IntermittentExecutor, PowerSupply,
+    Program,
+};
+use proptest::prelude::*;
+
+/// A random but always-completable program: every op commits.
+fn committing_program(ops: &[u16]) -> Program {
+    let mut p = Program::new("prop");
+    for &cycles in ops {
+        p.push(
+            DeviceOp::CpuOps {
+                count: u64::from(cycles) + 1,
+            },
+            CheckpointSpec::COMMIT,
+        );
+    }
+    p
+}
+
+fn run(
+    program: &Program,
+    watts: f64,
+    farads: f64,
+) -> (ehdl_ehsim::RunReport, ehdl_device::Cost) {
+    let mut board = Board::msp430fr5994();
+    let mut supply = PowerSupply::new(
+        Harvester::square(watts, 0.05, 0.5),
+        Capacitor::new(farads, 3.3, 3.0, 1.8),
+    );
+    let report = IntermittentExecutor::new(ExecutorConfig::default()).run(
+        program,
+        &mut board,
+        &mut supply,
+    );
+    let mut fresh = Board::msp430fr5994();
+    let continuous = ehdl_ehsim::run_continuous(program, &mut fresh);
+    (report, continuous)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn committing_programs_always_complete(
+        ops in prop::collection::vec(100u16..5000, 1..200),
+        watts in 0.001f64..0.01,
+    ) {
+        let program = committing_program(&ops);
+        let (report, _) = run(&program, watts, 47e-6);
+        prop_assert!(report.completed(), "{report}");
+    }
+
+    #[test]
+    fn time_accounting_is_consistent(
+        ops in prop::collection::vec(100u16..5000, 1..150),
+    ) {
+        let program = committing_program(&ops);
+        let (report, _) = run(&program, 0.002, 22e-6);
+        prop_assert!(report.completed());
+        // Wall clock covers active + charging.
+        prop_assert!(
+            report.wall_seconds + 1e-9 >= report.active_seconds + report.charging_seconds
+        );
+        // Active time equals cycles at 16 MHz.
+        prop_assert!(
+            (report.active_seconds - report.active_cycles.raw() as f64 / 16e6).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn intermittent_work_is_at_least_continuous_work(
+        ops in prop::collection::vec(100u16..5000, 1..150),
+    ) {
+        // Restores and re-execution can only add work, never remove it.
+        let program = committing_program(&ops);
+        let (report, continuous) = run(&program, 0.002, 22e-6);
+        prop_assert!(report.completed());
+        prop_assert!(report.active_cycles.raw() >= continuous.cycles.raw());
+        prop_assert!(report.energy.nanojoules() >= continuous.energy.nanojoules() - 1e-6);
+    }
+
+    #[test]
+    fn executed_ops_equal_program_plus_waste(
+        ops in prop::collection::vec(100u16..5000, 1..150),
+    ) {
+        let program = committing_program(&ops);
+        let (report, _) = run(&program, 0.002, 22e-6);
+        prop_assert!(report.completed());
+        // Every op commits, so nothing is ever wasted.
+        prop_assert_eq!(report.wasted_ops, 0);
+        prop_assert_eq!(report.executed_ops, ops.len() as u64);
+    }
+
+    #[test]
+    fn capacitor_energy_is_conserved(
+        drains in prop::collection::vec(1e-6f64..50e-6, 1..50),
+    ) {
+        let mut cap = Capacitor::paper_100uf();
+        let mut expected = cap.energy_joules();
+        for d in drains {
+            let before = cap.energy_joules();
+            cap.drain_joules(d);
+            expected = (before - d).max(0.0);
+            prop_assert!((cap.energy_joules() - expected).abs() < 1e-12);
+            cap.charge_joules(d / 2.0);
+            // Charging is capped at v_max but below the cap it is exact.
+            if cap.volts() < cap.v_max() {
+                prop_assert!((cap.energy_joules() - (expected + d / 2.0)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn harvester_energy_is_additive(
+        t0 in 0.0f64..1.0,
+        dt1 in 1e-4f64..0.1,
+        dt2 in 1e-4f64..0.1,
+    ) {
+        for h in [
+            Harvester::constant(0.003),
+            Harvester::square(0.004, 0.05, 0.5),
+            Harvester::trace(vec![(0.01, 0.002), (0.02, 0.0), (0.005, 0.006)]),
+        ] {
+            let whole = h.energy_over(t0, dt1 + dt2);
+            let split = h.energy_over(t0, dt1) + h.energy_over(t0 + dt1, dt2);
+            prop_assert!((whole - split).abs() < 1e-12, "{h}");
+        }
+    }
+}

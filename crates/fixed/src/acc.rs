@@ -1,0 +1,215 @@
+//! Wide multiply-accumulate register (the LEA MAC accumulator).
+
+use crate::Q15;
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// A wide accumulator for sums of `Q15 * Q15` products.
+///
+/// TI's LEA performs its MAC command with a 32-bit accumulator so that long
+/// dot products (a whole convolution kernel at a time, §III-B "Hardware
+/// Acceleration of CONV layer") do not overflow between elements. We model
+/// it with 64 bits of headroom at **Q30 scale** — the natural scale of a
+/// product of two Q15 values — which makes accumulation exact for any
+/// realistic kernel length and pushes all rounding to the single final
+/// conversion back to [`Q15`].
+///
+/// # Example
+///
+/// ```
+/// use ehdl_fixed::{MacAcc, Q15};
+///
+/// let xs = [Q15::from_f32(0.5); 8];
+/// let ws = [Q15::from_f32(0.125); 8];
+/// let acc: MacAcc = xs.iter().zip(&ws).map(|(&x, &w)| MacAcc::product(x, w)).sum();
+/// assert_eq!(acc.to_q15().to_f32(), 0.5);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MacAcc(i64);
+
+impl MacAcc {
+    /// The zero accumulator.
+    pub const ZERO: MacAcc = MacAcc(0);
+
+    /// Creates an accumulator holding the exact product `a * b` (Q30 scale).
+    #[inline]
+    pub fn product(a: Q15, b: Q15) -> MacAcc {
+        MacAcc(a.raw() as i64 * b.raw() as i64)
+    }
+
+    /// Creates an accumulator from a `Q15` value (scales raw up to Q30).
+    #[inline]
+    pub fn from_q15(v: Q15) -> MacAcc {
+        MacAcc((v.raw() as i64) << 15)
+    }
+
+    /// Accumulates `a * b` exactly.
+    #[inline]
+    pub fn mac(&mut self, a: Q15, b: Q15) {
+        self.0 += a.raw() as i64 * b.raw() as i64;
+    }
+
+    /// Raw Q30-scaled two's-complement contents.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Reconstructs an accumulator from its raw Q30-scaled contents
+    /// (inverse of [`MacAcc::raw`]).
+    #[inline]
+    pub const fn from_raw(raw: i64) -> MacAcc {
+        MacAcc(raw)
+    }
+
+
+    /// Converts back to `Q15` with round-to-nearest and saturation.
+    ///
+    /// Saturation here corresponds to the accumulator result exceeding the
+    /// `[-1, 1)` output range — the overflow condition that RAD's cosine
+    /// normalization is designed to prevent (§III-A "Normalization").
+    #[inline]
+    pub fn to_q15(self) -> Q15 {
+        let rounded = (self.0 + (1 << 14)) >> 15;
+        Q15::from_raw(rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+    }
+
+    /// Converts back to `Q15` reporting whether saturation occurred.
+    #[inline]
+    pub fn overflowing_to_q15(self) -> (Q15, bool) {
+        let rounded = (self.0 + (1 << 14)) >> 15;
+        let clamped = rounded.clamp(i16::MIN as i64, i16::MAX as i64);
+        (Q15::from_raw(clamped as i16), clamped != rounded)
+    }
+
+    /// Interprets the accumulator as a real number.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1i64 << 30) as f64
+    }
+
+    /// Arithmetic right shift with round-to-nearest (used by scaled FFT
+    /// butterflies that accumulate before scaling down).
+    #[inline]
+    pub fn shr_round(self, shift: u32) -> MacAcc {
+        if shift == 0 {
+            return self;
+        }
+        let bias = 1i64 << (shift - 1);
+        MacAcc((self.0 + bias) >> shift)
+    }
+}
+
+/// Multiplies by `2^shift` (exact while within the i64 headroom) —
+/// the wide-domain SCALE-UP of Algorithm 1.
+impl core::ops::Shl<u32> for MacAcc {
+    type Output = MacAcc;
+    #[inline]
+    fn shl(self, shift: u32) -> MacAcc {
+        MacAcc(self.0 << shift.min(33))
+    }
+}
+
+impl Add for MacAcc {
+    type Output = MacAcc;
+    #[inline]
+    fn add(self, rhs: MacAcc) -> MacAcc {
+        MacAcc(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MacAcc {
+    #[inline]
+    fn add_assign(&mut self, rhs: MacAcc) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::iter::Sum for MacAcc {
+    fn sum<I: Iterator<Item = MacAcc>>(iter: I) -> MacAcc {
+        iter.fold(MacAcc::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for MacAcc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAcc({:.9} raw {})", self.to_f64(), self.0)
+    }
+}
+
+impl fmt::Display for MacAcc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}", self.to_f64())
+    }
+}
+
+impl From<Q15> for MacAcc {
+    #[inline]
+    fn from(v: Q15) -> MacAcc {
+        MacAcc::from_q15(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_dot_product_is_exact() {
+        // 150 elements = a 6x5x5 kernel, the largest MAC in the MNIST model.
+        let x = Q15::from_f32(0.05);
+        let w = Q15::from_f32(0.1);
+        let mut acc = MacAcc::ZERO;
+        for _ in 0..150 {
+            acc.mac(x, w);
+        }
+        let exact = 150.0 * x.to_f64() * w.to_f64();
+        assert!((acc.to_f64() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_q15_saturates_when_out_of_range() {
+        let mut acc = MacAcc::ZERO;
+        for _ in 0..10 {
+            acc.mac(Q15::from_f32(0.9), Q15::from_f32(0.9));
+        }
+        let (v, sat) = acc.overflowing_to_q15();
+        assert!(sat);
+        assert_eq!(v, Q15::MAX);
+    }
+
+    #[test]
+    fn from_q15_roundtrips() {
+        for v in [-0.75f32, 0.0, 0.3, 0.999] {
+            let q = Q15::from_f32(v);
+            assert_eq!(MacAcc::from_q15(q).to_q15(), q);
+        }
+    }
+
+    #[test]
+    fn negative_saturation() {
+        let mut acc = MacAcc::ZERO;
+        for _ in 0..10 {
+            acc.mac(Q15::from_f32(-0.9), Q15::from_f32(0.9));
+        }
+        let (v, sat) = acc.overflowing_to_q15();
+        assert!(sat);
+        assert_eq!(v, Q15::MIN);
+    }
+
+    #[test]
+    fn shr_round_halves() {
+        let acc = MacAcc::product(Q15::HALF, Q15::HALF); // 0.25 at Q30
+        assert!((acc.shr_round(1).to_f64() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = [
+            MacAcc::product(Q15::HALF, Q15::HALF),
+            MacAcc::product(Q15::HALF, Q15::HALF),
+        ];
+        let total: MacAcc = parts.into_iter().sum();
+        assert!((total.to_f64() - 0.5).abs() < 1e-9);
+    }
+}

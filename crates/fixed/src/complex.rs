@@ -1,0 +1,236 @@
+//! Complex fixed-point samples for the FFT-based BCM pipeline.
+
+use crate::{MacAcc, Q15};
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with [`Q15`] real and imaginary parts.
+///
+/// Algorithm 1 of the paper converts real inputs and weights to complex
+/// form (`cI <- COMPLEX(I)`, lines 5–6) before running
+/// `IFFT(FFT(cI) * FFT(cW))`. This type is the element format of those
+/// buffers, and its [`Mul`] impl is the element-wise complex multiply the
+/// LEA performs between the two transforms.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_fixed::{ComplexQ15, Q15};
+///
+/// let i = ComplexQ15::new(Q15::ZERO, Q15::HALF);          //  0.5j
+/// let j = ComplexQ15::new(Q15::ZERO, Q15::HALF);
+/// assert_eq!((i * j).re.to_f32(), -0.25);                  // j*j = -1
+/// assert_eq!((i * j).im, Q15::ZERO);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ComplexQ15 {
+    /// Real part.
+    pub re: Q15,
+    /// Imaginary part.
+    pub im: Q15,
+}
+
+impl ComplexQ15 {
+    /// The additive identity.
+    pub const ZERO: ComplexQ15 = ComplexQ15 {
+        re: Q15::ZERO,
+        im: Q15::ZERO,
+    };
+
+    /// Creates a complex sample from parts.
+    #[inline]
+    pub const fn new(re: Q15, im: Q15) -> Self {
+        ComplexQ15 { re, im }
+    }
+
+    /// Lifts a real sample into complex form (`COMPLEX(...)` of Algorithm 1).
+    #[inline]
+    pub const fn from_real(re: Q15) -> Self {
+        ComplexQ15 { re, im: Q15::ZERO }
+    }
+
+    /// Extracts the real part (`REAL(...)` of Algorithm 1, line 8).
+    #[inline]
+    pub const fn real(self) -> Q15 {
+        self.re
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        ComplexQ15 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude as an exact wide accumulator.
+    #[inline]
+    pub fn norm_sqr(self) -> MacAcc {
+        let mut acc = MacAcc::product(self.re, self.re);
+        acc.mac(self.im, self.im);
+        acc
+    }
+
+    /// Complex multiply with the products accumulated exactly at Q30 and a
+    /// single rounding per component — how a MAC-equipped accelerator
+    /// computes it, tighter than rounding each of the four partial products.
+    #[inline]
+    pub fn mul_exact(self, rhs: Self) -> Self {
+        let mut re_acc = MacAcc::product(self.re, rhs.re);
+        re_acc.mac(-self.im, rhs.im);
+        let mut im_acc = MacAcc::product(self.re, rhs.im);
+        im_acc.mac(self.im, rhs.re);
+        ComplexQ15 {
+            re: re_acc.to_q15(),
+            im: im_acc.to_q15(),
+        }
+    }
+
+    /// Complex multiply reporting whether either component saturated.
+    #[inline]
+    pub fn overflowing_mul(self, rhs: Self) -> (Self, bool) {
+        let mut re_acc = MacAcc::product(self.re, rhs.re);
+        re_acc.mac(-self.im, rhs.im);
+        let mut im_acc = MacAcc::product(self.re, rhs.im);
+        im_acc.mac(self.im, rhs.re);
+        let (re, s1) = re_acc.overflowing_to_q15();
+        let (im, s2) = im_acc.overflowing_to_q15();
+        (ComplexQ15 { re, im }, s1 || s2)
+    }
+
+    /// Halves both components with rounding (per-stage FFT scaling).
+    #[inline]
+    pub fn shr_round(self, shift: u32) -> Self {
+        ComplexQ15 {
+            re: self.re.shr_round(shift),
+            im: self.im.shr_round(shift),
+        }
+    }
+}
+
+impl Add for ComplexQ15 {
+    type Output = ComplexQ15;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        ComplexQ15 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for ComplexQ15 {
+    type Output = ComplexQ15;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        ComplexQ15 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for ComplexQ15 {
+    type Output = ComplexQ15;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_exact(rhs)
+    }
+}
+
+impl Neg for ComplexQ15 {
+    type Output = ComplexQ15;
+    #[inline]
+    fn neg(self) -> Self {
+        ComplexQ15 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl fmt::Debug for ComplexQ15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} + {:?}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for ComplexQ15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im.is_negative() {
+            write!(f, "{}-{}i", self.re, self.im.abs())
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<Q15> for ComplexQ15 {
+    #[inline]
+    fn from(re: Q15) -> Self {
+        ComplexQ15::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f32, im: f32) -> ComplexQ15 {
+        ComplexQ15::new(Q15::from_f32(re), Q15::from_f32(im))
+    }
+
+    #[test]
+    fn multiply_matches_float_reference() {
+        let cases = [
+            (c(0.5, 0.25), c(-0.25, 0.5)),
+            (c(0.1, -0.9), c(0.3, 0.3)),
+            (c(0.0, 0.5), c(0.0, 0.5)),
+        ];
+        for (a, b) in cases {
+            let got = a * b;
+            let (ar, ai) = (a.re.to_f64(), a.im.to_f64());
+            let (br, bi) = (b.re.to_f64(), b.im.to_f64());
+            let want_re = ar * br - ai * bi;
+            let want_im = ar * bi + ai * br;
+            assert!((got.re.to_f64() - want_re).abs() < 1e-4);
+            assert!((got.im.to_f64() - want_im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conjugate_flips_imaginary() {
+        let a = c(0.5, 0.25);
+        assert_eq!(a.conj().im.to_f32(), -0.25);
+        assert_eq!(a.conj().re, a.re);
+    }
+
+    #[test]
+    fn from_real_has_zero_imaginary() {
+        let a = ComplexQ15::from_real(Q15::HALF);
+        assert_eq!(a.im, Q15::ZERO);
+        assert_eq!(a.real(), Q15::HALF);
+    }
+
+    #[test]
+    fn norm_sqr_is_exact() {
+        let a = c(0.5, 0.5);
+        assert!((a.norm_sqr().to_f64() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        // (0.9+0.9i)^2 -> re = 0 - 0.81... fine; im = 1.62 overflows.
+        let a = c(0.9, 0.9);
+        let (_, sat) = a.overflowing_mul(a);
+        assert!(sat);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = c(0.3, -0.2);
+        let b = c(0.1, 0.4);
+        assert_eq!((a + b) - b, a);
+    }
+}

@@ -1,0 +1,58 @@
+//! # ehdl-fixed — 16-bit fixed-point arithmetic for energy-harvesting DNN inference
+//!
+//! The paper's RAD framework maps high-precision floating point to **16-bit
+//! fixed point** (§III-A "Fixed-point quantization"), and ACE executes every
+//! vector operation in that representation (§III-B "Quantization": the rule
+//! `B = A * 2^(b-1)` with `b = 16`). This crate is the arithmetic substrate
+//! shared by the DSP kernels, the quantized inference path and the device
+//! model:
+//!
+//! * [`Q15`] — the signed 1.15 fixed-point sample type (range `[-1, 1)`),
+//!   exactly the format TI's LEA operates on,
+//! * [`MacAcc`] — the wide multiply-accumulate register used by LEA's MAC
+//!   command (products of two `Q15`s accumulate at Q30 scale),
+//! * [`ComplexQ15`] — complex samples for the FFT → element-wise multiply →
+//!   IFFT pipeline of Algorithm 1,
+//! * [`ops`] — slice-level vector operations mirroring the LEA command set
+//!   (ADD, MPY, MAC, SCALE),
+//! * [`OverflowStats`] — saturation accounting so the "overflow-aware
+//!   computation" of ACE can be validated (a run with scaling enabled must
+//!   report zero saturations; one without may not).
+//!
+//! # Example
+//!
+//! ```
+//! use ehdl_fixed::{Q15, MacAcc};
+//!
+//! let a = Q15::from_f32(0.5);
+//! let b = Q15::from_f32(-0.25);
+//! assert_eq!((a * b).to_f32(), -0.125);
+//!
+//! // A dot product accumulates exactly at Q30 scale, like LEA's MAC.
+//! let mut acc = MacAcc::ZERO;
+//! for _ in 0..4 {
+//!     acc.mac(a, b);
+//! }
+//! assert_eq!(acc.to_q15().to_f32(), -0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acc;
+mod complex;
+pub mod ops;
+mod overflow;
+mod q15;
+
+pub use acc::MacAcc;
+pub use complex::ComplexQ15;
+pub use overflow::OverflowStats;
+pub use q15::{ParseQ15Error, Q15};
+
+/// Number of fractional bits in the [`Q15`] format.
+pub const FRAC_BITS: u32 = 15;
+
+/// The scale factor `2^15` used by the paper's quantization rule
+/// `B = A * 2^(b-1)` with `b = 16`.
+pub const SCALE: f32 = 32768.0;

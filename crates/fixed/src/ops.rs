@@ -1,0 +1,258 @@
+//! Slice-level vector operations mirroring the LEA command set.
+//!
+//! TI's low-energy accelerator exposes whole-vector commands — ADD, MPY
+//! (element-wise multiply), MAC (dot product), scaling and FFT — that run
+//! without CPU intervention (§II "Low Energy Accelerators"). These free
+//! functions are the software-visible semantics of those commands; the
+//! device model in `ehdl-device` charges cycles/energy for them, and both
+//! the ACE runtime and the reference quantized forward pass call them so
+//! that results are bit-identical across execution strategies.
+
+use crate::{ComplexQ15, MacAcc, OverflowStats, Q15};
+
+/// Element-wise saturating addition: `out[i] = a[i] + b[i]` (LEA ADD).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn add(a: &[Q15], b: &[Q15], out: &mut [Q15]) {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    assert_eq!(a.len(), out.len(), "output length mismatch");
+    for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        *o = x + y;
+    }
+}
+
+/// Element-wise saturating multiply: `out[i] = a[i] * b[i]` (LEA MPY).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn mpy(a: &[Q15], b: &[Q15], out: &mut [Q15]) {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    assert_eq!(a.len(), out.len(), "output length mismatch");
+    for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        *o = x * y;
+    }
+}
+
+/// Dot product with an exact wide accumulator (LEA MAC).
+///
+/// This is the single-command replacement for the "9 multiplications and
+/// 9 additions" of a 3×3 kernel window that Figure 4 of the paper
+/// illustrates: the whole kernel is one MAC invocation.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn mac(a: &[Q15], b: &[Q15]) -> MacAcc {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let mut acc = MacAcc::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        acc.mac(x, y);
+    }
+    acc
+}
+
+/// Dot product that counts final-conversion saturation into `stats`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn mac_tracked(a: &[Q15], b: &[Q15], stats: &mut OverflowStats) -> Q15 {
+    let (v, sat) = mac(a, b).overflowing_to_q15();
+    if sat {
+        stats.record_saturation();
+    }
+    v
+}
+
+/// Element-wise complex multiply (the MPY between FFT and IFFT in
+/// Algorithm 1 line 7), tracking saturations.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn cmul_tracked(
+    a: &[ComplexQ15],
+    b: &[ComplexQ15],
+    out: &mut [ComplexQ15],
+    stats: &mut OverflowStats,
+) {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    assert_eq!(a.len(), out.len(), "output length mismatch");
+    for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        let (v, sat) = x.overflowing_mul(y);
+        if sat {
+            stats.record_saturation();
+        }
+        *o = v;
+    }
+}
+
+/// In-place SCALE-DOWN by an integer length (Algorithm 1 lines 11–16).
+pub fn scale_down(data: &mut [Q15], len: u32) {
+    for v in data.iter_mut() {
+        *v = v.div_int(len);
+    }
+}
+
+/// In-place SCALE-UP by `l_i * l_w` (Algorithm 1 lines 17–22), saturating.
+pub fn scale_up(data: &mut [Q15], l_i: u32, l_w: u32) {
+    let k = l_i.saturating_mul(l_w);
+    for v in data.iter_mut() {
+        *v = v.mul_int_saturating(k);
+    }
+}
+
+/// Multiplies every element by a fixed-point constant (LEA SCALE command).
+pub fn scale(data: &mut [Q15], factor: Q15) {
+    for v in data.iter_mut() {
+        *v = *v * factor;
+    }
+}
+
+/// Largest absolute value in the slice, or zero for an empty slice.
+///
+/// RAD's normalization uses this to pick per-tensor scale factors so data
+/// stays inside `[-1, 1]`.
+pub fn max_abs(data: &[Q15]) -> Q15 {
+    data.iter().map(|v| v.abs()).max().unwrap_or(Q15::ZERO)
+}
+
+/// Sum of absolute values as an exact accumulator — the FFT overflow
+/// predictor of §III-B ("the FFT will produce wrong results if the addition
+/// of the input array elements exceeds" the format capacity).
+pub fn sum_abs(data: &[Q15]) -> MacAcc {
+    let mut acc = MacAcc::ZERO;
+    for &v in data {
+        acc += MacAcc::from_q15(v.abs());
+    }
+    acc
+}
+
+/// Lifts a real vector to complex (`COMPLEX(...)`, Algorithm 1 lines 5–6).
+pub fn to_complex(data: &[Q15]) -> Vec<ComplexQ15> {
+    data.iter().copied().map(ComplexQ15::from_real).collect()
+}
+
+/// Extracts real parts (`REAL(...)`, Algorithm 1 line 8).
+pub fn to_real(data: &[ComplexQ15]) -> Vec<Q15> {
+    data.iter().map(|c| c.real()).collect()
+}
+
+/// Quantizes an `f32` slice to `Q15`.
+pub fn quantize(data: &[f32]) -> Vec<Q15> {
+    data.iter().copied().map(Q15::from_f32).collect()
+}
+
+/// Dequantizes a `Q15` slice to `f32`.
+pub fn dequantize(data: &[Q15]) -> Vec<f32> {
+    data.iter().map(|q| q.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: f32) -> Q15 {
+        Q15::from_f32(v)
+    }
+
+    #[test]
+    fn add_matches_scalar() {
+        let a = vec![q(0.1), q(0.9), q(-0.5)];
+        let b = vec![q(0.2), q(0.9), q(-0.9)];
+        let mut out = vec![Q15::ZERO; 3];
+        add(&a, &b, &mut out);
+        assert_eq!(out[0], q(0.1) + q(0.2));
+        assert_eq!(out[1], Q15::MAX); // saturated
+        assert_eq!(out[2], Q15::MIN); // saturated
+    }
+
+    #[test]
+    fn mac_equals_manual_loop() {
+        let a: Vec<Q15> = (0..25).map(|i| q(0.01 * i as f32)).collect();
+        let b: Vec<Q15> = (0..25).map(|i| q(0.02 * i as f32)).collect();
+        let acc = mac(&a, &b);
+        let want: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.to_f64() * y.to_f64())
+            .sum();
+        assert!((acc.to_f64() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand length mismatch")]
+    fn mac_length_mismatch_panics() {
+        let _ = mac(&[Q15::ZERO], &[Q15::ZERO, Q15::ZERO]);
+    }
+
+    #[test]
+    fn scale_down_then_up_approximates_identity() {
+        let mut data: Vec<Q15> = (0..64).map(|i| q((i as f32 - 32.0) / 64.0)).collect();
+        let orig = data.clone();
+        scale_down(&mut data, 8);
+        scale_up(&mut data, 8, 1);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.to_f64() - b.to_f64()).abs() <= 8.0 / crate::SCALE as f64);
+        }
+    }
+
+    #[test]
+    fn max_abs_and_sum_abs() {
+        let data = vec![q(0.5), q(-0.75), q(0.1)];
+        assert_eq!(max_abs(&data), q(0.75));
+        assert!((sum_abs(&data).to_f64() - 1.35).abs() < 1e-3);
+        assert_eq!(max_abs(&[]), Q15::ZERO);
+    }
+
+    #[test]
+    fn complex_roundtrip() {
+        let data = vec![q(0.25), q(-0.5)];
+        let c = to_complex(&data);
+        assert_eq!(to_real(&c), data);
+        assert!(c.iter().all(|v| v.im == Q15::ZERO));
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded() {
+        let data = vec![0.123f32, -0.456, 0.789];
+        let roundtrip = dequantize(&quantize(&data));
+        for (a, b) in data.iter().zip(&roundtrip) {
+            assert!((a - b).abs() <= 0.5 / crate::SCALE);
+        }
+    }
+
+    #[test]
+    fn tracked_ops_count_saturation() {
+        let mut stats = OverflowStats::new();
+        let a = vec![q(0.9); 4];
+        let _ = mac_tracked(&a, &a, &mut stats); // 4*0.81 > 1 -> saturates
+        assert_eq!(stats.saturations(), 1);
+
+        let ca = to_complex(&a);
+        let mut out = vec![ComplexQ15::ZERO; 4];
+        cmul_tracked(&ca, &ca, &mut out, &mut stats);
+        assert_eq!(stats.saturations(), 1); // 0.81 per element: no saturation
+    }
+
+    #[test]
+    fn mpy_elementwise() {
+        let a = vec![q(0.5), q(0.5)];
+        let b = vec![q(0.5), q(-0.5)];
+        let mut out = vec![Q15::ZERO; 2];
+        mpy(&a, &b, &mut out);
+        assert_eq!(out[0].to_f32(), 0.25);
+        assert_eq!(out[1].to_f32(), -0.25);
+    }
+
+    #[test]
+    fn scale_by_q15_constant() {
+        let mut data = vec![q(0.5), q(-0.5)];
+        scale(&mut data, q(0.5));
+        assert_eq!(data[0].to_f32(), 0.25);
+        assert_eq!(data[1].to_f32(), -0.25);
+    }
+}

@@ -1,0 +1,148 @@
+//! Saturation accounting for overflow-aware computation.
+
+use core::fmt;
+
+/// Counters for fixed-point saturation events.
+///
+/// §III-B of the paper ("Overflow-aware Computation") argues that fixed
+/// point on resource-constrained devices "frequently suffers from data
+/// overflow errors" and that ACE must scale data so overflow never occurs.
+/// This type makes that property *testable*: the quantized inference path
+/// threads an `OverflowStats` through every tracked operation, and the test
+/// suite asserts that a properly scaled run reports **zero** saturations
+/// while a deliberately unscaled run reports some.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_fixed::{ops, OverflowStats, Q15};
+///
+/// let mut stats = OverflowStats::new();
+/// let big = vec![Q15::from_f32(0.9); 8];
+/// let _ = ops::mac_tracked(&big, &big, &mut stats);
+/// assert!(stats.any()); // 8 * 0.81 > 1.0 saturated the output
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct OverflowStats {
+    saturations: u64,
+    ops: u64,
+}
+
+impl OverflowStats {
+    /// Creates a zeroed counter set.
+    pub const fn new() -> Self {
+        OverflowStats {
+            saturations: 0,
+            ops: 0,
+        }
+    }
+
+    /// Records one saturation event.
+    #[inline]
+    pub fn record_saturation(&mut self) {
+        self.saturations += 1;
+        self.ops += 1;
+    }
+
+    /// Records one operation that completed without saturating.
+    #[inline]
+    pub fn record_ok(&mut self) {
+        self.ops += 1;
+    }
+
+    /// Number of saturation events observed.
+    #[inline]
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+
+    /// Number of tracked operations (saturated or not).
+    #[inline]
+    pub fn tracked_ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// `true` if at least one saturation occurred.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.saturations > 0
+    }
+
+    /// Fraction of tracked operations that saturated (0 if none tracked).
+    pub fn saturation_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.saturations as f64 / self.ops as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &OverflowStats) {
+        self.saturations += other.saturations;
+        self.ops += other.ops;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = OverflowStats::new();
+    }
+}
+
+impl fmt::Display for OverflowStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} saturations / {} tracked ops ({:.4}%)",
+            self.saturations,
+            self.ops,
+            100.0 * self.saturation_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let mut s = OverflowStats::new();
+        assert!(!s.any());
+        assert_eq!(s.saturation_rate(), 0.0);
+        s.record_ok();
+        s.record_saturation();
+        assert!(s.any());
+        assert_eq!(s.saturations(), 1);
+        assert_eq!(s.tracked_ops(), 2);
+        assert!((s.saturation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OverflowStats::new();
+        a.record_saturation();
+        let mut b = OverflowStats::new();
+        b.record_ok();
+        b.record_saturation();
+        a.merge(&b);
+        assert_eq!(a.saturations(), 2);
+        assert_eq!(a.tracked_ops(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = OverflowStats::new();
+        s.record_saturation();
+        s.reset();
+        assert_eq!(s, OverflowStats::new());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = OverflowStats::new();
+        s.record_saturation();
+        let text = s.to_string();
+        assert!(text.contains("1 saturations"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The signed 1.15 fixed-point sample type.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+/// A signed 16-bit fixed-point number with 15 fractional bits (Q1.15).
+///
+/// This is the native sample format of TI's low-energy accelerator and the
+/// representation RAD quantizes every weight and activation into. The value
+/// represented is `raw / 2^15`, covering `[-1.0, 1.0 - 2^-15]`.
+///
+/// All arithmetic **saturates** instead of wrapping: on a real LEA the
+/// saturation mode is what keeps an overflowing FFT from producing garbage,
+/// and saturation events are what the overflow-aware scaling of ACE
+/// (Algorithm 1) is designed to avoid. Use the `*_tracked` methods together
+/// with [`OverflowStats`](crate::OverflowStats) when you need to count them.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_fixed::Q15;
+///
+/// let half = Q15::from_f32(0.5);
+/// assert_eq!(half + half, Q15::MAX);         // saturates below 1.0
+/// assert_eq!((half * half).to_f32(), 0.25);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Q15(i16);
+
+impl Q15 {
+    /// Zero.
+    pub const ZERO: Q15 = Q15(0);
+    /// The largest representable value, `1 - 2^-15`.
+    pub const MAX: Q15 = Q15(i16::MAX);
+    /// The smallest representable value, exactly `-1.0`.
+    pub const MIN: Q15 = Q15(i16::MIN);
+    /// One least-significant bit, `2^-15`.
+    pub const EPSILON: Q15 = Q15(1);
+    /// One half.
+    pub const HALF: Q15 = Q15(1 << 14);
+
+    /// Creates a `Q15` from its raw two's-complement representation.
+    #[inline]
+    pub const fn from_raw(raw: i16) -> Self {
+        Q15(raw)
+    }
+
+    /// Returns the raw two's-complement representation.
+    #[inline]
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Quantizes an `f32` using the paper's rule `B = A * 2^(b-1)` with
+    /// `b = 16`, rounding to nearest and saturating to the representable
+    /// range. Non-finite inputs map to [`Q15::ZERO`].
+    #[inline]
+    pub fn from_f32(v: f32) -> Self {
+        if !v.is_finite() {
+            return Q15::ZERO;
+        }
+        let scaled = (v * crate::SCALE).round();
+        Q15(scaled.clamp(i16::MIN as f32, i16::MAX as f32) as i16)
+    }
+
+    /// Dequantizes to `f32` (`raw / 2^15`).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / crate::SCALE
+    }
+
+    /// Dequantizes to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / crate::SCALE as f64
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Fixed-point multiply with round-to-nearest and saturation.
+    ///
+    /// The only product that can overflow is `MIN * MIN` (`-1 * -1 = +1`,
+    /// which is not representable); it saturates to [`Q15::MAX`].
+    #[inline]
+    pub fn saturating_mul(self, rhs: Q15) -> Q15 {
+        let wide = self.0 as i32 * rhs.0 as i32;
+        let rounded = (wide + (1 << 14)) >> 15;
+        Q15(rounded.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+
+    /// Addition that also reports whether saturation occurred.
+    #[inline]
+    pub fn overflowing_add(self, rhs: Q15) -> (Q15, bool) {
+        let wide = self.0 as i32 + rhs.0 as i32;
+        let clamped = wide.clamp(i16::MIN as i32, i16::MAX as i32);
+        (Q15(clamped as i16), clamped != wide)
+    }
+
+    /// Multiplication that also reports whether saturation occurred.
+    #[inline]
+    pub fn overflowing_mul(self, rhs: Q15) -> (Q15, bool) {
+        let wide = self.0 as i32 * rhs.0 as i32;
+        let rounded = (wide + (1 << 14)) >> 15;
+        let clamped = rounded.clamp(i16::MIN as i32, i16::MAX as i32);
+        (Q15(clamped as i16), clamped != rounded)
+    }
+
+    /// Divides by a power of two (arithmetic shift with round-to-nearest).
+    ///
+    /// This is the "SCALE-DOWN" primitive of Algorithm 1 when the scale
+    /// factor is a power of two, and the per-stage scaling inside the
+    /// fixed-point FFT.
+    #[inline]
+    pub fn shr_round(self, shift: u32) -> Q15 {
+        if shift == 0 {
+            return self;
+        }
+        if shift > 15 {
+            return Q15::ZERO;
+        }
+        let bias = 1i32 << (shift - 1);
+        Q15(((self.0 as i32 + bias) >> shift) as i16)
+    }
+
+    /// Multiplies by `2^shift`, saturating.
+    #[inline]
+    pub fn shl_saturating(self, shift: u32) -> Q15 {
+        let wide = (self.0 as i32) << shift.min(30);
+        Q15(wide.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+
+    /// Absolute value, saturating (`|MIN|` saturates to [`Q15::MAX`]).
+    #[inline]
+    pub fn abs(self) -> Q15 {
+        Q15(self.0.saturating_abs())
+    }
+
+    /// `true` if the value is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Divides `self` by an integer length, rounding to nearest.
+    ///
+    /// This is the general SCALE-DOWN of Algorithm 1 lines 11–16
+    /// (`element <- element / length`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[inline]
+    pub fn div_int(self, len: u32) -> Q15 {
+        assert!(len > 0, "division by zero length");
+        let len = len as i32;
+        let wide = self.0 as i32;
+        let half = len / 2;
+        let biased = if wide >= 0 { wide + half } else { wide - half };
+        Q15((biased / len) as i16)
+    }
+
+    /// Multiplies by an integer, saturating. This is SCALE-UP
+    /// (Algorithm 1 lines 17–22, `element <- element * lI * lW`).
+    #[inline]
+    pub fn mul_int_saturating(self, k: u32) -> Q15 {
+        let wide = self.0 as i64 * k as i64;
+        Q15(wide.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+    }
+}
+
+impl Add for Q15 {
+    type Output = Q15;
+    #[inline]
+    fn add(self, rhs: Q15) -> Q15 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Q15 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Q15) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Q15 {
+    type Output = Q15;
+    #[inline]
+    fn sub(self, rhs: Q15) -> Q15 {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Q15 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Q15) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Q15 {
+    type Output = Q15;
+    #[inline]
+    fn mul(self, rhs: Q15) -> Q15 {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div for Q15 {
+    type Output = Q15;
+    /// Fixed-point division with saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: Q15) -> Q15 {
+        assert!(rhs.0 != 0, "division by zero");
+        let wide = ((self.0 as i32) << 15) / rhs.0 as i32;
+        Q15(wide.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+}
+
+impl Neg for Q15 {
+    type Output = Q15;
+    #[inline]
+    fn neg(self) -> Q15 {
+        Q15(self.0.saturating_neg())
+    }
+}
+
+impl Sum for Q15 {
+    fn sum<I: Iterator<Item = Q15>>(iter: I) -> Q15 {
+        iter.fold(Q15::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q15({:.6} raw {})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.to_f32())
+    }
+}
+
+impl From<Q15> for f32 {
+    #[inline]
+    fn from(v: Q15) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl From<i16> for Q15 {
+    /// Interprets the integer as a raw Q15 bit pattern.
+    #[inline]
+    fn from(raw: i16) -> Q15 {
+        Q15::from_raw(raw)
+    }
+}
+
+/// Error returned when parsing a [`Q15`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQ15Error {
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseQ15Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Q15 literal: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseQ15Error {}
+
+impl FromStr for Q15 {
+    type Err = ParseQ15Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let v: f32 = s.parse().map_err(|_| ParseQ15Error {
+            reason: "not a number",
+        })?;
+        if !v.is_finite() {
+            return Err(ParseQ15Error {
+                reason: "not finite",
+            });
+        }
+        if !(-1.0..=1.0).contains(&v) {
+            return Err(ParseQ15Error {
+                reason: "outside [-1, 1]",
+            });
+        }
+        Ok(Q15::from_f32(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_within_half_lsb() {
+        for v in [-1.0f32, -0.731, -0.5, 0.0, 0.25, 0.999, 0.5] {
+            let q = Q15::from_f32(v);
+            assert!((q.to_f32() - v).abs() <= 0.5 / crate::SCALE + 1e-7, "{v}");
+        }
+    }
+
+    #[test]
+    fn from_f32_saturates() {
+        assert_eq!(Q15::from_f32(2.0), Q15::MAX);
+        assert_eq!(Q15::from_f32(-2.0), Q15::MIN);
+        assert_eq!(Q15::from_f32(1.0), Q15::MAX);
+        assert_eq!(Q15::from_f32(-1.0), Q15::MIN);
+    }
+
+    #[test]
+    fn non_finite_maps_to_zero() {
+        assert_eq!(Q15::from_f32(f32::NAN), Q15::ZERO);
+        assert_eq!(Q15::from_f32(f32::INFINITY), Q15::ZERO);
+        assert_eq!(Q15::from_f32(f32::NEG_INFINITY), Q15::ZERO);
+    }
+
+    #[test]
+    fn add_saturates() {
+        assert_eq!(Q15::MAX + Q15::EPSILON, Q15::MAX);
+        assert_eq!(Q15::MIN - Q15::EPSILON, Q15::MIN);
+        let (v, sat) = Q15::MAX.overflowing_add(Q15::MAX);
+        assert!(sat);
+        assert_eq!(v, Q15::MAX);
+    }
+
+    #[test]
+    fn mul_min_min_saturates() {
+        let (v, sat) = Q15::MIN.overflowing_mul(Q15::MIN);
+        assert!(sat);
+        assert_eq!(v, Q15::MAX);
+    }
+
+    #[test]
+    fn mul_exact_powers_of_two() {
+        let a = Q15::from_f32(0.5);
+        assert_eq!((a * a).to_f32(), 0.25);
+        assert_eq!((a * Q15::from_f32(-0.5)).to_f32(), -0.25);
+    }
+
+    #[test]
+    fn neg_of_min_saturates() {
+        assert_eq!(-Q15::MIN, Q15::MAX);
+    }
+
+    #[test]
+    fn shr_round_rounds_to_nearest() {
+        assert_eq!(Q15::from_raw(3).shr_round(1), Q15::from_raw(2));
+        assert_eq!(Q15::from_raw(2).shr_round(1), Q15::from_raw(1));
+        assert_eq!(Q15::from_raw(-3).shr_round(1), Q15::from_raw(-1));
+        assert_eq!(Q15::from_raw(100).shr_round(16), Q15::ZERO);
+        assert_eq!(Q15::HALF.shr_round(0), Q15::HALF);
+    }
+
+    #[test]
+    fn div_int_matches_float_division() {
+        for raw in [-30000i16, -7, 0, 5, 12345, 32767] {
+            let q = Q15::from_raw(raw);
+            for len in [1u32, 2, 3, 7, 64, 256] {
+                let got = q.div_int(len).to_f64();
+                let want = q.to_f64() / len as f64;
+                assert!(
+                    (got - want).abs() <= 1.0 / crate::SCALE as f64,
+                    "raw={raw} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_int_saturates() {
+        assert_eq!(Q15::HALF.mul_int_saturating(4), Q15::MAX);
+        assert_eq!(Q15::from_f32(0.125).mul_int_saturating(2).to_f32(), 0.25);
+    }
+
+    #[test]
+    fn div_recovers_ratio() {
+        let a = Q15::from_f32(0.25);
+        let b = Q15::from_f32(0.5);
+        assert_eq!((a / b).to_f32(), 0.5);
+        // Saturating: 0.5 / 0.25 = 2.0 is out of range.
+        assert_eq!(b / a, Q15::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Q15::HALF / Q15::ZERO;
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let q: Q15 = "0.5".parse().unwrap();
+        assert_eq!(q, Q15::HALF);
+        assert!("1.5".parse::<Q15>().is_err());
+        assert!("nope".parse::<Q15>().is_err());
+        assert_eq!(format!("{}", Q15::HALF), "0.500000");
+    }
+
+    #[test]
+    fn sum_saturates_not_wraps() {
+        let xs = vec![Q15::from_f32(0.4); 5];
+        let s: Q15 = xs.into_iter().sum();
+        assert_eq!(s, Q15::MAX);
+    }
+
+    #[test]
+    fn common_traits_exist() {
+        // C-COMMON-TRAITS: Ord/Hash/Default usable.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Q15::default());
+        assert!(Q15::MIN < Q15::ZERO && Q15::ZERO < Q15::MAX);
+    }
+}

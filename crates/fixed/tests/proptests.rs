@@ -1,0 +1,127 @@
+//! Property-based tests for the fixed-point substrate.
+
+use ehdl_fixed::{ops, ComplexQ15, MacAcc, OverflowStats, Q15};
+use proptest::prelude::*;
+
+fn any_q15() -> impl Strategy<Value = Q15> {
+    any::<i16>().prop_map(Q15::from_raw)
+}
+
+fn any_complex() -> impl Strategy<Value = ComplexQ15> {
+    (any_q15(), any_q15()).prop_map(|(re, im)| ComplexQ15::new(re, im))
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in any_q15(), b in any_q15()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_is_commutative(a in any_q15(), b in any_q15()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_error_bounded_by_one_lsb(a in any_q15(), b in any_q15()) {
+        let got = (a * b).to_f64();
+        let want = (a.to_f64() * b.to_f64()).clamp(-1.0, (i16::MAX as f64) / 32768.0);
+        prop_assert!((got - want).abs() <= 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn add_never_wraps(a in any_q15(), b in any_q15()) {
+        let got = (a + b).to_f64();
+        let want = a.to_f64() + b.to_f64();
+        // Saturating add is the clamp of the exact sum.
+        let clamped = want.clamp(-1.0, (i16::MAX as f64) / 32768.0);
+        prop_assert!((got - clamped).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn from_f32_to_f32_roundtrip(v in -1.0f32..1.0f32) {
+        let q = Q15::from_f32(v);
+        prop_assert!((q.to_f32() - v).abs() <= 0.5 / 32768.0 + f32::EPSILON);
+    }
+
+    #[test]
+    fn raw_roundtrip(raw in any::<i16>()) {
+        prop_assert_eq!(Q15::from_raw(raw).raw(), raw);
+    }
+
+    #[test]
+    fn shr_round_halving_error(a in any_q15(), shift in 0u32..8) {
+        let got = a.shr_round(shift).to_f64();
+        let want = a.to_f64() / (1u32 << shift) as f64;
+        prop_assert!((got - want).abs() <= 0.5 / 32768.0 + 1e-9);
+    }
+
+    #[test]
+    fn div_int_error_bounded(a in any_q15(), len in 1u32..512) {
+        let got = a.div_int(len).to_f64();
+        let want = a.to_f64() / len as f64;
+        prop_assert!((got - want).abs() <= 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn mac_is_exact_for_short_vectors(
+        xs in prop::collection::vec(any_q15(), 1..64),
+        ws in prop::collection::vec(any_q15(), 1..64),
+    ) {
+        let n = xs.len().min(ws.len());
+        let acc = ops::mac(&xs[..n], &ws[..n]);
+        let want: f64 = xs[..n].iter().zip(&ws[..n]).map(|(x, w)| x.to_f64() * w.to_f64()).sum();
+        prop_assert!((acc.to_f64() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_mul_matches_float(a in any_complex(), b in any_complex()) {
+        let (got, sat) = a.overflowing_mul(b);
+        let want_re = a.re.to_f64() * b.re.to_f64() - a.im.to_f64() * b.im.to_f64();
+        let want_im = a.re.to_f64() * b.im.to_f64() + a.im.to_f64() * b.re.to_f64();
+        if !sat {
+            prop_assert!((got.re.to_f64() - want_re).abs() <= 1.0 / 32768.0);
+            prop_assert!((got.im.to_f64() - want_im).abs() <= 1.0 / 32768.0);
+        } else {
+            // Saturation only happens when the exact value is out of range.
+            prop_assert!(want_re.abs() >= 1.0 - 2.0 / 32768.0 || want_im.abs() >= 1.0 - 2.0 / 32768.0);
+        }
+    }
+
+    #[test]
+    fn scale_down_never_saturates(
+        mut data in prop::collection::vec(any_q15(), 1..128),
+        len in 1u32..1024,
+    ) {
+        let mut stats = OverflowStats::new();
+        ops::scale_down(&mut data, len);
+        // Scaling down cannot increase magnitude, so a following MAC with
+        // a unit basis vector cannot saturate.
+        for &v in &data {
+            let (_, sat) = MacAcc::from_q15(v).overflowing_to_q15();
+            if sat { stats.record_saturation(); }
+        }
+        prop_assert_eq!(stats.saturations(), 0);
+    }
+
+    #[test]
+    fn neg_is_involutive_except_min(a in any_q15()) {
+        if a != Q15::MIN {
+            prop_assert_eq!(-(-a), a);
+        } else {
+            prop_assert_eq!(-(-a), Q15::MAX);
+        }
+    }
+
+    #[test]
+    fn abs_is_non_negative(a in any_q15()) {
+        prop_assert!(!a.abs().is_negative());
+    }
+
+    #[test]
+    fn sum_abs_bounds_max_abs(data in prop::collection::vec(any_q15(), 1..64)) {
+        let max = ops::max_abs(&data).to_f64();
+        let sum = ops::sum_abs(&data).to_f64();
+        prop_assert!(sum + 1e-6 >= max);
+    }
+}

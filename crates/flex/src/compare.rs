@@ -1,0 +1,254 @@
+//! The Figure 7 comparison harness.
+//!
+//! Runs every execution strategy over one model under both power
+//! conditions and collects the quantities the paper plots: inference
+//! time under continuous power (7a), inference time / completion under
+//! intermittent power (7b), per-component energy (7c), and the
+//! checkpoint-overhead statistics of §IV-A.5.
+
+use crate::strategies;
+use core::fmt;
+use ehdl_ace::{AceProgram, QuantizedModel};
+use ehdl_device::{Board, Cost, EnergyMeter};
+use ehdl_ehsim::{
+    run_continuous, Capacitor, ExecutorConfig, Harvester, IntermittentExecutor, PowerSupply,
+    Program, RunReport,
+};
+
+/// The paper's strategy names, in Figure 7 order.
+pub const STRATEGY_NAMES: [&str; 5] = ["BASE", "SONIC", "TAILS", "ACE", "ACE+FLEX"];
+
+/// All measurements for one strategy on one model.
+#[derive(Debug, Clone)]
+pub struct StrategyResult {
+    /// Strategy name (one of [`STRATEGY_NAMES`]).
+    pub name: &'static str,
+    /// Cost under continuous power (Figure 7(a)).
+    pub continuous: Cost,
+    /// Per-component energy under continuous power (Figure 7(c)).
+    pub continuous_meter: EnergyMeter,
+    /// Intermittent run report (Figure 7(b)); `None` if not run.
+    pub intermittent: Option<RunReport>,
+}
+
+impl StrategyResult {
+    /// Continuous-power latency in milliseconds at 16 MHz.
+    pub fn continuous_ms(&self) -> f64 {
+        self.continuous.cycles.as_millis(16e6)
+    }
+
+    /// `true` if the strategy completed under intermittent power.
+    pub fn completes_intermittently(&self) -> bool {
+        self.intermittent.as_ref().is_some_and(RunReport::completed)
+    }
+}
+
+/// A full comparison for one model.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Model name.
+    pub model: String,
+    /// One entry per strategy, in [`STRATEGY_NAMES`] order.
+    pub results: Vec<StrategyResult>,
+}
+
+impl Comparison {
+    /// The result for a named strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn get(&self, name: &str) -> &StrategyResult {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("unknown strategy {name}"))
+    }
+
+    /// Continuous-power speedup of ACE+FLEX over a baseline (Fig 7(a)).
+    pub fn speedup_over(&self, baseline: &str) -> f64 {
+        self.get(baseline)
+            .continuous
+            .cycles
+            .ratio(self.get("ACE+FLEX").continuous.cycles)
+    }
+
+    /// Continuous-power energy saving of ACE+FLEX over a baseline
+    /// (Fig 7(c)).
+    pub fn energy_saving_over(&self, baseline: &str) -> f64 {
+        self.get(baseline)
+            .continuous
+            .energy
+            .ratio(self.get("ACE+FLEX").continuous.energy)
+    }
+
+    /// Intermittent active-time speedup of ACE+FLEX over a baseline
+    /// (Fig 7(b)); `None` if either did not complete.
+    pub fn intermittent_speedup_over(&self, baseline: &str) -> Option<f64> {
+        let a = self.get(baseline).intermittent.as_ref()?;
+        let b = self.get("ACE+FLEX").intermittent.as_ref()?;
+        if !a.completed() || !b.completed() {
+            return None;
+        }
+        Some(a.active_seconds / b.active_seconds)
+    }
+}
+
+/// Builds the five programs for a model.
+///
+/// # Errors
+///
+/// Propagates ACE compilation failures.
+pub fn build_programs(model: &QuantizedModel) -> Result<Vec<(&'static str, Program)>, ehdl_ace::AceError> {
+    let ace = AceProgram::compile(model)?;
+    Ok(vec![
+        ("BASE", strategies::base_program(model)),
+        ("SONIC", strategies::sonic_program(model)),
+        ("TAILS", strategies::tails_program(model)),
+        ("ACE", strategies::ace_bare_program(&ace)),
+        ("ACE+FLEX", strategies::flex_program(&ace)),
+    ])
+}
+
+/// Runs the full comparison. `harvester`/`capacitor` configure the
+/// intermittent condition; pass `run_intermittent = false` to collect
+/// only the continuous-power panels (fast).
+///
+/// # Errors
+///
+/// Propagates ACE compilation failures.
+pub fn compare(
+    model: &QuantizedModel,
+    harvester: &Harvester,
+    capacitor: &Capacitor,
+    run_intermittent: bool,
+) -> Result<Comparison, ehdl_ace::AceError> {
+    let programs = build_programs(model)?;
+    let mut results = Vec::with_capacity(programs.len());
+    for (name, program) in &programs {
+        // Continuous power (Figure 7(a) / 7(c)).
+        let mut board = Board::msp430fr5994();
+        let continuous = run_continuous(program, &mut board);
+        let continuous_meter = board.meter().clone();
+
+        // Intermittent power (Figure 7(b)).
+        let intermittent = if run_intermittent {
+            let mut board = Board::msp430fr5994();
+            let mut supply = PowerSupply::new(harvester.clone(), capacitor.clone());
+            let executor = IntermittentExecutor::new(ExecutorConfig::default());
+            Some(executor.run(program, &mut board, &mut supply))
+        } else {
+            None
+        };
+
+        results.push(StrategyResult {
+            name,
+            continuous,
+            continuous_meter,
+            intermittent,
+        });
+    }
+    Ok(Comparison {
+        model: model.name().to_string(),
+        results,
+    })
+}
+
+/// The intermittent-power bench condition.
+///
+/// The paper drives a 100 µF capacitor from a function generator and its
+/// inferences take long enough that every one spans many power cycles.
+/// Our simulated inferences are orders of magnitude cheaper in absolute
+/// joules (the cost model is calibrated for *ratios*), so we scale the
+/// storage capacitor down to 15 µF (≈ 43 µJ per 3.0 V → 1.8 V discharge)
+/// and the square wave to 2 mW to recreate the same regime:
+/// **per-discharge energy ≪ one inference**, forcing the mid-layer and
+/// mid-chain power failures the paper studies.
+pub fn paper_supply() -> (Harvester, Capacitor) {
+    (
+        Harvester::square(0.002, 0.05, 0.5),
+        Capacitor::new(15e-6, 3.3, 3.0, 1.8),
+    )
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.model)?;
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>12} {:>14} {:>10}",
+            "strategy", "cont. ms", "energy", "interm. ms", "outcome"
+        )?;
+        for r in &self.results {
+            let (interm_ms, outcome) = match &r.intermittent {
+                Some(rep) if rep.completed() => {
+                    (format!("{:.2}", rep.active_seconds * 1e3), "ok".to_string())
+                }
+                Some(rep) => ("-".to_string(), format!("{}", rep.outcome)),
+                None => ("-".to_string(), "not run".to_string()),
+            };
+            writeln!(
+                f,
+                "{:<10} {:>12.2} {:>12} {:>14} {:>10}",
+                r.name,
+                r.continuous_ms(),
+                r.continuous.energy.to_string(),
+                interm_ms,
+                outcome
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::zoo;
+
+    fn har_comparison(run_intermittent: bool) -> Comparison {
+        let q = QuantizedModel::from_model(&zoo::har()).unwrap();
+        let (h, c) = paper_supply();
+        compare(&q, &h, &c, run_intermittent).unwrap()
+    }
+
+    #[test]
+    fn continuous_panel_has_paper_ordering() {
+        let cmp = har_comparison(false);
+        assert!(cmp.speedup_over("BASE") > 1.5);
+        assert!(cmp.speedup_over("SONIC") > cmp.speedup_over("TAILS"));
+        assert!(cmp.speedup_over("TAILS") > 1.0);
+        assert!(cmp.energy_saving_over("SONIC") > cmp.energy_saving_over("TAILS"));
+    }
+
+    #[test]
+    fn ace_and_flex_tie_under_continuous_power() {
+        let cmp = har_comparison(false);
+        let ace = cmp.get("ACE").continuous.cycles;
+        let flex = cmp.get("ACE+FLEX").continuous.cycles;
+        assert_eq!(ace, flex);
+    }
+
+    #[test]
+    #[ignore = "slow: full intermittent sweep (run with --ignored)"]
+    fn intermittent_panel_matches_fig7b() {
+        let cmp = har_comparison(true);
+        // BASE and bare ACE never finish (the two ✗ columns).
+        assert!(!cmp.get("BASE").completes_intermittently());
+        assert!(!cmp.get("ACE").completes_intermittently());
+        // SONIC, TAILS and ACE+FLEX all finish.
+        assert!(cmp.get("SONIC").completes_intermittently());
+        assert!(cmp.get("TAILS").completes_intermittently());
+        assert!(cmp.get("ACE+FLEX").completes_intermittently());
+        // And ACE+FLEX is fastest.
+        assert!(cmp.intermittent_speedup_over("SONIC").unwrap() > 1.5);
+        assert!(cmp.intermittent_speedup_over("TAILS").unwrap() > 1.0);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let cmp = har_comparison(false);
+        let text = cmp.to_string();
+        assert!(text.contains("ACE+FLEX") && text.contains("cont. ms"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # ehdl-flex — intermittent inference: FLEX and the baselines
+//!
+//! FLEX (§III-C) is the paper's checkpointing layer: it lets the
+//! accelerated inference of ACE survive the power failures of an
+//! energy-harvesting supply with almost no overhead, where prior systems
+//! either die (BASE), pay a per-iteration tax (SONIC), or roll whole
+//! vector-op chains back (TAILS — Figure 6, left). This crate implements
+//! all four execution strategies over the same device model so the
+//! paper's comparisons are apples-to-apples:
+//!
+//! * [`strategies`] — program generators:
+//!   [`base_program`](strategies::base_program) (software, no
+//!   checkpoints), [`sonic_program`](strategies::sonic_program)
+//!   (software loop-continuation), [`tails_program`](strategies::tails_program)
+//!   (LEA/DMA strips with chain rollback), [`flex_program`](strategies::flex_program)
+//!   (ACE ops + voltage-triggered on-demand checkpoints + Figure 6 stage
+//!   commits), and [`ace_bare_program`](strategies::ace_bare_program)
+//!   (ACE with no intermittence support — the second "✗" of Fig 7(b)),
+//! * [`machine`] — a **data-level** BCM chain state machine with real
+//!   Q15 payloads, checkpointed state bits / block index / intermediate
+//!   (exactly Figure 6's layout), used to prove bit-exact recovery under
+//!   arbitrary fault injection,
+//! * [`compare`] — the harness that runs every strategy under continuous
+//!   and intermittent power and reports the Figure 7 panels.
+//!
+//! # Example
+//!
+//! ```
+//! use ehdl_ace::{AceProgram, QuantizedModel};
+//! use ehdl_flex::strategies;
+//! use ehdl_nn::zoo;
+//!
+//! let q = QuantizedModel::from_model(&zoo::har())?;
+//! let ace = AceProgram::compile(&q)?;
+//! let flex = strategies::flex_program(&ace);
+//! assert!(flex.ondemand_points() > 0); // every op is checkpointable
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod machine;
+pub mod strategies;

@@ -1,0 +1,461 @@
+//! The data-level FLEX state machine for one BCM layer (Figure 6).
+//!
+//! Everything else in this crate reasons about *costs*; this module
+//! executes a BCM layer on **real Q15 data**, stage by stage, with the
+//! exact checkpoint layout the paper describes — state bits `b0–b2`,
+//! block indices, and the latest intermediate result in FRAM — and a
+//! `power_fail()` method that wipes all volatile state. The test suite
+//! injects failures at every possible point and asserts the final
+//! output is bit-identical to the straight-through reference
+//! ([`ehdl_ace::reference::bcm_forward`]); it also shows the TAILS
+//! policy (checkpoint only at chain boundaries) re-executes strictly
+//! more stages under the same fault schedule — the progress-setback
+//! argument of Figure 6.
+
+use ehdl_ace::reference::{bcm_freq_mul, bcm_row_finalize};
+use ehdl_ace::{AceError, BcmStage, QBcmDense};
+use ehdl_dsp::FftPlan;
+use ehdl_fixed::{ComplexQ15, MacAcc, OverflowStats, Q15};
+
+/// Checkpoint discipline for the chain machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainPolicy {
+    /// FLEX: persist state bits + indices + intermediate after **every**
+    /// stage; resume at the interrupted stage (Figure 6, right).
+    Flex,
+    /// TAILS: persist only at chain boundaries; a mid-chain failure
+    /// rolls back to the chain's DMA (Figure 6, left).
+    Tails,
+}
+
+/// The nonvolatile (FRAM) image: what survives a power failure.
+#[derive(Debug, Clone, PartialEq)]
+struct FramImage {
+    /// Figure 6's b0–b2: the next stage to execute.
+    state_bits: u8,
+    /// Current block-grid position.
+    rb: usize,
+    cb: usize,
+    /// Latest committed intermediate: the (bx, bw) buffers after the
+    /// stage named by `state_bits` minus one. Empty when at a chain
+    /// boundary.
+    inter_x: Vec<ComplexQ15>,
+    inter_w: Vec<ComplexQ15>,
+    /// The wide row accumulator (committed at each DmaOut).
+    acc_raw: Vec<i64>,
+    /// Output rows finalized so far.
+    out: Vec<Q15>,
+    done: bool,
+}
+
+/// Volatile (SRAM) working state: gone on power failure.
+#[derive(Debug, Clone, PartialEq)]
+struct Volatile {
+    stage: BcmStage,
+    rb: usize,
+    cb: usize,
+    bx: Vec<ComplexQ15>,
+    bw: Vec<ComplexQ15>,
+    acc: Vec<MacAcc>,
+}
+
+/// A BCM layer executed as a resumable stage machine.
+///
+/// # Example
+///
+/// ```
+/// # use ehdl_ace::{QuantizedModel, QLayer};
+/// # use ehdl_fixed::Q15;
+/// # use ehdl_flex::machine::{BcmChainMachine, ChainPolicy};
+/// # use ehdl_nn::{zoo, Layer};
+/// let q = QuantizedModel::from_model(&zoo::mnist())?;
+/// let QLayer::BcmDense(fc) = q.layers()[7].clone() else { panic!() };
+/// let x = vec![Q15::from_f32(0.01); fc.in_dim];
+/// let mut m = BcmChainMachine::new(fc, &x, ChainPolicy::Flex)?;
+/// while !m.step()? {}
+/// assert_eq!(m.output().unwrap().len(), 256);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BcmChainMachine {
+    layer: QBcmDense,
+    x_padded: Vec<Q15>,
+    plan: FftPlan,
+    policy: ChainPolicy,
+    fram: FramImage,
+    volatile: Option<Volatile>,
+    stages_executed: u64,
+    restores: u64,
+    stats: OverflowStats,
+}
+
+impl BcmChainMachine {
+    /// Creates a machine for one layer and input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AceError`] on block-size or input-length problems.
+    pub fn new(layer: QBcmDense, x: &[Q15], policy: ChainPolicy) -> Result<Self, AceError> {
+        if x.len() != layer.in_dim {
+            return Err(AceError::BadInput {
+                expected: layer.in_dim,
+                got: x.len(),
+            });
+        }
+        let plan = FftPlan::new(layer.block)?;
+        let mut x_padded = vec![Q15::ZERO; layer.cols_b * layer.block];
+        x_padded[..layer.in_dim].copy_from_slice(x);
+        let out_len = layer.out_dim;
+        let b = layer.block;
+        Ok(BcmChainMachine {
+            layer,
+            x_padded,
+            plan,
+            policy,
+            fram: FramImage {
+                state_bits: BcmStage::DmaIn.state_bits(),
+                rb: 0,
+                cb: 0,
+                inter_x: Vec::new(),
+                inter_w: Vec::new(),
+                acc_raw: vec![0; b],
+                out: vec![Q15::ZERO; out_len],
+                done: false,
+            },
+            volatile: None,
+            stages_executed: 0,
+            restores: 0,
+            stats: OverflowStats::new(),
+        })
+    }
+
+    /// Stages executed so far, including re-execution after failures.
+    pub fn stages_executed(&self) -> u64 {
+        self.stages_executed
+    }
+
+    /// Restores performed after power failures.
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Saturation counters accumulated by the arithmetic.
+    pub fn stats(&self) -> &OverflowStats {
+        &self.stats
+    }
+
+    /// The layer output, once complete.
+    pub fn output(&self) -> Option<&[Q15]> {
+        self.fram.done.then_some(self.fram.out.as_slice())
+    }
+
+    /// Simulates a power failure: all volatile state is lost.
+    pub fn power_fail(&mut self) {
+        self.volatile = None;
+    }
+
+    /// Executes one stage. Returns `true` when the layer is complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FFT errors (impossible for a validated layer).
+    pub fn step(&mut self) -> Result<bool, AceError> {
+        if self.fram.done {
+            return Ok(true);
+        }
+        if self.volatile.is_none() {
+            self.restore();
+        }
+        let b = self.layer.block;
+        let shift = b.trailing_zeros();
+        let mut v = self.volatile.take().expect("restored above");
+
+        match v.stage {
+            BcmStage::DmaIn => {
+                let xblk = &self.x_padded[v.cb * b..(v.cb + 1) * b];
+                let wblk = &self.layer.blocks[v.rb * self.layer.cols_b + v.cb];
+                v.bx = xblk.iter().copied().map(ComplexQ15::from_real).collect();
+                v.bw = wblk.iter().copied().map(ComplexQ15::from_real).collect();
+                v.stage = BcmStage::FftX;
+            }
+            BcmStage::FftX => {
+                self.plan.fft(&mut v.bx)?;
+                v.stage = BcmStage::FftW;
+            }
+            BcmStage::FftW => {
+                self.plan.fft(&mut v.bw)?;
+                v.stage = BcmStage::Mpy;
+            }
+            BcmStage::Mpy => {
+                v.bx = bcm_freq_mul(&v.bx, &v.bw, shift, &mut self.stats);
+                v.stage = BcmStage::Ifft;
+            }
+            BcmStage::Ifft => {
+                self.plan.ifft(&mut v.bx)?;
+                v.stage = BcmStage::DmaOut;
+            }
+            BcmStage::DmaOut => {
+                for (a, c) in v.acc.iter_mut().zip(&v.bx) {
+                    *a += MacAcc::from_q15(c.real());
+                }
+                // Advance the block cursor.
+                v.cb += 1;
+                if v.cb == self.layer.cols_b {
+                    // Row complete: finalize into the output.
+                    bcm_row_finalize(
+                        &v.acc,
+                        &self.layer.bias,
+                        v.rb * b,
+                        &mut self.fram.out,
+                        shift,
+                        &mut self.stats,
+                    );
+                    v.cb = 0;
+                    v.rb += 1;
+                    v.acc = vec![MacAcc::ZERO; b];
+                    if v.rb == self.layer.rows_b {
+                        self.fram.done = true;
+                        self.commit_boundary(&v);
+                        self.stages_executed += 1;
+                        self.volatile = Some(v);
+                        return Ok(true);
+                    }
+                }
+                v.stage = BcmStage::DmaIn;
+            }
+        }
+        self.stages_executed += 1;
+
+        // Checkpoint per policy.
+        match self.policy {
+            ChainPolicy::Flex => self.commit_stage(&v),
+            ChainPolicy::Tails => {
+                if v.stage == BcmStage::DmaIn {
+                    // Only chain boundaries are durable.
+                    self.commit_boundary(&v);
+                }
+            }
+        }
+        self.volatile = Some(v);
+        Ok(false)
+    }
+
+    /// FLEX commit: state bits, indices, intermediate buffers, and the
+    /// accumulator (Figure 6, right).
+    fn commit_stage(&mut self, v: &Volatile) {
+        self.fram.state_bits = v.stage.state_bits();
+        self.fram.rb = v.rb;
+        self.fram.cb = v.cb;
+        self.fram.inter_x = v.bx.clone();
+        self.fram.inter_w = v.bw.clone();
+        self.fram.acc_raw = v.acc.iter().map(|a| a.raw()).collect();
+    }
+
+    /// TAILS commit: indices and accumulator only; the next chain starts
+    /// from its DMA.
+    fn commit_boundary(&mut self, v: &Volatile) {
+        self.fram.state_bits = BcmStage::DmaIn.state_bits();
+        self.fram.rb = v.rb;
+        self.fram.cb = v.cb;
+        self.fram.inter_x = Vec::new();
+        self.fram.inter_w = Vec::new();
+        self.fram.acc_raw = v.acc.iter().map(|a| a.raw()).collect();
+    }
+
+    /// Rebuilds volatile state from the FRAM image after a failure.
+    fn restore(&mut self) {
+        self.restores += 1;
+        let b = self.layer.block;
+        let stage = match self.fram.state_bits {
+            0b000 => BcmStage::DmaIn,
+            0b001 => BcmStage::FftX,
+            0b010 => BcmStage::FftW,
+            0b011 => BcmStage::Mpy,
+            0b100 => BcmStage::Ifft,
+            _ => BcmStage::DmaOut,
+        };
+        self.volatile = Some(Volatile {
+            stage,
+            rb: self.fram.rb,
+            cb: self.fram.cb,
+            bx: self.fram.inter_x.clone(),
+            bw: self.fram.inter_w.clone(),
+            acc: self.fram.acc_raw.iter().map(|&r| MacAcc::from_raw(r)).collect(),
+        });
+        // A fresh boot with empty intermediates lands at DmaIn: rebuild
+        // the buffers there (the machine's equivalent of the paper's
+        // "roll back to the initial DMA operation").
+        if let Some(v) = &mut self.volatile {
+            if v.bx.is_empty() && v.stage != BcmStage::DmaIn {
+                v.stage = BcmStage::DmaIn;
+            }
+            if v.acc.len() != b {
+                v.acc = vec![MacAcc::ZERO; b];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ace::reference;
+    use ehdl_nn::WeightRng;
+
+    fn small_layer() -> QBcmDense {
+        let mut rng = WeightRng::new(81);
+        let mut f = ehdl_nn::BcmDense::new(24, 16, 8, &mut rng);
+        for rb in 0..f.rows_b() {
+            for cb in 0..f.cols_b() {
+                for w in f.block_at_mut(rb, cb) {
+                    *w *= 0.3;
+                }
+            }
+        }
+        let model = ehdl_nn::Model::builder("one", &[24])
+            .layer(ehdl_nn::Layer::BcmDense(f))
+            .build()
+            .unwrap();
+        let q = ehdl_ace::QuantizedModel::from_model(&model).unwrap();
+        match q.layers()[0].clone() {
+            ehdl_ace::QLayer::BcmDense(d) => d,
+            _ => unreachable!(),
+        }
+    }
+
+    fn input(layer: &QBcmDense) -> Vec<Q15> {
+        (0..layer.in_dim)
+            .map(|i| Q15::from_f32(0.4 * ((i as f32) * 0.7).sin()))
+            .collect()
+    }
+
+    fn reference_output(layer: &QBcmDense, x: &[Q15]) -> Vec<Q15> {
+        let mut stats = OverflowStats::new();
+        reference::bcm_forward(layer, x, &mut stats).unwrap()
+    }
+
+    #[test]
+    fn fault_free_run_matches_reference_bit_exactly() {
+        let layer = small_layer();
+        let x = input(&layer);
+        let want = reference_output(&layer, &x);
+        for policy in [ChainPolicy::Flex, ChainPolicy::Tails] {
+            let mut m = BcmChainMachine::new(layer.clone(), &x, policy).unwrap();
+            while !m.step().unwrap() {}
+            assert_eq!(m.output().unwrap(), want.as_slice(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn flex_survives_failure_at_every_step_bit_exactly() {
+        let layer = small_layer();
+        let x = input(&layer);
+        let want = reference_output(&layer, &x);
+
+        // Count the fault-free steps first.
+        let mut probe = BcmChainMachine::new(layer.clone(), &x, ChainPolicy::Flex).unwrap();
+        let mut total = 0;
+        while !probe.step().unwrap() {
+            total += 1;
+        }
+
+        // Inject one failure after step k, for every k.
+        for k in 0..total {
+            let mut m = BcmChainMachine::new(layer.clone(), &x, ChainPolicy::Flex).unwrap();
+            let mut steps = 0;
+            loop {
+                let done = m.step().unwrap();
+                steps += 1;
+                if steps == k + 1 {
+                    m.power_fail();
+                }
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(m.output().unwrap(), want.as_slice(), "failure after {k}");
+            // FLEX loses at most the interrupted stage.
+            assert!(m.stages_executed() <= total as u64 + 2, "failure after {k}");
+        }
+    }
+
+    #[test]
+    fn tails_survives_but_wastes_work() {
+        let layer = small_layer();
+        let x = input(&layer);
+        let want = reference_output(&layer, &x);
+
+        // Fail every 8 steps — enough clean steps between failures for a
+        // 6-stage TAILS chain to commit, so both policies terminate (a
+        // shorter period livelocks TAILS: the rollback pathology itself).
+        let run = |policy: ChainPolicy| -> (Vec<Q15>, u64) {
+            let mut m = BcmChainMachine::new(layer.clone(), &x, policy).unwrap();
+            let mut steps = 0u64;
+            loop {
+                if m.step().unwrap() {
+                    break;
+                }
+                steps += 1;
+                if steps.is_multiple_of(8) {
+                    m.power_fail();
+                }
+            }
+            (m.output().unwrap().to_vec(), m.stages_executed())
+        };
+        let (flex_out, flex_stages) = run(ChainPolicy::Flex);
+        let (tails_out, tails_stages) = run(ChainPolicy::Tails);
+        assert_eq!(flex_out, want);
+        assert_eq!(tails_out, want);
+        // The Figure 6 argument: TAILS rolls whole chains back, FLEX
+        // resumes at the interrupted stage.
+        assert!(
+            tails_stages > flex_stages,
+            "tails {tails_stages} vs flex {flex_stages}"
+        );
+    }
+
+    #[test]
+    fn repeated_failures_at_same_point_still_progress() {
+        // FLEX: even if power dies right after every single stage, each
+        // stage's commit carries execution forward.
+        let layer = small_layer();
+        let x = input(&layer);
+        let want = reference_output(&layer, &x);
+        let mut m = BcmChainMachine::new(layer, &x, ChainPolicy::Flex).unwrap();
+        let mut guard = 0;
+        loop {
+            let done = m.step().unwrap();
+            m.power_fail(); // failure after *every* stage
+            if done {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 10_000, "no forward progress");
+        }
+        assert_eq!(m.output().unwrap(), want.as_slice());
+        assert!(m.restores() > 0);
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let layer = small_layer();
+        assert!(matches!(
+            BcmChainMachine::new(layer, &[Q15::ZERO; 3], ChainPolicy::Flex),
+            Err(AceError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn state_bits_round_trip_all_stages() {
+        use BcmStage::*;
+        for s in [DmaIn, FftX, FftW, Mpy, Ifft, DmaOut] {
+            assert!(s.state_bits() <= 0b101);
+        }
+        // Distinct codes.
+        let codes: std::collections::HashSet<u8> = [DmaIn, FftX, FftW, Mpy, Ifft, DmaOut]
+            .iter()
+            .map(|s| s.state_bits())
+            .collect();
+        assert_eq!(codes.len(), 6);
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic weight initialization.
+//!
+//! Keeping initialization inside the crate (a SplitMix64 generator rather
+//! than an external RNG) makes every model in the zoo — and therefore
+//! every benchmark number — bit-reproducible from a seed.
+
+/// A small deterministic generator for weight initialization.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_nn::WeightRng;
+///
+/// let mut a = WeightRng::new(7);
+/// let mut b = WeightRng::new(7);
+/// assert_eq!(a.next_f32(), b.next_f32()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightRng {
+    state: u64,
+}
+
+impl WeightRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        WeightRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform sample in `[-limit, limit]`.
+    pub fn uniform(&mut self, limit: f32) -> f32 {
+        (self.next_f32() * 2.0 - 1.0) * limit
+    }
+
+    /// Xavier/Glorot-uniform sample for a layer with the given fan-in and
+    /// fan-out.
+    pub fn xavier(&mut self, fan_in: usize, fan_out: usize) -> f32 {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform(limit)
+    }
+
+    /// Fills a fresh vector with Xavier samples.
+    pub fn xavier_vec(&mut self, len: usize, fan_in: usize, fan_out: usize) -> Vec<f32> {
+        (0..len).map(|_| self.xavier(fan_in, fan_out)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WeightRng::new(42);
+        let mut b = WeightRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_f32(), b.next_f32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WeightRng::new(1);
+        let mut b = WeightRng::new(2);
+        let same = (0..32).filter(|_| a.next_f32() == b.next_f32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = WeightRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.uniform(0.25);
+            assert!((-0.25..=0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = WeightRng::new(4);
+        let wide: f32 = (0..512).map(|_| rng.xavier(4096, 4096).abs()).sum::<f32>() / 512.0;
+        let narrow: f32 = (0..512).map(|_| rng.xavier(16, 16).abs()).sum::<f32>() / 512.0;
+        assert!(wide < narrow);
+    }
+
+    #[test]
+    fn mean_is_near_zero() {
+        let mut rng = WeightRng::new(5);
+        let mean: f32 = (0..10_000).map(|_| rng.uniform(1.0)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # ehdl-nn — the DNN substrate
+//!
+//! The paper's three workloads (Table II) are small CNNs: convolutions,
+//! max-pooling, ReLU, dense layers, and **block-circulant (BCM) dense
+//! layers** whose matvec runs through FFTs. This crate provides those
+//! pieces in plain `f32` for offline training (RAD trains "offline",
+//! §III-A) and as structural metadata for the quantized on-device
+//! pipeline in `ehdl-ace`:
+//!
+//! * [`Tensor`] — a minimal CHW tensor,
+//! * [`Layer`] — the layer vocabulary, including [`Conv2d`] with a
+//!   shared **kernel-shape pruning mask** (the structured pruning of
+//!   §III-A) and [`BcmDense`] storing one first-column vector per
+//!   circulant block,
+//! * [`Model`] — a validated sequential network with shape inference,
+//!   parameter/storage accounting and the float forward pass,
+//! * [`zoo`] — the exact Table II topologies for MNIST, HAR and OKG.
+//!
+//! # Example
+//!
+//! ```
+//! use ehdl_nn::{zoo, Tensor};
+//!
+//! let model = zoo::mnist();
+//! let input = Tensor::zeros(&[1, 28, 28]);
+//! let logits = model.forward(&input)?;
+//! assert_eq!(logits.shape(), &[10]);
+//! # Ok::<(), ehdl_nn::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod init;
+mod layer;
+mod model;
+mod tensor;
+pub mod zoo;
+
+pub use init::WeightRng;
+pub use layer::{BcmDense, Conv2d, Dense, Layer};
+pub use model::{Model, ModelError};
+pub use tensor::Tensor;

@@ -1,0 +1,365 @@
+//! Sequential models with validated shape chains.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use core::fmt;
+
+/// Error produced by model construction or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A tensor's element count disagreed with its shape.
+    ShapeMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements provided.
+        got: usize,
+        /// Where the mismatch was detected.
+        context: &'static str,
+    },
+    /// A layer rejected its input shape.
+    LayerInput {
+        /// Layer kind.
+        layer: &'static str,
+        /// Explanation.
+        detail: String,
+    },
+    /// Two adjacent layers have incompatible shapes.
+    BrokenChain {
+        /// Index of the offending layer.
+        index: usize,
+        /// Explanation from the layer.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ShapeMismatch {
+                expected,
+                got,
+                context,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected} elements, got {got}"
+            ),
+            ModelError::LayerInput { layer, detail } => {
+                write!(f, "invalid input for {layer}: {detail}")
+            }
+            ModelError::BrokenChain { index, detail } => {
+                write!(f, "layer {index} breaks the shape chain: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A validated sequential network.
+///
+/// Built with [`Model::builder`]; construction fails if any layer cannot
+/// accept its predecessor's output shape, so a `Model` value always has a
+/// consistent shape chain.
+///
+/// # Example
+///
+/// ```
+/// use ehdl_nn::{Dense, Layer, Model, Tensor, WeightRng};
+///
+/// let mut rng = WeightRng::new(1);
+/// let model = Model::builder("tiny", &[4])
+///     .layer(Layer::Dense(Dense::new(4, 2, &mut rng)))
+///     .layer(Layer::Softmax)
+///     .build()?;
+/// let out = model.forward(&Tensor::zeros(&[4]))?;
+/// assert_eq!(out.shape(), &[2]);
+/// # Ok::<(), ehdl_nn::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    name: String,
+    input_shape: Vec<usize>,
+    layers: Vec<Layer>,
+    shapes: Vec<Vec<usize>>, // shapes[i] = output of layer i-1 (shapes[0] = input)
+}
+
+/// Builder for [`Model`].
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    input_shape: Vec<usize>,
+    layers: Vec<Layer>,
+}
+
+impl ModelBuilder {
+    /// Appends a layer.
+    #[must_use]
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Validates the shape chain and produces the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BrokenChain`] if any layer rejects its input.
+    pub fn build(self) -> Result<Model, ModelError> {
+        let mut shapes = vec![self.input_shape.clone()];
+        for (i, layer) in self.layers.iter().enumerate() {
+            let next = layer
+                .output_shape(shapes.last().expect("non-empty"))
+                .map_err(|e| ModelError::BrokenChain {
+                    index: i,
+                    detail: e.to_string(),
+                })?;
+            shapes.push(next);
+        }
+        Ok(Model {
+            name: self.name,
+            input_shape: self.input_shape,
+            layers: self.layers,
+            shapes,
+        })
+    }
+}
+
+impl Model {
+    /// Starts building a model for the given input shape.
+    pub fn builder(name: impl Into<String>, input_shape: &[usize]) -> ModelBuilder {
+        ModelBuilder {
+            name: name.into(),
+            input_shape: input_shape.to_vec(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Final output shape.
+    pub fn output_shape(&self) -> &[usize] {
+        self.shapes.last().expect("at least the input shape")
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (training and compression rewrite weights).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Input shape of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_input_shape(&self, i: usize) -> &[usize] {
+        &self.shapes[i]
+    }
+
+    /// Output shape of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_output_shape(&self, i: usize) -> &[usize] {
+        &self.shapes[i + 1]
+    }
+
+    /// Full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the input shape is wrong (the internal
+    /// chain is validated at construction).
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, ModelError> {
+        if input.shape() != self.input_shape.as_slice() {
+            return Err(ModelError::LayerInput {
+                layer: "Model",
+                detail: format!(
+                    "expected input {:?}, got {:?}",
+                    self.input_shape,
+                    input.shape()
+                ),
+            });
+        }
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward pass capturing every intermediate activation (training
+    /// needs them; also useful for layer-wise debugging).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::forward`].
+    pub fn forward_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, ModelError> {
+        if input.shape() != self.input_shape.as_slice() {
+            return Err(ModelError::LayerInput {
+                layer: "Model",
+                detail: format!(
+                    "expected input {:?}, got {:?}",
+                    self.input_shape,
+                    input.shape()
+                ),
+            });
+        }
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.clone());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("non-empty"))?;
+            acts.push(next);
+        }
+        Ok(acts)
+    }
+
+    /// Stored parameter count over all layers.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Post-pruning parameter count (what ships to FRAM).
+    pub fn active_param_count(&self) -> usize {
+        self.layers.iter().map(Layer::active_param_count).sum()
+    }
+
+    /// Bytes of FRAM the quantized (16-bit) model occupies — the quantity
+    /// RAD's architecture search checks against the FRAM budget.
+    pub fn quantized_bytes(&self) -> usize {
+        self.active_param_count() * 2
+    }
+
+    /// The largest layer activation in elements — `max(L_i)`, the ACE
+    /// circular-buffer size claim of §III-B.
+    pub fn max_activation_elems(&self) -> usize {
+        self.shapes
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:?} -> {:?}, {} params ({} active, {} KB quantized)",
+            self.name,
+            self.input_shape,
+            self.output_shape(),
+            self.param_count(),
+            self.active_param_count(),
+            self.quantized_bytes() / 1024
+        )?;
+        for (i, layer) in self.layers.iter().enumerate() {
+            writeln!(f, "  [{i}] {layer} -> {:?}", self.shapes[i + 1])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{BcmDense, Conv2d, Dense};
+    use crate::WeightRng;
+
+    fn tiny_model() -> Model {
+        let mut rng = WeightRng::new(9);
+        Model::builder("tiny", &[1, 6, 6])
+            .layer(Layer::Conv2d(Conv2d::new(2, 1, 3, 3, &mut rng)))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool2d { size: 2 })
+            .layer(Layer::Flatten)
+            .layer(Layer::BcmDense(BcmDense::new(8, 8, 4, &mut rng)))
+            .layer(Layer::Relu)
+            .layer(Layer::Dense(Dense::new(8, 3, &mut rng)))
+            .layer(Layer::Softmax)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_validates_chain() {
+        let mut rng = WeightRng::new(1);
+        let err = Model::builder("bad", &[1, 6, 6])
+            .layer(Layer::Dense(Dense::new(99, 3, &mut rng)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::BrokenChain { index: 0, .. }));
+        assert!(err.to_string().contains("layer 0"));
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let model = tiny_model();
+        let x = Tensor::from_vec((0..36).map(|v| v as f32 / 36.0).collect(), &[1, 6, 6]).unwrap();
+        let out = model.forward(&x).unwrap();
+        assert_eq!(out.shape(), &[3]);
+        let sum: f32 = out.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input() {
+        let model = tiny_model();
+        assert!(model.forward(&Tensor::zeros(&[1, 5, 5])).is_err());
+    }
+
+    #[test]
+    fn forward_trace_returns_all_activations() {
+        let model = tiny_model();
+        let x = Tensor::zeros(&[1, 6, 6]);
+        let acts = model.forward_trace(&x).unwrap();
+        assert_eq!(acts.len(), model.layers().len() + 1);
+        assert_eq!(acts[0].shape(), &[1, 6, 6]);
+        assert_eq!(acts.last().unwrap().shape(), &[3]);
+    }
+
+    #[test]
+    fn shape_chain_is_recorded() {
+        let model = tiny_model();
+        assert_eq!(model.layer_input_shape(0), &[1, 6, 6]);
+        assert_eq!(model.layer_output_shape(0), &[2, 4, 4]);
+        assert_eq!(model.layer_output_shape(2), &[2, 2, 2]);
+        assert_eq!(model.output_shape(), &[3]);
+    }
+
+    #[test]
+    fn param_accounting() {
+        let model = tiny_model();
+        // conv 2*1*3*3+2 = 20; bcm 4 blocks of 4 + 8 bias = 24... blocks:
+        // 8/4=2 rows, 8/4=2 cols -> 4 blocks * 4 + 8 = 24; dense 8*3+3=27.
+        assert_eq!(model.param_count(), 20 + 24 + 27);
+        assert_eq!(model.quantized_bytes(), model.active_param_count() * 2);
+    }
+
+    #[test]
+    fn max_activation_covers_input() {
+        let model = tiny_model();
+        assert_eq!(model.max_activation_elems(), 36); // the 6x6 input
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let text = tiny_model().to_string();
+        assert!(text.contains("conv2d"));
+        assert!(text.contains("bcm"));
+        assert!(text.contains("softmax"));
+    }
+}

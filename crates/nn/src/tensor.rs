@@ -1,0 +1,218 @@
+//! A minimal dense tensor.
+
+use core::fmt;
+
+/// A row-major dense `f32` tensor.
+///
+/// Image-like data uses CHW order (`[channels, height, width]`), matching
+/// the on-device buffer layout in Figure 3. The type is deliberately
+/// small — just enough for the paper's models — and validates every
+/// construction so shape bugs surface at the boundary (C-VALIDATE).
+///
+/// # Example
+///
+/// ```
+/// use ehdl_nn::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.len(), 4);
+/// # Ok::<(), ehdl_nn::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Wraps a vector with a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`](crate::ModelError) if the
+    /// element count does not match the shape's volume.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, crate::ModelError> {
+        let volume: usize = shape.iter().product();
+        if data.len() != volume {
+            return Err(crate::ModelError::ShapeMismatch {
+                expected: volume,
+                got: data.len(),
+                context: "Tensor::from_vec",
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for a zero-element tensor.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat element slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat element slice, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.flatten_index(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let i = self.flatten_index(index);
+        self.data[i] = value;
+    }
+
+    fn flatten_index(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.shape.len(),
+            "index rank {} does not match tensor rank {}",
+            index.len(),
+            self.shape.len()
+        );
+        let mut flat = 0usize;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for axis {i} (size {dim})");
+            flat = flat * dim + ix;
+        }
+        flat
+    }
+
+    /// Reinterprets as a flat vector (the Flatten layer).
+    pub fn flattened(&self) -> Tensor {
+        Tensor {
+            data: self.data.clone(),
+            shape: vec![self.data.len()],
+        }
+    }
+
+    /// Index of the largest element (prediction argmax). Returns 0 for an
+    /// empty tensor.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(core::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Largest absolute value (used by RAD's range normalization).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elems)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_volume() {
+        let t = Tensor::zeros(&[6, 24, 24]);
+        assert_eq!(t.len(), 3456);
+        assert_eq!(t.shape(), &[6, 24, 24]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(vec![0.0; 3], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![0.0; 4], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]).unwrap();
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[0, 0, 3]), 3.0);
+        assert_eq!(t.at(&[0, 1, 0]), 4.0);
+        assert_eq!(t.at(&[1, 0, 0]), 12.0);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 1], 7.5);
+        assert_eq!(t.at(&[1, 1]), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn wrong_rank_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[0]);
+    }
+
+    #[test]
+    fn argmax_and_max_abs() {
+        let t = Tensor::from_vec(vec![0.1, -0.9, 0.5], &[3]).unwrap();
+        assert_eq!(t.argmax(), 2);
+        assert_eq!(t.max_abs(), 0.9);
+        assert_eq!(Tensor::zeros(&[0]).argmax(), 0);
+    }
+
+    #[test]
+    fn flattened_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let f = t.flattened();
+        assert_eq!(f.shape(), &[4]);
+        assert_eq!(f.as_slice(), t.as_slice());
+    }
+}

@@ -1,0 +1,238 @@
+//! The Table II model zoo.
+//!
+//! Three workloads represent the paper's application classes: image
+//! (MNIST), wearable (HAR — human activity recognition), and audio (OKG —
+//! "OK Google" keyword spotting). Layer dimensions, compression methods
+//! and block sizes are exactly those of Table II; weights are
+//! deterministic Xavier draws that `ehdl-train` then fits to the synthetic
+//! datasets.
+
+use crate::layer::{BcmDense, Conv2d, Dense, Layer};
+use crate::model::Model;
+use crate::WeightRng;
+
+/// Number of MNIST classes (digits).
+pub const MNIST_CLASSES: usize = 10;
+/// Number of HAR classes (walking, upstairs, downstairs, sitting,
+/// standing, laying — the UCI-HAR six).
+pub const HAR_CLASSES: usize = 6;
+/// Number of OKG classes (10 keywords + "silence" + "unknown", the
+/// 12-way Speech Commands split).
+pub const OKG_CLASSES: usize = 12;
+
+/// HAR input window length (one sensor channel, 121 samples — chosen so
+/// the Table II flatten dimension `32×110 = 3520` holds after the 1×12
+/// convolution).
+pub const HAR_WINDOW: usize = 121;
+
+/// The MNIST model of Table II.
+///
+/// `Conv 6×1×5×5 → pool → Conv 16×6×5×5 (structured-pruned 2×) → pool →
+/// FC 256×256 (BCM 128×) → FC 256×10`, input `1×28×28`. The conv2 mask
+/// keeps every other kernel position (75 of 150), giving the paper's "2x"
+/// compression while preserving output geometry.
+///
+/// # Example
+///
+/// ```
+/// let m = ehdl_nn::zoo::mnist();
+/// assert_eq!(m.output_shape(), &[10]);
+/// ```
+pub fn mnist() -> Model {
+    let mut rng = WeightRng::new(0x4D4E_4953_5401); // "MNIST" tag
+    let mut conv2 = Conv2d::new(16, 6, 5, 5, &mut rng);
+    conv2.set_kernel_mask(checkerboard_mask(6 * 5 * 5));
+    Model::builder("mnist", &[1, 28, 28])
+        .layer(Layer::Conv2d(Conv2d::new(6, 1, 5, 5, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::MaxPool2d { size: 2 })
+        .layer(Layer::Conv2d(conv2))
+        .layer(Layer::Relu)
+        .layer(Layer::MaxPool2d { size: 2 })
+        .layer(Layer::Flatten)
+        .layer(Layer::BcmDense(BcmDense::new(256, 256, 128, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::Dense(Dense::new(256, MNIST_CLASSES, &mut rng)))
+        .layer(Layer::Softmax)
+        .build()
+        .expect("mnist topology is consistent")
+}
+
+/// The HAR model of Table II.
+///
+/// `Conv 32×1×1×12 → FC 3520×128 (BCM 128×) → FC 128×64 (BCM 64×) →
+/// FC 64×6`, input `1×1×121` (one accelerometer channel window).
+///
+/// # Example
+///
+/// ```
+/// let m = ehdl_nn::zoo::har();
+/// assert_eq!(m.output_shape(), &[6]);
+/// ```
+pub fn har() -> Model {
+    let mut rng = WeightRng::new(0x4841_5202); // "HAR" tag
+    Model::builder("har", &[1, 1, HAR_WINDOW])
+        .layer(Layer::Conv2d(Conv2d::new(32, 1, 1, 12, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::Flatten)
+        .layer(Layer::BcmDense(BcmDense::new(3520, 128, 128, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::BcmDense(BcmDense::new(128, 64, 64, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::Dense(Dense::new(64, HAR_CLASSES, &mut rng)))
+        .layer(Layer::Softmax)
+        .build()
+        .expect("har topology is consistent")
+}
+
+/// The OKG (keyword spotting) model of Table II.
+///
+/// `Conv 6×1×5×5 → FC 3456×512 (BCM 256×) → FC 512×256 (BCM 128×) →
+/// FC 256×128 (BCM 64×) → FC 128×12`, input `1×28×28` (a 28×28
+/// log-mel spectrogram patch; `6×24×24 = 3456`).
+///
+/// # Example
+///
+/// ```
+/// let m = ehdl_nn::zoo::okg();
+/// assert_eq!(m.output_shape(), &[12]);
+/// ```
+pub fn okg() -> Model {
+    let mut rng = WeightRng::new(0x4F4B_4703); // "OKG" tag
+    Model::builder("okg", &[1, 28, 28])
+        .layer(Layer::Conv2d(Conv2d::new(6, 1, 5, 5, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::Flatten)
+        .layer(Layer::BcmDense(BcmDense::new(3456, 512, 256, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::BcmDense(BcmDense::new(512, 256, 128, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::BcmDense(BcmDense::new(256, 128, 64, &mut rng)))
+        .layer(Layer::Relu)
+        .layer(Layer::Dense(Dense::new(128, OKG_CLASSES, &mut rng)))
+        .layer(Layer::Softmax)
+        .build()
+        .expect("okg topology is consistent")
+}
+
+/// All three Table II models.
+pub fn all() -> Vec<Model> {
+    vec![mnist(), har(), okg()]
+}
+
+/// A mask keeping every other kernel position — 2× shape pruning.
+fn checkerboard_mask(len: usize) -> Vec<bool> {
+    (0..len).map(|k| k % 2 == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mnist_shapes_follow_table2() {
+        let m = mnist();
+        assert_eq!(m.input_shape(), &[1, 28, 28]);
+        // conv1 -> [6,24,24], pool -> [6,12,12], conv2 -> [16,8,8],
+        // pool -> [16,4,4], flatten -> 256.
+        assert_eq!(m.layer_output_shape(0), &[6, 24, 24]);
+        assert_eq!(m.layer_output_shape(2), &[6, 12, 12]);
+        assert_eq!(m.layer_output_shape(3), &[16, 8, 8]);
+        assert_eq!(m.layer_output_shape(5), &[16, 4, 4]);
+        assert_eq!(m.layer_output_shape(6), &[256]);
+        assert_eq!(m.output_shape(), &[MNIST_CLASSES]);
+    }
+
+    #[test]
+    fn mnist_conv2_is_pruned_2x() {
+        let m = mnist();
+        let Layer::Conv2d(conv2) = &m.layers()[3] else {
+            panic!("layer 3 should be conv2");
+        };
+        assert_eq!(conv2.kept_positions() * 2, conv2.kernel_mask().len());
+    }
+
+    #[test]
+    fn mnist_fc1_is_bcm_128x() {
+        let m = mnist();
+        let Layer::BcmDense(fc1) = &m.layers()[7] else {
+            panic!("layer 7 should be the BCM FC");
+        };
+        assert_eq!(fc1.block(), 128);
+        assert!((fc1.compression_factor() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn har_shapes_follow_table2() {
+        let m = har();
+        assert_eq!(m.layer_output_shape(0), &[32, 1, 110]);
+        assert_eq!(m.layer_output_shape(2), &[3520]);
+        assert_eq!(m.output_shape(), &[HAR_CLASSES]);
+        let Layer::BcmDense(fc1) = &m.layers()[3] else {
+            panic!("layer 3 should be BCM");
+        };
+        assert_eq!(fc1.block(), 128);
+        let Layer::BcmDense(fc2) = &m.layers()[5] else {
+            panic!("layer 5 should be BCM");
+        };
+        assert_eq!(fc2.block(), 64);
+    }
+
+    #[test]
+    fn okg_shapes_follow_table2() {
+        let m = okg();
+        assert_eq!(m.layer_output_shape(0), &[6, 24, 24]);
+        assert_eq!(m.layer_output_shape(2), &[3456]);
+        assert_eq!(m.output_shape(), &[OKG_CLASSES]);
+        let blocks: Vec<usize> = m
+            .layers()
+            .iter()
+            .filter_map(|l| match l {
+                Layer::BcmDense(b) => Some(b.block()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(blocks, vec![256, 128, 64]);
+    }
+
+    #[test]
+    fn all_models_fit_fr5994_fram() {
+        for m in all() {
+            assert!(
+                m.quantized_bytes() < 256 * 1024,
+                "{} needs {} bytes",
+                m.name(),
+                m.quantized_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_run_forward() {
+        for m in all() {
+            let input = Tensor::zeros(m.input_shape());
+            let out = m.forward(&input).unwrap();
+            let sum: f32 = out.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "{} softmax sum {sum}", m.name());
+        }
+    }
+
+    #[test]
+    fn zoo_is_deterministic() {
+        let a = mnist();
+        let b = mnist();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compression_shrinks_models_dramatically() {
+        // MNIST FC1 dense would be 256*256 = 65536 weights; BCM stores 512.
+        let m = mnist();
+        let Layer::BcmDense(fc1) = &m.layers()[7] else {
+            panic!()
+        };
+        assert_eq!(fc1.dense_param_count() - 256, 65536);
+        assert_eq!(fc1.param_count() - 256, 512);
+    }
+}

@@ -1,0 +1,433 @@
+//! Exact backpropagation for the `ehdl-nn` layer vocabulary.
+
+use ehdl_nn::{Layer, Tensor};
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerGrad {
+    /// Gradients for a convolution (masked positions carry zero grad).
+    Conv2d {
+        /// `d L / d weights`, same layout as the layer's weights.
+        weights: Vec<f32>,
+        /// `d L / d bias`.
+        bias: Vec<f32>,
+    },
+    /// Gradients for a dense layer.
+    Dense {
+        /// `d L / d weights`, `[out][in]` row-major.
+        weights: Vec<f32>,
+        /// `d L / d bias`.
+        bias: Vec<f32>,
+    },
+    /// Gradients for a BCM layer: one vector per circulant block.
+    BcmDense {
+        /// `d L / d c` for each block's first column, grid row-major.
+        blocks: Vec<Vec<f32>>,
+        /// `d L / d bias`.
+        bias: Vec<f32>,
+    },
+    /// The layer has no parameters.
+    None,
+}
+
+/// Backpropagates one layer: given its input activation and the loss
+/// gradient at its output, returns the loss gradient at its input and the
+/// parameter gradients.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not match the layer's output size for the
+/// given input — an internal-consistency bug, not a user input error.
+pub fn backward_layer(layer: &Layer, input: &Tensor, grad_out: &[f32]) -> (Vec<f32>, LayerGrad) {
+    match layer {
+        Layer::Conv2d(c) => backward_conv(c, input, grad_out),
+        Layer::MaxPool2d { size } => (backward_maxpool(input, *size, grad_out), LayerGrad::None),
+        Layer::Relu => {
+            let gin: Vec<f32> = input
+                .as_slice()
+                .iter()
+                .zip(grad_out)
+                .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                .collect();
+            (gin, LayerGrad::None)
+        }
+        Layer::Flatten => (grad_out.to_vec(), LayerGrad::None),
+        Layer::Dense(d) => backward_dense(d, input, grad_out),
+        Layer::BcmDense(d) => backward_bcm(d, input, grad_out),
+        Layer::Softmax => {
+            // The trainer folds softmax into the cross-entropy gradient;
+            // reaching here means a softmax in the middle of a network,
+            // which the paper's models never do.
+            unimplemented!("softmax must be the terminal layer")
+        }
+    }
+}
+
+fn backward_conv(
+    c: &ehdl_nn::Conv2d,
+    input: &Tensor,
+    grad_out: &[f32],
+) -> (Vec<f32>, LayerGrad) {
+    let shape = input.shape();
+    let (in_ch, ih, iw) = (shape[0], shape[1], shape[2]);
+    assert_eq!(in_ch, c.in_ch(), "conv input channels");
+    let (kh, kw) = (c.kh(), c.kw());
+    let (oh, ow) = (ih - kh + 1, iw - kw + 1);
+    assert_eq!(grad_out.len(), c.out_ch() * oh * ow, "conv grad_out size");
+
+    let xs = input.as_slice();
+    let per_filter = in_ch * kh * kw;
+    let mut gw = vec![0.0f32; c.weights().len()];
+    let mut gb = vec![0.0f32; c.out_ch()];
+    let mut gx = vec![0.0f32; xs.len()];
+
+    for o in 0..c.out_ch() {
+        for i in 0..oh {
+            for j in 0..ow {
+                let g = grad_out[(o * oh + i) * ow + j];
+                if g == 0.0 {
+                    continue;
+                }
+                gb[o] += g;
+                for ch in 0..in_ch {
+                    for u in 0..kh {
+                        for v in 0..kw {
+                            let k = (ch * kh + u) * kw + v;
+                            if !c.kernel_mask()[k] {
+                                continue;
+                            }
+                            let xi = (ch * ih + i + u) * iw + (j + v);
+                            gw[o * per_filter + k] += g * xs[xi];
+                            gx[xi] += g * c.weights()[o * per_filter + k];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, LayerGrad::Conv2d { weights: gw, bias: gb })
+}
+
+fn backward_maxpool(input: &Tensor, size: usize, grad_out: &[f32]) -> Vec<f32> {
+    let shape = input.shape();
+    let (ch, ih, iw) = (shape[0], shape[1], shape[2]);
+    let (oh, ow) = (ih / size, iw / size);
+    assert_eq!(grad_out.len(), ch * oh * ow, "maxpool grad_out size");
+    let xs = input.as_slice();
+    let mut gx = vec![0.0f32; xs.len()];
+    for c in 0..ch {
+        for i in 0..oh {
+            for j in 0..ow {
+                // Re-find the argmax of the window; ties go to the first.
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for u in 0..size {
+                    for v in 0..size {
+                        let idx = (c * ih + i * size + u) * iw + (j * size + v);
+                        if xs[idx] > best {
+                            best = xs[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                gx[best_idx] += grad_out[(c * oh + i) * ow + j];
+            }
+        }
+    }
+    gx
+}
+
+fn backward_dense(d: &ehdl_nn::Dense, input: &Tensor, grad_out: &[f32]) -> (Vec<f32>, LayerGrad) {
+    assert_eq!(grad_out.len(), d.out_dim(), "dense grad_out size");
+    assert_eq!(input.len(), d.in_dim(), "dense input size");
+    let xs = input.as_slice();
+    let mut gw = vec![0.0f32; d.weights().len()];
+    let mut gx = vec![0.0f32; d.in_dim()];
+    for (o, &g) in grad_out.iter().enumerate() {
+        let row = &d.weights()[o * d.in_dim()..(o + 1) * d.in_dim()];
+        for i in 0..d.in_dim() {
+            gw[o * d.in_dim() + i] = g * xs[i];
+            gx[i] += g * row[i];
+        }
+    }
+    (
+        gx,
+        LayerGrad::Dense {
+            weights: gw,
+            bias: grad_out.to_vec(),
+        },
+    )
+}
+
+fn backward_bcm(
+    d: &ehdl_nn::BcmDense,
+    input: &Tensor,
+    grad_out: &[f32],
+) -> (Vec<f32>, LayerGrad) {
+    assert_eq!(grad_out.len(), d.out_dim(), "bcm grad_out size");
+    assert_eq!(input.len(), d.in_dim(), "bcm input size");
+    let b = d.block();
+
+    // Zero-pad input and output gradient to the block grid.
+    let mut xp = vec![0.0f32; d.cols_b() * b];
+    xp[..d.in_dim()].copy_from_slice(input.as_slice());
+    let mut gp = vec![0.0f32; d.rows_b() * b];
+    gp[..d.out_dim()].copy_from_slice(grad_out);
+
+    let mut gblocks = vec![vec![0.0f32; b]; d.rows_b() * d.cols_b()];
+    let mut gxp = vec![0.0f32; d.cols_b() * b];
+
+    // y[rb][i] = Σ_cb Σ_j c[rb][cb][(i-j) mod b] * x[cb][j]
+    // => dL/dc[rb][cb][t] = Σ_i g[rb][i] * x[cb][(i-t) mod b]
+    //    dL/dx[cb][j]     = Σ_rb Σ_i g[rb][i] * c[rb][cb][(i-j) mod b]
+    for rb in 0..d.rows_b() {
+        let g = &gp[rb * b..(rb + 1) * b];
+        for cb in 0..d.cols_b() {
+            let x = &xp[cb * b..(cb + 1) * b];
+            let c = d.block_at(rb, cb);
+            let gc = &mut gblocks[rb * d.cols_b() + cb];
+            let gx = &mut gxp[cb * b..(cb + 1) * b];
+            for i in 0..b {
+                let gi = g[i];
+                if gi == 0.0 {
+                    continue;
+                }
+                for t in 0..b {
+                    gc[t] += gi * x[(b + i - t) % b];
+                }
+                for j in 0..b {
+                    gx[j] += gi * c[(b + i - j) % b];
+                }
+            }
+        }
+    }
+    (
+        gxp[..d.in_dim()].to_vec(),
+        LayerGrad::BcmDense {
+            blocks: gblocks,
+            bias: grad_out.to_vec(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::{BcmDense, Conv2d, Dense, Model, WeightRng};
+
+    /// Scalar loss used for finite-difference checks: weighted sum of the
+    /// layer output with fixed coefficients.
+    fn probe_loss(out: &Tensor) -> f32 {
+        out.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * ((i % 5) as f32 - 2.0) * 0.3)
+            .sum()
+    }
+
+    fn probe_grad(len: usize) -> Vec<f32> {
+        (0..len).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect()
+    }
+
+    fn finite_diff_check(layer: &Layer, input: &Tensor, get: impl Fn(&Layer) -> Vec<f32>, set: impl Fn(&mut Layer, &[f32]), analytic: &[f32]) {
+        let eps = 1e-3f32;
+        let base_params = get(layer);
+        for k in (0..base_params.len()).step_by((base_params.len() / 17).max(1)) {
+            let mut plus = layer.clone();
+            let mut params = base_params.clone();
+            params[k] += eps;
+            set(&mut plus, &params);
+            let mut minus = layer.clone();
+            params[k] -= 2.0 * eps;
+            set(&mut minus, &params);
+            let lp = probe_loss(&plus.forward(input).unwrap());
+            let lm = probe_loss(&minus.forward(input).unwrap());
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[k]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "param {k}: numeric {numeric} vs analytic {}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut rng = WeightRng::new(41);
+        let d = Dense::new(5, 4, &mut rng);
+        let layer = Layer::Dense(d);
+        let input = Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.1, -0.4], &[5]).unwrap();
+        let out = layer.forward(&input).unwrap();
+        let (_, grads) = backward_layer(&layer, &input, &probe_grad(out.len()));
+        let LayerGrad::Dense { weights, .. } = grads else {
+            panic!()
+        };
+        finite_diff_check(
+            &layer,
+            &input,
+            |l| match l {
+                Layer::Dense(d) => d.weights().to_vec(),
+                _ => unreachable!(),
+            },
+            |l, p| match l {
+                Layer::Dense(d) => d.weights_mut().copy_from_slice(p),
+                _ => unreachable!(),
+            },
+            &weights,
+        );
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = WeightRng::new(42);
+        let c = Conv2d::new(2, 2, 3, 3, &mut rng);
+        let layer = Layer::Conv2d(c);
+        let input = Tensor::from_vec(
+            (0..2 * 5 * 5).map(|v| ((v * 7 % 11) as f32 - 5.0) / 11.0).collect(),
+            &[2, 5, 5],
+        )
+        .unwrap();
+        let out = layer.forward(&input).unwrap();
+        let (_, grads) = backward_layer(&layer, &input, &probe_grad(out.len()));
+        let LayerGrad::Conv2d { weights, .. } = grads else {
+            panic!()
+        };
+        finite_diff_check(
+            &layer,
+            &input,
+            |l| match l {
+                Layer::Conv2d(c) => c.weights().to_vec(),
+                _ => unreachable!(),
+            },
+            |l, p| match l {
+                Layer::Conv2d(c) => c.weights_mut().copy_from_slice(p),
+                _ => unreachable!(),
+            },
+            &weights,
+        );
+    }
+
+    #[test]
+    fn bcm_gradients_match_finite_differences() {
+        let mut rng = WeightRng::new(43);
+        let d = BcmDense::new(8, 8, 4, &mut rng);
+        let layer = Layer::BcmDense(d);
+        let input = Tensor::from_vec(
+            (0..8).map(|v| (v as f32 - 4.0) * 0.1).collect(),
+            &[8],
+        )
+        .unwrap();
+        let out = layer.forward(&input).unwrap();
+        let (_, grads) = backward_layer(&layer, &input, &probe_grad(out.len()));
+        let LayerGrad::BcmDense { blocks, .. } = grads else {
+            panic!()
+        };
+        let flat: Vec<f32> = blocks.concat();
+        finite_diff_check(
+            &layer,
+            &input,
+            |l| match l {
+                Layer::BcmDense(d) => {
+                    let mut v = Vec::new();
+                    for rb in 0..d.rows_b() {
+                        for cb in 0..d.cols_b() {
+                            v.extend_from_slice(d.block_at(rb, cb));
+                        }
+                    }
+                    v
+                }
+                _ => unreachable!(),
+            },
+            |l, p| match l {
+                Layer::BcmDense(d) => {
+                    let b = d.block();
+                    let cols = d.cols_b();
+                    for rb in 0..d.rows_b() {
+                        for cb in 0..cols {
+                            let off = (rb * cols + cb) * b;
+                            d.block_at_mut(rb, cb).copy_from_slice(&p[off..off + b]);
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            },
+            &flat,
+        );
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        // Check d loss / d input through a small stack.
+        let mut rng = WeightRng::new(44);
+        let model = Model::builder("stack", &[1, 4, 4])
+            .layer(Layer::Conv2d(Conv2d::new(2, 1, 2, 2, &mut rng)))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool2d { size: 3 })
+            .layer(Layer::Flatten)
+            .layer(Layer::Dense(Dense::new(2, 3, &mut rng)))
+            .build()
+            .unwrap();
+        let input = Tensor::from_vec(
+            (0..16).map(|v| ((v * 5 % 13) as f32 - 6.0) / 13.0).collect(),
+            &[1, 4, 4],
+        )
+        .unwrap();
+
+        // Analytic: chain backward_layer over the trace.
+        let acts = model.forward_trace(&input).unwrap();
+        let mut g = probe_grad(acts.last().unwrap().len());
+        for (layer, act) in model.layers().iter().zip(&acts).rev() {
+            let (gi, _) = backward_layer(layer, act, &g);
+            g = gi;
+        }
+
+        let eps = 1e-3f32;
+        for k in 0..16 {
+            let mut xp = input.clone();
+            xp.as_mut_slice()[k] += eps;
+            let mut xm = input.clone();
+            xm.as_mut_slice()[k] -= eps;
+            let lp = probe_loss(&model.forward(&xp).unwrap());
+            let lm = probe_loss(&model.forward(&xm).unwrap());
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - g[k]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "input {k}: {numeric} vs {}",
+                g[k]
+            );
+        }
+    }
+
+    #[test]
+    fn masked_conv_positions_get_zero_grad() {
+        let mut rng = WeightRng::new(45);
+        let mut c = Conv2d::new(2, 1, 2, 2, &mut rng);
+        c.set_kernel_mask(vec![true, false, true, false]);
+        let layer = Layer::Conv2d(c);
+        let input = Tensor::from_vec(vec![0.5; 9], &[1, 3, 3]).unwrap();
+        let out = layer.forward(&input).unwrap();
+        let (_, grads) = backward_layer(&layer, &input, &probe_grad(out.len()));
+        let LayerGrad::Conv2d { weights, .. } = grads else {
+            panic!()
+        };
+        // Positions 1 and 3 of each filter must have zero gradient.
+        assert_eq!(weights[1], 0.0);
+        assert_eq!(weights[3], 0.0);
+        assert_eq!(weights[5], 0.0);
+        assert_eq!(weights[7], 0.0);
+    }
+
+    #[test]
+    fn relu_kills_gradient_below_zero() {
+        let input = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+        let (g, _) = backward_layer(&Layer::Relu, &input, &[5.0, 5.0]);
+        assert_eq!(g, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.0], &[1, 2, 2]).unwrap();
+        let (g, _) = backward_layer(&Layer::MaxPool2d { size: 2 }, &input, &[7.0]);
+        assert_eq!(g, vec![0.0, 7.0, 0.0, 0.0]);
+    }
+}

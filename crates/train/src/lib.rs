@@ -1,0 +1,48 @@
+//! # ehdl-train — offline training for RAD
+//!
+//! RAD "trains the model offline" (§III-A): a plain floating-point
+//! training loop fits the Table II topologies to the (synthetic)
+//! datasets, and the **ADMM-regularized** variant (Eq. 1) drives the
+//! weights toward the structured constraint sets — kernel-shape sparsity
+//! for CONV layers, block-circulant structure for FC layers — before the
+//! hard projection that `ehdl-compress` applies.
+//!
+//! * [`grad`] — exact backpropagation for every layer kind, including
+//!   the first-column gradients of [`BcmDense`](ehdl_nn::BcmDense)
+//!   blocks (verified against finite differences in the test suite),
+//! * [`Sgd`] — stochastic gradient descent with momentum,
+//! * [`Trainer`] — the training/evaluation loop,
+//! * [`AdmmTrainer`] — the W/Z/U loop of ADMM-NN around the same
+//!   gradients.
+//!
+//! # Example
+//!
+//! ```
+//! use ehdl_nn::{Dense, Layer, Model, WeightRng};
+//! use ehdl_train::{TrainConfig, Trainer};
+//!
+//! // Fit a tiny classifier to a two-point toy problem.
+//! let mut rng = WeightRng::new(3);
+//! let mut model = Model::builder("toy", &[2])
+//!     .layer(Layer::Dense(Dense::new(2, 2, &mut rng)))
+//!     .layer(Layer::Softmax)
+//!     .build()?;
+//! let data = vec![
+//!     (ehdl_nn::Tensor::from_vec(vec![1.0, 0.0], &[2])?, 0),
+//!     (ehdl_nn::Tensor::from_vec(vec![0.0, 1.0], &[2])?, 1),
+//! ];
+//! let trainer = Trainer::new(TrainConfig { epochs: 200, lr: 0.5, momentum: 0.0 });
+//! let report = trainer.train_pairs(&mut model, &data)?;
+//! assert!(report.final_accuracy > 0.99);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grad;
+mod optimizer;
+mod trainer;
+
+pub use optimizer::Sgd;
+pub use trainer::{AdmmConstraint, AdmmTrainer, TrainConfig, TrainReport, Trainer};

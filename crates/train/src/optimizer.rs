@@ -1,0 +1,223 @@
+//! SGD with momentum over the `ehdl-nn` layer parameters.
+
+use crate::grad::LayerGrad;
+use ehdl_nn::{Layer, Model};
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// Velocity buffers mirror the model's parameter layout and are created
+/// lazily on the first step.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<LayerGrad>,
+}
+
+impl Sgd {
+    /// Creates an optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one gradient step. `grads[i]` must correspond to
+    /// `model.layers()[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient list length differs from the layer count —
+    /// an internal trainer bug.
+    pub fn step(&mut self, model: &mut Model, grads: &[LayerGrad]) {
+        assert_eq!(grads.len(), model.layers().len(), "gradient count mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = grads.iter().map(zero_like).collect();
+        }
+        let lr = self.lr;
+        let mu = self.momentum;
+        for ((layer, grad), vel) in model
+            .layers_mut()
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.velocity)
+        {
+            match (layer, grad, vel) {
+                (
+                    Layer::Conv2d(c),
+                    LayerGrad::Conv2d { weights, bias },
+                    LayerGrad::Conv2d {
+                        weights: vw,
+                        bias: vb,
+                    },
+                ) => {
+                    update(c.weights_mut(), weights, vw, lr, mu);
+                    update(c.bias_mut(), bias, vb, lr, mu);
+                    c.apply_mask();
+                }
+                (
+                    Layer::Dense(d),
+                    LayerGrad::Dense { weights, bias },
+                    LayerGrad::Dense {
+                        weights: vw,
+                        bias: vb,
+                    },
+                ) => {
+                    update(d.weights_mut(), weights, vw, lr, mu);
+                    update(d.bias_mut(), bias, vb, lr, mu);
+                }
+                (
+                    Layer::BcmDense(d),
+                    LayerGrad::BcmDense { blocks, bias },
+                    LayerGrad::BcmDense {
+                        blocks: vblocks,
+                        bias: vb,
+                    },
+                ) => {
+                    let cols = d.cols_b();
+                    for rb in 0..d.rows_b() {
+                        for cb in 0..cols {
+                            let idx = rb * cols + cb;
+                            update(
+                                d.block_at_mut(rb, cb),
+                                &blocks[idx],
+                                &mut vblocks[idx],
+                                lr,
+                                mu,
+                            );
+                        }
+                    }
+                    update(d.bias_mut(), bias, vb, lr, mu);
+                }
+                (_, LayerGrad::None, LayerGrad::None) => {}
+                _ => panic!("gradient kind does not match layer kind"),
+            }
+        }
+    }
+}
+
+fn zero_like(g: &LayerGrad) -> LayerGrad {
+    match g {
+        LayerGrad::Conv2d { weights, bias } => LayerGrad::Conv2d {
+            weights: vec![0.0; weights.len()],
+            bias: vec![0.0; bias.len()],
+        },
+        LayerGrad::Dense { weights, bias } => LayerGrad::Dense {
+            weights: vec![0.0; weights.len()],
+            bias: vec![0.0; bias.len()],
+        },
+        LayerGrad::BcmDense { blocks, bias } => LayerGrad::BcmDense {
+            blocks: blocks.iter().map(|b| vec![0.0; b.len()]).collect(),
+            bias: vec![0.0; bias.len()],
+        },
+        LayerGrad::None => LayerGrad::None,
+    }
+}
+
+fn update(params: &mut [f32], grad: &[f32], velocity: &mut [f32], lr: f32, mu: f32) {
+    for ((p, &g), v) in params.iter_mut().zip(grad).zip(velocity.iter_mut()) {
+        *v = mu * *v + g;
+        *p -= lr * *v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::{Dense, Model, Tensor, WeightRng};
+
+    #[test]
+    fn step_reduces_quadratic_loss() {
+        let mut rng = WeightRng::new(51);
+        let mut model = Model::builder("q", &[2])
+            .layer(Layer::Dense(Dense::new(2, 1, &mut rng)))
+            .build()
+            .unwrap();
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let target = 0.5f32;
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let mut losses = Vec::new();
+        for _ in 0..50 {
+            let y = model.forward(&x).unwrap().as_slice()[0];
+            losses.push((y - target).powi(2));
+            let g = 2.0 * (y - target);
+            let (_, grads) = crate::grad::backward_layer(&model.layers()[0], &x, &[g]);
+            sgd.step(&mut model, &[grads]);
+        }
+        assert!(losses.last().unwrap() < &1e-4, "loss = {:?}", losses.last());
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let run = |mu: f32| -> f32 {
+            let mut rng = WeightRng::new(52);
+            let mut model = Model::builder("q", &[2])
+                .layer(Layer::Dense(Dense::new(2, 1, &mut rng)))
+                .build()
+                .unwrap();
+            let x = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+            let mut sgd = Sgd::new(0.02, mu);
+            let mut last = 0.0;
+            for _ in 0..300 {
+                let y = model.forward(&x).unwrap().as_slice()[0];
+                last = (y - 0.5).powi(2);
+                let g = 2.0 * (y - 0.5);
+                let (_, grads) = crate::grad::backward_layer(&model.layers()[0], &x, &[g]);
+                sgd.step(&mut model, &[grads]);
+            }
+            last
+        };
+        // Both settle; momentum must not destabilize the quadratic.
+        assert!(run(0.0) < 1e-4);
+        assert!(run(0.9) < 1e-4);
+    }
+
+    #[test]
+    fn pruned_conv_weights_stay_zero_after_steps() {
+        let mut rng = WeightRng::new(53);
+        let mut conv = ehdl_nn::Conv2d::new(1, 1, 2, 2, &mut rng);
+        conv.set_kernel_mask(vec![true, false, true, false]);
+        let mut model = Model::builder("c", &[1, 3, 3])
+            .layer(Layer::Conv2d(conv))
+            .build()
+            .unwrap();
+        let x = Tensor::from_vec(vec![0.5; 9], &[1, 3, 3]).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.5);
+        for _ in 0..5 {
+            let out = model.forward(&x).unwrap();
+            let g = vec![1.0; out.len()];
+            let (_, grads) = crate::grad::backward_layer(&model.layers()[0], &x, &g);
+            sgd.step(&mut model, &[grads]);
+        }
+        let Layer::Conv2d(c) = &model.layers()[0] else {
+            panic!()
+        };
+        assert_eq!(c.weights()[1], 0.0);
+        assert_eq!(c.weights()[3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_lr_panics() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

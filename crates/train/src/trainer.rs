@@ -1,0 +1,462 @@
+//! Training loops: plain SGD and ADMM-regularized.
+
+use crate::grad::{backward_layer, LayerGrad};
+use crate::Sgd;
+use ehdl_compress::admm::{AdmmState, BcmProjector, Projector, ShapePruneProjector};
+use ehdl_nn::{Layer, Model, ModelError, Tensor};
+
+/// Hyperparameters for a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Full passes over the data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            lr: 0.05,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// What a training run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean cross-entropy per epoch.
+    pub loss_history: Vec<f64>,
+    /// Accuracy on the training pairs after the final epoch.
+    pub final_accuracy: f64,
+    /// Final ADMM primal residuals per constraint (empty for plain SGD).
+    pub admm_residuals: Vec<f64>,
+}
+
+/// The plain training loop (cross-entropy on a softmax-terminated model).
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains on `(input, label)` pairs with per-sample SGD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the model does not end in softmax or a
+    /// forward pass rejects an input.
+    pub fn train_pairs(
+        &self,
+        model: &mut Model,
+        data: &[(Tensor, usize)],
+    ) -> Result<TrainReport, ModelError> {
+        ensure_softmax_tail(model)?;
+        let mut sgd = Sgd::new(self.config.lr, self.config.momentum);
+        let mut loss_history = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            for (input, label) in data {
+                let (loss, grads) = sample_gradients(model, input, *label)?;
+                epoch_loss += loss;
+                sgd.step(model, &grads);
+            }
+            loss_history.push(epoch_loss / data.len().max(1) as f64);
+        }
+        let final_accuracy = evaluate_pairs(model, data)?;
+        Ok(TrainReport {
+            loss_history,
+            final_accuracy,
+            admm_residuals: Vec::new(),
+        })
+    }
+}
+
+/// Accuracy of `model` on `(input, label)` pairs.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a forward pass rejects an input.
+pub fn evaluate_pairs(model: &Model, data: &[(Tensor, usize)]) -> Result<f64, ModelError> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (input, label) in data {
+        if model.forward(input)?.argmax() == *label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / data.len() as f64)
+}
+
+/// One structured constraint for ADMM training (the sets `S_i` of Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmmConstraint {
+    /// Layer `layer` (a conv) keeps only `keep` kernel positions.
+    ConvShape {
+        /// Index of the conv layer.
+        layer: usize,
+        /// Kernel positions to keep.
+        keep: usize,
+    },
+    /// Layer `layer` (a dense) is driven toward block-circulant structure.
+    Bcm {
+        /// Index of the dense layer.
+        layer: usize,
+        /// Circulant block size.
+        block: usize,
+    },
+}
+
+impl AdmmConstraint {
+    fn layer(&self) -> usize {
+        match *self {
+            AdmmConstraint::ConvShape { layer, .. } | AdmmConstraint::Bcm { layer, .. } => layer,
+        }
+    }
+}
+
+enum ConstraintProjector {
+    Shape(ShapePruneProjector),
+    Bcm(BcmProjector),
+}
+
+impl Projector for ConstraintProjector {
+    fn project(&self, w: &[f32]) -> Vec<f32> {
+        match self {
+            ConstraintProjector::Shape(p) => p.project(w),
+            ConstraintProjector::Bcm(p) => p.project(w),
+        }
+    }
+}
+
+/// The ADMM-regularized training loop (ADMM-NN's recipe around the same
+/// SGD gradients).
+#[derive(Debug, Clone)]
+pub struct AdmmTrainer {
+    config: TrainConfig,
+    rho: f32,
+}
+
+impl AdmmTrainer {
+    /// Creates an ADMM trainer with penalty `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not positive.
+    pub fn new(config: TrainConfig, rho: f32) -> Self {
+        assert!(rho > 0.0, "rho must be positive");
+        AdmmTrainer { config, rho }
+    }
+
+    /// Trains with the given structured constraints. The Z/U variables
+    /// update once per epoch; call
+    /// [`compress_model`](ehdl_compress::bcm::compress_model) afterwards
+    /// for the hard projection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] for softmax/shape problems; panics if a
+    /// constraint names a layer of the wrong kind (a caller bug).
+    pub fn train_pairs(
+        &self,
+        model: &mut Model,
+        data: &[(Tensor, usize)],
+        constraints: &[AdmmConstraint],
+    ) -> Result<TrainReport, ModelError> {
+        ensure_softmax_tail(model)?;
+        let mut states: Vec<(usize, ConstraintProjector, AdmmState)> = constraints
+            .iter()
+            .map(|c| {
+                let idx = c.layer();
+                let (projector, w) = match (c, &model.layers()[idx]) {
+                    (AdmmConstraint::ConvShape { keep, .. }, Layer::Conv2d(conv)) => (
+                        ConstraintProjector::Shape(ShapePruneProjector {
+                            groups: conv.out_ch(),
+                            keep: *keep,
+                        }),
+                        conv.weights().to_vec(),
+                    ),
+                    (AdmmConstraint::Bcm { block, .. }, Layer::Dense(d)) => (
+                        ConstraintProjector::Bcm(BcmProjector {
+                            out_dim: d.out_dim(),
+                            in_dim: d.in_dim(),
+                            block: *block,
+                        }),
+                        d.weights().to_vec(),
+                    ),
+                    (c, l) => panic!("constraint {c:?} does not match layer kind {}", l.name()),
+                };
+                (idx, projector, AdmmState::new(&w, self.rho))
+            })
+            .collect();
+
+        let mut sgd = Sgd::new(self.config.lr, self.config.momentum);
+        let mut loss_history = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let mut epoch_loss = 0.0;
+            for (input, label) in data {
+                let (loss, mut grads) = sample_gradients(model, input, *label)?;
+                epoch_loss += loss;
+                // Add the augmented-Lagrangian pull toward Z - U.
+                for (idx, _, state) in &states {
+                    let w = layer_weights(&model.layers()[*idx]);
+                    let penalty = state.penalty_grad(&w);
+                    add_weight_grad(&mut grads[*idx], &penalty);
+                }
+                sgd.step(model, &grads);
+            }
+            loss_history.push(epoch_loss / data.len().max(1) as f64);
+            // Z / U updates once per epoch.
+            for (idx, projector, state) in &mut states {
+                let w = layer_weights(&model.layers()[*idx]);
+                state.update_auxiliary(&w, projector);
+            }
+        }
+
+        let admm_residuals = states
+            .iter()
+            .map(|(idx, _, state)| state.primal_residual(&layer_weights(&model.layers()[*idx])))
+            .collect();
+        let final_accuracy = evaluate_pairs(model, data)?;
+        Ok(TrainReport {
+            loss_history,
+            final_accuracy,
+            admm_residuals,
+        })
+    }
+}
+
+fn ensure_softmax_tail(model: &Model) -> Result<(), ModelError> {
+    match model.layers().last() {
+        Some(Layer::Softmax) => Ok(()),
+        _ => Err(ModelError::LayerInput {
+            layer: "Trainer",
+            detail: "training requires a softmax-terminated model".into(),
+        }),
+    }
+}
+
+/// Cross-entropy loss and per-layer gradients for one sample.
+fn sample_gradients(
+    model: &Model,
+    input: &Tensor,
+    label: usize,
+) -> Result<(f64, Vec<LayerGrad>), ModelError> {
+    let acts = model.forward_trace(input)?;
+    let probs = acts.last().expect("trace non-empty").as_slice();
+    let loss = -(f64::from(probs[label].max(1e-9))).ln();
+
+    // Softmax + CE gradient at the logits: p - one_hot.
+    let mut g: Vec<f32> = probs.to_vec();
+    g[label] -= 1.0;
+
+    let n = model.layers().len();
+    let mut grads = vec![LayerGrad::None; n];
+    // Walk backwards, skipping the terminal softmax (its gradient is
+    // folded into g already).
+    for i in (0..n - 1).rev() {
+        let (gi, pg) = backward_layer(&model.layers()[i], &acts[i], &g);
+        grads[i] = pg;
+        g = gi;
+    }
+    Ok((loss, grads))
+}
+
+fn layer_weights(layer: &Layer) -> Vec<f32> {
+    match layer {
+        Layer::Conv2d(c) => c.weights().to_vec(),
+        Layer::Dense(d) => d.weights().to_vec(),
+        _ => panic!("constraint on a parameterless layer"),
+    }
+}
+
+fn add_weight_grad(grad: &mut LayerGrad, penalty: &[f32]) {
+    match grad {
+        LayerGrad::Conv2d { weights, .. } | LayerGrad::Dense { weights, .. } => {
+            for (w, &p) in weights.iter_mut().zip(penalty) {
+                *w += p;
+            }
+        }
+        _ => panic!("penalty applied to a layer without weight grads"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_nn::{Conv2d, Dense, WeightRng};
+
+    /// Two well-separated Gaussian-ish classes in 4-D.
+    fn toy_pairs(n: usize) -> Vec<(Tensor, usize)> {
+        let mut rng = WeightRng::new(61);
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let center = if label == 0 { 0.5 } else { -0.5 };
+                let v: Vec<f32> = (0..4).map(|_| center + rng.uniform(0.2)).collect();
+                (Tensor::from_vec(v, &[4]).unwrap(), label)
+            })
+            .collect()
+    }
+
+    fn toy_model(seed: u64) -> Model {
+        let mut rng = WeightRng::new(seed);
+        Model::builder("toy", &[4])
+            .layer(Layer::Dense(Dense::new(4, 8, &mut rng)))
+            .layer(Layer::Relu)
+            .layer(Layer::Dense(Dense::new(8, 2, &mut rng)))
+            .layer(Layer::Softmax)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trainer_fits_separable_toy_data() {
+        let mut model = toy_model(62);
+        let data = toy_pairs(40);
+        let report = Trainer::new(TrainConfig {
+            epochs: 30,
+            lr: 0.1,
+            momentum: 0.9,
+        })
+        .train_pairs(&mut model, &data)
+        .unwrap();
+        assert!(report.final_accuracy > 0.95, "acc {}", report.final_accuracy);
+        assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
+    }
+
+    #[test]
+    fn trainer_rejects_model_without_softmax() {
+        let mut rng = WeightRng::new(63);
+        let mut model = Model::builder("no-sm", &[4])
+            .layer(Layer::Dense(Dense::new(4, 2, &mut rng)))
+            .build()
+            .unwrap();
+        let err = Trainer::new(TrainConfig::default())
+            .train_pairs(&mut model, &toy_pairs(4))
+            .unwrap_err();
+        assert!(err.to_string().contains("softmax"));
+    }
+
+    #[test]
+    fn admm_drives_dense_layer_toward_bcm() {
+        let mut model = toy_model(64);
+        let data = toy_pairs(40);
+        let constraints = [AdmmConstraint::Bcm { layer: 0, block: 4 }];
+        let report = AdmmTrainer::new(
+            TrainConfig {
+                epochs: 40,
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            0.5,
+        )
+        .train_pairs(&mut model, &data, &constraints)
+        .unwrap();
+        // The residual must be small relative to the weight norm.
+        let Layer::Dense(d) = &model.layers()[0] else {
+            panic!()
+        };
+        let wnorm: f64 = d
+            .weights()
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            report.admm_residuals[0] < 0.35 * wnorm,
+            "residual {} vs norm {wnorm}",
+            report.admm_residuals[0]
+        );
+        assert!(report.final_accuracy > 0.9);
+    }
+
+    #[test]
+    fn admm_then_hard_projection_keeps_accuracy() {
+        let mut model = toy_model(65);
+        let data = toy_pairs(60);
+        let constraints = [AdmmConstraint::Bcm { layer: 0, block: 4 }];
+        AdmmTrainer::new(
+            TrainConfig {
+                epochs: 40,
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            0.5,
+        )
+        .train_pairs(&mut model, &data, &constraints)
+        .unwrap();
+
+        // Hard projection: convert the dense layer to an actual BcmDense.
+        let plan = ehdl_compress::bcm::CompressionPlan {
+            bcm_layers: vec![(0, 4)],
+            prune_layers: vec![],
+        };
+        let compressed = ehdl_compress::bcm::compress_model(&model, &plan).unwrap();
+        let acc = evaluate_pairs(&compressed, &data).unwrap();
+        assert!(acc > 0.9, "post-projection accuracy {acc}");
+    }
+
+    #[test]
+    fn admm_conv_shape_constraint_converges() {
+        let mut rng = WeightRng::new(66);
+        let mut model = Model::builder("conv-toy", &[1, 4, 4])
+            .layer(Layer::Conv2d(Conv2d::new(2, 1, 3, 3, &mut rng)))
+            .layer(Layer::Relu)
+            .layer(Layer::Flatten)
+            .layer(Layer::Dense(Dense::new(8, 2, &mut rng)))
+            .layer(Layer::Softmax)
+            .build()
+            .unwrap();
+        let mut drng = WeightRng::new(67);
+        let data: Vec<(Tensor, usize)> = (0..30)
+            .map(|i| {
+                let label = i % 2;
+                let base = if label == 0 { 0.4 } else { -0.4 };
+                let v: Vec<f32> = (0..16).map(|_| base + drng.uniform(0.2)).collect();
+                (Tensor::from_vec(v, &[1, 4, 4]).unwrap(), label)
+            })
+            .collect();
+        let report = AdmmTrainer::new(
+            TrainConfig {
+                epochs: 30,
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            0.8,
+        )
+        .train_pairs(&mut model, &data, &[AdmmConstraint::ConvShape { layer: 0, keep: 5 }])
+        .unwrap();
+        assert!(report.final_accuracy > 0.9);
+        // After hard pruning to the same budget, accuracy should hold.
+        let plan = ehdl_compress::bcm::CompressionPlan {
+            bcm_layers: vec![],
+            prune_layers: vec![(0, 5, 9)],
+        };
+        let pruned = ehdl_compress::bcm::compress_model(&model, &plan).unwrap();
+        let acc = evaluate_pairs(&pruned, &data).unwrap();
+        assert!(acc > 0.85, "post-prune accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_empty_is_zero() {
+        let model = toy_model(68);
+        assert_eq!(evaluate_pairs(&model, &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! HAR: a batteryless wearable doing on-device activity recognition.
+//!
+//! Exercises the FC-heavy HAR model (where BCM's advantage is largest —
+//! the paper reports its biggest SONIC speedup, 5.7×, here) and sweeps
+//! several harvester profiles to show how FLEX behaves as the energy
+//! environment degrades.
+//!
+//! ```text
+//! cargo run --release -p ehdl --example har_wearable
+//! ```
+
+use ehdl::flex::compare::{compare, paper_supply};
+use ehdl::flex::strategies;
+use ehdl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(80, 21);
+    let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
+
+    // Continuous-power comparison (Fig 7(a) column for HAR).
+    let (harvester, capacitor) = paper_supply();
+    let cmp = compare(&deployed.quantized, &harvester, &capacitor, false)?;
+    println!("{cmp}");
+    println!(
+        "ACE+FLEX speedups: {:.1}x vs BASE, {:.1}x vs SONIC, {:.1}x vs TAILS\n",
+        cmp.speedup_over("BASE"),
+        cmp.speedup_over("SONIC"),
+        cmp.speedup_over("TAILS"),
+    );
+
+    // Harvester sweep: the same FLEX inference under increasingly harsh
+    // power. Wall time stretches (more charging), active time and
+    // checkpoint overhead stay nearly flat — the FLEX property.
+    println!(
+        "{:<28} {:>9} {:>12} {:>12} {:>10}",
+        "harvester", "outages", "active ms", "wall ms", "ckpt %"
+    );
+    let profiles: Vec<(String, Harvester)> = vec![
+        ("square 2 mW 50%".into(), Harvester::square(0.002, 0.05, 0.5)),
+        ("square 1.5 mW 40%".into(), Harvester::square(0.0015, 0.05, 0.4)),
+        ("sine 3 mW peak".into(), Harvester::sine(0.003, 0.08)),
+        ("bursts 4 mW p=0.35".into(), Harvester::bursts(0.004, 0.01, 0.35, 9)),
+    ];
+    let (_, bench_cap) = ehdl::flex::compare::paper_supply();
+    let program = strategies::flex_program(&deployed.program);
+    for (label, h) in profiles {
+        let mut board = Board::msp430fr5994();
+        let mut supply = PowerSupply::new(h, bench_cap.clone());
+        let report = IntermittentExecutor::default().run(&program, &mut board, &mut supply);
+        println!(
+            "{:<28} {:>9} {:>12.2} {:>12.2} {:>10.2}",
+            label,
+            report.outages,
+            report.active_seconds * 1e3,
+            report.wall_seconds * 1e3,
+            100.0 * report.checkpoint_overhead()
+        );
+        assert!(report.completed(), "FLEX must survive {label}");
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! MNIST under intermittent power: the paper's headline scenario.
+//!
+//! Trains the Table II MNIST topology briefly on the synthetic digit
+//! set, deploys it through RAD, then compares all five execution
+//! strategies — BASE, SONIC, TAILS, bare ACE and ACE+FLEX — under both
+//! continuous and harvested power (the Figure 7 panels for one model).
+//!
+//! ```text
+//! cargo run --release -p ehdl --example mnist_intermittent
+//! ```
+
+use ehdl::flex::compare::{compare, paper_supply};
+use ehdl::prelude::*;
+use ehdl::train::{TrainConfig, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut model = ehdl::nn::zoo::mnist();
+    let data = ehdl::datasets::mnist(120, 42);
+    let (train_set, test_set) = data.split(0.8);
+
+    // RAD's offline training on the synthetic digits (a short schedule —
+    // the synthetic classes are easy to separate).
+    let pairs: Vec<(Tensor, usize)> = train_set
+        .samples()
+        .iter()
+        .map(|s| (s.input.clone(), s.label))
+        .collect();
+    let report = Trainer::new(TrainConfig {
+        epochs: 6,
+        lr: 0.001,
+        momentum: 0.9,
+    })
+    .train_pairs(&mut model, &pairs)?;
+    println!(
+        "trained: loss {:.3} -> {:.3}, train accuracy {:.1}%",
+        report.loss_history.first().unwrap_or(&0.0),
+        report.loss_history.last().unwrap_or(&0.0),
+        100.0 * report.final_accuracy
+    );
+
+    // Deploy: normalization + quantization + ACE compilation.
+    let deployed = ehdl::pipeline::deploy(&mut model, &train_set)?;
+    let test_acc = ehdl::pipeline::quantized_accuracy(&deployed.quantized, &test_set)?;
+    println!("quantized test accuracy: {:.1}%", 100.0 * test_acc);
+
+    // The full five-strategy comparison under the paper's supply.
+    let (harvester, capacitor) = paper_supply();
+    let cmp = compare(&deployed.quantized, &harvester, &capacitor, true)?;
+    println!("\n{cmp}");
+    println!(
+        "Fig 7(a) speedups of ACE+FLEX:  {:.1}x vs BASE, {:.1}x vs SONIC, {:.1}x vs TAILS",
+        cmp.speedup_over("BASE"),
+        cmp.speedup_over("SONIC"),
+        cmp.speedup_over("TAILS"),
+    );
+    println!(
+        "Fig 7(c) energy savings:        {:.1}x vs SONIC, {:.1}x vs TAILS",
+        cmp.energy_saving_over("SONIC"),
+        cmp.energy_saving_over("TAILS"),
+    );
+    if let Some(rep) = &cmp.get("ACE+FLEX").intermittent {
+        println!(
+            "Fig 7(b): ACE+FLEX finished with {} outages, {} on-demand checkpoints, \
+             {:.2}% checkpoint overhead",
+            rep.outages,
+            rep.ondemand_checkpoints,
+            100.0 * rep.checkpoint_overhead()
+        );
+    }
+    Ok(())
+}

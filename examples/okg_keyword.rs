@@ -1,0 +1,82 @@
+//! OKG: keyword spotting with an energy breakdown and the Figure 8
+//! block-size study.
+//!
+//! The OKG model is almost entirely BCM FC layers (Table II), so it
+//! showcases where the energy goes per hardware component (Fig 7(c))
+//! and how the BCM block size trades latency/energy against accuracy
+//! headroom (Fig 8).
+//!
+//! ```text
+//! cargo run --release -p ehdl --example okg_keyword
+//! ```
+
+use ehdl::ace::{reference, AceProgram, QuantizedModel};
+use ehdl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut model = ehdl::nn::zoo::okg();
+    let data = ehdl::datasets::okg(60, 33);
+    let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
+
+    // Component-wise energy of one inference (Fig 7(c) style).
+    let mut board = Board::msp430fr5994();
+    let program = ehdl::flex::strategies::ace_bare_program(&deployed.program);
+    let cost = ehdl::ehsim::run_continuous(&program, &mut board);
+    println!(
+        "OKG inference: {:.2} ms, {}\nenergy breakdown:",
+        cost.cycles.as_millis(16e6),
+        cost.energy
+    );
+    for (component, energy) in board.meter().breakdown() {
+        if energy.nanojoules() > 0.0 {
+            println!("  {component:<12} {energy}");
+        }
+    }
+
+    // Figure 8: the first FC layer (3456x512) as dense vs BCM with
+    // blocks 32/64/128/256 — latency, energy and FRAM footprint.
+    println!(
+        "\nFig 8 sweep (first FC, 3456x512):\n{:<14} {:>10} {:>12} {:>12}",
+        "variant", "ms", "energy", "KB weights"
+    );
+    let mut rng = ehdl::nn::WeightRng::new(99);
+    // Dense baseline.
+    let dense = ehdl::nn::Model::builder("fc-dense", &[3456])
+        .layer(Layer::Dense(ehdl::nn::Dense::new(3456, 512, &mut rng)))
+        .build()?;
+    print_fc_row("dense (CPU)", &dense)?;
+    for block in [32usize, 64, 128, 256] {
+        let bcm = ehdl::nn::Model::builder(format!("fc-bcm{block}"), &[3456])
+            .layer(Layer::BcmDense(ehdl::nn::BcmDense::new(
+                3456, 512, block, &mut rng,
+            )))
+            .build()?;
+        print_fc_row(&format!("BCM b={block}"), &bcm)?;
+    }
+
+    // One real classification to close the loop.
+    let sample = &data.samples()[0];
+    let x = ehdl::pipeline::quantize_input(&sample.input);
+    let logits = reference::forward(&deployed.quantized, &x)?;
+    println!(
+        "\nsample keyword: predicted class {} (label {})",
+        reference::argmax(&logits),
+        sample.label
+    );
+    Ok(())
+}
+
+fn print_fc_row(label: &str, model: &Model) -> Result<(), Box<dyn std::error::Error>> {
+    let q = QuantizedModel::from_model(model)?;
+    let ace = AceProgram::compile(&q)?;
+    let board = Board::msp430fr5994();
+    let (cycles, energy) = ehdl::ace::report::total_cost(&ace, &board);
+    println!(
+        "{:<14} {:>10.2} {:>12} {:>12}",
+        label,
+        cycles.as_millis(16e6),
+        energy.to_string(),
+        q.fram_bytes() / 1024
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: deploy a Table II model and run it on the simulated
+//! energy-harvesting board.
+//!
+//! ```text
+//! cargo run --release -p ehdl --example quickstart
+//! ```
+
+use ehdl::prelude::*;
+use ehdl::train::{TrainConfig, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A paper model (HAR: human activity recognition, Table II) and
+    //    its synthetic dataset substitute.
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(60, 7);
+    println!("model:\n{model}");
+
+    // 1b. RAD trains offline; a short schedule separates the synthetic
+    //     classes.
+    let pairs: Vec<(Tensor, usize)> = data
+        .samples()
+        .iter()
+        .map(|s| (s.input.clone(), s.label))
+        .collect();
+    let trained = Trainer::new(TrainConfig {
+        epochs: 5,
+        lr: 0.001,
+        momentum: 0.9,
+    })
+    .train_pairs(&mut model, &pairs)?;
+    println!("trained to {:.1}% on synthetic HAR", 100.0 * trained.final_accuracy);
+
+    // 2. RAD: normalize intermediates into [-1, 1] and quantize to Q15.
+    let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
+    println!(
+        "deployed: {} bytes of FRAM, {} device ops ({} LEA, {} DMA)",
+        deployed.quantized.fram_bytes(),
+        deployed.program.len(),
+        deployed.program.lea_invocations(),
+        deployed.program.dma_transfers(),
+    );
+
+    // 3. ACE: one inference under continuous (bench) power.
+    let sample = &data.samples()[0];
+    let outcome = ehdl::pipeline::infer_continuous(&deployed, &sample.input)?;
+    println!(
+        "continuous: predicted class {} (label {}) — {}",
+        outcome.prediction, sample.label, outcome
+    );
+
+    // 4. FLEX: the same inference powered by a 4 mW square wave into a
+    //    100 µF capacitor — the paper's bench setup.
+    let report = ehdl::pipeline::infer_intermittent(&deployed)?;
+    println!(
+        "intermittent: {} — {} outages, {:.2} ms active, {:.2} ms charging, \
+         checkpoint overhead {:.2}%",
+        if report.completed() { "completed" } else { "FAILED" },
+        report.outages,
+        report.active_seconds * 1e3,
+        report.charging_seconds * 1e3,
+        100.0 * report.checkpoint_overhead(),
+    );
+
+    // 5. Accuracy of the deployed (compressed + quantized) model.
+    let acc = ehdl::pipeline::quantized_accuracy(&deployed.quantized, &data)?;
+    println!("quantized accuracy on synthetic HAR: {:.1}%", 100.0 * acc);
+
+    // Keep the prelude imports exercised.
+    let _board = Board::msp430fr5994();
+    let _q: Q15 = Q15::from_f32(0.5);
+    Ok(())
+}

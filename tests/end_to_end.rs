@@ -1,0 +1,124 @@
+//! End-to-end pipeline tests: RAD → ACE → FLEX on all three Table II
+//! workloads.
+
+use ehdl::prelude::*;
+
+fn deploy_model(
+    model: fn() -> Model,
+    data: &Dataset,
+) -> ehdl::pipeline::DeployedModel {
+    let mut m = model();
+    ehdl::pipeline::deploy(&mut m, data).expect("deployment succeeds")
+}
+
+#[test]
+fn mnist_pipeline_end_to_end() {
+    let data = ehdl::datasets::mnist(40, 1);
+    let deployed = deploy_model(ehdl::nn::zoo::mnist, &data);
+    let outcome =
+        ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+    assert_eq!(outcome.logits.len(), 10);
+    assert_eq!(outcome.overflow.saturations(), 0);
+    assert!(outcome.cost.cycles.raw() > 100_000);
+}
+
+#[test]
+fn har_pipeline_end_to_end() {
+    let data = ehdl::datasets::har(40, 2);
+    let deployed = deploy_model(ehdl::nn::zoo::har, &data);
+    let outcome =
+        ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+    assert_eq!(outcome.logits.len(), 6);
+    assert_eq!(outcome.overflow.saturations(), 0);
+}
+
+#[test]
+fn okg_pipeline_end_to_end() {
+    let data = ehdl::datasets::okg(30, 3);
+    let deployed = deploy_model(ehdl::nn::zoo::okg, &data);
+    let outcome =
+        ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+    assert_eq!(outcome.logits.len(), 12);
+    assert_eq!(outcome.overflow.saturations(), 0);
+}
+
+#[test]
+fn quantized_model_is_deterministic() {
+    let data = ehdl::datasets::har(20, 4);
+    let a = deploy_model(ehdl::nn::zoo::har, &data);
+    let b = deploy_model(ehdl::nn::zoo::har, &data);
+    let x = &data.samples()[5].input;
+    let oa = ehdl::pipeline::infer_continuous(&a, x).unwrap();
+    let ob = ehdl::pipeline::infer_continuous(&b, x).unwrap();
+    assert_eq!(oa.logits, ob.logits);
+    assert_eq!(oa.cost, ob.cost);
+}
+
+#[test]
+fn trained_model_survives_deployment_with_accuracy() {
+    // Train HAR briefly; deployment (normalize + quantize) must keep
+    // most of the accuracy — Table II's claim that compression costs
+    // only a small drop.
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(120, 5);
+    let (train_set, test_set) = data.split(0.75);
+    let pairs: Vec<(Tensor, usize)> = train_set
+        .samples()
+        .iter()
+        .map(|s| (s.input.clone(), s.label))
+        .collect();
+    let report = ehdl::train::Trainer::new(ehdl::train::TrainConfig {
+        epochs: 10,
+        lr: 0.001,
+        momentum: 0.9,
+    })
+    .train_pairs(&mut model, &pairs)
+    .unwrap();
+    assert!(report.final_accuracy > 0.8, "train acc {}", report.final_accuracy);
+
+    let float_acc = ehdl::pipeline::float_accuracy(&model, &test_set).unwrap();
+    let deployed = ehdl::pipeline::deploy(&mut model, &train_set).unwrap();
+    let q_acc = ehdl::pipeline::quantized_accuracy(&deployed.quantized, &test_set).unwrap();
+    assert!(
+        q_acc >= float_acc - 0.15,
+        "quantization dropped accuracy {float_acc} -> {q_acc}"
+    );
+}
+
+#[test]
+fn deployment_fits_fr5994_budgets() {
+    for (q, scratch) in [
+        ehdl::nn::zoo::mnist(),
+        ehdl::nn::zoo::har(),
+        ehdl::nn::zoo::okg(),
+    ]
+    .into_iter()
+    .map(|m| {
+        let q = ehdl::ace::QuantizedModel::from_model(&m).unwrap();
+        let plan = ehdl::ace::CircularBufferPlan::new(&q);
+        (q, plan.circular_words() * 2)
+    }) {
+        let mut board = Board::msp430fr5994();
+        board
+            .fram_mut()
+            .reserve_model(q.fram_bytes())
+            .expect("model fits FRAM");
+        board
+            .fram_mut()
+            .reserve_scratch(scratch)
+            .expect("activation buffers fit FRAM");
+    }
+}
+
+#[test]
+fn normalized_models_never_saturate_on_dataset() {
+    let data = ehdl::datasets::mnist(25, 6);
+    let deployed = deploy_model(ehdl::nn::zoo::mnist, &data);
+    let mut total = ehdl::fixed::OverflowStats::new();
+    for s in data.samples() {
+        let x = ehdl::pipeline::quantize_input(&s.input);
+        let _ = ehdl::ace::reference::forward_with_stats(&deployed.quantized, &x, &mut total)
+            .unwrap();
+    }
+    assert_eq!(total.saturations(), 0, "{total}");
+}

@@ -1,0 +1,143 @@
+//! Figure 6 at the data level: FLEX resumes an interrupted BCM chain at
+//! the failed stage; TAILS rolls the whole chain back. Run on the real
+//! MNIST FC1 layer (256×256, block 128) with real Q15 payloads.
+
+use ehdl::ace::{reference, QLayer, QuantizedModel};
+use ehdl::fixed::{OverflowStats, Q15};
+use ehdl::flex::machine::{BcmChainMachine, ChainPolicy};
+
+fn mnist_fc1() -> ehdl::ace::QBcmDense {
+    let q = QuantizedModel::from_model(&ehdl::nn::zoo::mnist()).unwrap();
+    match q.layers()[7].clone() {
+        QLayer::BcmDense(d) => d,
+        other => panic!("expected BCM FC1, got {}", other.name()),
+    }
+}
+
+fn fc1_input(layer: &ehdl::ace::QBcmDense) -> Vec<Q15> {
+    (0..layer.in_dim)
+        .map(|i| Q15::from_f32(0.2 * ((i as f32) * 0.13).sin()))
+        .collect()
+}
+
+#[test]
+fn flex_recovers_mnist_fc1_bit_exactly_under_random_faults() {
+    let layer = mnist_fc1();
+    let x = fc1_input(&layer);
+    let mut stats = OverflowStats::new();
+    let want = reference::bcm_forward(&layer, &x, &mut stats).unwrap();
+
+    // A deterministic "random" fault schedule: fail whenever the step
+    // counter hashes below a threshold.
+    for seed in 0..5u64 {
+        let mut m = BcmChainMachine::new(layer.clone(), &x, ChainPolicy::Flex).unwrap();
+        let mut k = 0u64;
+        loop {
+            let done = m.step().unwrap();
+            k += 1;
+            if (k.wrapping_mul(0x9E37_79B9).wrapping_add(seed * 7919)).is_multiple_of(5) {
+                m.power_fail();
+            }
+            if done {
+                break;
+            }
+        }
+        assert_eq!(m.output().unwrap(), want.as_slice(), "seed {seed}");
+    }
+}
+
+#[test]
+fn tails_rollback_wastes_stages_on_mnist_fc1() {
+    let layer = mnist_fc1();
+    let x = fc1_input(&layer);
+
+    // Fail every 9 steps: a 6-stage TAILS chain can still commit between
+    // failures (any shorter period livelocks TAILS — the rollback
+    // pathology in the extreme).
+    let run = |policy: ChainPolicy| -> u64 {
+        let mut m = BcmChainMachine::new(layer.clone(), &x, policy).unwrap();
+        let mut k = 0u64;
+        loop {
+            if m.step().unwrap() {
+                break;
+            }
+            k += 1;
+            if k.is_multiple_of(9) {
+                m.power_fail();
+            }
+        }
+        m.stages_executed()
+    };
+
+    let flex_stages = run(ChainPolicy::Flex);
+    let tails_stages = run(ChainPolicy::Tails);
+    assert!(
+        tails_stages > flex_stages,
+        "tails {tails_stages} vs flex {flex_stages}"
+    );
+    // And both still produce the right answer (checked per policy).
+    for policy in [ChainPolicy::Flex, ChainPolicy::Tails] {
+        let mut stats = OverflowStats::new();
+        let want = reference::bcm_forward(&layer, &x, &mut stats).unwrap();
+        let mut m = BcmChainMachine::new(layer.clone(), &x, policy).unwrap();
+        let mut k = 0u64;
+        loop {
+            if m.step().unwrap() {
+                break;
+            }
+            k += 1;
+            if k.is_multiple_of(9) {
+                m.power_fail();
+            }
+        }
+        assert_eq!(m.output().unwrap(), want.as_slice(), "{policy:?}");
+    }
+}
+
+#[test]
+fn tails_livelocks_when_failures_outpace_chains() {
+    // The extreme of Figure 6 left: if power dies faster than a chain
+    // can complete, TAILS makes no forward progress at all, while FLEX
+    // still finishes. (Bounded-step check, not an infinite loop.)
+    let layer = mnist_fc1();
+    let x = fc1_input(&layer);
+    let budget = 200_000u64;
+
+    let progress = |policy: ChainPolicy| -> bool {
+        let mut m = BcmChainMachine::new(layer.clone(), &x, policy).unwrap();
+        let mut k = 0u64;
+        loop {
+            if m.step().unwrap() {
+                return true;
+            }
+            k += 1;
+            if k.is_multiple_of(4) {
+                m.power_fail(); // 4 < 6 stages: chains can never commit
+            }
+            if k > budget {
+                return false;
+            }
+        }
+    };
+    assert!(progress(ChainPolicy::Flex), "FLEX must finish");
+    assert!(!progress(ChainPolicy::Tails), "TAILS must livelock");
+}
+
+#[test]
+fn flex_checkpoint_size_matches_fig6_claims() {
+    // Fig 6: FLEX persists block index, intermediate result, and the
+    // control bits b0–b2 — "as the control bits are small, it requires
+    // small memory footprint". For block 128 the intermediate is
+    // 2×128 complex words; the control state is a handful of words.
+    let layer = mnist_fc1();
+    let b = layer.block;
+    let intermediate_words = 2 * 2 * b; // two complex buffers
+    let control_words = 4; // state bits + rb + cb + crc
+    let total_bytes = 2 * (intermediate_words + control_words);
+    // Comfortably inside the FR5994 checkpoint budget and far below
+    // checkpointing all activations.
+    assert!(total_bytes < 2048, "checkpoint {total_bytes} bytes");
+    let q = QuantizedModel::from_model(&ehdl::nn::zoo::mnist()).unwrap();
+    let all_activations = q.max_activation_elems() * 2;
+    assert!(total_bytes < all_activations);
+}

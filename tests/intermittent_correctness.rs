@@ -1,0 +1,141 @@
+//! Intermittent-power behaviour on the real workloads: who completes,
+//! who starves, and what checkpointing costs (Figure 7(b) + §IV-A.5).
+//!
+//! These run whole inferences through the capacitor model, so they use
+//! the FC-heavy HAR workload (smallest op stream) for the per-strategy
+//! sweeps and are still the slowest tests in the suite.
+
+use ehdl::ace::{AceProgram, QuantizedModel};
+use ehdl::flex::strategies;
+use ehdl::prelude::*;
+
+fn har_quantized() -> QuantizedModel {
+    QuantizedModel::from_model(&ehdl::nn::zoo::har()).unwrap()
+}
+
+fn paper_supply() -> PowerSupply {
+    let (h, c) = ehdl::flex::compare::paper_supply();
+    PowerSupply::new(h, c)
+}
+
+fn run(program: &ehdl::ehsim::Program) -> RunReport {
+    let mut board = Board::msp430fr5994();
+    let mut supply = paper_supply();
+    IntermittentExecutor::default().run(program, &mut board, &mut supply)
+}
+
+#[test]
+fn base_starves_under_harvested_power() {
+    let q = har_quantized();
+    let report = run(&strategies::base_program(&q));
+    assert!(!report.completed(), "{report}");
+    assert!(report.wasted_ops > 0);
+}
+
+#[test]
+fn bare_ace_starves_under_harvested_power() {
+    // The second ✗ of Fig 7(b): acceleration alone does not survive.
+    let q = har_quantized();
+    let ace = AceProgram::compile(&q).unwrap();
+    let report = run(&strategies::ace_bare_program(&ace));
+    assert!(!report.completed(), "{report}");
+}
+
+#[test]
+fn sonic_tails_flex_all_complete() {
+    let q = har_quantized();
+    let ace = AceProgram::compile(&q).unwrap();
+    let programs = [
+        ("SONIC", strategies::sonic_program(&q)),
+        ("TAILS", strategies::tails_program(&q)),
+        ("ACE+FLEX", strategies::flex_program(&ace)),
+    ];
+    let mut actives = Vec::new();
+    for (name, p) in &programs {
+        let report = run(p);
+        assert!(report.completed(), "{name}: {report}");
+        assert!(report.outages > 0, "{name} should see outages");
+        actives.push((*name, report.active_seconds));
+    }
+    // ACE+FLEX has the lowest active (compute) time — Fig 7(b).
+    let flex = actives.iter().find(|(n, _)| *n == "ACE+FLEX").unwrap().1;
+    for (name, active) in &actives {
+        if *name != "ACE+FLEX" {
+            assert!(flex < *active, "{name} {active} vs flex {flex}");
+        }
+    }
+}
+
+#[test]
+fn flex_intermittent_latency_within_percent_of_continuous() {
+    // §IV-A: "there is a negligible increase (1%-2%) in latency and
+    // energy consumption, achieving almost similar latency and energy
+    // as continuous power" — comparing *active* time.
+    let q = har_quantized();
+    let ace = AceProgram::compile(&q).unwrap();
+    let flex = strategies::flex_program(&ace);
+
+    let mut board = Board::msp430fr5994();
+    let continuous = ehdl::ehsim::run_continuous(&flex, &mut board);
+    let report = run(&flex);
+    assert!(report.completed());
+
+    let cont_s = continuous.cycles.as_seconds(16e6);
+    let ratio = report.active_seconds / cont_s;
+    assert!(
+        (1.0..1.25).contains(&ratio),
+        "active-time inflation {ratio} (continuous {cont_s}s, intermittent {}s)",
+        report.active_seconds
+    );
+}
+
+#[test]
+fn flex_checkpoint_overhead_is_percent_scale() {
+    // §IV-A.5: total checkpoint/restore overhead ≈ 1%/1.25%/0.8%.
+    let q = har_quantized();
+    let ace = AceProgram::compile(&q).unwrap();
+    let report = run(&strategies::flex_program(&ace));
+    assert!(report.completed());
+    let overhead = report.checkpoint_overhead();
+    assert!(overhead < 0.10, "checkpoint overhead {overhead}");
+    assert!(report.ondemand_checkpoints > 0);
+}
+
+#[test]
+fn flex_single_checkpoint_cost_below_margin() {
+    // The voltage-monitor margin (warn 2.0 V → off 1.8 V on 100 µF,
+    // ≈ 38 µJ) must cover the largest single checkpoint — the paper's
+    // 0.033 mJ bound plays the same role.
+    let q = har_quantized();
+    let ace = AceProgram::compile(&q).unwrap();
+    let max_live = ace.ops().iter().map(|t| t.live_words).max().unwrap() as u64;
+    let board = Board::msp430fr5994();
+    let cost = board.cost(&ehdl::device::DeviceOp::Checkpoint {
+        words: max_live + 4,
+    });
+    let (_, cap) = ehdl::flex::compare::paper_supply();
+    let margin_j = board.monitor().margin_energy_joules(cap.farads());
+    assert!(
+        cost.energy.nanojoules() * 1e-9 < margin_j,
+        "checkpoint {} vs margin {margin_j} J",
+        cost.energy
+    );
+}
+
+#[test]
+fn stronger_harvester_means_fewer_outages() {
+    let q = har_quantized();
+    let ace = AceProgram::compile(&q).unwrap();
+    let flex = strategies::flex_program(&ace);
+    let outages_at = |watts: f64| -> u64 {
+        let mut board = Board::msp430fr5994();
+        let mut supply = PowerSupply::new(
+            Harvester::square(watts, 0.05, 0.5),
+            Capacitor::paper_100uf(),
+        );
+        IntermittentExecutor::default()
+            .run(&flex, &mut board, &mut supply)
+            .outages
+    };
+    assert!(outages_at(0.002) >= outages_at(0.008));
+}
