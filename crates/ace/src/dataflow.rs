@@ -115,8 +115,7 @@ mod tests {
         // The static threshold must sit at (or just above) the measured
         // break-even so neither method is chosen against its own cost.
         assert!(
-            policy.dma_threshold_words >= breakeven
-                && policy.dma_threshold_words <= breakeven * 4,
+            policy.dma_threshold_words >= breakeven && policy.dma_threshold_words <= breakeven * 4,
             "threshold {} vs breakeven {breakeven}",
             policy.dma_threshold_words
         );

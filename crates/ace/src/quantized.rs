@@ -188,9 +188,7 @@ impl QuantizedModel {
                     rows_b: d.rows_b(),
                     cols_b: d.cols_b(),
                     blocks: (0..d.rows_b())
-                        .flat_map(|rb| {
-                            (0..d.cols_b()).map(move |cb| (rb, cb))
-                        })
+                        .flat_map(|rb| (0..d.cols_b()).map(move |cb| (rb, cb)))
                         .map(|(rb, cb)| {
                             d.block_at(rb, cb)
                                 .iter()

@@ -364,7 +364,11 @@ mod tests {
         let exact = ehdl_dsp::circulant::matvec_direct_q15(&w, &x);
         for (g, e) in got.iter().zip(&exact) {
             let want = e.to_f64() / b as f64; // result is y/N
-            assert!((g.to_f64() - want).abs() < 8.0 / 32768.0, "{} vs {want}", g.to_f64());
+            assert!(
+                (g.to_f64() - want).abs() < 8.0 / 32768.0,
+                "{} vs {want}",
+                g.to_f64()
+            );
         }
         assert_eq!(stats.saturations(), 0);
     }
@@ -394,7 +398,7 @@ mod tests {
         )
         .unwrap()
         .layers()[0]
-        .clone()
+            .clone()
         {
             QLayer::BcmDense(d) => d,
             _ => panic!(),
@@ -421,7 +425,9 @@ mod tests {
         let QLayer::Conv2d(qc) = &qm.layers()[0] else {
             panic!()
         };
-        let input_f: Vec<f32> = (0..784).map(|i| ((i * 7 % 29) as f32 / 29.0) - 0.5).collect();
+        let input_f: Vec<f32> = (0..784)
+            .map(|i| ((i * 7 % 29) as f32 / 29.0) - 0.5)
+            .collect();
         let want = m.layers()[0]
             .forward(&Tensor::from_vec(input_f.clone(), &[1, 28, 28]).unwrap())
             .unwrap();
@@ -464,7 +470,10 @@ mod tests {
         let qm = QuantizedModel::from_model(&zoo::mnist()).unwrap();
         assert!(matches!(
             forward(&qm, &[Q15::ZERO; 3]),
-            Err(AceError::BadInput { expected: 784, got: 3 })
+            Err(AceError::BadInput {
+                expected: 784,
+                got: 3
+            })
         ));
     }
 }

@@ -75,7 +75,11 @@ impl CostTableDisplay {
 
 impl fmt::Display for CostTableDisplay {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<4} {:<12} {:>12} {:>12}", "#", "layer", "ms", "energy")?;
+        writeln!(
+            f,
+            "{:<4} {:<12} {:>12} {:>12}",
+            "#", "layer", "ms", "energy"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

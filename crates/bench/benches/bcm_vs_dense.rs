@@ -1,12 +1,11 @@
-//! Criterion microbench: BCM FFT-route matvec vs direct circulant vs
-//! dense matvec — the asymptotic claim behind Table I / Figure 8
+//! Microbench: BCM FFT-route matvec vs direct circulant vs dense
+//! matvec — the asymptotic claim behind Table I / Figure 8
 //! (`O(pqk log k)` vs `O(n²)`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehdl::ace::reference;
 use ehdl::dsp::{circulant, FftPlan};
-use ehdl::fixed::{OverflowStats, Q15};
-use std::hint::black_box;
+use ehdl::fixed::{MacAcc, OverflowStats, Q15};
+use ehdl_bench::micro::{bench, suite};
 
 fn inputs(n: usize) -> (Vec<Q15>, Vec<Q15>) {
     let w: Vec<Q15> = (0..n)
@@ -18,44 +17,33 @@ fn inputs(n: usize) -> (Vec<Q15>, Vec<Q15>) {
     (w, x)
 }
 
-fn bench_matvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bcm_vs_dense");
+fn main() {
+    suite("bcm_vs_dense");
     for n in [64usize, 128, 256] {
         let (w, x) = inputs(n);
         let plan = FftPlan::new(n).expect("power of two");
 
-        group.bench_with_input(BenchmarkId::new("bcm_fft_route", n), &n, |b, _| {
-            b.iter(|| {
-                let mut stats = OverflowStats::new();
-                black_box(
-                    reference::bcm_block_matvec(&plan, black_box(&w), black_box(&x), &mut stats)
-                        .expect("valid plan"),
-                )
-            })
+        bench(&format!("bcm_vs_dense/bcm_fft_route/{n}"), || {
+            let mut stats = OverflowStats::new();
+            reference::bcm_block_matvec(&plan, &w, &x, &mut stats).expect("valid plan")
         });
 
-        group.bench_with_input(BenchmarkId::new("circulant_direct", n), &n, |b, _| {
-            b.iter(|| black_box(circulant::matvec_direct_q15(black_box(&w), black_box(&x))))
+        bench(&format!("bcm_vs_dense/circulant_direct/{n}"), || {
+            circulant::matvec_direct_q15(&w, &x)
         });
 
         // Dense-equivalent: n rows of n-long dot products.
-        group.bench_with_input(BenchmarkId::new("dense_equivalent", n), &n, |b, _| {
-            b.iter(|| {
-                let mut out = Vec::with_capacity(n);
-                for i in 0..n {
-                    // Row i of the circulant: w[(i - j) mod n].
-                    let mut acc = ehdl::fixed::MacAcc::ZERO;
-                    for (j, &xj) in x.iter().enumerate() {
-                        acc.mac(w[(n + i - j) % n], xj);
-                    }
-                    out.push(acc.to_q15());
+        bench(&format!("bcm_vs_dense/dense_equivalent/{n}"), || {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                // Row i of the circulant: w[(i - j) mod n].
+                let mut acc = MacAcc::ZERO;
+                for (j, &xj) in x.iter().enumerate() {
+                    acc.mac(w[(n + i - j) % n], xj);
                 }
-                black_box(out)
-            })
+                out.push(acc.to_q15());
+            }
+            out
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_matvec);
-criterion_main!(benches);

@@ -1,77 +1,61 @@
-//! Criterion microbench: simulator throughput — how fast the device
-//! model executes op streams and the intermittent executor replays them
+//! Microbench: simulator throughput — how fast the device model
+//! executes op streams and the intermittent executor replays them
 //! (the practical cost of running fig7b-style experiments).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ehdl::device::{Board, DeviceOp, LeaOp, MemoryKind};
-use ehdl::ehsim::{Capacitor, CheckpointSpec, Harvester, IntermittentExecutor, PowerSupply, Program};
-use std::hint::black_box;
+use ehdl::ehsim::{
+    Capacitor, CheckpointSpec, Harvester, IntermittentExecutor, PowerSupply, Program,
+};
+use ehdl_bench::micro::{bench, suite};
 
-fn bench_board_execute(c: &mut Criterion) {
-    c.bench_function("board_execute_10k_ops", |b| {
-        let ops = [
-            DeviceOp::Lea(LeaOp::Mac { len: 75 }),
-            DeviceOp::DmaTransfer {
-                from: MemoryKind::Fram,
-                to: MemoryKind::Sram,
-                words: 75,
-            },
-            DeviceOp::MemWrite {
-                mem: MemoryKind::Fram,
-                words: 1,
-            },
-            DeviceOp::CpuOps { count: 64 },
-        ];
-        b.iter(|| {
-            let mut board = Board::msp430fr5994();
-            for i in 0..10_000 {
-                board.execute(black_box(&ops[i % ops.len()]));
-            }
-            black_box(board.elapsed_cycles())
-        })
-    });
-}
+fn main() {
+    suite("device_ops");
 
-fn bench_intermittent_executor(c: &mut Criterion) {
-    c.bench_function("intermittent_run_5k_committing_ops", |b| {
-        let mut program = Program::new("bench");
-        for _ in 0..5_000 {
-            program.push(DeviceOp::CpuOps { count: 2_000 }, CheckpointSpec::COMMIT);
+    let ops = [
+        DeviceOp::Lea(LeaOp::Mac { len: 75 }),
+        DeviceOp::DmaTransfer {
+            from: MemoryKind::Fram,
+            to: MemoryKind::Sram,
+            words: 75,
+        },
+        DeviceOp::MemWrite {
+            mem: MemoryKind::Fram,
+            words: 1,
+        },
+        DeviceOp::CpuOps { count: 64 },
+    ];
+    bench("device_ops/board_execute_10k_ops", || {
+        let mut board = Board::msp430fr5994();
+        for i in 0..10_000 {
+            board.execute(&ops[i % ops.len()]);
         }
-        b.iter(|| {
-            let mut board = Board::msp430fr5994();
-            let mut supply = PowerSupply::new(
-                Harvester::square(0.004, 0.05, 0.5),
-                Capacitor::paper_100uf(),
-            );
-            let report =
-                IntermittentExecutor::default().run(black_box(&program), &mut board, &mut supply);
-            assert!(report.completed());
-            black_box(report.outages)
-        })
+        board.elapsed_cycles()
+    });
+
+    let mut program = Program::new("bench");
+    for _ in 0..5_000 {
+        program.push(DeviceOp::CpuOps { count: 2_000 }, CheckpointSpec::COMMIT);
+    }
+    bench("device_ops/intermittent_run_5k_committing_ops", || {
+        let mut board = Board::msp430fr5994();
+        let mut supply = PowerSupply::new(
+            Harvester::square(0.004, 0.05, 0.5),
+            Capacitor::paper_100uf(),
+        );
+        let report = IntermittentExecutor::default().run(&program, &mut board, &mut supply);
+        assert!(report.completed());
+        report.outages
+    });
+
+    let board = Board::msp430fr5994();
+    bench("device_ops/checkpoint_op_pricing", || {
+        let mut total = 0.0;
+        for words in [2u64, 8, 260, 1032] {
+            total += board
+                .cost(&DeviceOp::Checkpoint { words })
+                .energy
+                .nanojoules();
+        }
+        total
     });
 }
-
-fn bench_checkpoint_cost(c: &mut Criterion) {
-    c.bench_function("checkpoint_op_pricing", |b| {
-        let board = Board::msp430fr5994();
-        b.iter(|| {
-            let mut total = 0.0;
-            for words in [2u64, 8, 260, 1032] {
-                total += board
-                    .cost(black_box(&DeviceOp::Checkpoint { words }))
-                    .energy
-                    .nanojoules();
-            }
-            black_box(total)
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_board_execute,
-    bench_intermittent_executor,
-    bench_checkpoint_cost
-);
-criterion_main!(benches);

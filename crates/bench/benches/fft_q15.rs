@@ -1,35 +1,26 @@
-//! Criterion microbench: the fixed-point FFT kernel across the paper's
-//! block sizes (the inner loop of every BCM FC layer).
+//! Microbench: the fixed-point FFT kernel across the paper's block
+//! sizes (the inner loop of every BCM FC layer).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehdl::dsp::FftPlan;
 use ehdl::fixed::{ComplexQ15, Q15};
-use std::hint::black_box;
+use ehdl_bench::micro::{bench, suite};
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_q15");
+fn main() {
+    suite("fft_q15");
     for n in [32usize, 64, 128, 256] {
         let plan = FftPlan::new(n).expect("power of two");
         let signal: Vec<ComplexQ15> = (0..n)
             .map(|i| ComplexQ15::from_real(Q15::from_f32(0.4 * ((i as f32) * 0.7).sin())))
             .collect();
-        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
-            b.iter(|| {
-                let mut buf = signal.clone();
-                plan.fft(black_box(&mut buf)).expect("plan length");
-                black_box(buf)
-            })
+        bench(&format!("fft_q15/forward/{n}"), || {
+            let mut buf = signal.clone();
+            plan.fft(&mut buf).expect("plan length");
+            buf
         });
-        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
-            b.iter(|| {
-                let mut buf = signal.clone();
-                plan.ifft(black_box(&mut buf)).expect("plan length");
-                black_box(buf)
-            })
+        bench(&format!("fft_q15/inverse/{n}"), || {
+            let mut buf = signal.clone();
+            plan.ifft(&mut buf).expect("plan length");
+            buf
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fft);
-criterion_main!(benches);

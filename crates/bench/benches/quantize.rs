@@ -1,46 +1,59 @@
-//! Criterion microbench: quantization and the reference quantized
-//! forward pass (the golden-model cost per inference).
+//! Microbench: quantization and the reference quantized forward pass
+//! (the golden-model cost per inference), plus the session hot loop vs
+//! the deprecated per-call pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ehdl::ace::{reference, QuantizedModel};
 use ehdl::compress::quantize::{quantize_slice, QuantParams};
 use ehdl::fixed::Q15;
-use std::hint::black_box;
+use ehdl::prelude::*;
+use ehdl_bench::micro::{bench, suite};
 
-fn bench_quantize_slice(c: &mut Criterion) {
+fn main() {
+    suite("quantize");
+
     let data: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.37).sin() * 0.9).collect();
-    c.bench_function("quantize_4096_f32", |b| {
-        b.iter(|| black_box(quantize_slice(black_box(&data), QuantParams::UNIT)))
+    bench("quantize/quantize_4096_f32", || {
+        quantize_slice(&data, QuantParams::UNIT)
     });
-}
 
-fn bench_reference_forward(c: &mut Criterion) {
     let q = QuantizedModel::from_model(&ehdl::nn::zoo::har()).expect("deploys");
     let x = vec![Q15::from_f32(0.1); q.input_len()];
-    c.bench_function("reference_forward_har", |b| {
-        b.iter(|| black_box(reference::forward(black_box(&q), black_box(&x)).expect("runs")))
+    bench("quantize/reference_forward_har", || {
+        reference::forward(&q, &x).expect("runs")
     });
-}
 
-fn bench_bcm_layer(c: &mut Criterion) {
-    let q = QuantizedModel::from_model(&ehdl::nn::zoo::mnist()).expect("deploys");
-    let ehdl::ace::QLayer::BcmDense(layer) = q.layers()[7].clone() else {
+    let q_mnist = QuantizedModel::from_model(&ehdl::nn::zoo::mnist()).expect("deploys");
+    let ehdl::ace::QLayer::BcmDense(layer) = q_mnist.layers()[7].clone() else {
         panic!("layer 7 is the BCM FC");
     };
-    let x = vec![Q15::from_f32(0.05); layer.in_dim];
-    c.bench_function("bcm_forward_256x256_b128", |b| {
-        b.iter(|| {
-            let mut stats = ehdl::fixed::OverflowStats::new();
-            black_box(reference::bcm_forward(black_box(&layer), black_box(&x), &mut stats))
-                .expect("runs")
-        })
+    let xb = vec![Q15::from_f32(0.05); layer.in_dim];
+    bench("quantize/bcm_forward_256x256_b128", || {
+        let mut stats = ehdl::fixed::OverflowStats::new();
+        reference::bcm_forward(&layer, &xb, &mut stats).expect("runs")
     });
-}
 
-criterion_group!(
-    benches,
-    bench_quantize_slice,
-    bench_reference_forward,
-    bench_bcm_layer
-);
-criterion_main!(benches);
+    // The session hot path: infer() with the board/program hoisted out
+    // of the loop, vs the deprecated shim that rebuilds both per call.
+    let mut model = ehdl::nn::zoo::har();
+    let dataset = ehdl::datasets::har(8, 5);
+    let deployment = Deployment::builder(&mut model, &dataset)
+        .strategy(Strategy::Bare)
+        .build()
+        .expect("deploys");
+    let input = dataset.samples()[0].input.clone();
+    let mut session = deployment.session();
+    bench("quantize/session_infer_har", || {
+        session.infer(&input).expect("runs")
+    });
+    #[allow(deprecated)]
+    {
+        let deployed = ehdl::pipeline::DeployedModel {
+            quantized: deployment.quantized().clone(),
+            program: deployment.program().clone(),
+            calibration: deployment.calibration().clone(),
+        };
+        bench("quantize/legacy_infer_continuous_har", || {
+            ehdl::pipeline::infer_continuous(&deployed, &input).expect("runs")
+        });
+    }
+}

@@ -43,7 +43,11 @@ fn main() {
                     m.power_fail();
                 }
             }
-            assert_eq!(m.output().unwrap(), want.as_slice(), "{policy:?} corrupted data");
+            assert_eq!(
+                m.output().unwrap(),
+                want.as_slice(),
+                "{policy:?} corrupted data"
+            );
             rows.push(m.stages_executed());
         }
         println!(

@@ -17,16 +17,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("okg", 1.7, 3.3, 2.1),
     ];
     let (h, c) = paper_supply();
-    for ((model, _, _), (name, p_base, p_sonic, p_tails)) in
-        workloads(4, 1).into_iter().zip(paper)
+    for ((model, _, _), (name, p_base, p_sonic, p_tails)) in workloads(4, 1).into_iter().zip(paper)
     {
         let q = QuantizedModel::from_model(&model)?;
         let cmp = compare(&q, &h, &c, false)?;
         section(&format!("Figure 7(a) — {name}, continuous power"));
         print!("{cmp}");
-        println!("{}", vs_paper("  vs BASE ", cmp.speedup_over("BASE"), p_base));
-        println!("{}", vs_paper("  vs SONIC", cmp.speedup_over("SONIC"), p_sonic));
-        println!("{}", vs_paper("  vs TAILS", cmp.speedup_over("TAILS"), p_tails));
+        let speedup = |b: &str| cmp.speedup_over(b).expect("baseline present");
+        println!("{}", vs_paper("  vs BASE ", speedup("BASE"), p_base));
+        println!("{}", vs_paper("  vs SONIC", speedup("SONIC"), p_sonic));
+        println!("{}", vs_paper("  vs TAILS", speedup("TAILS"), p_tails));
     }
     println!(
         "\nShape check: ACE+FLEX fastest everywhere; SONIC slowest; HAR shows the\n\

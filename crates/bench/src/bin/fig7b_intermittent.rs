@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
         print!("{cmp}");
         for ckpt_less in ["BASE", "ACE"] {
-            let r = cmp.get(ckpt_less);
+            let r = cmp.expect(ckpt_less);
             println!(
                 "  {ckpt_less}: {}  (paper: ✗)",
                 r.intermittent
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(s) = cmp.intermittent_speedup_over("TAILS") {
             println!("{}", vs_paper("  vs TAILS (active time)", s, p_tails));
         }
-        if let Some(rep) = &cmp.get("ACE+FLEX").intermittent {
+        if let Some(rep) = cmp.get("ACE+FLEX").and_then(|r| r.intermittent.as_ref()) {
             println!(
                 "  ACE+FLEX: {} outages, {} on-demand checkpoints, {:.2}% ckpt overhead",
                 rep.outages,

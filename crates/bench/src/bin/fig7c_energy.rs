@@ -11,7 +11,11 @@ use ehdl_bench::{section, vs_paper, workloads};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Paper energy savings of ACE+FLEX: (SONIC, TAILS) per model.
-    let paper = [("mnist", 6.1, 4.31), ("har", 10.9, 5.26), ("okg", 6.25, 3.05)];
+    let paper = [
+        ("mnist", 6.1, 4.31),
+        ("har", 10.9, 5.26),
+        ("okg", 6.25, 3.05),
+    ];
     let (h, c) = paper_supply();
     for ((model, _, _), (name, p_sonic, p_tails)) in workloads(4, 1).into_iter().zip(paper) {
         let q = QuantizedModel::from_model(&model)?;
@@ -35,13 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 m.energy_of(Component::Checkpoint).to_string(),
             );
         }
+        let saving = |b: &str| cmp.energy_saving_over(b).expect("baseline present");
         println!(
             "{}",
-            vs_paper("  saving vs SONIC", cmp.energy_saving_over("SONIC"), p_sonic)
+            vs_paper("  saving vs SONIC", saving("SONIC"), p_sonic)
         );
         println!(
             "{}",
-            vs_paper("  saving vs TAILS", cmp.energy_saving_over("TAILS"), p_tails)
+            vs_paper("  saving vs TAILS", saving("TAILS"), p_tails)
         );
     }
     println!(

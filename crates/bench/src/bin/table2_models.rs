@@ -12,6 +12,7 @@
 //! ```
 
 use ehdl::nn::Layer;
+use ehdl::prelude::*;
 use ehdl::train::{TrainConfig, Trainer};
 use ehdl_bench::{pairs_of, quick_mode, section, workloads};
 
@@ -58,14 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             momentum: 0.9,
         })
         .train_pairs(&mut model, &pairs_of(&train_set))?;
-        let float_acc = ehdl::pipeline::float_accuracy(&model, &test_set)?;
-        let deployed = ehdl::pipeline::deploy(&mut model, &train_set)?;
-        let q_acc = ehdl::pipeline::quantized_accuracy(&deployed.quantized, &test_set)?;
+        let float_acc = ehdl::deployment::float_accuracy(&model, &test_set)?;
+        let deployment = Deployment::builder(&mut model, &train_set).build()?;
+        let q_acc = deployment.session().accuracy(&test_set)?;
 
         println!(
             "  params: {} active, {} KB quantized FRAM",
             model.active_param_count(),
-            deployed.quantized.fram_bytes() / 1024
+            deployment.quantized().fram_bytes() / 1024
         );
         println!(
             "  accuracy: train {:.1}%, test float {:.1}%, test quantized {:.1}%  \

@@ -1,7 +1,8 @@
 //! # ehdl-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index) plus Criterion microbenches for the hot kernels. The binaries
+//! index) plus [`micro`] wall-clock microbenches for the hot kernels
+//! (`cargo bench` — self-contained, no external harness). The binaries
 //! print the same rows/series the paper reports, with the paper's
 //! numbers alongside for comparison; EXPERIMENTS.md records a captured
 //! run.
@@ -19,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use ehdl::datasets::Dataset;
 use ehdl::nn::{Model, Tensor};

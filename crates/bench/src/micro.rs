@@ -1,0 +1,63 @@
+//! A small wall-clock microbench harness.
+//!
+//! The workspace builds fully offline, so the Criterion dependency the
+//! benches originally used is not available; this module provides the
+//! subset the kernels need — warmup, adaptive iteration counts, and a
+//! median-of-runs report — with `harness = false` bench targets.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Timed runs per benchmark (the median is reported).
+const RUNS: usize = 5;
+
+/// Runs `f` repeatedly and prints `name: <median> ns/iter`.
+///
+/// The workload result is passed through [`black_box`] so the optimizer
+/// cannot delete the computation.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warmup + calibration: how many iterations fill the target time?
+    let start = Instant::now();
+    let mut calib_iters: u64 = 0;
+    while start.elapsed() < TARGET / 4 {
+        black_box(f());
+        calib_iters += 1;
+    }
+    // Price one iteration from the *measured* elapsed time: a workload
+    // slower than the calibration budget ran exactly once and must not
+    // be billed as if it fit the budget.
+    let per_iter = start.elapsed().as_nanos() as u64 / calib_iters.max(1);
+    let iters = (TARGET.as_nanos() as u64 / per_iter.max(1)).clamp(1, 10_000_000);
+
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[RUNS / 2];
+    let spread = (samples[RUNS - 1] - samples[0]) / median * 100.0;
+    println!("{name:<40} {median:>12.1} ns/iter  (±{spread:.0}%, {iters} iters)");
+}
+
+/// Prints the bench-suite header once per binary.
+pub fn suite(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        // Smoke: must terminate quickly on a trivial workload.
+        bench("noop-add", || 1u64 + 1);
+    }
+}

@@ -87,7 +87,11 @@ pub struct BcmProjector {
 
 impl Projector for BcmProjector {
     fn project(&self, w: &[f32]) -> Vec<f32> {
-        assert_eq!(w.len(), self.out_dim * self.in_dim, "weight length mismatch");
+        assert_eq!(
+            w.len(),
+            self.out_dim * self.in_dim,
+            "weight length mismatch"
+        );
         let b = self.block;
         let rows_b = self.out_dim.div_ceil(b);
         let cols_b = self.in_dim.div_ceil(b);
@@ -318,7 +322,9 @@ mod tests {
 
     #[test]
     fn primal_residual_shrinks_over_iterations() {
-        let target: Vec<f32> = (0..32).map(|v| ((v * 13 % 17) as f32 - 8.0) / 8.0).collect();
+        let target: Vec<f32> = (0..32)
+            .map(|v| ((v * 13 % 17) as f32 - 8.0) / 8.0)
+            .collect();
         let p = BcmProjector {
             out_dim: 8,
             in_dim: 4,

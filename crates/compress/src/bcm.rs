@@ -245,9 +245,7 @@ mod tests {
         let dense = Dense::new(16, 16, &mut rng);
         let projected = project_dense_to_bcm(&dense, 4);
         let random = BcmDense::new(16, 16, 4, &mut rng);
-        assert!(
-            projection_residual(&dense, &projected) < projection_residual(&dense, &random)
-        );
+        assert!(projection_residual(&dense, &projected) < projection_residual(&dense, &random));
     }
 
     #[test]

@@ -205,11 +205,8 @@ mod tests {
     fn calib_inputs() -> Vec<Tensor> {
         (0..8)
             .map(|k| {
-                Tensor::from_vec(
-                    (0..4).map(|i| ((i + k) as f32 * 0.7).sin()).collect(),
-                    &[4],
-                )
-                .unwrap()
+                Tensor::from_vec((0..4).map(|i| ((i + k) as f32 * 0.7).sin()).collect(), &[4])
+                    .unwrap()
             })
             .collect()
     }
@@ -279,7 +276,11 @@ mod tests {
         cosine_normalize_dense(&mut w, 8, 8);
         // Any [-1,1] input gives |w_row . x| <= |w_row| * |x| <= (1/sqrt(8)) * sqrt(8) = 1.
         for o in 0..8 {
-            let norm: f32 = w[o * 8..(o + 1) * 8].iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm: f32 = w[o * 8..(o + 1) * 8]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
             assert!(norm <= 1.0 / (8.0f32).sqrt() + 1e-5);
         }
     }

@@ -190,9 +190,6 @@ mod tests {
         let mut conv = Conv2d::new(16, 6, 5, 5, &mut rng);
         prune_conv_shape(&mut conv, 0.5);
         let layer = ehdl_nn::Layer::Conv2d(conv);
-        assert_eq!(
-            layer.output_shape(&[6, 12, 12]).unwrap(),
-            vec![16, 8, 8]
-        );
+        assert_eq!(layer.output_shape(&[6, 12, 12]).unwrap(), vec![16, 8, 8]);
     }
 }

@@ -285,7 +285,9 @@ mod tests {
             .build()
             .unwrap();
         let bcm = ehdl_nn::Model::builder("fc-bcm", &[256])
-            .layer(Layer::BcmDense(ehdl_nn::BcmDense::new(256, 256, 128, &mut rng)))
+            .layer(Layer::BcmDense(ehdl_nn::BcmDense::new(
+                256, 256, 128, &mut rng,
+            )))
             .build()
             .unwrap();
         let cd = price_model(&dense, 0.9);

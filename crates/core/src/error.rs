@@ -1,0 +1,109 @@
+//! The single error surface of the high-level API.
+
+use core::fmt;
+
+/// Anything the `ehdl` deployment pipeline can fail with.
+///
+/// Wraps the model-side ([`ehdl_nn::ModelError`]) and device-side
+/// ([`ehdl_ace::AceError`]) failures and adds [`ConfigError`] for
+/// invalid [`Deployment`](crate::Deployment) configurations, so every
+/// high-level entry point returns one type.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Model-side failure (shapes, normalization).
+    Model(ehdl_nn::ModelError),
+    /// Deployment/execution failure in the ACE runtime.
+    Ace(ehdl_ace::AceError),
+    /// Invalid deployment configuration.
+    Config(ConfigError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "model error: {e}"),
+            Error::Ace(e) => write!(f, "deployment error: {e}"),
+            Error::Config(e) => write!(f, "configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            Error::Ace(e) => Some(e),
+            Error::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ehdl_nn::ModelError> for Error {
+    fn from(e: ehdl_nn::ModelError) -> Self {
+        Error::Model(e)
+    }
+}
+
+impl From<ehdl_ace::AceError> for Error {
+    fn from(e: ehdl_ace::AceError) -> Self {
+        Error::Ace(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+/// An invalid [`Deployment`](crate::Deployment) configuration, caught at
+/// [`build`](crate::DeploymentBuilder::build) time rather than surfacing
+/// as a downstream arithmetic failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The calibration sample budget is zero.
+    NoCalibrationSamples,
+    /// The calibration percentile is outside `(0, 1]`.
+    BadPercentile(f32),
+    /// The calibration dataset has no samples to calibrate on.
+    EmptyDataset,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCalibrationSamples => {
+                write!(f, "calibration needs at least one sample")
+            }
+            ConfigError::BadPercentile(p) => {
+                write!(f, "calibration percentile {p} outside (0, 1]")
+            }
+            ConfigError::EmptyDataset => {
+                write!(f, "cannot calibrate on an empty dataset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_by_source() {
+        let e = Error::from(ConfigError::BadPercentile(1.5));
+        assert!(e.to_string().contains("configuration error"));
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn source_chains_to_inner_error() {
+        use std::error::Error as _;
+        let e = Error::from(ConfigError::EmptyDataset);
+        assert!(e.source().is_some());
+    }
+}

@@ -22,6 +22,11 @@
 //! | [`ace`] | `ehdl-ace` | ACE: quantized deploy, programs, Alg 1 |
 //! | [`flex`] | `ehdl-flex` | FLEX + BASE/SONIC/TAILS baselines |
 //!
+//! The high-level API lives in this crate: [`Deployment`] (RAD's
+//! deployment pass with every scenario axis — calibration, board,
+//! checkpoint strategy — as a builder parameter) and [`DeviceSession`]
+//! (a live board + lowered program, reused across inferences).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -31,17 +36,29 @@
 //! let mut model = ehdl::nn::zoo::har();
 //! let data = ehdl::datasets::har(60, 7);
 //!
-//! // 2. RAD: normalize intermediates into [-1, 1] and quantize.
-//! let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
+//! // 2. RAD: calibrate, quantize, and compile for the paper's board
+//! //    under FLEX checkpointing. Every knob is a builder parameter.
+//! let deployment = Deployment::builder(&mut model, &data)
+//!     .calibration(CalibrationConfig { samples: 32, percentile: 0.9 })
+//!     .board(BoardSpec::Msp430Fr5994)
+//!     .strategy(Strategy::Flex)
+//!     .build()?;
 //!
-//! // 3. ACE: run one inference on the simulated board.
-//! let outcome = ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input)?;
+//! // 3. ACE: open a session (board + program built once) and infer.
+//! let mut session = deployment.session();
+//! let outcome = session.infer(&data.samples()[0].input)?;
 //! assert!(outcome.prediction < 6);
 //!
 //! // 4. FLEX: the same inference under harvested power.
-//! let report = ehdl::pipeline::infer_intermittent(&deployed)?;
+//! let (harvester, capacitor) = ehdl::flex::compare::paper_supply();
+//! let supply = PowerSupply::new(harvester, capacitor);
+//! let report = session.infer_intermittent(&supply);
 //! assert!(report.completed());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//!
+//! // 5. Accuracy of the deployed (compressed + quantized) model.
+//! let accuracy = session.accuracy(&data)?;
+//! assert!(accuracy >= 0.0);
+//! # Ok::<(), ehdl::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,11 +75,22 @@ pub use ehdl_flex as flex;
 pub use ehdl_nn as nn;
 pub use ehdl_train as train;
 
+pub mod deployment;
+mod error;
 pub mod pipeline;
+pub mod session;
+
+pub use deployment::{BoardSpec, CalibrationConfig, Deployment, DeploymentBuilder, Strategy};
+pub use error::{ConfigError, Error};
+pub use session::{DeviceSession, InferenceOutcome};
 
 /// The most commonly used types, one `use` away.
 pub mod prelude {
-    pub use crate::pipeline::{DeployedModel, InferenceOutcome};
+    pub use crate::deployment::{
+        BoardSpec, CalibrationConfig, Deployment, DeploymentBuilder, Strategy,
+    };
+    pub use crate::error::{ConfigError, Error};
+    pub use crate::session::{DeviceSession, InferenceOutcome};
     pub use ehdl_ace::{AceProgram, QuantizedModel};
     pub use ehdl_compress::quantize::QuantParams;
     pub use ehdl_datasets::{Dataset, Sample};

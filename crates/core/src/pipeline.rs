@@ -1,17 +1,37 @@
-//! The end-to-end RAD → ACE → FLEX pipeline.
+//! Legacy free-function pipeline, kept as thin deprecated shims for one
+//! release.
+//!
+//! Every entry point here hardcodes the experimental knobs the
+//! [`Deployment`](crate::Deployment) builder makes explicit: 32
+//! calibration samples at the 0.9 percentile, the MSP430FR5994 board,
+//! the bench supply, and the FLEX strategy. New code should build a
+//! [`Deployment`](crate::Deployment) and open a
+//! [`DeviceSession`](crate::DeviceSession); these shims delegate to that
+//! API and will be removed in the next release.
 
-use core::fmt;
-use ehdl_ace::{reference, AceProgram, QuantizedModel};
+use crate::deployment::{CalibrationConfig, Deployment, Strategy};
+use crate::error::Error;
+use ehdl_ace::{AceProgram, QuantizedModel};
 use ehdl_compress::normalize;
 use ehdl_datasets::Dataset;
-use ehdl_device::{Board, Cost};
-use ehdl_ehsim::{run_continuous, Capacitor, Harvester, IntermittentExecutor, PowerSupply, RunReport};
-use ehdl_fixed::{OverflowStats, Q15};
-use ehdl_flex::strategies;
+use ehdl_ehsim::{Capacitor, Harvester, PowerSupply, RunReport};
 use ehdl_nn::{Model, Tensor};
+
+#[doc(inline)]
+pub use crate::deployment::{float_accuracy, quantize_input, quantized_accuracy};
+#[doc(inline)]
+pub use crate::session::InferenceOutcome;
+
+/// Legacy alias for [`enum@crate::Error`].
+#[deprecated(since = "0.2.0", note = "use `ehdl::Error`")]
+pub type PipelineError = Error;
 
 /// Everything produced by [`deploy`]: the quantized model, its compiled
 /// ACE program, and bookkeeping from the normalization pass.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Deployment::builder(..).build()` and keep the `Deployment`"
+)]
 #[derive(Debug, Clone)]
 pub struct DeployedModel {
     /// The quantized (device) model.
@@ -22,81 +42,23 @@ pub struct DeployedModel {
     pub calibration: normalize::Calibration,
 }
 
-/// One inference result on the simulated device.
-#[derive(Debug, Clone)]
-pub struct InferenceOutcome {
-    /// Raw logits.
-    pub logits: Vec<Q15>,
-    /// Argmax class.
-    pub prediction: usize,
-    /// Cycles and energy of the ACE program on the board.
-    pub cost: Cost,
-    /// Fixed-point saturation counters (zero on a normalized model).
-    pub overflow: OverflowStats,
-}
-
-impl fmt::Display for InferenceOutcome {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "class {} in {:.2} ms / {}",
-            self.prediction,
-            self.cost.cycles.as_millis(16e6),
-            self.cost.energy
-        )
-    }
-}
-
-/// Pipeline errors.
-#[derive(Debug)]
-pub enum PipelineError {
-    /// Model-side failure (shapes, normalization).
-    Model(ehdl_nn::ModelError),
-    /// Deployment/execution failure.
-    Ace(ehdl_ace::AceError),
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Model(e) => write!(f, "model error: {e}"),
-            PipelineError::Ace(e) => write!(f, "deployment error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
-impl From<ehdl_nn::ModelError> for PipelineError {
-    fn from(e: ehdl_nn::ModelError) -> Self {
-        PipelineError::Model(e)
-    }
-}
-
-impl From<ehdl_ace::AceError> for PipelineError {
-    fn from(e: ehdl_ace::AceError) -> Self {
-        PipelineError::Ace(e)
-    }
-}
-
-/// RAD's deployment pass: calibrates the model's intermediates into
-/// `[-1, 1]` on (a sample of) the dataset, quantizes to Q15, and
-/// compiles the ACE program.
+/// RAD's deployment pass with the paper-bench calibration recipe
+/// (32 samples, 0.9 percentile).
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] if calibration forward passes or ACE
-/// compilation fail.
-pub fn deploy(model: &mut Model, data: &Dataset) -> Result<DeployedModel, PipelineError> {
-    let calibration_inputs: Vec<Tensor> = data
-        .samples()
-        .iter()
-        .take(32)
-        .map(|s| s.input.clone())
-        .collect();
-    let calibration = normalize::normalize_model(model, &calibration_inputs, 0.9)?;
-    let quantized = QuantizedModel::from_model(model)?;
-    let program = AceProgram::compile(&quantized)?;
+/// Returns [`enum@Error`] if calibration forward passes or ACE compilation
+/// fail.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Deployment::builder(model, data).build()`"
+)]
+#[allow(deprecated)]
+pub fn deploy(model: &mut Model, data: &Dataset) -> Result<DeployedModel, Error> {
+    let deployment = Deployment::builder(model, data)
+        .calibration(CalibrationConfig::default())
+        .build()?;
+    let (quantized, program, calibration, _, _) = deployment.into_parts();
     Ok(DeployedModel {
         quantized,
         program,
@@ -104,30 +66,31 @@ pub fn deploy(model: &mut Model, data: &Dataset) -> Result<DeployedModel, Pipeli
     })
 }
 
-/// Quantizes a float input tensor for the device.
-pub fn quantize_input(input: &Tensor) -> Vec<Q15> {
-    input.as_slice().iter().map(|&v| Q15::from_f32(v)).collect()
-}
-
-/// Runs one inference under continuous power: the bit-exact reference
-/// arithmetic for the *values*, the ACE program on a fresh board for the
-/// *costs*.
+/// Runs one inference under continuous power on a fresh board with the
+/// bare ACE program.
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] on input-shape mismatch.
+/// Returns [`enum@Error`] on input-shape mismatch.
+#[deprecated(
+    since = "0.2.0",
+    note = "open a `DeviceSession` once and call `infer` per sample"
+)]
+#[allow(deprecated)]
 pub fn infer_continuous(
     deployed: &DeployedModel,
     input: &Tensor,
-) -> Result<InferenceOutcome, PipelineError> {
+) -> Result<InferenceOutcome, Error> {
+    // Legacy behaviour: a fresh board and a freshly lowered program per
+    // call (no per-call clone of the model — a session hoists all three,
+    // which is the whole point of the replacement API).
     let x = quantize_input(input);
-    let mut overflow = OverflowStats::new();
-    let logits = reference::forward_with_stats(&deployed.quantized, &x, &mut overflow)?;
-    let prediction = reference::argmax(&logits);
-
-    let mut board = Board::msp430fr5994();
-    let program = strategies::ace_bare_program(&deployed.program);
-    let cost = run_continuous(&program, &mut board);
+    let mut overflow = ehdl_fixed::OverflowStats::new();
+    let logits = ehdl_ace::reference::forward_with_stats(&deployed.quantized, &x, &mut overflow)?;
+    let prediction = ehdl_ace::reference::argmax(&logits);
+    let mut board = ehdl_device::Board::msp430fr5994();
+    let program = Strategy::Bare.lower(&deployed.quantized, &deployed.program);
+    let cost = ehdl_ehsim::run_continuous(&program, &mut board);
     Ok(InferenceOutcome {
         logits,
         prediction,
@@ -141,8 +104,13 @@ pub fn infer_continuous(
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] if the program cannot be built.
-pub fn infer_intermittent(deployed: &DeployedModel) -> Result<RunReport, PipelineError> {
+/// Returns [`enum@Error`] if the program cannot be built.
+#[deprecated(
+    since = "0.2.0",
+    note = "open a `DeviceSession` and call `infer_intermittent`"
+)]
+#[allow(deprecated)]
+pub fn infer_intermittent(deployed: &DeployedModel) -> Result<RunReport, Error> {
     let (harvester, capacitor) = ehdl_flex::compare::paper_supply();
     infer_intermittent_with(deployed, &harvester, &capacitor)
 }
@@ -151,101 +119,70 @@ pub fn infer_intermittent(deployed: &DeployedModel) -> Result<RunReport, Pipelin
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] if the program cannot be built.
+/// Returns [`enum@Error`] if the program cannot be built.
+#[deprecated(
+    since = "0.2.0",
+    note = "open a `DeviceSession` and call `infer_intermittent`"
+)]
+#[allow(deprecated)]
 pub fn infer_intermittent_with(
     deployed: &DeployedModel,
     harvester: &Harvester,
     capacitor: &Capacitor,
-) -> Result<RunReport, PipelineError> {
-    let program = strategies::flex_program(&deployed.program);
-    let mut board = Board::msp430fr5994();
+) -> Result<RunReport, Error> {
+    let program = Strategy::Flex.lower(&deployed.quantized, &deployed.program);
+    let mut board = ehdl_device::Board::msp430fr5994();
     let mut supply = PowerSupply::new(harvester.clone(), capacitor.clone());
-    Ok(IntermittentExecutor::default().run(&program, &mut board, &mut supply))
-}
-
-/// Quantized-model accuracy over a dataset (the Table II "Accuracy"
-/// column, measured post-compression and post-quantization).
-///
-/// # Errors
-///
-/// Returns [`PipelineError`] on shape mismatch.
-pub fn quantized_accuracy(
-    quantized: &QuantizedModel,
-    data: &Dataset,
-) -> Result<f64, PipelineError> {
-    if data.is_empty() {
-        return Ok(0.0);
-    }
-    let mut correct = 0usize;
-    for s in data.samples() {
-        let x = quantize_input(&s.input);
-        let logits = reference::forward(quantized, &x)?;
-        if reference::argmax(&logits) == s.label {
-            correct += 1;
-        }
-    }
-    Ok(correct as f64 / data.len() as f64)
-}
-
-/// Float-model accuracy over a dataset (for quantization-gap reporting).
-///
-/// # Errors
-///
-/// Returns [`PipelineError`] on shape mismatch.
-pub fn float_accuracy(model: &Model, data: &Dataset) -> Result<f64, PipelineError> {
-    if data.is_empty() {
-        return Ok(0.0);
-    }
-    let mut correct = 0usize;
-    for s in data.samples() {
-        if model.forward(&s.input)?.argmax() == s.label {
-            correct += 1;
-        }
-    }
-    Ok(correct as f64 / data.len() as f64)
+    Ok(ehdl_ehsim::IntermittentExecutor::default().run(&program, &mut board, &mut supply))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
+    // The shims must keep their legacy behaviour until removal: the
+    // deep coverage of the pipeline itself lives in `deployment`,
+    // `session`, and the workspace `tests/` suites.
+
     #[test]
-    fn deploy_and_infer_har() {
+    fn deploy_and_infer_har_through_shims() {
         let mut model = ehdl_nn::zoo::har();
         let data = ehdl_datasets::har(40, 11);
         let deployed = deploy(&mut model, &data).unwrap();
         let outcome = infer_continuous(&deployed, &data.samples()[0].input).unwrap();
         assert_eq!(outcome.logits.len(), 6);
         assert!(outcome.cost.cycles.raw() > 0);
-        // Normalized model: no fixed-point saturation.
         assert_eq!(outcome.overflow.saturations(), 0, "{}", outcome.overflow);
     }
 
     #[test]
-    fn quantized_tracks_float_predictions() {
+    fn shims_agree_with_builder_api() {
+        let data = ehdl_datasets::har(40, 11);
+        let mut legacy_model = ehdl_nn::zoo::har();
+        let deployed = deploy(&mut legacy_model, &data).unwrap();
+        let legacy = infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+
         let mut model = ehdl_nn::zoo::har();
-        let data = ehdl_datasets::har(30, 12);
-        let deployed = deploy(&mut model, &data).unwrap();
-        let mut agree = 0;
-        for s in data.samples() {
-            let float_pred = model.forward(&s.input).unwrap().argmax();
-            let q_pred = infer_continuous(&deployed, &s.input).unwrap().prediction;
-            if float_pred == q_pred {
-                agree += 1;
-            }
-        }
-        // Quantization may flip a few near-ties but not the bulk.
-        assert!(agree * 10 >= data.len() * 8, "{agree}/{}", data.len());
+        let deployment = Deployment::builder(&mut model, &data).build().unwrap();
+        let new = deployment
+            .session()
+            .infer(&data.samples()[0].input)
+            .unwrap();
+
+        assert_eq!(legacy.logits, new.logits);
+        assert_eq!(legacy.prediction, new.prediction);
+        // FLEX == bare ACE under continuous power.
+        assert_eq!(legacy.cost.cycles, new.cost.cycles);
     }
 
     #[test]
-    fn intermittent_inference_completes() {
+    fn intermittent_shim_completes() {
         let mut model = ehdl_nn::zoo::har();
         let data = ehdl_datasets::har(20, 13);
         let deployed = deploy(&mut model, &data).unwrap();
         let report = infer_intermittent(&deployed).unwrap();
         assert!(report.completed(), "{report}");
-        // §IV-A.5: checkpoint overhead is a small fraction.
         assert!(report.checkpoint_overhead() < 0.1);
     }
 

@@ -1,0 +1,280 @@
+//! [`DeviceSession`]: a live board + lowered strategy program, reused
+//! across inferences.
+//!
+//! The legacy free functions rebuilt a fresh [`Board`] and re-lowered
+//! the strategy program on **every** call — measurable waste when a
+//! caller loops over a dataset. A session hoists both out of the hot
+//! loop: the board and the lowered [`Program`] are built once when the
+//! session opens, and the continuous-power cost of the program (which
+//! depends only on the program and the board, never on the input data)
+//! is simulated once and cached.
+
+use crate::deployment::{quantize_input, Deployment, Strategy};
+use crate::error::Error;
+use ehdl_ace::reference;
+use ehdl_datasets::Dataset;
+use ehdl_device::{Board, Cost, EnergyMeter};
+use ehdl_ehsim::{run_continuous, IntermittentExecutor, PowerSupply, Program, RunReport};
+use ehdl_fixed::{OverflowStats, Q15};
+use ehdl_nn::Tensor;
+
+/// One inference result on the simulated device.
+#[derive(Debug, Clone)]
+pub struct InferenceOutcome {
+    /// Raw logits.
+    pub logits: Vec<Q15>,
+    /// Argmax class.
+    pub prediction: usize,
+    /// Cycles and energy of the strategy program on the board.
+    pub cost: Cost,
+    /// Fixed-point saturation counters (zero on a normalized model).
+    pub overflow: OverflowStats,
+}
+
+impl core::fmt::Display for InferenceOutcome {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "class {} in {:.2} ms / {}",
+            self.prediction,
+            self.cost.cycles.as_millis(16e6),
+            self.cost.energy
+        )
+    }
+}
+
+/// A deployed model bound to one board and one lowered strategy program.
+///
+/// Open with [`Deployment::session`]. All inference entry points reuse
+/// the session's board and program — nothing is re-allocated per call.
+///
+/// ```
+/// use ehdl::prelude::*;
+///
+/// let mut model = ehdl::nn::zoo::har();
+/// let data = ehdl::datasets::har(30, 7);
+/// let deployment = Deployment::builder(&mut model, &data).build()?;
+/// let mut session = deployment.session();
+/// let outcomes = session.infer_batch(
+///     &data.samples().iter().map(|s| s.input.clone()).collect::<Vec<_>>(),
+/// )?;
+/// assert_eq!(outcomes.len(), data.len());
+/// # Ok::<(), ehdl::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceSession<'d> {
+    deployment: &'d Deployment,
+    board: Board,
+    program: Program,
+    /// Continuous-power pricing, run once on a dedicated board so the
+    /// session [`board`](Self::board)'s meter only ever reflects the
+    /// intermittent runs the caller asked for.
+    continuous: Option<(Cost, EnergyMeter)>,
+}
+
+impl<'d> DeviceSession<'d> {
+    pub(crate) fn new(deployment: &'d Deployment, board: Board, program: Program) -> Self {
+        DeviceSession {
+            deployment,
+            board,
+            program,
+            continuous: None,
+        }
+    }
+
+    /// The deployment this session runs.
+    pub fn deployment(&self) -> &'d Deployment {
+        self.deployment
+    }
+
+    /// The strategy the session's program was lowered for.
+    pub fn strategy(&self) -> Strategy {
+        self.deployment.strategy()
+    }
+
+    /// The session's board (memory budgets, monitor). Its meter
+    /// accumulates across [`infer_intermittent`](Self::infer_intermittent)
+    /// calls; continuous-power pricing is metered separately — see
+    /// [`continuous_meter`](Self::continuous_meter).
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// The lowered device program executed by this session.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs one inference under continuous power: bit-exact reference
+    /// arithmetic for the *values*, the cached continuous-power pricing
+    /// run for the *costs* (see [`continuous_cost`](Self::continuous_cost);
+    /// the session [`board`](Self::board)'s own meter is reserved for
+    /// intermittent runs and is not advanced by this call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Ace`] on input-shape mismatch.
+    pub fn infer(&mut self, input: &Tensor) -> Result<InferenceOutcome, Error> {
+        let x = quantize_input(input);
+        let mut overflow = OverflowStats::new();
+        let logits = reference::forward_with_stats(self.deployment.quantized(), &x, &mut overflow)?;
+        let prediction = reference::argmax(&logits);
+        let cost = self.continuous_cost();
+        Ok(InferenceOutcome {
+            logits,
+            prediction,
+            cost,
+            overflow,
+        })
+    }
+
+    /// Runs one inference per input tensor, reusing the board, program
+    /// and cached program cost across the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-sample error; earlier outcomes are dropped.
+    pub fn infer_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<InferenceOutcome>, Error> {
+        inputs.iter().map(|input| self.infer(input)).collect()
+    }
+
+    /// Runs the deployed model under the given supply with the session's
+    /// checkpoint strategy. The supply is cloned, so every call replays
+    /// the same power environment from its configured initial state.
+    pub fn infer_intermittent(&mut self, supply: &PowerSupply) -> RunReport {
+        let mut supply = supply.clone();
+        self.infer_intermittent_with(&IntermittentExecutor::default(), &mut supply)
+    }
+
+    /// [`infer_intermittent`](Self::infer_intermittent) with a custom
+    /// executor and a caller-owned supply (drained in place).
+    pub fn infer_intermittent_with(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+    ) -> RunReport {
+        executor.run(&self.program, &mut self.board, supply)
+    }
+
+    /// Quantized-model accuracy over a dataset (Table II "Accuracy"
+    /// column). Values come from the bit-exact reference pass; no board
+    /// time is simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Ace`] on shape mismatch.
+    pub fn accuracy(&self, data: &Dataset) -> Result<f64, Error> {
+        crate::deployment::quantized_accuracy(self.deployment.quantized(), data)
+    }
+
+    /// The continuous-power cost of the session's program, simulated
+    /// once on a dedicated pricing board and cached (the cost model is
+    /// data-independent, so one run prices every inference).
+    pub fn continuous_cost(&mut self) -> Cost {
+        self.price_continuous().0
+    }
+
+    /// Per-component energy of one continuous-power inference (the
+    /// Figure 7(c) breakdown), from the same cached pricing run as
+    /// [`continuous_cost`](Self::continuous_cost).
+    pub fn continuous_meter(&mut self) -> &EnergyMeter {
+        &self.price_continuous().1
+    }
+
+    fn price_continuous(&mut self) -> &(Cost, EnergyMeter) {
+        if self.continuous.is_none() {
+            let mut board = self.deployment.board_spec().board();
+            let cost = run_continuous(&self.program, &mut board);
+            self.continuous = Some((cost, board.meter().clone()));
+        }
+        self.continuous.as_ref().expect("just priced")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::CalibrationConfig;
+    use ehdl_ehsim::{Capacitor, Harvester};
+
+    fn har_session_parts() -> (Deployment, Dataset) {
+        let mut model = ehdl_nn::zoo::har();
+        let data = ehdl_datasets::har(40, 11);
+        let d = Deployment::builder(&mut model, &data)
+            .calibration(CalibrationConfig::default())
+            .build()
+            .unwrap();
+        (d, data)
+    }
+
+    #[test]
+    fn infer_reuses_board_and_program() {
+        let (d, data) = har_session_parts();
+        let mut session = d.session();
+        let a = session.infer(&data.samples()[0].input).unwrap();
+        let b = session.infer(&data.samples()[1].input).unwrap();
+        // The program cost is data-independent and cached.
+        assert_eq!(a.cost, b.cost);
+        assert!(a.cost.cycles.raw() > 0);
+        // Pricing runs on a dedicated board: the session board stays
+        // untouched for intermittent metering.
+        assert_eq!(session.board().elapsed_cycles().raw(), 0);
+        assert!(session.continuous_meter().total_energy().nanojoules() > 0.0);
+    }
+
+    #[test]
+    fn continuous_pricing_does_not_clobber_intermittent_meter() {
+        let (d, _) = har_session_parts();
+        let mut session = d.session();
+        let supply = PowerSupply::new(
+            Harvester::square(0.002, 0.05, 0.5),
+            Capacitor::new(15e-6, 3.3, 3.0, 1.8),
+        );
+        let report = session.infer_intermittent(&supply);
+        assert!(report.completed());
+        let metered = session.board().meter().total_energy().nanojoules();
+        assert!(metered > 0.0);
+        // Pricing afterwards must not reset what the board accumulated.
+        let _ = session.continuous_cost();
+        assert_eq!(session.board().meter().total_energy().nanojoules(), metered);
+    }
+
+    #[test]
+    fn infer_matches_legacy_bare_cost() {
+        // Under continuous power FLEX (on-demand) costs the same cycles
+        // as bare ACE — the legacy infer_continuous behaviour.
+        let (d, data) = har_session_parts();
+        let mut flex = d.session();
+        let flex_cost = flex.infer(&data.samples()[0].input).unwrap().cost;
+        let mut model = ehdl_nn::zoo::har();
+        let bare = Deployment::builder(&mut model, &data)
+            .strategy(Strategy::Bare)
+            .build()
+            .unwrap();
+        let bare_cost = bare.session().continuous_cost();
+        assert_eq!(flex_cost.cycles, bare_cost.cycles);
+    }
+
+    #[test]
+    fn intermittent_replays_from_fresh_supply() {
+        let (d, _) = har_session_parts();
+        let mut session = d.session();
+        let supply = PowerSupply::new(
+            Harvester::square(0.002, 0.05, 0.5),
+            Capacitor::new(15e-6, 3.3, 3.0, 1.8),
+        );
+        let a = session.infer_intermittent(&supply);
+        let b = session.infer_intermittent(&supply);
+        assert!(a.completed() && b.completed());
+        assert_eq!(a.outages, b.outages);
+        assert_eq!(a.executed_ops, b.executed_ops);
+    }
+
+    #[test]
+    fn accuracy_on_empty_dataset_is_zero() {
+        let (d, _) = har_session_parts();
+        let session = d.session();
+        let empty = Dataset::new("e", 6, vec![]);
+        assert_eq!(session.accuracy(&empty).unwrap(), 0.0);
+    }
+}

@@ -36,9 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ehdl_nn::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ehdl_nn::{Tensor, WeightRng};
 
 /// One labeled example.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,11 +144,11 @@ impl<'a> IntoIterator for &'a Dataset {
 /// Synthetic MNIST: `n` samples of shape `[1, 28, 28]`, 10 classes.
 pub fn mnist(n: usize, seed: u64) -> Dataset {
     let classes = 10;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D4E);
+    let mut rng = WeightRng::new(seed ^ 0x4D4E);
     // Class prototypes: sparse blob patterns.
     let prototypes: Vec<Vec<f32>> = (0..classes)
         .map(|c| {
-            let mut proto_rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(c as u64));
+            let mut proto_rng = WeightRng::new(seed.wrapping_mul(31).wrapping_add(c as u64));
             blob_pattern(&mut proto_rng, 28, 28, 5 + c % 3)
         })
         .collect();
@@ -171,20 +169,20 @@ pub fn mnist(n: usize, seed: u64) -> Dataset {
 pub fn har(n: usize, seed: u64) -> Dataset {
     let classes = 6;
     let window = ehdl_nn::zoo::HAR_WINDOW;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4841);
+    let mut rng = WeightRng::new(seed ^ 0x4841);
     let samples = (0..n)
         .map(|i| {
             let label = i % classes;
             // Class signature: base frequency and harmonic mix.
             let f0 = 0.05 + 0.06 * label as f32;
             let amp2 = 0.2 + 0.1 * (label % 3) as f32;
-            let phase: f32 = rng.gen_range(0.0..core::f32::consts::TAU);
+            let phase: f32 = rng.range_f32(0.0, core::f32::consts::TAU);
             let data: Vec<f32> = (0..window)
                 .map(|t| {
                     let t = t as f32;
                     let v = 0.5 * (core::f32::consts::TAU * f0 * t + phase).sin()
                         + amp2 * (core::f32::consts::TAU * 2.3 * f0 * t).cos()
-                        + 0.08 * rng.gen_range(-1.0f32..1.0);
+                        + 0.08 * rng.range_f32(-1.0, 1.0);
                     v.clamp(-1.0, 1.0)
                 })
                 .collect();
@@ -201,7 +199,7 @@ pub fn har(n: usize, seed: u64) -> Dataset {
 /// 12 classes.
 pub fn okg(n: usize, seed: u64) -> Dataset {
     let classes = 12;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4F4B);
+    let mut rng = WeightRng::new(seed ^ 0x4F4B);
     let samples = (0..n)
         .map(|i| {
             let label = i % classes;
@@ -216,8 +214,7 @@ pub fn okg(n: usize, seed: u64) -> Dataset {
                     let c1 = f as f32 - (r1 + slope * t as f32);
                     let c2 = f as f32 - (r2 - slope * t as f32);
                     let ridge = (-c1 * c1 / 2.0).exp() + 0.8 * (-c2 * c2 / 2.0).exp();
-                    img[f * 28 + t] =
-                        (ridge + 0.1 * rng.gen_range(-1.0f32..1.0)).clamp(-1.0, 1.0);
+                    img[f * 28 + t] = (ridge + 0.1 * rng.range_f32(-1.0, 1.0)).clamp(-1.0, 1.0);
                 }
             }
             Sample {
@@ -230,12 +227,12 @@ pub fn okg(n: usize, seed: u64) -> Dataset {
 }
 
 /// A sparse pattern of Gaussian blobs, normalized into `[0, 1]`.
-fn blob_pattern(rng: &mut StdRng, h: usize, w: usize, blobs: usize) -> Vec<f32> {
+fn blob_pattern(rng: &mut WeightRng, h: usize, w: usize, blobs: usize) -> Vec<f32> {
     let mut img = vec![0.0f32; h * w];
     for _ in 0..blobs {
-        let cy = rng.gen_range(4.0..(h as f32 - 4.0));
-        let cx = rng.gen_range(4.0..(w as f32 - 4.0));
-        let sigma: f32 = rng.gen_range(1.2..2.8);
+        let cy = rng.range_f32(4.0, h as f32 - 4.0);
+        let cx = rng.range_f32(4.0, w as f32 - 4.0);
+        let sigma: f32 = rng.range_f32(1.2, 2.8);
         for y in 0..h {
             for x in 0..w {
                 let d2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
@@ -255,12 +252,12 @@ fn jitter_2d(
     proto: &[f32],
     h: usize,
     w: usize,
-    rng: &mut StdRng,
+    rng: &mut WeightRng,
     max_shift: i64,
     noise: f32,
 ) -> Vec<f32> {
-    let dy = rng.gen_range(-max_shift..=max_shift);
-    let dx = rng.gen_range(-max_shift..=max_shift);
+    let dy = rng.range_i64(-max_shift, max_shift);
+    let dx = rng.range_i64(-max_shift, max_shift);
     let mut out = vec![0.0f32; h * w];
     for y in 0..h as i64 {
         for x in 0..w as i64 {
@@ -271,7 +268,7 @@ fn jitter_2d(
             } else {
                 0.0
             };
-            let n: f32 = rng.gen_range(-noise..noise);
+            let n: f32 = rng.range_f32(-noise, noise);
             out[(y as usize) * w + x as usize] = (base + n).clamp(-1.0, 1.0);
         }
     }

@@ -234,11 +234,19 @@ impl Board {
         match *op {
             DeviceOp::CpuOps { count } => {
                 let cycles = count * t.cpu_op_cycles;
-                (cycles, cycles as f64 * t.cpu_energy_per_cycle_nj, Component::Cpu)
+                (
+                    cycles,
+                    cycles as f64 * t.cpu_energy_per_cycle_nj,
+                    Component::Cpu,
+                )
             }
             DeviceOp::CpuMul { count } => {
                 let cycles = count * t.cpu_mul_cycles;
-                (cycles, cycles as f64 * t.cpu_energy_per_cycle_nj, Component::Cpu)
+                (
+                    cycles,
+                    cycles as f64 * t.cpu_energy_per_cycle_nj,
+                    Component::Cpu,
+                )
             }
             DeviceOp::MemRead { mem, words } => match mem {
                 MemoryKind::Sram => {

@@ -107,7 +107,7 @@ impl CostTable {
         let per_elem = 2 * self.cpu_op_cycles   // loads
             + self.cpu_mul_cycles               // multiply
             + 2 * self.cpu_op_cycles            // accumulate (32-bit add)
-            + 2 * self.cpu_op_cycles;           // pointer bump + branch
+            + 2 * self.cpu_op_cycles; // pointer bump + branch
         len * per_elem
     }
 

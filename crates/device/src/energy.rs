@@ -289,7 +289,10 @@ impl EnergyMeter {
     }
 
     fn idx(c: Component) -> usize {
-        Component::ALL.iter().position(|&x| x == c).expect("known component")
+        Component::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("known component")
     }
 
     /// Adds a cost sample for a component.
@@ -389,9 +392,21 @@ mod tests {
     #[test]
     fn meter_tallies_per_component() {
         let mut m = EnergyMeter::new();
-        m.record(Component::Cpu, Cycles::new(100), Energy::from_nanojoules(36.0));
-        m.record(Component::Cpu, Cycles::new(50), Energy::from_nanojoules(18.0));
-        m.record(Component::FramWrite, Cycles::new(10), Energy::from_nanojoules(7.5));
+        m.record(
+            Component::Cpu,
+            Cycles::new(100),
+            Energy::from_nanojoules(36.0),
+        );
+        m.record(
+            Component::Cpu,
+            Cycles::new(50),
+            Energy::from_nanojoules(18.0),
+        );
+        m.record(
+            Component::FramWrite,
+            Cycles::new(10),
+            Energy::from_nanojoules(7.5),
+        );
         assert_eq!(m.energy_of(Component::Cpu).nanojoules(), 54.0);
         assert_eq!(m.cycles_of(Component::Cpu), Cycles::new(150));
         assert_eq!(m.total_energy().nanojoules(), 61.5);

@@ -126,9 +126,7 @@ mod tests {
     fn energy_scales_with_cycles() {
         let t = CostTable::msp430fr5994();
         let op = LeaOp::CMpy { len: 64 };
-        assert!(
-            (op.energy_nj(&t) - op.cycles(&t) as f64 * t.lea_energy_per_cycle_nj).abs() < 1e-9
-        );
+        assert!((op.energy_nj(&t) - op.cycles(&t) as f64 * t.lea_energy_per_cycle_nj).abs() < 1e-9);
     }
 
     #[test]

@@ -143,7 +143,9 @@ mod tests {
     #[test]
     fn fft_route_matches_direct_f64() {
         let n = 32;
-        let c: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64 - 8.0) / 20.0).collect();
+        let c: Vec<f64> = (0..n)
+            .map(|i| ((i * 13 % 17) as f64 - 8.0) / 20.0)
+            .collect();
         let x: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64 - 5.0) / 11.0).collect();
         let direct = matvec_f64(&c, &x);
         let fast = matvec_fft_f64(&c, &x);

@@ -28,7 +28,10 @@ impl fmt::Display for FftError {
             }
             FftError::Empty => write!(f, "fft length must be non-zero"),
             FftError::LengthMismatch { expected, got } => {
-                write!(f, "buffer length {got} does not match plan length {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match plan length {expected}"
+                )
             }
         }
     }
@@ -146,7 +149,11 @@ impl FftPlan {
                     let w = self.twiddles[j * stride];
                     let u = chunk[j];
                     // k = 0 twiddle is exactly 1; skip the lossy multiply.
-                    let v = if j == 0 { chunk[half] } else { chunk[j + half].mul_exact(w) };
+                    let v = if j == 0 {
+                        chunk[half]
+                    } else {
+                        chunk[j + half].mul_exact(w)
+                    };
                     // Per-stage scaling: butterflies emit (u ± v)/2, which
                     // cannot overflow and accumulates to a 1/N factor.
                     chunk[j] = butterfly_avg(u, v, false);
@@ -196,7 +203,11 @@ impl FftPlan {
 /// accumulator so no intermediate saturates.
 #[inline]
 fn butterfly_avg(u: ComplexQ15, v: ComplexQ15, subtract: bool) -> ComplexQ15 {
-    let (vre, vim) = if subtract { (-v.re, -v.im) } else { (v.re, v.im) };
+    let (vre, vim) = if subtract {
+        (-v.re, -v.im)
+    } else {
+        (v.re, v.im)
+    };
     let re = (MacAcc::from_q15(u.re) + MacAcc::from_q15(vre)).shr_round(1);
     let im = (MacAcc::from_q15(u.im) + MacAcc::from_q15(vim)).shr_round(1);
     ComplexQ15::new(re.to_q15(), im.to_q15())
@@ -240,7 +251,10 @@ mod tests {
         let mut buf = vec![ComplexQ15::ZERO; 4];
         assert!(matches!(
             plan.fft(&mut buf),
-            Err(FftError::LengthMismatch { expected: 8, got: 4 })
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                got: 4
+            })
         ));
     }
 
@@ -264,10 +278,8 @@ mod tests {
                 .collect();
             let fixed = plan.fft_real(&signal).unwrap();
 
-            let mut reference: Vec<Cf64> = signal
-                .iter()
-                .map(|v| Cf64::from_real(v.to_f64()))
-                .collect();
+            let mut reference: Vec<Cf64> =
+                signal.iter().map(|v| Cf64::from_real(v.to_f64())).collect();
             fft_f64(&mut reference);
 
             // Fixed output is DFT/N; error budget grows with log2(N) stages.
@@ -289,9 +301,10 @@ mod tests {
         // fft gives x_hat = DFT(x)/N; ifft(x_hat) = IDFT(DFT(x))/N = x/N.
         let n = 32;
         let plan = FftPlan::new(n).unwrap();
-        let signal: Vec<Q15> = (0..n).map(|i| q(0.8 * ((i % 7) as f32 / 7.0 - 0.5))).collect();
-        let mut buf: Vec<ComplexQ15> =
-            signal.iter().copied().map(ComplexQ15::from_real).collect();
+        let signal: Vec<Q15> = (0..n)
+            .map(|i| q(0.8 * ((i % 7) as f32 / 7.0 - 0.5)))
+            .collect();
+        let mut buf: Vec<ComplexQ15> = signal.iter().copied().map(ComplexQ15::from_real).collect();
         plan.fft(&mut buf).unwrap();
         plan.ifft(&mut buf).unwrap();
         for (got, want) in buf.iter().zip(&signal) {

@@ -201,14 +201,14 @@ mod tests {
         let x: Vec<Cf64> = (0..8).map(|i| Cf64::from_real(i as f64 * 0.1)).collect();
         let mut fast = x.clone();
         fft_f64(&mut fast);
-        for k in 0..8 {
+        for (k, fk) in fast.iter().enumerate() {
             let mut want = Cf64::ZERO;
             for (n, xn) in x.iter().enumerate() {
                 let ang = -core::f64::consts::TAU * (k * n) as f64 / 8.0;
                 want = want + *xn * Cf64::from_polar(ang);
             }
-            assert!((fast[k].re - want.re).abs() < 1e-10);
-            assert!((fast[k].im - want.im).abs() < 1e-10);
+            assert!((fk.re - want.re).abs() < 1e-10);
+            assert!((fk.im - want.im).abs() < 1e-10);
         }
     }
 

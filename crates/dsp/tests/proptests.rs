@@ -1,42 +1,67 @@
 //! Property tests: the four circulant evaluation routes agree, and the
 //! fixed-point FFT obeys transform identities within quantization noise.
+//!
+//! Offline build: no `proptest` crate is available, so the properties
+//! are checked over a deterministic SplitMix64-driven sample stream.
 
 use ehdl_dsp::{circulant, fft_f64, ifft_f64, Cf64, FftPlan};
 use ehdl_fixed::Q15;
-use proptest::prelude::*;
+use ehdl_nn::WeightRng;
 
-fn small_signal(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-0.45f64..0.45, n..=n)
+/// Deterministic case generator: the shared [`WeightRng`] stream plus a
+/// signal helper.
+struct Gen(WeightRng);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(WeightRng::new(seed))
+    }
+
+    /// A "small signal": `n` samples in `[-0.45, 0.45)`, the range the
+    /// original property tests drew from. (f32 resolution, exact in f64.)
+    fn small_signal(&mut self, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| f64::from(self.0.range_f32(-0.45, 0.45)))
+            .collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn circulant_fft_equals_direct_f64(
-        c in small_signal(16),
-        x in small_signal(16),
-    ) {
+#[test]
+fn circulant_fft_equals_direct_f64() {
+    let mut g = Gen::new(21);
+    for case in 0..CASES {
+        let c = g.small_signal(16);
+        let x = g.small_signal(16);
         let direct = circulant::matvec_f64(&c, &x);
         let fast = circulant::matvec_fft_f64(&c, &x);
         for (a, b) in direct.iter().zip(&fast) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn f64_fft_roundtrip(x in small_signal(32)) {
+#[test]
+fn f64_fft_roundtrip() {
+    let mut g = Gen::new(22);
+    for case in 0..CASES {
+        let x = g.small_signal(32);
         let mut buf: Vec<Cf64> = x.iter().copied().map(Cf64::from_real).collect();
         fft_f64(&mut buf);
         ifft_f64(&mut buf);
         for (got, want) in buf.iter().zip(&x) {
-            prop_assert!((got.re - want).abs() < 1e-10);
-            prop_assert!(got.im.abs() < 1e-10);
+            assert!((got.re - want).abs() < 1e-10, "case {case}");
+            assert!(got.im.abs() < 1e-10, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn q15_fft_tracks_f64_fft(x in small_signal(64)) {
+#[test]
+fn q15_fft_tracks_f64_fft() {
+    let mut g = Gen::new(23);
+    for case in 0..CASES {
+        let x = g.small_signal(64);
         let n = x.len();
         let plan = FftPlan::new(n).unwrap();
         let qx: Vec<Q15> = x.iter().map(|&v| Q15::from_f32(v as f32)).collect();
@@ -47,16 +72,18 @@ proptest! {
 
         let tol = 2.0 * plan.stages() as f64 / 32768.0 + 1e-3;
         for (f, r) in fixed.iter().zip(&reference) {
-            prop_assert!((f.re.to_f64() - r.re / n as f64).abs() < tol);
-            prop_assert!((f.im.to_f64() - r.im / n as f64).abs() < tol);
+            assert!((f.re.to_f64() - r.re / n as f64).abs() < tol, "case {case}");
+            assert!((f.im.to_f64() - r.im / n as f64).abs() < tol, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn q15_circulant_fft_tracks_exact(
-        c in small_signal(32),
-        x in small_signal(32),
-    ) {
+#[test]
+fn q15_circulant_fft_tracks_exact() {
+    let mut g = Gen::new(24);
+    for case in 0..CASES {
+        let c = g.small_signal(32);
+        let x = g.small_signal(32);
         let n = c.len();
         let plan = FftPlan::new(n).unwrap();
         let qc: Vec<Q15> = c.iter().map(|&v| Q15::from_f32(v as f32)).collect();
@@ -66,16 +93,20 @@ proptest! {
         let fft = circulant::matvec_fft_q15(&plan, &qc, &qx).unwrap();
         for (f, e) in fft.iter().zip(&exact) {
             let want = e.to_f64() / (n * n) as f64;
-            prop_assert!((f.to_f64() - want).abs() < 8.0 / 32768.0);
+            assert!((f.to_f64() - want).abs() < 8.0 / 32768.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn projection_then_expansion_is_idempotent(c in small_signal(8)) {
+#[test]
+fn projection_then_expansion_is_idempotent() {
+    let mut g = Gen::new(25);
+    for case in 0..CASES {
+        let c = g.small_signal(8);
         let dense = circulant::to_dense_f64(&c);
         let back = circulant::project_to_circulant(&dense);
         for (a, b) in back.iter().zip(&c) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "case {case}");
         }
     }
 }

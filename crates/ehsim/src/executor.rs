@@ -169,12 +169,7 @@ impl IntermittentExecutor {
     ///
     /// The board's meter keeps accumulating across calls; use
     /// [`Board::reset_clock`] between runs for isolated measurements.
-    pub fn run(
-        &self,
-        program: &Program,
-        board: &mut Board,
-        supply: &mut PowerSupply,
-    ) -> RunReport {
+    pub fn run(&self, program: &Program, board: &mut Board, supply: &mut PowerSupply) -> RunReport {
         let clock = board.costs().clock_hz;
         let monitor = board.monitor();
         let ops = program.ops();
@@ -364,7 +359,10 @@ mod tests {
 
     fn weak_supply() -> PowerSupply {
         // 2 mW average square wave: forces many outages on mJ workloads.
-        PowerSupply::new(Harvester::square(0.004, 0.05, 0.5), Capacitor::paper_100uf())
+        PowerSupply::new(
+            Harvester::square(0.004, 0.05, 0.5),
+            Capacitor::paper_100uf(),
+        )
     }
 
     #[test]

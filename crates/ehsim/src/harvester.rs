@@ -279,12 +279,9 @@ impl fmt::Display for Harvester {
                 watts * 1e3,
                 period_s * 1e3
             ),
-            Harvester::Bursts { watts, p_on, .. } => write!(
-                f,
-                "bursts {:.1} mW, {:.0}% on",
-                watts * 1e3,
-                p_on * 100.0
-            ),
+            Harvester::Bursts { watts, p_on, .. } => {
+                write!(f, "bursts {:.1} mW, {:.0}% on", watts * 1e3, p_on * 100.0)
+            }
             Harvester::Trace { segments } => write!(f, "trace ({} segments)", segments.len()),
         }
     }
@@ -403,6 +400,8 @@ mod tests {
     #[test]
     fn display_names_waveforms() {
         assert!(Harvester::constant(0.002).to_string().contains("constant"));
-        assert!(Harvester::square(0.004, 0.05, 0.5).to_string().contains("square"));
+        assert!(Harvester::square(0.004, 0.05, 0.5)
+            .to_string()
+            .contains("square"));
     }
 }

@@ -170,10 +170,7 @@ mod tests {
         let mut p = Program::new("t");
         p.push(DeviceOp::CpuOps { count: 1 }, CheckpointSpec::NONE);
         p.push(DeviceOp::Lea(LeaOp::Fft { n: 64 }), CheckpointSpec::COMMIT);
-        p.push(
-            DeviceOp::CpuOps { count: 1 },
-            CheckpointSpec::ondemand(32),
-        );
+        p.push(DeviceOp::CpuOps { count: 1 }, CheckpointSpec::ondemand(32));
         assert_eq!(p.len(), 3);
         assert!(!p.is_empty());
         assert_eq!(p.commit_points(), 1);
@@ -201,7 +198,8 @@ mod tests {
 
     #[test]
     fn spec_constructors() {
-        assert!(CheckpointSpec::COMMIT.commits);
+        let commit = CheckpointSpec::COMMIT;
+        assert!(commit.commits && commit.ondemand_words.is_none());
         assert_eq!(CheckpointSpec::ondemand(16).ondemand_words, Some(16));
         let both = CheckpointSpec::commit_and_ondemand(4);
         assert!(both.commits && both.ondemand_words == Some(4));

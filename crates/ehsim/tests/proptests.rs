@@ -1,11 +1,42 @@
 //! Property tests on the energy-harvesting executor's invariants.
+//!
+//! Offline build: no `proptest` crate is available, so the properties
+//! are checked over a deterministic SplitMix64-driven sample stream.
 
 use ehdl_device::{Board, DeviceOp};
 use ehdl_ehsim::{
     Capacitor, CheckpointSpec, ExecutorConfig, Harvester, IntermittentExecutor, PowerSupply,
     Program,
 };
-use proptest::prelude::*;
+use ehdl_nn::WeightRng;
+
+/// Deterministic case generator: the shared [`WeightRng`] stream plus
+/// executor-domain helpers.
+struct Gen(WeightRng);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(WeightRng::new(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        // f32 resolution is plenty for supply parameters, and every f32
+        // is exact in f64, so downstream identities still hold exactly.
+        f64::from(self.0.range_f32(lo as f32, hi as f32))
+    }
+
+    /// Op cycle counts in `[100, 5000)`, list length in `[1, max_len]`.
+    fn op_cycles(&mut self, max_len: usize) -> Vec<u16> {
+        let n = 1 + (self.next_u64() as usize) % max_len;
+        (0..n)
+            .map(|_| 100 + (self.next_u64() % 4900) as u16)
+            .collect()
+    }
+}
 
 /// A random but always-completable program: every op commits.
 fn committing_program(ops: &[u16]) -> Program {
@@ -21,105 +52,123 @@ fn committing_program(ops: &[u16]) -> Program {
     p
 }
 
-fn run(
-    program: &Program,
-    watts: f64,
-    farads: f64,
-) -> (ehdl_ehsim::RunReport, ehdl_device::Cost) {
+fn run(program: &Program, watts: f64, farads: f64) -> (ehdl_ehsim::RunReport, ehdl_device::Cost) {
     let mut board = Board::msp430fr5994();
     let mut supply = PowerSupply::new(
         Harvester::square(watts, 0.05, 0.5),
         Capacitor::new(farads, 3.3, 3.0, 1.8),
     );
-    let report = IntermittentExecutor::new(ExecutorConfig::default()).run(
-        program,
-        &mut board,
-        &mut supply,
-    );
+    let report =
+        IntermittentExecutor::new(ExecutorConfig::default()).run(program, &mut board, &mut supply);
     let mut fresh = Board::msp430fr5994();
     let continuous = ehdl_ehsim::run_continuous(program, &mut fresh);
     (report, continuous)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    #[test]
-    fn committing_programs_always_complete(
-        ops in prop::collection::vec(100u16..5000, 1..200),
-        watts in 0.001f64..0.01,
-    ) {
+#[test]
+fn committing_programs_always_complete() {
+    let mut g = Gen::new(41);
+    for case in 0..CASES {
+        let ops = g.op_cycles(200);
+        let watts = g.f64_in(0.001, 0.01);
         let program = committing_program(&ops);
         let (report, _) = run(&program, watts, 47e-6);
-        prop_assert!(report.completed(), "{report}");
+        assert!(report.completed(), "case {case}: {report}");
     }
+}
 
-    #[test]
-    fn time_accounting_is_consistent(
-        ops in prop::collection::vec(100u16..5000, 1..150),
-    ) {
+#[test]
+fn time_accounting_is_consistent() {
+    let mut g = Gen::new(42);
+    for case in 0..CASES {
+        let ops = g.op_cycles(150);
         let program = committing_program(&ops);
         let (report, _) = run(&program, 0.002, 22e-6);
-        prop_assert!(report.completed());
+        assert!(report.completed(), "case {case}");
         // Wall clock covers active + charging.
-        prop_assert!(
-            report.wall_seconds + 1e-9 >= report.active_seconds + report.charging_seconds
+        assert!(
+            report.wall_seconds + 1e-9 >= report.active_seconds + report.charging_seconds,
+            "case {case}"
         );
         // Active time equals cycles at 16 MHz.
-        prop_assert!(
-            (report.active_seconds - report.active_cycles.raw() as f64 / 16e6).abs() < 1e-9
+        assert!(
+            (report.active_seconds - report.active_cycles.raw() as f64 / 16e6).abs() < 1e-9,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn intermittent_work_is_at_least_continuous_work(
-        ops in prop::collection::vec(100u16..5000, 1..150),
-    ) {
+#[test]
+fn intermittent_work_is_at_least_continuous_work() {
+    let mut g = Gen::new(43);
+    for case in 0..CASES {
         // Restores and re-execution can only add work, never remove it.
+        let ops = g.op_cycles(150);
         let program = committing_program(&ops);
         let (report, continuous) = run(&program, 0.002, 22e-6);
-        prop_assert!(report.completed());
-        prop_assert!(report.active_cycles.raw() >= continuous.cycles.raw());
-        prop_assert!(report.energy.nanojoules() >= continuous.energy.nanojoules() - 1e-6);
+        assert!(report.completed(), "case {case}");
+        assert!(
+            report.active_cycles.raw() >= continuous.cycles.raw(),
+            "case {case}"
+        );
+        assert!(
+            report.energy.nanojoules() >= continuous.energy.nanojoules() - 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn executed_ops_equal_program_plus_waste(
-        ops in prop::collection::vec(100u16..5000, 1..150),
-    ) {
+#[test]
+fn executed_ops_equal_program_plus_waste() {
+    let mut g = Gen::new(44);
+    for case in 0..CASES {
+        let ops = g.op_cycles(150);
         let program = committing_program(&ops);
         let (report, _) = run(&program, 0.002, 22e-6);
-        prop_assert!(report.completed());
+        assert!(report.completed(), "case {case}");
         // Every op commits, so nothing is ever wasted.
-        prop_assert_eq!(report.wasted_ops, 0);
-        prop_assert_eq!(report.executed_ops, ops.len() as u64);
+        assert_eq!(report.wasted_ops, 0, "case {case}");
+        assert_eq!(report.executed_ops, ops.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn capacitor_energy_is_conserved(
-        drains in prop::collection::vec(1e-6f64..50e-6, 1..50),
-    ) {
+#[test]
+fn capacitor_energy_is_conserved() {
+    let mut g = Gen::new(45);
+    for case in 0..CASES {
+        let n = 1 + (g.next_u64() as usize) % 50;
+        let drains: Vec<f64> = (0..n).map(|_| g.f64_in(1e-6, 50e-6)).collect();
         let mut cap = Capacitor::paper_100uf();
-        let mut expected = cap.energy_joules();
+        let mut expected;
         for d in drains {
             let before = cap.energy_joules();
             cap.drain_joules(d);
             expected = (before - d).max(0.0);
-            prop_assert!((cap.energy_joules() - expected).abs() < 1e-12);
+            assert!(
+                (cap.energy_joules() - expected).abs() < 1e-12,
+                "case {case}"
+            );
             cap.charge_joules(d / 2.0);
             // Charging is capped at v_max but below the cap it is exact.
             if cap.volts() < cap.v_max() {
-                prop_assert!((cap.energy_joules() - (expected + d / 2.0)).abs() < 1e-12);
+                assert!(
+                    (cap.energy_joules() - (expected + d / 2.0)).abs() < 1e-12,
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn harvester_energy_is_additive(
-        t0 in 0.0f64..1.0,
-        dt1 in 1e-4f64..0.1,
-        dt2 in 1e-4f64..0.1,
-    ) {
+#[test]
+fn harvester_energy_is_additive() {
+    let mut g = Gen::new(46);
+    for case in 0..CASES {
+        let t0 = g.f64_in(0.0, 1.0);
+        let dt1 = g.f64_in(1e-4, 0.1);
+        let dt2 = g.f64_in(1e-4, 0.1);
         for h in [
             Harvester::constant(0.003),
             Harvester::square(0.004, 0.05, 0.5),
@@ -127,7 +176,7 @@ proptest! {
         ] {
             let whole = h.energy_over(t0, dt1 + dt2);
             let split = h.energy_over(t0, dt1) + h.energy_over(t0 + dt1, dt2);
-            prop_assert!((whole - split).abs() < 1e-12, "{h}");
+            assert!((whole - split).abs() < 1e-12, "case {case}: {h}");
         }
     }
 }

@@ -62,7 +62,6 @@ impl MacAcc {
         MacAcc(raw)
     }
 
-
     /// Converts back to `Q15` with round-to-nearest and saturation.
     ///
     /// Saturation here corresponds to the accumulator result exceeding the

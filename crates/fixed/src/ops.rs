@@ -175,11 +175,7 @@ mod tests {
         let a: Vec<Q15> = (0..25).map(|i| q(0.01 * i as f32)).collect();
         let b: Vec<Q15> = (0..25).map(|i| q(0.02 * i as f32)).collect();
         let acc = mac(&a, &b);
-        let want: f64 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| x.to_f64() * y.to_f64())
-            .sum();
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| x.to_f64() * y.to_f64()).sum();
         assert!((acc.to_f64() - want).abs() < 1e-9);
     }
 

@@ -1,127 +1,238 @@
 //! Property-based tests for the fixed-point substrate.
+//!
+//! Offline build: no `proptest` crate is available, so the properties
+//! are checked over a deterministic SplitMix64-driven sample stream —
+//! same invariants, reproducible counterexamples (the failing assert
+//! reports the case index).
 
 use ehdl_fixed::{ops, ComplexQ15, MacAcc, OverflowStats, Q15};
-use proptest::prelude::*;
+use ehdl_nn::WeightRng;
 
-fn any_q15() -> impl Strategy<Value = Q15> {
-    any::<i16>().prop_map(Q15::from_raw)
-}
+/// Deterministic case generator: the shared [`WeightRng`] stream plus
+/// fixed-point-domain helpers.
+struct Gen(WeightRng);
 
-fn any_complex() -> impl Strategy<Value = ComplexQ15> {
-    (any_q15(), any_q15()).prop_map(|(re, im)| ComplexQ15::new(re, im))
-}
-
-proptest! {
-    #[test]
-    fn add_is_commutative(a in any_q15(), b in any_q15()) {
-        prop_assert_eq!(a + b, b + a);
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(WeightRng::new(seed))
     }
 
-    #[test]
-    fn mul_is_commutative(a in any_q15(), b in any_q15()) {
-        prop_assert_eq!(a * b, b * a);
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
     }
 
-    #[test]
-    fn mul_error_bounded_by_one_lsb(a in any_q15(), b in any_q15()) {
+    fn i16(&mut self) -> i16 {
+        self.next_u64() as i16
+    }
+
+    fn q15(&mut self) -> Q15 {
+        Q15::from_raw(self.i16())
+    }
+
+    fn complex(&mut self) -> ComplexQ15 {
+        ComplexQ15::new(self.q15(), self.q15())
+    }
+
+    fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        self.0.range_f32(lo, hi)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.range_i64(lo as i64, hi as i64) as usize
+    }
+
+    fn q15_vec(&mut self, lo: usize, hi: usize) -> Vec<Q15> {
+        let n = self.usize_in(lo, hi);
+        (0..n).map(|_| self.q15()).collect()
+    }
+}
+
+const CASES: usize = 512;
+
+#[test]
+fn add_and_mul_are_commutative() {
+    let mut g = Gen::new(1);
+    for case in 0..CASES {
+        let (a, b) = (g.q15(), g.q15());
+        assert_eq!(a + b, b + a, "case {case}");
+        assert_eq!(a * b, b * a, "case {case}");
+    }
+}
+
+#[test]
+fn mul_error_bounded_by_one_lsb() {
+    let mut g = Gen::new(2);
+    for case in 0..CASES {
+        let (a, b) = (g.q15(), g.q15());
         let got = (a * b).to_f64();
         let want = (a.to_f64() * b.to_f64()).clamp(-1.0, (i16::MAX as f64) / 32768.0);
-        prop_assert!((got - want).abs() <= 1.0 / 32768.0);
+        assert!(
+            (got - want).abs() <= 1.0 / 32768.0,
+            "case {case}: {a} * {b}"
+        );
     }
+}
 
-    #[test]
-    fn add_never_wraps(a in any_q15(), b in any_q15()) {
+#[test]
+fn add_never_wraps() {
+    let mut g = Gen::new(3);
+    for case in 0..CASES {
+        let (a, b) = (g.q15(), g.q15());
         let got = (a + b).to_f64();
         let want = a.to_f64() + b.to_f64();
         // Saturating add is the clamp of the exact sum.
         let clamped = want.clamp(-1.0, (i16::MAX as f64) / 32768.0);
-        prop_assert!((got - clamped).abs() <= 1e-9);
+        assert!((got - clamped).abs() <= 1e-9, "case {case}: {a} + {b}");
     }
+}
 
-    #[test]
-    fn from_f32_to_f32_roundtrip(v in -1.0f32..1.0f32) {
+#[test]
+fn from_f32_to_f32_roundtrip() {
+    let mut g = Gen::new(4);
+    for case in 0..CASES {
+        let v = g.f32_in(-1.0, 1.0);
         let q = Q15::from_f32(v);
-        prop_assert!((q.to_f32() - v).abs() <= 0.5 / 32768.0 + f32::EPSILON);
+        assert!(
+            (q.to_f32() - v).abs() <= 0.5 / 32768.0 + f32::EPSILON,
+            "case {case}: {v}"
+        );
     }
+}
 
-    #[test]
-    fn raw_roundtrip(raw in any::<i16>()) {
-        prop_assert_eq!(Q15::from_raw(raw).raw(), raw);
+#[test]
+fn raw_roundtrip() {
+    let mut g = Gen::new(5);
+    for _ in 0..CASES {
+        let raw = g.i16();
+        assert_eq!(Q15::from_raw(raw).raw(), raw);
     }
+}
 
-    #[test]
-    fn shr_round_halving_error(a in any_q15(), shift in 0u32..8) {
+#[test]
+fn shr_round_halving_error() {
+    let mut g = Gen::new(6);
+    for case in 0..CASES {
+        let a = g.q15();
+        let shift = (g.next_u64() % 8) as u32;
         let got = a.shr_round(shift).to_f64();
         let want = a.to_f64() / (1u32 << shift) as f64;
-        prop_assert!((got - want).abs() <= 0.5 / 32768.0 + 1e-9);
+        assert!(
+            (got - want).abs() <= 0.5 / 32768.0 + 1e-9,
+            "case {case}: {a} >> {shift}"
+        );
     }
+}
 
-    #[test]
-    fn div_int_error_bounded(a in any_q15(), len in 1u32..512) {
+#[test]
+fn div_int_error_bounded() {
+    let mut g = Gen::new(7);
+    for case in 0..CASES {
+        let a = g.q15();
+        let len = 1 + (g.next_u64() % 511) as u32;
         let got = a.div_int(len).to_f64();
-        let want = a.to_f64() / len as f64;
-        prop_assert!((got - want).abs() <= 1.0 / 32768.0);
+        let want = a.to_f64() / f64::from(len);
+        assert!(
+            (got - want).abs() <= 1.0 / 32768.0,
+            "case {case}: {a} / {len}"
+        );
     }
+}
 
-    #[test]
-    fn mac_is_exact_for_short_vectors(
-        xs in prop::collection::vec(any_q15(), 1..64),
-        ws in prop::collection::vec(any_q15(), 1..64),
-    ) {
+#[test]
+fn mac_is_exact_for_short_vectors() {
+    let mut g = Gen::new(8);
+    for case in 0..CASES / 4 {
+        let xs = g.q15_vec(1, 63);
+        let ws = g.q15_vec(1, 63);
         let n = xs.len().min(ws.len());
         let acc = ops::mac(&xs[..n], &ws[..n]);
-        let want: f64 = xs[..n].iter().zip(&ws[..n]).map(|(x, w)| x.to_f64() * w.to_f64()).sum();
-        prop_assert!((acc.to_f64() - want).abs() < 1e-9);
+        let want: f64 = xs[..n]
+            .iter()
+            .zip(&ws[..n])
+            .map(|(x, w)| x.to_f64() * w.to_f64())
+            .sum();
+        assert!((acc.to_f64() - want).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn complex_mul_matches_float(a in any_complex(), b in any_complex()) {
+#[test]
+fn complex_mul_matches_float() {
+    let mut g = Gen::new(9);
+    for case in 0..CASES {
+        let (a, b) = (g.complex(), g.complex());
         let (got, sat) = a.overflowing_mul(b);
         let want_re = a.re.to_f64() * b.re.to_f64() - a.im.to_f64() * b.im.to_f64();
         let want_im = a.re.to_f64() * b.im.to_f64() + a.im.to_f64() * b.re.to_f64();
         if !sat {
-            prop_assert!((got.re.to_f64() - want_re).abs() <= 1.0 / 32768.0);
-            prop_assert!((got.im.to_f64() - want_im).abs() <= 1.0 / 32768.0);
+            assert!(
+                (got.re.to_f64() - want_re).abs() <= 1.0 / 32768.0,
+                "case {case}"
+            );
+            assert!(
+                (got.im.to_f64() - want_im).abs() <= 1.0 / 32768.0,
+                "case {case}"
+            );
         } else {
             // Saturation only happens when the exact value is out of range.
-            prop_assert!(want_re.abs() >= 1.0 - 2.0 / 32768.0 || want_im.abs() >= 1.0 - 2.0 / 32768.0);
+            assert!(
+                want_re.abs() >= 1.0 - 2.0 / 32768.0 || want_im.abs() >= 1.0 - 2.0 / 32768.0,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn scale_down_never_saturates(
-        mut data in prop::collection::vec(any_q15(), 1..128),
-        len in 1u32..1024,
-    ) {
+#[test]
+fn scale_down_never_saturates() {
+    let mut g = Gen::new(10);
+    for case in 0..CASES / 4 {
+        let mut data = g.q15_vec(1, 127);
+        let len = 1 + (g.next_u64() % 1023) as u32;
         let mut stats = OverflowStats::new();
         ops::scale_down(&mut data, len);
         // Scaling down cannot increase magnitude, so a following MAC with
         // a unit basis vector cannot saturate.
         for &v in &data {
             let (_, sat) = MacAcc::from_q15(v).overflowing_to_q15();
-            if sat { stats.record_saturation(); }
+            if sat {
+                stats.record_saturation();
+            }
         }
-        prop_assert_eq!(stats.saturations(), 0);
+        assert_eq!(stats.saturations(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn neg_is_involutive_except_min(a in any_q15()) {
+#[test]
+fn neg_is_involutive_except_min() {
+    let mut g = Gen::new(11);
+    for _ in 0..CASES {
+        let a = g.q15();
         if a != Q15::MIN {
-            prop_assert_eq!(-(-a), a);
-        } else {
-            prop_assert_eq!(-(-a), Q15::MAX);
+            assert_eq!(-(-a), a);
         }
     }
+    // The edge case, explicitly: -MIN saturates to MAX, so the second
+    // negation lands one LSB above MIN.
+    assert_eq!(-Q15::MIN, Q15::MAX);
+    assert_eq!(-(-Q15::MIN), -Q15::MAX);
+}
 
-    #[test]
-    fn abs_is_non_negative(a in any_q15()) {
-        prop_assert!(!a.abs().is_negative());
+#[test]
+fn abs_is_non_negative() {
+    let mut g = Gen::new(12);
+    for _ in 0..CASES {
+        assert!(!g.q15().abs().is_negative());
     }
+    assert!(!Q15::MIN.abs().is_negative());
+}
 
-    #[test]
-    fn sum_abs_bounds_max_abs(data in prop::collection::vec(any_q15(), 1..64)) {
+#[test]
+fn sum_abs_bounds_max_abs() {
+    let mut g = Gen::new(13);
+    for case in 0..CASES / 4 {
+        let data = g.q15_vec(1, 63);
         let max = ops::max_abs(&data).to_f64();
         let sum = ops::sum_abs(&data).to_f64();
-        prop_assert!(sum + 1e-6 >= max);
+        assert!(sum + 1e-6 >= max, "case {case}");
     }
 }

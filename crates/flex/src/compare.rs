@@ -53,40 +53,50 @@ pub struct Comparison {
 }
 
 impl Comparison {
+    /// The result for a named strategy, or `None` if the comparison has
+    /// no entry under that name.
+    pub fn get(&self, name: &str) -> Option<&StrategyResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+
     /// The result for a named strategy.
     ///
     /// # Panics
     ///
-    /// Panics if the name is unknown.
-    pub fn get(&self, name: &str) -> &StrategyResult {
-        self.results
-            .iter()
-            .find(|r| r.name == name)
+    /// Panics if the name is unknown; use [`Comparison::get`] for a
+    /// non-panicking lookup.
+    pub fn expect(&self, name: &str) -> &StrategyResult {
+        self.get(name)
             .unwrap_or_else(|| panic!("unknown strategy {name}"))
     }
 
-    /// Continuous-power speedup of ACE+FLEX over a baseline (Fig 7(a)).
-    pub fn speedup_over(&self, baseline: &str) -> f64 {
-        self.get(baseline)
-            .continuous
-            .cycles
-            .ratio(self.get("ACE+FLEX").continuous.cycles)
+    /// Continuous-power speedup of ACE+FLEX over a baseline (Fig 7(a));
+    /// `None` if either name is missing from the comparison.
+    pub fn speedup_over(&self, baseline: &str) -> Option<f64> {
+        Some(
+            self.get(baseline)?
+                .continuous
+                .cycles
+                .ratio(self.get("ACE+FLEX")?.continuous.cycles),
+        )
     }
 
     /// Continuous-power energy saving of ACE+FLEX over a baseline
-    /// (Fig 7(c)).
-    pub fn energy_saving_over(&self, baseline: &str) -> f64 {
-        self.get(baseline)
-            .continuous
-            .energy
-            .ratio(self.get("ACE+FLEX").continuous.energy)
+    /// (Fig 7(c)); `None` if either name is missing from the comparison.
+    pub fn energy_saving_over(&self, baseline: &str) -> Option<f64> {
+        Some(
+            self.get(baseline)?
+                .continuous
+                .energy
+                .ratio(self.get("ACE+FLEX")?.continuous.energy),
+        )
     }
 
     /// Intermittent active-time speedup of ACE+FLEX over a baseline
-    /// (Fig 7(b)); `None` if either did not complete.
+    /// (Fig 7(b)); `None` if either is missing or did not complete.
     pub fn intermittent_speedup_over(&self, baseline: &str) -> Option<f64> {
-        let a = self.get(baseline).intermittent.as_ref()?;
-        let b = self.get("ACE+FLEX").intermittent.as_ref()?;
+        let a = self.get(baseline)?.intermittent.as_ref()?;
+        let b = self.get("ACE+FLEX")?.intermittent.as_ref()?;
         if !a.completed() || !b.completed() {
             return None;
         }
@@ -99,7 +109,9 @@ impl Comparison {
 /// # Errors
 ///
 /// Propagates ACE compilation failures.
-pub fn build_programs(model: &QuantizedModel) -> Result<Vec<(&'static str, Program)>, ehdl_ace::AceError> {
+pub fn build_programs(
+    model: &QuantizedModel,
+) -> Result<Vec<(&'static str, Program)>, ehdl_ace::AceError> {
     let ace = AceProgram::compile(model)?;
     Ok(vec![
         ("BASE", strategies::base_program(model)),
@@ -215,17 +227,37 @@ mod tests {
     #[test]
     fn continuous_panel_has_paper_ordering() {
         let cmp = har_comparison(false);
-        assert!(cmp.speedup_over("BASE") > 1.5);
-        assert!(cmp.speedup_over("SONIC") > cmp.speedup_over("TAILS"));
-        assert!(cmp.speedup_over("TAILS") > 1.0);
-        assert!(cmp.energy_saving_over("SONIC") > cmp.energy_saving_over("TAILS"));
+        let speedup = |name: &str| cmp.speedup_over(name).unwrap();
+        assert!(speedup("BASE") > 1.5);
+        assert!(speedup("SONIC") > speedup("TAILS"));
+        assert!(speedup("TAILS") > 1.0);
+        assert!(
+            cmp.energy_saving_over("SONIC").unwrap() > cmp.energy_saving_over("TAILS").unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_strategy_is_none_not_panic() {
+        let cmp = har_comparison(false);
+        assert!(cmp.get("NOT-A-STRATEGY").is_none());
+        assert!(cmp.speedup_over("NOT-A-STRATEGY").is_none());
+        assert!(cmp.energy_saving_over("NOT-A-STRATEGY").is_none());
+        assert!(cmp.intermittent_speedup_over("NOT-A-STRATEGY").is_none());
+        assert!(cmp.get("ACE+FLEX").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn expect_panics_on_unknown_strategy() {
+        let cmp = har_comparison(false);
+        let _ = cmp.expect("NOT-A-STRATEGY");
     }
 
     #[test]
     fn ace_and_flex_tie_under_continuous_power() {
         let cmp = har_comparison(false);
-        let ace = cmp.get("ACE").continuous.cycles;
-        let flex = cmp.get("ACE+FLEX").continuous.cycles;
+        let ace = cmp.expect("ACE").continuous.cycles;
+        let flex = cmp.expect("ACE+FLEX").continuous.cycles;
         assert_eq!(ace, flex);
     }
 
@@ -234,12 +266,12 @@ mod tests {
     fn intermittent_panel_matches_fig7b() {
         let cmp = har_comparison(true);
         // BASE and bare ACE never finish (the two ✗ columns).
-        assert!(!cmp.get("BASE").completes_intermittently());
-        assert!(!cmp.get("ACE").completes_intermittently());
+        assert!(!cmp.expect("BASE").completes_intermittently());
+        assert!(!cmp.expect("ACE").completes_intermittently());
         // SONIC, TAILS and ACE+FLEX all finish.
-        assert!(cmp.get("SONIC").completes_intermittently());
-        assert!(cmp.get("TAILS").completes_intermittently());
-        assert!(cmp.get("ACE+FLEX").completes_intermittently());
+        assert!(cmp.expect("SONIC").completes_intermittently());
+        assert!(cmp.expect("TAILS").completes_intermittently());
+        assert!(cmp.expect("ACE+FLEX").completes_intermittently());
         // And ACE+FLEX is fastest.
         assert!(cmp.intermittent_speedup_over("SONIC").unwrap() > 1.5);
         assert!(cmp.intermittent_speedup_over("TAILS").unwrap() > 1.0);

@@ -280,7 +280,12 @@ impl BcmChainMachine {
             cb: self.fram.cb,
             bx: self.fram.inter_x.clone(),
             bw: self.fram.inter_w.clone(),
-            acc: self.fram.acc_raw.iter().map(|&r| MacAcc::from_raw(r)).collect(),
+            acc: self
+                .fram
+                .acc_raw
+                .iter()
+                .map(|&r| MacAcc::from_raw(r))
+                .collect(),
         });
         // A fresh boot with empty intermediates lands at DmaIn: rebuild
         // the buffers there (the machine's equivalent of the paper's

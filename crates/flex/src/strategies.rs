@@ -76,11 +76,7 @@ pub fn tails_program(model: &QuantizedModel) -> Program {
                 pool_ops(&mut p, in_shape, *size, Some(TAILS_CKPT_WORDS));
             }
             QLayer::Relu => {
-                elementwise_ops(
-                    &mut p,
-                    in_shape.iter().product(),
-                    Some(TAILS_CKPT_WORDS),
-                );
+                elementwise_ops(&mut p, in_shape.iter().product(), Some(TAILS_CKPT_WORDS));
             }
             QLayer::Flatten => {
                 p.push(DeviceOp::CpuOps { count: 4 }, CheckpointSpec::COMMIT);
@@ -174,7 +170,7 @@ pub fn flex_eager_program(ace: &AceProgram) -> Program {
                 p.push(t.op, CheckpointSpec::NONE);
                 p.push(
                     DeviceOp::Checkpoint {
-                        words: u64::from(SONIC_CKPT_WORDS),
+                        words: SONIC_CKPT_WORDS,
                     },
                     CheckpointSpec::COMMIT,
                 );
@@ -254,10 +250,7 @@ fn software_mac(p: &mut Program, klen: u64, ckpt: Option<u64>) {
         CheckpointSpec::NONE,
     );
     p.push(DeviceOp::CpuMul { count: klen }, CheckpointSpec::NONE);
-    p.push(
-        DeviceOp::CpuOps { count: 6 * klen },
-        CheckpointSpec::NONE,
-    );
+    p.push(DeviceOp::CpuOps { count: 6 * klen }, CheckpointSpec::NONE);
     p.push(
         DeviceOp::MemWrite {
             mem: MemoryKind::Fram,
@@ -491,11 +484,7 @@ mod tests {
         let q = mnist_q();
         let ace = AceProgram::compile(&q).unwrap();
         let mut results = Vec::new();
-        for p in [
-            sonic_program(&q),
-            tails_program(&q),
-            flex_program(&ace),
-        ] {
+        for p in [sonic_program(&q), tails_program(&q), flex_program(&ace)] {
             let mut board = Board::msp430fr5994();
             let c = run_continuous(&p, &mut board);
             results.push(c.energy.nanojoules());
@@ -522,6 +511,11 @@ mod tests {
                 sonic as f64 / flex as f64
             })
             .collect();
-        assert!(ratios[1] > ratios[0], "mnist {} har {}", ratios[0], ratios[1]);
+        assert!(
+            ratios[1] > ratios[0],
+            "mnist {} har {}",
+            ratios[0],
+            ratios[1]
+        );
     }
 }

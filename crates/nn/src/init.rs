@@ -28,7 +28,8 @@ impl WeightRng {
         }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next raw 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -56,6 +57,35 @@ impl WeightRng {
     /// Fills a fresh vector with Xavier samples.
     pub fn xavier_vec(&mut self, len: usize, fan_in: usize, fan_out: usize) -> Vec<f32> {
         (0..len).map(|_| self.xavier(fan_in, fan_out)).collect()
+    }
+
+    /// Uniform sample in `[lo, hi)` — though f32 rounding of
+    /// `lo + u·(hi-lo)` can land exactly on `hi` when the span is much
+    /// larger than `hi`'s ulp, so treat the upper bound as inclusive
+    /// for indexing purposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.next_f32() * (hi - lo)
+    }
+
+    /// Uniform integer sample in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        // Span arithmetic in u64 so wide ranges cannot overflow; a span
+        // of 0 means the full i64 domain (2^64 values).
+        let span = hi.wrapping_sub(lo).wrapping_add(1) as u64;
+        if span == 0 {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add((self.next_u64() % span) as i64)
     }
 }
 
@@ -95,6 +125,22 @@ mod tests {
         let wide: f32 = (0..512).map(|_| rng.xavier(4096, 4096).abs()).sum::<f32>() / 512.0;
         let narrow: f32 = (0..512).map(|_| rng.xavier(16, 16).abs()).sum::<f32>() / 512.0;
         assert!(wide < narrow);
+    }
+
+    #[test]
+    fn range_i64_covers_bounds_and_extremes() {
+        let mut rng = WeightRng::new(6);
+        for _ in 0..1000 {
+            let v = rng.range_i64(-2, 2);
+            assert!((-2..=2).contains(&v));
+        }
+        // Degenerate and extreme spans must not overflow.
+        assert_eq!(rng.range_i64(7, 7), 7);
+        let _ = rng.range_i64(i64::MIN, i64::MAX);
+        let v = rng.range_i64(i64::MAX - 1, i64::MAX);
+        assert!(v == i64::MAX - 1 || v == i64::MAX);
+        let v = rng.range_i64(i64::MIN, i64::MIN + 1);
+        assert!(v == i64::MIN || v == i64::MIN + 1);
     }
 
     #[test]

@@ -135,10 +135,7 @@ impl Conv2d {
         if shape.len() != 3 || shape[0] != self.in_ch {
             return Err(ModelError::LayerInput {
                 layer: "Conv2d",
-                detail: format!(
-                    "expected [{}, h, w], got {:?}",
-                    self.in_ch, shape
-                ),
+                detail: format!("expected [{}, h, w], got {:?}", self.in_ch, shape),
             });
         }
         let (ih, iw) = (shape[1], shape[2]);
@@ -284,7 +281,10 @@ impl BcmDense {
     /// Panics if `block` is zero or not a power of two (the FFT path —
     /// and the LEA — require power-of-two transforms).
     pub fn new(in_dim: usize, out_dim: usize, block: usize, rng: &mut WeightRng) -> Self {
-        assert!(block > 0 && block.is_power_of_two(), "block must be a power of two");
+        assert!(
+            block > 0 && block.is_power_of_two(),
+            "block must be a power of two"
+        );
         let rows_b = out_dim.div_ceil(block);
         let cols_b = in_dim.div_ceil(block);
         // Circulant blocks act like dense rows of length in_dim for fan-in.
@@ -333,7 +333,10 @@ impl BcmDense {
     ///
     /// Panics if the position is outside the grid.
     pub fn block_at(&self, rb: usize, cb: usize) -> &[f32] {
-        assert!(rb < self.rows_b && cb < self.cols_b, "block index out of grid");
+        assert!(
+            rb < self.rows_b && cb < self.cols_b,
+            "block index out of grid"
+        );
         &self.blocks[rb * self.cols_b + cb]
     }
 
@@ -343,7 +346,10 @@ impl BcmDense {
     ///
     /// Panics if the position is outside the grid.
     pub fn block_at_mut(&mut self, rb: usize, cb: usize) -> &mut Vec<f32> {
-        assert!(rb < self.rows_b && cb < self.cols_b, "block index out of grid");
+        assert!(
+            rb < self.rows_b && cb < self.cols_b,
+            "block index out of grid"
+        );
         &mut self.blocks[rb * self.cols_b + cb]
     }
 
@@ -600,7 +606,10 @@ fn maxpool2d(x: &Tensor, size: usize) -> Result<Tensor, ModelError> {
 }
 
 fn softmax(x: &Tensor) -> Tensor {
-    let max = x.as_slice().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let max = x
+        .as_slice()
+        .iter()
+        .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
     let exps: Vec<f32> = x.as_slice().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     let mut out = x.clone();
@@ -697,7 +706,10 @@ mod tests {
     #[test]
     fn maxpool_picks_window_max() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 4, 4],
         )
         .unwrap();
@@ -732,7 +744,8 @@ mod tests {
     #[test]
     fn dense_matches_manual_matvec() {
         let mut d = Dense::new(3, 2, &mut rng());
-        d.weights_mut().copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        d.weights_mut()
+            .copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
         d.bias_mut().copy_from_slice(&[0.1, -0.1]);
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
         let out = d.forward(&x).unwrap();
@@ -748,7 +761,9 @@ mod tests {
         let x = Tensor::from_vec((0..8).map(|v| (v as f32 - 4.0) * 0.1).collect(), &[8]).unwrap();
         let got = bcm.forward(&x).unwrap();
         for o in 0..8 {
-            let want: f32 = (0..8).map(|i| dense_w[o * 8 + i] * x.as_slice()[i]).sum::<f32>()
+            let want: f32 = (0..8)
+                .map(|i| dense_w[o * 8 + i] * x.as_slice()[i])
+                .sum::<f32>()
                 + bcm.bias()[o];
             assert!((got.as_slice()[o] - want).abs() < 1e-4, "row {o}");
         }
@@ -767,8 +782,7 @@ mod tests {
         // Dense expansion must agree even with padding.
         let dense_w = bcm.to_dense_weights();
         for o in 0..8 {
-            let want: f32 =
-                (0..10).map(|i| dense_w[o * 10 + i] * 0.1).sum::<f32>() + bcm.bias()[o];
+            let want: f32 = (0..10).map(|i| dense_w[o * 10 + i] * 0.1).sum::<f32>() + bcm.bias()[o];
             assert!((out.as_slice()[o] - want).abs() < 1e-4);
         }
     }
@@ -797,7 +811,10 @@ mod tests {
         assert_eq!(shape, vec![6, 24, 24]);
         let pool = Layer::MaxPool2d { size: 2 };
         assert_eq!(pool.output_shape(&shape).unwrap(), vec![6, 12, 12]);
-        assert_eq!(Layer::Flatten.output_shape(&[6, 12, 12]).unwrap(), vec![864]);
+        assert_eq!(
+            Layer::Flatten.output_shape(&[6, 12, 12]).unwrap(),
+            vec![864]
+        );
         assert!(conv.output_shape(&[3, 28, 28]).is_err());
         assert!(pool.output_shape(&[6, 1, 1]).is_err());
     }

@@ -114,7 +114,10 @@ impl Tensor {
         );
         let mut flat = 0usize;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (size {dim})"
+            );
             flat = flat * dim + ix;
         }
         flat

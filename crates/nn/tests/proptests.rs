@@ -1,81 +1,101 @@
 //! Property tests on layer algebra and model invariants.
+//!
+//! Offline build: no `proptest` crate is available, so the properties
+//! are checked over a deterministic [`WeightRng`]-driven sample stream.
 
 use ehdl_nn::{BcmDense, Conv2d, Dense, Layer, Model, Tensor, WeightRng};
-use proptest::prelude::*;
 
-fn small_input(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-0.9f32..0.9, len..=len)
+fn small_input(rng: &mut WeightRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.range_f32(-0.9, 0.9)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn dense_layer_is_linear(
-        seed in 0u64..1000,
-        xa in small_input(6),
-        xb in small_input(6),
-    ) {
-        let mut rng = WeightRng::new(seed);
+#[test]
+fn dense_layer_is_linear() {
+    let mut g = WeightRng::new(31);
+    for case in 0..CASES {
+        let mut rng = WeightRng::new(g.next_u64() % 1000);
+        let xa = small_input(&mut g, 6);
+        let xb = small_input(&mut g, 6);
         let mut d = Dense::new(6, 4, &mut rng);
         // Zero the bias so the map is strictly linear.
         for b in d.bias_mut() {
             *b = 0.0;
         }
         let layer = Layer::Dense(d);
-        let fa = layer.forward(&Tensor::from_vec(xa.clone(), &[6]).unwrap()).unwrap();
-        let fb = layer.forward(&Tensor::from_vec(xb.clone(), &[6]).unwrap()).unwrap();
+        let fa = layer
+            .forward(&Tensor::from_vec(xa.clone(), &[6]).unwrap())
+            .unwrap();
+        let fb = layer
+            .forward(&Tensor::from_vec(xb.clone(), &[6]).unwrap())
+            .unwrap();
         let sum: Vec<f32> = xa.iter().zip(&xb).map(|(a, b)| a + b).collect();
-        let fsum = layer.forward(&Tensor::from_vec(sum, &[6]).unwrap()).unwrap();
+        let fsum = layer
+            .forward(&Tensor::from_vec(sum, &[6]).unwrap())
+            .unwrap();
         for ((a, b), s) in fa.as_slice().iter().zip(fb.as_slice()).zip(fsum.as_slice()) {
-            prop_assert!((a + b - s).abs() < 1e-4);
+            assert!((a + b - s).abs() < 1e-4, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bcm_forward_equals_dense_expansion(
-        seed in 0u64..1000,
-        x in small_input(12),
-    ) {
-        let mut rng = WeightRng::new(seed);
+#[test]
+fn bcm_forward_equals_dense_expansion() {
+    let mut g = WeightRng::new(32);
+    for case in 0..CASES {
+        let mut rng = WeightRng::new(g.next_u64() % 1000);
+        let x = small_input(&mut g, 12);
         let bcm = BcmDense::new(12, 8, 4, &mut rng);
         let dense_w = bcm.to_dense_weights();
         let got = Layer::BcmDense(bcm.clone())
             .forward(&Tensor::from_vec(x.clone(), &[12]).unwrap())
             .unwrap();
         for o in 0..8 {
-            let want: f32 = (0..12).map(|i| dense_w[o * 12 + i] * x[i]).sum::<f32>()
-                + bcm.bias()[o];
-            prop_assert!((got.as_slice()[o] - want).abs() < 1e-3, "row {o}");
+            let want: f32 =
+                (0..12).map(|i| dense_w[o * 12 + i] * x[i]).sum::<f32>() + bcm.bias()[o];
+            assert!(
+                (got.as_slice()[o] - want).abs() < 1e-3,
+                "case {case} row {o}"
+            );
         }
     }
+}
 
-    #[test]
-    fn relu_is_idempotent_and_monotone(x in small_input(32)) {
+#[test]
+fn relu_is_idempotent_and_monotone() {
+    let mut g = WeightRng::new(33);
+    for case in 0..CASES {
+        let x = small_input(&mut g, 32);
         let t = Tensor::from_vec(x, &[32]).unwrap();
         let once = Layer::Relu.forward(&t).unwrap();
         let twice = Layer::Relu.forward(&once).unwrap();
-        prop_assert_eq!(&once, &twice);
-        prop_assert!(once.as_slice().iter().all(|&v| v >= 0.0));
+        assert_eq!(&once, &twice, "case {case}");
+        assert!(once.as_slice().iter().all(|&v| v >= 0.0), "case {case}");
     }
+}
 
-    #[test]
-    fn maxpool_commutes_with_relu(x in small_input(16)) {
+#[test]
+fn maxpool_commutes_with_relu() {
+    let mut g = WeightRng::new(34);
+    for case in 0..CASES {
         // max(relu(x)) == relu(max(x)) for the 2x2 pool.
+        let x = small_input(&mut g, 16);
         let t = Tensor::from_vec(x, &[1, 4, 4]).unwrap();
         let pool = Layer::MaxPool2d { size: 2 };
         let a = pool.forward(&Layer::Relu.forward(&t).unwrap()).unwrap();
         let b = Layer::Relu.forward(&pool.forward(&t).unwrap()).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn conv_masked_positions_are_inert(
-        seed in 0u64..1000,
-        x in small_input(25),
-        poison in -10.0f32..10.0,
-    ) {
-        let mut rng = WeightRng::new(seed);
+#[test]
+fn conv_masked_positions_are_inert() {
+    let mut g = WeightRng::new(35);
+    for case in 0..CASES {
+        let mut rng = WeightRng::new(g.next_u64() % 1000);
+        let x = small_input(&mut g, 25);
+        let poison = g.range_f32(-10.0, 10.0);
         let mut conv = Conv2d::new(2, 1, 3, 3, &mut rng);
         conv.set_kernel_mask((0..9).map(|k| k % 3 != 1).collect());
         let t = Tensor::from_vec(x, &[1, 5, 5]).unwrap();
@@ -86,26 +106,34 @@ proptest! {
         conv.weights_mut()[dead] = poison;
         conv.apply_mask();
         let after = Layer::Conv2d(conv).forward(&t).unwrap();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_output_is_distribution(x in small_input(10)) {
+#[test]
+fn softmax_output_is_distribution() {
+    let mut g = WeightRng::new(36);
+    for case in 0..CASES {
+        let x = small_input(&mut g, 10);
         let t = Tensor::from_vec(x, &[10]).unwrap();
         let p = Layer::Softmax.forward(&t).unwrap();
         let sum: f32 = p.as_slice().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-5);
-        prop_assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((sum - 1.0).abs() < 1e-5, "case {case}");
+        assert!(
+            p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "case {case}"
+        );
         // Softmax preserves the argmax.
-        prop_assert_eq!(p.argmax(), t.argmax());
+        assert_eq!(p.argmax(), t.argmax(), "case {case}");
     }
+}
 
-    #[test]
-    fn model_forward_matches_trace_tail(
-        seed in 0u64..1000,
-        x in small_input(16),
-    ) {
-        let mut rng = WeightRng::new(seed);
+#[test]
+fn model_forward_matches_trace_tail() {
+    let mut g = WeightRng::new(37);
+    for case in 0..CASES {
+        let mut rng = WeightRng::new(g.next_u64() % 1000);
+        let x = small_input(&mut g, 16);
         let model = Model::builder("p", &[1, 4, 4])
             .layer(Layer::Conv2d(Conv2d::new(2, 1, 3, 3, &mut rng)))
             .layer(Layer::Relu)
@@ -117,18 +145,25 @@ proptest! {
         let t = Tensor::from_vec(x, &[1, 4, 4]).unwrap();
         let direct = model.forward(&t).unwrap();
         let trace = model.forward_trace(&t).unwrap();
-        prop_assert_eq!(&direct, trace.last().unwrap());
-        prop_assert_eq!(trace.len(), model.layers().len() + 1);
+        assert_eq!(&direct, trace.last().unwrap(), "case {case}");
+        assert_eq!(trace.len(), model.layers().len() + 1, "case {case}");
     }
+}
 
-    #[test]
-    fn quantized_bytes_track_active_params(seed in 0u64..100) {
-        let mut rng = WeightRng::new(seed);
+#[test]
+fn quantized_bytes_track_active_params() {
+    let mut g = WeightRng::new(38);
+    for case in 0..CASES {
+        let mut rng = WeightRng::new(g.next_u64() % 100);
         let model = Model::builder("p", &[8])
             .layer(Layer::Dense(Dense::new(8, 5, &mut rng)))
             .layer(Layer::BcmDense(BcmDense::new(5, 4, 2, &mut rng)))
             .build()
             .unwrap();
-        prop_assert_eq!(model.quantized_bytes(), 2 * model.active_param_count());
+        assert_eq!(
+            model.quantized_bytes(),
+            2 * model.active_param_count(),
+            "case {case}"
+        );
     }
 }

@@ -63,11 +63,7 @@ pub fn backward_layer(layer: &Layer, input: &Tensor, grad_out: &[f32]) -> (Vec<f
     }
 }
 
-fn backward_conv(
-    c: &ehdl_nn::Conv2d,
-    input: &Tensor,
-    grad_out: &[f32],
-) -> (Vec<f32>, LayerGrad) {
+fn backward_conv(c: &ehdl_nn::Conv2d, input: &Tensor, grad_out: &[f32]) -> (Vec<f32>, LayerGrad) {
     let shape = input.shape();
     let (in_ch, ih, iw) = (shape[0], shape[1], shape[2]);
     assert_eq!(in_ch, c.in_ch(), "conv input channels");
@@ -105,7 +101,13 @@ fn backward_conv(
             }
         }
     }
-    (gx, LayerGrad::Conv2d { weights: gw, bias: gb })
+    (
+        gx,
+        LayerGrad::Conv2d {
+            weights: gw,
+            bias: gb,
+        },
+    )
 }
 
 fn backward_maxpool(input: &Tensor, size: usize, grad_out: &[f32]) -> Vec<f32> {
@@ -159,11 +161,7 @@ fn backward_dense(d: &ehdl_nn::Dense, input: &Tensor, grad_out: &[f32]) -> (Vec<
     )
 }
 
-fn backward_bcm(
-    d: &ehdl_nn::BcmDense,
-    input: &Tensor,
-    grad_out: &[f32],
-) -> (Vec<f32>, LayerGrad) {
+fn backward_bcm(d: &ehdl_nn::BcmDense, input: &Tensor, grad_out: &[f32]) -> (Vec<f32>, LayerGrad) {
     assert_eq!(grad_out.len(), d.out_dim(), "bcm grad_out size");
     assert_eq!(input.len(), d.in_dim(), "bcm input size");
     let b = d.block();
@@ -229,7 +227,13 @@ mod tests {
         (0..len).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect()
     }
 
-    fn finite_diff_check(layer: &Layer, input: &Tensor, get: impl Fn(&Layer) -> Vec<f32>, set: impl Fn(&mut Layer, &[f32]), analytic: &[f32]) {
+    fn finite_diff_check(
+        layer: &Layer,
+        input: &Tensor,
+        get: impl Fn(&Layer) -> Vec<f32>,
+        set: impl Fn(&mut Layer, &[f32]),
+        analytic: &[f32],
+    ) {
         let eps = 1e-3f32;
         let base_params = get(layer);
         for k in (0..base_params.len()).step_by((base_params.len() / 17).max(1)) {
@@ -283,7 +287,9 @@ mod tests {
         let c = Conv2d::new(2, 2, 3, 3, &mut rng);
         let layer = Layer::Conv2d(c);
         let input = Tensor::from_vec(
-            (0..2 * 5 * 5).map(|v| ((v * 7 % 11) as f32 - 5.0) / 11.0).collect(),
+            (0..2 * 5 * 5)
+                .map(|v| ((v * 7 % 11) as f32 - 5.0) / 11.0)
+                .collect(),
             &[2, 5, 5],
         )
         .unwrap();
@@ -312,11 +318,8 @@ mod tests {
         let mut rng = WeightRng::new(43);
         let d = BcmDense::new(8, 8, 4, &mut rng);
         let layer = Layer::BcmDense(d);
-        let input = Tensor::from_vec(
-            (0..8).map(|v| (v as f32 - 4.0) * 0.1).collect(),
-            &[8],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec((0..8).map(|v| (v as f32 - 4.0) * 0.1).collect(), &[8]).unwrap();
         let out = layer.forward(&input).unwrap();
         let (_, grads) = backward_layer(&layer, &input, &probe_grad(out.len()));
         let LayerGrad::BcmDense { blocks, .. } = grads else {
@@ -368,7 +371,9 @@ mod tests {
             .build()
             .unwrap();
         let input = Tensor::from_vec(
-            (0..16).map(|v| ((v * 5 % 13) as f32 - 6.0) / 13.0).collect(),
+            (0..16)
+                .map(|v| ((v * 5 % 13) as f32 - 6.0) / 13.0)
+                .collect(),
             &[1, 4, 4],
         )
         .unwrap();
@@ -382,7 +387,7 @@ mod tests {
         }
 
         let eps = 1e-3f32;
-        for k in 0..16 {
+        for (k, &gk) in g.iter().enumerate().take(16) {
             let mut xp = input.clone();
             xp.as_mut_slice()[k] += eps;
             let mut xm = input.clone();
@@ -391,7 +396,7 @@ mod tests {
             let lm = probe_loss(&model.forward(&xm).unwrap());
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
-                (numeric - g[k]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                (numeric - gk).abs() < 2e-2 * (1.0 + numeric.abs()),
                 "input {k}: {numeric} vs {}",
                 g[k]
             );

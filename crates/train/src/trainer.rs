@@ -337,7 +337,11 @@ mod tests {
         })
         .train_pairs(&mut model, &data)
         .unwrap();
-        assert!(report.final_accuracy > 0.95, "acc {}", report.final_accuracy);
+        assert!(
+            report.final_accuracy > 0.95,
+            "acc {}",
+            report.final_accuracy
+        );
         assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
     }
 
@@ -441,7 +445,11 @@ mod tests {
             },
             0.8,
         )
-        .train_pairs(&mut model, &data, &[AdmmConstraint::ConvShape { layer: 0, keep: 5 }])
+        .train_pairs(
+            &mut model,
+            &data,
+            &[AdmmConstraint::ConvShape { layer: 0, keep: 5 }],
+        )
         .unwrap();
         assert!(report.final_accuracy > 0.9);
         // After hard pruning to the same budget, accuracy should hold.

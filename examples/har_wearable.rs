@@ -10,44 +10,54 @@
 //! ```
 
 use ehdl::flex::compare::{compare, paper_supply};
-use ehdl::flex::strategies;
 use ehdl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = ehdl::nn::zoo::har();
     let data = ehdl::datasets::har(80, 21);
-    let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
+    let deployment = Deployment::builder(&mut model, &data)
+        .strategy(Strategy::Flex)
+        .build()?;
 
     // Continuous-power comparison (Fig 7(a) column for HAR).
     let (harvester, capacitor) = paper_supply();
-    let cmp = compare(&deployed.quantized, &harvester, &capacitor, false)?;
+    let cmp = compare(deployment.quantized(), &harvester, &capacitor, false)?;
     println!("{cmp}");
+    let speedup = |name: &str| cmp.speedup_over(name).unwrap_or(f64::NAN);
     println!(
         "ACE+FLEX speedups: {:.1}x vs BASE, {:.1}x vs SONIC, {:.1}x vs TAILS\n",
-        cmp.speedup_over("BASE"),
-        cmp.speedup_over("SONIC"),
-        cmp.speedup_over("TAILS"),
+        speedup("BASE"),
+        speedup("SONIC"),
+        speedup("TAILS"),
     );
 
     // Harvester sweep: the same FLEX inference under increasingly harsh
     // power. Wall time stretches (more charging), active time and
-    // checkpoint overhead stay nearly flat — the FLEX property.
+    // checkpoint overhead stay nearly flat — the FLEX property. One
+    // session serves the whole sweep: the board and the lowered FLEX
+    // program are built exactly once.
     println!(
         "{:<28} {:>9} {:>12} {:>12} {:>10}",
         "harvester", "outages", "active ms", "wall ms", "ckpt %"
     );
     let profiles: Vec<(String, Harvester)> = vec![
-        ("square 2 mW 50%".into(), Harvester::square(0.002, 0.05, 0.5)),
-        ("square 1.5 mW 40%".into(), Harvester::square(0.0015, 0.05, 0.4)),
+        (
+            "square 2 mW 50%".into(),
+            Harvester::square(0.002, 0.05, 0.5),
+        ),
+        (
+            "square 1.5 mW 40%".into(),
+            Harvester::square(0.0015, 0.05, 0.4),
+        ),
         ("sine 3 mW peak".into(), Harvester::sine(0.003, 0.08)),
-        ("bursts 4 mW p=0.35".into(), Harvester::bursts(0.004, 0.01, 0.35, 9)),
+        (
+            "bursts 4 mW p=0.35".into(),
+            Harvester::bursts(0.004, 0.01, 0.35, 9),
+        ),
     ];
-    let (_, bench_cap) = ehdl::flex::compare::paper_supply();
-    let program = strategies::flex_program(&deployed.program);
+    let mut session = deployment.session();
     for (label, h) in profiles {
-        let mut board = Board::msp430fr5994();
-        let mut supply = PowerSupply::new(h, bench_cap.clone());
-        let report = IntermittentExecutor::default().run(&program, &mut board, &mut supply);
+        let report = session.infer_intermittent(&PowerSupply::new(h, capacitor.clone()));
         println!(
             "{:<28} {:>9} {:>12.2} {:>12.2} {:>10.2}",
             label,

@@ -38,27 +38,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * report.final_accuracy
     );
 
-    // Deploy: normalization + quantization + ACE compilation.
-    let deployed = ehdl::pipeline::deploy(&mut model, &train_set)?;
-    let test_acc = ehdl::pipeline::quantized_accuracy(&deployed.quantized, &test_set)?;
+    // Deploy: calibration + quantization + ACE compilation, via the
+    // builder (paper defaults: 32 samples at the 0.9 percentile, the
+    // FR5994 board, FLEX checkpointing).
+    let deployment = Deployment::builder(&mut model, &train_set).build()?;
+    let session = deployment.session();
+    let test_acc = session.accuracy(&test_set)?;
     println!("quantized test accuracy: {:.1}%", 100.0 * test_acc);
 
     // The full five-strategy comparison under the paper's supply.
     let (harvester, capacitor) = paper_supply();
-    let cmp = compare(&deployed.quantized, &harvester, &capacitor, true)?;
+    let cmp = compare(deployment.quantized(), &harvester, &capacitor, true)?;
     println!("\n{cmp}");
+    let speedup = |name: &str| cmp.speedup_over(name).unwrap_or(f64::NAN);
+    let saving = |name: &str| cmp.energy_saving_over(name).unwrap_or(f64::NAN);
     println!(
         "Fig 7(a) speedups of ACE+FLEX:  {:.1}x vs BASE, {:.1}x vs SONIC, {:.1}x vs TAILS",
-        cmp.speedup_over("BASE"),
-        cmp.speedup_over("SONIC"),
-        cmp.speedup_over("TAILS"),
+        speedup("BASE"),
+        speedup("SONIC"),
+        speedup("TAILS"),
     );
     println!(
         "Fig 7(c) energy savings:        {:.1}x vs SONIC, {:.1}x vs TAILS",
-        cmp.energy_saving_over("SONIC"),
-        cmp.energy_saving_over("TAILS"),
+        saving("SONIC"),
+        saving("TAILS"),
     );
-    if let Some(rep) = &cmp.get("ACE+FLEX").intermittent {
+    if let Some(rep) = cmp.get("ACE+FLEX").and_then(|r| r.intermittent.as_ref()) {
         println!(
             "Fig 7(b): ACE+FLEX finished with {} outages, {} on-demand checkpoints, \
              {:.2}% checkpoint overhead",

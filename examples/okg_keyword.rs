@@ -10,24 +10,26 @@
 //! cargo run --release -p ehdl --example okg_keyword
 //! ```
 
-use ehdl::ace::{reference, AceProgram, QuantizedModel};
+use ehdl::ace::{AceProgram, QuantizedModel};
 use ehdl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = ehdl::nn::zoo::okg();
     let data = ehdl::datasets::okg(60, 33);
-    let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
+    let deployment = Deployment::builder(&mut model, &data)
+        .strategy(Strategy::Bare)
+        .build()?;
 
-    // Component-wise energy of one inference (Fig 7(c) style).
-    let mut board = Board::msp430fr5994();
-    let program = ehdl::flex::strategies::ace_bare_program(&deployed.program);
-    let cost = ehdl::ehsim::run_continuous(&program, &mut board);
+    // Component-wise energy of one inference (Fig 7(c) style), from the
+    // session's cached continuous-power pricing run.
+    let mut session = deployment.session();
+    let cost = session.continuous_cost();
     println!(
         "OKG inference: {:.2} ms, {}\nenergy breakdown:",
         cost.cycles.as_millis(16e6),
         cost.energy
     );
-    for (component, energy) in board.meter().breakdown() {
+    for (component, energy) in session.continuous_meter().breakdown() {
         if energy.nanojoules() > 0.0 {
             println!("  {component:<12} {energy}");
         }
@@ -56,12 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One real classification to close the loop.
     let sample = &data.samples()[0];
-    let x = ehdl::pipeline::quantize_input(&sample.input);
-    let logits = reference::forward(&deployed.quantized, &x)?;
+    let outcome = session.infer(&sample.input)?;
     println!(
         "\nsample keyword: predicted class {} (label {})",
-        reference::argmax(&logits),
-        sample.label
+        outcome.prediction, sample.label
     );
     Ok(())
 }

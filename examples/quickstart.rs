@@ -28,33 +28,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         momentum: 0.9,
     })
     .train_pairs(&mut model, &pairs)?;
-    println!("trained to {:.1}% on synthetic HAR", 100.0 * trained.final_accuracy);
-
-    // 2. RAD: normalize intermediates into [-1, 1] and quantize to Q15.
-    let deployed = ehdl::pipeline::deploy(&mut model, &data)?;
     println!(
-        "deployed: {} bytes of FRAM, {} device ops ({} LEA, {} DMA)",
-        deployed.quantized.fram_bytes(),
-        deployed.program.len(),
-        deployed.program.lea_invocations(),
-        deployed.program.dma_transfers(),
+        "trained to {:.1}% on synthetic HAR",
+        100.0 * trained.final_accuracy
     );
 
-    // 3. ACE: one inference under continuous (bench) power.
+    // 2. RAD's deployment pass: every scenario axis is a builder
+    //    parameter — calibration recipe, target board, checkpoint
+    //    strategy.
+    let deployment = Deployment::builder(&mut model, &data)
+        .calibration(CalibrationConfig {
+            samples: 32,
+            percentile: 0.9,
+        })
+        .board(BoardSpec::Msp430Fr5994)
+        .strategy(Strategy::Flex)
+        .build()?;
+    println!(
+        "deployed: {} bytes of FRAM, {} device ops ({} LEA, {} DMA)",
+        deployment.quantized().fram_bytes(),
+        deployment.program().len(),
+        deployment.program().lea_invocations(),
+        deployment.program().dma_transfers(),
+    );
+
+    // 3. ACE: open a session (board + lowered program, built once) and
+    //    run one inference under continuous (bench) power.
+    let mut session = deployment.session();
     let sample = &data.samples()[0];
-    let outcome = ehdl::pipeline::infer_continuous(&deployed, &sample.input)?;
+    let outcome = session.infer(&sample.input)?;
     println!(
         "continuous: predicted class {} (label {}) — {}",
         outcome.prediction, sample.label, outcome
     );
 
-    // 4. FLEX: the same inference powered by a 4 mW square wave into a
-    //    100 µF capacitor — the paper's bench setup.
-    let report = ehdl::pipeline::infer_intermittent(&deployed)?;
+    // 4. FLEX: the same inference powered by the bench supply — a square
+    //    wave into a small storage capacitor.
+    let (harvester, capacitor) = ehdl::flex::compare::paper_supply();
+    let report = session.infer_intermittent(&PowerSupply::new(harvester, capacitor));
     println!(
         "intermittent: {} — {} outages, {:.2} ms active, {:.2} ms charging, \
          checkpoint overhead {:.2}%",
-        if report.completed() { "completed" } else { "FAILED" },
+        if report.completed() {
+            "completed"
+        } else {
+            "FAILED"
+        },
         report.outages,
         report.active_seconds * 1e3,
         report.charging_seconds * 1e3,
@@ -62,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Accuracy of the deployed (compressed + quantized) model.
-    let acc = ehdl::pipeline::quantized_accuracy(&deployed.quantized, &data)?;
+    let acc = session.accuracy(&data)?;
     println!("quantized accuracy on synthetic HAR: {:.1}%", 100.0 * acc);
 
     // Keep the prelude imports exercised.

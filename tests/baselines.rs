@@ -2,12 +2,20 @@
 //! 7(c) shapes, continuous power).
 
 use ehdl::ace::QuantizedModel;
-use ehdl::flex::compare::{compare, paper_supply};
+use ehdl::flex::compare::{compare, paper_supply, Comparison};
 
-fn comparison(model: ehdl::nn::Model) -> ehdl::flex::compare::Comparison {
+fn comparison(model: ehdl::nn::Model) -> Comparison {
     let q = QuantizedModel::from_model(&model).unwrap();
     let (h, c) = paper_supply();
     compare(&q, &h, &c, false).unwrap()
+}
+
+fn speedup(cmp: &Comparison, baseline: &str) -> f64 {
+    cmp.speedup_over(baseline).expect("baseline present")
+}
+
+fn energy_saving(cmp: &Comparison, baseline: &str) -> f64 {
+    cmp.energy_saving_over(baseline).expect("baseline present")
 }
 
 #[test]
@@ -21,18 +29,18 @@ fn fig7a_orderings_hold_on_all_models() {
         let cmp = comparison(model);
         // ACE+FLEX beats every baseline on latency.
         for baseline in ["BASE", "SONIC", "TAILS"] {
-            let s = cmp.speedup_over(baseline);
+            let s = speedup(&cmp, baseline);
             assert!(s > 1.0, "{name}: no speedup over {baseline} ({s})");
         }
         // SONIC is the slowest system (BASE does the same software work
         // without checkpoint writes).
         assert!(
-            cmp.speedup_over("SONIC") > cmp.speedup_over("BASE"),
+            speedup(&cmp, "SONIC") > speedup(&cmp, "BASE"),
             "{name}: SONIC should be slower than BASE"
         );
         // TAILS (accelerated) sits between SONIC and ACE+FLEX.
         assert!(
-            cmp.speedup_over("SONIC") > cmp.speedup_over("TAILS"),
+            speedup(&cmp, "SONIC") > speedup(&cmp, "TAILS"),
             "{name}: TAILS should beat SONIC"
         );
     }
@@ -51,14 +59,14 @@ fn fig7a_magnitudes_are_in_band() {
     // paper's numbers (the paper does not specify its baselines' FC
     // implementation). We therefore band-check MNIST tightly and only
     // lower-bound the FC-heavy models.
-    let mnist = comparison(ehdl::nn::zoo::mnist()).speedup_over("SONIC");
+    let mnist = speedup(&comparison(ehdl::nn::zoo::mnist()), "SONIC");
     assert!(
         (2.0..12.0).contains(&mnist),
         "mnist speedup {mnist} vs paper 4.0"
     );
-    let har = comparison(ehdl::nn::zoo::har()).speedup_over("SONIC");
+    let har = speedup(&comparison(ehdl::nn::zoo::har()), "SONIC");
     assert!(har > 5.7 / 2.0, "har speedup {har} vs paper 5.7");
-    let okg = comparison(ehdl::nn::zoo::okg()).speedup_over("SONIC");
+    let okg = speedup(&comparison(ehdl::nn::zoo::okg()), "SONIC");
     assert!(okg > 3.3 / 2.0, "okg speedup {okg} vs paper 3.3");
 }
 
@@ -76,7 +84,7 @@ fn fig7c_energy_savings_are_in_band() {
     for (model, paper_factor, upper) in cases {
         let name = model.name().to_string();
         let cmp = comparison(model);
-        let got = cmp.energy_saving_over("SONIC");
+        let got = energy_saving(&cmp, "SONIC");
         assert!(
             got > paper_factor / 3.0,
             "{name}: energy saving {got} vs paper {paper_factor}"
@@ -85,7 +93,7 @@ fn fig7c_energy_savings_are_in_band() {
             assert!(got < up, "{name}: energy saving {got} implausibly high");
         }
         assert!(
-            cmp.energy_saving_over("TAILS") < got,
+            energy_saving(&cmp, "TAILS") < got,
             "{name}: TAILS saving should be smaller than SONIC saving"
         );
     }
@@ -99,9 +107,9 @@ fn speedup_grows_with_fc_fraction() {
     // shows the same MNIST-vs-HAR ordering; its OKG column is smaller,
     // which no memory-feasible baseline cost model reproduces — see
     // EXPERIMENTS.md.
-    let mnist = comparison(ehdl::nn::zoo::mnist()).speedup_over("SONIC");
-    let har = comparison(ehdl::nn::zoo::har()).speedup_over("SONIC");
-    let okg = comparison(ehdl::nn::zoo::okg()).speedup_over("SONIC");
+    let mnist = speedup(&comparison(ehdl::nn::zoo::mnist()), "SONIC");
+    let har = speedup(&comparison(ehdl::nn::zoo::har()), "SONIC");
+    let okg = speedup(&comparison(ehdl::nn::zoo::okg()), "SONIC");
     assert!(mnist < har, "mnist {mnist} < har {har}");
     assert!(har < okg, "har {har} < okg {okg}");
 }
@@ -112,20 +120,18 @@ fn lea_energy_dominates_less_than_cpu_in_flex() {
     // strategy's energy is not CPU-dominated the way SONIC's is.
     use ehdl::device::Component;
     let cmp = comparison(ehdl::nn::zoo::mnist());
-    let flex = cmp.get("ACE+FLEX");
-    let sonic = cmp.get("SONIC");
+    let flex = cmp.expect("ACE+FLEX");
+    let sonic = cmp.expect("SONIC");
     let flex_cpu_share = flex.continuous_meter.energy_of(Component::Cpu).nanojoules()
         / flex.continuous_meter.total_energy().nanojoules();
-    let sonic_cpu_share = sonic.continuous_meter.energy_of(Component::Cpu).nanojoules()
+    let sonic_cpu_share = sonic
+        .continuous_meter
+        .energy_of(Component::Cpu)
+        .nanojoules()
         / sonic.continuous_meter.total_energy().nanojoules();
     assert!(
         flex_cpu_share < sonic_cpu_share,
         "flex cpu share {flex_cpu_share} vs sonic {sonic_cpu_share}"
     );
-    assert!(
-        flex.continuous_meter
-            .energy_of(Component::Lea)
-            .nanojoules()
-            > 0.0
-    );
+    assert!(flex.continuous_meter.energy_of(Component::Lea).nanojoules() > 0.0);
 }

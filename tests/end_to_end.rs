@@ -1,22 +1,23 @@
 //! End-to-end pipeline tests: RAD → ACE → FLEX on all three Table II
-//! workloads.
+//! workloads, through the `Deployment` builder and `DeviceSession` API.
 
 use ehdl::prelude::*;
 
-fn deploy_model(
-    model: fn() -> Model,
-    data: &Dataset,
-) -> ehdl::pipeline::DeployedModel {
+fn deploy_model(model: fn() -> Model, data: &Dataset) -> Deployment {
     let mut m = model();
-    ehdl::pipeline::deploy(&mut m, data).expect("deployment succeeds")
+    Deployment::builder(&mut m, data)
+        .build()
+        .expect("deployment succeeds")
 }
 
 #[test]
 fn mnist_pipeline_end_to_end() {
     let data = ehdl::datasets::mnist(40, 1);
-    let deployed = deploy_model(ehdl::nn::zoo::mnist, &data);
-    let outcome =
-        ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+    let deployment = deploy_model(ehdl::nn::zoo::mnist, &data);
+    let outcome = deployment
+        .session()
+        .infer(&data.samples()[0].input)
+        .unwrap();
     assert_eq!(outcome.logits.len(), 10);
     assert_eq!(outcome.overflow.saturations(), 0);
     assert!(outcome.cost.cycles.raw() > 100_000);
@@ -25,9 +26,11 @@ fn mnist_pipeline_end_to_end() {
 #[test]
 fn har_pipeline_end_to_end() {
     let data = ehdl::datasets::har(40, 2);
-    let deployed = deploy_model(ehdl::nn::zoo::har, &data);
-    let outcome =
-        ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+    let deployment = deploy_model(ehdl::nn::zoo::har, &data);
+    let outcome = deployment
+        .session()
+        .infer(&data.samples()[0].input)
+        .unwrap();
     assert_eq!(outcome.logits.len(), 6);
     assert_eq!(outcome.overflow.saturations(), 0);
 }
@@ -35,9 +38,11 @@ fn har_pipeline_end_to_end() {
 #[test]
 fn okg_pipeline_end_to_end() {
     let data = ehdl::datasets::okg(30, 3);
-    let deployed = deploy_model(ehdl::nn::zoo::okg, &data);
-    let outcome =
-        ehdl::pipeline::infer_continuous(&deployed, &data.samples()[0].input).unwrap();
+    let deployment = deploy_model(ehdl::nn::zoo::okg, &data);
+    let outcome = deployment
+        .session()
+        .infer(&data.samples()[0].input)
+        .unwrap();
     assert_eq!(outcome.logits.len(), 12);
     assert_eq!(outcome.overflow.saturations(), 0);
 }
@@ -48,10 +53,43 @@ fn quantized_model_is_deterministic() {
     let a = deploy_model(ehdl::nn::zoo::har, &data);
     let b = deploy_model(ehdl::nn::zoo::har, &data);
     let x = &data.samples()[5].input;
-    let oa = ehdl::pipeline::infer_continuous(&a, x).unwrap();
-    let ob = ehdl::pipeline::infer_continuous(&b, x).unwrap();
+    let oa = a.session().infer(x).unwrap();
+    let ob = b.session().infer(x).unwrap();
     assert_eq!(oa.logits, ob.logits);
     assert_eq!(oa.cost, ob.cost);
+}
+
+#[test]
+fn quantized_tracks_float_predictions() {
+    // A brief training pass gives predictions real margins; on a
+    // random-weight model most samples are near-ties where a 1-LSB
+    // quantization wiggle legitimately flips the argmax.
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(30, 12);
+    let pairs: Vec<(Tensor, usize)> = data
+        .samples()
+        .iter()
+        .map(|s| (s.input.clone(), s.label))
+        .collect();
+    ehdl::train::Trainer::new(ehdl::train::TrainConfig {
+        epochs: 5,
+        lr: 0.001,
+        momentum: 0.9,
+    })
+    .train_pairs(&mut model, &pairs)
+    .unwrap();
+    let deployment = Deployment::builder(&mut model, &data).build().unwrap();
+    let mut session = deployment.session();
+    let mut agree = 0;
+    for s in data.samples() {
+        let float_pred = model.forward(&s.input).unwrap().argmax();
+        let q_pred = session.infer(&s.input).unwrap().prediction;
+        if float_pred == q_pred {
+            agree += 1;
+        }
+    }
+    // Quantization may flip a few near-ties but not the bulk.
+    assert!(agree * 10 >= data.len() * 8, "{agree}/{}", data.len());
 }
 
 #[test]
@@ -74,11 +112,15 @@ fn trained_model_survives_deployment_with_accuracy() {
     })
     .train_pairs(&mut model, &pairs)
     .unwrap();
-    assert!(report.final_accuracy > 0.8, "train acc {}", report.final_accuracy);
+    assert!(
+        report.final_accuracy > 0.8,
+        "train acc {}",
+        report.final_accuracy
+    );
 
-    let float_acc = ehdl::pipeline::float_accuracy(&model, &test_set).unwrap();
-    let deployed = ehdl::pipeline::deploy(&mut model, &train_set).unwrap();
-    let q_acc = ehdl::pipeline::quantized_accuracy(&deployed.quantized, &test_set).unwrap();
+    let float_acc = ehdl::deployment::float_accuracy(&model, &test_set).unwrap();
+    let deployment = Deployment::builder(&mut model, &train_set).build().unwrap();
+    let q_acc = deployment.session().accuracy(&test_set).unwrap();
     assert!(
         q_acc >= float_acc - 0.15,
         "quantization dropped accuracy {float_acc} -> {q_acc}"
@@ -113,12 +155,10 @@ fn deployment_fits_fr5994_budgets() {
 #[test]
 fn normalized_models_never_saturate_on_dataset() {
     let data = ehdl::datasets::mnist(25, 6);
-    let deployed = deploy_model(ehdl::nn::zoo::mnist, &data);
-    let mut total = ehdl::fixed::OverflowStats::new();
-    for s in data.samples() {
-        let x = ehdl::pipeline::quantize_input(&s.input);
-        let _ = ehdl::ace::reference::forward_with_stats(&deployed.quantized, &x, &mut total)
-            .unwrap();
+    let deployment = deploy_model(ehdl::nn::zoo::mnist, &data);
+    let mut session = deployment.session();
+    let inputs: Vec<Tensor> = data.samples().iter().map(|s| s.input.clone()).collect();
+    for outcome in session.infer_batch(&inputs).unwrap() {
+        assert_eq!(outcome.overflow.saturations(), 0, "{}", outcome.overflow);
     }
-    assert_eq!(total.saturations(), 0, "{total}");
 }

@@ -5,29 +5,31 @@
 //! the FC-heavy HAR workload (smallest op stream) for the per-strategy
 //! sweeps and are still the slowest tests in the suite.
 
-use ehdl::ace::{AceProgram, QuantizedModel};
-use ehdl::flex::strategies;
 use ehdl::prelude::*;
 
-fn har_quantized() -> QuantizedModel {
-    QuantizedModel::from_model(&ehdl::nn::zoo::har()).unwrap()
+fn har_deployment(strategy: Strategy) -> Deployment {
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(32, 11);
+    Deployment::builder(&mut model, &data)
+        .strategy(strategy)
+        .build()
+        .unwrap()
 }
 
-fn paper_supply() -> PowerSupply {
+fn bench_supply() -> PowerSupply {
     let (h, c) = ehdl::flex::compare::paper_supply();
     PowerSupply::new(h, c)
 }
 
-fn run(program: &ehdl::ehsim::Program) -> RunReport {
-    let mut board = Board::msp430fr5994();
-    let mut supply = paper_supply();
-    IntermittentExecutor::default().run(program, &mut board, &mut supply)
+fn run(strategy: Strategy) -> RunReport {
+    har_deployment(strategy)
+        .session()
+        .infer_intermittent(&bench_supply())
 }
 
 #[test]
 fn base_starves_under_harvested_power() {
-    let q = har_quantized();
-    let report = run(&strategies::base_program(&q));
+    let report = run(Strategy::Base);
     assert!(!report.completed(), "{report}");
     assert!(report.wasted_ops > 0);
 }
@@ -35,33 +37,29 @@ fn base_starves_under_harvested_power() {
 #[test]
 fn bare_ace_starves_under_harvested_power() {
     // The second ✗ of Fig 7(b): acceleration alone does not survive.
-    let q = har_quantized();
-    let ace = AceProgram::compile(&q).unwrap();
-    let report = run(&strategies::ace_bare_program(&ace));
+    let report = run(Strategy::Bare);
     assert!(!report.completed(), "{report}");
 }
 
 #[test]
 fn sonic_tails_flex_all_complete() {
-    let q = har_quantized();
-    let ace = AceProgram::compile(&q).unwrap();
-    let programs = [
-        ("SONIC", strategies::sonic_program(&q)),
-        ("TAILS", strategies::tails_program(&q)),
-        ("ACE+FLEX", strategies::flex_program(&ace)),
-    ];
     let mut actives = Vec::new();
-    for (name, p) in &programs {
-        let report = run(p);
-        assert!(report.completed(), "{name}: {report}");
-        assert!(report.outages > 0, "{name} should see outages");
-        actives.push((*name, report.active_seconds));
+    for strategy in [Strategy::Sonic, Strategy::Tails, Strategy::Flex] {
+        assert!(strategy.survives_intermittence());
+        let report = run(strategy);
+        assert!(report.completed(), "{strategy}: {report}");
+        assert!(report.outages > 0, "{strategy} should see outages");
+        actives.push((strategy, report.active_seconds));
     }
     // ACE+FLEX has the lowest active (compute) time — Fig 7(b).
-    let flex = actives.iter().find(|(n, _)| *n == "ACE+FLEX").unwrap().1;
-    for (name, active) in &actives {
-        if *name != "ACE+FLEX" {
-            assert!(flex < *active, "{name} {active} vs flex {flex}");
+    let flex = actives
+        .iter()
+        .find(|(s, _)| *s == Strategy::Flex)
+        .unwrap()
+        .1;
+    for (strategy, active) in &actives {
+        if *strategy != Strategy::Flex {
+            assert!(flex < *active, "{strategy} {active} vs flex {flex}");
         }
     }
 }
@@ -71,13 +69,10 @@ fn flex_intermittent_latency_within_percent_of_continuous() {
     // §IV-A: "there is a negligible increase (1%-2%) in latency and
     // energy consumption, achieving almost similar latency and energy
     // as continuous power" — comparing *active* time.
-    let q = har_quantized();
-    let ace = AceProgram::compile(&q).unwrap();
-    let flex = strategies::flex_program(&ace);
-
-    let mut board = Board::msp430fr5994();
-    let continuous = ehdl::ehsim::run_continuous(&flex, &mut board);
-    let report = run(&flex);
+    let deployment = har_deployment(Strategy::Flex);
+    let mut session = deployment.session();
+    let continuous = session.continuous_cost();
+    let report = session.infer_intermittent(&bench_supply());
     assert!(report.completed());
 
     let cont_s = continuous.cycles.as_seconds(16e6);
@@ -92,9 +87,7 @@ fn flex_intermittent_latency_within_percent_of_continuous() {
 #[test]
 fn flex_checkpoint_overhead_is_percent_scale() {
     // §IV-A.5: total checkpoint/restore overhead ≈ 1%/1.25%/0.8%.
-    let q = har_quantized();
-    let ace = AceProgram::compile(&q).unwrap();
-    let report = run(&strategies::flex_program(&ace));
+    let report = run(Strategy::Flex);
     assert!(report.completed());
     let overhead = report.checkpoint_overhead();
     assert!(overhead < 0.10, "checkpoint overhead {overhead}");
@@ -106,8 +99,8 @@ fn flex_single_checkpoint_cost_below_margin() {
     // The voltage-monitor margin (warn 2.0 V → off 1.8 V on 100 µF,
     // ≈ 38 µJ) must cover the largest single checkpoint — the paper's
     // 0.033 mJ bound plays the same role.
-    let q = har_quantized();
-    let ace = AceProgram::compile(&q).unwrap();
+    let deployment = har_deployment(Strategy::Flex);
+    let ace = deployment.program();
     let max_live = ace.ops().iter().map(|t| t.live_words).max().unwrap() as u64;
     let board = Board::msp430fr5994();
     let cost = board.cost(&ehdl::device::DeviceOp::Checkpoint {
@@ -124,17 +117,14 @@ fn flex_single_checkpoint_cost_below_margin() {
 
 #[test]
 fn stronger_harvester_means_fewer_outages() {
-    let q = har_quantized();
-    let ace = AceProgram::compile(&q).unwrap();
-    let flex = strategies::flex_program(&ace);
-    let outages_at = |watts: f64| -> u64 {
-        let mut board = Board::msp430fr5994();
-        let mut supply = PowerSupply::new(
-            Harvester::square(watts, 0.05, 0.5),
-            Capacitor::paper_100uf(),
-        );
-        IntermittentExecutor::default()
-            .run(&flex, &mut board, &mut supply)
+    let deployment = har_deployment(Strategy::Flex);
+    let mut session = deployment.session();
+    let mut outages_at = |watts: f64| -> u64 {
+        session
+            .infer_intermittent(&PowerSupply::new(
+                Harvester::square(watts, 0.05, 0.5),
+                Capacitor::paper_100uf(),
+            ))
             .outages
     };
     assert!(outages_at(0.002) >= outages_at(0.008));
