@@ -1,6 +1,6 @@
 //! Microbench: quantization and the reference quantized forward pass
 //! (the golden-model cost per inference), plus the session hot loop vs
-//! the deprecated per-call pipeline.
+//! a per-call board/program rebuild.
 
 use ehdl::ace::{reference, QuantizedModel};
 use ehdl::compress::quantize::{quantize_slice, QuantParams};
@@ -33,7 +33,8 @@ fn main() {
     });
 
     // The session hot path: infer() with the board/program hoisted out
-    // of the loop, vs the deprecated shim that rebuilds both per call.
+    // of the loop, vs rebuilding the board and re-lowering the program
+    // on every call (what the removed legacy shims used to do).
     let mut model = ehdl::nn::zoo::har();
     let dataset = ehdl::datasets::har(8, 5);
     let deployment = Deployment::builder(&mut model, &dataset)
@@ -45,15 +46,14 @@ fn main() {
     bench("quantize/session_infer_har", || {
         session.infer(&input).expect("runs")
     });
-    #[allow(deprecated)]
-    {
-        let deployed = ehdl::pipeline::DeployedModel {
-            quantized: deployment.quantized().clone(),
-            program: deployment.program().clone(),
-            calibration: deployment.calibration().clone(),
-        };
-        bench("quantize/legacy_infer_continuous_har", || {
-            ehdl::pipeline::infer_continuous(&deployed, &input).expect("runs")
-        });
-    }
+    bench("quantize/per_call_rebuild_infer_har", || {
+        let x = ehdl::deployment::quantize_input(&input);
+        let mut overflow = ehdl::fixed::OverflowStats::new();
+        let logits =
+            reference::forward_with_stats(deployment.quantized(), &x, &mut overflow).expect("runs");
+        let mut board = Board::msp430fr5994();
+        let program = Strategy::Bare.lower(deployment.quantized(), deployment.program());
+        let cost = ehdl::ehsim::run_continuous(&program, &mut board);
+        (logits, cost)
+    });
 }

@@ -1,0 +1,65 @@
+//! Fleet-sweep scaling: the 48-scenario acceptance matrix (4
+//! environments × 6 strategies × 2 boards) at increasing worker counts,
+//! with the determinism check the engine guarantees.
+
+use ehdl::device::CostTable;
+use ehdl::ehsim::{catalog, ExecutorConfig};
+use ehdl::prelude::*;
+use ehdl_bench::section;
+use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+use std::time::Instant;
+
+fn main() {
+    section("fleet_sweep: 4 environments x 6 strategies x 2 boards");
+
+    let mut slow_cpu = CostTable::msp430fr5994();
+    slow_cpu.cpu_op_cycles *= 2;
+    let matrix = ScenarioMatrix::new()
+        .environments(catalog::all())
+        .strategies(Strategy::ALL.to_vec())
+        .boards(vec![BoardSpec::Msp430Fr5994, BoardSpec::Custom(slow_cpu)])
+        .workloads(vec![Workload::Har { samples: 8 }])
+        .runs(2)
+        .executor(ExecutorConfig {
+            stall_outages: 6,
+            ..ExecutorConfig::default()
+        });
+    println!(
+        "{} scenarios, {} intermittent runs\n",
+        matrix.len(),
+        matrix.len() * 2
+    );
+
+    // Sweep past the physical core count on small machines: the engine
+    // must stay deterministic even oversubscribed.
+    let max_workers = std::thread::available_parallelism()
+        .map_or(8, usize::from)
+        .max(8);
+    let mut baseline: Option<(f64, ehdl_fleet::FleetReport)> = None;
+    let mut workers = 1;
+    while workers <= max_workers {
+        let started = Instant::now();
+        let report = FleetRunner::new(workers).run(&matrix).expect("sweep runs");
+        let secs = started.elapsed().as_secs_f64();
+        match &baseline {
+            None => {
+                println!("{workers:>3} workers: {secs:>7.2} s  (baseline)");
+                baseline = Some((secs, report));
+            }
+            Some((serial_secs, serial_report)) => {
+                assert_eq!(
+                    serial_report, &report,
+                    "report must be worker-count independent"
+                );
+                println!(
+                    "{workers:>3} workers: {secs:>7.2} s  ({:.2}x, report identical)",
+                    serial_secs / secs
+                );
+            }
+        }
+        workers *= 2;
+    }
+
+    let (_, report) = baseline.expect("at least one sweep ran");
+    println!("\n{report}");
+}

@@ -17,6 +17,7 @@
 //! | `fig8_fc_blocksize` | Figure 8(a,b) |
 //! | `checkpoint_overhead` | §IV-A.5 |
 //! | `fig6_rollback_demo` | Figure 6 (mechanism) |
+//! | `fleet_sweep` | beyond the paper: scenario-matrix sweep scaling |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

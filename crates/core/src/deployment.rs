@@ -4,7 +4,7 @@
 //! The paper's experiments vary the model (Table II), the execution
 //! strategy (Figure 7: BASE / SONIC / TAILS / ACE / ACE+FLEX), the power
 //! supply, and implicitly the calibration recipe. The original free
-//! functions in [`pipeline`](crate::pipeline) hardcoded all but the
+//! functions (the since-removed `pipeline` shims) hardcoded all but the
 //! model; the builder makes each axis explicit:
 //!
 //! ```

@@ -57,6 +57,12 @@ impl From<ConfigError> for Error {
     }
 }
 
+impl From<ehdl_ehsim::TraceError> for Error {
+    fn from(e: ehdl_ehsim::TraceError) -> Self {
+        Error::Config(ConfigError::InvalidTrace(e))
+    }
+}
+
 /// An invalid [`Deployment`](crate::Deployment) configuration, caught at
 /// [`build`](crate::DeploymentBuilder::build) time rather than surfacing
 /// as a downstream arithmetic failure.
@@ -69,6 +75,9 @@ pub enum ConfigError {
     BadPercentile(f32),
     /// The calibration dataset has no samples to calibrate on.
     EmptyDataset,
+    /// A recorded power trace is malformed (empty, non-positive
+    /// durations, or negative power).
+    InvalidTrace(ehdl_ehsim::TraceError),
 }
 
 impl fmt::Display for ConfigError {
@@ -82,6 +91,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyDataset => {
                 write!(f, "cannot calibrate on an empty dataset")
+            }
+            ConfigError::InvalidTrace(e) => {
+                write!(f, "invalid recorded trace: {e}")
             }
         }
     }
@@ -105,5 +117,16 @@ mod tests {
         use std::error::Error as _;
         let e = Error::from(ConfigError::EmptyDataset);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn trace_errors_surface_as_config_errors() {
+        let trace_err = ehdl_ehsim::Harvester::try_trace(vec![]).unwrap_err();
+        let e = Error::from(trace_err);
+        assert!(matches!(
+            e,
+            Error::Config(ConfigError::InvalidTrace(ehdl_ehsim::TraceError::Empty))
+        ));
+        assert!(e.to_string().contains("invalid recorded trace"));
     }
 }

@@ -22,6 +22,12 @@
 //! | [`ace`] | `ehdl-ace` | ACE: quantized deploy, programs, Alg 1 |
 //! | [`flex`] | `ehdl-flex` | FLEX + BASE/SONIC/TAILS baselines |
 //!
+//! The `ehdl-fleet` crate builds *on top of* this facade (it is not
+//! re-exported here): a parallel scenario-sweep engine that fans
+//! [`Deployment`]s and [`DeviceSession`]s out across worker threads —
+//! both types are `Send`/`Sync` by contract, checked at compile time in
+//! [`session`].
+//!
 //! The high-level API lives in this crate: [`Deployment`] (RAD's
 //! deployment pass with every scenario axis — calibration, board,
 //! checkpoint strategy — as a builder parameter) and [`DeviceSession`]
@@ -77,7 +83,6 @@ pub use ehdl_train as train;
 
 pub mod deployment;
 mod error;
-pub mod pipeline;
 pub mod session;
 
 pub use deployment::{BoardSpec, CalibrationConfig, Deployment, DeploymentBuilder, Strategy};

@@ -191,6 +191,19 @@ impl<'d> DeviceSession<'d> {
     }
 }
 
+// Scenario-sweep engines (crates/fleet) share one built `Deployment`
+// across a worker pool and open a `DeviceSession` inside each worker
+// thread. These bounds are part of the public contract; losing them
+// (e.g. by adding an `Rc` or a raw pointer to either type) is a
+// compile-time error here rather than a breakage in downstream crates.
+const _: () = {
+    const fn deployments_are_shareable<T: Send + Sync>() {}
+    const fn sessions_are_sendable<T: Send>() {}
+    deployments_are_shareable::<Deployment>();
+    deployments_are_shareable::<Error>();
+    sessions_are_sendable::<DeviceSession<'static>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,99 @@
+//! Named energy environments: a harvester waveform plus the capacitor
+//! it charges, under one human-readable name.
+//!
+//! The paper evaluates exactly one environment (a function-generator
+//! square wave into a 100 µF capacitor). An [`Environment`] packages the
+//! same two pieces as a value so sweep engines can enumerate whole
+//! catalogs of power conditions — see [`catalog`](crate::catalog) for
+//! the curated set.
+
+use crate::{Capacitor, Harvester, PowerSupply};
+use core::fmt;
+
+/// A named power environment: harvester waveform + storage capacitor.
+///
+/// Environments are immutable templates; [`Environment::supply`] stamps
+/// out a fresh [`PowerSupply`] (capacitor at its boot voltage) for every
+/// run, so replays always start from the same state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    name: String,
+    harvester: Harvester,
+    capacitor: Capacitor,
+}
+
+impl Environment {
+    /// Packages a harvester and capacitor under a name.
+    pub fn new(name: impl Into<String>, harvester: Harvester, capacitor: Capacitor) -> Self {
+        Environment {
+            name: name.into(),
+            harvester,
+            capacitor,
+        }
+    }
+
+    /// The environment's name (catalog key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The harvester waveform.
+    pub fn harvester(&self) -> &Harvester {
+        &self.harvester
+    }
+
+    /// The storage capacitor template.
+    pub fn capacitor(&self) -> &Capacitor {
+        &self.capacitor
+    }
+
+    /// A fresh supply for one run: the harvester paired with a capacitor
+    /// reset to its configured boot state.
+    pub fn supply(&self) -> PowerSupply {
+        PowerSupply::new(self.harvester.clone(), self.capacitor.clone())
+    }
+
+    /// The same environment with its harvester randomness re-seeded (see
+    /// [`Harvester::with_seed`]); deterministic waveforms are unchanged.
+    #[must_use]
+    pub fn reseeded(&self, seed: u64) -> Self {
+        Environment {
+            name: self.name.clone(),
+            harvester: self.harvester.with_seed(seed),
+            capacitor: self.capacitor.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.harvester)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supply_starts_at_boot_voltage() {
+        let env = Environment::new("test", Harvester::constant(0.002), Capacitor::paper_100uf());
+        let supply = env.supply();
+        assert_eq!(supply.capacitor().volts(), supply.capacitor().v_on());
+        assert_eq!(env.name(), "test");
+        assert!(env.to_string().contains("test"));
+    }
+
+    #[test]
+    fn reseeding_keeps_name_and_capacitor() {
+        let env = Environment::new(
+            "rf",
+            Harvester::bursts(0.004, 0.01, 0.35, 7),
+            Capacitor::paper_100uf(),
+        );
+        let other = env.reseeded(8);
+        assert_eq!(other.name(), "rf");
+        assert_eq!(other.capacitor(), env.capacitor());
+        assert_ne!(other.harvester(), env.harvester());
+    }
+}

@@ -109,14 +109,56 @@ impl Harvester {
     ///
     /// # Panics
     ///
-    /// Panics if `segments` is empty or any duration is non-positive.
+    /// Panics if the segments are invalid; see [`Harvester::try_trace`]
+    /// for the non-panicking constructor and the validation rules.
     pub fn trace(segments: Vec<(f64, f64)>) -> Self {
-        assert!(!segments.is_empty(), "trace needs at least one segment");
-        assert!(
-            segments.iter().all(|&(d, _)| d > 0.0),
-            "segment durations must be positive"
-        );
-        Harvester::Trace { segments }
+        Self::try_trace(segments).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Piecewise-constant trace, cycled forever, validated on
+    /// construction: a trace must have at least one segment, every
+    /// duration must be positive and finite, and every power must be
+    /// non-negative (a recorded trace with NaNs, zero-length segments or
+    /// negative watts would otherwise silently cycle garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] found, in segment order.
+    pub fn try_trace(segments: Vec<(f64, f64)>) -> Result<Self, TraceError> {
+        if segments.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (index, &(duration_s, watts)) in segments.iter().enumerate() {
+            if !(duration_s > 0.0 && duration_s.is_finite()) {
+                return Err(TraceError::BadDuration { index, duration_s });
+            }
+            if !(watts >= 0.0 && watts.is_finite()) {
+                return Err(TraceError::BadPower { index, watts });
+            }
+        }
+        Ok(Harvester::Trace { segments })
+    }
+
+    /// The same waveform with its randomness re-seeded: replaces the
+    /// seed of a [`Harvester::Bursts`] source and leaves the
+    /// deterministic shapes untouched. Lets a sweep engine derive many
+    /// distinct-but-reproducible environments from one catalog entry.
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> Self {
+        match self {
+            Harvester::Bursts {
+                watts,
+                slot_s,
+                p_on,
+                ..
+            } => Harvester::Bursts {
+                watts: *watts,
+                slot_s: *slot_s,
+                p_on: *p_on,
+                seed,
+            },
+            other => other.clone(),
+        }
     }
 
     /// Instantaneous power at time `t` seconds.
@@ -310,6 +352,48 @@ fn square_on_time(t0: f64, dt: f64, period: f64, duty: f64) -> f64 {
     on
 }
 
+/// A malformed recorded power trace, rejected by
+/// [`Harvester::try_trace`] at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace has no segments.
+    Empty,
+    /// A segment's duration is non-positive or not finite.
+    BadDuration {
+        /// Index of the offending segment.
+        index: usize,
+        /// The rejected duration in seconds.
+        duration_s: f64,
+    },
+    /// A segment's power is negative or not finite.
+    BadPower {
+        /// Index of the offending segment.
+        index: usize,
+        /// The rejected power in watts.
+        watts: f64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace needs at least one segment"),
+            TraceError::BadDuration { index, duration_s } => write!(
+                f,
+                "trace segment {index} has non-positive or non-finite duration {duration_s} s"
+            ),
+            TraceError::BadPower { index, watts } => {
+                write!(
+                    f,
+                    "trace segment {index} has negative or non-finite power {watts} W"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// SplitMix64 — tiny counter-based hash for the burst source.
 fn split_mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -395,6 +479,50 @@ mod tests {
     #[should_panic(expected = "duty")]
     fn bad_duty_panics() {
         let _ = Harvester::square(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn try_trace_rejects_malformed_segments() {
+        assert_eq!(Harvester::try_trace(vec![]), Err(TraceError::Empty));
+        assert_eq!(
+            Harvester::try_trace(vec![(0.1, 0.001), (0.0, 0.002)]),
+            Err(TraceError::BadDuration {
+                index: 1,
+                duration_s: 0.0
+            })
+        );
+        assert!(matches!(
+            Harvester::try_trace(vec![(f64::NAN, 0.001)]),
+            Err(TraceError::BadDuration { index: 0, .. })
+        ));
+        assert_eq!(
+            Harvester::try_trace(vec![(0.1, -0.5)]),
+            Err(TraceError::BadPower {
+                index: 0,
+                watts: -0.5
+            })
+        );
+        assert!(matches!(
+            Harvester::try_trace(vec![(0.1, f64::INFINITY)]),
+            Err(TraceError::BadPower { index: 0, .. })
+        ));
+        assert!(Harvester::try_trace(vec![(0.1, 0.0), (0.2, 0.003)]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_trace_panics_through_infallible_constructor() {
+        let _ = Harvester::trace(vec![]);
+    }
+
+    #[test]
+    fn with_seed_reseeds_only_bursts() {
+        let b = Harvester::bursts(0.005, 0.01, 0.3, 1);
+        let reseeded = b.with_seed(2);
+        assert_eq!(reseeded, Harvester::bursts(0.005, 0.01, 0.3, 2));
+        assert_ne!(b, reseeded);
+        let sq = Harvester::square(0.004, 0.05, 0.5);
+        assert_eq!(sq.with_seed(99), sq);
     }
 
     #[test]

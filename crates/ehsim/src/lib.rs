@@ -9,6 +9,10 @@
 //! * [`Harvester`] — source waveforms: constant, square (the function
 //!   generator), sine, random bursts, and recorded traces,
 //! * [`PowerSupply`] — harvester + capacitor composition,
+//! * [`Environment`] — a *named* harvester + capacitor template, with a
+//!   curated [`catalog`] (`bench_supply`, `office_rf`, `solar_day`,
+//!   `piezo_gait`, recorded-trace [`replay`](catalog::replay)) for
+//!   scenario sweeps,
 //! * [`IntermittentExecutor`] — replays a [`Program`] of
 //!   [`DeviceOp`](ehdl_device::DeviceOp)s against the supply, killing
 //!   execution at brown-out, recharging to turn-on, and resuming from the
@@ -36,13 +40,16 @@
 #![warn(missing_docs)]
 
 mod capacitor;
+pub mod catalog;
+mod environment;
 mod executor;
 mod harvester;
 mod program;
 
 pub use capacitor::Capacitor;
+pub use environment::Environment;
 pub use executor::{ExecutorConfig, IntermittentExecutor, RunOutcome, RunReport};
-pub use harvester::Harvester;
+pub use harvester::{Harvester, TraceError};
 pub use program::{CheckpointSpec, Program, ProgramOp};
 
 use ehdl_device::{Board, Cost};

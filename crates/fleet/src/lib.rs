@@ -1,0 +1,45 @@
+//! # ehdl-fleet — the parallel scenario-sweep engine
+//!
+//! The paper evaluates intermittent DNN inference under a single
+//! function-generator waveform on one MSP430 board. This crate runs the
+//! *cross-product*: a [`Scenario`] names one (environment, strategy,
+//! board, workload, seed) tuple, a [`ScenarioMatrix`] expands whole
+//! grids of them, and a [`FleetRunner`] executes the grid across a fixed
+//! pool of `std::thread` workers — each scenario deploys through
+//! [`ehdl::Deployment`] and opens an [`ehdl::DeviceSession`] inside its
+//! worker (the session types are `Send`/`Sync` by contract).
+//!
+//! Aggregation is deterministic by construction: per-scenario folds run
+//! inside one worker in run order, the fleet fold walks scenarios in
+//! matrix order, and percentiles use the nearest-rank definition over
+//! sorted samples. Same matrix ⇒ equal [`FleetReport`] (and identical
+//! `Display` output) at any worker count.
+//!
+//! ```
+//! use ehdl::ehsim::catalog;
+//! use ehdl::Strategy;
+//! use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+//!
+//! let matrix = ScenarioMatrix::new()
+//!     .environments(vec![catalog::bench_supply(), catalog::piezo_gait()])
+//!     .strategies(vec![Strategy::Sonic, Strategy::Flex])
+//!     .workloads(vec![Workload::Har { samples: 4 }]);
+//! let report = FleetRunner::new(2).run(&matrix)?;
+//! assert_eq!(report.len(), 4);
+//! println!("{report}");
+//! # Ok::<(), ehdl::Error>(())
+//! ```
+//!
+//! The engine is dependency-free (std threads only) to keep the
+//! workspace's offline build.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod runner;
+mod scenario;
+
+pub use report::{percentile, FleetReport, ScenarioReport};
+pub use runner::FleetRunner;
+pub use scenario::{Scenario, ScenarioMatrix, Workload};

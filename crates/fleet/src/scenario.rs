@@ -1,0 +1,301 @@
+//! Scenario definition and the cross-product matrix builder.
+
+use ehdl::datasets::Dataset;
+use ehdl::ehsim::{catalog, Environment, ExecutorConfig};
+use ehdl::nn::Model;
+use ehdl::{BoardSpec, CalibrationConfig, Strategy};
+
+/// Which paper workload a scenario deploys: a Table II model together
+/// with a slice of its synthetic dataset substitute. The slice seed
+/// comes from the scenario, so one workload spans many data slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The MNIST LeNet-class model over `samples` synthetic digits.
+    Mnist {
+        /// Dataset-slice length.
+        samples: usize,
+    },
+    /// The UCI-HAR model over `samples` accelerometer windows.
+    Har {
+        /// Dataset-slice length.
+        samples: usize,
+    },
+    /// The Speech Commands (OKG) model over `samples` spectrograms.
+    Okg {
+        /// Dataset-slice length.
+        samples: usize,
+    },
+}
+
+impl Workload {
+    /// The workload's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mnist { .. } => "mnist",
+            Workload::Har { .. } => "har",
+            Workload::Okg { .. } => "okg",
+        }
+    }
+
+    /// A fresh float model for this workload.
+    pub fn model(self) -> Model {
+        match self {
+            Workload::Mnist { .. } => ehdl::nn::zoo::mnist(),
+            Workload::Har { .. } => ehdl::nn::zoo::har(),
+            Workload::Okg { .. } => ehdl::nn::zoo::okg(),
+        }
+    }
+
+    /// The dataset slice for this workload under the given seed.
+    pub fn dataset(self, seed: u64) -> Dataset {
+        match self {
+            Workload::Mnist { samples } => ehdl::datasets::mnist(samples, seed),
+            Workload::Har { samples } => ehdl::datasets::har(samples, seed),
+            Workload::Okg { samples } => ehdl::datasets::okg(samples, seed),
+        }
+    }
+}
+
+/// One point of the sweep: a (environment, strategy, board, workload,
+/// seed) tuple, expanded from a [`ScenarioMatrix`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in matrix order (the deterministic fold order).
+    pub index: usize,
+    /// The energy environment the session runs in.
+    pub environment: Environment,
+    /// The checkpoint/execution strategy.
+    pub strategy: Strategy,
+    /// The simulated board.
+    pub board: BoardSpec,
+    /// The model + dataset slice.
+    pub workload: Workload,
+    /// Seed for the dataset slice and the environment's randomness.
+    pub seed: u64,
+    /// Index of the shared deployment this scenario runs on — scenarios
+    /// that differ only in environment share one built deployment.
+    pub(crate) deployment_key: usize,
+}
+
+impl Scenario {
+    /// A stable human-readable name, unique within one matrix.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/{}/{}#{}",
+            self.workload.name(),
+            self.environment.name(),
+            self.strategy.name(),
+            self.board.name(),
+            self.seed
+        )
+    }
+}
+
+/// Builds the cross-product of scenario axes.
+///
+/// Defaults: the full environment [`catalog`], the FLEX strategy, the
+/// paper's board, a 16-sample HAR slice, seed 0, one intermittent run
+/// per scenario, and the default executor tunables. Every axis setter
+/// *replaces* its axis.
+///
+/// ```
+/// use ehdl::ehsim::catalog;
+/// use ehdl::Strategy;
+/// use ehdl_fleet::ScenarioMatrix;
+///
+/// let matrix = ScenarioMatrix::new()
+///     .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+///     .strategies(vec![Strategy::Sonic, Strategy::Flex]);
+/// assert_eq!(matrix.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    pub(crate) environments: Vec<Environment>,
+    pub(crate) strategies: Vec<Strategy>,
+    pub(crate) boards: Vec<BoardSpec>,
+    pub(crate) workloads: Vec<Workload>,
+    pub(crate) seeds: Vec<u64>,
+    pub(crate) runs: u32,
+    pub(crate) calibration: CalibrationConfig,
+    pub(crate) executor: ExecutorConfig,
+}
+
+impl Default for ScenarioMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioMatrix {
+    /// A matrix with the default axes (see the type docs).
+    pub fn new() -> Self {
+        ScenarioMatrix {
+            environments: catalog::all(),
+            strategies: vec![Strategy::Flex],
+            boards: vec![BoardSpec::Msp430Fr5994],
+            workloads: vec![Workload::Har { samples: 16 }],
+            seeds: vec![0],
+            runs: 1,
+            calibration: CalibrationConfig::default(),
+            executor: ExecutorConfig::default(),
+        }
+    }
+
+    /// Replaces the environment axis.
+    pub fn environments(mut self, environments: Vec<Environment>) -> Self {
+        self.environments = environments;
+        self
+    }
+
+    /// Replaces the strategy axis.
+    pub fn strategies(mut self, strategies: Vec<Strategy>) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// Replaces the board axis.
+    pub fn boards(mut self, boards: Vec<BoardSpec>) -> Self {
+        self.boards = boards;
+        self
+    }
+
+    /// Replaces the workload axis.
+    pub fn workloads(mut self, workloads: Vec<Workload>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Replaces the seed axis.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Intermittent runs per scenario (default 1). Each run re-seeds the
+    /// environment's randomness, so stochastic environments vary per run.
+    pub fn runs(mut self, runs: u32) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// The calibration recipe shared by every deployment in the matrix.
+    pub fn calibration(mut self, calibration: CalibrationConfig) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// The executor tunables shared by every intermittent run.
+    pub fn executor(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Number of scenarios the matrix expands to.
+    pub fn len(&self) -> usize {
+        self.environments.len()
+            * self.strategies.len()
+            * self.boards.len()
+            * self.workloads.len()
+            * self.seeds.len()
+    }
+
+    /// `true` if any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cross-product in a fixed order: workload, board,
+    /// strategy, seed, environment (innermost). Scenarios sharing a
+    /// (workload, board, strategy, seed) prefix share a deployment key,
+    /// so the runner builds each deployment once and reuses it across
+    /// every environment.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut key = 0usize;
+        for &workload in &self.workloads {
+            for board in &self.boards {
+                for &strategy in &self.strategies {
+                    for &seed in &self.seeds {
+                        for environment in &self.environments {
+                            out.push(Scenario {
+                                index: out.len(),
+                                environment: environment.clone(),
+                                strategy,
+                                board: board.clone(),
+                                workload,
+                                seed,
+                                deployment_key: key,
+                            });
+                        }
+                        key += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_expands_full_cross_product_in_order() {
+        let m = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+            .strategies(vec![Strategy::Base, Strategy::Flex])
+            .boards(vec![BoardSpec::Msp430Fr5994])
+            .seeds(vec![1, 2]);
+        assert_eq!(m.len(), 8);
+        let s = m.scenarios();
+        assert_eq!(s.len(), 8);
+        // Indices are dense and in order; environments innermost.
+        for (i, sc) in s.iter().enumerate() {
+            assert_eq!(sc.index, i);
+        }
+        assert_eq!(s[0].environment.name(), "bench_supply");
+        assert_eq!(s[1].environment.name(), "office_rf");
+        // Adjacent environments share a deployment key.
+        assert_eq!(s[0].deployment_key, s[1].deployment_key);
+        assert_ne!(s[1].deployment_key, s[2].deployment_key);
+        // Seed changes the key (the dataset slice differs).
+        assert_eq!(s[2].seed, 2);
+        // Keys are dense: first occurrence of key k is at scenario 2k.
+        let max_key = s.iter().map(|sc| sc.deployment_key).max().unwrap();
+        assert_eq!(max_key, 3);
+    }
+
+    #[test]
+    fn empty_axis_empties_the_matrix() {
+        let m = ScenarioMatrix::new().environments(vec![]);
+        assert!(m.is_empty());
+        assert!(m.scenarios().is_empty());
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let m = ScenarioMatrix::new()
+            .strategies(Strategy::ALL.to_vec())
+            .seeds(vec![0, 7]);
+        let s = m.scenarios();
+        let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn workload_metadata_matches_datasets() {
+        for (w, classes) in [
+            (Workload::Mnist { samples: 4 }, 10),
+            (Workload::Har { samples: 4 }, 6),
+            (Workload::Okg { samples: 4 }, 12),
+        ] {
+            let data = w.dataset(3);
+            assert_eq!(data.len(), 4);
+            assert_eq!(data.classes(), classes);
+            assert!(!w.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fleet sweep: run one workload across the whole environment catalog
+//! and every checkpoint strategy, in parallel, and print the
+//! deterministic fleet report.
+//!
+//! ```text
+//! cargo run --release --example fleet_sweep
+//! ```
+
+use ehdl::ehsim::{catalog, ExecutorConfig};
+use ehdl::prelude::*;
+use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+
+fn main() -> Result<(), ehdl::Error> {
+    let matrix = ScenarioMatrix::new()
+        .environments(catalog::all())
+        .strategies(Strategy::ALL.to_vec())
+        .workloads(vec![Workload::Har { samples: 8 }])
+        .runs(2)
+        .executor(ExecutorConfig {
+            // Declare the ✗ for checkpoint-free strategies after a few
+            // fruitless reboots instead of the full stall budget.
+            stall_outages: 6,
+            ..ExecutorConfig::default()
+        });
+
+    let workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(4);
+    println!(
+        "sweeping {} scenarios × {} runs on {} workers...",
+        matrix.len(),
+        2,
+        workers
+    );
+
+    let started = std::time::Instant::now();
+    let report = FleetRunner::new(workers).run(&matrix)?;
+    println!("{report}");
+    println!(
+        "swept {} scenarios in {:.2} s ({} reboots simulated)",
+        report.len(),
+        started.elapsed().as_secs_f64(),
+        report.total_outages()
+    );
+
+    // The report is a pure function of the matrix: a single-worker
+    // re-run folds to the identical result.
+    let serial = FleetRunner::new(1).run(&matrix)?;
+    assert_eq!(
+        serial, report,
+        "fleet reports must be worker-count independent"
+    );
+    println!("verified: 1-worker re-run folds to the identical report");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Fleet determinism: the same `ScenarioMatrix` must fold to an equal
+//! `FleetReport` at any worker count — the acceptance bar for the sweep
+//! engine (4 environments × 6 strategies × 2 boards = 48 scenarios).
+
+use ehdl::device::CostTable;
+use ehdl::ehsim::{catalog, ExecutorConfig};
+use ehdl::prelude::*;
+use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+
+/// The full acceptance matrix: every catalog environment, every
+/// strategy, the paper board plus a 2× slower CPU ablation board.
+fn acceptance_matrix() -> ScenarioMatrix {
+    let mut slow_cpu = CostTable::msp430fr5994();
+    slow_cpu.cpu_op_cycles *= 2;
+    ScenarioMatrix::new()
+        .environments(catalog::all())
+        .strategies(Strategy::ALL.to_vec())
+        .boards(vec![BoardSpec::Msp430Fr5994, BoardSpec::Custom(slow_cpu)])
+        .workloads(vec![Workload::Har { samples: 6 }])
+        .executor(ExecutorConfig {
+            // BASE and bare ACE stall forever in harvested environments;
+            // declare the ✗ after a few fruitless reboots to keep the
+            // 48-scenario sweep fast.
+            stall_outages: 6,
+            ..ExecutorConfig::default()
+        })
+}
+
+#[test]
+fn fleet_report_is_identical_across_worker_counts() {
+    let matrix = acceptance_matrix();
+    assert_eq!(matrix.len(), 4 * 6 * 2);
+
+    let one = FleetRunner::new(1).run(&matrix).unwrap();
+    let two = FleetRunner::new(2).run(&matrix).unwrap();
+    let eight = FleetRunner::new(8).run(&matrix).unwrap();
+
+    assert_eq!(one.len(), 48);
+    // Deterministic fold: equal reports and byte-identical rendering.
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+    assert_eq!(one.to_string(), eight.to_string());
+}
+
+#[test]
+fn fleet_results_match_paper_expectations() {
+    let report = FleetRunner::new(8).run(&acceptance_matrix()).unwrap();
+
+    for s in &report.scenarios {
+        // The bench supply never browns out: everything completes there,
+        // even the checkpoint-free baselines.
+        if s.environment == "bench_supply" {
+            assert_eq!(s.completed_runs, s.runs, "{}", s.name);
+            assert_eq!(s.outages, 0, "{}", s.name);
+        }
+        // Strategies that persist no progress must never finish in a
+        // harvested environment (Figure 7(b)'s ✗ columns), while FLEX
+        // completes everywhere.
+        if s.environment != "bench_supply" {
+            match s.strategy {
+                Strategy::Base | Strategy::Bare => {
+                    assert_eq!(s.completed_runs, 0, "{}", s.name);
+                    assert!(s.outages > 0, "{}", s.name);
+                }
+                Strategy::Flex => {
+                    assert_eq!(s.completed_runs, s.runs, "{}", s.name);
+                }
+                _ => {}
+            }
+        }
+        // Accuracy comes from the shared deployment: identical for every
+        // environment of the same (workload, board, strategy, seed).
+        assert!((0.0..=1.0).contains(&s.accuracy), "{}", s.name);
+    }
+
+    // Completed latencies feed the percentile pipeline.
+    assert!(report.completed_runs() > 0);
+    let p50 = report.latency_percentile_ms(50.0);
+    let p99 = report.latency_percentile_ms(99.0);
+    assert!(p50 > 0.0 && p99 >= p50);
+}
+
+#[test]
+fn deployment_sharing_gives_equal_accuracy_across_environments() {
+    let matrix = ScenarioMatrix::new()
+        .environments(catalog::all())
+        .strategies(vec![Strategy::Flex])
+        .workloads(vec![Workload::Har { samples: 8 }]);
+    let report = FleetRunner::new(4).run(&matrix).unwrap();
+    assert_eq!(report.len(), 4);
+    let acc = report.scenarios[0].accuracy;
+    for s in &report.scenarios {
+        assert_eq!(s.accuracy, acc, "{}", s.name);
+    }
+}
