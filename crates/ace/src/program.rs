@@ -88,6 +88,10 @@ pub struct TaggedOp {
 pub struct AceProgram {
     name: String,
     ops: Vec<TaggedOp>,
+    /// LEA/DMA totals, counted once at compile time so summary queries
+    /// and `Display` never re-scan the op stream.
+    lea_invocations: usize,
+    dma_transfers: usize,
 }
 
 impl AceProgram {
@@ -114,10 +118,10 @@ impl AceProgram {
         };
         for (i, layer) in model.layers().iter().enumerate() {
             b.layer = i as u16;
-            let in_shape = model.layer_input_shape(i).to_vec();
+            let in_shape = model.layer_input_shape(i);
             match layer {
-                QLayer::Conv2d(c) => b.emit_conv(c, &in_shape),
-                QLayer::MaxPool2d { size } => b.emit_maxpool(&in_shape, *size),
+                QLayer::Conv2d(c) => b.emit_conv(c, in_shape),
+                QLayer::MaxPool2d { size } => b.emit_maxpool(in_shape, *size),
                 QLayer::Relu => b.emit_relu(in_shape.iter().product()),
                 QLayer::Flatten => b.emit_flatten(),
                 QLayer::Dense(d) => b.emit_dense(d),
@@ -126,9 +130,21 @@ impl AceProgram {
             }
             b.mark_layer_end();
         }
+        let lea_invocations = b
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, DeviceOp::Lea(_)))
+            .count();
+        let dma_transfers = b
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, DeviceOp::DmaTransfer { .. }))
+            .count();
         Ok(AceProgram {
             name: format!("{}-ace", model.name()),
             ops: b.ops,
+            lea_invocations,
+            dma_transfers,
         })
     }
 
@@ -152,20 +168,14 @@ impl AceProgram {
         self.ops.is_empty()
     }
 
-    /// Number of LEA commands issued.
+    /// Number of LEA commands issued (counted once at compile time).
     pub fn lea_invocations(&self) -> usize {
-        self.ops
-            .iter()
-            .filter(|t| matches!(t.op, DeviceOp::Lea(_)))
-            .count()
+        self.lea_invocations
     }
 
-    /// Number of DMA transfers issued.
+    /// Number of DMA transfers issued (counted once at compile time).
     pub fn dma_transfers(&self) -> usize {
-        self.ops
-            .iter()
-            .filter(|t| matches!(t.op, DeviceOp::DmaTransfer { .. }))
-            .count()
+        self.dma_transfers
     }
 
     /// Ops belonging to layer `i`.

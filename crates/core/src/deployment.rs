@@ -29,10 +29,11 @@ use ehdl_ace::{reference, AceProgram, QuantizedModel};
 use ehdl_compress::normalize::{self, Calibration};
 use ehdl_datasets::Dataset;
 use ehdl_device::{Board, CostTable, VoltageMonitor};
-use ehdl_ehsim::Program;
+use ehdl_ehsim::{ExecutionPlan, Program};
 use ehdl_fixed::Q15;
 use ehdl_flex::strategies;
 use ehdl_nn::{Model, Tensor};
+use std::sync::Arc;
 
 /// How RAD calibrates intermediate ranges before quantization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -217,16 +218,36 @@ impl Deployment {
         }
     }
 
-    /// Opens a session: instantiates the board and lowers the strategy
-    /// program **once**, so per-inference calls on the session do not
-    /// re-allocate either.
+    /// Opens a session: instantiates the board, lowers the strategy
+    /// program and compiles its costed [`ExecutionPlan`] **once**, so
+    /// per-inference calls on the session re-price nothing.
     pub fn session(&self) -> DeviceSession<'_> {
+        self.session_with_plan(Arc::new(self.compile_plan()))
+    }
+
+    /// Opens a session running a pre-compiled, shared [`ExecutionPlan`]
+    /// — the fleet-sweep fast path, where one plan per (workload, board,
+    /// strategy) is reused across every environment, seed and worker.
+    ///
+    /// `plan` must have been compiled from a deployment with this
+    /// deployment's board spec, strategy and model architecture (e.g. by
+    /// [`compile_plan`](Self::compile_plan) on any seed-variant of it);
+    /// the plan's cost arrays are board- and program-derived, never
+    /// data-derived, so seed-variants share bit-identical plans.
+    pub fn session_with_plan(&self, plan: Arc<ExecutionPlan>) -> DeviceSession<'_> {
         let mut board = self.board_spec.board();
         if let Some(monitor) = self.monitor {
             board.set_monitor(monitor);
         }
+        DeviceSession::new(self, board, plan)
+    }
+
+    /// Lowers the strategy program and prices it against this
+    /// deployment's board into a reusable [`ExecutionPlan`].
+    pub fn compile_plan(&self) -> ExecutionPlan {
+        let board = self.board_spec.board();
         let lowered = self.strategy.lower(&self.quantized, &self.program);
-        DeviceSession::new(self, board, lowered)
+        ExecutionPlan::compile(lowered, &board)
     }
 
     /// The quantized (device) model.

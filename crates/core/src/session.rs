@@ -1,22 +1,24 @@
-//! [`DeviceSession`]: a live board + lowered strategy program, reused
+//! [`DeviceSession`]: a live board + compiled execution plan, reused
 //! across inferences.
 //!
 //! The legacy free functions rebuilt a fresh [`Board`] and re-lowered
 //! the strategy program on **every** call — measurable waste when a
-//! caller loops over a dataset. A session hoists both out of the hot
-//! loop: the board and the lowered [`Program`] are built once when the
-//! session opens, and the continuous-power cost of the program (which
-//! depends only on the program and the board, never on the input data)
-//! is simulated once and cached.
+//! caller loops over a dataset. A session hoists everything
+//! data-independent out of the hot loop: the board and the costed
+//! [`ExecutionPlan`] (the lowered strategy [`Program`] priced once
+//! against the board) are built when the session opens, so intermittent
+//! replays run the plan's flat cost arrays with no per-op pricing, and
+//! continuous-power pricing is a compile-time fold over the same plan.
 
 use crate::deployment::{quantize_input, Deployment, Strategy};
 use crate::error::Error;
 use ehdl_ace::reference;
 use ehdl_datasets::Dataset;
 use ehdl_device::{Board, Cost, EnergyMeter};
-use ehdl_ehsim::{run_continuous, IntermittentExecutor, PowerSupply, Program, RunReport};
+use ehdl_ehsim::{ExecutionPlan, IntermittentExecutor, PowerSupply, Program, RunReport, RunTrace};
 use ehdl_fixed::{OverflowStats, Q15};
 use ehdl_nn::Tensor;
+use std::sync::Arc;
 
 /// One inference result on the simulated device.
 #[derive(Debug, Clone)]
@@ -65,20 +67,18 @@ impl core::fmt::Display for InferenceOutcome {
 pub struct DeviceSession<'d> {
     deployment: &'d Deployment,
     board: Board,
-    program: Program,
-    /// Continuous-power pricing, run once on a dedicated board so the
-    /// session [`board`](Self::board)'s meter only ever reflects the
-    /// intermittent runs the caller asked for.
-    continuous: Option<(Cost, EnergyMeter)>,
+    /// The lowered strategy program priced once against the board —
+    /// shared (possibly across many sessions) behind an `Arc` so fleet
+    /// sweeps compile it once per (workload, board, strategy).
+    plan: Arc<ExecutionPlan>,
 }
 
 impl<'d> DeviceSession<'d> {
-    pub(crate) fn new(deployment: &'d Deployment, board: Board, program: Program) -> Self {
+    pub(crate) fn new(deployment: &'d Deployment, board: Board, plan: Arc<ExecutionPlan>) -> Self {
         DeviceSession {
             deployment,
             board,
-            program,
-            continuous: None,
+            plan,
         }
     }
 
@@ -102,7 +102,20 @@ impl<'d> DeviceSession<'d> {
 
     /// The lowered device program executed by this session.
     pub fn program(&self) -> &Program {
-        &self.program
+        self.plan.program()
+    }
+
+    /// The compiled execution plan the session replays: the program
+    /// priced once against the board into flat per-op cost arrays.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// A cheap handle to the session's plan, for opening further
+    /// sessions over the same (workload, board, strategy) without
+    /// recompiling (see [`Deployment::session_with_plan`]).
+    pub fn plan_handle(&self) -> Arc<ExecutionPlan> {
+        Arc::clone(&self.plan)
     }
 
     /// Runs one inference under continuous power: bit-exact reference
@@ -147,13 +160,53 @@ impl<'d> DeviceSession<'d> {
     }
 
     /// [`infer_intermittent`](Self::infer_intermittent) with a custom
-    /// executor and a caller-owned supply (drained in place).
+    /// executor and a caller-owned supply (drained in place). Replays
+    /// the session's compiled plan — no per-op pricing.
     pub fn infer_intermittent_with(
         &mut self,
         executor: &IntermittentExecutor,
         supply: &mut PowerSupply,
     ) -> RunReport {
-        executor.run(&self.program, &mut self.board, supply)
+        executor.run_plan(&self.plan, &mut self.board, supply)
+    }
+
+    /// [`infer_intermittent_with`](Self::infer_intermittent_with),
+    /// additionally recording the run as a [`RunTrace`]. When the supply
+    /// is deterministic (its harvester is a pure function of time), the
+    /// trace replays the run bit-identically via
+    /// [`infer_intermittent_replay`](Self::infer_intermittent_replay) —
+    /// the fleet engine's run-deduplication fast path.
+    pub fn infer_intermittent_traced(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+    ) -> (RunReport, RunTrace) {
+        executor.run_plan_traced(&self.plan, &mut self.board, supply)
+    }
+
+    /// Replays a [`RunTrace`] recorded from this session's plan under a
+    /// deterministic supply and the same executor configuration: the
+    /// board's meter and clock advance exactly as a live run would, and
+    /// the returned report is bit-identical to one.
+    pub fn infer_intermittent_replay(
+        &mut self,
+        executor: &IntermittentExecutor,
+        trace: &RunTrace,
+    ) -> RunReport {
+        executor.replay_trace(&self.plan, trace, &mut self.board)
+    }
+
+    /// Reference-path twin of
+    /// [`infer_intermittent_with`](Self::infer_intermittent_with): runs
+    /// the session's program through the retained op-by-op interpreter
+    /// instead of the compiled plan. Slower by design; parity suites
+    /// diff the two paths, which must agree bit for bit.
+    pub fn infer_intermittent_reference(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+    ) -> RunReport {
+        executor.run_unplanned(self.plan.program(), &mut self.board, supply)
     }
 
     /// Quantized-model accuracy over a dataset (Table II "Accuracy"
@@ -167,27 +220,19 @@ impl<'d> DeviceSession<'d> {
         crate::deployment::quantized_accuracy(self.deployment.quantized(), data)
     }
 
-    /// The continuous-power cost of the session's program, simulated
-    /// once on a dedicated pricing board and cached (the cost model is
-    /// data-independent, so one run prices every inference).
-    pub fn continuous_cost(&mut self) -> Cost {
-        self.price_continuous().0
+    /// The continuous-power cost of the session's program — a fold the
+    /// execution plan computed at compile time (the cost model is
+    /// data-independent, so one pricing pass serves every inference).
+    /// The session [`board`](Self::board)'s meter is never involved.
+    pub fn continuous_cost(&self) -> Cost {
+        self.plan.continuous_cost()
     }
 
     /// Per-component energy of one continuous-power inference (the
-    /// Figure 7(c) breakdown), from the same cached pricing run as
+    /// Figure 7(c) breakdown), from the same compile-time fold as
     /// [`continuous_cost`](Self::continuous_cost).
-    pub fn continuous_meter(&mut self) -> &EnergyMeter {
-        &self.price_continuous().1
-    }
-
-    fn price_continuous(&mut self) -> &(Cost, EnergyMeter) {
-        if self.continuous.is_none() {
-            let mut board = self.deployment.board_spec().board();
-            let cost = run_continuous(&self.program, &mut board);
-            self.continuous = Some((cost, board.meter().clone()));
-        }
-        self.continuous.as_ref().expect("just priced")
+    pub fn continuous_meter(&self) -> &EnergyMeter {
+        self.plan.continuous_meter()
     }
 }
 
@@ -281,6 +326,48 @@ mod tests {
         assert!(a.completed() && b.completed());
         assert_eq!(a.outages, b.outages);
         assert_eq!(a.executed_ops, b.executed_ops);
+    }
+
+    #[test]
+    fn shared_plan_sessions_match_freshly_compiled_ones() {
+        let (d, _) = har_session_parts();
+        let supply = PowerSupply::new(
+            Harvester::square(0.002, 0.05, 0.5),
+            Capacitor::new(15e-6, 3.3, 3.0, 1.8),
+        );
+        let mut own = d.session();
+        let mut shared = d.session_with_plan(own.plan_handle());
+        let a = own.infer_intermittent(&supply);
+        let b = shared.infer_intermittent(&supply);
+        assert_eq!(a, b);
+        assert_eq!(own.continuous_cost(), shared.continuous_cost());
+    }
+
+    #[test]
+    fn planned_and_reference_paths_agree() {
+        let (d, _) = har_session_parts();
+        let exec = IntermittentExecutor::default();
+        let supply = PowerSupply::new(
+            Harvester::square(0.002, 0.05, 0.5),
+            Capacitor::new(15e-6, 3.3, 3.0, 1.8),
+        );
+        let mut planned = d.session();
+        let mut reference = d.session();
+        let mut sa = supply.clone();
+        let mut sb = supply;
+        let a = planned.infer_intermittent_with(&exec, &mut sa);
+        let b = reference.infer_intermittent_reference(&exec, &mut sb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn continuous_fold_matches_replaying_the_program() {
+        let (d, _) = har_session_parts();
+        let session = d.session();
+        let mut pricing = d.board_spec().board();
+        let cost = ehdl_ehsim::run_continuous(session.program(), &mut pricing);
+        assert_eq!(session.continuous_cost(), cost);
+        assert_eq!(session.continuous_meter(), pricing.meter());
     }
 
     #[test]

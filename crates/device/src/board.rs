@@ -208,11 +208,31 @@ impl Board {
 
     /// Prices an op without executing it.
     pub fn cost(&self, op: &DeviceOp) -> Cost {
-        let (cycles, energy_nj, _component) = self.breakdown(op);
-        Cost {
-            cycles: Cycles::new(cycles),
-            energy: Energy::from_nanojoules(energy_nj),
-        }
+        self.cost_with_component(op).0
+    }
+
+    /// Prices an op without executing it and reports which hardware
+    /// [`Component`] the cost is metered against — the query execution
+    /// plans use to pre-resolve an op stream into flat cost arrays.
+    pub fn cost_with_component(&self, op: &DeviceOp) -> (Cost, Component) {
+        let (cycles, energy_nj, component) = self.breakdown(op);
+        (
+            Cost {
+                cycles: Cycles::new(cycles),
+                energy: Energy::from_nanojoules(energy_nj),
+            },
+            component,
+        )
+    }
+
+    /// Meters a pre-priced cost against `component` and advances the
+    /// clock — the execution-plan fast path. Equivalent to
+    /// [`Board::execute`] when `cost` and `component` were obtained from
+    /// [`Board::cost_with_component`] for the same op on this board.
+    #[inline]
+    pub fn apply_cost(&mut self, component: Component, cost: Cost) {
+        self.meter.record(component, cost.cycles, cost.energy);
+        self.elapsed += cost.cycles;
     }
 
     /// Executes an op: advances the clock and meters the energy.
@@ -429,5 +449,26 @@ mod tests {
         let priced = b.cost(&op);
         let charged = b.execute(&op);
         assert_eq!(priced, charged);
+    }
+
+    #[test]
+    fn apply_cost_equals_execute() {
+        // Pre-pricing an op and applying it must leave the board in the
+        // exact state execute() would: same meter bins, same clock.
+        let op = DeviceOp::DmaTransfer {
+            from: MemoryKind::Fram,
+            to: MemoryKind::Sram,
+            words: 128,
+        };
+        let mut executed = Board::msp430fr5994();
+        executed.execute(&op);
+
+        let mut applied = Board::msp430fr5994();
+        let (cost, component) = applied.cost_with_component(&op);
+        assert_eq!(component, Component::Dma);
+        applied.apply_cost(component, cost);
+
+        assert_eq!(executed.meter(), applied.meter());
+        assert_eq!(executed.elapsed_cycles(), applied.elapsed_cycles());
     }
 }

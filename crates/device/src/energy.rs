@@ -247,6 +247,21 @@ impl Component {
         Component::Sram,
         Component::Checkpoint,
     ];
+
+    /// The component's stable position in [`Component::ALL`] — the index
+    /// meters and compiled execution plans use for per-component arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Component::Cpu => 0,
+            Component::Lea => 1,
+            Component::Dma => 2,
+            Component::FramRead => 3,
+            Component::FramWrite => 4,
+            Component::Sram => 5,
+            Component::Checkpoint => 6,
+        }
+    }
 }
 
 impl fmt::Display for Component {
@@ -288,11 +303,9 @@ impl EnergyMeter {
         EnergyMeter::default()
     }
 
+    #[inline]
     fn idx(c: Component) -> usize {
-        Component::ALL
-            .iter()
-            .position(|&x| x == c)
-            .expect("known component")
+        c.index()
     }
 
     /// Adds a cost sample for a component.
@@ -430,6 +443,13 @@ mod tests {
     fn breakdown_covers_all_components() {
         let m = EnergyMeter::new();
         assert_eq!(m.breakdown().len(), Component::ALL.len());
+    }
+
+    #[test]
+    fn component_index_matches_all_order() {
+        for (i, &c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c}");
+        }
     }
 
     #[test]

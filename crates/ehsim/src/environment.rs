@@ -53,6 +53,14 @@ impl Environment {
         PowerSupply::new(self.harvester.clone(), self.capacitor.clone())
     }
 
+    /// `true` if the harvester carries re-seedable randomness; `false`
+    /// means every run under this environment replays one deterministic
+    /// trajectory (see [`Harvester::is_stochastic`]), which sweep
+    /// engines exploit by executing it once and replaying the trace.
+    pub fn is_stochastic(&self) -> bool {
+        self.harvester.is_stochastic()
+    }
+
     /// The same environment with its harvester randomness re-seeded (see
     /// [`Harvester::with_seed`]); deterministic waveforms are unchanged.
     #[must_use]

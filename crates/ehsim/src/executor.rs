@@ -1,9 +1,10 @@
 //! The intermittent executor: programs vs. the capacitor.
 
+use crate::plan::ExecutionPlan;
 use crate::program::Program;
 use crate::PowerSupply;
 use core::fmt;
-use ehdl_device::{Board, Component, Cycles, DeviceOp, Energy, EnergyMeter};
+use ehdl_device::{Board, Component, Cost, Cycles, DeviceOp, Energy, EnergyMeter};
 
 /// Tunables for an intermittent run.
 #[derive(Debug, Clone, PartialEq)]
@@ -167,9 +168,335 @@ impl IntermittentExecutor {
 
     /// Runs `program` on `board` powered by `supply`.
     ///
+    /// Compiles a throwaway [`ExecutionPlan`] and replays it — identical
+    /// results to the op-by-op interpreter, priced once up front. Callers
+    /// replaying the same program many times should compile the plan
+    /// themselves (or hold a `DeviceSession`, which does) and call
+    /// [`run_plan`](Self::run_plan) to amortize the pricing pass.
+    ///
     /// The board's meter keeps accumulating across calls; use
     /// [`Board::reset_clock`] between runs for isolated measurements.
     pub fn run(&self, program: &Program, board: &mut Board, supply: &mut PowerSupply) -> RunReport {
+        let plan = ExecutionPlan::compile(program.clone(), board);
+        self.run_plan(&plan, board, supply)
+    }
+
+    /// Replays a compiled [`ExecutionPlan`] on `board` powered by
+    /// `supply`.
+    ///
+    /// The inner loop touches only the plan's flat cost arrays and the
+    /// capacitor: no cost-table lookups, no `DeviceOp` dispatch, and runs
+    /// of non-commit, non-ondemand ops execute in a coalesced segment
+    /// loop with no per-op flag checks. Results are bit-identical to
+    /// [`run_unplanned`](Self::run_unplanned) on the same inputs.
+    ///
+    /// The plan must have been compiled against a board with the same
+    /// cost table as `board` (checked against the clock in debug builds).
+    pub fn run_plan(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+    ) -> RunReport {
+        self.run_plan_inner(plan, board, supply, &mut NoTrace)
+    }
+
+    /// [`run_plan`](Self::run_plan), additionally recording the ordered
+    /// sequence of applied costs as a [`RunTrace`].
+    ///
+    /// Against a *deterministic* supply (any harvester whose output is a
+    /// pure function of time — everything except a re-seeded burst
+    /// source), a run is a pure function of (plan, supply): replaying
+    /// the trace with [`replay_trace`](Self::replay_trace) reproduces
+    /// the run bit for bit at a fraction of the cost. Fleet sweeps use
+    /// this to execute each (plan, environment) trajectory once and
+    /// replay it across every seed, run and worker.
+    pub fn run_plan_traced(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+    ) -> (RunReport, RunTrace) {
+        let mut recorder = TraceRecorder {
+            steps: Vec::with_capacity(plan.len() + plan.len() / 8),
+            op_count: plan.len() as u32,
+        };
+        let report = self.run_plan_inner(plan, board, supply, &mut recorder);
+        let trace = RunTrace {
+            steps: recorder.steps,
+            op_count: plan.len() as u32,
+            checkpoint_count: plan.checkpoints.len() as u32,
+            template: report.clone(),
+        };
+        (report, trace)
+    }
+
+    /// Replays a recorded [`RunTrace`] on `board`: applies the exact
+    /// sequence of per-op meter records the original run performed (so
+    /// the board's meter and clock advance bit-identically) and returns
+    /// the report that run would produce on this board.
+    ///
+    /// Valid only when the run being replaced is deterministic — same
+    /// plan, an identical supply whose harvester is a pure function of
+    /// time, and the same executor configuration as the recording run.
+    /// The capacitor dynamics are not re-simulated; the caller owns the
+    /// supply and must treat it as consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` was recorded from a plan of a different shape
+    /// (op or checkpoint count mismatch) — decoding its steps against
+    /// this plan would silently meter garbage.
+    pub fn replay_trace(
+        &self,
+        plan: &ExecutionPlan,
+        trace: &RunTrace,
+        board: &mut Board,
+    ) -> RunReport {
+        assert_eq!(
+            (trace.op_count as usize, trace.checkpoint_count as usize),
+            (plan.len(), plan.checkpoints.len()),
+            "trace was recorded from a differently shaped plan"
+        );
+        let n = plan.len() as u32;
+        let meter_before = board.meter().clone();
+        for &step in &trace.steps {
+            let (component, cost) = if step < n {
+                let i = step as usize;
+                (
+                    plan.component[i],
+                    Cost {
+                        cycles: Cycles::new(plan.cycles[i]),
+                        energy: Energy::from_nanojoules(plan.energy_nj[i]),
+                    },
+                )
+            } else if step == n {
+                (Component::Checkpoint, plan.restore_cost().cost())
+            } else {
+                let slot = (step - n - 1) as usize;
+                (Component::Checkpoint, plan.checkpoints[slot].cost())
+            };
+            board.apply_cost(component, cost);
+        }
+        // The dynamics (outcome, timing, op counts) are cached; the
+        // meter share is re-derived against this board's prior tallies,
+        // exactly as a live run would compute it.
+        let meter = diff_meters(board.meter(), &meter_before);
+        let mut report = trace.template.clone();
+        report.energy = meter.total_energy();
+        report.checkpoint_energy = meter.energy_of(Component::Checkpoint);
+        report.meter = meter;
+        report
+    }
+
+    fn run_plan_inner<S: StepSink>(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        sink: &mut S,
+    ) -> RunReport {
+        debug_assert_eq!(
+            plan.clock_hz(),
+            board.costs().clock_hz,
+            "plan compiled for a different board clock"
+        );
+        let clock = plan.clock_hz();
+        let monitor = board.monitor();
+        let n = plan.len();
+        let max_wall = self.config.max_wall_seconds;
+
+        // Slices bound once: the hot loop reads only these.
+        let durations = &plan.duration_s[..n];
+        let needs = &plan.need_j[..n];
+        let cycles_of = &plan.cycles[..n];
+        let energy_of = &plan.energy_nj[..n];
+        let component_of = &plan.component[..n];
+
+        let meter_before = board.meter().clone();
+        let mut t = 0.0f64;
+        let mut i = 0usize;
+        let mut committed = 0usize;
+        let mut outages = 0u64;
+        let mut wasted = 0u64;
+        let mut executed = 0u64;
+        let mut ondemand = 0u64;
+        let mut restores = 0u64;
+        let mut active_cycles = 0u64;
+        let mut charging_s = 0.0f64;
+        let mut committed_at_last_outage = usize::MAX;
+        let mut stall = 0u64;
+
+        let (harvester, capacitor) = supply.parts_mut();
+
+        let outcome = 'run: loop {
+            if i >= n {
+                break 'run RunOutcome::Completed;
+            }
+            if t > max_wall {
+                break 'run RunOutcome::TimeLimit;
+            }
+
+            // On-demand (voltage-triggered) checkpoint before op i.
+            if let Some(slot) = plan.ondemand_slot(i) {
+                let ck = &plan.checkpoints[slot as usize];
+                if committed < i && monitor.warns(capacitor.volts()) {
+                    let harvested = harvester.energy_over(t, ck.duration_s);
+                    capacitor.charge_joules(harvested);
+                    if capacitor.usable_joules() >= ck.need_j {
+                        // Checkpoint committed atomically (double-buffered
+                        // in FRAM): progress up to i is now durable.
+                        capacitor.drain_joules(ck.need_j);
+                        board.apply_cost(Component::Checkpoint, ck.cost());
+                        sink.checkpoint(slot);
+                        t += ck.duration_s;
+                        active_cycles += ck.cycles;
+                        committed = i;
+                        ondemand += 1;
+                        executed += 1;
+                    } else {
+                        // Dies partway through; the previous checkpoint
+                        // still stands. Fall through and let the op
+                        // attempt trigger the outage path.
+                        t += ck.duration_s;
+                    }
+                }
+            }
+
+            // Attempt op i, then stream through its trailing segment of
+            // plain (non-commit, non-ondemand) ops without re-checking
+            // flags. `failed` routes both exits into the outage path.
+            let mut failed = false;
+
+            let dt = durations[i];
+            let harvested = harvester.energy_over(t, dt);
+            capacitor.charge_joules(harvested);
+            if capacitor.usable_joules() < needs[i] {
+                t += dt;
+                failed = true;
+            } else {
+                capacitor.drain_joules(needs[i]);
+                board.apply_cost(
+                    component_of[i],
+                    Cost {
+                        cycles: Cycles::new(cycles_of[i]),
+                        energy: Energy::from_nanojoules(energy_of[i]),
+                    },
+                );
+                sink.op(i as u32);
+                t += dt;
+                active_cycles += cycles_of[i];
+                executed += 1;
+                if plan.commits(i) {
+                    committed = i + 1;
+                }
+                i += 1;
+
+                // ---- coalesced segment of plain ops ----
+                let end = plan.plain_run_end(i);
+                while i < end {
+                    if t > max_wall {
+                        break 'run RunOutcome::TimeLimit;
+                    }
+                    let dt = durations[i];
+                    let harvested = harvester.energy_over(t, dt);
+                    capacitor.charge_joules(harvested);
+                    if capacitor.usable_joules() < needs[i] {
+                        t += dt;
+                        failed = true;
+                        break;
+                    }
+                    capacitor.drain_joules(needs[i]);
+                    board.apply_cost(
+                        component_of[i],
+                        Cost {
+                            cycles: Cycles::new(cycles_of[i]),
+                            energy: Energy::from_nanojoules(energy_of[i]),
+                        },
+                    );
+                    sink.op(i as u32);
+                    t += dt;
+                    active_cycles += cycles_of[i];
+                    executed += 1;
+                    i += 1;
+                }
+            }
+            if !failed {
+                continue 'run;
+            }
+
+            // ---- power failure ----
+            outages += 1;
+            wasted += (i - committed) as u64;
+            capacitor.collapse_to_off();
+
+            if committed == committed_at_last_outage {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            committed_at_last_outage = committed;
+            if stall >= self.config.stall_outages {
+                break 'run RunOutcome::NoProgress;
+            }
+            if outages >= self.config.max_outages {
+                break 'run RunOutcome::OutageLimit;
+            }
+
+            // ---- dark charging phase ----
+            let step = self.config.charge_step_s;
+            while !capacitor.can_boot() {
+                let harvested = harvester.energy_over(t, step);
+                capacitor.charge_joules(harvested);
+                t += step;
+                charging_s += step;
+                if t > max_wall {
+                    break 'run RunOutcome::TimeLimit;
+                }
+            }
+
+            // ---- restore ----
+            // Freshly booted at v_on: the restore always fits.
+            let restore = plan.restore_cost();
+            board.apply_cost(Component::Checkpoint, restore.cost());
+            sink.restore();
+            capacitor.drain_joules(restore.need_j);
+            t += restore.duration_s;
+            active_cycles += restore.cycles;
+            restores += 1;
+            i = committed;
+        };
+
+        // Report only this run's share.
+        let meter = diff_meters(board.meter(), &meter_before);
+
+        RunReport {
+            outcome,
+            outages,
+            ondemand_checkpoints: ondemand,
+            restores,
+            executed_ops: executed,
+            wasted_ops: wasted,
+            active_cycles: Cycles::new(active_cycles),
+            active_seconds: active_cycles as f64 / clock,
+            charging_seconds: charging_s,
+            wall_seconds: t,
+            energy: meter.total_energy(),
+            checkpoint_energy: meter.energy_of(Component::Checkpoint),
+            meter,
+        }
+    }
+
+    /// Runs `program` op by op, pricing every op against the board as it
+    /// goes — the original interpreter, retained as the reference
+    /// implementation that parity suites diff [`run_plan`](Self::run_plan)
+    /// against. Prefer [`run`](Self::run): same results, priced once.
+    pub fn run_unplanned(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+    ) -> RunReport {
         let clock = board.costs().clock_hz;
         let monitor = board.monitor();
         let ops = program.ops();
@@ -271,11 +598,8 @@ impl IntermittentExecutor {
             i = committed;
         };
 
-        let mut meter = board.meter().clone();
         // Report only this run's share.
-        let mut before_neg = EnergyMeter::new();
-        before_neg.merge(&meter_before);
-        meter = diff_meters(&meter, &before_neg);
+        let meter = diff_meters(board.meter(), &meter_before);
 
         RunReport {
             outcome,
@@ -324,12 +648,92 @@ impl IntermittentExecutor {
     }
 }
 
-/// `a - b`, component-wise, assuming `a` extends `b`.
+/// The ordered cost-application sequence of one run (ops, on-demand
+/// checkpoints, restores) plus the report it produced — everything
+/// needed to replay a *deterministic* run bit-identically without
+/// re-simulating the capacitor. Produced by
+/// [`IntermittentExecutor::run_plan_traced`], consumed by
+/// [`IntermittentExecutor::replay_trace`].
+///
+/// Steps are encoded against the plan the trace was recorded from:
+/// `0..len` are plan op indices, `len` is a restore, and `len + 1 + k`
+/// is the plan's `k`-th deduplicated on-demand checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    steps: Vec<u32>,
+    /// Shape of the plan the trace was recorded from; replays against a
+    /// differently shaped plan are rejected rather than decoded wrong.
+    op_count: u32,
+    checkpoint_count: u32,
+    template: RunReport,
+}
+
+impl RunTrace {
+    /// Number of applied costs (executed ops + checkpoints + restores).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the run applied no costs at all.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The report the recording run produced (its meter share reflects
+    /// the recording board; replays re-derive theirs).
+    pub fn report(&self) -> &RunReport {
+        &self.template
+    }
+}
+
+/// Recording hook threaded through the plan executor's inner loop.
+/// [`NoTrace`] is a zero-sized no-op the optimizer erases, so the
+/// untraced path pays nothing.
+trait StepSink {
+    fn op(&mut self, i: u32);
+    fn checkpoint(&mut self, slot: u32);
+    fn restore(&mut self);
+}
+
+struct NoTrace;
+
+impl StepSink for NoTrace {
+    #[inline(always)]
+    fn op(&mut self, _i: u32) {}
+    #[inline(always)]
+    fn checkpoint(&mut self, _slot: u32) {}
+    #[inline(always)]
+    fn restore(&mut self) {}
+}
+
+struct TraceRecorder {
+    steps: Vec<u32>,
+    op_count: u32,
+}
+
+impl StepSink for TraceRecorder {
+    #[inline]
+    fn op(&mut self, i: u32) {
+        self.steps.push(i);
+    }
+    #[inline]
+    fn checkpoint(&mut self, slot: u32) {
+        self.steps.push(self.op_count + 1 + slot);
+    }
+    #[inline]
+    fn restore(&mut self) {
+        self.steps.push(self.op_count);
+    }
+}
+
+/// `a - b`, component-wise, assuming `a` extends `b`. Both energy and
+/// cycles subtract saturating, so a caller passing meters from different
+/// boards gets clamped zeros instead of nonsense.
 fn diff_meters(a: &EnergyMeter, b: &EnergyMeter) -> EnergyMeter {
     let mut out = EnergyMeter::new();
     for &c in Component::ALL.iter() {
         let e = a.energy_of(c).saturating_sub(b.energy_of(c));
-        let cy = a.cycles_of(c) - b.cycles_of(c);
+        let cy = Cycles::new(a.cycles_of(c).raw().saturating_sub(b.cycles_of(c).raw()));
         out.record(c, cy, e);
     }
     out
@@ -486,6 +890,140 @@ mod tests {
         let r = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
         assert!(r.completed());
         assert_eq!(r.executed_ops, 0);
+    }
+
+    #[test]
+    fn planned_run_matches_reference_interpreter() {
+        // Same program, same supply: the plan-driven loop and the
+        // op-by-op interpreter must agree bit for bit, including the
+        // outage/rollback dynamics a weak supply forces.
+        let mut p = Program::new("mixed");
+        for k in 0..800usize {
+            let spec = match k % 7 {
+                0 => CheckpointSpec::COMMIT,
+                1 | 2 => CheckpointSpec::ondemand(32),
+                _ => CheckpointSpec::NONE,
+            };
+            p.push(DeviceOp::CpuOps { count: 8_000 }, spec);
+        }
+        let exec = IntermittentExecutor::default();
+        for supply in [bench_supply(), weak_supply()] {
+            let mut board_a = Board::msp430fr5994();
+            let mut board_b = Board::msp430fr5994();
+            let mut supply_a = supply.clone();
+            let mut supply_b = supply;
+            let planned = exec.run(&p, &mut board_a, &mut supply_a);
+            let reference = exec.run_unplanned(&p, &mut board_b, &mut supply_b);
+            assert_eq!(planned, reference);
+            assert_eq!(board_a.meter(), board_b.meter());
+            assert_eq!(board_a.elapsed_cycles(), board_b.elapsed_cycles());
+        }
+    }
+
+    #[test]
+    fn planned_run_parity_holds_across_sequential_runs() {
+        // Second run on the same board starts from a nonzero meter; the
+        // report diff must still match the reference bit for bit.
+        let p = cpu_heavy_program(300, 10_000, CheckpointSpec::COMMIT);
+        let exec = IntermittentExecutor::default();
+        let mut board_a = Board::msp430fr5994();
+        let mut board_b = Board::msp430fr5994();
+        for _ in 0..2 {
+            let mut sa = weak_supply();
+            let mut sb = weak_supply();
+            let planned = exec.run(&p, &mut board_a, &mut sa);
+            let reference = exec.run_unplanned(&p, &mut board_b, &mut sb);
+            assert_eq!(planned, reference);
+        }
+    }
+
+    #[test]
+    fn trace_replay_is_bit_identical_for_deterministic_supplies() {
+        // Record against a weak (but deterministic) square wave, then
+        // replay: reports and board state must match a live run exactly,
+        // including on boards whose meters already hold prior runs.
+        let mut p = Program::new("mixed");
+        for k in 0..600usize {
+            let spec = match k % 5 {
+                0 => CheckpointSpec::COMMIT,
+                1 => CheckpointSpec::ondemand(32),
+                _ => CheckpointSpec::NONE,
+            };
+            p.push(DeviceOp::CpuOps { count: 9_000 }, spec);
+        }
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+
+        let mut recording_board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let (recorded, trace) = exec.run_plan_traced(&plan, &mut recording_board, &mut supply);
+        assert_eq!(&recorded, trace.report());
+        assert!(recorded.outages > 0, "want outage coverage in the trace");
+
+        let mut live_board = Board::msp430fr5994();
+        let mut replay_board = Board::msp430fr5994();
+        for _ in 0..3 {
+            let mut live_supply = weak_supply();
+            let live = exec.run_plan(&plan, &mut live_board, &mut live_supply);
+            let replayed = exec.replay_trace(&plan, &trace, &mut replay_board);
+            assert_eq!(live, replayed);
+        }
+        assert_eq!(live_board.meter(), replay_board.meter());
+        assert_eq!(live_board.elapsed_cycles(), replay_board.elapsed_cycles());
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_run() {
+        let p = cpu_heavy_program(400, 10_000, CheckpointSpec::COMMIT);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+        let mut board_a = Board::msp430fr5994();
+        let mut supply_a = weak_supply();
+        let plain = exec.run_plan(&plan, &mut board_a, &mut supply_a);
+        let mut board_b = Board::msp430fr5994();
+        let mut supply_b = weak_supply();
+        let (traced, trace) = exec.run_plan_traced(&plan, &mut board_b, &mut supply_b);
+        assert_eq!(plain, traced);
+        // Every executed op, checkpoint and restore left a step.
+        assert_eq!(
+            trace.len() as u64,
+            traced.executed_ops + traced.restores,
+            "commit-only program: steps = ops + restores"
+        );
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "differently shaped plan")]
+    fn replaying_a_trace_against_the_wrong_plan_panics() {
+        let board = Board::msp430fr5994();
+        let recorded_plan =
+            ExecutionPlan::compile(cpu_heavy_program(50, 1_000, CheckpointSpec::COMMIT), &board);
+        let other_plan =
+            ExecutionPlan::compile(cpu_heavy_program(60, 1_000, CheckpointSpec::COMMIT), &board);
+        let exec = IntermittentExecutor::default();
+        let mut b = Board::msp430fr5994();
+        let mut supply = bench_supply();
+        let (_, trace) = exec.run_plan_traced(&recorded_plan, &mut b, &mut supply);
+        let _ = exec.replay_trace(&other_plan, &trace, &mut b);
+    }
+
+    #[test]
+    fn run_plan_reuses_one_compilation() {
+        let p = cpu_heavy_program(200, 10_000, CheckpointSpec::COMMIT);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+        let mut board_a = Board::msp430fr5994();
+        let mut supply_a = weak_supply();
+        let a = exec.run_plan(&plan, &mut board_a, &mut supply_a);
+        let mut board_b = Board::msp430fr5994();
+        let mut supply_b = weak_supply();
+        let b = exec.run_plan(&plan, &mut board_b, &mut supply_b);
+        assert_eq!(a, b);
+        assert!(a.completed());
     }
 
     #[test]

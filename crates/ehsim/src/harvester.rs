@@ -161,6 +161,14 @@ impl Harvester {
         }
     }
 
+    /// `true` for waveforms with re-seedable randomness (the burst
+    /// source). Non-stochastic waveforms are pure functions of time —
+    /// [`with_seed`](Self::with_seed) leaves them untouched — so any run
+    /// driven by one is deterministic and can be trace-replayed.
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, Harvester::Bursts { .. })
+    }
+
     /// Instantaneous power at time `t` seconds.
     pub fn power_at(&self, t: f64) -> f64 {
         match self {

@@ -44,12 +44,14 @@ pub mod catalog;
 mod environment;
 mod executor;
 mod harvester;
+mod plan;
 mod program;
 
 pub use capacitor::Capacitor;
 pub use environment::Environment;
-pub use executor::{ExecutorConfig, IntermittentExecutor, RunOutcome, RunReport};
+pub use executor::{ExecutorConfig, IntermittentExecutor, RunOutcome, RunReport, RunTrace};
 pub use harvester::{Harvester, TraceError};
+pub use plan::{ExecutionPlan, PlannedCost};
 pub use program::{CheckpointSpec, Program, ProgramOp};
 
 use ehdl_device::{Board, Cost};
@@ -83,6 +85,13 @@ impl PowerSupply {
     /// Mutable capacitor access (used by the executor).
     pub fn capacitor_mut(&mut self) -> &mut Capacitor {
         &mut self.capacitor
+    }
+
+    /// Splits the supply into its harvester (read-only) and capacitor
+    /// (mutable) halves, so an executor loop can integrate harvest and
+    /// drain charge without re-borrowing the supply per op.
+    pub fn parts_mut(&mut self) -> (&Harvester, &mut Capacitor) {
+        (&self.harvester, &mut self.capacitor)
     }
 }
 

@@ -41,5 +41,5 @@ mod runner;
 mod scenario;
 
 pub use report::{percentile, FleetReport, ScenarioReport};
-pub use runner::FleetRunner;
+pub use runner::{mix, FleetRunner};
 pub use scenario::{Scenario, ScenarioMatrix, Workload};

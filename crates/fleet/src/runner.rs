@@ -1,12 +1,17 @@
 //! The fixed-pool executor that sweeps a [`ScenarioMatrix`].
 
 use crate::report::{FleetReport, ScenarioReport};
-use crate::scenario::{Scenario, ScenarioMatrix};
+use crate::scenario::{Scenario, ScenarioMatrix, Workload};
 use ehdl::deployment::quantized_accuracy;
-use ehdl::ehsim::IntermittentExecutor;
-use ehdl::{Deployment, Error};
+use ehdl::ehsim::{ExecutionPlan, IntermittentExecutor, RunTrace};
+use ehdl::{BoardSpec, Deployment, Error, Strategy};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// Lazily recorded trace of the one trajectory a deterministic
+/// (plan, environment) pair can take. `None` until some worker records
+/// it; every later run of the pair replays it bit-identically.
+type TraceSlot = Mutex<Option<Arc<RunTrace>>>;
 
 /// Executes a [`ScenarioMatrix`] across a fixed pool of worker threads.
 ///
@@ -16,9 +21,26 @@ use std::sync::Mutex;
 /// fleet fold walks scenarios in matrix order, which makes the report a
 /// pure function of the matrix: same matrix ⇒ equal [`FleetReport`],
 /// whether 1 or 64 workers ran it.
+///
+/// Besides sharing each built [`Deployment`] across environments, the
+/// runner compiles one costed [`ExecutionPlan`] per (workload, board,
+/// strategy) — op costs are program- and board-derived, never data- or
+/// environment-derived — and shares it (via `Arc`) across every
+/// environment, seed and worker, so a 10k-scenario sweep prices each
+/// distinct program exactly once.
+///
+/// Deterministic environments (every catalog entry except the burst
+/// sources) go one step further: an intermittent run is a pure function
+/// of (plan, environment) — it never reads input data — so the runner
+/// records the trajectory once as a [`RunTrace`] and replays it for
+/// every other seed, run and worker of that pair. Replays are
+/// bit-identical to live runs by construction (the per-op meter records
+/// are re-applied in order against each board's own tallies), which is
+/// what keeps the report worker-count-independent.
 #[derive(Debug, Clone)]
 pub struct FleetRunner {
     workers: usize,
+    reference: bool,
 }
 
 impl FleetRunner {
@@ -26,7 +48,18 @@ impl FleetRunner {
     pub fn new(workers: usize) -> Self {
         FleetRunner {
             workers: workers.max(1),
+            reference: false,
         }
+    }
+
+    /// Routes every intermittent run through the retained op-by-op
+    /// reference interpreter instead of the compiled execution plans,
+    /// with a freshly lowered program per scenario — the pre-plan
+    /// executor, kept so parity suites can diff the two paths over a
+    /// whole matrix. Slow by design; not for production sweeps.
+    pub fn reference_executor(mut self, reference: bool) -> Self {
+        self.reference = reference;
+        self
     }
 
     /// The pool size.
@@ -67,6 +100,35 @@ impl FleetRunner {
             }
         }
 
+        // One execution plan per (workload, board, strategy), shared
+        // across seeds too: the lowered op stream and its costs depend
+        // on the model architecture and the cost table, not on the
+        // calibration data, so seed-variant deployments compile
+        // bit-identical plans. `plan_of[k]` maps a deployment key to its
+        // shared plan.
+        let mut plan_keys: Vec<(Workload, BoardSpec, Strategy)> = Vec::new();
+        let mut plans: Vec<Arc<ExecutionPlan>> = Vec::new();
+        let mut plan_of: Vec<usize> = Vec::with_capacity(deployments.len());
+        for scenario in &scenarios {
+            if scenario.deployment_key == plan_of.len() {
+                let key = (scenario.workload, scenario.board.clone(), scenario.strategy);
+                let slot = plan_keys.iter().position(|k| *k == key).unwrap_or_else(|| {
+                    let deployment = &deployments[scenario.deployment_key].0;
+                    plans.push(Arc::new(deployment.compile_plan()));
+                    plan_keys.push(key);
+                    plans.len() - 1
+                });
+                plan_of.push(slot);
+            }
+        }
+
+        // One trace slot per (plan, environment) pair; only pairs with a
+        // deterministic environment ever populate theirs.
+        let environments = matrix.environments.len();
+        let traces: Vec<TraceSlot> = (0..plans.len() * environments)
+            .map(|_| Mutex::new(None))
+            .collect();
+
         let executor = IntermittentExecutor::new(matrix.executor.clone());
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<ScenarioReport, Error>>>> =
@@ -80,8 +142,19 @@ impl FleetRunner {
                         break;
                     };
                     let (deployment, accuracy) = &deployments[scenario.deployment_key];
-                    let report =
-                        run_scenario(scenario, deployment, *accuracy, &executor, matrix.runs);
+                    let plan_slot = plan_of[scenario.deployment_key];
+                    let trace = (!self.reference && !scenario.environment.is_stochastic())
+                        .then(|| &traces[plan_slot * environments + scenario.environment_key]);
+                    let report = run_scenario(
+                        scenario,
+                        deployment,
+                        &plans[plan_slot],
+                        trace,
+                        *accuracy,
+                        &executor,
+                        matrix.runs,
+                        self.reference,
+                    );
                     *slots[i].lock().expect("slot lock") = Some(report);
                 });
             }
@@ -99,17 +172,28 @@ impl FleetRunner {
     }
 }
 
-/// Runs one scenario on its shared deployment: `runs` intermittent
-/// inferences with per-run re-seeding (accuracy was priced once per
-/// deployment by the runner).
+/// Runs one scenario on its shared deployment and shared execution
+/// plan: `runs` intermittent inferences with per-run re-seeding
+/// (accuracy was priced once per deployment by the runner). In
+/// `reference` mode the session compiles its own plan and replays the
+/// op-by-op interpreter instead — the pre-plan behavior parity suites
+/// compare against.
+#[allow(clippy::too_many_arguments)]
 fn run_scenario(
     scenario: &Scenario,
     deployment: &Deployment,
+    plan: &Arc<ExecutionPlan>,
+    trace: Option<&TraceSlot>,
     accuracy: f64,
     executor: &IntermittentExecutor,
     runs: u32,
+    reference: bool,
 ) -> Result<ScenarioReport, Error> {
-    let mut session = deployment.session();
+    let mut session = if reference {
+        deployment.session()
+    } else {
+        deployment.session_with_plan(Arc::clone(plan))
+    };
 
     let mut report = ScenarioReport {
         name: scenario.name(),
@@ -133,12 +217,44 @@ fn run_scenario(
     };
 
     for run in 0..u64::from(runs) {
-        // Stochastic environments get a fresh, reproducible seed per
-        // run; deterministic waveforms replay identically (their whole
-        // point).
-        let env = scenario.environment.reseeded(mix(scenario.seed, run));
-        let mut supply = env.supply();
-        let r = session.infer_intermittent_with(executor, &mut supply);
+        let r = if let Some(slot) = trace {
+            // Deterministic environment: every (seed, run) replays the
+            // one trajectory this (plan, environment) pair can take.
+            // Record it on first demand, replay it ever after — replays
+            // re-apply the same per-op meter records, so they are
+            // bit-identical to live runs on this session's board.
+            let existing = slot.lock().expect("trace lock").clone();
+            match existing {
+                Some(recorded) => session.infer_intermittent_replay(executor, &recorded),
+                None => {
+                    // The recording run *is* this run — it executes live
+                    // on this session's board with the lock released, so
+                    // workers needing the same pair never idle. Racing
+                    // recorders duplicate only this one run (every
+                    // recording of a deterministic pair is bit-identical,
+                    // so whichever lands first is equally valid).
+                    let mut supply = scenario.environment.supply();
+                    let (report, recorded) =
+                        session.infer_intermittent_traced(executor, &mut supply);
+                    let mut guard = slot.lock().expect("trace lock");
+                    if guard.is_none() {
+                        *guard = Some(Arc::new(recorded));
+                    }
+                    report
+                }
+            }
+        } else {
+            // Stochastic environments get a fresh, reproducible seed per
+            // run (the reference path reseeds deterministic ones too —
+            // a no-op replay of the same waveform).
+            let env = scenario.environment.reseeded(mix(scenario.seed, run));
+            let mut supply = env.supply();
+            if reference {
+                session.infer_intermittent_reference(executor, &mut supply)
+            } else {
+                session.infer_intermittent_with(executor, &mut supply)
+            }
+        };
         report.outages += r.outages;
         report.restores += r.restores;
         report.ondemand_checkpoints += r.ondemand_checkpoints;
@@ -156,8 +272,11 @@ fn run_scenario(
     Ok(report)
 }
 
-/// SplitMix64-style mix of (scenario seed, run index).
-fn mix(seed: u64, run: u64) -> u64 {
+/// SplitMix64-style mix of (scenario seed, run index) — the per-run
+/// reseed the runner applies to stochastic environments. Public so
+/// external harnesses (e.g. the `exec_plan` bench) can replay exactly
+/// the supplies a fleet sweep would see.
+pub fn mix(seed: u64, run: u64) -> u64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(run.wrapping_mul(0xBF58_476D_1CE4_E5B9));
@@ -222,6 +341,26 @@ mod tests {
         if lat.len() == 2 {
             assert_ne!(lat[0], lat[1]);
         }
+    }
+
+    #[test]
+    fn reference_executor_reproduces_the_planned_report() {
+        // The plan fast path and the op-by-op interpreter must agree bit
+        // for bit over a matrix mixing strategies, environments and
+        // seeds (two seeds exercise the cross-seed plan sharing).
+        let matrix = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::piezo_gait()])
+            .workloads(vec![Workload::Har { samples: 4 }])
+            .strategies(vec![Strategy::Sonic, Strategy::Flex])
+            .seeds(vec![0, 3])
+            .runs(2)
+            .executor(quick_executor());
+        let planned = FleetRunner::new(2).run(&matrix).unwrap();
+        let reference = FleetRunner::new(2)
+            .reference_executor(true)
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(planned, reference);
     }
 
     #[test]

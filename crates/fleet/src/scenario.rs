@@ -75,9 +75,26 @@ pub struct Scenario {
     /// Index of the shared deployment this scenario runs on — scenarios
     /// that differ only in environment share one built deployment.
     pub(crate) deployment_key: usize,
+    /// Index of this scenario's environment in the matrix's environment
+    /// axis — the runner keys its deterministic-run trace cache on
+    /// (plan, environment).
+    pub(crate) environment_key: usize,
 }
 
 impl Scenario {
+    /// Index of the shared deployment this scenario runs on (dense, in
+    /// first-appearance order) — the key benches and runners use to
+    /// build each deployment exactly once.
+    pub fn deployment_key(&self) -> usize {
+        self.deployment_key
+    }
+
+    /// Index of this scenario's environment in the matrix's environment
+    /// axis — the key trace caches use for (plan, environment) pairs.
+    pub fn environment_key(&self) -> usize {
+        self.environment_key
+    }
+
     /// A stable human-readable name, unique within one matrix.
     pub fn name(&self) -> String {
         format!(
@@ -190,6 +207,12 @@ impl ScenarioMatrix {
         self
     }
 
+    /// The environment axis, in expansion order (the order
+    /// [`Scenario::environment_key`] indexes).
+    pub fn environment_axis(&self) -> &[Environment] {
+        &self.environments
+    }
+
     /// Number of scenarios the matrix expands to.
     pub fn len(&self) -> usize {
         self.environments.len()
@@ -216,7 +239,7 @@ impl ScenarioMatrix {
             for board in &self.boards {
                 for &strategy in &self.strategies {
                     for &seed in &self.seeds {
-                        for environment in &self.environments {
+                        for (environment_key, environment) in self.environments.iter().enumerate() {
                             out.push(Scenario {
                                 index: out.len(),
                                 environment: environment.clone(),
@@ -225,6 +248,7 @@ impl ScenarioMatrix {
                                 workload,
                                 seed,
                                 deployment_key: key,
+                                environment_key,
                             });
                         }
                         key += 1;

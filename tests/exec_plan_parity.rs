@@ -1,0 +1,141 @@
+//! Executor parity: the compiled-plan fast path must be **bit-identical**
+//! to the retained op-by-op reference interpreter — same outages, same
+//! executed/wasted ops, same energy, same per-component meter — across
+//! all six strategies, the full environment catalog, and both session-
+//! and fleet-level entry points. This is the acceptance bar for the
+//! compile-once execution-plan optimization: any float reordering in the
+//! fast path shows up here as a hard failure.
+
+use ehdl::device::CostTable;
+use ehdl::ehsim::{catalog, ExecutorConfig, IntermittentExecutor};
+use ehdl::prelude::*;
+use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+
+/// Bounded executor so strategies that can never finish (BASE, bare ACE
+/// under harvested power) declare their ✗ quickly.
+fn quick_executor() -> ExecutorConfig {
+    ExecutorConfig {
+        stall_outages: 6,
+        max_wall_seconds: 600.0,
+        ..ExecutorConfig::default()
+    }
+}
+
+fn deployment_for(model: &mut ehdl::nn::Model, data: &ehdl::datasets::Dataset) -> Deployment {
+    Deployment::builder(model, data)
+        .build()
+        .expect("deployment builds")
+}
+
+/// Plan-based vs. reference run for every (strategy, environment) pair
+/// of one workload, on fresh boards each time.
+fn assert_strategy_catalog_parity(mut model: ehdl::nn::Model, data: ehdl::datasets::Dataset) {
+    let deployment = deployment_for(&mut model, &data);
+    let executor = IntermittentExecutor::new(quick_executor());
+    for strategy in Strategy::ALL {
+        let program = strategy.lower(deployment.quantized(), deployment.program());
+        let plan =
+            ehdl::ehsim::ExecutionPlan::compile(program.clone(), &deployment.board_spec().board());
+        for environment in catalog::all() {
+            let mut board_planned = deployment.board_spec().board();
+            let mut board_reference = deployment.board_spec().board();
+            let mut supply_planned = environment.supply();
+            let mut supply_reference = environment.supply();
+            let planned = executor.run_plan(&plan, &mut board_planned, &mut supply_planned);
+            let reference =
+                executor.run_unplanned(&program, &mut board_reference, &mut supply_reference);
+            assert_eq!(
+                planned,
+                reference,
+                "strategy {strategy} in {}",
+                environment.name()
+            );
+            assert_eq!(
+                board_planned.meter(),
+                board_reference.meter(),
+                "board meter drift for {strategy} in {}",
+                environment.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn har_parity_across_strategies_and_catalog() {
+    assert_strategy_catalog_parity(ehdl::nn::zoo::har(), ehdl::datasets::har(16, 3));
+}
+
+#[test]
+fn mnist_parity_across_strategies_and_catalog() {
+    assert_strategy_catalog_parity(ehdl::nn::zoo::mnist(), ehdl::datasets::mnist(8, 5));
+}
+
+/// The 48-scenario acceptance matrix (4 environments × 6 strategies ×
+/// 2 boards), two runs per scenario so the second run starts from a
+/// nonzero board meter — the planned fleet path must reproduce the
+/// reference interpreter's `FleetReport` bit for bit at 1, 2 and 8
+/// workers.
+#[test]
+fn fleet_matrix_parity_at_1_2_and_8_workers() {
+    let mut slow_cpu = CostTable::msp430fr5994();
+    slow_cpu.cpu_op_cycles *= 2;
+    let matrix = ScenarioMatrix::new()
+        .environments(catalog::all())
+        .strategies(Strategy::ALL.to_vec())
+        .boards(vec![BoardSpec::Msp430Fr5994, BoardSpec::Custom(slow_cpu)])
+        .workloads(vec![Workload::Har { samples: 6 }])
+        .runs(2)
+        .executor(quick_executor());
+    assert_eq!(matrix.len(), 48);
+
+    let reference = FleetRunner::new(1)
+        .reference_executor(true)
+        .run(&matrix)
+        .expect("reference sweep");
+    for workers in [1, 2, 8] {
+        let planned = FleetRunner::new(workers)
+            .run(&matrix)
+            .expect("planned sweep");
+        assert_eq!(reference, planned, "{workers} workers");
+        assert_eq!(reference.to_string(), planned.to_string());
+    }
+}
+
+/// Cross-seed plan sharing: scenarios that differ only in dataset seed
+/// share one compiled plan; their reports must still match a reference
+/// sweep that lowers each scenario's program from its own deployment.
+#[test]
+fn plan_sharing_across_seeds_is_lossless() {
+    let matrix = ScenarioMatrix::new()
+        .environments(vec![catalog::office_rf(), catalog::solar_day()])
+        .strategies(vec![Strategy::Tails, Strategy::Flex])
+        .workloads(vec![Workload::Mnist { samples: 4 }])
+        .seeds(vec![0, 11, 42])
+        .executor(quick_executor());
+    let planned = FleetRunner::new(4).run(&matrix).expect("planned sweep");
+    let reference = FleetRunner::new(4)
+        .reference_executor(true)
+        .run(&matrix)
+        .expect("reference sweep");
+    assert_eq!(planned, reference);
+}
+
+/// The continuous-power fold baked into the plan must equal an actual
+/// continuous replay of the lowered program, for every strategy.
+#[test]
+fn continuous_fold_parity_across_strategies() {
+    let model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(16, 3);
+    for strategy in Strategy::ALL {
+        let mut m = model.clone();
+        let deployment = Deployment::builder(&mut m, &data)
+            .strategy(strategy)
+            .build()
+            .expect("deployment builds");
+        let session = deployment.session();
+        let mut pricing = deployment.board_spec().board();
+        let cost = ehdl::ehsim::run_continuous(session.program(), &mut pricing);
+        assert_eq!(session.continuous_cost(), cost, "{strategy}");
+        assert_eq!(session.continuous_meter(), pricing.meter(), "{strategy}");
+    }
+}
