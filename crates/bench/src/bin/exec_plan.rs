@@ -19,7 +19,7 @@
 
 use ehdl::ehsim::{catalog, ExecutionPlan, ExecutorConfig, IntermittentExecutor};
 use ehdl::prelude::*;
-use ehdl_bench::{quick_mode, section};
+use ehdl_bench::{quick_mode, section, upsert_bench_json};
 use ehdl_fleet::{mix, FleetRunner, ScenarioMatrix, Workload};
 use std::time::Instant;
 
@@ -145,10 +145,9 @@ fn main() {
     let fleet_rate = report.len() as f64 / fleet_s;
     println!("fleet engine ({workers} workers, incl. deploy+accuracy): {fleet_s:.3} s  {fleet_rate:.1} scenarios/s");
 
-    let json = format!(
+    let entry = format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"exec_plan\",\n",
             "  \"quick\": {},\n",
             "  \"scenarios\": {},\n",
             "  \"runs_per_scenario\": {},\n",
@@ -160,7 +159,7 @@ fn main() {
             "  \"fleet_workers\": {},\n",
             "  \"fleet_seconds\": {:.6},\n",
             "  \"fleet_scenarios_per_sec\": {:.3}\n",
-            "}}\n"
+            "}}"
         ),
         quick,
         scenarios.len(),
@@ -175,8 +174,8 @@ fn main() {
         fleet_rate,
     );
     let path = "BENCH_fleet.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
+    match upsert_bench_json(path, "exec_plan", &entry) {
+        Ok(()) => println!("\nwrote the exec_plan entry of {path}"),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
 

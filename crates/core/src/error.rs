@@ -17,6 +17,9 @@ pub enum Error {
     Ace(ehdl_ace::AceError),
     /// Invalid deployment configuration.
     Config(ConfigError),
+    /// A telemetry sink failed to write its output stream (fleet
+    /// sweeps streaming JSONL/CSV rows).
+    Telemetry(std::io::Error),
 }
 
 impl fmt::Display for Error {
@@ -25,6 +28,7 @@ impl fmt::Display for Error {
             Error::Model(e) => write!(f, "model error: {e}"),
             Error::Ace(e) => write!(f, "deployment error: {e}"),
             Error::Config(e) => write!(f, "configuration error: {e}"),
+            Error::Telemetry(e) => write!(f, "telemetry sink error: {e}"),
         }
     }
 }
@@ -35,7 +39,14 @@ impl std::error::Error for Error {
             Error::Model(e) => Some(e),
             Error::Ace(e) => Some(e),
             Error::Config(e) => Some(e),
+            Error::Telemetry(e) => Some(e),
         }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Telemetry(e)
     }
 }
 

@@ -75,6 +75,32 @@ pub fn replay(name: &str, segments: Vec<(f64, f64)>) -> Result<Environment, Trac
     ))
 }
 
+/// A recorded-trace replay environment parsed from a CSV harvester log:
+/// one `seconds,milliwatts` row per piecewise-constant segment, with
+/// blank lines, `#` comments and a leading header row tolerated (see
+/// [`Harvester::try_trace_csv`]). The parsed trace cycles forever into
+/// the standard harvest buffer.
+///
+/// ```
+/// use ehdl_ehsim::catalog;
+///
+/// let log = "seconds,milliwatts\n0.020,3.0\n0.080,0.2\n";
+/// let env = catalog::replay_csv("field_log", log).unwrap();
+/// assert_eq!(env.name(), "field_log");
+/// ```
+///
+/// # Errors
+///
+/// Returns the [`TraceError`] for the first malformed row, carrying its
+/// 1-based line number.
+pub fn replay_csv(name: &str, csv: &str) -> Result<Environment, TraceError> {
+    Ok(Environment::new(
+        name,
+        Harvester::try_trace_csv(csv)?,
+        harvest_buffer(),
+    ))
+}
+
 /// Every canned catalog entry, in a fixed order.
 pub fn all() -> Vec<Environment> {
     vec![bench_supply(), office_rf(), solar_day(), piezo_gait()]
@@ -102,6 +128,28 @@ mod tests {
             let avg = env.harvester().average_power();
             assert!(avg > 0.0 && avg < bench, "{}: {avg}", env.name());
         }
+    }
+
+    #[test]
+    fn replay_csv_parses_recorded_logs() {
+        let log = "# piezo heel-strike log\nseconds,milliwatts\n0.020,3.0\n\n0.080,0.2\n";
+        let env = replay_csv("gait_log", log).unwrap();
+        assert_eq!(env.name(), "gait_log");
+        // 20 ms at 3 mW, then 80 ms at 0.2 mW — same segments as the
+        // canned piezo entry.
+        assert_eq!(env.harvester(), piezo_gait().harvester());
+    }
+
+    #[test]
+    fn replay_csv_reports_malformed_rows_with_line_numbers() {
+        // Bad power on (1-based) line 3.
+        let err = replay_csv("bad", "seconds,milliwatts\n0.1,2.0\n0.1,-2.0\n").unwrap_err();
+        assert!(matches!(err, TraceError::Csv { line: 3, .. }), "{err}");
+        // No data rows at all.
+        assert_eq!(
+            replay_csv("empty", "# nothing\n").unwrap_err(),
+            TraceError::Empty
+        );
     }
 
     #[test]

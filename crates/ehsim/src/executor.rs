@@ -18,6 +18,17 @@ pub struct ExecutorConfig {
     pub charge_step_s: f64,
     /// Hard cap on simulated wall-clock time.
     pub max_wall_seconds: f64,
+    /// Per-run energy budget in nanojoules: the run aborts with
+    /// [`RunOutcome::EnergyLimit`] once the energy drawn from the
+    /// capacitor (ops, checkpoints and restores) exceeds this, the way
+    /// a deployment scored against a joule budget would be cut off.
+    /// `None` (the default) disables the budget. The check sits next to
+    /// the wall-clock check — before each op attempt — so the budget
+    /// can be overshot by whatever one loop iteration spends after the
+    /// last check (up to an on-demand checkpoint plus the op that
+    /// crossed it, or a post-outage restore), and a run whose final op
+    /// tips over still counts as completed.
+    pub energy_budget_nj: Option<f64>,
 }
 
 impl Default for ExecutorConfig {
@@ -27,6 +38,7 @@ impl Default for ExecutorConfig {
             stall_outages: 50,
             charge_step_s: 1e-3,
             max_wall_seconds: 7200.0,
+            energy_budget_nj: None,
         }
     }
 }
@@ -44,12 +56,27 @@ pub enum RunOutcome {
     OutageLimit,
     /// The simulated time budget was exhausted.
     TimeLimit,
+    /// The per-run energy budget
+    /// ([`ExecutorConfig::energy_budget_nj`]) was exhausted.
+    EnergyLimit,
 }
 
 impl RunOutcome {
     /// `true` for [`RunOutcome::Completed`].
     pub fn is_completed(self) -> bool {
         self == RunOutcome::Completed
+    }
+
+    /// A stable snake_case token for machine-readable streams (the
+    /// `Display` form is for humans and may carry decoration).
+    pub fn label(self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::NoProgress => "no_progress",
+            RunOutcome::OutageLimit => "outage_limit",
+            RunOutcome::TimeLimit => "time_limit",
+            RunOutcome::EnergyLimit => "energy_limit",
+        }
     }
 }
 
@@ -60,6 +87,7 @@ impl fmt::Display for RunOutcome {
             RunOutcome::NoProgress => "no progress (✗)",
             RunOutcome::OutageLimit => "outage limit",
             RunOutcome::TimeLimit => "time limit",
+            RunOutcome::EnergyLimit => "energy limit",
         })
     }
 }
@@ -99,6 +127,13 @@ impl RunReport {
     /// `true` if the inference finished.
     pub fn completed(&self) -> bool {
         self.outcome.is_completed()
+    }
+
+    /// End-to-end latency in milliseconds for a **completed** run, else
+    /// `None` — the value latency aggregations fold (aborted runs have a
+    /// wall-clock but no meaningful inference latency).
+    pub fn latency_ms(&self) -> Option<f64> {
+        self.completed().then_some(self.wall_seconds * 1e3)
     }
 
     /// Checkpoint overhead as a fraction of total energy.
@@ -305,6 +340,7 @@ impl IntermittentExecutor {
         let monitor = board.monitor();
         let n = plan.len();
         let max_wall = self.config.max_wall_seconds;
+        let budget_nj = self.config.energy_budget_nj.unwrap_or(f64::INFINITY);
 
         // Slices bound once: the hot loop reads only these.
         let durations = &plan.duration_s[..n];
@@ -326,6 +362,7 @@ impl IntermittentExecutor {
         let mut charging_s = 0.0f64;
         let mut committed_at_last_outage = usize::MAX;
         let mut stall = 0u64;
+        let mut spent_nj = 0.0f64;
 
         let (harvester, capacitor) = supply.parts_mut();
 
@@ -335,6 +372,9 @@ impl IntermittentExecutor {
             }
             if t > max_wall {
                 break 'run RunOutcome::TimeLimit;
+            }
+            if spent_nj > budget_nj {
+                break 'run RunOutcome::EnergyLimit;
             }
 
             // On-demand (voltage-triggered) checkpoint before op i.
@@ -349,6 +389,7 @@ impl IntermittentExecutor {
                         capacitor.drain_joules(ck.need_j);
                         board.apply_cost(Component::Checkpoint, ck.cost());
                         sink.checkpoint(slot);
+                        spent_nj += ck.energy_nj;
                         t += ck.duration_s;
                         active_cycles += ck.cycles;
                         committed = i;
@@ -384,6 +425,7 @@ impl IntermittentExecutor {
                     },
                 );
                 sink.op(i as u32);
+                spent_nj += energy_of[i];
                 t += dt;
                 active_cycles += cycles_of[i];
                 executed += 1;
@@ -397,6 +439,9 @@ impl IntermittentExecutor {
                 while i < end {
                     if t > max_wall {
                         break 'run RunOutcome::TimeLimit;
+                    }
+                    if spent_nj > budget_nj {
+                        break 'run RunOutcome::EnergyLimit;
                     }
                     let dt = durations[i];
                     let harvested = harvester.energy_over(t, dt);
@@ -415,6 +460,7 @@ impl IntermittentExecutor {
                         },
                     );
                     sink.op(i as u32);
+                    spent_nj += energy_of[i];
                     t += dt;
                     active_cycles += cycles_of[i];
                     executed += 1;
@@ -460,6 +506,7 @@ impl IntermittentExecutor {
             let restore = plan.restore_cost();
             board.apply_cost(Component::Checkpoint, restore.cost());
             sink.restore();
+            spent_nj += restore.energy_nj;
             capacitor.drain_joules(restore.need_j);
             t += restore.duration_s;
             active_cycles += restore.cycles;
@@ -501,6 +548,7 @@ impl IntermittentExecutor {
         let monitor = board.monitor();
         let ops = program.ops();
         let n = ops.len();
+        let budget_nj = self.config.energy_budget_nj.unwrap_or(f64::INFINITY);
 
         let meter_before = board.meter().clone();
         let mut t = 0.0f64;
@@ -515,6 +563,7 @@ impl IntermittentExecutor {
         let mut charging_s = 0.0f64;
         let mut committed_at_last_outage = usize::MAX;
         let mut stall = 0u64;
+        let mut spent_nj = 0.0f64;
 
         let outcome = 'run: loop {
             if i >= n {
@@ -523,6 +572,9 @@ impl IntermittentExecutor {
             if t > self.config.max_wall_seconds {
                 break 'run RunOutcome::TimeLimit;
             }
+            if spent_nj > budget_nj {
+                break 'run RunOutcome::EnergyLimit;
+            }
 
             // On-demand (voltage-triggered) checkpoint before op i.
             if let Some(words) = ops[i].spec.ondemand_words {
@@ -530,7 +582,15 @@ impl IntermittentExecutor {
                     let ck = DeviceOp::Checkpoint {
                         words: words as u64,
                     };
-                    if self.try_execute(&ck, board, supply, &mut t, clock, &mut active_cycles) {
+                    if self.try_execute(
+                        &ck,
+                        board,
+                        supply,
+                        &mut t,
+                        clock,
+                        &mut active_cycles,
+                        &mut spent_nj,
+                    ) {
                         // Checkpoint committed atomically (double-buffered
                         // in FRAM): progress up to i is now durable.
                         committed = i;
@@ -544,7 +604,15 @@ impl IntermittentExecutor {
             }
 
             let pop = &ops[i];
-            if self.try_execute(&pop.op, board, supply, &mut t, clock, &mut active_cycles) {
+            if self.try_execute(
+                &pop.op,
+                board,
+                supply,
+                &mut t,
+                clock,
+                &mut active_cycles,
+                &mut spent_nj,
+            ) {
                 executed += 1;
                 if pop.spec.commits {
                     committed = i + 1;
@@ -589,6 +657,7 @@ impl IntermittentExecutor {
             };
             // Freshly booted at v_on: the restore always fits.
             let cost = board.execute(&restore);
+            spent_nj += cost.energy.nanojoules();
             supply
                 .capacitor_mut()
                 .drain_joules(cost.energy.nanojoules() * 1e-9);
@@ -619,8 +688,10 @@ impl IntermittentExecutor {
     }
 
     /// Attempts one op: harvests over its duration, checks the budget,
-    /// executes and drains on success. Returns `false` on power failure
-    /// (capacitor collapsed by the caller).
+    /// executes and drains on success (tallying the drawn energy into
+    /// `spent_nj`). Returns `false` on power failure (capacitor
+    /// collapsed by the caller).
+    #[allow(clippy::too_many_arguments)]
     fn try_execute(
         &self,
         op: &DeviceOp,
@@ -629,6 +700,7 @@ impl IntermittentExecutor {
         t: &mut f64,
         clock: f64,
         active_cycles: &mut u64,
+        spent_nj: &mut f64,
     ) -> bool {
         let cost = board.cost(op);
         let dt = cost.cycles.raw() as f64 / clock;
@@ -642,6 +714,7 @@ impl IntermittentExecutor {
         }
         supply.capacitor_mut().drain_joules(need_j);
         board.execute(op);
+        *spent_nj += cost.energy.nanojoules();
         *t += dt;
         *active_cycles += cost.cycles.raw();
         true
@@ -1024,6 +1097,101 @@ mod tests {
         let b = exec.run_plan(&plan, &mut board_b, &mut supply_b);
         assert_eq!(a, b);
         assert!(a.completed());
+    }
+
+    #[test]
+    fn energy_budget_aborts_the_run() {
+        let p = cpu_heavy_program(500, 10_000, CheckpointSpec::COMMIT);
+        let mut board = Board::msp430fr5994();
+        let mut supply = bench_supply();
+        // Price the whole program once to pick a budget that cuts the
+        // run roughly in half.
+        let full = IntermittentExecutor::default().run(&p, &mut board, &mut supply);
+        assert!(full.completed());
+        let budget = full.energy.nanojoules() / 2.0;
+
+        let exec = IntermittentExecutor::new(ExecutorConfig {
+            energy_budget_nj: Some(budget),
+            ..ExecutorConfig::default()
+        });
+        let mut board = Board::msp430fr5994();
+        let mut supply = bench_supply();
+        let r = exec.run(&p, &mut board, &mut supply);
+        assert_eq!(r.outcome, RunOutcome::EnergyLimit);
+        assert!(!r.completed());
+        assert!(r.executed_ops < full.executed_ops);
+        // The budget can be overshot by at most one op's energy.
+        let per_op = full.energy.nanojoules() / full.executed_ops as f64;
+        assert!(r.energy.nanojoules() > budget);
+        assert!(r.energy.nanojoules() <= budget + 2.0 * per_op);
+    }
+
+    #[test]
+    fn generous_energy_budget_changes_nothing() {
+        let p = cpu_heavy_program(300, 10_000, CheckpointSpec::COMMIT);
+        let exec_budgeted = IntermittentExecutor::new(ExecutorConfig {
+            energy_budget_nj: Some(1e15),
+            ..ExecutorConfig::default()
+        });
+        let mut board_a = Board::msp430fr5994();
+        let mut supply_a = weak_supply();
+        let budgeted = exec_budgeted.run(&p, &mut board_a, &mut supply_a);
+        let mut board_b = Board::msp430fr5994();
+        let mut supply_b = weak_supply();
+        let unbudgeted = IntermittentExecutor::default().run(&p, &mut board_b, &mut supply_b);
+        assert_eq!(budgeted, unbudgeted);
+        assert!(budgeted.completed());
+    }
+
+    #[test]
+    fn energy_budget_parity_between_planned_and_reference_paths() {
+        // The budget check must sit at the same point in both executors:
+        // same outcome, same counters, bit for bit — including under a
+        // weak supply where restores and rollbacks also spend energy.
+        let mut p = Program::new("mixed");
+        for k in 0..600usize {
+            let spec = match k % 7 {
+                0 => CheckpointSpec::COMMIT,
+                1 | 2 => CheckpointSpec::ondemand(32),
+                _ => CheckpointSpec::NONE,
+            };
+            p.push(DeviceOp::CpuOps { count: 8_000 }, spec);
+        }
+        for budget in [5e4, 5e5, 5e6] {
+            let exec = IntermittentExecutor::new(ExecutorConfig {
+                energy_budget_nj: Some(budget),
+                ..ExecutorConfig::default()
+            });
+            for supply in [bench_supply(), weak_supply()] {
+                let mut board_a = Board::msp430fr5994();
+                let mut board_b = Board::msp430fr5994();
+                let mut supply_a = supply.clone();
+                let mut supply_b = supply.clone();
+                let planned = exec.run(&p, &mut board_a, &mut supply_a);
+                let reference = exec.run_unplanned(&p, &mut board_b, &mut supply_b);
+                assert_eq!(planned, reference, "budget {budget}");
+                assert_eq!(board_a.meter(), board_b.meter());
+            }
+        }
+    }
+
+    #[test]
+    fn energy_limited_traces_replay_bit_identically() {
+        let p = cpu_heavy_program(400, 10_000, CheckpointSpec::COMMIT);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p, &board);
+        let exec = IntermittentExecutor::new(ExecutorConfig {
+            energy_budget_nj: Some(1e5),
+            ..ExecutorConfig::default()
+        });
+        let mut record_board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let (recorded, trace) = exec.run_plan_traced(&plan, &mut record_board, &mut supply);
+        assert_eq!(recorded.outcome, RunOutcome::EnergyLimit);
+        let mut replay_board = Board::msp430fr5994();
+        let replayed = exec.replay_trace(&plan, &trace, &mut replay_board);
+        assert_eq!(recorded, replayed);
+        assert_eq!(record_board.meter(), replay_board.meter());
     }
 
     #[test]

@@ -139,6 +139,71 @@ impl Harvester {
         Ok(Harvester::Trace { segments })
     }
 
+    /// Piecewise-constant trace parsed from a recorded harvester log in
+    /// CSV form: one `seconds,milliwatts` row per segment (the segment's
+    /// duration and its constant power). Blank lines and `#` comments
+    /// are skipped, and a leading non-numeric header row (e.g.
+    /// `seconds,milliwatts`) is tolerated. Parsed segments go through
+    /// the same validation as [`Harvester::try_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TraceError`] for the first malformed row, carrying
+    /// its 1-based line number, or [`TraceError::Empty`] when the log
+    /// has no data rows.
+    pub fn try_trace_csv(csv: &str) -> Result<Self, TraceError> {
+        let mut segments: Vec<(f64, f64)> = Vec::new();
+        let mut first_row = true;
+        for (index, raw) in csv.lines().enumerate() {
+            let line = index + 1;
+            let row = raw.trim();
+            if row.is_empty() || row.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+            let parsed: Vec<Result<f64, _>> = fields.iter().map(|f| f.parse::<f64>()).collect();
+            let header_candidate = first_row;
+            first_row = false;
+            if header_candidate && parsed.iter().all(Result::is_err) {
+                // The one allowed header row ("seconds,milliwatts");
+                // later non-numeric rows get line-numbered errors, so a
+                // wholly wrong-format log is diagnosed, not swallowed.
+                continue;
+            }
+            if fields.len() != 2 {
+                return Err(TraceError::Csv {
+                    line,
+                    message: format!(
+                        "expected 2 fields (seconds,milliwatts), found {}",
+                        fields.len()
+                    ),
+                });
+            }
+            let value = |slot: usize, what: &str| -> Result<f64, TraceError> {
+                parsed[slot].clone().map_err(|_| TraceError::Csv {
+                    line,
+                    message: format!("{what} `{}` is not a number", fields[slot]),
+                })
+            };
+            let duration_s = value(0, "duration")?;
+            let milliwatts = value(1, "power")?;
+            if !(duration_s > 0.0 && duration_s.is_finite()) {
+                return Err(TraceError::Csv {
+                    line,
+                    message: format!("non-positive or non-finite duration {duration_s} s"),
+                });
+            }
+            if !(milliwatts >= 0.0 && milliwatts.is_finite()) {
+                return Err(TraceError::Csv {
+                    line,
+                    message: format!("negative or non-finite power {milliwatts} mW"),
+                });
+            }
+            segments.push((duration_s, milliwatts * 1e-3));
+        }
+        Self::try_trace(segments)
+    }
+
     /// The same waveform with its randomness re-seeded: replaces the
     /// seed of a [`Harvester::Bursts`] source and leaves the
     /// deterministic shapes untouched. Lets a sweep engine derive many
@@ -380,6 +445,14 @@ pub enum TraceError {
         /// The rejected power in watts.
         watts: f64,
     },
+    /// A malformed row in a CSV harvester log
+    /// ([`Harvester::try_trace_csv`]).
+    Csv {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -395,6 +468,9 @@ impl fmt::Display for TraceError {
                     f,
                     "trace segment {index} has negative or non-finite power {watts} W"
                 )
+            }
+            TraceError::Csv { line, message } => {
+                write!(f, "trace CSV line {line}: {message}")
             }
         }
     }
@@ -515,6 +591,50 @@ mod tests {
             Err(TraceError::BadPower { index: 0, .. })
         ));
         assert!(Harvester::try_trace(vec![(0.1, 0.0), (0.2, 0.003)]).is_ok());
+    }
+
+    #[test]
+    fn try_trace_csv_parses_valid_logs() {
+        let h = Harvester::try_trace_csv("0.1,1.0\n0.1,0.0\n").unwrap();
+        assert_eq!(h, Harvester::trace(vec![(0.1, 0.001), (0.1, 0.0)]));
+        // Header, comments, blank lines and padding are all tolerated.
+        let padded =
+            Harvester::try_trace_csv("# log\nseconds,milliwatts\n\n 0.1 , 1.0 \n0.1,0.0\n")
+                .unwrap();
+        assert_eq!(padded, h);
+        // Scientific notation is plain f64 parsing.
+        let sci = Harvester::try_trace_csv("1e-1,1e0\n1e-1,0\n").unwrap();
+        assert_eq!(sci, h);
+    }
+
+    #[test]
+    fn try_trace_csv_rejects_malformed_rows() {
+        let line_of = |csv: &str| match Harvester::try_trace_csv(csv) {
+            Err(TraceError::Csv { line, message }) => (line, message),
+            other => panic!("expected a CSV error, got {other:?}"),
+        };
+        // Wrong column counts (header only excuses the first data row).
+        assert_eq!(line_of("0.1\n").0, 1);
+        assert_eq!(line_of("0.1,1.0,9\n").0, 1);
+        // Non-numeric fields after data has started.
+        let (line, message) = line_of("0.1,1.0\n0.1,fast\n");
+        assert_eq!(line, 2);
+        assert!(message.contains("fast"), "{message}");
+        // Only ONE header row is forgiven: a wholly wrong-format log is
+        // diagnosed at its second line, not swallowed as all-headers.
+        let (line, message) = line_of("time,power\n00:00:01,3mW\n00:00:02,0mW\n");
+        assert_eq!(line, 2);
+        assert!(message.contains("00:00:01"), "{message}");
+        // Invalid durations and powers, with comment lines still counted.
+        assert_eq!(line_of("# log\n0.0,1.0\n").0, 2);
+        assert_eq!(line_of("0.1,1.0\nnan,1.0\n").0, 2);
+        assert_eq!(line_of("0.1,1.0\n0.1,-3.0\n").0, 2);
+        assert_eq!(line_of("0.1,inf\n").0, 1);
+        // A log with nothing but comments has no segments.
+        assert_eq!(
+            Harvester::try_trace_csv("# empty\n"),
+            Err(TraceError::Empty)
+        );
     }
 
     #[test]

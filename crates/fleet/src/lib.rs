@@ -9,24 +9,42 @@
 //! [`ehdl::Deployment`] and opens an [`ehdl::DeviceSession`] inside its
 //! worker (the session types are `Send`/`Sync` by contract).
 //!
+//! Reporting is a streaming telemetry pipeline: the runner emits one
+//! [`RunRecord`] per (scenario, run) and folds it into a pluggable
+//! [`MetricsSink`]. The compatibility [`FullReportSink`] retains every
+//! [`ScenarioReport`] (the classic dense [`FleetReport`]), while
+//! [`DigestSink`] folds the whole sweep into a fixed-size
+//! [`FleetDigest`] — count/sum/min/max plus log-histogram
+//! [`StatsDigest`] sketches for p50/p90/p99 — so 10k+ scenario sweeps
+//! run in O(1) memory. [`GroupBySink`] aggregates one digest per axis
+//! value and [`JsonlSink`]/[`CsvSink`] stream raw rows out for offline
+//! analysis.
+//!
 //! Aggregation is deterministic by construction: per-scenario folds run
-//! inside one worker in run order, the fleet fold walks scenarios in
-//! matrix order, and percentiles use the nearest-rank definition over
-//! sorted samples. Same matrix ⇒ equal [`FleetReport`] (and identical
-//! `Display` output) at any worker count.
+//! inside one worker in run order, and the coordinating thread merges
+//! scenario accumulators in matrix order no matter which worker
+//! finished first. Same matrix ⇒ identical sink report (dense or
+//! digest, bit for bit) at any worker count.
 //!
 //! ```
 //! use ehdl::ehsim::catalog;
 //! use ehdl::Strategy;
-//! use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+//! use ehdl_fleet::{DigestSink, FleetRunner, ScenarioMatrix, Workload};
 //!
 //! let matrix = ScenarioMatrix::new()
 //!     .environments(vec![catalog::bench_supply(), catalog::piezo_gait()])
 //!     .strategies(vec![Strategy::Sonic, Strategy::Flex])
 //!     .workloads(vec![Workload::Har { samples: 4 }]);
+//! // Dense: one ScenarioReport per scenario.
 //! let report = FleetRunner::new(2).run(&matrix)?;
 //! assert_eq!(report.len(), 4);
-//! println!("{report}");
+//! // Streaming: the same sweep folded into fixed-size state.
+//! let digest = FleetRunner::builder()
+//!     .workers(2)
+//!     .sink(DigestSink::new())
+//!     .run(&matrix)?;
+//! assert_eq!(digest.scenarios, 4);
+//! println!("{report}\n{digest}");
 //! # Ok::<(), ehdl::Error>(())
 //! ```
 //!
@@ -36,10 +54,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
+mod metrics;
 mod report;
 mod runner;
 mod scenario;
 
+pub use digest::StatsDigest;
+pub use metrics::{
+    CsvSink, DigestSink, FleetDigest, FullReportSink, GroupAxis, GroupBySink, GroupedDigest,
+    JsonlSink, MetricsSink, RunRecord,
+};
 pub use report::{percentile, FleetReport, ScenarioReport};
-pub use runner::{mix, FleetRunner};
+pub use runner::{mix, FleetBuilder, FleetRunner};
 pub use scenario::{Scenario, ScenarioMatrix, Workload};

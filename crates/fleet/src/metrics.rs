@@ -1,0 +1,1000 @@
+//! The streaming telemetry pipeline: run records and mergeable sinks.
+//!
+//! The fleet runner emits one [`RunRecord`] per (scenario, run) and
+//! folds it into a [`MetricsSink`]. Sinks own *what* is retained: the
+//! compatibility [`FullReportSink`] rebuilds the classic
+//! [`FleetReport`] (every latency sample kept), [`DigestSink`] folds
+//! the whole sweep into a fixed-size [`FleetDigest`], [`GroupBySink`]
+//! aggregates one digest per axis value, and [`JsonlSink`] /
+//! [`CsvSink`] stream rows to a writer for offline analysis.
+//!
+//! The determinism contract is split across three call sites:
+//!
+//! 1. [`open`](MetricsSink::open) — once per scenario, inside the
+//!    worker that claims it (claim order is racy, so `open` must be a
+//!    pure function of its arguments);
+//! 2. [`fold`](MetricsSink::fold) — once per run, inside that same
+//!    worker, in run order (an associated function, so folding never
+//!    touches the sink itself);
+//! 3. [`merge`](MetricsSink::merge) — once per scenario, on the
+//!    coordinating thread, **in matrix order** regardless of which
+//!    worker finished when.
+//!
+//! Because every fold happens in a fixed order and merges walk the
+//! matrix order, a sink's report is a pure function of the matrix:
+//! bit-identical at any worker count.
+
+use crate::digest::StatsDigest;
+use crate::report::{FleetReport, ScenarioReport};
+use crate::scenario::Scenario;
+use core::fmt;
+use ehdl::ehsim::{RunOutcome, RunReport};
+use ehdl::Error;
+use std::io::Write;
+
+/// One telemetry event: the facts of a single intermittent run
+/// ([`RunReport`]) together with the scenario axes that produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct RunRecord<'a> {
+    /// The scenario this run belongs to (axes, seed, matrix index).
+    pub scenario: &'a Scenario,
+    /// Run index within the scenario, `0..runs`.
+    pub run: u32,
+    /// Quantized-model accuracy of the scenario's shared deployment.
+    pub accuracy: f64,
+    /// Everything the executor measured for this run.
+    pub report: &'a RunReport,
+}
+
+impl RunRecord<'_> {
+    /// End-to-end latency in milliseconds when the run completed.
+    pub fn latency_ms(&self) -> Option<f64> {
+        self.report.latency_ms()
+    }
+}
+
+/// A streaming, mergeable metric sink — the fold target of a fleet
+/// sweep. See the [module docs](self) for the determinism contract.
+pub trait MetricsSink {
+    /// Fixed-size per-scenario accumulator, handed to one worker.
+    type Partial: Send;
+    /// What the sink ultimately produces.
+    type Report;
+
+    /// Creates the accumulator for one scenario. Called inside the
+    /// worker that claims the scenario (under the runner's sink lock),
+    /// just before its first run — so at most one accumulator per
+    /// worker is live at a time, which is what keeps fixed-size sinks
+    /// O(1) even on 10k+ scenario matrices. Claim order is racy:
+    /// implementations must be pure functions of their arguments.
+    fn open(&self, scenario: &Scenario, accuracy: f64) -> Self::Partial;
+
+    /// Folds one run into a scenario accumulator. Called inside the
+    /// worker that owns the scenario, in run order. An associated
+    /// function (no `self`): workers fold without touching the sink.
+    fn fold(partial: &mut Self::Partial, record: &RunRecord<'_>);
+
+    /// Absorbs a completed scenario's accumulator. Called on the
+    /// coordinating thread in matrix order — this is where per-worker
+    /// results serialize into a deterministic aggregate, and where
+    /// streaming sinks may write.
+    ///
+    /// # Errors
+    ///
+    /// Streaming sinks surface their I/O failures here.
+    fn merge(&mut self, partial: Self::Partial) -> Result<(), Error>;
+
+    /// Finishes the sink after every scenario merged.
+    ///
+    /// # Errors
+    ///
+    /// Streaming sinks surface their final flush failures here.
+    fn finish(self) -> Result<Self::Report, Error>;
+}
+
+/// Two sinks folding the same sweep side by side (e.g. a
+/// [`DigestSink`] for the headline plus a [`JsonlSink`] streaming raw
+/// rows).
+impl<A: MetricsSink, B: MetricsSink> MetricsSink for (A, B) {
+    type Partial = (A::Partial, B::Partial);
+    type Report = (A::Report, B::Report);
+
+    fn open(&self, scenario: &Scenario, accuracy: f64) -> Self::Partial {
+        (
+            self.0.open(scenario, accuracy),
+            self.1.open(scenario, accuracy),
+        )
+    }
+
+    fn fold(partial: &mut Self::Partial, record: &RunRecord<'_>) {
+        A::fold(&mut partial.0, record);
+        B::fold(&mut partial.1, record);
+    }
+
+    fn merge(&mut self, partial: Self::Partial) -> Result<(), Error> {
+        self.0.merge(partial.0)?;
+        self.1.merge(partial.1)
+    }
+
+    fn finish(self) -> Result<Self::Report, Error> {
+        Ok((self.0.finish()?, self.1.finish()?))
+    }
+}
+
+// ---------------------------------------------------------------- full
+
+/// The compatibility sink: retains every [`ScenarioReport`] (including
+/// each completed run's latency sample) and reproduces the classic
+/// [`FleetReport`] exactly. Memory grows with the matrix — prefer
+/// [`DigestSink`] for 10k+ scenario sweeps.
+#[derive(Debug, Default)]
+pub struct FullReportSink {
+    scenarios: Vec<ScenarioReport>,
+}
+
+impl FullReportSink {
+    /// An empty full-report sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MetricsSink for FullReportSink {
+    type Partial = ScenarioReport;
+    type Report = FleetReport;
+
+    fn open(&self, scenario: &Scenario, accuracy: f64) -> ScenarioReport {
+        ScenarioReport {
+            name: scenario.name(),
+            workload: scenario.workload.name(),
+            environment: scenario.environment.name().to_string(),
+            strategy: scenario.strategy,
+            board: scenario.board.name(),
+            seed: scenario.seed,
+            accuracy,
+            runs: 0,
+            completed_runs: 0,
+            energy_limited_runs: 0,
+            outages: 0,
+            restores: 0,
+            ondemand_checkpoints: 0,
+            executed_ops: 0,
+            wasted_ops: 0,
+            energy_nj: 0.0,
+            active_seconds: 0.0,
+            charging_seconds: 0.0,
+            latencies_ms: Vec::new(),
+        }
+    }
+
+    fn fold(partial: &mut ScenarioReport, record: &RunRecord<'_>) {
+        let r = record.report;
+        partial.runs += 1;
+        partial.outages += r.outages;
+        partial.restores += r.restores;
+        partial.ondemand_checkpoints += r.ondemand_checkpoints;
+        partial.executed_ops += r.executed_ops;
+        partial.wasted_ops += r.wasted_ops;
+        partial.energy_nj += r.energy.nanojoules();
+        partial.active_seconds += r.active_seconds;
+        partial.charging_seconds += r.charging_seconds;
+        if r.outcome == RunOutcome::EnergyLimit {
+            partial.energy_limited_runs += 1;
+        }
+        if let Some(ms) = r.latency_ms() {
+            partial.completed_runs += 1;
+            partial.latencies_ms.push(ms);
+        }
+    }
+
+    fn merge(&mut self, mut partial: ScenarioReport) -> Result<(), Error> {
+        partial.latencies_ms.sort_by(f64::total_cmp);
+        self.scenarios.push(partial);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<FleetReport, Error> {
+        Ok(FleetReport {
+            scenarios: self.scenarios,
+        })
+    }
+}
+
+// -------------------------------------------------------------- digest
+
+/// The fixed-size summary of a whole sweep: exact counters plus
+/// [`StatsDigest`] sketches for latency (one sample per completed run)
+/// and accuracy (one sample per scenario). Mergeable — two digests from
+/// disjoint scenario ranges combine with [`FleetDigest::merge`], which
+/// is what makes per-worker (and, next, per-shard) partial results
+/// composable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetDigest {
+    /// Scenarios folded.
+    pub scenarios: u64,
+    /// Intermittent runs attempted.
+    pub runs: u64,
+    /// Runs whose inference finished.
+    pub completed_runs: u64,
+    /// Runs declared ✗ (stalled without progress).
+    pub no_progress_runs: u64,
+    /// Runs that hit the outage budget.
+    pub outage_limited_runs: u64,
+    /// Runs that hit the wall-clock budget.
+    pub time_limited_runs: u64,
+    /// Runs that hit the per-run energy budget.
+    pub energy_limited_runs: u64,
+    /// Power failures across all runs.
+    pub outages: u64,
+    /// Restores performed after outages.
+    pub restores: u64,
+    /// On-demand checkpoints taken.
+    pub ondemand_checkpoints: u64,
+    /// Ops executed, including re-execution after rollbacks.
+    pub executed_ops: u64,
+    /// Ops whose work was lost to rollbacks.
+    pub wasted_ops: u64,
+    /// Total energy drawn from the capacitor, in nanojoules.
+    pub energy_nj: f64,
+    /// Seconds spent computing.
+    pub active_seconds: f64,
+    /// Seconds spent dark, charging.
+    pub charging_seconds: f64,
+    /// Completed-run latency sketch, in milliseconds.
+    pub latency_ms: StatsDigest,
+    /// Per-scenario deployment accuracy sketch.
+    pub accuracy: StatsDigest,
+}
+
+impl FleetDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges `other` into `self`. Merge in a fixed order (the fleet
+    /// runner uses matrix order) for bit-identical floating-point sums.
+    pub fn merge(&mut self, other: &FleetDigest) {
+        self.scenarios += other.scenarios;
+        self.runs += other.runs;
+        self.completed_runs += other.completed_runs;
+        self.no_progress_runs += other.no_progress_runs;
+        self.outage_limited_runs += other.outage_limited_runs;
+        self.time_limited_runs += other.time_limited_runs;
+        self.energy_limited_runs += other.energy_limited_runs;
+        self.outages += other.outages;
+        self.restores += other.restores;
+        self.ondemand_checkpoints += other.ondemand_checkpoints;
+        self.executed_ops += other.executed_ops;
+        self.wasted_ops += other.wasted_ops;
+        self.energy_nj += other.energy_nj;
+        self.active_seconds += other.active_seconds;
+        self.charging_seconds += other.charging_seconds;
+        self.latency_ms.merge(&other.latency_ms);
+        self.accuracy.merge(&other.accuracy);
+    }
+
+    /// Folds one run's facts (shared by [`DigestSink`] and
+    /// [`GroupBySink`]).
+    fn fold_run(&mut self, record: &RunRecord<'_>) {
+        let r = record.report;
+        self.runs += 1;
+        match r.outcome {
+            RunOutcome::Completed => self.completed_runs += 1,
+            RunOutcome::NoProgress => self.no_progress_runs += 1,
+            RunOutcome::OutageLimit => self.outage_limited_runs += 1,
+            RunOutcome::TimeLimit => self.time_limited_runs += 1,
+            RunOutcome::EnergyLimit => self.energy_limited_runs += 1,
+        }
+        self.outages += r.outages;
+        self.restores += r.restores;
+        self.ondemand_checkpoints += r.ondemand_checkpoints;
+        self.executed_ops += r.executed_ops;
+        self.wasted_ops += r.wasted_ops;
+        self.energy_nj += r.energy.nanojoules();
+        self.active_seconds += r.active_seconds;
+        self.charging_seconds += r.charging_seconds;
+        if let Some(ms) = r.latency_ms() {
+            self.latency_ms.record(ms);
+        }
+    }
+
+    /// Fraction of runs that completed (0.0 when no runs).
+    pub fn completion_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.completed_runs as f64 / self.runs as f64
+        }
+    }
+
+    /// Forward progress: fraction of executed ops not rolled back (1.0
+    /// when nothing executed).
+    pub fn forward_progress(&self) -> f64 {
+        if self.executed_ops == 0 {
+            1.0
+        } else {
+            (self.executed_ops - self.wasted_ops) as f64 / self.executed_ops as f64
+        }
+    }
+
+    /// Total energy drawn across the fleet, in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy_nj * 1e-6
+    }
+
+    /// Mean scenario accuracy (`None` on an empty digest).
+    pub fn mean_accuracy(&self) -> Option<f64> {
+        self.accuracy.mean()
+    }
+
+    /// Bytes this digest retains — a constant, however many scenarios
+    /// were folded (the O(1)-memory claim, measurable).
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() - 2 * core::mem::size_of::<StatsDigest>()
+            + self.latency_ms.memory_bytes()
+            + self.accuracy.memory_bytes()
+    }
+}
+
+impl fmt::Display for FleetDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== fleet digest: {} scenarios, {}/{} runs completed, {} outages, {:.3} mJ ==",
+            self.scenarios,
+            self.completed_runs,
+            self.runs,
+            self.outages,
+            self.total_energy_mj()
+        )?;
+        writeln!(
+            f,
+            "outcomes: {} completed, {} no-progress, {} outage-limit, {} time-limit, {} energy-limit",
+            self.completed_runs,
+            self.no_progress_runs,
+            self.outage_limited_runs,
+            self.time_limited_runs,
+            self.energy_limited_runs
+        )?;
+        writeln!(
+            f,
+            "accuracy: mean {:.1}%   forward progress: {:.1}%",
+            self.mean_accuracy().unwrap_or(0.0) * 100.0,
+            self.forward_progress() * 100.0
+        )?;
+        writeln!(
+            f,
+            "latency: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms over {} completed runs",
+            self.latency_ms.p50().unwrap_or(0.0),
+            self.latency_ms.p90().unwrap_or(0.0),
+            self.latency_ms.p99().unwrap_or(0.0),
+            self.latency_ms.count()
+        )
+    }
+}
+
+/// Folds the whole sweep into one [`FleetDigest`]: O(1) memory no
+/// matter how many scenarios run, at the price of sketched (±2%)
+/// latency percentiles. The streaming replacement for
+/// [`FullReportSink`] on 10k+ scenario matrices.
+#[derive(Debug, Default)]
+pub struct DigestSink {
+    digest: FleetDigest,
+}
+
+impl DigestSink {
+    /// An empty digest sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MetricsSink for DigestSink {
+    type Partial = FleetDigest;
+    type Report = FleetDigest;
+
+    fn open(&self, _scenario: &Scenario, accuracy: f64) -> FleetDigest {
+        let mut partial = FleetDigest::new();
+        partial.scenarios = 1;
+        partial.accuracy.record(accuracy);
+        partial
+    }
+
+    fn fold(partial: &mut FleetDigest, record: &RunRecord<'_>) {
+        partial.fold_run(record);
+    }
+
+    fn merge(&mut self, partial: FleetDigest) -> Result<(), Error> {
+        self.digest.merge(&partial);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<FleetDigest, Error> {
+        Ok(self.digest)
+    }
+}
+
+// ------------------------------------------------------------- groupby
+
+/// Which scenario axis a [`GroupBySink`] groups on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupAxis {
+    /// Group by environment name.
+    Environment,
+    /// Group by checkpoint strategy.
+    Strategy,
+    /// Group by board name.
+    Board,
+    /// Group by workload name.
+    Workload,
+}
+
+impl GroupAxis {
+    /// The axis label of one scenario.
+    fn key(self, scenario: &Scenario) -> String {
+        match self {
+            GroupAxis::Environment => scenario.environment.name().to_string(),
+            GroupAxis::Strategy => scenario.strategy.name().to_string(),
+            GroupAxis::Board => scenario.board.name().to_string(),
+            GroupAxis::Workload => scenario.workload.name().to_string(),
+        }
+    }
+
+    /// The axis name (column header).
+    pub fn name(self) -> &'static str {
+        match self {
+            GroupAxis::Environment => "environment",
+            GroupAxis::Strategy => "strategy",
+            GroupAxis::Board => "board",
+            GroupAxis::Workload => "workload",
+        }
+    }
+}
+
+/// One [`FleetDigest`] per distinct value of a scenario axis, in
+/// first-appearance (matrix) order — "how does each environment /
+/// strategy / board do across the whole sweep" in fixed memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedDigest {
+    /// The axis grouped on.
+    pub axis: GroupAxis,
+    /// `(axis value, digest)` pairs in first-appearance order.
+    pub groups: Vec<(String, FleetDigest)>,
+}
+
+impl GroupedDigest {
+    /// The digest for one axis value, if present.
+    pub fn get(&self, key: &str) -> Option<&FleetDigest> {
+        self.groups
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, digest)| digest)
+    }
+}
+
+impl fmt::Display for GroupedDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>9} {:>11} {:>8} {:>7} {:>9} {:>9} {:>9}",
+            self.axis.name(),
+            "scenarios",
+            "done/runs",
+            "reboots",
+            "acc",
+            "p50 ms",
+            "p90 ms",
+            "p99 ms"
+        )?;
+        for (key, d) in &self.groups {
+            writeln!(
+                f,
+                "{key:<16} {:>9} {:>5}/{:<5} {:>8} {:>6.1}% {:>9.2} {:>9.2} {:>9.2}",
+                d.scenarios,
+                d.completed_runs,
+                d.runs,
+                d.outages,
+                d.mean_accuracy().unwrap_or(0.0) * 100.0,
+                d.latency_ms.p50().unwrap_or(0.0),
+                d.latency_ms.p90().unwrap_or(0.0),
+                d.latency_ms.p99().unwrap_or(0.0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregates one [`FleetDigest`] per value of a scenario axis.
+#[derive(Debug)]
+pub struct GroupBySink {
+    axis: GroupAxis,
+    groups: Vec<(String, FleetDigest)>,
+}
+
+impl GroupBySink {
+    /// A sink grouping on the given axis.
+    pub fn new(axis: GroupAxis) -> Self {
+        GroupBySink {
+            axis,
+            groups: Vec::new(),
+        }
+    }
+}
+
+impl MetricsSink for GroupBySink {
+    type Partial = (String, FleetDigest);
+    type Report = GroupedDigest;
+
+    fn open(&self, scenario: &Scenario, accuracy: f64) -> (String, FleetDigest) {
+        let mut partial = FleetDigest::new();
+        partial.scenarios = 1;
+        partial.accuracy.record(accuracy);
+        (self.axis.key(scenario), partial)
+    }
+
+    fn fold(partial: &mut (String, FleetDigest), record: &RunRecord<'_>) {
+        partial.1.fold_run(record);
+    }
+
+    fn merge(&mut self, (key, partial): (String, FleetDigest)) -> Result<(), Error> {
+        match self.groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, digest)) => digest.merge(&partial),
+            None => self.groups.push((key, partial)),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<GroupedDigest, Error> {
+        Ok(GroupedDigest {
+            axis: self.axis,
+            groups: self.groups,
+        })
+    }
+}
+
+// ----------------------------------------------------------- row sinks
+
+/// The row fields shared by [`JsonlSink`] and [`CsvSink`], in column
+/// order.
+fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 19] {
+    let s = record.scenario;
+    let r = record.report;
+    [
+        ("scenario", s.index.to_string()),
+        ("workload", s.workload.name().to_string()),
+        ("environment", s.environment.name().to_string()),
+        ("strategy", s.strategy.name().to_string()),
+        ("board", s.board.name().to_string()),
+        ("seed", s.seed.to_string()),
+        ("run", record.run.to_string()),
+        ("outcome", r.outcome.label().to_string()),
+        ("accuracy", record.accuracy.to_string()),
+        (
+            "latency_ms",
+            r.latency_ms().map_or(String::new(), |ms| ms.to_string()),
+        ),
+        ("outages", r.outages.to_string()),
+        ("restores", r.restores.to_string()),
+        ("ondemand_checkpoints", r.ondemand_checkpoints.to_string()),
+        ("executed_ops", r.executed_ops.to_string()),
+        ("wasted_ops", r.wasted_ops.to_string()),
+        ("energy_nj", r.energy.nanojoules().to_string()),
+        ("active_seconds", r.active_seconds.to_string()),
+        ("charging_seconds", r.charging_seconds.to_string()),
+        ("wall_seconds", r.wall_seconds.to_string()),
+    ]
+}
+
+/// Whether a field is a JSON string (true) or bare number (false).
+fn json_is_string(name: &str) -> bool {
+    matches!(
+        name,
+        "workload" | "environment" | "strategy" | "board" | "outcome"
+    )
+}
+
+/// RFC-4180-style CSV field escape: fields containing a comma, quote
+/// or line break are quoted with inner quotes doubled (user-named
+/// replay environments can contain anything).
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Minimal JSON string escape (our names are plain ASCII, but quotes
+/// and backslashes must never corrupt the stream).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Streams one JSON object per run to a writer, rows in (matrix, run)
+/// order. Retains only the rows of scenarios still in flight; the
+/// stream itself is the output.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    rows: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink streaming JSONL rows into `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, rows: 0 }
+    }
+}
+
+impl<W: Write> MetricsSink for JsonlSink<W> {
+    /// One pre-rendered row per run.
+    type Partial = Vec<String>;
+    /// The writer (handed back) and the number of rows written.
+    type Report = (W, u64);
+
+    fn open(&self, _scenario: &Scenario, _accuracy: f64) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn fold(partial: &mut Vec<String>, record: &RunRecord<'_>) {
+        let mut row = String::with_capacity(256);
+        row.push('{');
+        for (i, (name, value)) in row_fields(record).iter().enumerate() {
+            if i > 0 {
+                row.push(',');
+            }
+            row.push('"');
+            row.push_str(name);
+            row.push_str("\":");
+            if value.is_empty() {
+                row.push_str("null");
+            } else if json_is_string(name) {
+                row.push('"');
+                row.push_str(&json_escape(value));
+                row.push('"');
+            } else {
+                row.push_str(value);
+            }
+        }
+        row.push('}');
+        partial.push(row);
+    }
+
+    fn merge(&mut self, partial: Vec<String>) -> Result<(), Error> {
+        for row in partial {
+            self.writer.write_all(row.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.rows += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(W, u64), Error> {
+        self.writer.flush()?;
+        Ok((self.writer, self.rows))
+    }
+}
+
+/// Streams one CSV row per run to a writer (header first), rows in
+/// (matrix, run) order.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    writer: W,
+    rows: u64,
+    wrote_header: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// A sink streaming CSV rows into `writer`.
+    pub fn new(writer: W) -> Self {
+        CsvSink {
+            writer,
+            rows: 0,
+            wrote_header: false,
+        }
+    }
+
+    fn write_header(&mut self) -> Result<(), Error> {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            self.writer.write_all(CSV_COLUMNS.join(",").as_bytes())?;
+            self.writer.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+/// The CSV column names, in order (matches [`row_fields`]).
+const CSV_COLUMNS: [&str; 19] = [
+    "scenario",
+    "workload",
+    "environment",
+    "strategy",
+    "board",
+    "seed",
+    "run",
+    "outcome",
+    "accuracy",
+    "latency_ms",
+    "outages",
+    "restores",
+    "ondemand_checkpoints",
+    "executed_ops",
+    "wasted_ops",
+    "energy_nj",
+    "active_seconds",
+    "charging_seconds",
+    "wall_seconds",
+];
+
+impl<W: Write> MetricsSink for CsvSink<W> {
+    /// One pre-rendered row per run.
+    type Partial = Vec<String>;
+    /// The writer (handed back) and the number of data rows written.
+    type Report = (W, u64);
+
+    fn open(&self, _scenario: &Scenario, _accuracy: f64) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn fold(partial: &mut Vec<String>, record: &RunRecord<'_>) {
+        let fields = row_fields(record);
+        let mut row = String::with_capacity(192);
+        for (i, (_, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                row.push(',');
+            }
+            row.push_str(&csv_escape(value));
+        }
+        partial.push(row);
+    }
+
+    fn merge(&mut self, partial: Vec<String>) -> Result<(), Error> {
+        self.write_header()?;
+        for row in partial {
+            self.writer.write_all(row.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.rows += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(W, u64), Error> {
+        self.write_header()?;
+        self.writer.flush()?;
+        Ok((self.writer, self.rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioMatrix;
+    use ehdl::device::{Cycles, Energy, EnergyMeter};
+
+    fn fake_report(outcome: RunOutcome, wall_seconds: f64) -> RunReport {
+        RunReport {
+            outcome,
+            outages: 2,
+            ondemand_checkpoints: 1,
+            restores: 2,
+            executed_ops: 100,
+            wasted_ops: 10,
+            active_cycles: Cycles::new(1_000),
+            active_seconds: 0.01,
+            charging_seconds: 0.02,
+            wall_seconds,
+            energy: Energy::from_nanojoules(5_000.0),
+            checkpoint_energy: Energy::from_nanojoules(100.0),
+            meter: EnergyMeter::new(),
+        }
+    }
+
+    /// Feeds the same two-scenario, two-run stream through any sink.
+    fn drive<S: MetricsSink>(mut sink: S) -> S::Report {
+        let scenarios = ScenarioMatrix::new().scenarios(); // 4 envs × FLEX
+        for scenario in scenarios.iter().take(2) {
+            let mut partial = sink.open(scenario, 0.75);
+            for run in 0..2u32 {
+                let outcome = if run == 0 {
+                    RunOutcome::Completed
+                } else {
+                    RunOutcome::EnergyLimit
+                };
+                let report = fake_report(outcome, 0.1 * f64::from(run + 1));
+                let record = RunRecord {
+                    scenario,
+                    run,
+                    accuracy: 0.75,
+                    report: &report,
+                };
+                S::fold(&mut partial, &record);
+            }
+            sink.merge(partial).unwrap();
+        }
+        sink.finish().unwrap()
+    }
+
+    #[test]
+    fn full_report_sink_rebuilds_scenario_reports() {
+        let report = drive(FullReportSink::new());
+        assert_eq!(report.len(), 2);
+        let s = &report.scenarios[0];
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.completed_runs, 1);
+        assert_eq!(s.energy_limited_runs, 1);
+        assert_eq!(s.outages, 4);
+        assert_eq!(s.latencies_ms, vec![100.0]);
+        assert_eq!(s.environment, "bench_supply");
+        assert_eq!(report.scenarios[1].environment, "office_rf");
+    }
+
+    #[test]
+    fn digest_sink_folds_to_fixed_size_state() {
+        let digest = drive(DigestSink::new());
+        assert_eq!(digest.scenarios, 2);
+        assert_eq!(digest.runs, 4);
+        assert_eq!(digest.completed_runs, 2);
+        assert_eq!(digest.energy_limited_runs, 2);
+        assert_eq!(digest.outages, 8);
+        assert_eq!(digest.latency_ms.count(), 2);
+        assert_eq!(digest.accuracy.mean(), Some(0.75));
+        assert!((digest.total_energy_mj() - 20_000.0 * 1e-6).abs() < 1e-12);
+        let text = digest.to_string();
+        assert!(text.contains("2 energy-limit"), "{text}");
+    }
+
+    #[test]
+    fn fleet_digests_merge() {
+        let a = drive(DigestSink::new());
+        let b = drive(DigestSink::new());
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.scenarios, 4);
+        assert_eq!(merged.runs, 8);
+        assert_eq!(merged.latency_ms.count(), 4);
+        // Merging an empty digest is the identity.
+        let mut copy = a.clone();
+        copy.merge(&FleetDigest::new());
+        assert_eq!(copy, a);
+    }
+
+    #[test]
+    fn group_by_sink_groups_in_first_appearance_order() {
+        // Two scenarios differ in environment → two environment groups,
+        // but a single strategy group.
+        let by_env = drive(GroupBySink::new(GroupAxis::Environment));
+        assert_eq!(by_env.groups.len(), 2);
+        assert_eq!(by_env.groups[0].0, "bench_supply");
+        assert_eq!(by_env.groups[1].0, "office_rf");
+        assert_eq!(by_env.get("bench_supply").unwrap().runs, 2);
+        assert!(by_env.get("missing").is_none());
+
+        let by_strategy = drive(GroupBySink::new(GroupAxis::Strategy));
+        assert_eq!(by_strategy.groups.len(), 1);
+        assert_eq!(by_strategy.groups[0].1.runs, 4);
+        let text = by_strategy.to_string();
+        assert!(text.contains("strategy"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_sink_streams_one_object_per_run() {
+        let (bytes, rows) = drive(JsonlSink::new(Vec::new()));
+        assert_eq!(rows, 4);
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"outcome\":\"completed\""));
+        assert!(lines[1].contains("\"outcome\":\"energy_limit\""));
+        // Aborted runs have no latency.
+        assert!(lines[1].contains("\"latency_ms\":null"));
+        assert!(lines[0].contains("\"latency_ms\":100"));
+        assert!(lines[0].contains("\"environment\":\"bench_supply\""));
+    }
+
+    #[test]
+    fn csv_sink_writes_header_and_rows() {
+        let (bytes, rows) = drive(CsvSink::new(Vec::new()));
+        assert_eq!(rows, 4);
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("scenario,workload,environment"));
+        assert_eq!(lines[1].split(',').count(), CSV_COLUMNS.len());
+        // Empty latency field for the aborted run.
+        assert!(lines[2].contains(",energy_limit,"));
+        // An empty sweep still produces the header.
+        let empty: CsvSink<Vec<u8>> = CsvSink::new(Vec::new());
+        let (bytes, rows) = empty.finish().unwrap();
+        assert_eq!(rows, 0);
+        assert!(String::from_utf8(bytes).unwrap().starts_with("scenario,"));
+    }
+
+    #[test]
+    fn paired_sinks_fold_side_by_side() {
+        let (digest, (bytes, rows)) = drive((DigestSink::new(), JsonlSink::new(Vec::new())));
+        assert_eq!(digest.runs, 4);
+        assert_eq!(rows, 4);
+        assert!(!bytes.is_empty());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn csv_escape_quotes_hostile_fields() {
+        assert_eq!(csv_escape("bench_supply"), "bench_supply");
+        assert_eq!(csv_escape("lab, day 2"), "\"lab, day 2\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("a\nb"), "\"a\nb\"");
+    }
+
+    #[test]
+    fn csv_rows_survive_comma_bearing_environment_names() {
+        let env = ehdl::ehsim::catalog::replay("lab, day 2", vec![(0.1, 0.002)]).unwrap();
+        let scenarios = ScenarioMatrix::new().environments(vec![env]).scenarios();
+        let sink = CsvSink::new(Vec::new());
+        let mut partial = sink.open(&scenarios[0], 0.5);
+        let report = fake_report(RunOutcome::Completed, 0.1);
+        let record = RunRecord {
+            scenario: &scenarios[0],
+            run: 0,
+            accuracy: 0.5,
+            report: &report,
+        };
+        CsvSink::<Vec<u8>>::fold(&mut partial, &record);
+        // The quoted field keeps the column count at 19.
+        let row = &partial[0];
+        assert!(row.contains("\"lab, day 2\""), "{row}");
+        let mut fields = 0usize;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fields + 1, CSV_COLUMNS.len());
+    }
+
+    #[test]
+    fn csv_columns_pin_the_row_schema() {
+        // The three hand-maintained schema views must agree: the header
+        // list, the row field names, and the JSON string-typing.
+        let scenarios = ScenarioMatrix::new().scenarios();
+        let report = fake_report(RunOutcome::Completed, 0.1);
+        let record = RunRecord {
+            scenario: &scenarios[0],
+            run: 0,
+            accuracy: 0.5,
+            report: &report,
+        };
+        let names: Vec<&str> = row_fields(&record).iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, CSV_COLUMNS);
+        let string_typed: Vec<&str> = names
+            .iter()
+            .copied()
+            .filter(|n| json_is_string(n))
+            .collect();
+        assert_eq!(
+            string_typed,
+            ["workload", "environment", "strategy", "board", "outcome"]
+        );
+    }
+}

@@ -5,15 +5,17 @@ use ehdl::Strategy;
 
 /// Nearest-rank percentile of an **ascending-sorted** slice.
 ///
-/// `p` is in `[0, 100]`. Returns 0.0 on an empty slice. The nearest-rank
-/// definition picks an actual sample (never interpolates), so the result
-/// is bit-stable regardless of how the samples were produced.
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// `p` is in `[0, 100]`. Returns `None` on an empty slice — an empty
+/// sample set has no percentiles, and the old silent `0.0` let "no runs
+/// completed" masquerade as "zero latency". The nearest-rank definition
+/// picks an actual sample (never interpolates), so the result is
+/// bit-stable regardless of how the samples were produced.
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 /// Everything measured for one scenario: the accuracy of its deployment
@@ -38,6 +40,9 @@ pub struct ScenarioReport {
     pub runs: u32,
     /// Runs whose inference finished.
     pub completed_runs: u32,
+    /// Runs aborted by the per-run energy budget
+    /// (`ExecutorConfig::energy_budget_nj`).
+    pub energy_limited_runs: u32,
     /// Power failures (reboots) across all runs.
     pub outages: u64,
     /// Restores performed after outages.
@@ -80,18 +85,21 @@ impl ScenarioReport {
         }
     }
 
-    /// Median completed-run latency in milliseconds.
-    pub fn p50_ms(&self) -> f64 {
+    /// Median completed-run latency in milliseconds (`None` when no run
+    /// completed).
+    pub fn p50_ms(&self) -> Option<f64> {
         percentile(&self.latencies_ms, 50.0)
     }
 
-    /// 90th-percentile completed-run latency in milliseconds.
-    pub fn p90_ms(&self) -> f64 {
+    /// 90th-percentile completed-run latency in milliseconds (`None`
+    /// when no run completed).
+    pub fn p90_ms(&self) -> Option<f64> {
         percentile(&self.latencies_ms, 90.0)
     }
 
-    /// 99th-percentile completed-run latency in milliseconds.
-    pub fn p99_ms(&self) -> f64 {
+    /// 99th-percentile completed-run latency in milliseconds (`None`
+    /// when no run completed).
+    pub fn p99_ms(&self) -> Option<f64> {
         percentile(&self.latencies_ms, 99.0)
     }
 }
@@ -163,9 +171,27 @@ impl FleetReport {
         all
     }
 
-    /// Fleet-wide latency percentile in milliseconds (completed runs).
-    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+    /// Fleet-wide latency percentile in milliseconds over completed
+    /// runs (`None` when nothing completed).
+    pub fn latency_percentile_ms(&self, p: f64) -> Option<f64> {
         percentile(&self.latencies_ms(), p)
+    }
+
+    /// Approximate bytes this dense report retains: per-scenario
+    /// structs, their owned strings and every per-run latency sample —
+    /// the linear growth the digest sinks exist to avoid.
+    pub fn memory_bytes(&self) -> usize {
+        let per_scenario: usize = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                core::mem::size_of::<ScenarioReport>()
+                    + s.name.capacity()
+                    + s.environment.capacity()
+                    + s.latencies_ms.capacity() * core::mem::size_of::<f64>()
+            })
+            .sum();
+        core::mem::size_of::<Self>() + per_scenario
     }
 }
 
@@ -195,18 +221,18 @@ impl fmt::Display for FleetReport {
                 s.runs,
                 s.outages,
                 s.forward_progress() * 100.0,
-                s.p50_ms(),
-                s.p90_ms(),
-                s.p99_ms()
+                s.p50_ms().unwrap_or(0.0),
+                s.p90_ms().unwrap_or(0.0),
+                s.p99_ms().unwrap_or(0.0)
             )?;
         }
         let lat = self.latencies_ms();
         writeln!(
             f,
             "fleet latency: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms over {} completed runs",
-            percentile(&lat, 50.0),
-            percentile(&lat, 90.0),
-            percentile(&lat, 99.0),
+            percentile(&lat, 50.0).unwrap_or(0.0),
+            percentile(&lat, 90.0).unwrap_or(0.0),
+            percentile(&lat, 99.0).unwrap_or(0.0),
             lat.len()
         )
     }
@@ -218,15 +244,15 @@ mod tests {
 
     /// The textbook nearest-rank definition, written independently of
     /// the production code path.
-    fn reference_percentile(samples: &[f64], p: f64) -> f64 {
+    fn reference_percentile(samples: &[f64], p: f64) -> Option<f64> {
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
         if sorted.is_empty() {
-            return 0.0;
+            return None;
         }
         let n = sorted.len();
         let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        sorted[rank.max(1).min(n) - 1]
+        Some(sorted[rank.max(1).min(n) - 1])
     }
 
     fn splitmix(mut z: u64) -> u64 {
@@ -257,15 +283,15 @@ mod tests {
 
     #[test]
     fn percentile_small_cases_by_hand() {
-        assert_eq!(percentile(&[], 50.0), 0.0);
-        assert_eq!(percentile(&[5.0], 50.0), 5.0);
-        assert_eq!(percentile(&[5.0], 99.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[5.0], 50.0), Some(5.0));
+        assert_eq!(percentile(&[5.0], 99.0), Some(5.0));
         let s = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&s, 50.0), 2.0); // rank ceil(0.5*4)=2
-        assert_eq!(percentile(&s, 75.0), 3.0);
-        assert_eq!(percentile(&s, 76.0), 4.0);
-        assert_eq!(percentile(&s, 0.0), 1.0); // clamped to rank 1
-        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert_eq!(percentile(&s, 50.0), Some(2.0)); // rank ceil(0.5*4)=2
+        assert_eq!(percentile(&s, 75.0), Some(3.0));
+        assert_eq!(percentile(&s, 76.0), Some(4.0));
+        assert_eq!(percentile(&s, 0.0), Some(1.0)); // clamped to rank 1
+        assert_eq!(percentile(&s, 100.0), Some(4.0));
     }
 
     fn tiny_report(latencies_ms: Vec<f64>) -> ScenarioReport {
@@ -279,6 +305,7 @@ mod tests {
             accuracy: 0.5,
             runs: latencies_ms.len() as u32 + 1,
             completed_runs: latencies_ms.len() as u32,
+            energy_limited_runs: 0,
             outages: 3,
             restores: 3,
             ondemand_checkpoints: 2,
@@ -296,8 +323,8 @@ mod tests {
         let r = tiny_report(vec![1.0, 2.0, 3.0]);
         assert!((r.forward_progress() - 0.75).abs() < 1e-12);
         assert!((r.completion_rate() - 0.75).abs() < 1e-12);
-        assert_eq!(r.p50_ms(), 2.0);
-        assert_eq!(r.p99_ms(), 3.0);
+        assert_eq!(r.p50_ms(), Some(2.0));
+        assert_eq!(r.p99_ms(), Some(3.0));
         let empty = ScenarioReport {
             executed_ops: 0,
             wasted_ops: 0,
@@ -307,6 +334,7 @@ mod tests {
         };
         assert_eq!(empty.forward_progress(), 1.0);
         assert_eq!(empty.completion_rate(), 0.0);
+        assert_eq!(empty.p50_ms(), None, "no completed runs, no percentile");
     }
 
     #[test]
@@ -321,7 +349,7 @@ mod tests {
         // 2 × 1e6 nJ = 2 mJ.
         assert!((report.total_energy_mj() - 2.0).abs() < 1e-12);
         assert_eq!(report.latencies_ms(), vec![1.0, 4.0, 6.0, 9.0]);
-        assert_eq!(report.latency_percentile_ms(50.0), 4.0);
+        assert_eq!(report.latency_percentile_ms(50.0), Some(4.0));
         assert!((report.mean_accuracy() - 0.5).abs() < 1e-12);
         let text = report.to_string();
         assert!(text.contains("fleet latency"));

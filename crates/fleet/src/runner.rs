@@ -1,26 +1,35 @@
-//! The fixed-pool executor that sweeps a [`ScenarioMatrix`].
+//! The fixed-pool executor that sweeps a [`ScenarioMatrix`] into a
+//! [`MetricsSink`].
 
-use crate::report::{FleetReport, ScenarioReport};
+use crate::metrics::{FullReportSink, MetricsSink, RunRecord};
+use crate::report::FleetReport;
 use crate::scenario::{Scenario, ScenarioMatrix, Workload};
 use ehdl::deployment::quantized_accuracy;
 use ehdl::ehsim::{ExecutionPlan, IntermittentExecutor, RunTrace};
 use ehdl::{BoardSpec, Deployment, Error, Strategy};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Lazily recorded trace of the one trajectory a deterministic
 /// (plan, environment) pair can take. `None` until some worker records
 /// it; every later run of the pair replays it bit-identically.
 type TraceSlot = Mutex<Option<Arc<RunTrace>>>;
 
-/// Executes a [`ScenarioMatrix`] across a fixed pool of worker threads.
+/// Executes a [`ScenarioMatrix`] across a fixed pool of worker threads,
+/// streaming one [`RunRecord`] per (scenario, run) into a
+/// [`MetricsSink`].
 ///
-/// Work is handed out scenario-by-scenario from an atomic cursor, so any
-/// interleaving of workers visits every scenario exactly once. Each
-/// scenario's fold happens entirely inside one worker and the final
-/// fleet fold walks scenarios in matrix order, which makes the report a
-/// pure function of the matrix: same matrix ⇒ equal [`FleetReport`],
-/// whether 1 or 64 workers ran it.
+/// Work is handed out scenario-by-scenario from an atomic cursor, so
+/// any interleaving of workers visits every scenario exactly once. Each
+/// scenario's runs fold into the sink's per-scenario accumulator inside
+/// one worker in run order; completed accumulators flow back to the
+/// coordinating thread, which merges them **in matrix order** as soon
+/// as the ordered prefix is complete. That makes every sink's report a
+/// pure function of the matrix: same matrix ⇒ identical report,
+/// whether 1 or 64 workers ran it — and sinks that fold into fixed-size
+/// state (e.g. [`DigestSink`](crate::DigestSink)) keep the whole sweep
+/// in O(1) memory, with nothing retained per run.
 ///
 /// Besides sharing each built [`Deployment`] across environments, the
 /// runner compiles one costed [`ExecutionPlan`] per (workload, board,
@@ -52,6 +61,28 @@ impl FleetRunner {
         }
     }
 
+    /// A builder defaulting to one worker per available core and the
+    /// compatibility [`FullReportSink`]; swap the sink with
+    /// [`sink`](FleetBuilder::sink):
+    ///
+    /// ```no_run
+    /// use ehdl_fleet::{DigestSink, FleetRunner, ScenarioMatrix};
+    ///
+    /// let digest = FleetRunner::builder()
+    ///     .workers(8)
+    ///     .sink(DigestSink::new())
+    ///     .run(&ScenarioMatrix::new())?;
+    /// println!("{digest}");
+    /// # Ok::<(), ehdl::Error>(())
+    /// ```
+    pub fn builder() -> FleetBuilder<FullReportSink> {
+        FleetBuilder {
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            reference: false,
+            sink: FullReportSink::new(),
+        }
+    }
+
     /// Routes every intermittent run through the retained op-by-op
     /// reference interpreter instead of the compiled execution plans,
     /// with a freshly lowered program per scenario — the pre-plan
@@ -67,18 +98,36 @@ impl FleetRunner {
         self.workers
     }
 
-    /// Sweeps the matrix: builds each distinct deployment once (in
-    /// matrix order, on the calling thread), fans the scenarios out over
-    /// the pool, and folds the per-scenario reports deterministically.
+    /// Sweeps the matrix into the compatibility [`FullReportSink`],
+    /// retaining every scenario's report — the classic dense
+    /// [`FleetReport`].
     ///
     /// # Errors
     ///
     /// Returns the error of the lowest-indexed failing scenario (or a
     /// deployment-build error), so failures are deterministic too.
     pub fn run(&self, matrix: &ScenarioMatrix) -> Result<FleetReport, Error> {
+        self.run_with_sink(matrix, FullReportSink::new())
+    }
+
+    /// Sweeps the matrix: builds each distinct deployment once (in
+    /// matrix order, on the calling thread), fans the scenarios out
+    /// over the pool, and streams every run into `sink` under the
+    /// deterministic fold/merge contract of [`MetricsSink`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing scenario (or a
+    /// deployment-build error, or the sink's first write error), so
+    /// failures are deterministic too.
+    pub fn run_with_sink<S: MetricsSink + Send>(
+        &self,
+        matrix: &ScenarioMatrix,
+        sink: S,
+    ) -> Result<S::Report, Error> {
         let scenarios = matrix.scenarios();
         if scenarios.is_empty() {
-            return Ok(FleetReport { scenarios: vec![] });
+            return sink.finish();
         }
 
         // One deployment per (workload, board, strategy, seed): scenario
@@ -129,57 +178,208 @@ impl FleetRunner {
             .map(|_| Mutex::new(None))
             .collect();
 
+        // The sink is shared: workers briefly lock it to `open` each
+        // scenario's accumulator as they claim it (so at most one
+        // accumulator per worker is live — a fixed-size sink keeps the
+        // whole sweep O(1)), and the coordinator locks it to `merge`
+        // completed accumulators in matrix order.
+        let sink = Mutex::new(sink);
+
         let executor = IntermittentExecutor::new(matrix.executor.clone());
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<ScenarioReport, Error>>>> =
-            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        // The merge frontier (scenarios merged so far), mirrored into an
+        // atomic so workers can apply backpressure: nobody claims a
+        // scenario more than `window` ahead of it, which caps the
+        // coordinator's reorder buffer even when one early scenario is
+        // far slower than the rest.
+        let merged = AtomicUsize::new(0);
+        let window = 4 * self.workers.min(scenarios.len()) + 16;
+        let total = scenarios.len();
+        let (tx, rx) = mpsc::channel::<(usize, Result<S::Partial, Error>)>();
+
+        // Lowest-indexed scenario failure and first sink failure, kept
+        // separate so the error we return is deterministic.
+        let mut run_error: Option<(usize, Error)> = None;
+        let mut sink_error: Option<Error> = None;
 
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(scenarios.len()) {
-                scope.spawn(|| loop {
+            let scenarios = &scenarios;
+            let deployments = &deployments;
+            let plans = &plans;
+            let plan_of = &plan_of;
+            let traces = &traces;
+            let executor = &executor;
+            let cursor = &cursor;
+            let merged = &merged;
+            let sink = &sink;
+            for _ in 0..self.workers.min(total) {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(scenario) = scenarios.get(i) else {
                         break;
                     };
+                    // Backpressure: the worker holding the lowest
+                    // in-flight index never waits (everything below it
+                    // has been sent, so the frontier reaches it), which
+                    // rules out deadlock; everyone else idles on a timed
+                    // doze — negligible CPU, and at most a stall-length
+                    // wakeup lag — instead of inflating the reorder
+                    // buffer.
+                    while i >= merged.load(Ordering::Relaxed).saturating_add(window) {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
                     let (deployment, accuracy) = &deployments[scenario.deployment_key];
                     let plan_slot = plan_of[scenario.deployment_key];
                     let trace = (!self.reference && !scenario.environment.is_stochastic())
                         .then(|| &traces[plan_slot * environments + scenario.environment_key]);
-                    let report = run_scenario(
+                    let mut partial = sink.lock().expect("sink lock").open(scenario, *accuracy);
+                    let result = run_scenario::<S>(
                         scenario,
                         deployment,
                         &plans[plan_slot],
                         trace,
                         *accuracy,
-                        &executor,
+                        executor,
                         matrix.runs,
                         self.reference,
+                        &mut partial,
                     );
-                    *slots[i].lock().expect("slot lock") = Some(report);
+                    if tx.send((i, result.map(|()| partial))).is_err() {
+                        break; // coordinator gone (a sibling panicked)
+                    }
                 });
+            }
+            drop(tx);
+
+            // Stream-merge on this thread: absorb each scenario's
+            // accumulator the moment the ordered prefix allows, buffering
+            // only out-of-order stragglers. Sinks see matrix order; the
+            // buffer stays tiny because workers drain the cursor roughly
+            // in order.
+            let mut pending: BTreeMap<usize, S::Partial> = BTreeMap::new();
+            let mut next = 0usize;
+            for _ in 0..total {
+                let Ok((i, result)) = rx.recv() else {
+                    break; // worker panicked; scope join re-raises it
+                };
+                let failed = run_error.is_some() || sink_error.is_some();
+                match result {
+                    Ok(partial) if !failed => {
+                        pending.insert(i, partial);
+                    }
+                    // Once anything has failed the sweep's result is
+                    // already Err: later accumulators are dropped, not
+                    // buffered (dispatch was halted below).
+                    Ok(_) => {}
+                    Err(e) => {
+                        if run_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                            run_error = Some((i, e));
+                        }
+                    }
+                }
+                while let Some(partial) = pending.remove(&next) {
+                    if sink_error.is_none() {
+                        if let Err(e) = sink.lock().expect("sink lock").merge(partial) {
+                            sink_error = Some(e);
+                        }
+                    }
+                    next += 1;
+                    merged.store(next, Ordering::Relaxed);
+                }
+                if run_error.is_some() || sink_error.is_some() {
+                    // Halt dispatch (in-flight scenarios still drain
+                    // through the channel), release any backpressured
+                    // worker, and drop the unmergeable suffix.
+                    cursor.store(total, Ordering::Relaxed);
+                    merged.store(total, Ordering::Relaxed);
+                    pending.clear();
+                }
             }
         });
 
-        let mut reports = Vec::with_capacity(scenarios.len());
-        for slot in slots {
-            match slot.into_inner().expect("slot lock") {
-                Some(Ok(report)) => reports.push(report),
-                Some(Err(e)) => return Err(e),
-                None => unreachable!("every scenario index was claimed by a worker"),
-            }
+        if let Some((_, e)) = run_error {
+            return Err(e);
         }
-        Ok(FleetReport { scenarios: reports })
+        if let Some(e) = sink_error {
+            return Err(e);
+        }
+        sink.into_inner().expect("sink lock").finish()
+    }
+}
+
+/// Configures a [`FleetRunner`] together with the [`MetricsSink`] a
+/// sweep folds into. Created by [`FleetRunner::builder`]; swapping the
+/// sink retypes the builder, so [`run`](Self::run) returns whatever
+/// that sink reports.
+#[derive(Debug)]
+pub struct FleetBuilder<S: MetricsSink> {
+    workers: usize,
+    reference: bool,
+    sink: S,
+}
+
+impl<S: MetricsSink> FleetBuilder<S> {
+    /// Sets the worker-pool size (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Routes runs through the op-by-op reference interpreter (see
+    /// [`FleetRunner::reference_executor`]).
+    pub fn reference_executor(mut self, reference: bool) -> Self {
+        self.reference = reference;
+        self
+    }
+
+    /// Replaces the sink, retyping the builder.
+    pub fn sink<T: MetricsSink>(self, sink: T) -> FleetBuilder<T> {
+        FleetBuilder {
+            workers: self.workers,
+            reference: self.reference,
+            sink,
+        }
+    }
+
+    /// Sweeps the matrix into the configured sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetRunner::run_with_sink`].
+    pub fn run(self, matrix: &ScenarioMatrix) -> Result<S::Report, Error>
+    where
+        S: Send,
+    {
+        FleetRunner {
+            workers: self.workers,
+            reference: self.reference,
+        }
+        .run_with_sink(matrix, self.sink)
+    }
+}
+
+impl FleetBuilder<FullReportSink> {
+    /// Finishes into a reusable [`FleetRunner`] (full-report sweeps
+    /// only; sinks are consumed per sweep, so sink-typed builders run
+    /// directly).
+    pub fn build(self) -> FleetRunner {
+        FleetRunner {
+            workers: self.workers,
+            reference: self.reference,
+        }
     }
 }
 
 /// Runs one scenario on its shared deployment and shared execution
-/// plan: `runs` intermittent inferences with per-run re-seeding
+/// plan: `runs` intermittent inferences with per-run re-seeding, each
+/// folded into the sink accumulator as a [`RunRecord`] in run order
 /// (accuracy was priced once per deployment by the runner). In
 /// `reference` mode the session compiles its own plan and replays the
 /// op-by-op interpreter instead — the pre-plan behavior parity suites
 /// compare against.
 #[allow(clippy::too_many_arguments)]
-fn run_scenario(
+fn run_scenario<S: MetricsSink>(
     scenario: &Scenario,
     deployment: &Deployment,
     plan: &Arc<ExecutionPlan>,
@@ -188,32 +388,12 @@ fn run_scenario(
     executor: &IntermittentExecutor,
     runs: u32,
     reference: bool,
-) -> Result<ScenarioReport, Error> {
+    partial: &mut S::Partial,
+) -> Result<(), Error> {
     let mut session = if reference {
         deployment.session()
     } else {
         deployment.session_with_plan(Arc::clone(plan))
-    };
-
-    let mut report = ScenarioReport {
-        name: scenario.name(),
-        workload: scenario.workload.name(),
-        environment: scenario.environment.name().to_string(),
-        strategy: scenario.strategy,
-        board: scenario.board.name(),
-        seed: scenario.seed,
-        accuracy,
-        runs,
-        completed_runs: 0,
-        outages: 0,
-        restores: 0,
-        ondemand_checkpoints: 0,
-        executed_ops: 0,
-        wasted_ops: 0,
-        energy_nj: 0.0,
-        active_seconds: 0.0,
-        charging_seconds: 0.0,
-        latencies_ms: Vec::new(),
     };
 
     for run in 0..u64::from(runs) {
@@ -255,21 +435,15 @@ fn run_scenario(
                 session.infer_intermittent_with(executor, &mut supply)
             }
         };
-        report.outages += r.outages;
-        report.restores += r.restores;
-        report.ondemand_checkpoints += r.ondemand_checkpoints;
-        report.executed_ops += r.executed_ops;
-        report.wasted_ops += r.wasted_ops;
-        report.energy_nj += r.energy.nanojoules();
-        report.active_seconds += r.active_seconds;
-        report.charging_seconds += r.charging_seconds;
-        if r.completed() {
-            report.completed_runs += 1;
-            report.latencies_ms.push(r.wall_seconds * 1e3);
-        }
+        let record = RunRecord {
+            scenario,
+            run: run as u32,
+            accuracy,
+            report: &r,
+        };
+        S::fold(partial, &record);
     }
-    report.latencies_ms.sort_by(f64::total_cmp);
-    Ok(report)
+    Ok(())
 }
 
 /// SplitMix64-style mix of (scenario seed, run index) — the per-run
@@ -287,6 +461,7 @@ pub fn mix(seed: u64, run: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::{CsvSink, DigestSink, GroupAxis, GroupBySink, JsonlSink};
     use crate::scenario::Workload;
     use ehdl::ehsim::{catalog, ExecutorConfig};
     use ehdl::Strategy;
@@ -304,6 +479,11 @@ mod tests {
         let report = FleetRunner::new(4).run(&matrix).unwrap();
         assert!(report.is_empty());
         assert_eq!(report.total_runs(), 0);
+        let digest = FleetRunner::builder()
+            .sink(DigestSink::new())
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(digest.scenarios, 0);
     }
 
     #[test]
@@ -374,5 +554,110 @@ mod tests {
         let four = FleetRunner::new(4).run(&matrix).unwrap();
         assert_eq!(one, four);
         assert_eq!(one.to_string(), four.to_string());
+    }
+
+    #[test]
+    fn builder_full_report_matches_run() {
+        let matrix = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::piezo_gait()])
+            .workloads(vec![Workload::Har { samples: 4 }])
+            .executor(quick_executor());
+        let classic = FleetRunner::new(3).run(&matrix).unwrap();
+        let built = FleetRunner::builder()
+            .workers(3)
+            .build()
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(classic, built);
+        let sunk = FleetRunner::builder()
+            .workers(3)
+            .sink(FullReportSink::new())
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(classic, sunk);
+    }
+
+    #[test]
+    fn digest_sink_agrees_with_the_full_report() {
+        let matrix = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::piezo_gait()])
+            .workloads(vec![Workload::Har { samples: 4 }])
+            .strategies(vec![Strategy::Sonic, Strategy::Flex])
+            .runs(2)
+            .executor(quick_executor());
+        let full = FleetRunner::new(2).run(&matrix).unwrap();
+        let digest = FleetRunner::builder()
+            .workers(2)
+            .sink(DigestSink::new())
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(digest.scenarios as usize, full.len());
+        assert_eq!(digest.runs, full.total_runs());
+        assert_eq!(digest.completed_runs, full.completed_runs());
+        assert_eq!(digest.outages, full.total_outages());
+        assert_eq!(digest.latency_ms.count(), full.completed_runs());
+        assert!((digest.total_energy_mj() - full.total_energy_mj()).abs() < 1e-9);
+        // Sketched percentiles sit within the documented bound of the
+        // exact ones.
+        let exact = full.latency_percentile_ms(50.0).unwrap();
+        let est = digest.latency_ms.p50().unwrap();
+        assert!((est - exact).abs() / exact <= crate::StatsDigest::RELATIVE_ERROR);
+    }
+
+    #[test]
+    fn grouped_and_row_sinks_cover_every_run() {
+        let matrix = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::piezo_gait()])
+            .workloads(vec![Workload::Har { samples: 4 }])
+            .strategies(vec![Strategy::Sonic, Strategy::Flex])
+            .runs(2)
+            .executor(quick_executor());
+        let grouped = FleetRunner::builder()
+            .workers(2)
+            .sink(GroupBySink::new(GroupAxis::Environment))
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(grouped.groups.len(), 2);
+        assert_eq!(grouped.groups[0].0, "bench_supply");
+        assert_eq!(
+            grouped.groups.iter().map(|(_, d)| d.runs).sum::<u64>(),
+            matrix.len() as u64 * 2
+        );
+        let (bytes, rows) = FleetRunner::builder()
+            .workers(2)
+            .sink(JsonlSink::new(Vec::new()))
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(rows, matrix.len() as u64 * 2);
+        assert_eq!(String::from_utf8(bytes).unwrap().lines().count(), 8);
+        let (bytes, rows) = FleetRunner::builder()
+            .workers(2)
+            .sink(CsvSink::new(Vec::new()))
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(rows, 8);
+        assert_eq!(String::from_utf8(bytes).unwrap().lines().count(), 9);
+    }
+
+    #[test]
+    fn energy_budget_aborts_are_counted_by_sinks() {
+        let matrix = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply()])
+            .workloads(vec![Workload::Har { samples: 4 }])
+            .executor(ExecutorConfig {
+                // Far below one accelerated inference (~120 µJ).
+                energy_budget_nj: Some(1_000.0),
+                ..quick_executor()
+            });
+        let report = FleetRunner::new(1).run(&matrix).unwrap();
+        assert_eq!(report.scenarios[0].completed_runs, 0);
+        assert_eq!(report.scenarios[0].energy_limited_runs, 1);
+        let digest = FleetRunner::builder()
+            .workers(1)
+            .sink(DigestSink::new())
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(digest.energy_limited_runs, 1);
+        assert_eq!(digest.completed_runs, 0);
     }
 }

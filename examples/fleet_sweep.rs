@@ -1,6 +1,7 @@
 //! Fleet sweep: run one workload across the whole environment catalog
-//! and every checkpoint strategy, in parallel, and print the
-//! deterministic fleet report.
+//! and every checkpoint strategy, in parallel, print the deterministic
+//! dense fleet report, then re-run the sweep through the streaming
+//! telemetry sinks (fixed-size digest + per-strategy grouping).
 //!
 //! ```text
 //! cargo run --release --example fleet_sweep
@@ -8,7 +9,7 @@
 
 use ehdl::ehsim::{catalog, ExecutorConfig};
 use ehdl::prelude::*;
-use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+use ehdl_fleet::{DigestSink, FleetRunner, GroupAxis, GroupBySink, ScenarioMatrix, Workload};
 
 fn main() -> Result<(), ehdl::Error> {
     let matrix = ScenarioMatrix::new()
@@ -51,5 +52,21 @@ fn main() -> Result<(), ehdl::Error> {
         "fleet reports must be worker-count independent"
     );
     println!("verified: 1-worker re-run folds to the identical report");
+
+    // The same sweep as streaming telemetry: a fixed-size digest (the
+    // 10k-scenario story — nothing retained per run) plus a
+    // per-strategy group-by, both bit-identical at any worker count.
+    let (digest, by_strategy) = FleetRunner::builder()
+        .workers(workers)
+        .sink((DigestSink::new(), GroupBySink::new(GroupAxis::Strategy)))
+        .run(&matrix)?;
+    println!("\n{digest}");
+    println!("{by_strategy}");
+    println!(
+        "digest retains {} bytes — constant however many scenarios run",
+        digest.memory_bytes()
+    );
+    assert_eq!(digest.runs, report.total_runs());
+    assert_eq!(digest.completed_runs, report.completed_runs());
     Ok(())
 }

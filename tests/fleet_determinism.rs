@@ -1,11 +1,16 @@
-//! Fleet determinism: the same `ScenarioMatrix` must fold to an equal
-//! `FleetReport` at any worker count — the acceptance bar for the sweep
-//! engine (4 environments × 6 strategies × 2 boards = 48 scenarios).
+//! Fleet determinism: the same `ScenarioMatrix` must fold to an
+//! identical report at any worker count — for the dense `FleetReport`
+//! *and* for every streaming telemetry sink — the acceptance bar for
+//! the sweep engine (4 environments × 6 strategies × 2 boards = 48
+//! scenarios).
 
 use ehdl::device::CostTable;
 use ehdl::ehsim::{catalog, ExecutorConfig};
 use ehdl::prelude::*;
-use ehdl_fleet::{FleetRunner, ScenarioMatrix, Workload};
+use ehdl_fleet::{
+    CsvSink, DigestSink, FleetRunner, FullReportSink, GroupAxis, GroupBySink, JsonlSink,
+    ScenarioMatrix, StatsDigest, Workload,
+};
 
 /// The full acceptance matrix: every catalog environment, every
 /// strategy, the paper board plus a 2× slower CPU ablation board.
@@ -75,9 +80,182 @@ fn fleet_results_match_paper_expectations() {
 
     // Completed latencies feed the percentile pipeline.
     assert!(report.completed_runs() > 0);
-    let p50 = report.latency_percentile_ms(50.0);
-    let p99 = report.latency_percentile_ms(99.0);
+    let p50 = report.latency_percentile_ms(50.0).unwrap();
+    let p99 = report.latency_percentile_ms(99.0).unwrap();
     assert!(p50 > 0.0 && p99 >= p50);
+}
+
+#[test]
+fn full_report_sink_reproduces_the_classic_report() {
+    // The sink-based pipeline is a redesign of the reporting layer, not
+    // of the results: FleetRunner::run (which now folds through
+    // FullReportSink) and an explicitly sunk sweep must both equal the
+    // classic dense report over the whole acceptance matrix.
+    let matrix = acceptance_matrix();
+    let classic = FleetRunner::new(4).run(&matrix).unwrap();
+    let sunk = FleetRunner::builder()
+        .workers(4)
+        .sink(FullReportSink::new())
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(classic, sunk);
+    assert_eq!(classic.to_string(), sunk.to_string());
+}
+
+#[test]
+fn digest_sink_is_bit_identical_across_worker_counts() {
+    // The streaming digest must be a pure function of the matrix: equal
+    // (PartialEq over every counter, f64 sum and histogram bin) at 1, 2
+    // and 8 workers over the 48-scenario acceptance matrix.
+    let matrix = acceptance_matrix();
+    let one = FleetRunner::builder()
+        .workers(1)
+        .sink(DigestSink::new())
+        .run(&matrix)
+        .unwrap();
+    let two = FleetRunner::builder()
+        .workers(2)
+        .sink(DigestSink::new())
+        .run(&matrix)
+        .unwrap();
+    let eight = FleetRunner::builder()
+        .workers(8)
+        .sink(DigestSink::new())
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+    assert_eq!(one.to_string(), eight.to_string());
+
+    // And it summarizes the same sweep the dense report sees.
+    let full = FleetRunner::new(8).run(&matrix).unwrap();
+    assert_eq!(one.scenarios as usize, full.len());
+    assert_eq!(one.runs, full.total_runs());
+    assert_eq!(one.completed_runs, full.completed_runs());
+    assert_eq!(one.outages, full.total_outages());
+    assert!((one.total_energy_mj() - full.total_energy_mj()).abs() < 1e-9);
+    let exact = full.latency_percentile_ms(90.0).unwrap();
+    let est = one.latency_ms.p90().unwrap();
+    assert!(
+        (est - exact).abs() / exact <= StatsDigest::RELATIVE_ERROR,
+        "p90 sketch {est} vs exact {exact}"
+    );
+}
+
+#[test]
+fn grouped_and_streaming_sinks_are_worker_count_independent() {
+    let matrix = acceptance_matrix();
+    let grouped_one = FleetRunner::builder()
+        .workers(1)
+        .sink(GroupBySink::new(GroupAxis::Strategy))
+        .run(&matrix)
+        .unwrap();
+    let grouped_eight = FleetRunner::builder()
+        .workers(8)
+        .sink(GroupBySink::new(GroupAxis::Strategy))
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(grouped_one, grouped_eight);
+    assert_eq!(grouped_one.groups.len(), 6, "one group per strategy");
+    // FLEX completes everywhere; BASE only on the bench supply.
+    let flex = grouped_one.get("ACE+FLEX").unwrap();
+    assert_eq!(flex.completed_runs, flex.runs);
+    let base = grouped_one.get("BASE").unwrap();
+    assert!(base.completed_runs < base.runs);
+
+    // Row streams: byte-identical at any worker count, one row per run
+    // in (matrix, run) order.
+    let (jsonl_one, rows_one) = FleetRunner::builder()
+        .workers(1)
+        .sink(JsonlSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    let (jsonl_eight, rows_eight) = FleetRunner::builder()
+        .workers(8)
+        .sink(JsonlSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(rows_one, matrix.len() as u64);
+    assert_eq!(rows_one, rows_eight);
+    assert_eq!(jsonl_one, jsonl_eight);
+    let (csv_one, _) = FleetRunner::builder()
+        .workers(1)
+        .sink(CsvSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    let (csv_eight, _) = FleetRunner::builder()
+        .workers(8)
+        .sink(CsvSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(csv_one, csv_eight);
+    assert_eq!(
+        String::from_utf8(csv_one).unwrap().lines().count(),
+        matrix.len() + 1,
+        "header plus one row per run"
+    );
+}
+
+#[test]
+fn paired_sinks_match_their_standalone_runs() {
+    // A (digest, jsonl) pair folds both sinks over one sweep and must
+    // equal each sink run by itself.
+    let matrix = ScenarioMatrix::new()
+        .environments(catalog::all())
+        .strategies(vec![Strategy::Sonic, Strategy::Flex])
+        .workloads(vec![Workload::Har { samples: 6 }])
+        .executor(ExecutorConfig {
+            stall_outages: 6,
+            ..ExecutorConfig::default()
+        });
+    let (digest, (jsonl, rows)) = FleetRunner::builder()
+        .workers(4)
+        .sink((DigestSink::new(), JsonlSink::new(Vec::new())))
+        .run(&matrix)
+        .unwrap();
+    let digest_alone = FleetRunner::builder()
+        .workers(2)
+        .sink(DigestSink::new())
+        .run(&matrix)
+        .unwrap();
+    let (jsonl_alone, rows_alone) = FleetRunner::builder()
+        .workers(1)
+        .sink(JsonlSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(digest, digest_alone);
+    assert_eq!(jsonl, jsonl_alone);
+    assert_eq!(rows, rows_alone);
+}
+
+#[test]
+fn energy_budgeted_matrix_counts_aborts_in_every_sink() {
+    // A budget far below one inference cuts every run; the dense report
+    // and the digest must agree on the abort counts.
+    let matrix = ScenarioMatrix::new()
+        .environments(vec![catalog::bench_supply()])
+        .strategies(vec![Strategy::Sonic, Strategy::Flex])
+        .workloads(vec![Workload::Har { samples: 4 }])
+        .runs(2)
+        .executor(ExecutorConfig {
+            energy_budget_nj: Some(1_000.0),
+            stall_outages: 6,
+            ..ExecutorConfig::default()
+        });
+    let report = FleetRunner::new(2).run(&matrix).unwrap();
+    for s in &report.scenarios {
+        assert_eq!(s.completed_runs, 0, "{}", s.name);
+        assert_eq!(s.energy_limited_runs, s.runs, "{}", s.name);
+        assert_eq!(s.p50_ms(), None, "{}: no completed runs", s.name);
+    }
+    let digest = FleetRunner::builder()
+        .workers(2)
+        .sink(DigestSink::new())
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(digest.energy_limited_runs, digest.runs);
+    assert_eq!(digest.completed_runs, 0);
+    assert_eq!(digest.latency_ms.count(), 0);
 }
 
 #[test]
