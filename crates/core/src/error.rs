@@ -74,6 +74,12 @@ impl From<ehdl_ehsim::TraceError> for Error {
     }
 }
 
+impl From<ehdl_ehsim::ExecutorConfigError> for Error {
+    fn from(e: ehdl_ehsim::ExecutorConfigError) -> Self {
+        Error::Config(ConfigError::InvalidExecutor(e))
+    }
+}
+
 /// An invalid [`Deployment`](crate::Deployment) configuration, caught at
 /// [`build`](crate::DeploymentBuilder::build) time rather than surfacing
 /// as a downstream arithmetic failure.
@@ -89,6 +95,10 @@ pub enum ConfigError {
     /// A recorded power trace is malformed (empty, non-positive
     /// durations, or negative power).
     InvalidTrace(ehdl_ehsim::TraceError),
+    /// The intermittent executor tunables would hang the simulation or
+    /// misfire its limits (zero stall budget, non-finite step or wall
+    /// limit — see [`ehdl_ehsim::ExecutorConfig::validate`]).
+    InvalidExecutor(ehdl_ehsim::ExecutorConfigError),
 }
 
 impl fmt::Display for ConfigError {
@@ -105,6 +115,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidTrace(e) => {
                 write!(f, "invalid recorded trace: {e}")
+            }
+            ConfigError::InvalidExecutor(e) => {
+                write!(f, "invalid executor config: {e}")
             }
         }
     }
@@ -128,6 +141,22 @@ mod tests {
         use std::error::Error as _;
         let e = Error::from(ConfigError::EmptyDataset);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn executor_config_errors_surface_as_config_errors() {
+        let bad = ehdl_ehsim::ExecutorConfig {
+            stall_outages: 0,
+            ..ehdl_ehsim::ExecutorConfig::default()
+        };
+        let e = Error::from(bad.validate().unwrap_err());
+        assert!(matches!(
+            e,
+            Error::Config(ConfigError::InvalidExecutor(
+                ehdl_ehsim::ExecutorConfigError::ZeroStallOutages
+            ))
+        ));
+        assert!(e.to_string().contains("invalid executor config"));
     }
 
     #[test]

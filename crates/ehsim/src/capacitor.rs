@@ -129,6 +129,16 @@ impl Capacitor {
         self.volts >= self.v_on
     }
 
+    /// Joules still missing before the boot threshold is reached — the
+    /// right-hand side of the dark-phase charge equation. Zero when the
+    /// device [`can_boot`](Self::can_boot) already. Paired with
+    /// [`Harvester::time_to_energy`](crate::Harvester::time_to_energy),
+    /// this turns the executor's dark phase into a single closed-form
+    /// solve instead of a fixed-step integration loop.
+    pub fn joules_to_boot(&self) -> f64 {
+        (self.energy_at(self.v_on) - self.energy_joules()).max(0.0)
+    }
+
     /// Forces the voltage to the brown-out level (used by the executor
     /// when a power failure interrupts an op midway).
     pub fn collapse_to_off(&mut self) {
@@ -208,6 +218,21 @@ mod tests {
     #[should_panic(expected = "v_max >= v_on > v_off")]
     fn invalid_thresholds_panic() {
         let _ = Capacitor::new(100e-6, 3.0, 1.0, 2.0);
+    }
+
+    #[test]
+    fn joules_to_boot_measures_the_deficit() {
+        let mut cap = Capacitor::paper_100uf();
+        // Already bootable: no deficit.
+        assert_eq!(cap.joules_to_boot(), 0.0);
+        cap.collapse_to_off();
+        // ½C(v_on² − v_off²) = ½·100µF·(9 − 3.24) = 288 µJ.
+        let deficit = cap.joules_to_boot();
+        assert!((deficit - 288e-6).abs() < 1e-9, "deficit = {deficit}");
+        // Charging exactly the deficit reaches the boot threshold.
+        cap.charge_joules(deficit);
+        assert!(cap.can_boot());
+        assert!(cap.joules_to_boot() < 1e-15);
     }
 
     #[test]

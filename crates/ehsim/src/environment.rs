@@ -47,6 +47,14 @@ impl Environment {
         &self.capacitor
     }
 
+    /// Long-run average harvested power in watts (see
+    /// [`Harvester::average_power`]) — the quick way to judge whether
+    /// an environment is compute- or charge-bound against a workload's
+    /// draw before sweeping it.
+    pub fn average_power(&self) -> f64 {
+        self.harvester.average_power()
+    }
+
     /// A fresh supply for one run: the harvester paired with a capacitor
     /// reset to its configured boot state.
     pub fn supply(&self) -> PowerSupply {

@@ -1,8 +1,9 @@
 //! The intermittent executor: programs vs. the capacitor.
 
+use crate::harvester::Harvester;
 use crate::plan::ExecutionPlan;
 use crate::program::Program;
-use crate::PowerSupply;
+use crate::{Capacitor, PowerSupply};
 use core::fmt;
 use ehdl_device::{Board, Component, Cost, Cycles, DeviceOp, Energy, EnergyMeter};
 
@@ -14,8 +15,17 @@ pub struct ExecutorConfig {
     /// Give up after this many consecutive outages with no committed
     /// progress — how BASE and bare ACE earn their "✗" in Figure 7(b).
     pub stall_outages: u64,
-    /// Integration step while recharging with the device off.
-    pub charge_step_s: f64,
+    /// `None` (the default): dark recharge phases are fast-forwarded
+    /// analytically — the wake time is solved in closed form from
+    /// [`Capacitor::joules_to_boot`] and
+    /// [`Harvester::time_to_energy_within`], so an outage costs
+    /// O(waveform segments crossed) regardless of how long the device
+    /// stays dark. `Some(step)`: the legacy quantized integrator — the
+    /// dark phase advances in fixed `step`-second increments and the
+    /// device wakes at the first step boundary where the capacitor can
+    /// boot (retained for reproducing pre-solver trajectories and as
+    /// the property-test oracle for the solver).
+    pub charge_step_s: Option<f64>,
     /// Hard cap on simulated wall-clock time.
     pub max_wall_seconds: f64,
     /// Per-run energy budget in nanojoules: the run aborts with
@@ -36,12 +46,86 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             max_outages: 1_000_000,
             stall_outages: 50,
-            charge_step_s: 1e-3,
+            charge_step_s: None,
             max_wall_seconds: 7200.0,
             energy_budget_nj: None,
         }
     }
 }
+
+impl ExecutorConfig {
+    /// Checks the tunables for values that would hang or never trigger:
+    /// a non-finite or non-positive legacy `charge_step_s` (the stepped
+    /// dark loop would stall in place), a non-finite or non-positive
+    /// `max_wall_seconds` (a NaN limit disables the wall clock
+    /// entirely), and `stall_outages == 0` (every first outage would be
+    /// declared a stall). A negative or non-finite `energy_budget_nj`
+    /// is rejected for the same reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExecutorConfigError`] found, in field order.
+    pub fn validate(&self) -> Result<(), ExecutorConfigError> {
+        if self.stall_outages == 0 {
+            return Err(ExecutorConfigError::ZeroStallOutages);
+        }
+        if let Some(step) = self.charge_step_s {
+            if !(step > 0.0 && step.is_finite()) {
+                return Err(ExecutorConfigError::BadChargeStep(step));
+            }
+        }
+        if !(self.max_wall_seconds > 0.0 && self.max_wall_seconds.is_finite()) {
+            return Err(ExecutorConfigError::BadWallLimit(self.max_wall_seconds));
+        }
+        if let Some(budget) = self.energy_budget_nj {
+            if !(budget >= 0.0 && budget.is_finite()) {
+                return Err(ExecutorConfigError::BadEnergyBudget(budget));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An [`ExecutorConfig`] that would hang the simulation or misfire its
+/// limits, rejected when an executor is constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ExecutorConfigError {
+    /// `stall_outages` is zero: every first outage would count as a
+    /// stall and abort the run as `NoProgress`.
+    ZeroStallOutages,
+    /// The legacy `charge_step_s` is non-positive or not finite: the
+    /// stepped dark loop would never advance time.
+    BadChargeStep(f64),
+    /// `max_wall_seconds` is non-positive or not finite: a NaN or
+    /// infinite limit silently disables the wall clock.
+    BadWallLimit(f64),
+    /// `energy_budget_nj` is negative or not finite.
+    BadEnergyBudget(f64),
+}
+
+impl fmt::Display for ExecutorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorConfigError::ZeroStallOutages => {
+                write!(f, "stall_outages must be at least 1")
+            }
+            ExecutorConfigError::BadChargeStep(step) => {
+                write!(f, "charge_step_s must be positive and finite, got {step}")
+            }
+            ExecutorConfigError::BadWallLimit(limit) => write!(
+                f,
+                "max_wall_seconds must be positive and finite, got {limit}"
+            ),
+            ExecutorConfigError::BadEnergyBudget(budget) => write!(
+                f,
+                "energy_budget_nj must be non-negative and finite, got {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorConfigError {}
 
 /// Why a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -192,8 +276,26 @@ pub struct IntermittentExecutor {
 
 impl IntermittentExecutor {
     /// Creates an executor with the given tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ExecutorConfig::validate`]); use [`try_new`](Self::try_new) to
+    /// handle the error instead.
     pub fn new(config: ExecutorConfig) -> Self {
-        IntermittentExecutor { config }
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid executor config: {e}"))
+    }
+
+    /// Creates an executor, rejecting configurations that would hang
+    /// the simulation or misfire its limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExecutorConfigError`] of
+    /// [`ExecutorConfig::validate`].
+    pub fn try_new(config: ExecutorConfig) -> Result<Self, ExecutorConfigError> {
+        config.validate()?;
+        Ok(IntermittentExecutor { config })
     }
 
     /// The configuration in use.
@@ -490,15 +592,8 @@ impl IntermittentExecutor {
             }
 
             // ---- dark charging phase ----
-            let step = self.config.charge_step_s;
-            while !capacitor.can_boot() {
-                let harvested = harvester.energy_over(t, step);
-                capacitor.charge_joules(harvested);
-                t += step;
-                charging_s += step;
-                if t > max_wall {
-                    break 'run RunOutcome::TimeLimit;
-                }
+            if !self.charge_until_boot(harvester, capacitor, &mut t, &mut charging_s) {
+                break 'run RunOutcome::TimeLimit;
             }
 
             // ---- restore ----
@@ -640,13 +735,9 @@ impl IntermittentExecutor {
             }
 
             // ---- dark charging phase ----
-            let step = self.config.charge_step_s;
-            while !supply.capacitor().can_boot() {
-                let harvested = supply.harvester().energy_over(t, step);
-                supply.capacitor_mut().charge_joules(harvested);
-                t += step;
-                charging_s += step;
-                if t > self.config.max_wall_seconds {
+            {
+                let (harvester, capacitor) = supply.parts_mut();
+                if !self.charge_until_boot(harvester, capacitor, &mut t, &mut charging_s) {
                     break 'run RunOutcome::TimeLimit;
                 }
             }
@@ -718,6 +809,70 @@ impl IntermittentExecutor {
         *t += dt;
         *active_cycles += cost.cycles.raw();
         true
+    }
+
+    /// The dark phase: advances `t` and `charging_s` until the
+    /// capacitor can boot, or until the wall-clock limit — in which
+    /// case `t` and `charging_s` are clamped **at** the limit and
+    /// `false` is returned (the run ends as
+    /// [`RunOutcome::TimeLimit`]).
+    ///
+    /// Shared verbatim by both executor paths so their float arithmetic
+    /// is identical and `run_plan` / `run_unplanned` stay bit-for-bit
+    /// in parity. Two modes (see [`ExecutorConfig::charge_step_s`]):
+    ///
+    /// * **analytic** (default): one closed-form solve — the capacitor
+    ///   deficit from [`Capacitor::joules_to_boot`] fed to
+    ///   [`Harvester::time_to_energy_within`], bounded by the remaining
+    ///   wall budget. The capacitor wakes *exactly* at its boot
+    ///   threshold, and the cost is independent of how long the dark
+    ///   phase lasts.
+    /// * **stepped** (legacy): fixed-step integration, waking at the
+    ///   first step boundary where the capacitor can boot; the final
+    ///   step is clamped to the wall limit instead of overshooting it.
+    fn charge_until_boot(
+        &self,
+        harvester: &Harvester,
+        capacitor: &mut Capacitor,
+        t: &mut f64,
+        charging_s: &mut f64,
+    ) -> bool {
+        let max_wall = self.config.max_wall_seconds;
+        match self.config.charge_step_s {
+            Some(step) => {
+                while !capacitor.can_boot() {
+                    let dt = step.min(max_wall - *t);
+                    if dt <= 0.0 {
+                        return false;
+                    }
+                    let harvested = harvester.energy_over(*t, dt);
+                    capacitor.charge_joules(harvested);
+                    *t += dt;
+                    *charging_s += dt;
+                }
+                true
+            }
+            None => {
+                let needed = capacitor.joules_to_boot();
+                if needed <= 0.0 {
+                    return true;
+                }
+                let horizon = max_wall - *t;
+                let dt = harvester.time_to_energy_within(*t, needed, horizon);
+                if dt > horizon || dt.is_nan() {
+                    // Unreachable within the wall budget (or ever):
+                    // report the run dark up to the limit, exactly.
+                    let clamp = horizon.max(0.0);
+                    *t += clamp;
+                    *charging_s += clamp;
+                    return false;
+                }
+                capacitor.recharge_to_on();
+                *t += dt;
+                *charging_s += dt;
+                true
+            }
+        }
     }
 }
 
@@ -1192,6 +1347,163 @@ mod tests {
         let replayed = exec.replay_trace(&plan, &trace, &mut replay_board);
         assert_eq!(recorded, replayed);
         assert_eq!(record_board.meter(), replay_board.meter());
+    }
+
+    #[test]
+    fn analytic_dark_phase_matches_the_stepped_oracle_window() {
+        // The solver's wake time must land inside the step window the
+        // legacy quantized loop would wake in: stepped wake time is the
+        // first multiple of the step at/after the analytic one.
+        let p = cpu_heavy_program(400, 10_000, CheckpointSpec::COMMIT);
+        let step = 1e-3;
+        let stepped_exec = IntermittentExecutor::new(ExecutorConfig {
+            charge_step_s: Some(step),
+            ..ExecutorConfig::default()
+        });
+        let analytic_exec = IntermittentExecutor::default();
+        let mut board_a = Board::msp430fr5994();
+        let mut board_b = Board::msp430fr5994();
+        let mut sa = weak_supply();
+        let mut sb = weak_supply();
+        let analytic = analytic_exec.run(&p, &mut board_a, &mut sa);
+        let stepped = stepped_exec.run(&p, &mut board_b, &mut sb);
+        assert!(analytic.completed() && stepped.completed());
+        assert!(analytic.outages > 0);
+        // The analytic run never waits longer than the quantized one,
+        // and the quantization slack is bounded by one step per outage.
+        assert!(
+            analytic.charging_seconds <= stepped.charging_seconds + 1e-9,
+            "analytic {} vs stepped {}",
+            analytic.charging_seconds,
+            stepped.charging_seconds
+        );
+        assert!(
+            stepped.charging_seconds - analytic.charging_seconds
+                <= step * stepped.outages as f64 + 1e-9,
+            "quantization slack exceeds one step per outage"
+        );
+    }
+
+    #[test]
+    fn stepped_legacy_mode_keeps_both_paths_in_parity() {
+        let mut p = Program::new("mixed");
+        for k in 0..600usize {
+            let spec = match k % 7 {
+                0 => CheckpointSpec::COMMIT,
+                1 | 2 => CheckpointSpec::ondemand(32),
+                _ => CheckpointSpec::NONE,
+            };
+            p.push(DeviceOp::CpuOps { count: 8_000 }, spec);
+        }
+        let exec = IntermittentExecutor::new(ExecutorConfig {
+            charge_step_s: Some(1e-3),
+            ..ExecutorConfig::default()
+        });
+        let mut board_a = Board::msp430fr5994();
+        let mut board_b = Board::msp430fr5994();
+        let mut sa = weak_supply();
+        let mut sb = weak_supply();
+        let planned = exec.run(&p, &mut board_a, &mut sa);
+        let reference = exec.run_unplanned(&p, &mut board_b, &mut sb);
+        assert_eq!(planned, reference);
+        assert_eq!(board_a.meter(), board_b.meter());
+    }
+
+    #[test]
+    fn time_limited_dark_phase_reports_exactly_at_the_limit() {
+        // A dead harvester: the first outage charges forever. Both
+        // modes must clamp t and charging_s at the wall limit instead
+        // of overshooting by a step (or reporting infinity).
+        let p = cpu_heavy_program(1000, 10_000, CheckpointSpec::COMMIT);
+        let max_wall = 1.5;
+        for charge_step_s in [None, Some(1e-3)] {
+            let exec = IntermittentExecutor::new(ExecutorConfig {
+                charge_step_s,
+                max_wall_seconds: max_wall,
+                ..ExecutorConfig::default()
+            });
+            let mut board = Board::msp430fr5994();
+            let mut supply = PowerSupply::new(Harvester::constant(0.0), Capacitor::paper_100uf());
+            let r = exec.run(&p, &mut board, &mut supply);
+            assert_eq!(r.outcome, RunOutcome::TimeLimit, "{charge_step_s:?}");
+            assert_eq!(r.wall_seconds, max_wall, "{charge_step_s:?}");
+            assert!(
+                r.charging_seconds <= max_wall,
+                "{charge_step_s:?}: charging {} past the limit",
+                r.charging_seconds
+            );
+
+            // The reference interpreter clamps identically.
+            let mut board_b = Board::msp430fr5994();
+            let mut supply_b = PowerSupply::new(Harvester::constant(0.0), Capacitor::paper_100uf());
+            let reference = exec.run_unplanned(&p, &mut board_b, &mut supply_b);
+            assert_eq!(r, reference, "{charge_step_s:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        use crate::ExecutorConfigError;
+        let cases = [
+            (
+                ExecutorConfig {
+                    stall_outages: 0,
+                    ..ExecutorConfig::default()
+                },
+                ExecutorConfigError::ZeroStallOutages,
+            ),
+            (
+                ExecutorConfig {
+                    charge_step_s: Some(0.0),
+                    ..ExecutorConfig::default()
+                },
+                ExecutorConfigError::BadChargeStep(0.0),
+            ),
+            (
+                ExecutorConfig {
+                    charge_step_s: Some(f64::NAN),
+                    ..ExecutorConfig::default()
+                },
+                ExecutorConfigError::BadChargeStep(f64::NAN),
+            ),
+            (
+                ExecutorConfig {
+                    max_wall_seconds: 0.0,
+                    ..ExecutorConfig::default()
+                },
+                ExecutorConfigError::BadWallLimit(0.0),
+            ),
+            (
+                ExecutorConfig {
+                    max_wall_seconds: f64::INFINITY,
+                    ..ExecutorConfig::default()
+                },
+                ExecutorConfigError::BadWallLimit(f64::INFINITY),
+            ),
+            (
+                ExecutorConfig {
+                    energy_budget_nj: Some(-1.0),
+                    ..ExecutorConfig::default()
+                },
+                ExecutorConfigError::BadEnergyBudget(-1.0),
+            ),
+        ];
+        for (config, want) in cases {
+            let got = IntermittentExecutor::try_new(config.clone()).unwrap_err();
+            // NaN payloads compare unequal; match on the Display text.
+            assert_eq!(got.to_string(), want.to_string(), "{config:?}");
+            assert!(config.validate().is_err());
+        }
+        assert!(ExecutorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid executor config")]
+    fn new_panics_on_invalid_config() {
+        let _ = IntermittentExecutor::new(ExecutorConfig {
+            stall_outages: 0,
+            ..ExecutorConfig::default()
+        });
     }
 
     #[test]

@@ -49,7 +49,9 @@ mod program;
 
 pub use capacitor::Capacitor;
 pub use environment::Environment;
-pub use executor::{ExecutorConfig, IntermittentExecutor, RunOutcome, RunReport, RunTrace};
+pub use executor::{
+    ExecutorConfig, ExecutorConfigError, IntermittentExecutor, RunOutcome, RunReport, RunTrace,
+};
 pub use harvester::{Harvester, TraceError};
 pub use plan::{ExecutionPlan, PlannedCost};
 pub use program::{CheckpointSpec, Program, ProgramOp};

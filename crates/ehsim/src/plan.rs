@@ -296,6 +296,18 @@ impl ExecutionPlan {
         &self.restore
     }
 
+    /// The largest single capacitor draw the plan can schedule in one
+    /// post-boot burst: the restore plus the hungriest op (an op always
+    /// follows a restore before the supply can top up the capacitor
+    /// again). A run is outage-free only if one full discharge covers
+    /// the whole program; it can make *progress* only if each discharge
+    /// covers at least this much — the feasibility bound outage-heavy
+    /// benches check before calling a matrix "outage-dominated".
+    pub fn max_burst_need_j(&self) -> f64 {
+        let op_max = self.need_j.iter().copied().fold(0.0f64, f64::max);
+        self.restore.need_j + op_max
+    }
+
     /// Total cost of one continuous-power (bench) replay of the program —
     /// identical to [`run_continuous`](crate::run_continuous) on a fresh
     /// board, folded at compile time.

@@ -162,6 +162,159 @@ fn capacitor_energy_is_conserved() {
     }
 }
 
+/// One randomized instance of every waveform variant, parameterized by
+/// the generator — the charge-solver property domain.
+fn random_waveforms(g: &mut Gen) -> Vec<Harvester> {
+    let watts = g.f64_in(0.5e-3, 8e-3);
+    let period = g.f64_in(0.01, 0.3);
+    let duty = g.f64_in(0.05, 1.0);
+    let slot = g.f64_in(0.002, 0.05);
+    let p_on = g.f64_in(0.05, 0.95);
+    let seed = g.next_u64();
+    let segments: Vec<(f64, f64)> = (0..2 + (g.next_u64() as usize) % 4)
+        .map(|i| {
+            let d = g.f64_in(0.005, 0.08);
+            // Roughly half the segments are dead, like a real trace.
+            let w = if i % 2 == 0 {
+                g.f64_in(0.5e-3, 6e-3)
+            } else {
+                0.0
+            };
+            (d, w)
+        })
+        .collect();
+    vec![
+        Harvester::constant(watts),
+        Harvester::square(watts, period, duty),
+        Harvester::sine(watts, period),
+        Harvester::bursts(watts, slot, p_on, seed),
+        Harvester::trace(segments),
+    ]
+}
+
+#[test]
+fn time_to_energy_roundtrips_through_energy_over() {
+    // energy_over(t0, time_to_energy(t0, e)) ≈ e for every waveform
+    // variant across randomized parameters, start times and targets.
+    let mut g = Gen::new(47);
+    for case in 0..CASES {
+        for h in random_waveforms(&mut g) {
+            for _ in 0..4 {
+                let t0 = g.f64_in(0.0, 5.0);
+                let joules = g.f64_in(1e-7, 2e-3);
+                let dt = h.time_to_energy(t0, joules);
+                assert!(
+                    dt.is_finite() && dt >= 0.0,
+                    "case {case}: {h} t0={t0} e={joules} -> {dt}"
+                );
+                let back = h.energy_over(t0, dt);
+                let rel = (back - joules).abs() / joules;
+                assert!(
+                    rel <= 1e-9,
+                    "case {case}: {h} t0={t0} want {joules} got {back} (rel {rel:e})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn time_to_energy_is_monotone_in_the_target() {
+    let mut g = Gen::new(48);
+    for case in 0..CASES {
+        for h in random_waveforms(&mut g) {
+            let t0 = g.f64_in(0.0, 2.0);
+            let lo = g.f64_in(1e-7, 1e-3);
+            let hi = lo * g.f64_in(1.0, 5.0);
+            let dt_lo = h.time_to_energy(t0, lo);
+            let dt_hi = h.time_to_energy(t0, hi);
+            assert!(
+                dt_lo <= dt_hi,
+                "case {case}: {h} t0={t0} {lo}J->{dt_lo}s but {hi}J->{dt_hi}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn solver_wake_lands_in_the_stepped_oracle_window() {
+    // The analytic wake time must fall in the same step window the
+    // legacy quantized loop wakes in: if the stepped loop needs k steps,
+    // the exact solution lies in ((k−1)·step, k·step] (modulo float
+    // slack at the boundary).
+    let mut g = Gen::new(49);
+    for case in 0..CASES {
+        for h in random_waveforms(&mut g) {
+            let t0 = g.f64_in(0.0, 3.0);
+            let joules = g.f64_in(1e-6, 5e-4);
+            let step = g.f64_in(0.5e-3, 2e-3);
+            let solved = h.time_to_energy(t0, joules);
+
+            // The stepped oracle: integrate in fixed increments until
+            // the target is covered, like the legacy dark loop.
+            let mut gathered = 0.0;
+            let mut steps = 0u64;
+            while gathered < joules {
+                gathered += h.energy_over(t0 + steps as f64 * step, step);
+                steps += 1;
+                assert!(steps < 2_000_000, "case {case}: oracle ran away ({h})");
+            }
+            let window_hi = steps as f64 * step;
+            let window_lo = window_hi - step;
+            let slack = 1e-9 * window_hi.max(1.0);
+            assert!(
+                solved <= window_hi + slack,
+                "case {case}: {h} solved {solved} beyond stepped wake {window_hi}"
+            );
+            assert!(
+                solved > window_lo - slack,
+                "case {case}: {h} solved {solved} below window ({window_lo}, {window_hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn analytic_and_stepped_executors_agree_on_progress() {
+    // Same program, same supply: the analytic fast-forward must reach
+    // the same committed progress as the stepped integrator — only the
+    // wake-time quantization may differ, never who completes.
+    let mut g = Gen::new(50);
+    for case in 0..8 {
+        let ops = g.op_cycles(150);
+        let program = committing_program(&ops);
+        let watts = g.f64_in(0.002, 0.006);
+        let run_with = |charge_step_s: Option<f64>| {
+            let mut board = Board::msp430fr5994();
+            let mut supply = PowerSupply::new(
+                Harvester::square(watts, 0.05, 0.5),
+                Capacitor::new(22e-6, 3.3, 3.0, 1.8),
+            );
+            IntermittentExecutor::new(ExecutorConfig {
+                charge_step_s,
+                ..ExecutorConfig::default()
+            })
+            .run(&program, &mut board, &mut supply)
+        };
+        let analytic = run_with(None);
+        let stepped = run_with(Some(1e-3));
+        assert_eq!(analytic.outcome, stepped.outcome, "case {case}");
+        assert_eq!(analytic.executed_ops, stepped.executed_ops, "case {case}");
+        assert_eq!(analytic.outages, stepped.outages, "case {case}");
+        // Analytic dark time is never longer than the quantized one,
+        // and shorter by at most one step per outage.
+        assert!(
+            analytic.charging_seconds <= stepped.charging_seconds + 1e-9,
+            "case {case}"
+        );
+        assert!(
+            stepped.charging_seconds - analytic.charging_seconds
+                <= 1e-3 * stepped.outages as f64 + 1e-9,
+            "case {case}"
+        );
+    }
+}
+
 #[test]
 fn harvester_energy_is_additive() {
     let mut g = Gen::new(46);

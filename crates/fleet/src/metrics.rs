@@ -244,6 +244,11 @@ pub struct FleetDigest {
     pub latency_ms: StatsDigest,
     /// Per-scenario deployment accuracy sketch.
     pub accuracy: StatsDigest,
+    /// Per-run dark (charging) time sketch, in seconds — one sample per
+    /// run, whatever its outcome. `charging_seconds` holds the exact
+    /// total; this sketch adds the distribution, so budget sweeps can
+    /// chart charging-vs-compute time per strategy or environment.
+    pub dark_s: StatsDigest,
 }
 
 impl FleetDigest {
@@ -272,6 +277,7 @@ impl FleetDigest {
         self.charging_seconds += other.charging_seconds;
         self.latency_ms.merge(&other.latency_ms);
         self.accuracy.merge(&other.accuracy);
+        self.dark_s.merge(&other.dark_s);
     }
 
     /// Folds one run's facts (shared by [`DigestSink`] and
@@ -294,6 +300,7 @@ impl FleetDigest {
         self.energy_nj += r.energy.nanojoules();
         self.active_seconds += r.active_seconds;
         self.charging_seconds += r.charging_seconds;
+        self.dark_s.record(r.charging_seconds);
         if let Some(ms) = r.latency_ms() {
             self.latency_ms.record(ms);
         }
@@ -331,9 +338,10 @@ impl FleetDigest {
     /// Bytes this digest retains — a constant, however many scenarios
     /// were folded (the O(1)-memory claim, measurable).
     pub fn memory_bytes(&self) -> usize {
-        core::mem::size_of::<Self>() - 2 * core::mem::size_of::<StatsDigest>()
+        core::mem::size_of::<Self>() - 3 * core::mem::size_of::<StatsDigest>()
             + self.latency_ms.memory_bytes()
             + self.accuracy.memory_bytes()
+            + self.dark_s.memory_bytes()
     }
 }
 
@@ -370,6 +378,14 @@ impl fmt::Display for FleetDigest {
             self.latency_ms.p90().unwrap_or(0.0),
             self.latency_ms.p99().unwrap_or(0.0),
             self.latency_ms.count()
+        )?;
+        writeln!(
+            f,
+            "dark time: {:.3} s total (p50 {:.4} s, p99 {:.4} s per run) vs {:.3} s active",
+            self.charging_seconds,
+            self.dark_s.p50().unwrap_or(0.0),
+            self.dark_s.p99().unwrap_or(0.0),
+            self.active_seconds
         )
     }
 }
@@ -477,7 +493,7 @@ impl fmt::Display for GroupedDigest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<16} {:>9} {:>11} {:>8} {:>7} {:>9} {:>9} {:>9}",
+            "{:<16} {:>9} {:>11} {:>8} {:>7} {:>9} {:>9} {:>9} {:>10}",
             self.axis.name(),
             "scenarios",
             "done/runs",
@@ -485,12 +501,13 @@ impl fmt::Display for GroupedDigest {
             "acc",
             "p50 ms",
             "p90 ms",
-            "p99 ms"
+            "p99 ms",
+            "dark p50 s"
         )?;
         for (key, d) in &self.groups {
             writeln!(
                 f,
-                "{key:<16} {:>9} {:>5}/{:<5} {:>8} {:>6.1}% {:>9.2} {:>9.2} {:>9.2}",
+                "{key:<16} {:>9} {:>5}/{:<5} {:>8} {:>6.1}% {:>9.2} {:>9.2} {:>9.2} {:>10.4}",
                 d.scenarios,
                 d.completed_runs,
                 d.runs,
@@ -498,7 +515,8 @@ impl fmt::Display for GroupedDigest {
                 d.mean_accuracy().unwrap_or(0.0) * 100.0,
                 d.latency_ms.p50().unwrap_or(0.0),
                 d.latency_ms.p90().unwrap_or(0.0),
-                d.latency_ms.p99().unwrap_or(0.0)
+                d.latency_ms.p99().unwrap_or(0.0),
+                d.dark_s.p50().unwrap_or(0.0)
             )?;
         }
         Ok(())
@@ -581,7 +599,7 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 19] {
         ("wasted_ops", r.wasted_ops.to_string()),
         ("energy_nj", r.energy.nanojoules().to_string()),
         ("active_seconds", r.active_seconds.to_string()),
-        ("charging_seconds", r.charging_seconds.to_string()),
+        ("dark_s", r.charging_seconds.to_string()),
         ("wall_seconds", r.wall_seconds.to_string()),
     ]
 }
@@ -733,7 +751,7 @@ const CSV_COLUMNS: [&str; 19] = [
     "wasted_ops",
     "energy_nj",
     "active_seconds",
-    "charging_seconds",
+    "dark_s",
     "wall_seconds",
 ];
 
@@ -849,6 +867,10 @@ mod tests {
         assert_eq!(digest.outages, 8);
         assert_eq!(digest.latency_ms.count(), 2);
         assert_eq!(digest.accuracy.mean(), Some(0.75));
+        // Every run contributes a dark-time sample, completed or not.
+        assert_eq!(digest.dark_s.count(), 4);
+        assert_eq!(digest.dark_s.mean(), Some(0.02));
+        assert!((digest.charging_seconds - 0.08).abs() < 1e-12);
         assert!((digest.total_energy_mj() - 20_000.0 * 1e-6).abs() < 1e-12);
         let text = digest.to_string();
         assert!(text.contains("2 energy-limit"), "{text}");
@@ -863,6 +885,7 @@ mod tests {
         assert_eq!(merged.scenarios, 4);
         assert_eq!(merged.runs, 8);
         assert_eq!(merged.latency_ms.count(), 4);
+        assert_eq!(merged.dark_s.count(), 8);
         // Merging an empty digest is the identity.
         let mut copy = a.clone();
         copy.merge(&FleetDigest::new());

@@ -125,6 +125,10 @@ impl FleetRunner {
         matrix: &ScenarioMatrix,
         sink: S,
     ) -> Result<S::Report, Error> {
+        // Reject executor tunables that would hang a worker (zero stall
+        // budget, NaN wall clock, non-positive legacy charge step) with
+        // a typed error before any deployment is built.
+        matrix.executor.validate().map_err(Error::from)?;
         let scenarios = matrix.scenarios();
         if scenarios.is_empty() {
             return sink.finish();
@@ -471,6 +475,26 @@ mod tests {
             stall_outages: 6,
             ..ExecutorConfig::default()
         }
+    }
+
+    #[test]
+    fn invalid_executor_config_is_rejected_before_the_sweep() {
+        let matrix = ScenarioMatrix::new().executor(ExecutorConfig {
+            stall_outages: 0,
+            ..ExecutorConfig::default()
+        });
+        let err = FleetRunner::new(2).run(&matrix).unwrap_err();
+        assert!(
+            matches!(err, ehdl::Error::Config(_)),
+            "want a typed config error, got {err}"
+        );
+        assert!(err.to_string().contains("stall_outages"), "{err}");
+        // A NaN wall clock would disable the time limit silently.
+        let matrix = ScenarioMatrix::new().executor(ExecutorConfig {
+            max_wall_seconds: f64::NAN,
+            ..ExecutorConfig::default()
+        });
+        assert!(FleetRunner::new(1).run(&matrix).is_err());
     }
 
     #[test]

@@ -65,6 +65,41 @@ fn har_parity_across_strategies_and_catalog() {
     assert_strategy_catalog_parity(ehdl::nn::zoo::har(), ehdl::datasets::har(16, 3));
 }
 
+/// The legacy quantized dark loop (`charge_step_s: Some(step)`) must
+/// also hold plan-vs-reference parity — the analytic solver and the
+/// stepped integrator are two modes of **both** executor paths, at the
+/// same loop-head points.
+#[test]
+fn stepped_legacy_mode_parity_across_the_catalog() {
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(8, 3);
+    let deployment = deployment_for(&mut model, &data);
+    let executor = IntermittentExecutor::new(ExecutorConfig {
+        charge_step_s: Some(1e-3),
+        ..quick_executor()
+    });
+    for strategy in [Strategy::Sonic, Strategy::Flex] {
+        let program = strategy.lower(deployment.quantized(), deployment.program());
+        let plan =
+            ehdl::ehsim::ExecutionPlan::compile(program.clone(), &deployment.board_spec().board());
+        for environment in catalog::all() {
+            let mut board_planned = deployment.board_spec().board();
+            let mut board_reference = deployment.board_spec().board();
+            let mut supply_planned = environment.supply();
+            let mut supply_reference = environment.supply();
+            let planned = executor.run_plan(&plan, &mut board_planned, &mut supply_planned);
+            let reference =
+                executor.run_unplanned(&program, &mut board_reference, &mut supply_reference);
+            assert_eq!(
+                planned,
+                reference,
+                "stepped mode: {strategy} in {}",
+                environment.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn mnist_parity_across_strategies_and_catalog() {
     assert_strategy_catalog_parity(ehdl::nn::zoo::mnist(), ehdl::datasets::mnist(8, 5));

@@ -143,6 +143,58 @@ fn digest_sink_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn dark_time_telemetry_reaches_every_sink() {
+    let matrix = acceptance_matrix();
+    let digest = FleetRunner::builder()
+        .workers(4)
+        .sink(DigestSink::new())
+        .run(&matrix)
+        .unwrap();
+    // One dark-time sample per run, whatever the outcome, and the
+    // sketch's sum must reconcile with the exact counter.
+    assert_eq!(digest.dark_s.count(), digest.runs);
+    assert!(
+        (digest.dark_s.sum() - digest.charging_seconds).abs() <= 1e-9,
+        "sketch sum {} vs exact {}",
+        digest.dark_s.sum(),
+        digest.charging_seconds
+    );
+    // Harvested environments actually spend dark time; the display
+    // surfaces it for budget sweeps.
+    assert!(digest.charging_seconds > 0.0);
+    assert!(digest.to_string().contains("dark time"), "{digest}");
+
+    // Grouped by strategy: completing strategies in harvested
+    // environments must show nonzero dark time (they rode out outages),
+    // and the per-group sketch counts cover every run.
+    let grouped = FleetRunner::builder()
+        .workers(2)
+        .sink(GroupBySink::new(GroupAxis::Strategy))
+        .run(&matrix)
+        .unwrap();
+    let total: u64 = grouped.groups.iter().map(|(_, d)| d.dark_s.count()).sum();
+    assert_eq!(total, digest.runs);
+    let flex = grouped.get("ACE+FLEX").unwrap();
+    assert!(flex.dark_s.max().unwrap() > 0.0, "FLEX never went dark?");
+
+    // Row sinks carry the per-run dark_s column.
+    let (csv, _) = FleetRunner::builder()
+        .workers(2)
+        .sink(CsvSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    let text = String::from_utf8(csv).unwrap();
+    let header = text.lines().next().unwrap();
+    assert!(header.split(',').any(|c| c == "dark_s"), "{header}");
+    let (jsonl, _) = FleetRunner::builder()
+        .workers(2)
+        .sink(JsonlSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    assert!(String::from_utf8(jsonl).unwrap().contains("\"dark_s\":"));
+}
+
+#[test]
 fn grouped_and_streaming_sinks_are_worker_count_independent() {
     let matrix = acceptance_matrix();
     let grouped_one = FleetRunner::builder()
