@@ -20,6 +20,9 @@ pub enum Error {
     /// A telemetry sink failed to write its output stream (fleet
     /// sweeps streaming JSONL/CSV rows).
     Telemetry(std::io::Error),
+    /// A sharded sweep failed in the coordinator/worker machinery
+    /// (spawning workers, the wire protocol, or the checkpoint store).
+    Shard(ShardError),
 }
 
 impl fmt::Display for Error {
@@ -29,6 +32,7 @@ impl fmt::Display for Error {
             Error::Ace(e) => write!(f, "deployment error: {e}"),
             Error::Config(e) => write!(f, "configuration error: {e}"),
             Error::Telemetry(e) => write!(f, "telemetry sink error: {e}"),
+            Error::Shard(e) => write!(f, "shard sweep error: {e}"),
         }
     }
 }
@@ -40,7 +44,14 @@ impl std::error::Error for Error {
             Error::Ace(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::Telemetry(e) => Some(e),
+            Error::Shard(e) => Some(e),
         }
+    }
+}
+
+impl From<ShardError> for Error {
+    fn from(e: ShardError) -> Self {
+        Error::Shard(e)
     }
 }
 
@@ -124,6 +135,85 @@ impl fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+/// A failure in the sharded sweep subsystem (`ehdl-fleet`'s
+/// `ShardCoordinator` and its worker subprocesses). Defined here so the
+/// coordinator reports through the single [`Error`] surface instead of
+/// panicking.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ShardError {
+    /// A worker subprocess could not be spawned (or its binary could
+    /// not be located).
+    Spawn {
+        /// The shard the worker was meant to run.
+        shard: usize,
+        /// What went wrong launching it.
+        message: String,
+    },
+    /// A worker, job file or shard partial violated the wire protocol
+    /// (bad header, checksum mismatch, malformed record, unsupported
+    /// axis value).
+    Protocol {
+        /// The shard whose artifact was malformed (`usize::MAX` when
+        /// the failure is not tied to one shard, e.g. the job file).
+        shard: usize,
+        /// What was violated.
+        message: String,
+    },
+    /// The checkpoint store could not be read or written.
+    Checkpoint {
+        /// The underlying failure.
+        message: String,
+    },
+    /// The checkpoint directory holds a frontier for a *different*
+    /// sweep: its matrix fingerprint does not match the one being run.
+    /// Resuming would merge incompatible digests; pick an empty
+    /// directory or rerun the original matrix.
+    CheckpointMismatch {
+        /// Fingerprint of the matrix being swept.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint directory.
+        found: u64,
+    },
+    /// The shard plan is invalid before any work starts: a zero shard
+    /// size, or a shard size larger than the matrix.
+    BadPlan {
+        /// Why the plan cannot be executed.
+        message: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spawn { shard, message } => {
+                write!(f, "could not spawn worker for shard {shard}: {message}")
+            }
+            ShardError::Protocol { shard, message } if *shard == usize::MAX => {
+                write!(f, "wire protocol violation: {message}")
+            }
+            ShardError::Protocol { shard, message } => {
+                write!(f, "wire protocol violation in shard {shard}: {message}")
+            }
+            ShardError::Checkpoint { message } => {
+                write!(f, "checkpoint store failure: {message}")
+            }
+            ShardError::CheckpointMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint directory belongs to a different sweep: \
+                     matrix fingerprint {expected:#018x}, checkpoint has {found:#018x}"
+                )
+            }
+            ShardError::BadPlan { message } => {
+                write!(f, "invalid shard plan: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 #[cfg(test)]
 mod tests {

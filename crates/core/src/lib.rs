@@ -86,7 +86,7 @@ mod error;
 pub mod session;
 
 pub use deployment::{BoardSpec, CalibrationConfig, Deployment, DeploymentBuilder, Strategy};
-pub use error::{ConfigError, Error};
+pub use error::{ConfigError, Error, ShardError};
 pub use session::{DeviceSession, InferenceOutcome};
 
 /// The most commonly used types, one `use` away.
@@ -94,7 +94,7 @@ pub mod prelude {
     pub use crate::deployment::{
         BoardSpec, CalibrationConfig, Deployment, DeploymentBuilder, Strategy,
     };
-    pub use crate::error::{ConfigError, Error};
+    pub use crate::error::{ConfigError, Error, ShardError};
     pub use crate::session::{DeviceSession, InferenceOutcome};
     pub use ehdl_ace::{AceProgram, QuantizedModel};
     pub use ehdl_compress::quantize::QuantParams;

@@ -1,0 +1,13 @@
+//! The shard worker binary: one shard of a sharded fleet sweep.
+//!
+//! Launched by [`ehdl_fleet::ShardCoordinator`] as
+//! `fleet_shard_worker --job <job.json> --shard <n>`; everything else
+//! lives in [`ehdl_fleet::shard::worker_main`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = ehdl_fleet::shard::worker_main(&args) {
+        eprintln!("fleet_shard_worker: {e}");
+        std::process::exit(1);
+    }
+}

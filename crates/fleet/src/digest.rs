@@ -172,6 +172,40 @@ impl StatsDigest {
     pub fn memory_bytes(&self) -> usize {
         core::mem::size_of::<Self>() + BINS * core::mem::size_of::<u64>()
     }
+
+    /// The digest's exact state for wire serialization:
+    /// `(count, sum, min, max, bins)`. Together with
+    /// [`from_raw_parts`](Self::from_raw_parts) this is the bit-exact
+    /// round trip the shard protocol rides on.
+    pub(crate) fn raw_parts(&self) -> (u64, f64, f64, f64, &[u64]) {
+        (self.count, self.sum, self.min, self.max, &self.bins[..])
+    }
+
+    /// Rebuilds a digest from wire parts; `sparse` is `(bin, count)`
+    /// pairs. Returns `None` when a bin index is out of range (a
+    /// corrupt or newer-format partial).
+    pub(crate) fn from_raw_parts(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        sparse: &[(usize, u64)],
+    ) -> Option<Self> {
+        let mut bins = Box::new([0u64; BINS]);
+        for &(bin, n) in sparse {
+            if bin >= BINS {
+                return None;
+            }
+            bins[bin] = n;
+        }
+        Some(StatsDigest {
+            count,
+            sum,
+            min,
+            max,
+            bins,
+        })
+    }
 }
 
 /// The histogram bin a sample lands in.

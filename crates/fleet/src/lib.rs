@@ -54,11 +54,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod digest;
 mod metrics;
 mod report;
 mod runner;
 mod scenario;
+pub mod shard;
+mod wire;
 
 pub use digest::StatsDigest;
 pub use metrics::{
@@ -68,3 +71,4 @@ pub use metrics::{
 pub use report::{percentile, FleetReport, ScenarioReport};
 pub use runner::{mix, FleetBuilder, FleetRunner};
 pub use scenario::{Scenario, ScenarioMatrix, Workload};
+pub use shard::{ShardCoordinator, ShardRange, ShardReport};

@@ -280,9 +280,9 @@ impl FleetDigest {
         self.dark_s.merge(&other.dark_s);
     }
 
-    /// Folds one run's facts (shared by [`DigestSink`] and
-    /// [`GroupBySink`]).
-    fn fold_run(&mut self, record: &RunRecord<'_>) {
+    /// Folds one run's facts (shared by [`DigestSink`], [`GroupBySink`]
+    /// and the shard worker's record sink).
+    pub(crate) fn fold_run(&mut self, record: &RunRecord<'_>) {
         let r = record.report;
         self.runs += 1;
         match r.outcome {
@@ -444,16 +444,21 @@ pub enum GroupAxis {
     Board,
     /// Group by workload name.
     Workload,
+    /// Group by the per-run energy budget — one digest per budget axis
+    /// value, which is exactly a completion-vs-joule frontier (plot
+    /// each group's completion rate against its budget).
+    EnergyBudget,
 }
 
 impl GroupAxis {
     /// The axis label of one scenario.
-    fn key(self, scenario: &Scenario) -> String {
+    pub(crate) fn key(self, scenario: &Scenario) -> String {
         match self {
             GroupAxis::Environment => scenario.environment.name().to_string(),
             GroupAxis::Strategy => scenario.strategy.name().to_string(),
             GroupAxis::Board => scenario.board.name().to_string(),
             GroupAxis::Workload => scenario.workload.name().to_string(),
+            GroupAxis::EnergyBudget => budget_label(scenario.energy_budget_nj),
         }
     }
 
@@ -464,7 +469,30 @@ impl GroupAxis {
             GroupAxis::Strategy => "strategy",
             GroupAxis::Board => "board",
             GroupAxis::Workload => "workload",
+            GroupAxis::EnergyBudget => "energy_budget",
         }
+    }
+
+    /// Parses the axis back from [`name`](Self::name) — the inverse the
+    /// shard checkpoint store uses when restoring grouped frontiers.
+    pub(crate) fn parse(name: &str) -> Option<Self> {
+        [
+            GroupAxis::Environment,
+            GroupAxis::Strategy,
+            GroupAxis::Board,
+            GroupAxis::Workload,
+            GroupAxis::EnergyBudget,
+        ]
+        .into_iter()
+        .find(|a| a.name() == name)
+    }
+}
+
+/// The group label of one energy-budget axis entry.
+pub(crate) fn budget_label(budget: Option<f64>) -> String {
+    match budget {
+        None => "unbounded".to_string(),
+        Some(nj) => format!("{nj}nJ"),
     }
 }
 
@@ -575,7 +603,7 @@ impl MetricsSink for GroupBySink {
 
 /// The row fields shared by [`JsonlSink`] and [`CsvSink`], in column
 /// order.
-fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 19] {
+fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 20] {
     let s = record.scenario;
     let r = record.report;
     [
@@ -585,6 +613,11 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 19] {
         ("strategy", s.strategy.name().to_string()),
         ("board", s.board.name().to_string()),
         ("seed", s.seed.to_string()),
+        (
+            "energy_budget_nj",
+            s.energy_budget_nj
+                .map_or(String::new(), |nj| nj.to_string()),
+        ),
         ("run", record.run.to_string()),
         ("outcome", r.outcome.label().to_string()),
         ("accuracy", record.accuracy.to_string()),
@@ -625,7 +658,7 @@ fn csv_escape(s: &str) -> String {
 
 /// Minimal JSON string escape (our names are plain ASCII, but quotes
 /// and backslashes must never corrupt the stream).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -733,13 +766,14 @@ impl<W: Write> CsvSink<W> {
 }
 
 /// The CSV column names, in order (matches [`row_fields`]).
-const CSV_COLUMNS: [&str; 19] = [
+const CSV_COLUMNS: [&str; 20] = [
     "scenario",
     "workload",
     "environment",
     "strategy",
     "board",
     "seed",
+    "energy_budget_nj",
     "run",
     "outcome",
     "accuracy",

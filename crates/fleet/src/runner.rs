@@ -125,22 +125,54 @@ impl FleetRunner {
         matrix: &ScenarioMatrix,
         sink: S,
     ) -> Result<S::Report, Error> {
+        self.run_range_with_sink(matrix, 0..matrix.len(), sink)
+    }
+
+    /// Sweeps one contiguous index range of the matrix into `sink` —
+    /// the entry point shard workers use. Scenario indices, fold order
+    /// and per-scenario results are identical to the corresponding
+    /// stretch of a whole-matrix sweep; only the range's deployments and
+    /// plans are built, so memory stays O(range), not O(matrix). Ends
+    /// beyond the matrix clamp.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_with_sink`](Self::run_with_sink).
+    pub fn run_range_with_sink<S: MetricsSink + Send>(
+        &self,
+        matrix: &ScenarioMatrix,
+        range: std::ops::Range<usize>,
+        sink: S,
+    ) -> Result<S::Report, Error> {
         // Reject executor tunables that would hang a worker (zero stall
         // budget, NaN wall clock, non-positive legacy charge step) with
-        // a typed error before any deployment is built.
+        // a typed error before any deployment is built — for the base
+        // config and for every budget-axis override of it.
         matrix.executor.validate().map_err(Error::from)?;
-        let scenarios = matrix.scenarios();
+        let mut executors: Vec<IntermittentExecutor> = Vec::with_capacity(matrix.budgets.len());
+        for budget in &matrix.budgets {
+            let mut config = matrix.executor.clone();
+            if let Some(nj) = *budget {
+                config.energy_budget_nj = Some(nj);
+            }
+            config.validate().map_err(Error::from)?;
+            executors.push(IntermittentExecutor::new(config));
+        }
+        let scenarios = matrix.scenarios_range(range);
         if scenarios.is_empty() {
             return sink.finish();
         }
 
         // One deployment per (workload, board, strategy, seed): scenario
-        // expansion guarantees keys are dense and first appear in order.
-        // Accuracy only depends on the deployment and its data slice, so
-        // it is priced here once per key, not once per environment.
+        // expansion guarantees keys first appear in order and are
+        // contiguous over a contiguous range, so `key - key0` indexes
+        // them densely. Accuracy only depends on the deployment and its
+        // data slice, so it is priced here once per key, not once per
+        // environment.
+        let key0 = scenarios[0].deployment_key;
         let mut deployments: Vec<(Deployment, f64)> = Vec::new();
         for scenario in &scenarios {
-            if scenario.deployment_key == deployments.len() {
+            if scenario.deployment_key - key0 == deployments.len() {
                 let data = scenario.workload.dataset(scenario.seed);
                 let mut model = scenario.workload.model();
                 let deployment = Deployment::builder(&mut model, &data)
@@ -157,16 +189,16 @@ impl FleetRunner {
         // across seeds too: the lowered op stream and its costs depend
         // on the model architecture and the cost table, not on the
         // calibration data, so seed-variant deployments compile
-        // bit-identical plans. `plan_of[k]` maps a deployment key to its
-        // shared plan.
+        // bit-identical plans. `plan_of[k - key0]` maps a deployment key
+        // to its shared plan.
         let mut plan_keys: Vec<(Workload, BoardSpec, Strategy)> = Vec::new();
         let mut plans: Vec<Arc<ExecutionPlan>> = Vec::new();
         let mut plan_of: Vec<usize> = Vec::with_capacity(deployments.len());
         for scenario in &scenarios {
-            if scenario.deployment_key == plan_of.len() {
+            if scenario.deployment_key - key0 == plan_of.len() {
                 let key = (scenario.workload, scenario.board.clone(), scenario.strategy);
                 let slot = plan_keys.iter().position(|k| *k == key).unwrap_or_else(|| {
-                    let deployment = &deployments[scenario.deployment_key].0;
+                    let deployment = &deployments[scenario.deployment_key - key0].0;
                     plans.push(Arc::new(deployment.compile_plan()));
                     plan_keys.push(key);
                     plans.len() - 1
@@ -175,10 +207,13 @@ impl FleetRunner {
             }
         }
 
-        // One trace slot per (plan, environment) pair; only pairs with a
-        // deterministic environment ever populate theirs.
+        // One trace slot per (plan, environment, budget) triple; only
+        // deterministic environments ever populate theirs. The budget is
+        // part of the key because it changes where a run aborts, and so
+        // the trajectory the trace records.
         let environments = matrix.environments.len();
-        let traces: Vec<TraceSlot> = (0..plans.len() * environments)
+        let budgets = matrix.budgets.len();
+        let traces: Vec<TraceSlot> = (0..plans.len() * environments * budgets)
             .map(|_| Mutex::new(None))
             .collect();
 
@@ -189,7 +224,6 @@ impl FleetRunner {
         // completed accumulators in matrix order.
         let sink = Mutex::new(sink);
 
-        let executor = IntermittentExecutor::new(matrix.executor.clone());
         let cursor = AtomicUsize::new(0);
         // The merge frontier (scenarios merged so far), mirrored into an
         // atomic so workers can apply backpressure: nobody claims a
@@ -212,7 +246,7 @@ impl FleetRunner {
             let plans = &plans;
             let plan_of = &plan_of;
             let traces = &traces;
-            let executor = &executor;
+            let executors = &executors;
             let cursor = &cursor;
             let merged = &merged;
             let sink = &sink;
@@ -233,10 +267,15 @@ impl FleetRunner {
                     while i >= merged.load(Ordering::Relaxed).saturating_add(window) {
                         std::thread::sleep(std::time::Duration::from_micros(200));
                     }
-                    let (deployment, accuracy) = &deployments[scenario.deployment_key];
-                    let plan_slot = plan_of[scenario.deployment_key];
-                    let trace = (!self.reference && !scenario.environment.is_stochastic())
-                        .then(|| &traces[plan_slot * environments + scenario.environment_key]);
+                    let (deployment, accuracy) = &deployments[scenario.deployment_key - key0];
+                    let plan_slot = plan_of[scenario.deployment_key - key0];
+                    let trace =
+                        (!self.reference && !scenario.environment.is_stochastic()).then(|| {
+                            let slot = (plan_slot * environments + scenario.environment_key)
+                                * budgets
+                                + scenario.budget_key;
+                            &traces[slot]
+                        });
                     let mut partial = sink.lock().expect("sink lock").open(scenario, *accuracy);
                     let result = run_scenario::<S>(
                         scenario,
@@ -244,7 +283,7 @@ impl FleetRunner {
                         &plans[plan_slot],
                         trace,
                         *accuracy,
-                        executor,
+                        &executors[scenario.budget_key],
                         matrix.runs,
                         self.reference,
                         &mut partial,

@@ -57,7 +57,7 @@ impl Workload {
 }
 
 /// One point of the sweep: a (environment, strategy, board, workload,
-/// seed) tuple, expanded from a [`ScenarioMatrix`].
+/// seed, energy budget) tuple, expanded from a [`ScenarioMatrix`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Position in matrix order (the deterministic fold order).
@@ -72,13 +72,23 @@ pub struct Scenario {
     pub workload: Workload,
     /// Seed for the dataset slice and the environment's randomness.
     pub seed: u64,
+    /// Per-run energy budget override in nanojoules: `Some(nj)` caps
+    /// every run of this scenario at `nj` drawn nanojoules
+    /// ([`ExecutorConfig::energy_budget_nj`]); `None` (the default axis)
+    /// inherits whatever the matrix-wide executor config says.
+    pub energy_budget_nj: Option<f64>,
     /// Index of the shared deployment this scenario runs on — scenarios
-    /// that differ only in environment share one built deployment.
+    /// that differ only in environment or energy budget share one built
+    /// deployment.
     pub(crate) deployment_key: usize,
     /// Index of this scenario's environment in the matrix's environment
     /// axis — the runner keys its deterministic-run trace cache on
-    /// (plan, environment).
+    /// (plan, environment, budget).
     pub(crate) environment_key: usize,
+    /// Index of this scenario's entry in the matrix's energy-budget
+    /// axis — the runner keys its per-budget executors (and the trace
+    /// cache) on it, since the budget changes where runs abort.
+    pub(crate) budget_key: usize,
 }
 
 impl Scenario {
@@ -95,16 +105,26 @@ impl Scenario {
         self.environment_key
     }
 
+    /// Index of this scenario's entry in the matrix's energy-budget
+    /// axis (see [`ScenarioMatrix::energy_budgets_nj`]).
+    pub fn budget_key(&self) -> usize {
+        self.budget_key
+    }
+
     /// A stable human-readable name, unique within one matrix.
     pub fn name(&self) -> String {
-        format!(
+        let mut name = format!(
             "{}/{}/{}/{}#{}",
             self.workload.name(),
             self.environment.name(),
             self.strategy.name(),
             self.board.name(),
             self.seed
-        )
+        );
+        if let Some(nj) = self.energy_budget_nj {
+            name.push_str(&format!("@{nj}nJ"));
+        }
+        name
     }
 }
 
@@ -132,6 +152,7 @@ pub struct ScenarioMatrix {
     pub(crate) boards: Vec<BoardSpec>,
     pub(crate) workloads: Vec<Workload>,
     pub(crate) seeds: Vec<u64>,
+    pub(crate) budgets: Vec<Option<f64>>,
     pub(crate) runs: u32,
     pub(crate) calibration: CalibrationConfig,
     pub(crate) executor: ExecutorConfig,
@@ -152,6 +173,7 @@ impl ScenarioMatrix {
             boards: vec![BoardSpec::Msp430Fr5994],
             workloads: vec![Workload::Har { samples: 16 }],
             seeds: vec![0],
+            budgets: vec![None],
             runs: 1,
             calibration: CalibrationConfig::default(),
             executor: ExecutorConfig::default(),
@@ -188,6 +210,18 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the per-run energy-budget axis, in nanojoules. The
+    /// default axis is `vec![None]` — one unbounded entry, which
+    /// inherits the matrix executor's own
+    /// [`ExecutorConfig::energy_budget_nj`]. `Some(nj)` entries override
+    /// it per scenario, so one sweep maps a completion-vs-joule frontier
+    /// (group the digest by [`GroupAxis::EnergyBudget`](crate::GroupAxis)
+    /// to chart it).
+    pub fn energy_budgets_nj(mut self, budgets: Vec<Option<f64>>) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
     /// Intermittent runs per scenario (default 1). Each run re-seeds the
     /// environment's randomness, so stochastic environments vary per run.
     pub fn runs(mut self, runs: u32) -> Self {
@@ -213,6 +247,12 @@ impl ScenarioMatrix {
         &self.environments
     }
 
+    /// The energy-budget axis, in expansion order (the order
+    /// [`Scenario::budget_key`] indexes).
+    pub fn energy_budget_axis(&self) -> &[Option<f64>] {
+        &self.budgets
+    }
+
     /// Number of scenarios the matrix expands to.
     pub fn len(&self) -> usize {
         self.environments.len()
@@ -220,6 +260,7 @@ impl ScenarioMatrix {
             * self.boards.len()
             * self.workloads.len()
             * self.seeds.len()
+            * self.budgets.len()
     }
 
     /// `true` if any axis is empty.
@@ -227,34 +268,53 @@ impl ScenarioMatrix {
         self.len() == 0
     }
 
-    /// Expands the cross-product in a fixed order: workload, board,
-    /// strategy, seed, environment (innermost). Scenarios sharing a
-    /// (workload, board, strategy, seed) prefix share a deployment key,
-    /// so the runner builds each deployment once and reuses it across
-    /// every environment.
+    /// Expands the full cross-product; see
+    /// [`scenarios_range`](Self::scenarios_range).
     pub fn scenarios(&self) -> Vec<Scenario> {
-        let mut out = Vec::with_capacity(self.len());
-        let mut key = 0usize;
-        for &workload in &self.workloads {
-            for board in &self.boards {
-                for &strategy in &self.strategies {
-                    for &seed in &self.seeds {
-                        for (environment_key, environment) in self.environments.iter().enumerate() {
-                            out.push(Scenario {
-                                index: out.len(),
-                                environment: environment.clone(),
-                                strategy,
-                                board: board.clone(),
-                                workload,
-                                seed,
-                                deployment_key: key,
-                                environment_key,
-                            });
-                        }
-                        key += 1;
-                    }
-                }
-            }
+        self.scenarios_range(0..self.len())
+    }
+
+    /// Expands a contiguous slice of the cross-product, in the fixed
+    /// matrix order: workload, board, strategy, seed, budget,
+    /// environment (innermost). Scenarios sharing a (workload, board,
+    /// strategy, seed) prefix share a deployment key — dense over the
+    /// whole matrix, contiguous over any contiguous index range — so
+    /// runners build each deployment once and reuse it across every
+    /// environment and budget. A shard worker expands only its own
+    /// range: memory stays O(shard), not O(matrix), however large the
+    /// sweep.
+    ///
+    /// Indices, keys and scenarios are identical to the corresponding
+    /// slice of [`scenarios`](Self::scenarios); out-of-bounds ends are
+    /// clamped to the matrix length.
+    pub fn scenarios_range(&self, range: core::ops::Range<usize>) -> Vec<Scenario> {
+        let total = self.len();
+        let start = range.start.min(total);
+        let end = range.end.min(total);
+        let ne = self.environments.len();
+        let nb = self.budgets.len();
+        let ns = self.seeds.len();
+        let nst = self.strategies.len();
+        let mut out = Vec::with_capacity(end.saturating_sub(start));
+        for index in start..end {
+            let environment_key = index % ne;
+            let budget_key = (index / ne) % nb;
+            let seed_i = (index / (ne * nb)) % ns;
+            let strategy_i = (index / (ne * nb * ns)) % nst;
+            let board_i = (index / (ne * nb * ns * nst)) % self.boards.len();
+            let workload_i = index / (ne * nb * ns * nst * self.boards.len());
+            out.push(Scenario {
+                index,
+                environment: self.environments[environment_key].clone(),
+                strategy: self.strategies[strategy_i],
+                board: self.boards[board_i].clone(),
+                workload: self.workloads[workload_i],
+                seed: self.seeds[seed_i],
+                energy_budget_nj: self.budgets[budget_key],
+                deployment_key: index / (ne * nb),
+                environment_key,
+                budget_key,
+            });
         }
         out
     }
@@ -295,6 +355,57 @@ mod tests {
         let m = ScenarioMatrix::new().environments(vec![]);
         assert!(m.is_empty());
         assert!(m.scenarios().is_empty());
+        assert!(m.scenarios_range(0..10).is_empty());
+    }
+
+    #[test]
+    fn scenario_range_matches_the_full_expansion() {
+        let m = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+            .strategies(vec![Strategy::Base, Strategy::Flex])
+            .seeds(vec![1, 2, 3])
+            .energy_budgets_nj(vec![None, Some(50_000.0)]);
+        let full = m.scenarios();
+        assert_eq!(full.len(), m.len());
+        for (start, end) in [(0, 5), (5, 19), (19, m.len()), (0, m.len())] {
+            let slice = m.scenarios_range(start..end);
+            assert_eq!(slice.len(), end - start);
+            for (a, b) in slice.iter().zip(&full[start..end]) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.name(), b.name());
+                assert_eq!(a.deployment_key, b.deployment_key);
+                assert_eq!(a.environment_key, b.environment_key);
+                assert_eq!(a.budget_key, b.budget_key);
+                assert_eq!(a.energy_budget_nj, b.energy_budget_nj);
+            }
+        }
+        // Ends clamp instead of panicking.
+        assert_eq!(m.scenarios_range(m.len() - 2..m.len() + 10).len(), 2);
+    }
+
+    #[test]
+    fn budget_axis_multiplies_the_matrix_and_shares_deployments() {
+        let m = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+            .energy_budgets_nj(vec![None, Some(1_000.0), Some(2_000.0)]);
+        assert_eq!(m.len(), 2 * 3);
+        let s = m.scenarios();
+        // Budgets sit between seed and environment: environments
+        // innermost, budget next, and every budget of one seed shares
+        // the seed's deployment.
+        assert_eq!(s[0].energy_budget_nj, None);
+        assert_eq!(s[1].energy_budget_nj, None);
+        assert_eq!(s[2].energy_budget_nj, Some(1_000.0));
+        assert_eq!(s[2].environment.name(), "bench_supply");
+        assert_eq!(s[3].environment.name(), "office_rf");
+        assert!(s.iter().all(|sc| sc.deployment_key == 0));
+        assert_eq!(s[4].budget_key, 2);
+        // Budgeted scenarios carry the budget in their unique names.
+        assert!(s[2].name().ends_with("@1000nJ"), "{}", s[2].name());
+        let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
     }
 
     #[test]

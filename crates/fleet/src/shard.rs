@@ -1,0 +1,907 @@
+//! Sharded, resumable sweeps: one coordinator, many worker
+//! subprocesses, a persisted merge frontier.
+//!
+//! A [`ShardCoordinator`] splits a [`ScenarioMatrix`] into contiguous
+//! index ranges (shards), launches each shard in a worker subprocess
+//! (the `fleet_shard_worker` binary, or any process that calls
+//! [`worker_main`]), and stream-merges completed shards **in matrix
+//! order**. Each worker runs its range through the crate's
+//! [`DigestSink`](crate::DigestSink) machinery and writes one
+//! checksummed record per scenario — the per-scenario digest partial,
+//! floats as raw bits — so the coordinator replays exactly the merge
+//! sequence an in-process sweep performs. Same matrix ⇒ the same
+//! [`FleetDigest`], bit for bit, at any shard count and any worker
+//! count, grouped digests included.
+//!
+//! After every merged shard the coordinator persists the frontier (the
+//! cumulative digest over shards `0..k`) to the checkpoint directory.
+//! Kill the process at any point and a rerun resumes from the last
+//! merged prefix, reusing completed partials and re-running only the
+//! shards that never finished. Worker failures retry with exponential
+//! backoff and an optional per-shard wall-clock timeout; a shard that
+//! exhausts its retries is reported as a failed range in the
+//! [`ShardReport`] — the sweep keeps going and returns `Ok` with what
+//! it could merge.
+//!
+//! ```no_run
+//! use ehdl_fleet::{GroupAxis, ScenarioMatrix, ShardCoordinator};
+//!
+//! let matrix = ScenarioMatrix::new().seeds((0..1000).collect());
+//! let report = ShardCoordinator::new(500)
+//!     .concurrency(4)
+//!     .checkpoint_dir("sweep.ckpt")
+//!     .group_by(vec![GroupAxis::Strategy])
+//!     .run(&matrix)?;
+//! println!("{report}");
+//! # Ok::<(), ehdl::Error>(())
+//! ```
+
+use crate::checkpoint::{CheckpointStore, Frontier};
+use crate::metrics::{budget_label, FleetDigest, GroupAxis, GroupedDigest, MetricsSink, RunRecord};
+use crate::runner::FleetRunner;
+use crate::scenario::{Scenario, ScenarioMatrix};
+use crate::wire::{self, hex64, Json, PartialHeader, PartialWriter, ShardRecord};
+use core::fmt;
+use ehdl::{Error, ShardError};
+use std::fs;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Environment variable for test-only fault injection in workers:
+/// `kill:<shard>` aborts that shard mid-write on every attempt;
+/// `kill-once:<shard>` aborts the first attempt only (a sentinel file
+/// in the checkpoint directory remembers the trip). See
+/// [`worker_main`].
+pub const FAULT_ENV: &str = "EHDL_SHARD_FAULT";
+
+/// One contiguous run of scenario indices assigned to a shard — how
+/// [`ShardReport::failed`] names the work a degraded sweep is missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// The shard's index in the plan.
+    pub shard: usize,
+    /// First scenario index covered.
+    pub start: usize,
+    /// Number of scenarios covered.
+    pub len: usize,
+}
+
+/// What a sharded sweep produced. When [`failed`](Self::failed) is
+/// empty the digest covers the whole matrix and is bit-identical to an
+/// in-process [`DigestSink`](crate::DigestSink) run; otherwise it
+/// covers the merged prefix (shards before the first permanently
+/// failed one), the completed partials past the gap stay in the
+/// checkpoint directory, and a rerun after fixing the cause resumes
+/// from exactly there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// The cumulative digest over every merged shard, in matrix order.
+    pub digest: FleetDigest,
+    /// One grouped digest per requested axis, in request order.
+    pub grouped: Vec<GroupedDigest>,
+    /// Shards in the plan.
+    pub shards: usize,
+    /// Shards merged into [`digest`](Self::digest) (a prefix of the
+    /// plan).
+    pub merged_shards: usize,
+    /// Scenarios in the matrix.
+    pub total_scenarios: usize,
+    /// Shards satisfied from the checkpoint directory (the resumed
+    /// frontier plus reused completed partials) instead of fresh
+    /// worker runs.
+    pub resumed_shards: usize,
+    /// Worker retry attempts performed across the sweep.
+    pub retries: u64,
+    /// Shards that exhausted their retries, as scenario ranges.
+    pub failed: Vec<ShardRange>,
+}
+
+impl ShardReport {
+    /// `true` when every shard merged — the digest covers the whole
+    /// matrix.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty() && self.merged_shards == self.shards
+    }
+
+    /// The grouped digest for one axis, if it was requested.
+    pub fn group(&self, axis: GroupAxis) -> Option<&GroupedDigest> {
+        self.grouped.iter().find(|gd| gd.axis == axis)
+    }
+}
+
+impl fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== shard sweep: {}/{} shards merged ({}/{} scenarios), {} resumed, {} retries ==",
+            self.merged_shards,
+            self.shards,
+            self.digest.scenarios,
+            self.total_scenarios,
+            self.resumed_shards,
+            self.retries
+        )?;
+        for range in &self.failed {
+            writeln!(
+                f,
+                "FAILED shard {}: scenarios {}..{} not merged",
+                range.shard,
+                range.start,
+                range.start + range.len
+            )?;
+        }
+        write!(f, "{}", self.digest)?;
+        for gd in &self.grouped {
+            write!(f, "{gd}")?;
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------- coordinator
+
+/// Splits a matrix into shards, fans them out across worker
+/// subprocesses, and stream-merges the results behind a persisted
+/// frontier. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ShardCoordinator {
+    shard_size: usize,
+    concurrency: usize,
+    worker_threads: usize,
+    retries: u32,
+    backoff: Duration,
+    timeout: Option<Duration>,
+    checkpoint_dir: Option<PathBuf>,
+    group_by: Vec<GroupAxis>,
+    worker: Option<(PathBuf, Vec<String>)>,
+}
+
+impl ShardCoordinator {
+    /// A coordinator assigning `shard_size` consecutive scenarios per
+    /// shard. Defaults: 2 concurrent workers with 2 threads each, 2
+    /// retries with a 250 ms doubling backoff, no per-shard timeout,
+    /// a throwaway checkpoint directory under the system temp dir, no
+    /// grouping, and the `fleet_shard_worker` binary found next to the
+    /// current executable.
+    pub fn new(shard_size: usize) -> Self {
+        ShardCoordinator {
+            shard_size,
+            concurrency: 2,
+            worker_threads: 2,
+            retries: 2,
+            backoff: Duration::from_millis(250),
+            timeout: None,
+            checkpoint_dir: None,
+            group_by: Vec::new(),
+            worker: None,
+        }
+    }
+
+    /// Maximum worker subprocesses alive at once.
+    pub fn concurrency(mut self, workers: usize) -> Self {
+        self.concurrency = workers.max(1);
+        self
+    }
+
+    /// Threads each worker's in-process [`FleetRunner`] uses.
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads.max(1);
+        self
+    }
+
+    /// Retry attempts per shard after its first failure (so a shard
+    /// runs at most `1 + retries` times).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Initial retry backoff; doubles per subsequent attempt.
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Wall-clock budget per shard attempt; a worker running longer is
+    /// killed and the attempt counts as a failure.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Where partials and the merge frontier persist. A rerun pointed
+    /// at the same directory (same matrix, same shard size) resumes
+    /// from the last merged prefix. Without one, the sweep uses a
+    /// throwaway temp directory and cannot be resumed.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Grouped digests to accumulate alongside the cumulative one —
+    /// the same axes, keys and bit-exact values as in-process
+    /// [`GroupBySink`](crate::GroupBySink)s over the whole matrix.
+    pub fn group_by(mut self, axes: Vec<GroupAxis>) -> Self {
+        self.group_by = axes;
+        self
+    }
+
+    /// Overrides the worker command: `exe` is launched as
+    /// `exe <args...> --job <job.json> --shard <n>` and must end up in
+    /// [`worker_main`]. This is how a test binary, bench or example
+    /// acts as its own worker.
+    pub fn worker_command(mut self, exe: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        self.worker = Some((exe.into(), args));
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::BadPlan`] for an unrunnable plan (zero shard
+    /// size, empty matrix, shard larger than the matrix),
+    /// [`Error::Config`](ehdl::Error::Config) for invalid executor
+    /// tunables, [`ShardError::Protocol`] for a matrix with no wire
+    /// form, [`ShardError::CheckpointMismatch`] /
+    /// [`ShardError::Checkpoint`] for an unusable checkpoint
+    /// directory, and [`ShardError::Spawn`] when no worker binary can
+    /// be found. Worker *failures* are not errors: they retry, and a
+    /// shard that exhausts retries degrades the report instead
+    /// (see [`ShardReport::failed`]).
+    pub fn run(&self, matrix: &ScenarioMatrix) -> Result<ShardReport, Error> {
+        let total = matrix.len();
+        if self.shard_size == 0 {
+            return Err(ShardError::BadPlan {
+                message: "shard size is zero".to_string(),
+            }
+            .into());
+        }
+        if total == 0 {
+            return Err(ShardError::BadPlan {
+                message: "the matrix expands to zero scenarios (an axis is empty)".to_string(),
+            }
+            .into());
+        }
+        if self.shard_size > total {
+            return Err(ShardError::BadPlan {
+                message: format!(
+                    "shard size {} exceeds the {total}-scenario matrix; shrink the shards \
+                     or run in-process",
+                    self.shard_size
+                ),
+            }
+            .into());
+        }
+        // Fail on invalid executor tunables here, not in every worker.
+        matrix.executor.validate().map_err(Error::from)?;
+        for nj in matrix.budgets.iter().flatten() {
+            let mut config = matrix.executor.clone();
+            config.energy_budget_nj = Some(*nj);
+            config.validate().map_err(Error::from)?;
+        }
+        let matrix_json = wire::matrix_json(matrix)?;
+        let fingerprint = wire::fingerprint(&matrix_json, self.shard_size);
+        let worker = self.resolve_worker()?;
+        let (dir, throwaway) = match &self.checkpoint_dir {
+            Some(dir) => (dir.clone(), false),
+            None => (
+                std::env::temp_dir().join(format!(
+                    "ehdl-shard-{}-{}",
+                    hex64(fingerprint),
+                    std::process::id()
+                )),
+                true,
+            ),
+        };
+        let store = CheckpointStore::open(&dir)?;
+        let result = self.drive(matrix, &matrix_json, fingerprint, &store, &worker, total);
+        if throwaway {
+            let _ = fs::remove_dir_all(&dir);
+        }
+        result
+    }
+
+    fn resolve_worker(&self) -> Result<(PathBuf, Vec<String>), ShardError> {
+        if let Some((exe, args)) = &self.worker {
+            return Ok((exe.clone(), args.clone()));
+        }
+        let name = format!("fleet_shard_worker{}", std::env::consts::EXE_SUFFIX);
+        let exe = std::env::current_exe().map_err(|e| ShardError::Spawn {
+            shard: usize::MAX,
+            message: format!("could not locate the current executable: {e}"),
+        })?;
+        // Next to the current binary, or one level up (test binaries
+        // live in target/<profile>/deps/).
+        let mut candidates = Vec::new();
+        if let Some(dir) = exe.parent() {
+            candidates.push(dir.join(&name));
+            if let Some(parent) = dir.parent() {
+                candidates.push(parent.join(&name));
+            }
+        }
+        candidates
+            .iter()
+            .find(|c| c.is_file())
+            .map(|c| (c.clone(), Vec::new()))
+            .ok_or_else(|| ShardError::Spawn {
+                shard: usize::MAX,
+                message: format!(
+                    "no {name} binary next to {}; build it or set worker_command()",
+                    exe.display()
+                ),
+            })
+    }
+
+    fn plan(&self, total: usize) -> Vec<ShardRange> {
+        (0..total.div_ceil(self.shard_size))
+            .map(|shard| {
+                let start = shard * self.shard_size;
+                ShardRange {
+                    shard,
+                    start,
+                    len: self.shard_size.min(total - start),
+                }
+            })
+            .collect()
+    }
+
+    fn header_for(&self, range: ShardRange, fingerprint: u64, runs: u32) -> PartialHeader {
+        PartialHeader {
+            shard: range.shard as u64,
+            start: range.start as u64,
+            len: range.len as u64,
+            fingerprint,
+            runs,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn drive(
+        &self,
+        matrix: &ScenarioMatrix,
+        matrix_json: &str,
+        fingerprint: u64,
+        store: &CheckpointStore,
+        worker: &(PathBuf, Vec<String>),
+        total: usize,
+    ) -> Result<ShardReport, Error> {
+        let plan = self.plan(total);
+        let n_shards = plan.len();
+        let mut frontier = store
+            .load_frontier(fingerprint, &self.group_by)?
+            .unwrap_or_else(|| Frontier::empty(&self.group_by));
+        frontier.merged_shards = frontier.merged_shards.min(n_shards);
+        let mut resumed = frontier.merged_shards;
+        store.write_job(&format!(
+            "{{\"ehdl_shard_job\":{},\"fingerprint\":\"{}\",\"shard_size\":{},\
+             \"threads\":{},\"matrix\":{matrix_json}}}",
+            wire::WIRE_VERSION,
+            hex64(fingerprint),
+            self.shard_size,
+            self.worker_threads
+        ))?;
+
+        let now = Instant::now();
+        let mut states: Vec<ShardState> = Vec::with_capacity(n_shards);
+        for range in &plan {
+            if range.shard < frontier.merged_shards {
+                states.push(ShardState::Merged);
+            } else if store
+                .load_partial(
+                    range.shard,
+                    self.header_for(*range, fingerprint, matrix.runs),
+                )?
+                .is_some()
+            {
+                // A completed partial from a killed run: reuse it.
+                resumed += 1;
+                states.push(ShardState::Ready);
+            } else {
+                states.push(ShardState::Pending {
+                    attempt: 0,
+                    ready_at: now,
+                });
+            }
+        }
+
+        let mut retries = 0u64;
+        let mut fatal: Option<Error> = None;
+        'sweep: loop {
+            // 1. Reap finished / timed-out workers.
+            for shard in 0..n_shards {
+                let ShardState::Running {
+                    child,
+                    started,
+                    attempt,
+                } = &mut states[shard]
+                else {
+                    continue;
+                };
+                let attempt = *attempt;
+                match child.try_wait() {
+                    Ok(Some(status)) if status.success() => {
+                        let header = self.header_for(plan[shard], fingerprint, matrix.runs);
+                        match store.load_partial(shard, header) {
+                            Err(e) => {
+                                fatal = Some(e.into());
+                                break 'sweep;
+                            }
+                            Ok(Some(_)) => states[shard] = ShardState::Ready,
+                            Ok(None) => {
+                                // Exit 0 but no valid partial: protocol
+                                // breach; retry like any failure.
+                                states[shard] = self.next_attempt(
+                                    shard,
+                                    attempt,
+                                    &mut retries,
+                                    "worker exited successfully without a valid partial"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                    }
+                    Ok(Some(status)) => {
+                        let detail = drain_stderr(child);
+                        states[shard] = self.next_attempt(
+                            shard,
+                            attempt,
+                            &mut retries,
+                            format!("worker exited with {status}{detail}"),
+                        );
+                    }
+                    Ok(None) => {
+                        if let Some(timeout) = self.timeout {
+                            if started.elapsed() > timeout {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                states[shard] = self.next_attempt(
+                                    shard,
+                                    attempt,
+                                    &mut retries,
+                                    format!("worker exceeded the {timeout:?} shard timeout"),
+                                );
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        states[shard] = self.next_attempt(
+                            shard,
+                            attempt,
+                            &mut retries,
+                            format!("could not poll worker: {e}"),
+                        );
+                    }
+                }
+            }
+
+            // 2. Merge the ready prefix, persisting the frontier as it
+            //    advances. A failed shard blocks the frontier (later
+            //    partials stay on disk for a post-fix resume), but
+            //    execution of later shards continues regardless.
+            while frontier.merged_shards < n_shards {
+                let shard = frontier.merged_shards;
+                if !matches!(states[shard], ShardState::Ready) {
+                    break;
+                }
+                let header = self.header_for(plan[shard], fingerprint, matrix.runs);
+                let records = match store.load_partial(shard, header) {
+                    Err(e) => {
+                        fatal = Some(e.into());
+                        break 'sweep;
+                    }
+                    // Vanished or corrupted since validation: re-run it.
+                    Ok(None) => {
+                        states[shard] = ShardState::Pending {
+                            attempt: 0,
+                            ready_at: Instant::now(),
+                        };
+                        continue;
+                    }
+                    Ok(Some(records)) => records,
+                };
+                for record in &records {
+                    frontier.digest.merge(&record.digest);
+                    for gd in &mut frontier.grouped {
+                        merge_group(gd, record);
+                    }
+                }
+                states[shard] = ShardState::Merged;
+                frontier.merged_shards += 1;
+                let advanced = store
+                    .save_frontier(&frontier, fingerprint)
+                    .and_then(|()| store.remove_partial(shard));
+                if let Err(e) = advanced {
+                    fatal = Some(e.into());
+                    break 'sweep;
+                }
+            }
+
+            // 3. Launch pending shards up to the concurrency cap.
+            let mut live = states
+                .iter()
+                .filter(|s| matches!(s, ShardState::Running { .. }))
+                .count();
+            for (shard, state) in states.iter_mut().enumerate() {
+                if live >= self.concurrency {
+                    break;
+                }
+                let ShardState::Pending { attempt, ready_at } = *state else {
+                    continue;
+                };
+                if ready_at > Instant::now() {
+                    continue;
+                }
+                match self.spawn(worker, store, shard) {
+                    Ok(child) => {
+                        *state = ShardState::Running {
+                            child,
+                            started: Instant::now(),
+                            attempt,
+                        };
+                        live += 1;
+                    }
+                    Err(message) => {
+                        *state = self.next_attempt(shard, attempt, &mut retries, message);
+                    }
+                }
+            }
+
+            // 4. Done when nothing is running or waiting to run.
+            let active = states
+                .iter()
+                .any(|s| matches!(s, ShardState::Running { .. } | ShardState::Pending { .. }));
+            if !active {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(e) = fatal {
+            return Err(self.abandon(&mut states, e));
+        }
+
+        let failed: Vec<ShardRange> = states
+            .iter()
+            .zip(&plan)
+            .filter(|(s, _)| matches!(s, ShardState::Failed))
+            .map(|(_, range)| *range)
+            .collect();
+        Ok(ShardReport {
+            digest: frontier.digest,
+            grouped: frontier.grouped,
+            shards: n_shards,
+            merged_shards: frontier.merged_shards,
+            total_scenarios: total,
+            resumed_shards: resumed,
+            retries,
+            failed,
+        })
+    }
+
+    /// Books one failed attempt: schedules a backed-off retry, or
+    /// marks the shard permanently failed once retries are exhausted.
+    fn next_attempt(
+        &self,
+        shard: usize,
+        attempt: u32,
+        retries: &mut u64,
+        message: String,
+    ) -> ShardState {
+        let failures = attempt + 1;
+        if failures > self.retries {
+            eprintln!("ehdl-fleet: shard {shard} failed permanently: {message}");
+            ShardState::Failed
+        } else {
+            *retries += 1;
+            ShardState::Pending {
+                attempt: failures,
+                ready_at: Instant::now() + self.backoff * 2u32.saturating_pow(failures - 1),
+            }
+        }
+    }
+
+    fn spawn(
+        &self,
+        (exe, prefix): &(PathBuf, Vec<String>),
+        store: &CheckpointStore,
+        shard: usize,
+    ) -> Result<Child, String> {
+        Command::new(exe)
+            .args(prefix)
+            .arg("--job")
+            .arg(store.job_path())
+            .arg("--shard")
+            .arg(shard.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("could not spawn {}: {e}", exe.display()))
+    }
+
+    /// Kills every live worker before surfacing a fatal error, so a
+    /// failed coordinator never leaks subprocesses.
+    fn abandon(&self, states: &mut [ShardState], error: Error) -> Error {
+        for state in states {
+            if let ShardState::Running { child, .. } = state {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        error
+    }
+}
+
+enum ShardState {
+    Pending {
+        attempt: u32,
+        ready_at: Instant,
+    },
+    Running {
+        child: Child,
+        started: Instant,
+        attempt: u32,
+    },
+    Ready,
+    Merged,
+    Failed,
+}
+
+/// Replays one scenario record into a grouped digest exactly as the
+/// in-process [`GroupBySink`](crate::GroupBySink) would.
+fn merge_group(gd: &mut GroupedDigest, record: &ShardRecord) {
+    let key = match gd.axis {
+        GroupAxis::Environment => &record.environment,
+        GroupAxis::Strategy => &record.strategy,
+        GroupAxis::Board => &record.board,
+        GroupAxis::Workload => &record.workload,
+        GroupAxis::EnergyBudget => &record.budget,
+    };
+    match gd.groups.iter_mut().find(|(k, _)| k == key) {
+        Some((_, digest)) => digest.merge(&record.digest),
+        None => gd.groups.push((key.clone(), record.digest.clone())),
+    }
+}
+
+/// Reads whatever the worker said on stderr, as a `: `-prefixed detail
+/// string (empty when it said nothing).
+fn drain_stderr(child: &mut Child) -> String {
+    let mut detail = String::new();
+    if let Some(mut stderr) = child.stderr.take() {
+        let _ = stderr.read_to_string(&mut detail);
+    }
+    let detail = detail.trim();
+    if detail.is_empty() {
+        String::new()
+    } else {
+        format!(": {detail}")
+    }
+}
+
+// -------------------------------------------------------------- worker
+
+/// The worker half of the shard protocol — call this from a binary's
+/// `main` with its command-line arguments (the shipped
+/// `fleet_shard_worker` binary is exactly that, and benches/examples
+/// reuse it to act as their own workers).
+///
+/// Arguments: `--job <job.json> --shard <n>`, plus `--stdout` to
+/// stream the partial to standard output instead of the checkpoint
+/// directory. The worker rebuilds the matrix from the job file,
+/// verifies the sweep fingerprint, runs scenarios
+/// `n*shard_size .. (n+1)*shard_size` through an in-process
+/// [`FleetRunner`], and publishes the checksummed partial atomically
+/// (`.tmp`, fsync, rename).
+///
+/// Fault injection for tests rides on a `--fault <spec>` argument
+/// (passed through [`ShardCoordinator::worker_command`] prefix args)
+/// or, failing that, the [`FAULT_ENV`] environment variable.
+///
+/// # Errors
+///
+/// [`ShardError::Protocol`] for a missing/corrupt/mismatched job file
+/// or bad arguments; whatever the in-process sweep surfaces otherwise.
+pub fn worker_main(args: &[String]) -> Result<(), Error> {
+    let proto = |message: String| -> Error {
+        ShardError::Protocol {
+            shard: usize::MAX,
+            message,
+        }
+        .into()
+    };
+    let mut job_path: Option<PathBuf> = None;
+    let mut shard: Option<usize> = None;
+    let mut to_stdout = false;
+    let mut fault_spec: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--job" => job_path = it.next().map(PathBuf::from),
+            "--shard" => {
+                shard = it.next().and_then(|s| s.parse().ok());
+                if shard.is_none() {
+                    return Err(proto("--shard wants an unsigned integer".to_string()));
+                }
+            }
+            "--stdout" => to_stdout = true,
+            "--fault" => fault_spec = it.next().cloned(),
+            other => return Err(proto(format!("unknown worker argument {other:?}"))),
+        }
+    }
+    let fault_spec = fault_spec.or_else(|| std::env::var(FAULT_ENV).ok());
+    let job_path = job_path.ok_or_else(|| proto("missing --job <path>".to_string()))?;
+    let shard = shard.ok_or_else(|| proto("missing --shard <n>".to_string()))?;
+
+    let job_text = fs::read_to_string(&job_path)
+        .map_err(|e| proto(format!("could not read job {}: {e}", job_path.display())))?;
+    let job =
+        Json::parse(job_text.trim_end()).map_err(|e| proto(format!("malformed job file: {e}")))?;
+    if job.get("ehdl_shard_job").and_then(Json::as_u64) != Some(wire::WIRE_VERSION) {
+        return Err(proto("job file has the wrong version".to_string()));
+    }
+    let shard_size = job
+        .get("shard_size")
+        .and_then(Json::as_usize)
+        .filter(|&s| s > 0)
+        .ok_or_else(|| proto("job file has a bad shard_size".to_string()))?;
+    let threads = job
+        .get("threads")
+        .and_then(Json::as_usize)
+        .unwrap_or(1)
+        .max(1);
+    let claimed = job
+        .get("fingerprint")
+        .and_then(|s| s.as_str())
+        .and_then(wire::parse_hex64)
+        .ok_or_else(|| proto("job file has a bad fingerprint".to_string()))?;
+    let matrix = job
+        .req("matrix")
+        .and_then(wire::matrix_from)
+        .map_err(|e| proto(format!("job matrix does not parse: {e}")))?;
+    // The round trip is canonical, so re-serializing the parsed matrix
+    // must reproduce the fingerprint — this catches a corrupt or
+    // hand-edited job before any scenario runs.
+    let fingerprint = wire::fingerprint(&wire::matrix_json(&matrix)?, shard_size);
+    if fingerprint != claimed {
+        return Err(proto(format!(
+            "job fingerprint {} does not match its matrix ({})",
+            hex64(claimed),
+            hex64(fingerprint)
+        )));
+    }
+    let total = matrix.len();
+    let n_shards = total.div_ceil(shard_size);
+    if shard >= n_shards {
+        return Err(Error::Shard(ShardError::Protocol {
+            shard,
+            message: format!("the plan has only {n_shards} shards"),
+        }));
+    }
+    let start = shard * shard_size;
+    let len = shard_size.min(total - start);
+    let header = PartialHeader {
+        shard: shard as u64,
+        start: start as u64,
+        len: len as u64,
+        fingerprint,
+        runs: matrix.runs,
+    };
+    let dir = job_path.parent().unwrap_or(Path::new(".")).to_path_buf();
+    let die_after = fault_trip(fault_spec.as_deref(), &dir, shard, len);
+    let runner = FleetRunner::new(threads);
+
+    if to_stdout {
+        let sink = ShardRecordSink::new(BufWriter::new(std::io::stdout()), header, die_after)?;
+        let (records, mut writer) =
+            runner.run_range_with_sink(&matrix, start..start + len, sink)?;
+        writer.flush().map_err(Error::from)?;
+        debug_assert_eq!(records, len as u64);
+        return Ok(());
+    }
+    let tmp = dir.join(format!("partial-{shard:06}.ehsp.tmp"));
+    let final_path = dir.join(format!("partial-{shard:06}.ehsp"));
+    let file = fs::File::create(&tmp).map_err(Error::from)?;
+    let sink = ShardRecordSink::new(BufWriter::new(file), header, die_after)?;
+    let (records, writer) = runner.run_range_with_sink(&matrix, start..start + len, sink)?;
+    debug_assert_eq!(records, len as u64);
+    let file = writer
+        .into_inner()
+        .map_err(|e| Error::from(e.into_error()))?;
+    file.sync_all().map_err(Error::from)?;
+    drop(file);
+    fs::rename(&tmp, &final_path).map_err(Error::from)?;
+    println!("{{\"shard\":{shard},\"records\":{records}}}");
+    Ok(())
+}
+
+/// Evaluates a fault spec for this shard: `Some(k)` means "abort
+/// after writing k records". `kill-once` trips a sentinel file so only
+/// the first attempt dies.
+fn fault_trip(spec: Option<&str>, dir: &Path, shard: usize, len: usize) -> Option<u64> {
+    let (mode, target) = spec?.split_once(':')?;
+    if target.parse() != Ok(shard) {
+        return None;
+    }
+    match mode {
+        "kill" => Some(len as u64 / 2),
+        "kill-once" => {
+            let sentinel = dir.join(format!("fault-{shard}.tripped"));
+            if sentinel.exists() {
+                None
+            } else {
+                let _ = fs::write(&sentinel, b"tripped\n");
+                Some(len as u64 / 2)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The worker-side sink: streams one wire record per scenario through
+/// a [`PartialWriter`]. Opening and folding mirror
+/// [`DigestSink`](crate::DigestSink) exactly — the record carries the
+/// very partial an in-process sweep would merge.
+struct ShardRecordSink<W: Write + Send> {
+    writer: PartialWriter<W>,
+    /// Test-only fault injection: abort the process after this many
+    /// records, leaving a truncated temp file like a real mid-shard
+    /// kill would.
+    die_after: Option<u64>,
+    written: u64,
+}
+
+impl<W: Write + Send> ShardRecordSink<W> {
+    fn new(writer: W, header: PartialHeader, die_after: Option<u64>) -> Result<Self, Error> {
+        Ok(ShardRecordSink {
+            writer: PartialWriter::new(writer, header).map_err(Error::from)?,
+            die_after,
+            written: 0,
+        })
+    }
+}
+
+impl<W: Write + Send> MetricsSink for ShardRecordSink<W> {
+    type Partial = ShardRecord;
+    /// Records written, plus the inner writer for fsync-and-rename.
+    type Report = (u64, W);
+
+    fn open(&self, scenario: &Scenario, accuracy: f64) -> ShardRecord {
+        let mut digest = FleetDigest::new();
+        digest.scenarios = 1;
+        digest.accuracy.record(accuracy);
+        ShardRecord {
+            index: scenario.index as u64,
+            workload: scenario.workload.name().to_string(),
+            environment: scenario.environment.name().to_string(),
+            strategy: scenario.strategy.name().to_string(),
+            board: scenario.board.name().to_string(),
+            budget: budget_label(scenario.energy_budget_nj),
+            digest,
+        }
+    }
+
+    fn fold(partial: &mut ShardRecord, record: &RunRecord<'_>) {
+        partial.digest.fold_run(record);
+    }
+
+    fn merge(&mut self, partial: ShardRecord) -> Result<(), Error> {
+        self.writer.write_record(&partial).map_err(Error::from)?;
+        self.written += 1;
+        if self.die_after == Some(self.written) {
+            // Simulate a mid-shard kill: leave a half-written line
+            // behind and die without unwinding.
+            let _ = self.writer.write_raw(b"{\"scenario\":9");
+            std::process::abort();
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<(u64, W), Error> {
+        let writer = self.writer.finish().map_err(Error::from)?;
+        Ok((self.written, writer))
+    }
+}

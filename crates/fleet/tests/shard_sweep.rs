@@ -1,0 +1,239 @@
+//! End-to-end tests of the sharded sweep coordinator: subprocess
+//! workers must reproduce the in-process digest bit for bit, survive
+//! kills and truncated partials through the checkpoint frontier, and
+//! degrade gracefully when a shard fails permanently.
+//!
+//! These live in the fleet crate (not the workspace root) so
+//! `CARGO_BIN_EXE_fleet_shard_worker` resolves and forces the worker
+//! binary to build.
+
+use ehdl::ehsim::catalog;
+use ehdl::{CalibrationConfig, Error, ShardError, Strategy};
+use ehdl_fleet::{
+    DigestSink, FleetDigest, FleetRunner, GroupAxis, GroupBySink, GroupedDigest, ScenarioMatrix,
+    ShardCoordinator, ShardReport,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const WORKER: &str = env!("CARGO_BIN_EXE_fleet_shard_worker");
+
+/// A 16-scenario matrix that exercises every record label: two
+/// environments, two strategies, two seeds, and a two-point energy
+/// budget axis.
+fn quick_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new()
+        .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+        .strategies(vec![Strategy::Sonic, Strategy::Flex])
+        .seeds(vec![0, 1])
+        .energy_budgets_nj(vec![None, Some(2_000_000.0)])
+        .calibration(CalibrationConfig {
+            samples: 4,
+            percentile: 0.9,
+        })
+}
+
+const AXES: [GroupAxis; 2] = [GroupAxis::Strategy, GroupAxis::EnergyBudget];
+
+/// The ground truth: the same matrix swept in-process through
+/// `DigestSink` and two `GroupBySink`s.
+fn in_process(matrix: &ScenarioMatrix) -> (FleetDigest, Vec<GroupedDigest>) {
+    let (digest, (by_strategy, by_budget)) = FleetRunner::builder()
+        .workers(2)
+        .sink((
+            DigestSink::new(),
+            (GroupBySink::new(AXES[0]), GroupBySink::new(AXES[1])),
+        ))
+        .run(matrix)
+        .unwrap();
+    (digest, vec![by_strategy, by_budget])
+}
+
+fn coordinator(shard_size: usize, fault: Option<&str>) -> ShardCoordinator {
+    let mut args = Vec::new();
+    if let Some(spec) = fault {
+        args.extend(["--fault".to_string(), spec.to_string()]);
+    }
+    ShardCoordinator::new(shard_size)
+        .concurrency(2)
+        .worker_threads(2)
+        .backoff(Duration::from_millis(10))
+        .group_by(AXES.to_vec())
+        .worker_command(WORKER, args)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ehdl-shard-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_matches_in_process(report: &ShardReport, matrix: &ScenarioMatrix) {
+    let (digest, grouped) = in_process(matrix);
+    assert!(report.is_complete(), "{report}");
+    assert_eq!(
+        report.digest, digest,
+        "sharded digest must be bit-identical"
+    );
+    assert_eq!(
+        report.grouped, grouped,
+        "grouped digests must be bit-identical"
+    );
+}
+
+#[test]
+fn subprocess_shards_reproduce_the_in_process_digest_at_any_shard_count() {
+    let matrix = quick_matrix();
+    let (digest, grouped) = in_process(&matrix);
+    assert_eq!(digest.scenarios, 16);
+    // 1, 2 and 4 subprocess shards: all bit-identical to in-process.
+    for shard_size in [16, 8, 4] {
+        let report = coordinator(shard_size, None).run(&matrix).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.shards, 16_usize.div_ceil(shard_size));
+        assert_eq!(report.digest, digest, "shard_size {shard_size}");
+        assert_eq!(report.grouped, grouped, "shard_size {shard_size}");
+        assert_eq!(report.total_scenarios, 16);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.failed, vec![]);
+    }
+}
+
+#[test]
+fn killed_worker_is_retried_and_the_digest_is_unchanged() {
+    let matrix = quick_matrix();
+    let dir = tmp_dir("retry");
+    // Shard 1 aborts mid-write on its first attempt (a sentinel in the
+    // checkpoint dir remembers the trip), then succeeds on retry.
+    let report = coordinator(4, Some("kill-once:1"))
+        .checkpoint_dir(&dir)
+        .run(&matrix)
+        .unwrap();
+    assert!(report.retries >= 1, "{report}");
+    assert_matches_in_process(&report, &matrix);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn permanently_failing_shard_degrades_instead_of_aborting_then_resume_completes() {
+    let matrix = quick_matrix();
+    let dir = tmp_dir("resume");
+    // Pass 1: shard 1 dies mid-write on every attempt and exhausts its
+    // retries. The sweep still returns Ok: the frontier covers shard 0,
+    // the failure is reported as a scenario range, and the completed
+    // partials past the gap stay on disk.
+    let degraded = coordinator(4, Some("kill:1"))
+        .retries(1)
+        .checkpoint_dir(&dir)
+        .run(&matrix)
+        .unwrap();
+    assert!(!degraded.is_complete());
+    assert_eq!(degraded.merged_shards, 1);
+    assert_eq!(degraded.digest.scenarios, 4);
+    assert_eq!(degraded.failed.len(), 1);
+    assert_eq!(degraded.failed[0].shard, 1);
+    assert_eq!(degraded.failed[0].start, 4);
+    assert_eq!(degraded.failed[0].len, 4);
+    assert!(degraded.retries >= 1);
+    let text = degraded.to_string();
+    assert!(text.contains("FAILED shard 1"), "{text}");
+    // Shards 2 and 3 completed; their partials await the resume.
+    assert!(dir.join("partial-000002.ehsp").is_file());
+    assert!(dir.join("partial-000003.ehsp").is_file());
+
+    // Sabotage one surviving partial: chop it mid-record. The resume
+    // must detect the truncation and re-run that shard, not merge it.
+    let partial = dir.join("partial-000002.ehsp");
+    let bytes = std::fs::read(&partial).unwrap();
+    std::fs::write(&partial, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+    // Pass 2, fault removed: resumes from the merged prefix, re-runs
+    // shard 1 and the truncated shard 2, reuses shard 3, and lands on
+    // the bit-identical full digest.
+    let resumed = coordinator(4, None)
+        .checkpoint_dir(&dir)
+        .run(&matrix)
+        .unwrap();
+    assert!(
+        resumed.resumed_shards >= 2,
+        "frontier + surviving partial should be reused: {resumed}"
+    );
+    assert_matches_in_process(&resumed, &matrix);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rerunning_a_complete_sweep_resumes_entirely_from_the_frontier() {
+    let matrix = quick_matrix();
+    let dir = tmp_dir("memo");
+    let first = coordinator(8, None)
+        .checkpoint_dir(&dir)
+        .run(&matrix)
+        .unwrap();
+    assert!(first.is_complete());
+    // Second run: everything comes from the frontier; no workers run.
+    let second = coordinator(8, None)
+        .checkpoint_dir(&dir)
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(second.resumed_shards, 2);
+    assert_eq!(second.digest, first.digest);
+    assert_eq!(second.grouped, first.grouped);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_plans_and_mismatched_checkpoints_are_typed_errors() {
+    let matrix = quick_matrix();
+    let shard_err = |result: Result<ShardReport, Error>| match result {
+        Err(Error::Shard(e)) => e,
+        other => panic!("expected a shard error, got {other:?}"),
+    };
+    // Zero shard size.
+    assert!(matches!(
+        shard_err(coordinator(0, None).run(&matrix)),
+        ShardError::BadPlan { .. }
+    ));
+    // Shard larger than the matrix.
+    assert!(matches!(
+        shard_err(coordinator(17, None).run(&matrix)),
+        ShardError::BadPlan { .. }
+    ));
+    // Empty matrix.
+    assert!(matches!(
+        shard_err(coordinator(4, None).run(&quick_matrix().seeds(vec![]))),
+        ShardError::BadPlan { .. }
+    ));
+    // A checkpoint directory from a *different* sweep must refuse to
+    // resume, not merge garbage.
+    let dir = tmp_dir("mismatch");
+    coordinator(8, None)
+        .checkpoint_dir(&dir)
+        .run(&matrix)
+        .unwrap();
+    let other = quick_matrix().seeds(vec![7, 8]);
+    assert!(matches!(
+        shard_err(coordinator(8, None).checkpoint_dir(&dir).run(&other)),
+        ShardError::CheckpointMismatch { .. }
+    ));
+    // Same sweep, different shard size: also a different plan identity.
+    assert!(matches!(
+        shard_err(coordinator(4, None).checkpoint_dir(&dir).run(&matrix)),
+        ShardError::CheckpointMismatch { .. }
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn an_unspawnable_worker_degrades_every_shard() {
+    let matrix = quick_matrix();
+    let report = ShardCoordinator::new(8)
+        .worker_command("/nonexistent/fleet_shard_worker", Vec::new())
+        .retries(0)
+        .backoff(Duration::from_millis(1))
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(report.merged_shards, 0);
+    assert_eq!(report.failed.len(), 2);
+    assert_eq!(report.digest, FleetDigest::new());
+}

@@ -1,0 +1,69 @@
+//! Sharded sweep: split a scenario matrix into subprocess shards,
+//! stream-merge the per-scenario digest partials in matrix order, and
+//! persist the merge frontier so a killed sweep resumes where it left
+//! off.
+//!
+//! The example is its own worker: the coordinator relaunches this very
+//! binary with `--shard-worker`, which routes into
+//! [`ehdl_fleet::shard::worker_main`]. Any binary can do this — no
+//! separate worker executable needed.
+//!
+//! ```text
+//! cargo run --release --example shard_sweep
+//! ```
+//!
+//! Kill it mid-run (Ctrl-C) and run it again: the second run reloads
+//! the frontier from the checkpoint directory, reuses every shard that
+//! already merged, and lands on the same bit-identical digest.
+
+use ehdl::ehsim::{catalog, ExecutorConfig};
+use ehdl::prelude::*;
+use ehdl_fleet::{GroupAxis, ScenarioMatrix, ShardCoordinator, Workload};
+use std::time::Instant;
+
+fn main() -> Result<(), ehdl::Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--shard-worker") {
+        return ehdl_fleet::shard::worker_main(&args[1..]);
+    }
+
+    let matrix = ScenarioMatrix::new()
+        .environments(catalog::all())
+        .strategies(Strategy::ALL.to_vec())
+        .workloads(vec![Workload::Har { samples: 8 }])
+        .seeds((0..4).collect())
+        .energy_budgets_nj(vec![None, Some(1_000_000.0)])
+        .executor(ExecutorConfig {
+            stall_outages: 6,
+            ..ExecutorConfig::default()
+        });
+    let ckpt = std::env::temp_dir().join("ehdl-shard-sweep-example");
+    println!(
+        "{} scenarios in shards of 24, checkpointing to {}\n",
+        matrix.len(),
+        ckpt.display()
+    );
+
+    let started = Instant::now();
+    let report = ShardCoordinator::new(24)
+        .concurrency(2)
+        .worker_threads(2)
+        .checkpoint_dir(&ckpt)
+        .group_by(vec![GroupAxis::Strategy, GroupAxis::EnergyBudget])
+        .worker_command(std::env::current_exe()?, vec!["--shard-worker".into()])
+        .run(&matrix)?;
+    println!(
+        "swept in {:.2} s ({} of {} shards reused from the checkpoint)\n",
+        started.elapsed().as_secs_f64(),
+        report.resumed_shards,
+        report.shards
+    );
+    println!("{report}");
+
+    if report.is_complete() {
+        // The sweep is done; drop the checkpoint so the next run starts
+        // fresh. Leave it in place to see the frontier memoize instead.
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+    Ok(())
+}
