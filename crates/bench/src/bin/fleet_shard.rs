@@ -51,6 +51,7 @@ fn coordinator(shard_size: usize, workers: usize, fault: Option<&str>) -> ShardC
         .concurrency(workers)
         .worker_threads(1)
         .backoff(Duration::from_millis(50))
+        .progress(true)
         .worker_command(exe, args)
 }
 

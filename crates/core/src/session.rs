@@ -15,7 +15,9 @@ use crate::error::Error;
 use ehdl_ace::reference;
 use ehdl_datasets::Dataset;
 use ehdl_device::{Board, Cost, EnergyMeter};
-use ehdl_ehsim::{ExecutionPlan, IntermittentExecutor, PowerSupply, Program, RunReport, RunTrace};
+use ehdl_ehsim::{
+    ExecProbe, ExecutionPlan, IntermittentExecutor, PowerSupply, Program, RunReport, RunTrace,
+};
 use ehdl_fixed::{OverflowStats, Q15};
 use ehdl_nn::Tensor;
 use std::sync::Arc;
@@ -170,6 +172,21 @@ impl<'d> DeviceSession<'d> {
         executor.run_plan(&self.plan, &mut self.board, supply)
     }
 
+    /// [`infer_intermittent_with`](Self::infer_intermittent_with) with
+    /// an [`ExecProbe`] observing the run: the probe receives the
+    /// executor's structured events (boots, brown-outs, commits, dark
+    /// skips) and — if timed — charge-solve and checkpoint/restore
+    /// wall-clock spans. Probes observe only; the report is
+    /// bit-identical to the unprobed call.
+    pub fn infer_intermittent_probed<P: ExecProbe>(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        probe: &mut P,
+    ) -> RunReport {
+        executor.run_plan_probed(&self.plan, &mut self.board, supply, probe)
+    }
+
     /// [`infer_intermittent_with`](Self::infer_intermittent_with),
     /// additionally recording the run as a [`RunTrace`]. When the supply
     /// is deterministic (its harvester is a pure function of time), the
@@ -182,6 +199,18 @@ impl<'d> DeviceSession<'d> {
         supply: &mut PowerSupply,
     ) -> (RunReport, RunTrace) {
         executor.run_plan_traced(&self.plan, &mut self.board, supply)
+    }
+
+    /// [`infer_intermittent_traced`](Self::infer_intermittent_traced)
+    /// with an [`ExecProbe`] observing the recording run. The report and
+    /// trace are bit-identical to the unprobed call.
+    pub fn infer_intermittent_traced_probed<P: ExecProbe>(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        probe: &mut P,
+    ) -> (RunReport, RunTrace) {
+        executor.run_plan_traced_probed(&self.plan, &mut self.board, supply, probe)
     }
 
     /// Replays a [`RunTrace`] recorded from this session's plan under a
@@ -207,6 +236,17 @@ impl<'d> DeviceSession<'d> {
         supply: &mut PowerSupply,
     ) -> RunReport {
         executor.run_unplanned(self.plan.program(), &mut self.board, supply)
+    }
+
+    /// [`infer_intermittent_reference`](Self::infer_intermittent_reference)
+    /// with an [`ExecProbe`] observing the op-by-op interpreter run.
+    pub fn infer_intermittent_reference_probed<P: ExecProbe>(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        probe: &mut P,
+    ) -> RunReport {
+        executor.run_unplanned_probed(self.plan.program(), &mut self.board, supply, probe)
     }
 
     /// Quantized-model accuracy over a dataset (Table II "Accuracy"

@@ -2,6 +2,7 @@
 
 use crate::harvester::Harvester;
 use crate::plan::ExecutionPlan;
+use crate::probe::{ExecEvent, ExecPhase, ExecProbe, NullProbe, SpanTimer};
 use crate::program::Program;
 use crate::{Capacitor, PowerSupply};
 use core::fmt;
@@ -335,7 +336,27 @@ impl IntermittentExecutor {
         board: &mut Board,
         supply: &mut PowerSupply,
     ) -> RunReport {
-        self.run_plan_inner(plan, board, supply, &mut NoTrace)
+        self.run_plan_inner(plan, board, supply, &mut NoTrace, &mut NullProbe)
+    }
+
+    /// [`run_plan`](Self::run_plan) with an [`ExecProbe`] observing the
+    /// run: the probe receives sim-time-stamped [`ExecEvent`]s (boots,
+    /// brown-outs, commits, dark skips, run end) and — if it is
+    /// [`TIMED`](ExecProbe::TIMED) — wall-clock spans for the charge
+    /// solver and checkpoint/restore phases.
+    ///
+    /// Probes observe only: the report (and the board/supply state) is
+    /// bit-identical to [`run_plan`](Self::run_plan) whatever the probe
+    /// does. With [`NullProbe`](crate::NullProbe) this monomorphizes to
+    /// exactly the unprobed loop.
+    pub fn run_plan_probed<P: ExecProbe>(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        probe: &mut P,
+    ) -> RunReport {
+        self.run_plan_inner(plan, board, supply, &mut NoTrace, probe)
     }
 
     /// [`run_plan`](Self::run_plan), additionally recording the ordered
@@ -354,11 +375,25 @@ impl IntermittentExecutor {
         board: &mut Board,
         supply: &mut PowerSupply,
     ) -> (RunReport, RunTrace) {
+        self.run_plan_traced_probed(plan, board, supply, &mut NullProbe)
+    }
+
+    /// [`run_plan_traced`](Self::run_plan_traced) with an [`ExecProbe`]
+    /// observing the recording run (see
+    /// [`run_plan_probed`](Self::run_plan_probed)). The recorded trace
+    /// and report are bit-identical to the unprobed call.
+    pub fn run_plan_traced_probed<P: ExecProbe>(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        probe: &mut P,
+    ) -> (RunReport, RunTrace) {
         let mut recorder = TraceRecorder {
             steps: Vec::with_capacity(plan.len() + plan.len() / 8),
             op_count: plan.len() as u32,
         };
-        let report = self.run_plan_inner(plan, board, supply, &mut recorder);
+        let report = self.run_plan_inner(plan, board, supply, &mut recorder, probe);
         let trace = RunTrace {
             steps: recorder.steps,
             op_count: plan.len() as u32,
@@ -426,12 +461,13 @@ impl IntermittentExecutor {
         report
     }
 
-    fn run_plan_inner<S: StepSink>(
+    fn run_plan_inner<S: StepSink, P: ExecProbe>(
         &self,
         plan: &ExecutionPlan,
         board: &mut Board,
         supply: &mut PowerSupply,
         sink: &mut S,
+        probe: &mut P,
     ) -> RunReport {
         debug_assert_eq!(
             plan.clock_hz(),
@@ -483,6 +519,7 @@ impl IntermittentExecutor {
             if let Some(slot) = plan.ondemand_slot(i) {
                 let ck = &plan.checkpoints[slot as usize];
                 if committed < i && monitor.warns(capacitor.volts()) {
+                    let span = SpanTimer::start::<P>();
                     let harvested = harvester.energy_over(t, ck.duration_s);
                     capacitor.charge_joules(harvested);
                     if capacitor.usable_joules() >= ck.need_j {
@@ -497,7 +534,10 @@ impl IntermittentExecutor {
                         committed = i;
                         ondemand += 1;
                         executed += 1;
+                        span.finish(probe, ExecPhase::CheckpointRestore);
+                        probe.event(ExecEvent::CheckpointCommit { t, slot });
                     } else {
+                        span.finish(probe, ExecPhase::CheckpointRestore);
                         // Dies partway through; the previous checkpoint
                         // still stands. Fall through and let the op
                         // attempt trigger the outage path.
@@ -510,6 +550,7 @@ impl IntermittentExecutor {
             // plain (non-commit, non-ondemand) ops without re-checking
             // flags. `failed` routes both exits into the outage path.
             let mut failed = false;
+            let seg_start = i;
 
             let dt = durations[i];
             let harvested = harvester.energy_over(t, dt);
@@ -570,6 +611,11 @@ impl IntermittentExecutor {
                 }
             }
             if !failed {
+                probe.event(ExecEvent::SegmentRetired {
+                    t,
+                    start: seg_start as u32,
+                    end: i as u32,
+                });
                 continue 'run;
             }
 
@@ -577,6 +623,7 @@ impl IntermittentExecutor {
             outages += 1;
             wasted += (i - committed) as u64;
             capacitor.collapse_to_off();
+            probe.event(ExecEvent::BrownOut { t });
 
             if committed == committed_at_last_outage {
                 stall += 1;
@@ -592,12 +639,27 @@ impl IntermittentExecutor {
             }
 
             // ---- dark charging phase ----
-            if !self.charge_until_boot(harvester, capacitor, &mut t, &mut charging_s) {
+            let dark_t0 = t;
+            let dark_joules = if P::ENABLED {
+                capacitor.joules_to_boot().max(0.0)
+            } else {
+                0.0
+            };
+            let span = SpanTimer::start::<P>();
+            let booted = self.charge_until_boot(harvester, capacitor, &mut t, &mut charging_s);
+            span.finish(probe, ExecPhase::ChargeSolve);
+            probe.event(ExecEvent::DarkSkip {
+                t0: dark_t0,
+                t1: t,
+                joules: dark_joules,
+            });
+            if !booted {
                 break 'run RunOutcome::TimeLimit;
             }
 
             // ---- restore ----
             // Freshly booted at v_on: the restore always fits.
+            let span = SpanTimer::start::<P>();
             let restore = plan.restore_cost();
             board.apply_cost(Component::Checkpoint, restore.cost());
             sink.restore();
@@ -607,7 +669,14 @@ impl IntermittentExecutor {
             active_cycles += restore.cycles;
             restores += 1;
             i = committed;
+            span.finish(probe, ExecPhase::CheckpointRestore);
+            probe.event(ExecEvent::Boot { t });
         };
+
+        if outcome == RunOutcome::EnergyLimit {
+            probe.event(ExecEvent::EnergyLimit { t });
+        }
+        probe.event(ExecEvent::RunEnd { t, outcome });
 
         // Report only this run's share.
         let meter = diff_meters(board.meter(), &meter_before);
@@ -638,6 +707,34 @@ impl IntermittentExecutor {
         program: &Program,
         board: &mut Board,
         supply: &mut PowerSupply,
+    ) -> RunReport {
+        self.run_unplanned_inner(program, board, supply, &mut NullProbe)
+    }
+
+    /// [`run_unplanned`](Self::run_unplanned) with an [`ExecProbe`]
+    /// observing the run — the reference-path twin of
+    /// [`run_plan_probed`](Self::run_plan_probed), emitting the same
+    /// events except [`SegmentRetired`](ExecEvent::SegmentRetired) (the
+    /// op-by-op interpreter has no coalesced segments); the `slot` of a
+    /// [`CheckpointCommit`](ExecEvent::CheckpointCommit) is the program
+    /// op index the checkpoint fired ahead of, since the reference path
+    /// has no deduplicated checkpoint slots.
+    pub fn run_unplanned_probed<P: ExecProbe>(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        probe: &mut P,
+    ) -> RunReport {
+        self.run_unplanned_inner(program, board, supply, probe)
+    }
+
+    fn run_unplanned_inner<P: ExecProbe>(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        probe: &mut P,
     ) -> RunReport {
         let clock = board.costs().clock_hz;
         let monitor = board.monitor();
@@ -677,7 +774,8 @@ impl IntermittentExecutor {
                     let ck = DeviceOp::Checkpoint {
                         words: words as u64,
                     };
-                    if self.try_execute(
+                    let span = SpanTimer::start::<P>();
+                    let committed_now = self.try_execute(
                         &ck,
                         board,
                         supply,
@@ -685,12 +783,15 @@ impl IntermittentExecutor {
                         clock,
                         &mut active_cycles,
                         &mut spent_nj,
-                    ) {
+                    );
+                    span.finish(probe, ExecPhase::CheckpointRestore);
+                    if committed_now {
                         // Checkpoint committed atomically (double-buffered
                         // in FRAM): progress up to i is now durable.
                         committed = i;
                         ondemand += 1;
                         executed += 1;
+                        probe.event(ExecEvent::CheckpointCommit { t, slot: i as u32 });
                     }
                     // If it failed, the previous checkpoint still stands;
                     // fall through and let the op attempt trigger the
@@ -720,6 +821,7 @@ impl IntermittentExecutor {
             outages += 1;
             wasted += (i - committed) as u64;
             supply.capacitor_mut().collapse_to_off();
+            probe.event(ExecEvent::BrownOut { t });
 
             if committed == committed_at_last_outage {
                 stall += 1;
@@ -737,12 +839,27 @@ impl IntermittentExecutor {
             // ---- dark charging phase ----
             {
                 let (harvester, capacitor) = supply.parts_mut();
-                if !self.charge_until_boot(harvester, capacitor, &mut t, &mut charging_s) {
+                let dark_t0 = t;
+                let dark_joules = if P::ENABLED {
+                    capacitor.joules_to_boot().max(0.0)
+                } else {
+                    0.0
+                };
+                let span = SpanTimer::start::<P>();
+                let booted = self.charge_until_boot(harvester, capacitor, &mut t, &mut charging_s);
+                span.finish(probe, ExecPhase::ChargeSolve);
+                probe.event(ExecEvent::DarkSkip {
+                    t0: dark_t0,
+                    t1: t,
+                    joules: dark_joules,
+                });
+                if !booted {
                     break 'run RunOutcome::TimeLimit;
                 }
             }
 
             // ---- restore ----
+            let span = SpanTimer::start::<P>();
             let restore = DeviceOp::Restore {
                 words: program.restore_words() as u64,
             };
@@ -756,7 +873,14 @@ impl IntermittentExecutor {
             active_cycles += cost.cycles.raw();
             restores += 1;
             i = committed;
+            span.finish(probe, ExecPhase::CheckpointRestore);
+            probe.event(ExecEvent::Boot { t });
         };
+
+        if outcome == RunOutcome::EnergyLimit {
+            probe.event(ExecEvent::EnergyLimit { t });
+        }
+        probe.event(ExecEvent::RunEnd { t, outcome });
 
         // Report only this run's share.
         let meter = diff_meters(board.meter(), &meter_before);
@@ -1221,6 +1345,79 @@ mod tests {
             "commit-only program: steps = ops + restores"
         );
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn probes_observe_without_changing_either_path() {
+        use crate::probe::EventRing;
+
+        // Mixed commit/ondemand/plain program on a weak supply: plenty
+        // of brown-outs, dark skips, boots and on-demand commits.
+        let mut p = Program::new("mixed");
+        for k in 0..600usize {
+            let spec = match k % 5 {
+                0 => CheckpointSpec::COMMIT,
+                1 => CheckpointSpec::ondemand(32),
+                _ => CheckpointSpec::NONE,
+            };
+            p.push(DeviceOp::CpuOps { count: 9_000 }, spec);
+        }
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+
+        let mut plain_board = Board::msp430fr5994();
+        let mut plain_supply = weak_supply();
+        let plain = exec.run_plan(&plan, &mut plain_board, &mut plain_supply);
+
+        let mut probed_board = Board::msp430fr5994();
+        let mut probed_supply = weak_supply();
+        let mut ring = EventRing::new(1 << 16);
+        let probed = exec.run_plan_probed(&plan, &mut probed_board, &mut probed_supply, &mut ring);
+        assert_eq!(plain, probed, "probe must not perturb the run");
+        assert_eq!(plain_board.meter(), probed_board.meter());
+
+        // Event-stream sanity against the report's own counters.
+        let count = |label: &str| ring.events().filter(|e| e.label() == label).count() as u64;
+        assert_eq!(count("brown_out"), probed.outages);
+        assert_eq!(count("boot"), probed.restores);
+        assert_eq!(count("dark_skip"), probed.restores);
+        assert_eq!(count("checkpoint_commit"), probed.ondemand_checkpoints);
+        assert_eq!(count("run_end"), 1);
+        assert!(probed.outages > 0, "want outage coverage");
+        let last = ring.events().last().copied().unwrap();
+        assert_eq!(
+            last,
+            ExecEvent::RunEnd {
+                t: probed.wall_seconds,
+                outcome: probed.outcome
+            }
+        );
+        // Dark skips carry the solved deficit and a positive duration.
+        assert!(ring.events().all(|e| match *e {
+            ExecEvent::DarkSkip { t0, t1, joules } => t1 > t0 && joules > 0.0,
+            _ => true,
+        }));
+
+        // The reference interpreter under the same probe agrees bit for
+        // bit and emits the same outage/boot/commit stream (it has no
+        // segments to retire).
+        let mut ref_board = Board::msp430fr5994();
+        let mut ref_supply = weak_supply();
+        let mut ref_ring = EventRing::new(1 << 16);
+        let reference =
+            exec.run_unplanned_probed(&p, &mut ref_board, &mut ref_supply, &mut ref_ring);
+        assert_eq!(plain, reference);
+        let ref_count =
+            |label: &str| ref_ring.events().filter(|e| e.label() == label).count() as u64;
+        assert_eq!(ref_count("brown_out"), probed.outages);
+        assert_eq!(ref_count("boot"), probed.restores);
+        assert_eq!(ref_count("checkpoint_commit"), probed.ondemand_checkpoints);
+        assert_eq!(ref_count("segment_retired"), 0);
+
+        // Exports render every retained event.
+        assert_eq!(ring.to_jsonl().lines().count(), ring.len());
+        assert!(ring.to_chrome_trace().contains("\"traceEvents\""));
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod environment;
 mod executor;
 mod harvester;
 mod plan;
+mod probe;
 mod program;
 
 pub use capacitor::Capacitor;
@@ -54,6 +55,7 @@ pub use executor::{
 };
 pub use harvester::{Harvester, TraceError};
 pub use plan::{ExecutionPlan, PlannedCost};
+pub use probe::{EventRing, ExecEvent, ExecPhase, ExecProbe, NullProbe, SpanTimer};
 pub use program::{CheckpointSpec, Program, ProgramOp};
 
 use ehdl_device::{Board, Cost};

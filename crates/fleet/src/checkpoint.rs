@@ -89,6 +89,25 @@ impl CheckpointStore {
         self.dir.join(format!("partial-{shard:06}.ehsp"))
     }
 
+    pub(crate) fn heartbeat_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("heartbeat-{shard:06}.json"))
+    }
+
+    /// Publishes one worker heartbeat atomically. Heartbeats are
+    /// telemetry, not state: a lost or stale one degrades the progress
+    /// line, never the sweep, so callers ignore the error.
+    pub(crate) fn write_heartbeat(&self, shard: usize, json: &str) -> Result<(), ShardError> {
+        let mut bytes = json.as_bytes().to_vec();
+        bytes.push(b'\n');
+        self.write_atomic(&self.heartbeat_path(shard), &bytes)
+    }
+
+    /// Deletes a shard's heartbeat if present (worker done, or shard
+    /// merged).
+    pub(crate) fn remove_heartbeat(&self, shard: usize) {
+        let _ = fs::remove_file(self.heartbeat_path(shard));
+    }
+
     fn frontier_path(&self) -> PathBuf {
         self.dir.join("frontier.ckpt")
     }

@@ -173,6 +173,55 @@ impl StatsDigest {
         core::mem::size_of::<Self>() + BINS * core::mem::size_of::<u64>()
     }
 
+    /// The occupied histogram bins as sparse `(bin_index, count)` pairs,
+    /// ascending — the raw resolution data behind every quantile this
+    /// digest can report. Few occupied bins means coarse quantiles: all
+    /// samples in one bin answer every percentile with the same midpoint.
+    pub fn bin_occupancy(&self) -> Vec<(usize, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
+    /// The histogram bin holding the nearest-rank sample for percentile
+    /// `p`, `None` when empty. Two percentiles landing in the same bin
+    /// return the same [`quantile`](Self::quantile) estimate — see
+    /// [`quantile_fidelity`](Self::quantile_fidelity).
+    pub fn quantile_bin(&self, p: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(i);
+            }
+        }
+        Some(BINS - 1)
+    }
+
+    /// How much resolution the histogram actually has for this sample
+    /// set: occupied-bin count and the bins behind the p50/p90/p99
+    /// estimates. Explains artifacts like `p90 == p99`: each bin spans a
+    /// `e^0.04 ≈ 4.08%` value ratio, so a tail clustered tighter than
+    /// one bin collapses every tail percentile onto one midpoint (the
+    /// estimates are still within [`RELATIVE_ERROR`](Self::RELATIVE_ERROR)
+    /// of the exact values — the sketch is coarse, not wrong).
+    pub fn quantile_fidelity(&self) -> QuantileFidelity {
+        QuantileFidelity {
+            occupied_bins: self.bins.iter().filter(|&&n| n > 0).count(),
+            p50_bin: self.quantile_bin(50.0),
+            p90_bin: self.quantile_bin(90.0),
+            p99_bin: self.quantile_bin(99.0),
+        }
+    }
+
     /// The digest's exact state for wire serialization:
     /// `(count, sum, min, max, bins)`. Together with
     /// [`from_raw_parts`](Self::from_raw_parts) this is the bit-exact
@@ -205,6 +254,55 @@ impl StatsDigest {
             max,
             bins,
         })
+    }
+}
+
+/// A [`StatsDigest`]'s quantile resolution for the samples it holds:
+/// which log-histogram bins back the headline percentiles, and how many
+/// bins the sample set occupies at all. Produced by
+/// [`StatsDigest::quantile_fidelity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantileFidelity {
+    /// Number of occupied histogram bins.
+    pub occupied_bins: usize,
+    /// Bin behind the p50 estimate (`None` when empty).
+    pub p50_bin: Option<usize>,
+    /// Bin behind the p90 estimate (`None` when empty).
+    pub p90_bin: Option<usize>,
+    /// Bin behind the p99 estimate (`None` when empty).
+    pub p99_bin: Option<usize>,
+}
+
+impl QuantileFidelity {
+    /// The value ratio one bin spans (`e^0.04 ≈ 1.0408`): percentiles
+    /// whose exact values differ by less than ~4.08% can land in one bin
+    /// and report identical estimates.
+    pub const BIN_WIDTH_RATIO: f64 = 1.0408;
+
+    /// `true` when p90 and p99 are backed by the same bin — the tail is
+    /// clustered tighter than one bin's ~4.08% span, so both report the
+    /// same midpoint (the `latency_p90 == latency_p99` artifact).
+    pub fn tail_collapsed(&self) -> bool {
+        self.p90_bin.is_some() && self.p90_bin == self.p99_bin
+    }
+}
+
+impl fmt::Display for QuantileFidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bin = |b: Option<usize>| b.map_or_else(|| "-".to_string(), |i| i.to_string());
+        write!(
+            f,
+            "{} occupied bins, p50@{} p90@{} p99@{}{}",
+            self.occupied_bins,
+            bin(self.p50_bin),
+            bin(self.p90_bin),
+            bin(self.p99_bin),
+            if self.tail_collapsed() {
+                " (tail collapsed: p90 and p99 share a bin)"
+            } else {
+                ""
+            }
+        )
     }
 }
 
@@ -372,6 +470,72 @@ mod tests {
         // Quantiles stay inside the observed range.
         let p50 = d.quantile(50.0).unwrap();
         assert!((1e-12..=1e12).contains(&p50));
+    }
+
+    #[test]
+    fn clustered_tail_collapses_p90_and_p99_into_one_bin() {
+        // The BENCH_fleet.json `fleet_digest` entry reports
+        // latency_p90_ms == latency_p99_ms (6746.1966 both). This is the
+        // sketch's documented resolution limit, not a bug: each log bin
+        // spans a ~4.08% value ratio, so when the top decile of samples
+        // clusters tighter than that (many scenarios sharing one slow
+        // deterministic trajectory), the p90 and p99 ranks land in the
+        // same bin and both report its geometric midpoint.
+        let mut d = StatsDigest::new();
+        // 85 fast samples spread over decades, 15 slow ones within 2% —
+        // the p90 and p99 ranks both land in the clustered tail.
+        for i in 0..85 {
+            d.record(1.0 + f64::from(i));
+        }
+        for i in 0..15 {
+            d.record(6700.0 * (1.0 + 1e-3 * f64::from(i)));
+        }
+        let p90 = d.quantile(90.0).unwrap();
+        let p99 = d.quantile(99.0).unwrap();
+        assert_eq!(p90, p99, "clustered tail must collapse");
+        let fidelity = d.quantile_fidelity();
+        assert!(fidelity.tail_collapsed(), "{fidelity}");
+        assert_eq!(fidelity.p90_bin, fidelity.p99_bin);
+        assert_ne!(fidelity.p50_bin, fidelity.p90_bin);
+        assert!(fidelity.to_string().contains("tail collapsed"));
+        // Both estimates are still within the documented error of the
+        // exact nearest-rank values.
+        let exact_p90 = exact_percentile(
+            &(0..85)
+                .map(|i| 1.0 + f64::from(i))
+                .chain((0..15).map(|i| 6700.0 * (1.0 + 1e-3 * f64::from(i))))
+                .collect::<Vec<_>>(),
+            90.0,
+        );
+        assert!((p90 - exact_p90).abs() / exact_p90 <= StatsDigest::RELATIVE_ERROR);
+        // A tail spread wider than one bin does NOT collapse.
+        let mut spread = StatsDigest::new();
+        for i in 0..85 {
+            spread.record(1.0 + f64::from(i));
+        }
+        for i in 0..15 {
+            spread.record(6700.0 * (1.0 + 0.1 * f64::from(i)));
+        }
+        assert!(!spread.quantile_fidelity().tail_collapsed());
+        assert_ne!(spread.quantile(90.0), spread.quantile(99.0));
+    }
+
+    #[test]
+    fn bin_occupancy_is_the_sparse_histogram() {
+        let mut d = StatsDigest::new();
+        assert!(d.bin_occupancy().is_empty());
+        assert_eq!(d.quantile_bin(50.0), None);
+        for v in [1.0, 1.0, 1e6] {
+            d.record(v);
+        }
+        let occ = d.bin_occupancy();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].1, 2);
+        assert_eq!(occ[1].1, 1);
+        assert!(occ[0].0 < occ[1].0);
+        assert_eq!(occ.iter().map(|&(_, n)| n).sum::<u64>(), d.count());
+        assert_eq!(d.quantile_bin(50.0), Some(occ[0].0));
+        assert_eq!(d.quantile_bin(100.0), Some(occ[1].0));
     }
 
     #[test]

@@ -57,18 +57,23 @@
 mod checkpoint;
 mod digest;
 mod metrics;
+mod profile;
 mod report;
 mod runner;
 mod scenario;
 pub mod shard;
 mod wire;
 
-pub use digest::StatsDigest;
+pub use digest::{QuantileFidelity, StatsDigest};
 pub use metrics::{
     CsvSink, DigestSink, FleetDigest, FullReportSink, GroupAxis, GroupBySink, GroupedDigest,
     JsonlSink, MetricsSink, RunRecord,
 };
+pub use profile::{CacheCounters, CacheStats, PhaseProfile};
 pub use report::{percentile, FleetReport, ScenarioReport};
 pub use runner::{mix, FleetBuilder, FleetRunner};
 pub use scenario::{Scenario, ScenarioMatrix, Workload};
-pub use shard::{ShardCoordinator, ShardRange, ShardReport};
+pub use shard::{
+    FailedShard, ShardCoordinator, ShardEvent, ShardEventKind, ShardRange, ShardReport,
+};
+pub use wire::Json;

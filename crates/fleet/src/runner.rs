@@ -2,14 +2,16 @@
 //! [`MetricsSink`].
 
 use crate::metrics::{FullReportSink, MetricsSink, RunRecord};
+use crate::profile::PhaseProfile;
 use crate::report::FleetReport;
 use crate::scenario::{Scenario, ScenarioMatrix, Workload};
 use ehdl::deployment::quantized_accuracy;
-use ehdl::ehsim::{ExecutionPlan, IntermittentExecutor, RunTrace};
+use ehdl::ehsim::{ExecPhase, ExecutionPlan, IntermittentExecutor, RunTrace};
 use ehdl::{BoardSpec, Deployment, Error, Strategy};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 /// Lazily recorded trace of the one trajectory a deterministic
 /// (plan, environment) pair can take. `None` until some worker records
@@ -144,6 +146,63 @@ impl FleetRunner {
         range: std::ops::Range<usize>,
         sink: S,
     ) -> Result<S::Report, Error> {
+        self.run_range_inner(matrix, range, sink, false)
+            .map(|(report, _)| report)
+    }
+
+    /// [`run_with_sink`](Self::run_with_sink) with phase profiling: the
+    /// sweep additionally collects a [`PhaseProfile`] — wall-clock span
+    /// digests for charge solving, plan execution, checkpoint/restore,
+    /// trace replay and sink folding, plus plan/trace/deployment cache
+    /// counters.
+    ///
+    /// The profile is a side channel: the sink report stays
+    /// **bit-identical** to the unprofiled sweep at any worker count.
+    /// Span and cache-lookup *counts* are deterministic at one worker;
+    /// at higher worker counts `hits + misses` totals stay fixed but
+    /// racing workers can shift the trace cache's hit/miss split (both
+    /// recordings of a deterministic pair are bit-identical, so either
+    /// outcome is equally valid). Timings are wall-clock and therefore
+    /// never deterministic.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_with_sink`](Self::run_with_sink).
+    pub fn run_profiled_with_sink<S: MetricsSink + Send>(
+        &self,
+        matrix: &ScenarioMatrix,
+        sink: S,
+    ) -> Result<(S::Report, PhaseProfile), Error> {
+        self.run_range_profiled_with_sink(matrix, 0..matrix.len(), sink)
+    }
+
+    /// [`run_range_with_sink`](Self::run_range_with_sink) with phase
+    /// profiling (see
+    /// [`run_profiled_with_sink`](Self::run_profiled_with_sink)).
+    /// Per-range profiles combine with [`PhaseProfile::merge`] in
+    /// range order, reassembling every span count and cache counter of
+    /// the whole-matrix sweep exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_with_sink`](Self::run_with_sink).
+    pub fn run_range_profiled_with_sink<S: MetricsSink + Send>(
+        &self,
+        matrix: &ScenarioMatrix,
+        range: std::ops::Range<usize>,
+        sink: S,
+    ) -> Result<(S::Report, PhaseProfile), Error> {
+        self.run_range_inner(matrix, range, sink, true)
+            .map(|(report, profile)| (report, profile.unwrap_or_default()))
+    }
+
+    fn run_range_inner<S: MetricsSink + Send>(
+        &self,
+        matrix: &ScenarioMatrix,
+        range: std::ops::Range<usize>,
+        sink: S,
+        profiled: bool,
+    ) -> Result<(S::Report, Option<PhaseProfile>), Error> {
         // Reject executor tunables that would hang a worker (zero stall
         // budget, NaN wall clock, non-positive legacy charge step) with
         // a typed error before any deployment is built — for the base
@@ -158,9 +217,10 @@ impl FleetRunner {
             config.validate().map_err(Error::from)?;
             executors.push(IntermittentExecutor::new(config));
         }
+        let mut profile = profiled.then(PhaseProfile::new);
         let scenarios = matrix.scenarios_range(range);
         if scenarios.is_empty() {
-            return sink.finish();
+            return sink.finish().map(|report| (report, profile));
         }
 
         // One deployment per (workload, board, strategy, seed): scenario
@@ -182,7 +242,15 @@ impl FleetRunner {
                     .build()?;
                 let accuracy = quantized_accuracy(deployment.quantized(), &data)?;
                 deployments.push((deployment, accuracy));
+                if let Some(p) = profile.as_mut() {
+                    p.caches.deployment.misses += 1;
+                }
+            } else if let Some(p) = profile.as_mut() {
+                p.caches.deployment.hits += 1;
             }
+        }
+        if let Some(p) = profile.as_mut() {
+            p.caches.deployment.entries = deployments.len() as u64;
         }
 
         // One execution plan per (workload, board, strategy), shared
@@ -197,14 +265,28 @@ impl FleetRunner {
         for scenario in &scenarios {
             if scenario.deployment_key - key0 == plan_of.len() {
                 let key = (scenario.workload, scenario.board.clone(), scenario.strategy);
-                let slot = plan_keys.iter().position(|k| *k == key).unwrap_or_else(|| {
-                    let deployment = &deployments[scenario.deployment_key - key0].0;
-                    plans.push(Arc::new(deployment.compile_plan()));
-                    plan_keys.push(key);
-                    plans.len() - 1
-                });
+                let slot = match plan_keys.iter().position(|k| *k == key) {
+                    Some(slot) => {
+                        if let Some(p) = profile.as_mut() {
+                            p.caches.plan.hits += 1;
+                        }
+                        slot
+                    }
+                    None => {
+                        if let Some(p) = profile.as_mut() {
+                            p.caches.plan.misses += 1;
+                        }
+                        let deployment = &deployments[scenario.deployment_key - key0].0;
+                        plans.push(Arc::new(deployment.compile_plan()));
+                        plan_keys.push(key);
+                        plans.len() - 1
+                    }
+                };
                 plan_of.push(slot);
             }
+        }
+        if let Some(p) = profile.as_mut() {
+            p.caches.plan.entries = plans.len() as u64;
         }
 
         // One trace slot per (plan, environment, budget) triple; only
@@ -223,6 +305,12 @@ impl FleetRunner {
         // whole sweep O(1)), and the coordinator locks it to `merge`
         // completed accumulators in matrix order.
         let sink = Mutex::new(sink);
+
+        // Per-worker profiles (trace-cache counters plus every span a
+        // worker times), merged into the coordinator's profile in
+        // worker-index order after the sweep — timings are wall-clock
+        // and thus never deterministic, but the merge order is.
+        let worker_profiles: Mutex<Vec<(usize, PhaseProfile)>> = Mutex::new(Vec::new());
 
         let cursor = AtomicUsize::new(0);
         // The merge frontier (scenarios merged so far), mirrored into an
@@ -250,46 +338,54 @@ impl FleetRunner {
             let cursor = &cursor;
             let merged = &merged;
             let sink = &sink;
-            for _ in 0..self.workers.min(total) {
+            let worker_profiles = &worker_profiles;
+            for w in 0..self.workers.min(total) {
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(scenario) = scenarios.get(i) else {
-                        break;
-                    };
-                    // Backpressure: the worker holding the lowest
-                    // in-flight index never waits (everything below it
-                    // has been sent, so the frontier reaches it), which
-                    // rules out deadlock; everyone else idles on a timed
-                    // doze — negligible CPU, and at most a stall-length
-                    // wakeup lag — instead of inflating the reorder
-                    // buffer.
-                    while i >= merged.load(Ordering::Relaxed).saturating_add(window) {
-                        std::thread::sleep(std::time::Duration::from_micros(200));
+                scope.spawn(move || {
+                    let mut local = profiled.then(PhaseProfile::new);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = scenarios.get(i) else {
+                            break;
+                        };
+                        // Backpressure: the worker holding the lowest
+                        // in-flight index never waits (everything below it
+                        // has been sent, so the frontier reaches it), which
+                        // rules out deadlock; everyone else idles on a timed
+                        // doze — negligible CPU, and at most a stall-length
+                        // wakeup lag — instead of inflating the reorder
+                        // buffer.
+                        while i >= merged.load(Ordering::Relaxed).saturating_add(window) {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        let (deployment, accuracy) = &deployments[scenario.deployment_key - key0];
+                        let plan_slot = plan_of[scenario.deployment_key - key0];
+                        let trace = (!self.reference && !scenario.environment.is_stochastic())
+                            .then(|| {
+                                let slot = (plan_slot * environments + scenario.environment_key)
+                                    * budgets
+                                    + scenario.budget_key;
+                                &traces[slot]
+                            });
+                        let mut partial = sink.lock().expect("sink lock").open(scenario, *accuracy);
+                        let result = run_scenario::<S>(
+                            scenario,
+                            deployment,
+                            &plans[plan_slot],
+                            trace,
+                            *accuracy,
+                            &executors[scenario.budget_key],
+                            matrix.runs,
+                            self.reference,
+                            &mut partial,
+                            local.as_mut(),
+                        );
+                        if tx.send((i, result.map(|()| partial))).is_err() {
+                            break; // coordinator gone (a sibling panicked)
+                        }
                     }
-                    let (deployment, accuracy) = &deployments[scenario.deployment_key - key0];
-                    let plan_slot = plan_of[scenario.deployment_key - key0];
-                    let trace =
-                        (!self.reference && !scenario.environment.is_stochastic()).then(|| {
-                            let slot = (plan_slot * environments + scenario.environment_key)
-                                * budgets
-                                + scenario.budget_key;
-                            &traces[slot]
-                        });
-                    let mut partial = sink.lock().expect("sink lock").open(scenario, *accuracy);
-                    let result = run_scenario::<S>(
-                        scenario,
-                        deployment,
-                        &plans[plan_slot],
-                        trace,
-                        *accuracy,
-                        &executors[scenario.budget_key],
-                        matrix.runs,
-                        self.reference,
-                        &mut partial,
-                    );
-                    if tx.send((i, result.map(|()| partial))).is_err() {
-                        break; // coordinator gone (a sibling panicked)
+                    if let Some(p) = local {
+                        worker_profiles.lock().expect("profile lock").push((w, p));
                     }
                 });
             }
@@ -323,8 +419,12 @@ impl FleetRunner {
                 }
                 while let Some(partial) = pending.remove(&next) {
                     if sink_error.is_none() {
+                        let t0 = profiled.then(Instant::now);
                         if let Err(e) = sink.lock().expect("sink lock").merge(partial) {
                             sink_error = Some(e);
+                        }
+                        if let (Some(p), Some(t0)) = (profile.as_mut(), t0) {
+                            p.record(ExecPhase::SinkFold, t0.elapsed().as_secs_f64());
                         }
                     }
                     next += 1;
@@ -347,7 +447,17 @@ impl FleetRunner {
         if let Some(e) = sink_error {
             return Err(e);
         }
-        sink.into_inner().expect("sink lock").finish()
+        if let Some(p) = profile.as_mut() {
+            let mut collected = worker_profiles.into_inner().expect("profile lock");
+            collected.sort_by_key(|&(w, _)| w);
+            for (_, worker) in &collected {
+                p.merge(worker);
+            }
+        }
+        sink.into_inner()
+            .expect("sink lock")
+            .finish()
+            .map(|report| (report, profile))
     }
 }
 
@@ -400,6 +510,24 @@ impl<S: MetricsSink> FleetBuilder<S> {
         }
         .run_with_sink(matrix, self.sink)
     }
+
+    /// Sweeps the matrix into the configured sink with phase profiling
+    /// (see [`FleetRunner::run_profiled_with_sink`]): same report, plus
+    /// a [`PhaseProfile`] of where the wall-clock time went.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetRunner::run_with_sink`].
+    pub fn run_profiled(self, matrix: &ScenarioMatrix) -> Result<(S::Report, PhaseProfile), Error>
+    where
+        S: Send,
+    {
+        FleetRunner {
+            workers: self.workers,
+            reference: self.reference,
+        }
+        .run_profiled_with_sink(matrix, self.sink)
+    }
 }
 
 impl FleetBuilder<FullReportSink> {
@@ -432,6 +560,7 @@ fn run_scenario<S: MetricsSink>(
     runs: u32,
     reference: bool,
     partial: &mut S::Partial,
+    mut profile: Option<&mut PhaseProfile>,
 ) -> Result<(), Error> {
     let mut session = if reference {
         deployment.session()
@@ -448,7 +577,15 @@ fn run_scenario<S: MetricsSink>(
             // bit-identical to live runs on this session's board.
             let existing = slot.lock().expect("trace lock").clone();
             match existing {
-                Some(recorded) => session.infer_intermittent_replay(executor, &recorded),
+                Some(recorded) => {
+                    let t0 = profile.is_some().then(Instant::now);
+                    let r = session.infer_intermittent_replay(executor, &recorded);
+                    if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+                        p.caches.trace.hits += 1;
+                        p.record(ExecPhase::TraceReplay, t0.elapsed().as_secs_f64());
+                    }
+                    r
+                }
                 None => {
                     // The recording run *is* this run — it executes live
                     // on this session's board with the lock released, so
@@ -457,11 +594,22 @@ fn run_scenario<S: MetricsSink>(
                     // recording of a deterministic pair is bit-identical,
                     // so whichever lands first is equally valid).
                     let mut supply = scenario.environment.supply();
-                    let (report, recorded) =
-                        session.infer_intermittent_traced(executor, &mut supply);
+                    let (report, recorded) = if let Some(p) = profile.as_deref_mut() {
+                        let t0 = Instant::now();
+                        let out =
+                            session.infer_intermittent_traced_probed(executor, &mut supply, p);
+                        p.caches.trace.misses += 1;
+                        p.record(ExecPhase::PlanExec, t0.elapsed().as_secs_f64());
+                        out
+                    } else {
+                        session.infer_intermittent_traced(executor, &mut supply)
+                    };
                     let mut guard = slot.lock().expect("trace lock");
                     if guard.is_none() {
                         *guard = Some(Arc::new(recorded));
+                        if let Some(p) = profile.as_deref_mut() {
+                            p.caches.trace.entries += 1;
+                        }
                     }
                     report
                 }
@@ -472,7 +620,16 @@ fn run_scenario<S: MetricsSink>(
             // a no-op replay of the same waveform).
             let env = scenario.environment.reseeded(mix(scenario.seed, run));
             let mut supply = env.supply();
-            if reference {
+            if let Some(p) = profile.as_deref_mut() {
+                let t0 = Instant::now();
+                let r = if reference {
+                    session.infer_intermittent_reference_probed(executor, &mut supply, p)
+                } else {
+                    session.infer_intermittent_probed(executor, &mut supply, p)
+                };
+                p.record(ExecPhase::PlanExec, t0.elapsed().as_secs_f64());
+                r
+            } else if reference {
                 session.infer_intermittent_reference(executor, &mut supply)
             } else {
                 session.infer_intermittent_with(executor, &mut supply)
@@ -484,7 +641,11 @@ fn run_scenario<S: MetricsSink>(
             accuracy,
             report: &r,
         };
+        let t0 = profile.is_some().then(Instant::now);
         S::fold(partial, &record);
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+            p.record(ExecPhase::SinkFold, t0.elapsed().as_secs_f64());
+        }
     }
     Ok(())
 }
@@ -700,6 +861,110 @@ mod tests {
             .unwrap();
         assert_eq!(rows, 8);
         assert_eq!(String::from_utf8(bytes).unwrap().lines().count(), 9);
+    }
+
+    #[test]
+    fn profiled_sweep_report_is_bit_identical_and_counts_caches() {
+        // 2 envs (one stochastic) × 2 strategies × 2 seeds × 2 runs.
+        let matrix = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+            .workloads(vec![Workload::Har { samples: 4 }])
+            .strategies(vec![Strategy::Sonic, Strategy::Flex])
+            .seeds(vec![0, 3])
+            .runs(2)
+            .executor(quick_executor());
+        let plain = FleetRunner::builder()
+            .workers(1)
+            .sink(DigestSink::new())
+            .run(&matrix)
+            .unwrap();
+        let (profiled, profile) = FleetRunner::builder()
+            .workers(1)
+            .sink(DigestSink::new())
+            .run_profiled(&matrix)
+            .unwrap();
+        // The profile is a pure side channel.
+        assert_eq!(plain, profiled);
+
+        // Deployments: one per (workload, board, strategy, seed) = 4,
+        // looked up once per scenario (8).
+        assert_eq!(profile.caches.deployment.entries, 4);
+        assert_eq!(profile.caches.deployment.misses, 4);
+        assert_eq!(profile.caches.deployment.hits, 4);
+        // Plans: shared across seeds = 2 entries over 4 lookups.
+        assert_eq!(profile.caches.plan.entries, 2);
+        assert_eq!(profile.caches.plan.misses, 2);
+        assert_eq!(profile.caches.plan.hits, 2);
+        // Traces: only the deterministic env records — 2 (plan, env)
+        // pairs over 2 seeds × 2 runs = 8 lookups.
+        assert_eq!(profile.caches.trace.entries, 2);
+        assert_eq!(profile.caches.trace.misses, 2);
+        assert_eq!(profile.caches.trace.hits, 6);
+
+        // Every run was timed exactly once: 8 deterministic lookups +
+        // 8 stochastic runs.
+        assert_eq!(
+            profile.plan_exec_s.count() + profile.trace_replay_s.count(),
+            16
+        );
+        // Sink folds: one per run plus one coordinator merge per
+        // scenario.
+        assert_eq!(profile.sink_fold_s.count(), 16 + 8);
+        assert!(profile.total_seconds() > 0.0);
+
+        // At any worker count the report stays identical and cache
+        // totals are conserved (the trace hit/miss split may shift).
+        let (profiled4, profile4) = FleetRunner::builder()
+            .workers(4)
+            .sink(DigestSink::new())
+            .run_profiled(&matrix)
+            .unwrap();
+        assert_eq!(plain, profiled4);
+        assert_eq!(profile4.caches.deployment, profile.caches.deployment);
+        assert_eq!(profile4.caches.plan, profile.caches.plan);
+        assert_eq!(
+            profile4.caches.trace.lookups(),
+            profile.caches.trace.lookups()
+        );
+
+        // The profile survives its wire format bit-identically.
+        let back = PhaseProfile::from_json(&profile.to_json()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn range_profiles_merge_to_the_whole_sweep_counts() {
+        let matrix = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::piezo_gait()])
+            .workloads(vec![Workload::Har { samples: 4 }])
+            .strategies(vec![Strategy::Sonic, Strategy::Flex])
+            .executor(quick_executor());
+        let runner = FleetRunner::new(1);
+        let (_, whole) = runner
+            .run_profiled_with_sink(&matrix, DigestSink::new())
+            .unwrap();
+        let mut merged = PhaseProfile::new();
+        let mid = matrix.len() / 2;
+        for range in [0..mid, mid..matrix.len()] {
+            let (_, part) = runner
+                .run_range_profiled_with_sink(&matrix, range, DigestSink::new())
+                .unwrap();
+            merged.merge(&part);
+        }
+        // Counters and span counts reassemble exactly: deployment keys
+        // are contiguous over contiguous ranges, so this split puts one
+        // plan (and its scenarios) wholly in each half.
+        assert_eq!(merged.caches.deployment, whole.caches.deployment);
+        assert_eq!(merged.caches.plan, whole.caches.plan);
+        assert_eq!(merged.caches.trace.lookups(), whole.caches.trace.lookups());
+        for phase in ehdl::ehsim::ExecPhase::ALL {
+            assert_eq!(
+                merged.digest(phase).count(),
+                whole.digest(phase).count(),
+                "{}",
+                phase.name()
+            );
+        }
     }
 
     #[test]

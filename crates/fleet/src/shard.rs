@@ -56,8 +56,7 @@ use std::time::{Duration, Instant};
 /// [`worker_main`].
 pub const FAULT_ENV: &str = "EHDL_SHARD_FAULT";
 
-/// One contiguous run of scenario indices assigned to a shard — how
-/// [`ShardReport::failed`] names the work a degraded sweep is missing.
+/// One contiguous run of scenario indices assigned to a shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardRange {
     /// The shard's index in the plan.
@@ -66,6 +65,64 @@ pub struct ShardRange {
     pub start: usize,
     /// Number of scenarios covered.
     pub len: usize,
+}
+
+/// A shard that exhausted its retries, with the last failure's
+/// diagnosis — how [`ShardReport::failed`] names the work a degraded
+/// sweep is missing and why it is missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedShard {
+    /// The shard's index in the plan.
+    pub shard: usize,
+    /// First scenario index covered.
+    pub start: usize,
+    /// Number of scenarios covered.
+    pub len: usize,
+    /// The final attempt's failure, including a bounded tail of
+    /// whatever the worker wrote to stderr.
+    pub error: String,
+}
+
+/// What went wrong (or got retried) during a sharded sweep — one entry
+/// per retry, timeout, spawn failure or permanent failure, in the
+/// order the coordinator observed them. An all-green sweep has none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEventKind {
+    /// An attempt failed; a backed-off retry was scheduled.
+    Retry,
+    /// A worker exceeded the per-shard timeout and was killed.
+    Timeout,
+    /// The worker subprocess could not be spawned.
+    SpawnFailed,
+    /// The shard exhausted its retries and was abandoned.
+    Failed,
+}
+
+impl ShardEventKind {
+    /// Stable lower-case name (`retry`, `timeout`, `spawn_failed`,
+    /// `failed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardEventKind::Retry => "retry",
+            ShardEventKind::Timeout => "timeout",
+            ShardEventKind::SpawnFailed => "spawn_failed",
+            ShardEventKind::Failed => "failed",
+        }
+    }
+}
+
+/// One structured entry in [`ShardReport::events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEvent {
+    /// The shard the event concerns.
+    pub shard: usize,
+    /// Failures of this shard so far, this one included (so the first
+    /// retry of a shard carries `attempt: 1`).
+    pub attempt: u32,
+    /// What happened.
+    pub kind: ShardEventKind,
+    /// The failure message, including any bounded stderr tail.
+    pub detail: String,
 }
 
 /// What a sharded sweep produced. When [`failed`](Self::failed) is
@@ -94,8 +151,12 @@ pub struct ShardReport {
     pub resumed_shards: usize,
     /// Worker retry attempts performed across the sweep.
     pub retries: u64,
-    /// Shards that exhausted their retries, as scenario ranges.
-    pub failed: Vec<ShardRange>,
+    /// Shards that exhausted their retries, with the scenario range
+    /// each one covered and its final failure message.
+    pub failed: Vec<FailedShard>,
+    /// Every retry/timeout/spawn-failure/abandonment the coordinator
+    /// observed, in order. Empty for an all-green sweep.
+    pub events: Vec<ShardEvent>,
 }
 
 impl ShardReport {
@@ -123,13 +184,14 @@ impl fmt::Display for ShardReport {
             self.resumed_shards,
             self.retries
         )?;
-        for range in &self.failed {
+        for failed in &self.failed {
             writeln!(
                 f,
-                "FAILED shard {}: scenarios {}..{} not merged",
-                range.shard,
-                range.start,
-                range.start + range.len
+                "FAILED shard {}: scenarios {}..{} not merged: {}",
+                failed.shard,
+                failed.start,
+                failed.start + failed.len,
+                failed.error
             )?;
         }
         write!(f, "{}", self.digest)?;
@@ -156,6 +218,7 @@ pub struct ShardCoordinator {
     checkpoint_dir: Option<PathBuf>,
     group_by: Vec<GroupAxis>,
     worker: Option<(PathBuf, Vec<String>)>,
+    progress: bool,
 }
 
 impl ShardCoordinator {
@@ -176,7 +239,17 @@ impl ShardCoordinator {
             checkpoint_dir: None,
             group_by: Vec::new(),
             worker: None,
+            progress: false,
         }
+    }
+
+    /// Prints a throttled (~1 s) progress line to stderr while the
+    /// sweep runs: shards merged, scenarios done (live workers counted
+    /// via their heartbeat files), throughput and an ETA. Telemetry
+    /// only — the report is identical with it on or off.
+    pub fn progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
     }
 
     /// Maximum worker subprocesses alive at once.
@@ -408,7 +481,9 @@ impl ShardCoordinator {
         }
 
         let mut retries = 0u64;
+        let mut events: Vec<ShardEvent> = Vec::new();
         let mut fatal: Option<Error> = None;
+        let mut last_progress = Instant::now();
         'sweep: loop {
             // 1. Reap finished / timed-out workers.
             for shard in 0..n_shards {
@@ -437,6 +512,7 @@ impl ShardCoordinator {
                                     shard,
                                     attempt,
                                     &mut retries,
+                                    &mut events,
                                     "worker exited successfully without a valid partial"
                                         .to_string(),
                                 );
@@ -449,6 +525,7 @@ impl ShardCoordinator {
                             shard,
                             attempt,
                             &mut retries,
+                            &mut events,
                             format!("worker exited with {status}{detail}"),
                         );
                     }
@@ -457,11 +534,25 @@ impl ShardCoordinator {
                             if started.elapsed() > timeout {
                                 let _ = child.kill();
                                 let _ = child.wait();
+                                // The tail of what the worker managed to
+                                // say before the kill often names the
+                                // hang.
+                                let detail = drain_stderr(child);
+                                let message = format!(
+                                    "worker exceeded the {timeout:?} shard timeout{detail}"
+                                );
+                                events.push(ShardEvent {
+                                    shard,
+                                    attempt: attempt + 1,
+                                    kind: ShardEventKind::Timeout,
+                                    detail: message.clone(),
+                                });
                                 states[shard] = self.next_attempt(
                                     shard,
                                     attempt,
                                     &mut retries,
-                                    format!("worker exceeded the {timeout:?} shard timeout"),
+                                    &mut events,
+                                    message,
                                 );
                             }
                         }
@@ -473,6 +564,7 @@ impl ShardCoordinator {
                             shard,
                             attempt,
                             &mut retries,
+                            &mut events,
                             format!("could not poll worker: {e}"),
                         );
                     }
@@ -515,6 +607,7 @@ impl ShardCoordinator {
                 let advanced = store
                     .save_frontier(&frontier, fingerprint)
                     .and_then(|()| store.remove_partial(shard));
+                store.remove_heartbeat(shard);
                 if let Err(e) = advanced {
                     fatal = Some(e.into());
                     break 'sweep;
@@ -546,12 +639,26 @@ impl ShardCoordinator {
                         live += 1;
                     }
                     Err(message) => {
-                        *state = self.next_attempt(shard, attempt, &mut retries, message);
+                        events.push(ShardEvent {
+                            shard,
+                            attempt: attempt + 1,
+                            kind: ShardEventKind::SpawnFailed,
+                            detail: message.clone(),
+                        });
+                        *state =
+                            self.next_attempt(shard, attempt, &mut retries, &mut events, message);
                     }
                 }
             }
 
-            // 4. Done when nothing is running or waiting to run.
+            // 4. Progress telemetry (stderr only; never affects the
+            //    report).
+            if self.progress && last_progress.elapsed() >= Duration::from_secs(1) {
+                last_progress = Instant::now();
+                self.emit_progress(&plan, &states, &frontier, store, total, now);
+            }
+
+            // 5. Done when nothing is running or waiting to run.
             let active = states
                 .iter()
                 .any(|s| matches!(s, ShardState::Running { .. } | ShardState::Pending { .. }));
@@ -560,15 +667,25 @@ impl ShardCoordinator {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
+        if self.progress {
+            self.emit_progress(&plan, &states, &frontier, store, total, now);
+        }
         if let Some(e) = fatal {
             return Err(self.abandon(&mut states, e));
         }
 
-        let failed: Vec<ShardRange> = states
+        let failed: Vec<FailedShard> = states
             .iter()
             .zip(&plan)
-            .filter(|(s, _)| matches!(s, ShardState::Failed))
-            .map(|(_, range)| *range)
+            .filter_map(|(s, range)| match s {
+                ShardState::Failed { error } => Some(FailedShard {
+                    shard: range.shard,
+                    start: range.start,
+                    len: range.len,
+                    error: error.clone(),
+                }),
+                _ => None,
+            })
             .collect();
         Ok(ShardReport {
             digest: frontier.digest,
@@ -579,24 +696,84 @@ impl ShardCoordinator {
             resumed_shards: resumed,
             retries,
             failed,
+            events,
         })
+    }
+
+    /// One stderr progress line: merged shards, scenarios done (live
+    /// workers read via their heartbeats, finished-but-unmerged shards
+    /// counted whole), throughput over the sweep so far and an ETA.
+    fn emit_progress(
+        &self,
+        plan: &[ShardRange],
+        states: &[ShardState],
+        frontier: &Frontier,
+        store: &CheckpointStore,
+        total: usize,
+        started: Instant,
+    ) {
+        let mut done = frontier.digest.scenarios;
+        let mut running = 0usize;
+        for (state, range) in states.iter().zip(plan) {
+            match state {
+                ShardState::Ready => done += range.len as u64,
+                ShardState::Running { .. } => {
+                    running += 1;
+                    done += heartbeat_done(store, range.shard);
+                }
+                _ => {}
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 && done > 0 {
+            let remaining = (total as u64).saturating_sub(done) as f64;
+            format!("{:.0}s", remaining / rate)
+        } else {
+            "?".to_string()
+        };
+        eprintln!(
+            "ehdl-fleet: progress {}/{} shards merged, {done}/{total} scenarios \
+             ({rate:.1}/s, ETA {eta}, {running} running)",
+            frontier.merged_shards,
+            plan.len()
+        );
     }
 
     /// Books one failed attempt: schedules a backed-off retry, or
     /// marks the shard permanently failed once retries are exhausted.
+    /// Either way the failure lands in the event log, and a permanent
+    /// failure keeps its message for [`ShardReport::failed`].
     fn next_attempt(
         &self,
         shard: usize,
         attempt: u32,
         retries: &mut u64,
+        events: &mut Vec<ShardEvent>,
         message: String,
     ) -> ShardState {
         let failures = attempt + 1;
         if failures > self.retries {
             eprintln!("ehdl-fleet: shard {shard} failed permanently: {message}");
-            ShardState::Failed
+            events.push(ShardEvent {
+                shard,
+                attempt: failures,
+                kind: ShardEventKind::Failed,
+                detail: message.clone(),
+            });
+            ShardState::Failed { error: message }
         } else {
             *retries += 1;
+            events.push(ShardEvent {
+                shard,
+                attempt: failures,
+                kind: ShardEventKind::Retry,
+                detail: message,
+            });
             ShardState::Pending {
                 attempt: failures,
                 ready_at: Instant::now() + self.backoff * 2u32.saturating_pow(failures - 1),
@@ -648,7 +825,19 @@ enum ShardState {
     },
     Ready,
     Merged,
-    Failed,
+    Failed {
+        error: String,
+    },
+}
+
+/// Reads the `done` field of a running shard's heartbeat; 0 when the
+/// worker has not published one (or it is mid-rename).
+fn heartbeat_done(store: &CheckpointStore, shard: usize) -> u64 {
+    fs::read_to_string(store.heartbeat_path(shard))
+        .ok()
+        .and_then(|text| Json::parse(text.trim_end()).ok())
+        .and_then(|v| v.get("done").and_then(Json::as_u64))
+        .unwrap_or(0)
 }
 
 /// Replays one scenario record into a grouped digest exactly as the
@@ -667,16 +856,33 @@ fn merge_group(gd: &mut GroupedDigest, record: &ShardRecord) {
     }
 }
 
+/// The most stderr a failure message carries. The *tail* is what
+/// matters — a panicking worker prints its diagnosis last — and an
+/// unbounded capture would balloon retry events and failed-shard
+/// reports when a worker loops on stderr.
+const STDERR_TAIL_BYTES: usize = 2048;
+
 /// Reads whatever the worker said on stderr, as a `: `-prefixed detail
-/// string (empty when it said nothing).
+/// string (empty when it said nothing), keeping at most the last
+/// [`STDERR_TAIL_BYTES`] bytes.
 fn drain_stderr(child: &mut Child) -> String {
     let mut detail = String::new();
     if let Some(mut stderr) = child.stderr.take() {
         let _ = stderr.read_to_string(&mut detail);
     }
-    let detail = detail.trim();
+    let mut detail = detail.trim();
+    let truncated = detail.len() > STDERR_TAIL_BYTES;
+    if truncated {
+        let mut cut = detail.len() - STDERR_TAIL_BYTES;
+        while !detail.is_char_boundary(cut) {
+            cut += 1;
+        }
+        detail = &detail[cut..];
+    }
     if detail.is_empty() {
         String::new()
+    } else if truncated {
+        format!(": [stderr tail] …{detail}")
     } else {
         format!(": {detail}")
     }
@@ -795,17 +1001,27 @@ pub fn worker_main(args: &[String]) -> Result<(), Error> {
     let runner = FleetRunner::new(threads);
 
     if to_stdout {
-        let sink = ShardRecordSink::new(BufWriter::new(std::io::stdout()), header, die_after)?;
+        let sink =
+            ShardRecordSink::new(BufWriter::new(std::io::stdout()), header, die_after, None)?;
         let (records, mut writer) =
             runner.run_range_with_sink(&matrix, start..start + len, sink)?;
         writer.flush().map_err(Error::from)?;
         debug_assert_eq!(records, len as u64);
         return Ok(());
     }
+    let store = CheckpointStore::open(&dir)?;
+    let heartbeat = Heartbeat {
+        store: store.clone(),
+        shard,
+        start: start as u64,
+        len: len as u64,
+        started: Instant::now(),
+        last: None,
+    };
     let tmp = dir.join(format!("partial-{shard:06}.ehsp.tmp"));
     let final_path = dir.join(format!("partial-{shard:06}.ehsp"));
     let file = fs::File::create(&tmp).map_err(Error::from)?;
-    let sink = ShardRecordSink::new(BufWriter::new(file), header, die_after)?;
+    let sink = ShardRecordSink::new(BufWriter::new(file), header, die_after, Some(heartbeat))?;
     let (records, writer) = runner.run_range_with_sink(&matrix, start..start + len, sink)?;
     debug_assert_eq!(records, len as u64);
     let file = writer
@@ -814,6 +1030,7 @@ pub fn worker_main(args: &[String]) -> Result<(), Error> {
     file.sync_all().map_err(Error::from)?;
     drop(file);
     fs::rename(&tmp, &final_path).map_err(Error::from)?;
+    store.remove_heartbeat(shard);
     println!("{{\"shard\":{shard},\"records\":{records}}}");
     Ok(())
 }
@@ -852,14 +1069,63 @@ struct ShardRecordSink<W: Write + Send> {
     /// kill would.
     die_after: Option<u64>,
     written: u64,
+    heartbeat: Option<Heartbeat>,
+}
+
+/// Live-progress publication for one worker: a throttled
+/// `heartbeat-<shard>.json` in the checkpoint directory, written with
+/// the same atomic rename as every other checkpoint file so the
+/// coordinator never reads a torn line. Pure telemetry — write errors
+/// are swallowed.
+struct Heartbeat {
+    store: CheckpointStore,
+    shard: usize,
+    start: u64,
+    len: u64,
+    started: Instant,
+    last: Option<Instant>,
+}
+
+impl Heartbeat {
+    const INTERVAL: Duration = Duration::from_millis(200);
+
+    fn beat(&mut self, done: u64) {
+        if self
+            .last
+            .is_some_and(|last| last.elapsed() < Self::INTERVAL)
+        {
+            return;
+        }
+        self.last = Some(Instant::now());
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let _ = self.store.write_heartbeat(
+            self.shard,
+            &format!(
+                "{{\"shard\":{},\"start\":{},\"len\":{},\"done\":{done},\
+                 \"elapsed_s\":{elapsed:.3},\"scenarios_per_sec\":{rate:.3}}}",
+                self.shard, self.start, self.len
+            ),
+        );
+    }
 }
 
 impl<W: Write + Send> ShardRecordSink<W> {
-    fn new(writer: W, header: PartialHeader, die_after: Option<u64>) -> Result<Self, Error> {
+    fn new(
+        writer: W,
+        header: PartialHeader,
+        die_after: Option<u64>,
+        heartbeat: Option<Heartbeat>,
+    ) -> Result<Self, Error> {
         Ok(ShardRecordSink {
             writer: PartialWriter::new(writer, header).map_err(Error::from)?,
             die_after,
             written: 0,
+            heartbeat,
         })
     }
 }
@@ -891,6 +1157,9 @@ impl<W: Write + Send> MetricsSink for ShardRecordSink<W> {
     fn merge(&mut self, partial: ShardRecord) -> Result<(), Error> {
         self.writer.write_record(&partial).map_err(Error::from)?;
         self.written += 1;
+        if let Some(hb) = self.heartbeat.as_mut() {
+            hb.beat(self.written);
+        }
         if self.die_after == Some(self.written) {
             // Simulate a mid-shard kill: leave a half-written line
             // behind and die without unwinding.

@@ -17,8 +17,9 @@
 
 use crate::digest::StatsDigest;
 use crate::metrics::{json_escape, FleetDigest};
+use crate::profile::{CacheCounters, CacheStats, PhaseProfile};
 use crate::scenario::{ScenarioMatrix, Workload};
-use ehdl::ehsim::{Capacitor, Environment, ExecutorConfig, Harvester};
+use ehdl::ehsim::{Capacitor, Environment, ExecPhase, ExecutorConfig, Harvester};
 use ehdl::{BoardSpec, CalibrationConfig, ShardError, Strategy};
 use std::fmt::Write as _;
 use std::io::{self, Write};
@@ -85,21 +86,38 @@ fn f32_hex(v: f32) -> String {
 
 // ----------------------------------------------------------- the parser
 
-/// A parsed JSON value. Numbers keep their raw token (the wire only
-/// carries unsigned integers; floats travel as hex strings).
+/// A parsed JSON value, from the dependency-free parser behind every
+/// fleet wire format. Public so tooling (CI validation, bench
+/// harnesses) can read the fleet's own exports — shard partials,
+/// digests, heartbeats, probe traces — without another JSON crate.
+///
+/// Numbers keep their raw token: the fleet wire carries unsigned
+/// integers and hex-encoded float bits (use [`Json::as_f64_bits`]),
+/// while observability exports (JSONL events, Chrome traces,
+/// heartbeats) carry plain decimals (use [`Json::as_f64`]).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number, kept as its raw unparsed token.
     Num(String),
+    /// A string, unescaped.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object, as members in document order.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
     /// Parses one complete JSON document (no trailing bytes).
-    pub(crate) fn parse(input: &str) -> Result<Json, String> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error.
+    pub fn parse(input: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
@@ -113,7 +131,8 @@ impl Json {
         Ok(v)
     }
 
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    /// An object member by key, `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -121,30 +140,47 @@ impl Json {
     }
 
     /// A required object member, as an error message otherwise.
-    pub(crate) fn req(&self, key: &str) -> Result<&Json, String> {
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field.
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
         self.get(key)
             .ok_or_else(|| format!("missing field {key:?}"))
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string payload, `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The number as an unsigned integer, `None` otherwise.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
         }
     }
 
-    pub(crate) fn as_usize(&self) -> Option<usize> {
+    /// [`Json::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    /// The number as a plain decimal `f64` — the encoding the
+    /// observability exports use. `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The array's items, `None` for non-arrays.
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -152,7 +188,7 @@ impl Json {
     }
 
     /// An `f64` carried as 16 hex digits of its bit pattern.
-    pub(crate) fn as_f64_bits(&self) -> Option<f64> {
+    pub fn as_f64_bits(&self) -> Option<f64> {
         self.as_str().and_then(parse_hex64).map(f64::from_bits)
     }
 
@@ -380,6 +416,68 @@ fn stats_from(v: &Json) -> Result<StatsDigest, String> {
     }
     StatsDigest::from_raw_parts(count, sum, min, max, &sparse)
         .ok_or_else(|| "bin index out of range".to_string())
+}
+
+/// Serializes a [`PhaseProfile`] as one canonical JSON object: phase
+/// digests (floats as bit-exact hex) in [`ExecPhase::ALL`] order, then
+/// the three cache counters.
+pub(crate) fn profile_json(p: &PhaseProfile) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"phases\":{");
+    for (i, phase) in ExecPhase::ALL.into_iter().enumerate() {
+        if i != 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", phase.name());
+        stats_json(&mut out, p.digest(phase));
+    }
+    out.push_str("},\"caches\":{");
+    for (i, (name, c)) in [
+        ("plan", &p.caches.plan),
+        ("trace", &p.caches.trace),
+        ("deployment", &p.caches.deployment),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if i != 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{name}\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
+            c.hits, c.misses, c.entries
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+fn cache_counters_from(v: &Json) -> Result<CacheCounters, String> {
+    Ok(CacheCounters {
+        hits: field!(v, "hits", as_u64)?,
+        misses: field!(v, "misses", as_u64)?,
+        entries: field!(v, "entries", as_u64)?,
+    })
+}
+
+/// Rebuilds a [`PhaseProfile`] from [`profile_json`]'s output —
+/// bit-identical, digests included.
+pub(crate) fn profile_from_json(text: &str) -> Result<PhaseProfile, String> {
+    let v = Json::parse(text)?;
+    let phases = v.req("phases")?;
+    let mut profile = PhaseProfile::new();
+    for phase in ExecPhase::ALL {
+        let d = stats_from(phases.req(phase.name())?)?;
+        profile.digest_replace(phase, d);
+    }
+    let caches = v.req("caches")?;
+    profile.caches = CacheStats {
+        plan: cache_counters_from(caches.req("plan")?)?,
+        trace: cache_counters_from(caches.req("trace")?)?,
+        deployment: cache_counters_from(caches.req("deployment")?)?,
+    };
+    Ok(profile)
 }
 
 /// Serializes a [`FleetDigest`] as one canonical JSON object.

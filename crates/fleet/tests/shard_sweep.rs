@@ -11,7 +11,7 @@ use ehdl::ehsim::catalog;
 use ehdl::{CalibrationConfig, Error, ShardError, Strategy};
 use ehdl_fleet::{
     DigestSink, FleetDigest, FleetRunner, GroupAxis, GroupBySink, GroupedDigest, ScenarioMatrix,
-    ShardCoordinator, ShardReport,
+    ShardCoordinator, ShardEventKind, ShardReport,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -96,6 +96,7 @@ fn subprocess_shards_reproduce_the_in_process_digest_at_any_shard_count() {
         assert_eq!(report.total_scenarios, 16);
         assert_eq!(report.retries, 0);
         assert_eq!(report.failed, vec![]);
+        assert_eq!(report.events, vec![], "a clean sweep records no incidents");
     }
 }
 
@@ -110,6 +111,24 @@ fn killed_worker_is_retried_and_the_digest_is_unchanged() {
         .run(&matrix)
         .unwrap();
     assert!(report.retries >= 1, "{report}");
+    // The retry is a structured event naming the shard and attempt.
+    let retry = report
+        .events
+        .iter()
+        .find(|e| e.kind == ShardEventKind::Retry)
+        .expect("a retried shard records a retry event");
+    assert_eq!(retry.shard, 1);
+    assert_eq!(retry.attempt, 1);
+    assert!(!retry.detail.is_empty());
+    assert_eq!(retry.kind.name(), "retry");
+    // Workers remove their heartbeat files once their shard lands.
+    let leftover: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("heartbeat-"))
+        .collect();
+    assert_eq!(leftover, Vec::<String>::new());
     assert_matches_in_process(&report, &matrix);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -135,6 +154,18 @@ fn permanently_failing_shard_degrades_instead_of_aborting_then_resume_completes(
     assert_eq!(degraded.failed[0].start, 4);
     assert_eq!(degraded.failed[0].len, 4);
     assert!(degraded.retries >= 1);
+    assert!(
+        !degraded.failed[0].error.is_empty(),
+        "the failed range carries the worker's last error"
+    );
+    // The event log ends the shard's story with a permanent failure.
+    let failed = degraded
+        .events
+        .iter()
+        .find(|e| e.kind == ShardEventKind::Failed)
+        .expect("a permanent failure records a failed event");
+    assert_eq!(failed.shard, 1);
+    assert!(failed.attempt >= 2, "retried before giving up: {failed:?}");
     let text = degraded.to_string();
     assert!(text.contains("FAILED shard 1"), "{text}");
     // Shards 2 and 3 completed; their partials await the resume.

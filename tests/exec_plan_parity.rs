@@ -155,6 +155,143 @@ fn plan_sharing_across_seeds_is_lossless() {
     assert_eq!(planned, reference);
 }
 
+/// Probes are pure observers: for every (strategy, environment) pair a
+/// plan run watched by an `EventRing` + `PhaseProfile` pair and a probed
+/// reference run must reproduce their unprobed twins bit for bit —
+/// report and board meter alike — while the event stream itself stays
+/// well-formed (monotone sim time, exactly one terminal `run_end`).
+#[test]
+fn probed_runs_are_bit_identical_across_strategies_and_catalog() {
+    use ehdl::ehsim::{EventRing, ExecPhase};
+    use ehdl_fleet::PhaseProfile;
+
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(8, 3);
+    let deployment = deployment_for(&mut model, &data);
+    let executor = IntermittentExecutor::new(quick_executor());
+    for strategy in Strategy::ALL {
+        let program = strategy.lower(deployment.quantized(), deployment.program());
+        let plan =
+            ehdl::ehsim::ExecutionPlan::compile(program.clone(), &deployment.board_spec().board());
+        for environment in catalog::all() {
+            let name = environment.name();
+
+            let mut board_plain = deployment.board_spec().board();
+            let mut supply_plain = environment.supply();
+            let plain = executor.run_plan(&plan, &mut board_plain, &mut supply_plain);
+
+            let mut board_probed = deployment.board_spec().board();
+            let mut supply_probed = environment.supply();
+            let mut probe = (EventRing::new(1 << 16), PhaseProfile::new());
+            let probed =
+                executor.run_plan_probed(&plan, &mut board_probed, &mut supply_probed, &mut probe);
+            assert_eq!(plain, probed, "{strategy} in {name}");
+            assert_eq!(
+                board_plain.meter(),
+                board_probed.meter(),
+                "meter drift under probes: {strategy} in {name}"
+            );
+
+            let (ring, profile) = probe;
+            assert_eq!(ring.dropped(), 0, "{strategy} in {name}: ring too small");
+            let last = ring.events().last().expect("a run emits at least run_end");
+            assert_eq!(last.label(), "run_end", "{strategy} in {name}");
+            assert_eq!(
+                ring.events().filter(|e| e.label() == "run_end").count(),
+                1,
+                "{strategy} in {name}"
+            );
+            let mut prev = 0.0;
+            for event in ring.events() {
+                assert!(
+                    event.t() >= prev,
+                    "sim time went backwards at {event:?} ({strategy} in {name})"
+                );
+                prev = event.t();
+            }
+            // Every outage implies a dark recharge the profile timed —
+            // except the last one of a stalled run, which aborts before
+            // waiting out its dark phase.
+            if plain.outages > 0 {
+                assert!(
+                    profile.digest(ExecPhase::ChargeSolve).count() >= plain.outages - 1,
+                    "{strategy} in {name}: {} charge-solve spans for {} outages",
+                    profile.digest(ExecPhase::ChargeSolve).count(),
+                    plain.outages
+                );
+            }
+            if plain.restores > 0 {
+                assert!(
+                    profile.digest(ExecPhase::CheckpointRestore).count() > 0,
+                    "{strategy} in {name}: no restore spans despite {} restores",
+                    plain.restores
+                );
+            }
+
+            // The reference-path twin holds the same bit-identity bar.
+            let mut board_ref = deployment.board_spec().board();
+            let mut supply_ref = environment.supply();
+            let reference = executor.run_unplanned(&program, &mut board_ref, &mut supply_ref);
+            let mut board_ref_probed = deployment.board_spec().board();
+            let mut supply_ref_probed = environment.supply();
+            let mut ring_ref = EventRing::new(1 << 16);
+            let reference_probed = executor.run_unplanned_probed(
+                &program,
+                &mut board_ref_probed,
+                &mut supply_ref_probed,
+                &mut ring_ref,
+            );
+            assert_eq!(
+                reference, reference_probed,
+                "reference: {strategy} in {name}"
+            );
+            assert_eq!(
+                board_ref.meter(),
+                board_ref_probed.meter(),
+                "reference meter drift under probes: {strategy} in {name}"
+            );
+            assert_eq!(
+                ring_ref.events().last().map(|e| e.label()),
+                Some("run_end"),
+                "reference: {strategy} in {name}"
+            );
+        }
+    }
+}
+
+/// The traced recording path (what fleet sweeps replay from) must record
+/// the identical trace with and without a probe attached.
+#[test]
+fn traced_recording_is_probe_invariant() {
+    use ehdl::ehsim::EventRing;
+
+    let mut model = ehdl::nn::zoo::har();
+    let data = ehdl::datasets::har(8, 3);
+    let deployment = deployment_for(&mut model, &data);
+    let executor = IntermittentExecutor::new(quick_executor());
+    let program = Strategy::Flex.lower(deployment.quantized(), deployment.program());
+    let plan = ehdl::ehsim::ExecutionPlan::compile(program, &deployment.board_spec().board());
+    for environment in catalog::all() {
+        let mut board_plain = deployment.board_spec().board();
+        let mut supply_plain = environment.supply();
+        let (report_plain, trace_plain) =
+            executor.run_plan_traced(&plan, &mut board_plain, &mut supply_plain);
+
+        let mut board_probed = deployment.board_spec().board();
+        let mut supply_probed = environment.supply();
+        let mut ring = EventRing::new(1 << 16);
+        let (report_probed, trace_probed) = executor.run_plan_traced_probed(
+            &plan,
+            &mut board_probed,
+            &mut supply_probed,
+            &mut ring,
+        );
+        assert_eq!(report_plain, report_probed, "{}", environment.name());
+        assert_eq!(trace_plain, trace_probed, "{}", environment.name());
+        assert!(!ring.is_empty(), "{}", environment.name());
+    }
+}
+
 /// The continuous-power fold baked into the plan must equal an actual
 /// continuous replay of the lowered program, for every strategy.
 #[test]

@@ -311,6 +311,148 @@ fn energy_budgeted_matrix_counts_aborts_in_every_sink() {
 }
 
 #[test]
+fn profiled_sweeps_leave_every_sink_bit_identical() {
+    // Turning phase profiling on must not move a single bit of any
+    // sink's report, at any worker count — the observability PR's
+    // determinism bar. The profile itself rides a side channel.
+    let matrix = acceptance_matrix();
+    let plain = FleetRunner::builder()
+        .workers(2)
+        .sink(DigestSink::new())
+        .run(&matrix)
+        .unwrap();
+    for workers in [1, 2, 8] {
+        let (profiled, profile) = FleetRunner::builder()
+            .workers(workers)
+            .sink(DigestSink::new())
+            .run_profiled(&matrix)
+            .unwrap();
+        assert_eq!(plain, profiled, "{workers} workers");
+        assert_eq!(plain.to_string(), profiled.to_string(), "{workers} workers");
+        assert!(profile.total_seconds() > 0.0, "{workers} workers");
+        // The deployment cache is consulted exactly once per scenario;
+        // the 48 scenarios share 6 strategies × 2 boards = 12 builds.
+        assert_eq!(profile.caches.deployment.lookups(), 48, "{workers} workers");
+        assert_eq!(profile.caches.deployment.entries, 12, "{workers} workers");
+    }
+
+    // Row streams: byte-identical with profiling on.
+    let (jsonl_plain, rows_plain) = FleetRunner::builder()
+        .workers(2)
+        .sink(JsonlSink::new(Vec::new()))
+        .run(&matrix)
+        .unwrap();
+    let ((jsonl_profiled, rows_profiled), _) = FleetRunner::builder()
+        .workers(8)
+        .sink(JsonlSink::new(Vec::new()))
+        .run_profiled(&matrix)
+        .unwrap();
+    assert_eq!(rows_plain, rows_profiled);
+    assert_eq!(jsonl_plain, jsonl_profiled);
+
+    // Grouped sinks too.
+    let grouped_plain = FleetRunner::builder()
+        .workers(4)
+        .sink(GroupBySink::new(GroupAxis::Strategy))
+        .run(&matrix)
+        .unwrap();
+    let (grouped_profiled, _) = FleetRunner::builder()
+        .workers(4)
+        .sink(GroupBySink::new(GroupAxis::Strategy))
+        .run_profiled(&matrix)
+        .unwrap();
+    assert_eq!(grouped_plain, grouped_profiled);
+}
+
+#[test]
+fn phase_profile_counters_are_deterministic_and_merge_across_shards() {
+    use ehdl::ehsim::ExecPhase;
+
+    let matrix = acceptance_matrix();
+
+    // At one worker the profile's span counts and cache counters are a
+    // pure function of the matrix: two runs agree exactly (only the
+    // wall-clock sums differ).
+    let (_, first) = FleetRunner::builder()
+        .workers(1)
+        .sink(DigestSink::new())
+        .run_profiled(&matrix)
+        .unwrap();
+    let (_, second) = FleetRunner::builder()
+        .workers(1)
+        .sink(DigestSink::new())
+        .run_profiled(&matrix)
+        .unwrap();
+    for phase in ExecPhase::ALL {
+        assert_eq!(
+            first.digest(phase).count(),
+            second.digest(phase).count(),
+            "{} span count drifted between identical runs",
+            phase.name()
+        );
+    }
+    assert_eq!(first.caches, second.caches);
+
+    // Across worker counts: the coordinator-side deployment and plan
+    // counters are identical; the worker-side trace cache conserves its
+    // lookup total (racing workers may shift the hit/miss split, both
+    // recordings being bit-identical), and executed-vs-replayed work is
+    // likewise conserved.
+    let executed =
+        first.digest(ExecPhase::PlanExec).count() + first.digest(ExecPhase::TraceReplay).count();
+    for workers in [2, 8] {
+        let (_, profile) = FleetRunner::builder()
+            .workers(workers)
+            .sink(DigestSink::new())
+            .run_profiled(&matrix)
+            .unwrap();
+        assert_eq!(
+            profile.caches.deployment, first.caches.deployment,
+            "{workers} workers"
+        );
+        assert_eq!(profile.caches.plan, first.caches.plan, "{workers} workers");
+        assert_eq!(
+            profile.caches.trace.lookups(),
+            first.caches.trace.lookups(),
+            "{workers} workers"
+        );
+        assert_eq!(
+            profile.digest(ExecPhase::PlanExec).count()
+                + profile.digest(ExecPhase::TraceReplay).count(),
+            executed,
+            "{workers} workers"
+        );
+    }
+
+    // Shard merge: profiling two disjoint ranges and merging the
+    // profiles in range order reassembles the whole sweep's span counts
+    // and lookup totals — what a resumed shard sweep folds together.
+    let mid = matrix.len() / 2;
+    let runner = FleetRunner::new(1);
+    let (_, mut lo) = runner
+        .run_range_profiled_with_sink(&matrix, 0..mid, DigestSink::new())
+        .unwrap();
+    let (_, hi) = runner
+        .run_range_profiled_with_sink(&matrix, mid..matrix.len(), DigestSink::new())
+        .unwrap();
+    lo.merge(&hi);
+    for phase in ExecPhase::ALL {
+        assert_eq!(
+            lo.digest(phase).count(),
+            first.digest(phase).count(),
+            "{} span count lost in the shard merge",
+            phase.name()
+        );
+    }
+    assert_eq!(lo.caches.deployment.lookups(), 48);
+    assert_eq!(
+        lo.caches.trace.lookups(),
+        first.caches.trace.lookups(),
+        "trace lookups lost in the shard merge"
+    );
+}
+
+#[test]
 fn deployment_sharing_gives_equal_accuracy_across_environments() {
     let matrix = ScenarioMatrix::new()
         .environments(catalog::all())
