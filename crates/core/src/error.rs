@@ -91,6 +91,12 @@ impl From<ehdl_ehsim::ExecutorConfigError> for Error {
     }
 }
 
+impl From<ehdl_ehsim::FaultSpecError> for Error {
+    fn from(e: ehdl_ehsim::FaultSpecError) -> Self {
+        Error::Config(ConfigError::InvalidFault(e))
+    }
+}
+
 /// An invalid [`Deployment`](crate::Deployment) configuration, caught at
 /// [`build`](crate::DeploymentBuilder::build) time rather than surfacing
 /// as a downstream arithmetic failure.
@@ -110,6 +116,9 @@ pub enum ConfigError {
     /// misfire its limits (zero stall budget, non-finite step or wall
     /// limit — see [`ehdl_ehsim::ExecutorConfig::validate`]).
     InvalidExecutor(ehdl_ehsim::ExecutorConfigError),
+    /// A fault-injection spec carries an out-of-range rate or sag
+    /// factor (see [`ehdl_ehsim::FaultSpec::validate`]).
+    InvalidFault(ehdl_ehsim::FaultSpecError),
 }
 
 impl fmt::Display for ConfigError {
@@ -129,6 +138,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidExecutor(e) => {
                 write!(f, "invalid executor config: {e}")
+            }
+            ConfigError::InvalidFault(e) => {
+                write!(f, "invalid fault spec: {e}")
             }
         }
     }

@@ -16,7 +16,8 @@ use ehdl_ace::reference;
 use ehdl_datasets::Dataset;
 use ehdl_device::{Board, Cost, EnergyMeter};
 use ehdl_ehsim::{
-    ExecProbe, ExecutionPlan, IntermittentExecutor, PowerSupply, Program, RunReport, RunTrace,
+    ExecProbe, ExecutionPlan, FaultPlan, IntermittentExecutor, PowerSupply, Program, RunReport,
+    RunTrace,
 };
 use ehdl_fixed::{OverflowStats, Q15};
 use ehdl_nn::Tensor;
@@ -213,6 +214,59 @@ impl<'d> DeviceSession<'d> {
         executor.run_plan_traced_probed(&self.plan, &mut self.board, supply, probe)
     }
 
+    /// [`infer_intermittent_with`](Self::infer_intermittent_with) under
+    /// a seeded [`FaultPlan`]: the executor injects spurious resets,
+    /// voltage sags, torn checkpoint commits and corrupt restores at the
+    /// plan's deterministic decision points, tallying them into
+    /// [`RunReport::faults`]. With [`FaultPlan::NONE`] the run is
+    /// bit-identical to the unfaulted call.
+    pub fn infer_intermittent_faulted(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+    ) -> RunReport {
+        executor.run_plan_faulted(&self.plan, &mut self.board, supply, fault)
+    }
+
+    /// [`infer_intermittent_faulted`](Self::infer_intermittent_faulted)
+    /// with an [`ExecProbe`] observing the run (fault injections emit
+    /// their own events).
+    pub fn infer_intermittent_faulted_probed<P: ExecProbe>(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        probe: &mut P,
+    ) -> RunReport {
+        executor.run_plan_faulted_probed(&self.plan, &mut self.board, supply, fault, probe)
+    }
+
+    /// [`infer_intermittent_faulted`](Self::infer_intermittent_faulted),
+    /// additionally recording the run as a [`RunTrace`]. Faulted runs
+    /// against deterministic supplies replay bit-identically, so the
+    /// fleet's trace-deduplication fast path works under fire too.
+    pub fn infer_intermittent_faulted_traced(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+    ) -> (RunReport, RunTrace) {
+        executor.run_plan_faulted_traced(&self.plan, &mut self.board, supply, fault)
+    }
+
+    /// [`infer_intermittent_faulted_traced`](Self::infer_intermittent_faulted_traced)
+    /// with an [`ExecProbe`] observing the recording run.
+    pub fn infer_intermittent_faulted_traced_probed<P: ExecProbe>(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        probe: &mut P,
+    ) -> (RunReport, RunTrace) {
+        executor.run_plan_faulted_traced_probed(&self.plan, &mut self.board, supply, fault, probe)
+    }
+
     /// Replays a [`RunTrace`] recorded from this session's plan under a
     /// deterministic supply and the same executor configuration: the
     /// board's meter and clock advance exactly as a live run would, and
@@ -247,6 +301,38 @@ impl<'d> DeviceSession<'d> {
         probe: &mut P,
     ) -> RunReport {
         executor.run_unplanned_probed(self.plan.program(), &mut self.board, supply, probe)
+    }
+
+    /// Reference-path twin of
+    /// [`infer_intermittent_faulted`](Self::infer_intermittent_faulted):
+    /// the op-by-op interpreter under the same seeded [`FaultPlan`].
+    /// Parity suites diff the two faulted paths, which must agree bit
+    /// for bit.
+    pub fn infer_intermittent_faulted_reference(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+    ) -> RunReport {
+        executor.run_unplanned_faulted(self.plan.program(), &mut self.board, supply, fault)
+    }
+
+    /// [`infer_intermittent_faulted_reference`](Self::infer_intermittent_faulted_reference)
+    /// with an [`ExecProbe`] observing the run.
+    pub fn infer_intermittent_faulted_reference_probed<P: ExecProbe>(
+        &mut self,
+        executor: &IntermittentExecutor,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        probe: &mut P,
+    ) -> RunReport {
+        executor.run_unplanned_faulted_probed(
+            self.plan.program(),
+            &mut self.board,
+            supply,
+            fault,
+            probe,
+        )
     }
 
     /// Quantized-model accuracy over a dataset (Table II "Accuracy"

@@ -1,5 +1,6 @@
 //! The intermittent executor: programs vs. the capacitor.
 
+use crate::fault::{FaultKind, FaultPlan, FaultTally, OpFault};
 use crate::harvester::Harvester;
 use crate::plan::ExecutionPlan;
 use crate::probe::{ExecEvent, ExecPhase, ExecProbe, NullProbe, SpanTimer};
@@ -206,6 +207,10 @@ pub struct RunReport {
     pub checkpoint_energy: Energy,
     /// Full per-component breakdown.
     pub meter: EnergyMeter,
+    /// Injected-fault accounting — all zeros unless the run was driven
+    /// through a faulted entry point with an enabled
+    /// [`FaultPlan`](crate::FaultPlan).
+    pub faults: FaultTally,
 }
 
 impl RunReport {
@@ -336,7 +341,46 @@ impl IntermittentExecutor {
         board: &mut Board,
         supply: &mut PowerSupply,
     ) -> RunReport {
-        self.run_plan_inner(plan, board, supply, &mut NoTrace, &mut NullProbe)
+        self.run_plan_inner(
+            plan,
+            board,
+            supply,
+            &mut NoTrace,
+            &mut NullProbe,
+            &FaultPlan::NONE,
+        )
+    }
+
+    /// [`run_plan`](Self::run_plan) under a seeded [`FaultPlan`]: the
+    /// executor consults the plan's SplitMix64 decision stream at every
+    /// op attempt (spurious reset / voltage sag), every successful
+    /// on-demand commit (torn write) and every restore (slot
+    /// corruption), tallying injections into
+    /// [`RunReport::faults`]. With [`FaultPlan::NONE`] this is
+    /// bit-identical to [`run_plan`](Self::run_plan).
+    pub fn run_plan_faulted(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+    ) -> RunReport {
+        self.run_plan_inner(plan, board, supply, &mut NoTrace, &mut NullProbe, fault)
+    }
+
+    /// [`run_plan_faulted`](Self::run_plan_faulted) with an
+    /// [`ExecProbe`] observing the run — injected faults additionally
+    /// emit [`ExecEvent::FaultInjected`] /
+    /// [`ExecEvent::CorruptionDetected`] events.
+    pub fn run_plan_faulted_probed<P: ExecProbe>(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        probe: &mut P,
+    ) -> RunReport {
+        self.run_plan_inner(plan, board, supply, &mut NoTrace, probe, fault)
     }
 
     /// [`run_plan`](Self::run_plan) with an [`ExecProbe`] observing the
@@ -356,7 +400,7 @@ impl IntermittentExecutor {
         supply: &mut PowerSupply,
         probe: &mut P,
     ) -> RunReport {
-        self.run_plan_inner(plan, board, supply, &mut NoTrace, probe)
+        self.run_plan_inner(plan, board, supply, &mut NoTrace, probe, &FaultPlan::NONE)
     }
 
     /// [`run_plan`](Self::run_plan), additionally recording the ordered
@@ -375,7 +419,7 @@ impl IntermittentExecutor {
         board: &mut Board,
         supply: &mut PowerSupply,
     ) -> (RunReport, RunTrace) {
-        self.run_plan_traced_probed(plan, board, supply, &mut NullProbe)
+        self.run_plan_traced_inner(plan, board, supply, &mut NullProbe, &FaultPlan::NONE)
     }
 
     /// [`run_plan_traced`](Self::run_plan_traced) with an [`ExecProbe`]
@@ -389,11 +433,52 @@ impl IntermittentExecutor {
         supply: &mut PowerSupply,
         probe: &mut P,
     ) -> (RunReport, RunTrace) {
+        self.run_plan_traced_inner(plan, board, supply, probe, &FaultPlan::NONE)
+    }
+
+    /// [`run_plan_traced`](Self::run_plan_traced) under a seeded
+    /// [`FaultPlan`]. A faulted run is still a pure function of
+    /// (plan, supply, fault seed) against a deterministic supply: every
+    /// fault effect either applies an op's *nominal* board cost through
+    /// the step sink or applies no cost at all, so replaying the trace
+    /// reproduces the faulted run bit for bit (the template report
+    /// carries the fault tally).
+    pub fn run_plan_faulted_traced(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+    ) -> (RunReport, RunTrace) {
+        self.run_plan_traced_inner(plan, board, supply, &mut NullProbe, fault)
+    }
+
+    /// [`run_plan_faulted_traced`](Self::run_plan_faulted_traced) with an
+    /// [`ExecProbe`] observing the recording run.
+    pub fn run_plan_faulted_traced_probed<P: ExecProbe>(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        probe: &mut P,
+    ) -> (RunReport, RunTrace) {
+        self.run_plan_traced_inner(plan, board, supply, probe, fault)
+    }
+
+    fn run_plan_traced_inner<P: ExecProbe>(
+        &self,
+        plan: &ExecutionPlan,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        probe: &mut P,
+        fault: &FaultPlan,
+    ) -> (RunReport, RunTrace) {
         let mut recorder = TraceRecorder {
             steps: Vec::with_capacity(plan.len() + plan.len() / 8),
             op_count: plan.len() as u32,
         };
-        let report = self.run_plan_inner(plan, board, supply, &mut recorder, probe);
+        let report = self.run_plan_inner(plan, board, supply, &mut recorder, probe, fault);
         let trace = RunTrace {
             steps: recorder.steps,
             op_count: plan.len() as u32,
@@ -468,6 +553,7 @@ impl IntermittentExecutor {
         supply: &mut PowerSupply,
         sink: &mut S,
         probe: &mut P,
+        fault: &FaultPlan,
     ) -> RunReport {
         debug_assert_eq!(
             plan.clock_hz(),
@@ -502,6 +588,15 @@ impl IntermittentExecutor {
         let mut stall = 0u64;
         let mut spent_nj = 0.0f64;
 
+        // Fault machinery: `faulting` gates every fault branch so a
+        // disabled plan leaves the loop's arithmetic untouched.
+        let faulting = fault.enabled();
+        let mut fstate = fault.state();
+        let mut faults = FaultTally::default();
+        // The commit level *before* the latest commit — where a detected
+        // corrupt restore falls back to.
+        let mut prev_committed = 0usize;
+
         let (harvester, capacitor) = supply.parts_mut();
 
         let outcome = 'run: loop {
@@ -515,6 +610,13 @@ impl IntermittentExecutor {
                 break 'run RunOutcome::EnergyLimit;
             }
 
+            // `failed` routes every loss-of-power exit (real or
+            // injected) into the outage path; `spurious` marks an
+            // injected reset, where the capacitor keeps its charge.
+            let mut failed = false;
+            let mut spurious = false;
+            let seg_start = i;
+
             // On-demand (voltage-triggered) checkpoint before op i.
             if let Some(slot) = plan.ondemand_slot(i) {
                 let ck = &plan.checkpoints[slot as usize];
@@ -523,19 +625,35 @@ impl IntermittentExecutor {
                     let harvested = harvester.energy_over(t, ck.duration_s);
                     capacitor.charge_joules(harvested);
                     if capacitor.usable_joules() >= ck.need_j {
-                        // Checkpoint committed atomically (double-buffered
-                        // in FRAM): progress up to i is now durable.
+                        // The write happens (and is paid for) either way;
+                        // a torn commit dies after the cost is sunk but
+                        // before the slot's commit marker flips, so the
+                        // previous checkpoint still stands.
                         capacitor.drain_joules(ck.need_j);
                         board.apply_cost(Component::Checkpoint, ck.cost());
                         sink.checkpoint(slot);
                         spent_nj += ck.energy_nj;
                         t += ck.duration_s;
                         active_cycles += ck.cycles;
-                        committed = i;
-                        ondemand += 1;
                         executed += 1;
-                        span.finish(probe, ExecPhase::CheckpointRestore);
-                        probe.event(ExecEvent::CheckpointCommit { t, slot });
+                        if faulting && fault.tears(&mut fstate) {
+                            faults.torn_commits += 1;
+                            span.finish(probe, ExecPhase::CheckpointRestore);
+                            probe.event(ExecEvent::FaultInjected {
+                                t,
+                                kind: FaultKind::TornCommit,
+                            });
+                            failed = true;
+                        } else {
+                            // Checkpoint committed atomically
+                            // (double-buffered in FRAM): progress up to
+                            // i is now durable.
+                            prev_committed = committed;
+                            committed = i;
+                            ondemand += 1;
+                            span.finish(probe, ExecPhase::CheckpointRestore);
+                            probe.event(ExecEvent::CheckpointCommit { t, slot });
+                        }
                     } else {
                         span.finish(probe, ExecPhase::CheckpointRestore);
                         // Dies partway through; the previous checkpoint
@@ -548,66 +666,160 @@ impl IntermittentExecutor {
 
             // Attempt op i, then stream through its trailing segment of
             // plain (non-commit, non-ondemand) ops without re-checking
-            // flags. `failed` routes both exits into the outage path.
-            let mut failed = false;
-            let seg_start = i;
-
-            let dt = durations[i];
-            let harvested = harvester.energy_over(t, dt);
-            capacitor.charge_joules(harvested);
-            if capacitor.usable_joules() < needs[i] {
-                t += dt;
-                failed = true;
-            } else {
-                capacitor.drain_joules(needs[i]);
-                board.apply_cost(
-                    component_of[i],
-                    Cost {
-                        cycles: Cycles::new(cycles_of[i]),
-                        energy: Energy::from_nanojoules(energy_of[i]),
-                    },
-                );
-                sink.op(i as u32);
-                spent_nj += energy_of[i];
-                t += dt;
-                active_cycles += cycles_of[i];
-                executed += 1;
-                if plan.commits(i) {
-                    committed = i + 1;
+            // flags.
+            if !failed {
+                let mut sagged = false;
+                if faulting {
+                    match fault.op_fault(&mut fstate) {
+                        OpFault::Reset => {
+                            // Power glitches before the op runs: time
+                            // passes (and harvest keeps flowing), but no
+                            // energy is drained and no work happens.
+                            let dt = durations[i];
+                            let harvested = harvester.energy_over(t, dt);
+                            capacitor.charge_joules(harvested);
+                            t += dt;
+                            faults.spurious_resets += 1;
+                            probe.event(ExecEvent::FaultInjected {
+                                t,
+                                kind: FaultKind::SpuriousReset,
+                            });
+                            failed = true;
+                            spurious = true;
+                        }
+                        OpFault::Sag => {
+                            faults.sag_ops += 1;
+                            probe.event(ExecEvent::FaultInjected {
+                                t,
+                                kind: FaultKind::VoltageSag,
+                            });
+                            sagged = true;
+                        }
+                        OpFault::None => {}
+                    }
                 }
-                i += 1;
-
-                // ---- coalesced segment of plain ops ----
-                let end = plan.plain_run_end(i);
-                while i < end {
-                    if t > max_wall {
-                        break 'run RunOutcome::TimeLimit;
-                    }
-                    if spent_nj > budget_nj {
-                        break 'run RunOutcome::EnergyLimit;
-                    }
+                if !failed {
                     let dt = durations[i];
                     let harvested = harvester.energy_over(t, dt);
                     capacitor.charge_joules(harvested);
-                    if capacitor.usable_joules() < needs[i] {
+                    // A sagged op draws `sag_factor` times its nominal
+                    // energy from the capacitor; the board meter keeps
+                    // the nominal cost (the silicon did the same work).
+                    let need = if sagged {
+                        needs[i] * fault.sag_factor()
+                    } else {
+                        needs[i]
+                    };
+                    if capacitor.usable_joules() < need {
                         t += dt;
                         failed = true;
-                        break;
+                    } else {
+                        capacitor.drain_joules(need);
+                        board.apply_cost(
+                            component_of[i],
+                            Cost {
+                                cycles: Cycles::new(cycles_of[i]),
+                                energy: Energy::from_nanojoules(energy_of[i]),
+                            },
+                        );
+                        sink.op(i as u32);
+                        if sagged {
+                            spent_nj += energy_of[i] * fault.sag_factor();
+                        } else {
+                            spent_nj += energy_of[i];
+                        }
+                        t += dt;
+                        active_cycles += cycles_of[i];
+                        executed += 1;
+                        if plan.commits(i) {
+                            prev_committed = committed;
+                            committed = i + 1;
+                        }
+                        i += 1;
+
+                        // ---- coalesced segment of plain ops ----
+                        let end = plan.plain_run_end(i);
+                        while i < end {
+                            if t > max_wall {
+                                break 'run RunOutcome::TimeLimit;
+                            }
+                            if spent_nj > budget_nj {
+                                break 'run RunOutcome::EnergyLimit;
+                            }
+                            if faulting {
+                                match fault.op_fault(&mut fstate) {
+                                    OpFault::Reset => {
+                                        let dt = durations[i];
+                                        let harvested = harvester.energy_over(t, dt);
+                                        capacitor.charge_joules(harvested);
+                                        t += dt;
+                                        faults.spurious_resets += 1;
+                                        probe.event(ExecEvent::FaultInjected {
+                                            t,
+                                            kind: FaultKind::SpuriousReset,
+                                        });
+                                        failed = true;
+                                        spurious = true;
+                                        break;
+                                    }
+                                    OpFault::Sag => {
+                                        faults.sag_ops += 1;
+                                        probe.event(ExecEvent::FaultInjected {
+                                            t,
+                                            kind: FaultKind::VoltageSag,
+                                        });
+                                        let dt = durations[i];
+                                        let harvested = harvester.energy_over(t, dt);
+                                        capacitor.charge_joules(harvested);
+                                        let need = needs[i] * fault.sag_factor();
+                                        if capacitor.usable_joules() < need {
+                                            t += dt;
+                                            failed = true;
+                                            break;
+                                        }
+                                        capacitor.drain_joules(need);
+                                        board.apply_cost(
+                                            component_of[i],
+                                            Cost {
+                                                cycles: Cycles::new(cycles_of[i]),
+                                                energy: Energy::from_nanojoules(energy_of[i]),
+                                            },
+                                        );
+                                        sink.op(i as u32);
+                                        spent_nj += energy_of[i] * fault.sag_factor();
+                                        t += dt;
+                                        active_cycles += cycles_of[i];
+                                        executed += 1;
+                                        i += 1;
+                                        continue;
+                                    }
+                                    OpFault::None => {}
+                                }
+                            }
+                            let dt = durations[i];
+                            let harvested = harvester.energy_over(t, dt);
+                            capacitor.charge_joules(harvested);
+                            if capacitor.usable_joules() < needs[i] {
+                                t += dt;
+                                failed = true;
+                                break;
+                            }
+                            capacitor.drain_joules(needs[i]);
+                            board.apply_cost(
+                                component_of[i],
+                                Cost {
+                                    cycles: Cycles::new(cycles_of[i]),
+                                    energy: Energy::from_nanojoules(energy_of[i]),
+                                },
+                            );
+                            sink.op(i as u32);
+                            spent_nj += energy_of[i];
+                            t += dt;
+                            active_cycles += cycles_of[i];
+                            executed += 1;
+                            i += 1;
+                        }
                     }
-                    capacitor.drain_joules(needs[i]);
-                    board.apply_cost(
-                        component_of[i],
-                        Cost {
-                            cycles: Cycles::new(cycles_of[i]),
-                            energy: Energy::from_nanojoules(energy_of[i]),
-                        },
-                    );
-                    sink.op(i as u32);
-                    spent_nj += energy_of[i];
-                    t += dt;
-                    active_cycles += cycles_of[i];
-                    executed += 1;
-                    i += 1;
                 }
             }
             if !failed {
@@ -622,7 +834,9 @@ impl IntermittentExecutor {
             // ---- power failure ----
             outages += 1;
             wasted += (i - committed) as u64;
-            capacitor.collapse_to_off();
+            if !spurious {
+                capacitor.collapse_to_off();
+            }
             probe.event(ExecEvent::BrownOut { t });
 
             if committed == committed_at_last_outage {
@@ -668,6 +882,19 @@ impl IntermittentExecutor {
             t += restore.duration_s;
             active_cycles += restore.cycles;
             restores += 1;
+            if faulting && fault.corrupts(&mut fstate) {
+                // The freshest slot reads corrupt. The commit bitset /
+                // slot versioning detects it, and the runtime falls back
+                // to the previous durable commit (cold boot if none).
+                faults.corrupt_restores += 1;
+                faults.detected_corruptions += 1;
+                wasted += (committed - prev_committed) as u64;
+                committed = prev_committed;
+                if committed == 0 {
+                    faults.cold_boots += 1;
+                }
+                probe.event(ExecEvent::CorruptionDetected { t });
+            }
             i = committed;
             span.finish(probe, ExecPhase::CheckpointRestore);
             probe.event(ExecEvent::Boot { t });
@@ -695,6 +922,7 @@ impl IntermittentExecutor {
             energy: meter.total_energy(),
             checkpoint_energy: meter.energy_of(Component::Checkpoint),
             meter,
+            faults,
         }
     }
 
@@ -708,7 +936,36 @@ impl IntermittentExecutor {
         board: &mut Board,
         supply: &mut PowerSupply,
     ) -> RunReport {
-        self.run_unplanned_inner(program, board, supply, &mut NullProbe)
+        self.run_unplanned_inner(program, board, supply, &mut NullProbe, &FaultPlan::NONE)
+    }
+
+    /// [`run_unplanned`](Self::run_unplanned) under a seeded
+    /// [`FaultPlan`] — the reference-path twin of
+    /// [`run_plan_faulted`](Self::run_plan_faulted). Both paths advance
+    /// the same decision stream at the same logical points (one draw per
+    /// op attempt, per successful commit, per restore), so a faulted
+    /// planned run and its faulted reference run stay bit-identical.
+    pub fn run_unplanned_faulted(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+    ) -> RunReport {
+        self.run_unplanned_inner(program, board, supply, &mut NullProbe, fault)
+    }
+
+    /// [`run_unplanned_faulted`](Self::run_unplanned_faulted) with an
+    /// [`ExecProbe`] observing the run.
+    pub fn run_unplanned_faulted_probed<P: ExecProbe>(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        probe: &mut P,
+    ) -> RunReport {
+        self.run_unplanned_inner(program, board, supply, probe, fault)
     }
 
     /// [`run_unplanned`](Self::run_unplanned) with an [`ExecProbe`]
@@ -726,7 +983,7 @@ impl IntermittentExecutor {
         supply: &mut PowerSupply,
         probe: &mut P,
     ) -> RunReport {
-        self.run_unplanned_inner(program, board, supply, probe)
+        self.run_unplanned_inner(program, board, supply, probe, &FaultPlan::NONE)
     }
 
     fn run_unplanned_inner<P: ExecProbe>(
@@ -735,6 +992,7 @@ impl IntermittentExecutor {
         board: &mut Board,
         supply: &mut PowerSupply,
         probe: &mut P,
+        fault: &FaultPlan,
     ) -> RunReport {
         let clock = board.costs().clock_hz;
         let monitor = board.monitor();
@@ -757,6 +1015,13 @@ impl IntermittentExecutor {
         let mut stall = 0u64;
         let mut spent_nj = 0.0f64;
 
+        // Fault machinery — mirrors `run_plan_inner` draw for draw so a
+        // faulted reference run stays in bit parity with the plan path.
+        let faulting = fault.enabled();
+        let mut fstate = fault.state();
+        let mut faults = FaultTally::default();
+        let mut prev_committed = 0usize;
+
         let outcome = 'run: loop {
             if i >= n {
                 break 'run RunOutcome::Completed;
@@ -767,6 +1032,9 @@ impl IntermittentExecutor {
             if spent_nj > budget_nj {
                 break 'run RunOutcome::EnergyLimit;
             }
+
+            let mut failed = false;
+            let mut spurious = false;
 
             // On-demand (voltage-triggered) checkpoint before op i.
             if let Some(words) = ops[i].spec.ondemand_words {
@@ -783,15 +1051,30 @@ impl IntermittentExecutor {
                         clock,
                         &mut active_cycles,
                         &mut spent_nj,
+                        None,
                     );
                     span.finish(probe, ExecPhase::CheckpointRestore);
                     if committed_now {
-                        // Checkpoint committed atomically (double-buffered
-                        // in FRAM): progress up to i is now durable.
-                        committed = i;
-                        ondemand += 1;
                         executed += 1;
-                        probe.event(ExecEvent::CheckpointCommit { t, slot: i as u32 });
+                        if faulting && fault.tears(&mut fstate) {
+                            // Paid for, but power died before the slot's
+                            // commit marker flipped: the previous
+                            // checkpoint still stands.
+                            faults.torn_commits += 1;
+                            probe.event(ExecEvent::FaultInjected {
+                                t,
+                                kind: FaultKind::TornCommit,
+                            });
+                            failed = true;
+                        } else {
+                            // Checkpoint committed atomically
+                            // (double-buffered in FRAM): progress up to
+                            // i is now durable.
+                            prev_committed = committed;
+                            committed = i;
+                            ondemand += 1;
+                            probe.event(ExecEvent::CheckpointCommit { t, slot: i as u32 });
+                        }
                     }
                     // If it failed, the previous checkpoint still stands;
                     // fall through and let the op attempt trigger the
@@ -799,28 +1082,69 @@ impl IntermittentExecutor {
                 }
             }
 
-            let pop = &ops[i];
-            if self.try_execute(
-                &pop.op,
-                board,
-                supply,
-                &mut t,
-                clock,
-                &mut active_cycles,
-                &mut spent_nj,
-            ) {
-                executed += 1;
-                if pop.spec.commits {
-                    committed = i + 1;
+            if !failed {
+                let pop = &ops[i];
+                let mut sag = None;
+                if faulting {
+                    match fault.op_fault(&mut fstate) {
+                        OpFault::Reset => {
+                            // Power glitches before the op runs: time
+                            // passes (harvest keeps flowing), no energy
+                            // drains, no work happens.
+                            let cost = board.cost(&pop.op);
+                            let dt = cost.cycles.raw() as f64 / clock;
+                            let harvested = supply.harvester().energy_over(t, dt);
+                            supply.capacitor_mut().charge_joules(harvested);
+                            t += dt;
+                            faults.spurious_resets += 1;
+                            probe.event(ExecEvent::FaultInjected {
+                                t,
+                                kind: FaultKind::SpuriousReset,
+                            });
+                            failed = true;
+                            spurious = true;
+                        }
+                        OpFault::Sag => {
+                            faults.sag_ops += 1;
+                            probe.event(ExecEvent::FaultInjected {
+                                t,
+                                kind: FaultKind::VoltageSag,
+                            });
+                            sag = Some(fault.sag_factor());
+                        }
+                        OpFault::None => {}
+                    }
                 }
-                i += 1;
-                continue;
+                if !failed {
+                    if self.try_execute(
+                        &pop.op,
+                        board,
+                        supply,
+                        &mut t,
+                        clock,
+                        &mut active_cycles,
+                        &mut spent_nj,
+                        sag,
+                    ) {
+                        executed += 1;
+                        if pop.spec.commits {
+                            prev_committed = committed;
+                            committed = i + 1;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    failed = true;
+                }
             }
+            debug_assert!(failed);
 
             // ---- power failure ----
             outages += 1;
             wasted += (i - committed) as u64;
-            supply.capacitor_mut().collapse_to_off();
+            if !spurious {
+                supply.capacitor_mut().collapse_to_off();
+            }
             probe.event(ExecEvent::BrownOut { t });
 
             if committed == committed_at_last_outage {
@@ -872,6 +1196,19 @@ impl IntermittentExecutor {
             t += cost.cycles.raw() as f64 / clock;
             active_cycles += cost.cycles.raw();
             restores += 1;
+            if faulting && fault.corrupts(&mut fstate) {
+                // The freshest slot reads corrupt. The commit bitset /
+                // slot versioning detects it, and the runtime falls back
+                // to the previous durable commit (cold boot if none).
+                faults.corrupt_restores += 1;
+                faults.detected_corruptions += 1;
+                wasted += (committed - prev_committed) as u64;
+                committed = prev_committed;
+                if committed == 0 {
+                    faults.cold_boots += 1;
+                }
+                probe.event(ExecEvent::CorruptionDetected { t });
+            }
             i = committed;
             span.finish(probe, ExecPhase::CheckpointRestore);
             probe.event(ExecEvent::Boot { t });
@@ -899,13 +1236,16 @@ impl IntermittentExecutor {
             energy: meter.total_energy(),
             checkpoint_energy: meter.energy_of(Component::Checkpoint),
             meter,
+            faults,
         }
     }
 
     /// Attempts one op: harvests over its duration, checks the budget,
     /// executes and drains on success (tallying the drawn energy into
     /// `spent_nj`). Returns `false` on power failure (capacitor
-    /// collapsed by the caller).
+    /// collapsed by the caller). A `sag` factor inflates the energy the
+    /// op draws from the capacitor (an injected voltage-sag fault); the
+    /// board meter keeps the nominal cost either way.
     #[allow(clippy::too_many_arguments)]
     fn try_execute(
         &self,
@@ -916,12 +1256,19 @@ impl IntermittentExecutor {
         clock: f64,
         active_cycles: &mut u64,
         spent_nj: &mut f64,
+        sag: Option<f64>,
     ) -> bool {
         let cost = board.cost(op);
         let dt = cost.cycles.raw() as f64 / clock;
         let harvested = supply.harvester().energy_over(*t, dt);
         supply.capacitor_mut().charge_joules(harvested);
-        let need_j = cost.energy.nanojoules() * 1e-9;
+        let (need_j, drawn_nj) = match sag {
+            Some(factor) => (
+                cost.energy.nanojoules() * 1e-9 * factor,
+                cost.energy.nanojoules() * factor,
+            ),
+            None => (cost.energy.nanojoules() * 1e-9, cost.energy.nanojoules()),
+        };
         if supply.capacitor().usable_joules() < need_j {
             // Dies partway through the op; time passes anyway.
             *t += dt;
@@ -929,7 +1276,7 @@ impl IntermittentExecutor {
         }
         supply.capacitor_mut().drain_joules(need_j);
         board.execute(op);
-        *spent_nj += cost.energy.nanojoules();
+        *spent_nj += drawn_nj;
         *t += dt;
         *active_cycles += cost.cycles.raw();
         true
@@ -1701,6 +2048,204 @@ mod tests {
             stall_outages: 0,
             ..ExecutorConfig::default()
         });
+    }
+
+    fn mixed_program(ops: usize) -> Program {
+        let mut p = Program::new("mixed");
+        for k in 0..ops {
+            let spec = match k % 7 {
+                0 => CheckpointSpec::COMMIT,
+                1 | 2 => CheckpointSpec::ondemand(32),
+                _ => CheckpointSpec::NONE,
+            };
+            p.push(DeviceOp::CpuOps { count: 8_000 }, spec);
+        }
+        p
+    }
+
+    fn noisy_fault_spec(seed: u64) -> crate::FaultSpec {
+        crate::FaultSpec {
+            seed,
+            reset_per_op: 0.002,
+            sag_per_op: 0.01,
+            sag_factor: 1.5,
+            tear_per_commit: 0.2,
+            corrupt_per_restore: 0.25,
+        }
+    }
+
+    #[test]
+    fn faulted_runs_keep_planned_reference_parity() {
+        // The fault decision stream must advance at the same logical
+        // points in both executors: same injections, same dynamics, bit
+        // for bit — across seeds and supplies.
+        let p = mixed_program(800);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+        let mut saw_faults = false;
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let fault = FaultPlan::compile(&noisy_fault_spec(seed));
+            for supply in [bench_supply(), weak_supply()] {
+                let mut board_a = Board::msp430fr5994();
+                let mut board_b = Board::msp430fr5994();
+                let mut sa = supply.clone();
+                let mut sb = supply.clone();
+                let planned = exec.run_plan_faulted(&plan, &mut board_a, &mut sa, &fault);
+                let reference = exec.run_unplanned_faulted(&p, &mut board_b, &mut sb, &fault);
+                assert_eq!(planned, reference, "seed {seed}");
+                assert_eq!(board_a.meter(), board_b.meter());
+                saw_faults |= planned.faults.injected() > 0;
+            }
+        }
+        assert!(saw_faults, "fault coverage: at least one run must inject");
+    }
+
+    #[test]
+    fn disabled_fault_plan_changes_nothing() {
+        let p = mixed_program(600);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+        let mut board_a = Board::msp430fr5994();
+        let mut sa = weak_supply();
+        let plain = exec.run_plan(&plan, &mut board_a, &mut sa);
+        let mut board_b = Board::msp430fr5994();
+        let mut sb = weak_supply();
+        let faulted = exec.run_plan_faulted(&plan, &mut board_b, &mut sb, &FaultPlan::NONE);
+        assert_eq!(plain, faulted);
+        assert!(faulted.faults.is_clean());
+        // An all-zero spec compiles to the disabled plan, too.
+        let mut board_c = Board::msp430fr5994();
+        let mut sc = weak_supply();
+        let none = exec.run_plan_faulted(
+            &plan,
+            &mut board_c,
+            &mut sc,
+            &FaultPlan::compile(&crate::FaultSpec::none()),
+        );
+        assert_eq!(plain, none);
+    }
+
+    #[test]
+    fn armed_empty_plan_draws_but_never_fires() {
+        // The overhead-bench baseline: an enabled plan with all-zero
+        // thresholds pays for every draw yet injects nothing, so the
+        // report matches the unfaulted run exactly.
+        let p = mixed_program(600);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+        let mut board_a = Board::msp430fr5994();
+        let mut sa = weak_supply();
+        let plain = exec.run_plan(&plan, &mut board_a, &mut sa);
+        let mut board_b = Board::msp430fr5994();
+        let mut sb = weak_supply();
+        let armed = exec.run_plan_faulted(&plan, &mut board_b, &mut sb, &FaultPlan::armed_empty(7));
+        assert_eq!(plain, armed);
+        assert!(armed.faults.is_clean());
+    }
+
+    #[test]
+    fn faulted_traces_replay_bit_identically() {
+        // Every fault effect either applies a nominal board cost through
+        // the step sink or applies none, so a faulted run against a
+        // deterministic supply replays exactly — tally included.
+        let p = mixed_program(600);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p, &board);
+        let exec = IntermittentExecutor::default();
+        let fault = FaultPlan::compile(&noisy_fault_spec(99));
+        let mut record_board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let (recorded, trace) =
+            exec.run_plan_faulted_traced(&plan, &mut record_board, &mut supply, &fault);
+        assert!(recorded.faults.injected() > 0, "want fault coverage");
+        let mut replay_board = Board::msp430fr5994();
+        let replayed = exec.replay_trace(&plan, &trace, &mut replay_board);
+        assert_eq!(recorded, replayed);
+        assert_eq!(record_board.meter(), replay_board.meter());
+    }
+
+    #[test]
+    fn fault_probe_events_match_the_tally() {
+        use crate::probe::EventRing;
+        let p = mixed_program(800);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+        let fault = FaultPlan::compile(&noisy_fault_spec(5));
+
+        let mut plain_board = Board::msp430fr5994();
+        let mut plain_supply = weak_supply();
+        let plain = exec.run_plan_faulted(&plan, &mut plain_board, &mut plain_supply, &fault);
+
+        let mut probed_board = Board::msp430fr5994();
+        let mut probed_supply = weak_supply();
+        let mut ring = EventRing::new(1 << 16);
+        let probed = exec.run_plan_faulted_probed(
+            &plan,
+            &mut probed_board,
+            &mut probed_supply,
+            &fault,
+            &mut ring,
+        );
+        assert_eq!(plain, probed, "probe must not perturb a faulted run");
+        assert!(probed.faults.injected() > 0, "want fault coverage");
+
+        let kind_count = |kind: FaultKind| {
+            ring.events()
+                .filter(|e| matches!(e, ExecEvent::FaultInjected { kind: k, .. } if *k == kind))
+                .count() as u64
+        };
+        assert_eq!(
+            kind_count(FaultKind::SpuriousReset),
+            probed.faults.spurious_resets
+        );
+        assert_eq!(
+            kind_count(FaultKind::TornCommit),
+            probed.faults.torn_commits
+        );
+        assert_eq!(kind_count(FaultKind::VoltageSag), probed.faults.sag_ops);
+        let detected = ring
+            .events()
+            .filter(|e| matches!(e, ExecEvent::CorruptionDetected { .. }))
+            .count() as u64;
+        assert_eq!(detected, probed.faults.detected_corruptions);
+        assert_eq!(probed.faults.silent_corruptions, 0);
+        // The JSONL exporter renders the new variants.
+        let jsonl = ring.to_jsonl();
+        assert!(jsonl.contains("\"type\":\"fault_injected\""), "{jsonl}");
+    }
+
+    #[test]
+    fn corrupt_restores_fall_back_and_count_cold_boots() {
+        // Corrupt every restore of a commit-less program: every fallback
+        // lands at op 0, so every corrupt restore is a cold boot and the
+        // run (which can never bank progress anyway) ends NoProgress.
+        let p = cpu_heavy_program(1000, 10_000, CheckpointSpec::NONE);
+        let spec = crate::FaultSpec {
+            seed: 11,
+            reset_per_op: 0.0,
+            sag_per_op: 0.0,
+            sag_factor: 1.0,
+            tear_per_commit: 0.0,
+            corrupt_per_restore: 1.0,
+        };
+        let fault = FaultPlan::compile(&spec);
+        let mut board = Board::msp430fr5994();
+        let mut supply = weak_supply();
+        let r = IntermittentExecutor::default().run_unplanned_faulted(
+            &p,
+            &mut board,
+            &mut supply,
+            &fault,
+        );
+        assert!(r.faults.corrupt_restores > 0);
+        assert_eq!(r.faults.corrupt_restores, r.faults.detected_corruptions);
+        assert_eq!(r.faults.corrupt_restores, r.faults.cold_boots);
+        assert_eq!(r.faults.silent_corruptions, 0);
+        assert_eq!(r.outcome, RunOutcome::NoProgress);
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod capacitor;
 pub mod catalog;
 mod environment;
 mod executor;
+mod fault;
 mod harvester;
 mod plan;
 mod probe;
@@ -53,6 +54,7 @@ pub use environment::Environment;
 pub use executor::{
     ExecutorConfig, ExecutorConfigError, IntermittentExecutor, RunOutcome, RunReport, RunTrace,
 };
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultSpecError, FaultState, FaultTally, OpFault};
 pub use harvester::{Harvester, TraceError};
 pub use plan::{ExecutionPlan, PlannedCost};
 pub use probe::{EventRing, ExecEvent, ExecPhase, ExecProbe, NullProbe, SpanTimer};

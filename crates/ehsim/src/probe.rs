@@ -19,6 +19,7 @@
 //! in Perfetto or `chrome://tracing` as a per-run timeline).
 
 use crate::executor::RunOutcome;
+use crate::fault::FaultKind;
 use core::fmt::Write as _;
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -72,6 +73,20 @@ pub enum ExecEvent {
         /// Sim time when the budget check tripped.
         t: f64,
     },
+    /// A seeded fault from the run's [`FaultPlan`](crate::FaultPlan)
+    /// fired.
+    FaultInjected {
+        /// Sim time when the fault fired.
+        t: f64,
+        /// What kind of fault was injected.
+        kind: FaultKind,
+    },
+    /// A restore read a corrupt checkpoint slot and the strategy
+    /// detected it, falling back to older committed state.
+    CorruptionDetected {
+        /// Sim time of the detection (after the restore completed).
+        t: f64,
+    },
     /// The run ended — always the final event of a run.
     RunEnd {
         /// Total simulated wall-clock seconds.
@@ -91,6 +106,8 @@ impl ExecEvent {
             ExecEvent::SegmentRetired { .. } => "segment_retired",
             ExecEvent::DarkSkip { .. } => "dark_skip",
             ExecEvent::EnergyLimit { .. } => "energy_limit",
+            ExecEvent::FaultInjected { .. } => "fault_injected",
+            ExecEvent::CorruptionDetected { .. } => "corruption_detected",
             ExecEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -104,6 +121,8 @@ impl ExecEvent {
             | ExecEvent::CheckpointCommit { t, .. }
             | ExecEvent::SegmentRetired { t, .. }
             | ExecEvent::EnergyLimit { t }
+            | ExecEvent::FaultInjected { t, .. }
+            | ExecEvent::CorruptionDetected { t }
             | ExecEvent::RunEnd { t, .. } => t,
             ExecEvent::DarkSkip { t1, .. } => t1,
         }
@@ -344,6 +363,9 @@ impl EventRing {
                         ExecEvent::RunEnd { outcome, .. } => {
                             let _ = write!(out, "\"outcome\":\"{}\"", outcome.label());
                         }
+                        ExecEvent::FaultInjected { kind, .. } => {
+                            let _ = write!(out, "\"kind\":\"{}\"", kind.label());
+                        }
                         _ => {}
                     }
                     out.push_str("}}");
@@ -389,8 +411,14 @@ fn decimal(x: f64) -> String {
 fn write_event_json(out: &mut String, event: &ExecEvent) {
     let _ = write!(out, "{{\"type\":\"{}\"", event.label());
     match *event {
-        ExecEvent::Boot { t } | ExecEvent::BrownOut { t } | ExecEvent::EnergyLimit { t } => {
+        ExecEvent::Boot { t }
+        | ExecEvent::BrownOut { t }
+        | ExecEvent::EnergyLimit { t }
+        | ExecEvent::CorruptionDetected { t } => {
             let _ = write!(out, ",\"t\":{}", decimal(t));
+        }
+        ExecEvent::FaultInjected { t, kind } => {
+            let _ = write!(out, ",\"t\":{},\"kind\":\"{}\"", decimal(t), kind.label());
         }
         ExecEvent::CheckpointCommit { t, slot } => {
             let _ = write!(out, ",\"t\":{},\"slot\":{slot}", decimal(t));

@@ -108,6 +108,25 @@ impl CheckpointStore {
         let _ = fs::remove_file(self.heartbeat_path(shard));
     }
 
+    /// Deletes every `heartbeat-NNNNNN.json` left behind by a previous
+    /// coordinator (killed mid-sweep, workers long gone). Run at drive
+    /// start so a resumed sweep's progress line never counts orphaned
+    /// heartbeats from dead workers. Best-effort like all heartbeat
+    /// I/O: unreadable directories or races with concurrent deletes
+    /// are ignored.
+    pub(crate) fn clear_heartbeats(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("heartbeat-") && name.ends_with(".json") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+
     fn frontier_path(&self) -> PathBuf {
         self.dir.join("frontier.ckpt")
     }
@@ -411,5 +430,26 @@ mod tests {
         fs::remove_file(&path).unwrap();
         assert_eq!(store.load_frontier(0xfeed, &axes).unwrap(), None);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_heartbeats_removes_only_orphaned_heartbeat_files() {
+        let dir = std::env::temp_dir().join(format!("ehdl-ckpt-hb-test-{}", std::process::id()));
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.write_heartbeat(0, "{\"done\":1}").unwrap();
+        store.write_heartbeat(17, "{\"done\":4}").unwrap();
+        fs::write(store.job_path(), b"{}\n").unwrap();
+        assert!(store.heartbeat_path(0).exists());
+        assert!(store.heartbeat_path(17).exists());
+
+        store.clear_heartbeats();
+        assert!(!store.heartbeat_path(0).exists());
+        assert!(!store.heartbeat_path(17).exists());
+        // Everything that is not a heartbeat survives.
+        assert!(store.job_path().exists());
+        // Idempotent, and a missing directory is a no-op.
+        store.clear_heartbeats();
+        fs::remove_dir_all(&dir).unwrap();
+        store.clear_heartbeats();
     }
 }

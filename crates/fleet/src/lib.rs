@@ -65,9 +65,10 @@ pub mod shard;
 mod wire;
 
 pub use digest::{QuantileFidelity, StatsDigest};
+pub use ehdl::ehsim::{FaultSpec, FaultTally};
 pub use metrics::{
     CsvSink, DigestSink, FleetDigest, FullReportSink, GroupAxis, GroupBySink, GroupedDigest,
-    JsonlSink, MetricsSink, RunRecord,
+    JsonlSink, MetricsSink, ResilienceTally, RunRecord,
 };
 pub use profile::{CacheCounters, CacheStats, PhaseProfile};
 pub use report::{percentile, FleetReport, ScenarioReport};

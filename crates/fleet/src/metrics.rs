@@ -24,11 +24,11 @@
 //! matrix order, a sink's report is a pure function of the matrix:
 //! bit-identical at any worker count.
 
-use crate::digest::StatsDigest;
+use crate::digest::{QuantileFidelity, StatsDigest};
 use crate::report::{FleetReport, ScenarioReport};
 use crate::scenario::Scenario;
 use core::fmt;
-use ehdl::ehsim::{RunOutcome, RunReport};
+use ehdl::ehsim::{FaultTally, RunOutcome, RunReport};
 use ehdl::Error;
 use std::io::Write;
 
@@ -249,6 +249,81 @@ pub struct FleetDigest {
     /// total; this sketch adds the distribution, so budget sweeps can
     /// chart charging-vs-compute time per strategy or environment.
     pub dark_s: StatsDigest,
+    /// Fault-injection resilience counters, folded from each run's
+    /// [`FaultTally`]. All-zero on fault-free sweeps.
+    pub resilience: ResilienceTally,
+}
+
+/// Fleet-wide resilience counters for fault-injected sweeps: how many
+/// runs saw injected faults, how many of those still completed, and the
+/// per-kind injection totals. Folded from each run's [`FaultTally`] and
+/// merged by field-wise sum, so it composes across workers and shards
+/// exactly like the rest of [`FleetDigest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceTally {
+    /// Runs with at least one injected fault.
+    pub faulted_runs: u64,
+    /// Faulted runs that nevertheless completed inference.
+    pub recovered_runs: u64,
+    /// Spurious mid-compute resets injected.
+    pub spurious_resets: u64,
+    /// Checkpoint commits torn by mid-commit power loss.
+    pub torn_commits: u64,
+    /// Ops executed under injected voltage sag.
+    pub sag_ops: u64,
+    /// Restores that found the newest checkpoint slot corrupted.
+    pub corrupt_restores: u64,
+    /// Corrupt restores that fell all the way back to a cold boot.
+    pub cold_boots: u64,
+    /// Corruptions the restore path detected (and recovered from).
+    pub detected_corruptions: u64,
+    /// Corruptions that went undetected — always zero under the
+    /// double-buffered checkpoint audit; a nonzero value is a
+    /// crash-consistency bug.
+    pub silent_corruptions: u64,
+}
+
+impl ResilienceTally {
+    /// Merges `other` into `self` (field-wise sums).
+    pub fn merge(&mut self, other: &ResilienceTally) {
+        self.faulted_runs += other.faulted_runs;
+        self.recovered_runs += other.recovered_runs;
+        self.spurious_resets += other.spurious_resets;
+        self.torn_commits += other.torn_commits;
+        self.sag_ops += other.sag_ops;
+        self.corrupt_restores += other.corrupt_restores;
+        self.cold_boots += other.cold_boots;
+        self.detected_corruptions += other.detected_corruptions;
+        self.silent_corruptions += other.silent_corruptions;
+    }
+
+    /// Folds one run's fault tally and outcome.
+    pub(crate) fn fold_run(&mut self, report: &RunReport) {
+        let t: &FaultTally = &report.faults;
+        if t.injected() > 0 {
+            self.faulted_runs += 1;
+            if report.outcome == RunOutcome::Completed {
+                self.recovered_runs += 1;
+            }
+        }
+        self.spurious_resets += t.spurious_resets;
+        self.torn_commits += t.torn_commits;
+        self.sag_ops += t.sag_ops;
+        self.corrupt_restores += t.corrupt_restores;
+        self.cold_boots += t.cold_boots;
+        self.detected_corruptions += t.detected_corruptions;
+        self.silent_corruptions += t.silent_corruptions;
+    }
+
+    /// Fraction of faulted runs that completed anyway (1.0 when no run
+    /// was faulted — an unfaulted fleet is trivially resilient).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.faulted_runs == 0 {
+            1.0
+        } else {
+            self.recovered_runs as f64 / self.faulted_runs as f64
+        }
+    }
 }
 
 impl FleetDigest {
@@ -278,6 +353,7 @@ impl FleetDigest {
         self.latency_ms.merge(&other.latency_ms);
         self.accuracy.merge(&other.accuracy);
         self.dark_s.merge(&other.dark_s);
+        self.resilience.merge(&other.resilience);
     }
 
     /// Folds one run's facts (shared by [`DigestSink`], [`GroupBySink`]
@@ -301,6 +377,7 @@ impl FleetDigest {
         self.active_seconds += r.active_seconds;
         self.charging_seconds += r.charging_seconds;
         self.dark_s.record(r.charging_seconds);
+        self.resilience.fold_run(r);
         if let Some(ms) = r.latency_ms() {
             self.latency_ms.record(ms);
         }
@@ -333,6 +410,14 @@ impl FleetDigest {
     /// Mean scenario accuracy (`None` on an empty digest).
     pub fn mean_accuracy(&self) -> Option<f64> {
         self.accuracy.mean()
+    }
+
+    /// The latency sketch's quantile resolution — which histogram bins
+    /// back p50/p90/p99. [`DigestSink::finish`] consults this so the
+    /// rendered report can flag a collapsed tail (`p90 == p99`) instead
+    /// of letting it read like a measurement.
+    pub fn latency_fidelity(&self) -> QuantileFidelity {
+        self.latency_ms.quantile_fidelity()
     }
 
     /// Bytes this digest retains — a constant, however many scenarios
@@ -386,7 +471,34 @@ impl fmt::Display for FleetDigest {
             self.dark_s.p50().unwrap_or(0.0),
             self.dark_s.p99().unwrap_or(0.0),
             self.active_seconds
-        )
+        )?;
+        let r = &self.resilience;
+        if r.faulted_runs > 0 {
+            writeln!(
+                f,
+                "resilience: {}/{} faulted runs recovered ({:.1}%), {} resets, \
+                 {} torn commits, {} sag ops, {} corrupt restores ({} cold boots), \
+                 {} detected / {} silent corruptions",
+                r.recovered_runs,
+                r.faulted_runs,
+                r.recovery_rate() * 100.0,
+                r.spurious_resets,
+                r.torn_commits,
+                r.sag_ops,
+                r.corrupt_restores,
+                r.cold_boots,
+                r.detected_corruptions,
+                r.silent_corruptions
+            )?;
+        }
+        if self.latency_fidelity().tail_collapsed() {
+            writeln!(
+                f,
+                "warning: latency p90 and p99 share one histogram bin \
+                 (tail clustered tighter than ~4.08%); treat them as one estimate"
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -394,6 +506,12 @@ impl fmt::Display for FleetDigest {
 /// matter how many scenarios run, at the price of sketched (±2%)
 /// latency percentiles. The streaming replacement for
 /// [`FullReportSink`] on 10k+ scenario matrices.
+///
+/// The finished digest audits its own latency sketch: its rendered
+/// report consults [`FleetDigest::latency_fidelity`] and appends a
+/// one-line warning when the histogram tail collapses (`p90 == p99`
+/// backed by a single bin), so a sketch artifact never reads like a
+/// measurement.
 #[derive(Debug, Default)]
 pub struct DigestSink {
     digest: FleetDigest,
@@ -448,6 +566,11 @@ pub enum GroupAxis {
     /// value, which is exactly a completion-vs-joule frontier (plot
     /// each group's completion rate against its budget).
     EnergyBudget,
+    /// Group by fault-injection schedule — one digest per
+    /// [`FaultSpec`](crate::FaultSpec) label, which puts the fault-free
+    /// baseline next to each fault profile (compare recovery rate and
+    /// wasted work per schedule).
+    Fault,
 }
 
 impl GroupAxis {
@@ -459,6 +582,7 @@ impl GroupAxis {
             GroupAxis::Board => scenario.board.name().to_string(),
             GroupAxis::Workload => scenario.workload.name().to_string(),
             GroupAxis::EnergyBudget => budget_label(scenario.energy_budget_nj),
+            GroupAxis::Fault => scenario.fault.label(),
         }
     }
 
@@ -470,6 +594,7 @@ impl GroupAxis {
             GroupAxis::Board => "board",
             GroupAxis::Workload => "workload",
             GroupAxis::EnergyBudget => "energy_budget",
+            GroupAxis::Fault => "fault",
         }
     }
 
@@ -482,6 +607,7 @@ impl GroupAxis {
             GroupAxis::Board,
             GroupAxis::Workload,
             GroupAxis::EnergyBudget,
+            GroupAxis::Fault,
         ]
         .into_iter()
         .find(|a| a.name() == name)
@@ -603,7 +729,7 @@ impl MetricsSink for GroupBySink {
 
 /// The row fields shared by [`JsonlSink`] and [`CsvSink`], in column
 /// order.
-fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 20] {
+fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 21] {
     let s = record.scenario;
     let r = record.report;
     [
@@ -618,6 +744,7 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 20] {
             s.energy_budget_nj
                 .map_or(String::new(), |nj| nj.to_string()),
         ),
+        ("fault", s.fault.label()),
         ("run", record.run.to_string()),
         ("outcome", r.outcome.label().to_string()),
         ("accuracy", record.accuracy.to_string()),
@@ -641,7 +768,7 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 20] {
 fn json_is_string(name: &str) -> bool {
     matches!(
         name,
-        "workload" | "environment" | "strategy" | "board" | "outcome"
+        "workload" | "environment" | "strategy" | "board" | "fault" | "outcome"
     )
 }
 
@@ -766,7 +893,7 @@ impl<W: Write> CsvSink<W> {
 }
 
 /// The CSV column names, in order (matches [`row_fields`]).
-const CSV_COLUMNS: [&str; 20] = [
+const CSV_COLUMNS: [&str; 21] = [
     "scenario",
     "workload",
     "environment",
@@ -774,6 +901,7 @@ const CSV_COLUMNS: [&str; 20] = [
     "board",
     "seed",
     "energy_budget_nj",
+    "fault",
     "run",
     "outcome",
     "accuracy",
@@ -849,6 +977,7 @@ mod tests {
             energy: Energy::from_nanojoules(5_000.0),
             checkpoint_energy: Energy::from_nanojoules(100.0),
             meter: EnergyMeter::new(),
+            faults: FaultTally::default(),
         }
     }
 
@@ -1015,7 +1144,7 @@ mod tests {
             report: &report,
         };
         CsvSink::<Vec<u8>>::fold(&mut partial, &record);
-        // The quoted field keeps the column count at 19.
+        // The quoted field keeps the column count intact.
         let row = &partial[0];
         assert!(row.contains("\"lab, day 2\""), "{row}");
         let mut fields = 0usize;
@@ -1051,7 +1180,122 @@ mod tests {
             .collect();
         assert_eq!(
             string_typed,
-            ["workload", "environment", "strategy", "board", "outcome"]
+            [
+                "workload",
+                "environment",
+                "strategy",
+                "board",
+                "fault",
+                "outcome"
+            ]
         );
+    }
+
+    #[test]
+    fn resilience_tally_folds_faulted_runs_into_the_digest() {
+        let scenarios = ScenarioMatrix::new().scenarios();
+        let sink = DigestSink::new();
+        let mut partial = sink.open(&scenarios[0], 0.9);
+        // One recovered faulted run, one clean run, one faulted failure.
+        let mut recovered = fake_report(RunOutcome::Completed, 0.1);
+        recovered.faults = FaultTally {
+            spurious_resets: 2,
+            torn_commits: 1,
+            sag_ops: 5,
+            corrupt_restores: 1,
+            detected_corruptions: 1,
+            silent_corruptions: 0,
+            cold_boots: 1,
+        };
+        let clean = fake_report(RunOutcome::Completed, 0.1);
+        let mut lost = fake_report(RunOutcome::NoProgress, 0.1);
+        lost.faults.spurious_resets = 7;
+        for (run, report) in [&recovered, &clean, &lost].into_iter().enumerate() {
+            let record = RunRecord {
+                scenario: &scenarios[0],
+                run: run as u32,
+                accuracy: 0.9,
+                report,
+            };
+            DigestSink::fold(&mut partial, &record);
+        }
+        let mut sink = sink;
+        sink.merge(partial).unwrap();
+        let digest = sink.finish().unwrap();
+        let r = digest.resilience;
+        assert_eq!(r.faulted_runs, 2);
+        assert_eq!(r.recovered_runs, 1);
+        assert_eq!(r.spurious_resets, 9);
+        assert_eq!(r.torn_commits, 1);
+        assert_eq!(r.sag_ops, 5);
+        assert_eq!(r.corrupt_restores, 1);
+        assert_eq!(r.cold_boots, 1);
+        assert_eq!(r.detected_corruptions, 1);
+        assert_eq!(r.silent_corruptions, 0);
+        assert!((r.recovery_rate() - 0.5).abs() < 1e-12);
+        let text = digest.to_string();
+        assert!(text.contains("resilience: 1/2 faulted runs"), "{text}");
+        // Merging sums the tallies.
+        let mut doubled = digest.clone();
+        doubled.merge(&digest);
+        assert_eq!(doubled.resilience.faulted_runs, 4);
+        assert_eq!(doubled.resilience.spurious_resets, 18);
+    }
+
+    #[test]
+    fn fault_free_digest_report_omits_the_resilience_line() {
+        let digest = drive(DigestSink::new());
+        assert_eq!(digest.resilience, ResilienceTally::default());
+        assert_eq!(digest.resilience.recovery_rate(), 1.0);
+        assert!(!digest.to_string().contains("resilience:"));
+    }
+
+    #[test]
+    fn collapsed_latency_tail_warns_in_the_rendered_report() {
+        let mut digest = FleetDigest::new();
+        // 85 spread samples + a tail clustered tighter than one ~4.08%
+        // histogram bin → p90 and p99 share a bin.
+        for i in 0..85 {
+            digest.latency_ms.record(1.0 + f64::from(i));
+        }
+        for i in 0..15 {
+            digest
+                .latency_ms
+                .record(6700.0 * (1.0 + 1e-3 * f64::from(i)));
+        }
+        assert!(digest.latency_fidelity().tail_collapsed());
+        let text = digest.to_string();
+        assert!(text.contains("warning: latency p90 and p99"), "{text}");
+        // A tail spread across bins stays silent.
+        let mut healthy = FleetDigest::new();
+        for i in 0..100 {
+            healthy.latency_ms.record(1.0 + 2.0 * f64::from(i));
+        }
+        assert!(!healthy.latency_fidelity().tail_collapsed());
+        assert!(!healthy.to_string().contains("warning:"));
+    }
+
+    #[test]
+    fn fault_axis_groups_by_fault_label() {
+        use crate::FaultSpec;
+        let noisy = FaultSpec {
+            seed: 9,
+            reset_per_op: 0.001,
+            ..FaultSpec::none()
+        };
+        let scenarios = ScenarioMatrix::new()
+            .faults(vec![FaultSpec::none(), noisy])
+            .scenarios();
+        let mut sink = GroupBySink::new(GroupAxis::Fault);
+        for scenario in &scenarios {
+            let partial = sink.open(scenario, 0.5);
+            sink.merge(partial).unwrap();
+        }
+        let grouped = sink.finish().unwrap();
+        assert_eq!(grouped.groups.len(), 2);
+        assert_eq!(grouped.groups[0].0, "none");
+        assert!(grouped.groups[1].0.starts_with("f9:"));
+        assert_eq!(GroupAxis::Fault.name(), "fault");
+        assert_eq!(GroupAxis::parse("fault"), Some(GroupAxis::Fault));
     }
 }

@@ -38,6 +38,11 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Entries resident at the end of the sweep.
     pub entries: u64,
+    /// Entries evicted to stay under the cache's capacity bound — a
+    /// nonzero count means later lookups rebuilt evicted state, so a
+    /// larger [`cache_entries`](crate::FleetBuilder::cache_entries) cap
+    /// would trade memory for fewer rebuilds.
+    pub evictions: u64,
 }
 
 impl CacheCounters {
@@ -59,6 +64,7 @@ impl CacheCounters {
         self.hits += other.hits;
         self.misses += other.misses;
         self.entries += other.entries;
+        self.evictions += other.evictions;
     }
 }
 
@@ -228,12 +234,13 @@ impl fmt::Display for PhaseProfile {
         ] {
             writeln!(
                 f,
-                "  {:<18} cache: {} hits / {} misses ({:.1}% hit), {} entries",
+                "  {:<18} cache: {} hits / {} misses ({:.1}% hit), {} entries, {} evictions",
                 name,
                 c.hits,
                 c.misses,
                 c.hit_rate() * 100.0,
-                c.entries
+                c.entries,
+                c.evictions
             )?;
         }
         Ok(())
@@ -326,6 +333,7 @@ mod tests {
             hits: 3,
             misses: 1,
             entries: 1,
+            evictions: 0,
         };
         assert_eq!(c.lookups(), 4);
         assert_eq!(c.hit_rate(), 0.75);
@@ -345,11 +353,13 @@ mod tests {
             hits: 10,
             misses: 2,
             entries: 2,
+            evictions: 0,
         };
         p.caches.deployment = CacheCounters {
             hits: 90,
             misses: 6,
             entries: 6,
+            evictions: 3,
         };
         let json = p.to_json();
         let back = PhaseProfile::from_json(&json).unwrap();

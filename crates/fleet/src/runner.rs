@@ -6,17 +6,95 @@ use crate::profile::PhaseProfile;
 use crate::report::FleetReport;
 use crate::scenario::{Scenario, ScenarioMatrix, Workload};
 use ehdl::deployment::quantized_accuracy;
-use ehdl::ehsim::{ExecPhase, ExecutionPlan, IntermittentExecutor, RunTrace};
+use ehdl::ehsim::{ExecPhase, ExecutionPlan, FaultPlan, IntermittentExecutor, RunTrace};
 use ehdl::{BoardSpec, Deployment, Error, Strategy};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-/// Lazily recorded trace of the one trajectory a deterministic
-/// (plan, environment) pair can take. `None` until some worker records
-/// it; every later run of the pair replays it bit-identically.
-type TraceSlot = Mutex<Option<Arc<RunTrace>>>;
+/// The default [`cache_entries`](FleetBuilder::cache_entries) bound for
+/// the deployment and trace caches — generous enough that every sweep
+/// in the repo (and any reasonably shaped matrix) runs eviction-free,
+/// while still capping residency on adversarially wide axes.
+pub(crate) const DEFAULT_CACHE_ENTRIES: usize = 1024;
+
+/// A tiny deterministic LRU for the runner's bounded caches: keys are
+/// the dense cache indices scenario expansion derives, values are
+/// `Arc`s handed out while the lock is released. Lookups are O(len),
+/// which is fine at the capacities involved (default 1024), and the
+/// back-of-vec recency order makes eviction a pure function of the
+/// lookup sequence.
+struct Lru<V> {
+    cap: usize,
+    entries: Vec<(usize, V)>,
+    evictions: u64,
+}
+
+impl<V: Clone> Lru<V> {
+    fn new(cap: usize) -> Self {
+        Lru {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    /// The value under `key`, refreshed to most-recently-used.
+    fn get(&mut self, key: usize) -> Option<V> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = entry.1.clone();
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    /// Inserts `value` unless a racing worker already filled the slot
+    /// (first insert wins, like the trace-recording race), evicting the
+    /// least-recently-used entry when over capacity. Returns the
+    /// resident value.
+    fn insert(&mut self, key: usize, value: V) -> V {
+        if let Some(existing) = self.get(key) {
+            return existing;
+        }
+        self.entries.push((key, value.clone()));
+        if self.entries.len() > self.cap {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        value
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// Everything a worker needs for one deployment key, built lazily on
+/// first demand and cached (bounded) across scenarios: the deployment,
+/// its priced accuracy, and its shared execution plan with the plan's
+/// stable slot index (the trace-cache key component).
+struct DeployState {
+    deployment: Deployment,
+    accuracy: f64,
+    plan_slot: usize,
+    plan: Arc<ExecutionPlan>,
+}
+
+/// The bounded cache of recorded deterministic trajectories, keyed by
+/// the dense (plan, environment, budget, fault) index. A rebuilt entry
+/// is bit-identical to the evicted one (recording is deterministic), so
+/// eviction trades wall-clock for memory without touching any report.
+type TraceCache = Mutex<Lru<Arc<RunTrace>>>;
+
+/// The append-only store of compiled execution plans, one per
+/// (workload, board, strategy); the Vec position doubles as the stable
+/// `plan_slot` the trace-cache key is built from.
+type PlanStore = Mutex<Vec<((Workload, BoardSpec, Strategy), Arc<ExecutionPlan>)>>;
 
 /// Executes a [`ScenarioMatrix`] across a fixed pool of worker threads,
 /// streaming one [`RunRecord`] per (scenario, run) into a
@@ -38,20 +116,33 @@ type TraceSlot = Mutex<Option<Arc<RunTrace>>>;
 /// strategy) — op costs are program- and board-derived, never data- or
 /// environment-derived — and shares it (via `Arc`) across every
 /// environment, seed and worker, so a 10k-scenario sweep prices each
-/// distinct program exactly once.
+/// distinct program exactly once. Deployments and recorded traces live
+/// in **bounded LRU caches** ([`cache_entries`](FleetBuilder::cache_entries)
+/// deep, default 1024): entries are built lazily by the first worker
+/// that needs them, and an evicted entry is rebuilt deterministically
+/// on its next miss, so the cap trades wall-clock for memory without
+/// changing a single report bit.
 ///
 /// Deterministic environments (every catalog entry except the burst
 /// sources) go one step further: an intermittent run is a pure function
-/// of (plan, environment) — it never reads input data — so the runner
-/// records the trajectory once as a [`RunTrace`] and replays it for
-/// every other seed, run and worker of that pair. Replays are
-/// bit-identical to live runs by construction (the per-op meter records
-/// are re-applied in order against each board's own tallies), which is
-/// what keeps the report worker-count-independent.
+/// of (plan, environment, budget, fault schedule) — it never reads
+/// input data — so the runner records the trajectory once as a
+/// [`RunTrace`] and replays it for every other seed, run and worker of
+/// that tuple. Replays are bit-identical to live runs by construction
+/// (the per-op meter records are re-applied in order against each
+/// board's own tallies), which is what keeps the report
+/// worker-count-independent.
+///
+/// Fault injection rides the same machinery: each
+/// [`FaultSpec`](crate::FaultSpec) on the matrix's fault axis compiles
+/// to one seeded [`FaultPlan`] shared across the sweep, and the
+/// fault-free spec compiles to a disabled plan whose runs are
+/// bit-identical to a pre-fault sweep.
 #[derive(Debug, Clone)]
 pub struct FleetRunner {
     workers: usize,
     reference: bool,
+    cache_entries: usize,
 }
 
 impl FleetRunner {
@@ -60,6 +151,7 @@ impl FleetRunner {
         FleetRunner {
             workers: workers.max(1),
             reference: false,
+            cache_entries: DEFAULT_CACHE_ENTRIES,
         }
     }
 
@@ -81,6 +173,7 @@ impl FleetRunner {
         FleetBuilder {
             workers: std::thread::available_parallelism().map_or(1, usize::from),
             reference: false,
+            cache_entries: DEFAULT_CACHE_ENTRIES,
             sink: FullReportSink::new(),
         }
     }
@@ -112,9 +205,9 @@ impl FleetRunner {
         self.run_with_sink(matrix, FullReportSink::new())
     }
 
-    /// Sweeps the matrix: builds each distinct deployment once (in
-    /// matrix order, on the calling thread), fans the scenarios out
-    /// over the pool, and streams every run into `sink` under the
+    /// Sweeps the matrix: fans the scenarios out over the pool (each
+    /// distinct deployment is built once, lazily, by the first worker
+    /// that needs it) and streams every run into `sink` under the
     /// deterministic fold/merge contract of [`MetricsSink`].
     ///
     /// # Errors
@@ -217,87 +310,51 @@ impl FleetRunner {
             config.validate().map_err(Error::from)?;
             executors.push(IntermittentExecutor::new(config));
         }
+        // Reject malformed fault specs (out-of-range rates, sag factor
+        // below 1) up front, then compile each spec's schedule exactly
+        // once — like execution plans, fault plans are shared across
+        // every scenario, seed and worker of the axis value. The
+        // fault-free spec compiles to a disabled plan, which the
+        // executor treats as the pre-fault arithmetic bit for bit.
+        let mut fault_plans: Vec<FaultPlan> = Vec::with_capacity(matrix.faults.len());
+        for spec in &matrix.faults {
+            spec.validate().map_err(Error::from)?;
+            fault_plans.push(FaultPlan::compile(spec));
+        }
         let mut profile = profiled.then(PhaseProfile::new);
         let scenarios = matrix.scenarios_range(range);
         if scenarios.is_empty() {
             return sink.finish().map(|report| (report, profile));
         }
 
-        // One deployment per (workload, board, strategy, seed): scenario
-        // expansion guarantees keys first appear in order and are
-        // contiguous over a contiguous range, so `key - key0` indexes
-        // them densely. Accuracy only depends on the deployment and its
-        // data slice, so it is priced here once per key, not once per
-        // environment.
-        let key0 = scenarios[0].deployment_key;
-        let mut deployments: Vec<(Deployment, f64)> = Vec::new();
-        for scenario in &scenarios {
-            if scenario.deployment_key - key0 == deployments.len() {
-                let data = scenario.workload.dataset(scenario.seed);
-                let mut model = scenario.workload.model();
-                let deployment = Deployment::builder(&mut model, &data)
-                    .calibration(matrix.calibration)
-                    .board(scenario.board.clone())
-                    .strategy(scenario.strategy)
-                    .build()?;
-                let accuracy = quantized_accuracy(deployment.quantized(), &data)?;
-                deployments.push((deployment, accuracy));
-                if let Some(p) = profile.as_mut() {
-                    p.caches.deployment.misses += 1;
-                }
-            } else if let Some(p) = profile.as_mut() {
-                p.caches.deployment.hits += 1;
-            }
-        }
-        if let Some(p) = profile.as_mut() {
-            p.caches.deployment.entries = deployments.len() as u64;
-        }
+        // One deployment per (workload, board, strategy, seed), built
+        // lazily by the first worker that needs it and kept in a
+        // bounded LRU (`cache_entries` deep). Accuracy only depends on
+        // the deployment and its data slice, so it is priced at build
+        // time, once per resident entry. Builds happen under the cache
+        // lock: at most one build per key is ever in flight, so lookup
+        // totals stay deterministic at any worker count — and because a
+        // rebuild after eviction is a pure function of the scenario,
+        // eviction never changes any report.
+        let deployments: Mutex<Lru<Arc<DeployState>>> = Mutex::new(Lru::new(self.cache_entries));
 
         // One execution plan per (workload, board, strategy), shared
         // across seeds too: the lowered op stream and its costs depend
         // on the model architecture and the cost table, not on the
         // calibration data, so seed-variant deployments compile
-        // bit-identical plans. `plan_of[k - key0]` maps a deployment key
-        // to its shared plan.
-        let mut plan_keys: Vec<(Workload, BoardSpec, Strategy)> = Vec::new();
-        let mut plans: Vec<Arc<ExecutionPlan>> = Vec::new();
-        let mut plan_of: Vec<usize> = Vec::with_capacity(deployments.len());
-        for scenario in &scenarios {
-            if scenario.deployment_key - key0 == plan_of.len() {
-                let key = (scenario.workload, scenario.board.clone(), scenario.strategy);
-                let slot = match plan_keys.iter().position(|k| *k == key) {
-                    Some(slot) => {
-                        if let Some(p) = profile.as_mut() {
-                            p.caches.plan.hits += 1;
-                        }
-                        slot
-                    }
-                    None => {
-                        if let Some(p) = profile.as_mut() {
-                            p.caches.plan.misses += 1;
-                        }
-                        let deployment = &deployments[scenario.deployment_key - key0].0;
-                        plans.push(Arc::new(deployment.compile_plan()));
-                        plan_keys.push(key);
-                        plans.len() - 1
-                    }
-                };
-                plan_of.push(slot);
-            }
-        }
-        if let Some(p) = profile.as_mut() {
-            p.caches.plan.entries = plans.len() as u64;
-        }
+        // bit-identical plans. Plans are tiny relative to deployments
+        // and their slot index keys the trace cache, so this store is
+        // append-only, not LRU.
+        let plans: PlanStore = Mutex::new(Vec::new());
 
-        // One trace slot per (plan, environment, budget) triple; only
-        // deterministic environments ever populate theirs. The budget is
-        // part of the key because it changes where a run aborts, and so
-        // the trajectory the trace records.
+        // One trace slot per (plan, environment, budget, fault) tuple;
+        // only deterministic environments ever populate theirs. Budget
+        // and fault schedule are part of the key because both change
+        // the trajectory a recording captures.
         let environments = matrix.environments.len();
         let budgets = matrix.budgets.len();
-        let traces: Vec<TraceSlot> = (0..plans.len() * environments * budgets)
-            .map(|_| Mutex::new(None))
-            .collect();
+        let faults = matrix.faults.len();
+        let traces: TraceCache = Mutex::new(Lru::new(self.cache_entries));
 
         // The sink is shared: workers briefly lock it to `open` each
         // scenario's accumulator as they claim it (so at most one
@@ -332,9 +389,9 @@ impl FleetRunner {
             let scenarios = &scenarios;
             let deployments = &deployments;
             let plans = &plans;
-            let plan_of = &plan_of;
             let traces = &traces;
             let executors = &executors;
+            let fault_plans = &fault_plans;
             let cursor = &cursor;
             let merged = &merged;
             let sink = &sink;
@@ -358,23 +415,60 @@ impl FleetRunner {
                         while i >= merged.load(Ordering::Relaxed).saturating_add(window) {
                             std::thread::sleep(std::time::Duration::from_micros(200));
                         }
-                        let (deployment, accuracy) = &deployments[scenario.deployment_key - key0];
-                        let plan_slot = plan_of[scenario.deployment_key - key0];
-                        let trace = (!self.reference && !scenario.environment.is_stochastic())
+                        let deploy = {
+                            let mut cache = deployments.lock().expect("deployment cache lock");
+                            match cache.get(scenario.deployment_key) {
+                                Some(entry) => {
+                                    if let Some(p) = local.as_mut() {
+                                        p.caches.deployment.hits += 1;
+                                    }
+                                    entry
+                                }
+                                None => {
+                                    // Built while the cache lock is held:
+                                    // at most one build per key is ever in
+                                    // flight, so every key misses exactly
+                                    // once (until evicted) at any worker
+                                    // count.
+                                    if let Some(p) = local.as_mut() {
+                                        p.caches.deployment.misses += 1;
+                                    }
+                                    match build_deploy_state(
+                                        scenario,
+                                        matrix,
+                                        plans,
+                                        local.as_mut(),
+                                    ) {
+                                        Ok(entry) => cache.insert(scenario.deployment_key, entry),
+                                        Err(e) => {
+                                            if tx.send((i, Err(e))).is_err() {
+                                                break;
+                                            }
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
+                        };
+                        let trace_key = (!self.reference && !scenario.environment.is_stochastic())
                             .then(|| {
-                                let slot = (plan_slot * environments + scenario.environment_key)
+                                ((deploy.plan_slot * environments + scenario.environment_key)
                                     * budgets
-                                    + scenario.budget_key;
-                                &traces[slot]
+                                    + scenario.budget_key)
+                                    * faults
+                                    + scenario.fault_key
                             });
-                        let mut partial = sink.lock().expect("sink lock").open(scenario, *accuracy);
+                        let mut partial = sink
+                            .lock()
+                            .expect("sink lock")
+                            .open(scenario, deploy.accuracy);
                         let result = run_scenario::<S>(
                             scenario,
-                            deployment,
-                            &plans[plan_slot],
-                            trace,
-                            *accuracy,
+                            &deploy,
+                            trace_key,
+                            traces,
                             &executors[scenario.budget_key],
+                            &fault_plans[scenario.fault_key],
                             matrix.runs,
                             self.reference,
                             &mut partial,
@@ -453,6 +547,15 @@ impl FleetRunner {
             for (_, worker) in &collected {
                 p.merge(worker);
             }
+            // Residency and eviction counts live in the shared caches,
+            // not in any worker's local profile.
+            let deployment_cache = deployments.into_inner().expect("deployment cache lock");
+            p.caches.deployment.entries = deployment_cache.len() as u64;
+            p.caches.deployment.evictions = deployment_cache.evictions();
+            p.caches.plan.entries = plans.into_inner().expect("plan cache lock").len() as u64;
+            let trace_cache = traces.into_inner().expect("trace cache lock");
+            p.caches.trace.entries = trace_cache.len() as u64;
+            p.caches.trace.evictions = trace_cache.evictions();
         }
         sink.into_inner()
             .expect("sink lock")
@@ -469,6 +572,7 @@ impl FleetRunner {
 pub struct FleetBuilder<S: MetricsSink> {
     workers: usize,
     reference: bool,
+    cache_entries: usize,
     sink: S,
 }
 
@@ -486,11 +590,23 @@ impl<S: MetricsSink> FleetBuilder<S> {
         self
     }
 
+    /// Bounds the runner's deployment and trace caches to at most
+    /// `entries` resident entries each (clamped to ≥ 1; default 1024).
+    /// Evicted entries are rebuilt deterministically on the next miss,
+    /// so a tighter cap trades wall-clock for memory without changing
+    /// any report bit. Evictions are counted in the profiled sweep's
+    /// [`CacheCounters`](crate::CacheCounters).
+    pub fn cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries.max(1);
+        self
+    }
+
     /// Replaces the sink, retyping the builder.
     pub fn sink<T: MetricsSink>(self, sink: T) -> FleetBuilder<T> {
         FleetBuilder {
             workers: self.workers,
             reference: self.reference,
+            cache_entries: self.cache_entries,
             sink,
         }
     }
@@ -507,6 +623,7 @@ impl<S: MetricsSink> FleetBuilder<S> {
         FleetRunner {
             workers: self.workers,
             reference: self.reference,
+            cache_entries: self.cache_entries,
         }
         .run_with_sink(matrix, self.sink)
     }
@@ -525,6 +642,7 @@ impl<S: MetricsSink> FleetBuilder<S> {
         FleetRunner {
             workers: self.workers,
             reference: self.reference,
+            cache_entries: self.cache_entries,
         }
         .run_profiled_with_sink(matrix, self.sink)
     }
@@ -538,44 +656,96 @@ impl FleetBuilder<FullReportSink> {
         FleetRunner {
             workers: self.workers,
             reference: self.reference,
+            cache_entries: self.cache_entries,
         }
     }
+}
+
+/// Builds everything one deployment key needs: the deployment, its
+/// priced accuracy, and the shared execution plan — compiled on first
+/// demand, reused from the append-only plan store otherwise. A pure
+/// function of the scenario (and the matrix's calibration), which is
+/// what lets the bounded deployment cache rebuild evicted entries
+/// without changing any report.
+fn build_deploy_state(
+    scenario: &Scenario,
+    matrix: &ScenarioMatrix,
+    plans: &PlanStore,
+    mut profile: Option<&mut PhaseProfile>,
+) -> Result<Arc<DeployState>, Error> {
+    let data = scenario.workload.dataset(scenario.seed);
+    let mut model = scenario.workload.model();
+    let deployment = Deployment::builder(&mut model, &data)
+        .calibration(matrix.calibration)
+        .board(scenario.board.clone())
+        .strategy(scenario.strategy)
+        .build()?;
+    let accuracy = quantized_accuracy(deployment.quantized(), &data)?;
+    let key = (scenario.workload, scenario.board.clone(), scenario.strategy);
+    let mut plans = plans.lock().expect("plan cache lock");
+    let (plan_slot, plan) = match plans.iter().position(|(k, _)| *k == key) {
+        Some(slot) => {
+            if let Some(p) = profile.as_deref_mut() {
+                p.caches.plan.hits += 1;
+            }
+            (slot, Arc::clone(&plans[slot].1))
+        }
+        None => {
+            if let Some(p) = profile {
+                p.caches.plan.misses += 1;
+            }
+            let plan = Arc::new(deployment.compile_plan());
+            plans.push((key, Arc::clone(&plan)));
+            (plans.len() - 1, plan)
+        }
+    };
+    Ok(Arc::new(DeployState {
+        deployment,
+        accuracy,
+        plan_slot,
+        plan,
+    }))
 }
 
 /// Runs one scenario on its shared deployment and shared execution
 /// plan: `runs` intermittent inferences with per-run re-seeding, each
 /// folded into the sink accumulator as a [`RunRecord`] in run order
-/// (accuracy was priced once per deployment by the runner). In
-/// `reference` mode the session compiles its own plan and replays the
-/// op-by-op interpreter instead — the pre-plan behavior parity suites
-/// compare against.
+/// (accuracy was priced once per deployment by the runner). Every run
+/// consults the scenario's compiled [`FaultPlan`] — the fault-free
+/// axis value compiles to a disabled plan, which executes the exact
+/// pre-fault arithmetic. In `reference` mode the session compiles its
+/// own plan and replays the op-by-op interpreter instead — the
+/// pre-plan behavior parity suites compare against.
 #[allow(clippy::too_many_arguments)]
 fn run_scenario<S: MetricsSink>(
     scenario: &Scenario,
-    deployment: &Deployment,
-    plan: &Arc<ExecutionPlan>,
-    trace: Option<&TraceSlot>,
-    accuracy: f64,
+    deploy: &DeployState,
+    trace_key: Option<usize>,
+    traces: &TraceCache,
     executor: &IntermittentExecutor,
+    fault: &FaultPlan,
     runs: u32,
     reference: bool,
     partial: &mut S::Partial,
     mut profile: Option<&mut PhaseProfile>,
 ) -> Result<(), Error> {
     let mut session = if reference {
-        deployment.session()
+        deploy.deployment.session()
     } else {
-        deployment.session_with_plan(Arc::clone(plan))
+        deploy
+            .deployment
+            .session_with_plan(Arc::clone(&deploy.plan))
     };
 
     for run in 0..u64::from(runs) {
-        let r = if let Some(slot) = trace {
+        let r = if let Some(key) = trace_key {
             // Deterministic environment: every (seed, run) replays the
-            // one trajectory this (plan, environment) pair can take.
-            // Record it on first demand, replay it ever after — replays
-            // re-apply the same per-op meter records, so they are
-            // bit-identical to live runs on this session's board.
-            let existing = slot.lock().expect("trace lock").clone();
+            // one trajectory this (plan, environment, budget, fault)
+            // tuple can take. Record it on first demand, replay it ever
+            // after — replays re-apply the same per-op meter records
+            // (fault effects included), so they are bit-identical to
+            // live runs on this session's board.
+            let existing = traces.lock().expect("trace cache lock").get(key);
             match existing {
                 Some(recorded) => {
                     let t0 = profile.is_some().then(Instant::now);
@@ -589,28 +759,30 @@ fn run_scenario<S: MetricsSink>(
                 None => {
                     // The recording run *is* this run — it executes live
                     // on this session's board with the lock released, so
-                    // workers needing the same pair never idle. Racing
+                    // workers needing the same tuple never idle. Racing
                     // recorders duplicate only this one run (every
-                    // recording of a deterministic pair is bit-identical,
-                    // so whichever lands first is equally valid).
+                    // recording of a deterministic tuple is
+                    // bit-identical, so whichever lands first is equally
+                    // valid — the LRU keeps the first insert).
                     let mut supply = scenario.environment.supply();
                     let (report, recorded) = if let Some(p) = profile.as_deref_mut() {
                         let t0 = Instant::now();
-                        let out =
-                            session.infer_intermittent_traced_probed(executor, &mut supply, p);
+                        let out = session.infer_intermittent_faulted_traced_probed(
+                            executor,
+                            &mut supply,
+                            fault,
+                            p,
+                        );
                         p.caches.trace.misses += 1;
                         p.record(ExecPhase::PlanExec, t0.elapsed().as_secs_f64());
                         out
                     } else {
-                        session.infer_intermittent_traced(executor, &mut supply)
+                        session.infer_intermittent_faulted_traced(executor, &mut supply, fault)
                     };
-                    let mut guard = slot.lock().expect("trace lock");
-                    if guard.is_none() {
-                        *guard = Some(Arc::new(recorded));
-                        if let Some(p) = profile.as_deref_mut() {
-                            p.caches.trace.entries += 1;
-                        }
-                    }
+                    traces
+                        .lock()
+                        .expect("trace cache lock")
+                        .insert(key, Arc::new(recorded));
                     report
                 }
             }
@@ -623,22 +795,27 @@ fn run_scenario<S: MetricsSink>(
             if let Some(p) = profile.as_deref_mut() {
                 let t0 = Instant::now();
                 let r = if reference {
-                    session.infer_intermittent_reference_probed(executor, &mut supply, p)
+                    session.infer_intermittent_faulted_reference_probed(
+                        executor,
+                        &mut supply,
+                        fault,
+                        p,
+                    )
                 } else {
-                    session.infer_intermittent_probed(executor, &mut supply, p)
+                    session.infer_intermittent_faulted_probed(executor, &mut supply, fault, p)
                 };
                 p.record(ExecPhase::PlanExec, t0.elapsed().as_secs_f64());
                 r
             } else if reference {
-                session.infer_intermittent_reference(executor, &mut supply)
+                session.infer_intermittent_faulted_reference(executor, &mut supply, fault)
             } else {
-                session.infer_intermittent_with(executor, &mut supply)
+                session.infer_intermittent_faulted(executor, &mut supply, fault)
             }
         };
         let record = RunRecord {
             scenario,
             run: run as u32,
-            accuracy,
+            accuracy: deploy.accuracy,
             report: &r,
         };
         let t0 = profile.is_some().then(Instant::now);

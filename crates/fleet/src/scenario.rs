@@ -1,7 +1,7 @@
 //! Scenario definition and the cross-product matrix builder.
 
 use ehdl::datasets::Dataset;
-use ehdl::ehsim::{catalog, Environment, ExecutorConfig};
+use ehdl::ehsim::{catalog, Environment, ExecutorConfig, FaultSpec};
 use ehdl::nn::Model;
 use ehdl::{BoardSpec, CalibrationConfig, Strategy};
 
@@ -77,6 +77,10 @@ pub struct Scenario {
     /// ([`ExecutorConfig::energy_budget_nj`]); `None` (the default axis)
     /// inherits whatever the matrix-wide executor config says.
     pub energy_budget_nj: Option<f64>,
+    /// The seeded fault schedule this scenario's runs execute under
+    /// ([`FaultSpec::none()`] on the default axis — zero behavior
+    /// change).
+    pub fault: FaultSpec,
     /// Index of the shared deployment this scenario runs on — scenarios
     /// that differ only in environment or energy budget share one built
     /// deployment.
@@ -89,6 +93,10 @@ pub struct Scenario {
     /// axis — the runner keys its per-budget executors (and the trace
     /// cache) on it, since the budget changes where runs abort.
     pub(crate) budget_key: usize,
+    /// Index of this scenario's entry in the matrix's fault axis — the
+    /// runner keys its compiled [`FaultPlan`](ehdl::ehsim::FaultPlan)s
+    /// (and the trace cache) on it.
+    pub(crate) fault_key: usize,
 }
 
 impl Scenario {
@@ -111,6 +119,12 @@ impl Scenario {
         self.budget_key
     }
 
+    /// Index of this scenario's entry in the matrix's fault axis (see
+    /// [`ScenarioMatrix::faults`]).
+    pub fn fault_key(&self) -> usize {
+        self.fault_key
+    }
+
     /// A stable human-readable name, unique within one matrix.
     pub fn name(&self) -> String {
         let mut name = format!(
@@ -123,6 +137,10 @@ impl Scenario {
         );
         if let Some(nj) = self.energy_budget_nj {
             name.push_str(&format!("@{nj}nJ"));
+        }
+        if !self.fault.is_none() {
+            name.push('!');
+            name.push_str(&self.fault.label());
         }
         name
     }
@@ -153,6 +171,7 @@ pub struct ScenarioMatrix {
     pub(crate) workloads: Vec<Workload>,
     pub(crate) seeds: Vec<u64>,
     pub(crate) budgets: Vec<Option<f64>>,
+    pub(crate) faults: Vec<FaultSpec>,
     pub(crate) runs: u32,
     pub(crate) calibration: CalibrationConfig,
     pub(crate) executor: ExecutorConfig,
@@ -174,6 +193,7 @@ impl ScenarioMatrix {
             workloads: vec![Workload::Har { samples: 16 }],
             seeds: vec![0],
             budgets: vec![None],
+            faults: vec![FaultSpec::none()],
             runs: 1,
             calibration: CalibrationConfig::default(),
             executor: ExecutorConfig::default(),
@@ -222,6 +242,18 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the fault-injection axis. The default axis is
+    /// `vec![FaultSpec::none()]` — one no-fault entry, bit-identical to
+    /// a matrix without the axis. Seeded entries subject every run of
+    /// their scenarios to deterministic fault injection (spurious
+    /// resets, voltage sags, torn commits, corrupt restores); group the
+    /// digest by [`GroupAxis::Fault`](crate::GroupAxis) to compare
+    /// resilience across schedules.
+    pub fn faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Intermittent runs per scenario (default 1). Each run re-seeds the
     /// environment's randomness, so stochastic environments vary per run.
     pub fn runs(mut self, runs: u32) -> Self {
@@ -253,6 +285,12 @@ impl ScenarioMatrix {
         &self.budgets
     }
 
+    /// The fault axis, in expansion order (the order
+    /// [`Scenario::fault_key`] indexes).
+    pub fn fault_axis(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
     /// Number of scenarios the matrix expands to.
     pub fn len(&self) -> usize {
         self.environments.len()
@@ -261,6 +299,7 @@ impl ScenarioMatrix {
             * self.workloads.len()
             * self.seeds.len()
             * self.budgets.len()
+            * self.faults.len()
     }
 
     /// `true` if any axis is empty.
@@ -275,14 +314,14 @@ impl ScenarioMatrix {
     }
 
     /// Expands a contiguous slice of the cross-product, in the fixed
-    /// matrix order: workload, board, strategy, seed, budget,
+    /// matrix order: workload, board, strategy, seed, fault, budget,
     /// environment (innermost). Scenarios sharing a (workload, board,
     /// strategy, seed) prefix share a deployment key — dense over the
     /// whole matrix, contiguous over any contiguous index range — so
     /// runners build each deployment once and reuse it across every
-    /// environment and budget. A shard worker expands only its own
-    /// range: memory stays O(shard), not O(matrix), however large the
-    /// sweep.
+    /// environment, budget and fault schedule. A shard worker expands
+    /// only its own range: memory stays O(shard), not O(matrix), however
+    /// large the sweep.
     ///
     /// Indices, keys and scenarios are identical to the corresponding
     /// slice of [`scenarios`](Self::scenarios); out-of-bounds ends are
@@ -293,16 +332,18 @@ impl ScenarioMatrix {
         let end = range.end.min(total);
         let ne = self.environments.len();
         let nb = self.budgets.len();
+        let nf = self.faults.len();
         let ns = self.seeds.len();
         let nst = self.strategies.len();
         let mut out = Vec::with_capacity(end.saturating_sub(start));
         for index in start..end {
             let environment_key = index % ne;
             let budget_key = (index / ne) % nb;
-            let seed_i = (index / (ne * nb)) % ns;
-            let strategy_i = (index / (ne * nb * ns)) % nst;
-            let board_i = (index / (ne * nb * ns * nst)) % self.boards.len();
-            let workload_i = index / (ne * nb * ns * nst * self.boards.len());
+            let fault_key = (index / (ne * nb)) % nf;
+            let seed_i = (index / (ne * nb * nf)) % ns;
+            let strategy_i = (index / (ne * nb * nf * ns)) % nst;
+            let board_i = (index / (ne * nb * nf * ns * nst)) % self.boards.len();
+            let workload_i = index / (ne * nb * nf * ns * nst * self.boards.len());
             out.push(Scenario {
                 index,
                 environment: self.environments[environment_key].clone(),
@@ -311,9 +352,11 @@ impl ScenarioMatrix {
                 workload: self.workloads[workload_i],
                 seed: self.seeds[seed_i],
                 energy_budget_nj: self.budgets[budget_key],
-                deployment_key: index / (ne * nb),
+                fault: self.faults[fault_key],
+                deployment_key: index / (ne * nb * nf),
                 environment_key,
                 budget_key,
+                fault_key,
             });
         }
         out
@@ -402,6 +445,38 @@ mod tests {
         assert_eq!(s[4].budget_key, 2);
         // Budgeted scenarios carry the budget in their unique names.
         assert!(s[2].name().ends_with("@1000nJ"), "{}", s[2].name());
+        let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn fault_axis_multiplies_the_matrix_and_shares_deployments() {
+        let noisy = FaultSpec {
+            seed: 9,
+            reset_per_op: 0.001,
+            sag_per_op: 0.01,
+            sag_factor: 1.5,
+            tear_per_commit: 0.1,
+            corrupt_per_restore: 0.1,
+        };
+        let m = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+            .energy_budgets_nj(vec![None, Some(1_000.0)])
+            .faults(vec![FaultSpec::none(), noisy]);
+        assert_eq!(m.len(), 2 * 2 * 2);
+        let s = m.scenarios();
+        // Faults sit between seed and budget: the first four scenarios
+        // (2 environments × 2 budgets) are fault-free, the next four
+        // carry the seeded schedule — all on one deployment.
+        assert!(s[..4].iter().all(|sc| sc.fault.is_none()));
+        assert!(s[4..].iter().all(|sc| sc.fault == noisy));
+        assert!(s.iter().all(|sc| sc.deployment_key == 0));
+        assert_eq!(s[4].fault_key, 1);
+        // No-fault names are unchanged; faulted ones append the label.
+        assert!(!s[0].name().contains('!'), "{}", s[0].name());
+        assert!(s[4].name().contains("!f9:"), "{}", s[4].name());
         let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
         names.sort();
         names.dedup();

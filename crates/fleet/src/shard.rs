@@ -443,6 +443,10 @@ impl ShardCoordinator {
     ) -> Result<ShardReport, Error> {
         let plan = self.plan(total);
         let n_shards = plan.len();
+        // A previous coordinator killed mid-sweep leaves orphaned
+        // heartbeat files behind; drop them before the progress line
+        // starts reading heartbeats, or dead workers would inflate it.
+        store.clear_heartbeats();
         let mut frontier = store
             .load_frontier(fingerprint, &self.group_by)?
             .unwrap_or_else(|| Frontier::empty(&self.group_by));
@@ -849,6 +853,7 @@ fn merge_group(gd: &mut GroupedDigest, record: &ShardRecord) {
         GroupAxis::Board => &record.board,
         GroupAxis::Workload => &record.workload,
         GroupAxis::EnergyBudget => &record.budget,
+        GroupAxis::Fault => &record.fault,
     };
     match gd.groups.iter_mut().find(|(k, _)| k == key) {
         Some((_, digest)) => digest.merge(&record.digest),
@@ -1146,6 +1151,7 @@ impl<W: Write + Send> MetricsSink for ShardRecordSink<W> {
             strategy: scenario.strategy.name().to_string(),
             board: scenario.board.name().to_string(),
             budget: budget_label(scenario.energy_budget_nj),
+            fault: scenario.fault.label(),
             digest,
         }
     }

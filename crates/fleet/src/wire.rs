@@ -16,16 +16,19 @@
 //! recursive-descent parser ([`Json`]).
 
 use crate::digest::StatsDigest;
-use crate::metrics::{json_escape, FleetDigest};
+use crate::metrics::{json_escape, FleetDigest, ResilienceTally};
 use crate::profile::{CacheCounters, CacheStats, PhaseProfile};
 use crate::scenario::{ScenarioMatrix, Workload};
-use ehdl::ehsim::{Capacitor, Environment, ExecPhase, ExecutorConfig, Harvester};
+use ehdl::ehsim::{Capacitor, Environment, ExecPhase, ExecutorConfig, FaultSpec, Harvester};
 use ehdl::{BoardSpec, CalibrationConfig, ShardError, Strategy};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
 /// Wire format version stamped into partial headers and frontiers.
-pub(crate) const WIRE_VERSION: u64 = 1;
+/// Version 2 added the fault-injection axis to matrix specs, the
+/// `fault` label to shard records, the `resilience` block to digests,
+/// and eviction counts to cache counters.
+pub(crate) const WIRE_VERSION: u64 = 2;
 
 // ------------------------------------------------------------- hashing
 
@@ -445,8 +448,8 @@ pub(crate) fn profile_json(p: &PhaseProfile) -> String {
         }
         let _ = write!(
             out,
-            "\"{name}\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
-            c.hits, c.misses, c.entries
+            "\"{name}\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evictions\":{}}}",
+            c.hits, c.misses, c.entries, c.evictions
         );
     }
     out.push_str("}}");
@@ -458,6 +461,7 @@ fn cache_counters_from(v: &Json) -> Result<CacheCounters, String> {
         hits: field!(v, "hits", as_u64)?,
         misses: field!(v, "misses", as_u64)?,
         entries: field!(v, "entries", as_u64)?,
+        evictions: field!(v, "evictions", as_u64)?,
     })
 }
 
@@ -512,8 +516,38 @@ pub(crate) fn digest_json(d: &FleetDigest) -> String {
     stats_json(&mut out, &d.accuracy);
     out.push_str(",\"dark_s\":");
     stats_json(&mut out, &d.dark_s);
+    let r = &d.resilience;
+    let _ = write!(
+        out,
+        ",\"resilience\":{{\"faulted_runs\":{},\"recovered_runs\":{},\"spurious_resets\":{},\
+         \"torn_commits\":{},\"sag_ops\":{},\"corrupt_restores\":{},\"cold_boots\":{},\
+         \"detected_corruptions\":{},\"silent_corruptions\":{}}}",
+        r.faulted_runs,
+        r.recovered_runs,
+        r.spurious_resets,
+        r.torn_commits,
+        r.sag_ops,
+        r.corrupt_restores,
+        r.cold_boots,
+        r.detected_corruptions,
+        r.silent_corruptions,
+    );
     out.push('}');
     out
+}
+
+fn resilience_from(v: &Json) -> Result<ResilienceTally, String> {
+    Ok(ResilienceTally {
+        faulted_runs: field!(v, "faulted_runs", as_u64)?,
+        recovered_runs: field!(v, "recovered_runs", as_u64)?,
+        spurious_resets: field!(v, "spurious_resets", as_u64)?,
+        torn_commits: field!(v, "torn_commits", as_u64)?,
+        sag_ops: field!(v, "sag_ops", as_u64)?,
+        corrupt_restores: field!(v, "corrupt_restores", as_u64)?,
+        cold_boots: field!(v, "cold_boots", as_u64)?,
+        detected_corruptions: field!(v, "detected_corruptions", as_u64)?,
+        silent_corruptions: field!(v, "silent_corruptions", as_u64)?,
+    })
 }
 
 /// Rebuilds a [`FleetDigest`] from [`digest_json`]'s output —
@@ -538,6 +572,7 @@ pub(crate) fn digest_from(v: &Json) -> Result<FleetDigest, String> {
         latency_ms: stats_from(v.req("latency_ms")?)?,
         accuracy: stats_from(v.req("accuracy")?)?,
         dark_s: stats_from(v.req("dark_s")?)?,
+        resilience: resilience_from(v.req("resilience")?)?,
     })
 }
 
@@ -557,6 +592,7 @@ pub(crate) struct ShardRecord {
     pub strategy: String,
     pub board: String,
     pub budget: String,
+    pub fault: String,
     pub digest: FleetDigest,
 }
 
@@ -564,13 +600,14 @@ impl ShardRecord {
     pub(crate) fn to_line(&self) -> String {
         format!(
             "{{\"scenario\":{},\"workload\":\"{}\",\"environment\":\"{}\",\"strategy\":\"{}\",\
-             \"board\":\"{}\",\"budget\":\"{}\",\"digest\":{}}}",
+             \"board\":\"{}\",\"budget\":\"{}\",\"fault\":\"{}\",\"digest\":{}}}",
             self.index,
             json_escape(&self.workload),
             json_escape(&self.environment),
             json_escape(&self.strategy),
             json_escape(&self.board),
             json_escape(&self.budget),
+            json_escape(&self.fault),
             digest_json(&self.digest)
         )
     }
@@ -584,6 +621,7 @@ impl ShardRecord {
             strategy: field!(v, "strategy", as_str)?.to_string(),
             board: field!(v, "board", as_str)?.to_string(),
             budget: field!(v, "budget", as_str)?.to_string(),
+            fault: field!(v, "fault", as_str)?.to_string(),
             digest: digest_from(v.req("digest")?)?,
         })
     }
@@ -810,6 +848,23 @@ pub(crate) fn matrix_json(m: &ScenarioMatrix) -> Result<String, ShardError> {
             }
         }
     }
+    out.push_str("],\"faults\":[");
+    for (i, f) in m.faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seed\":{},\"reset_per_op\":\"{}\",\"sag_per_op\":\"{}\",\"sag_factor\":\"{}\",\
+             \"tear_per_commit\":\"{}\",\"corrupt_per_restore\":\"{}\"}}",
+            f.seed,
+            f64_hex(f.reset_per_op),
+            f64_hex(f.sag_per_op),
+            f64_hex(f.sag_factor),
+            f64_hex(f.tear_per_commit),
+            f64_hex(f.corrupt_per_restore),
+        );
+    }
     let _ = write!(
         out,
         "],\"runs\":{},\"calibration\":{{\"samples\":{},\"percentile\":\"{}\"}},\"executor\":{{",
@@ -1014,6 +1069,17 @@ pub(crate) fn matrix_from(v: &Json) -> Result<ScenarioMatrix, String> {
     for b in field!(v, "budgets", as_arr)? {
         budgets.push(opt_f64(b)?);
     }
+    let mut faults = Vec::new();
+    for f in field!(v, "faults", as_arr)? {
+        faults.push(FaultSpec {
+            seed: field!(f, "seed", as_u64)?,
+            reset_per_op: field!(f, "reset_per_op", as_f64_bits)?,
+            sag_per_op: field!(f, "sag_per_op", as_f64_bits)?,
+            sag_factor: field!(f, "sag_factor", as_f64_bits)?,
+            tear_per_commit: field!(f, "tear_per_commit", as_f64_bits)?,
+            corrupt_per_restore: field!(f, "corrupt_per_restore", as_f64_bits)?,
+        });
+    }
     let cal = v.req("calibration")?;
     let exec = v.req("executor")?;
     Ok(ScenarioMatrix {
@@ -1023,6 +1089,7 @@ pub(crate) fn matrix_from(v: &Json) -> Result<ScenarioMatrix, String> {
         workloads,
         seeds,
         budgets,
+        faults,
         runs: field!(v, "runs", as_u64)?
             .try_into()
             .map_err(|_| "runs out of range".to_string())?,
@@ -1048,7 +1115,7 @@ mod tests {
     use super::*;
     use crate::metrics::{DigestSink, MetricsSink, RunRecord};
     use ehdl::ehsim::catalog;
-    use ehdl::ehsim::{RunOutcome, RunReport};
+    use ehdl::ehsim::{FaultTally, RunOutcome, RunReport};
 
     fn sample_digest() -> FleetDigest {
         let sink = DigestSink::new();
@@ -1069,6 +1136,15 @@ mod tests {
             energy: ehdl::device::Energy::from_nanojoules(7_777.25),
             checkpoint_energy: ehdl::device::Energy::from_nanojoules(11.5),
             meter: ehdl::device::EnergyMeter::new(),
+            faults: FaultTally {
+                spurious_resets: 2,
+                sag_ops: 1,
+                torn_commits: 1,
+                corrupt_restores: 1,
+                cold_boots: 1,
+                detected_corruptions: 1,
+                silent_corruptions: 0,
+            },
         };
         let record = RunRecord {
             scenario: &scenarios[0],
@@ -1129,6 +1205,7 @@ mod tests {
             strategy: "ACE+FLEX".to_string(),
             board: "MSP430FR5994".to_string(),
             budget: "unbounded".to_string(),
+            fault: "f9:r1e-3:s0:t0:c0".to_string(),
             digest: sample_digest(),
         };
         let back = ShardRecord::from_line(&record.to_line()).unwrap();
@@ -1153,6 +1230,7 @@ mod tests {
                 strategy: "ACE+FLEX".to_string(),
                 board: "MSP430FR5994".to_string(),
                 budget: "unbounded".to_string(),
+                fault: "none".to_string(),
                 digest: sample_digest(),
             };
             writer.write_record(&record).unwrap();
@@ -1194,6 +1272,17 @@ mod tests {
             ])
             .seeds(vec![0, 7, u64::MAX])
             .energy_budgets_nj(vec![None, Some(12_345.678)])
+            .faults(vec![
+                FaultSpec::none(),
+                FaultSpec {
+                    seed: 9,
+                    reset_per_op: 1e-3,
+                    sag_per_op: 2e-3,
+                    sag_factor: 1.5,
+                    tear_per_commit: 5e-2,
+                    corrupt_per_restore: 0.25,
+                },
+            ])
             .runs(3);
         let json = matrix_json(&matrix).unwrap();
         let back = matrix_from(&Json::parse(&json).unwrap()).unwrap();

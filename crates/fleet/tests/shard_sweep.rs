@@ -10,8 +10,8 @@
 use ehdl::ehsim::catalog;
 use ehdl::{CalibrationConfig, Error, ShardError, Strategy};
 use ehdl_fleet::{
-    DigestSink, FleetDigest, FleetRunner, GroupAxis, GroupBySink, GroupedDigest, ScenarioMatrix,
-    ShardCoordinator, ShardEventKind, ShardReport,
+    DigestSink, FaultSpec, FleetDigest, FleetRunner, GroupAxis, GroupBySink, GroupedDigest,
+    ScenarioMatrix, ShardCoordinator, ShardEventKind, ShardReport,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -253,6 +253,56 @@ fn bad_plans_and_mismatched_checkpoints_are_typed_errors() {
         ShardError::CheckpointMismatch { .. }
     ));
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_injected_sweeps_shard_bit_identically() {
+    // A seeded fault axis rides the wire: subprocess workers rebuild
+    // the fault plans from the job spec and must reproduce the
+    // in-process digest bit for bit at any shard count, grouped by
+    // fault label included.
+    let storm = FaultSpec {
+        seed: 5,
+        reset_per_op: 2e-4,
+        sag_per_op: 1e-3,
+        sag_factor: 1.5,
+        tear_per_commit: 0.1,
+        corrupt_per_restore: 0.25,
+    };
+    let matrix = ScenarioMatrix::new()
+        .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+        .strategies(vec![Strategy::Flex])
+        .faults(vec![FaultSpec::none(), storm])
+        .calibration(CalibrationConfig {
+            samples: 4,
+            percentile: 0.9,
+        });
+    let (digest, by_fault) = FleetRunner::builder()
+        .workers(2)
+        .sink((DigestSink::new(), GroupBySink::new(GroupAxis::Fault)))
+        .run(&matrix)
+        .unwrap();
+    assert_eq!(digest.scenarios, 4);
+    assert!(digest.resilience.faulted_runs > 0);
+    assert_eq!(digest.resilience.silent_corruptions, 0);
+
+    for shard_size in [4, 2, 1] {
+        let report = ShardCoordinator::new(shard_size)
+            .concurrency(2)
+            .worker_threads(2)
+            .backoff(Duration::from_millis(10))
+            .group_by(vec![GroupAxis::Fault])
+            .worker_command(WORKER, Vec::new())
+            .run(&matrix)
+            .unwrap();
+        assert!(report.is_complete(), "shard_size {shard_size}: {report}");
+        assert_eq!(report.digest, digest, "shard_size {shard_size}");
+        assert_eq!(
+            report.grouped,
+            vec![by_fault.clone()],
+            "shard_size {shard_size}"
+        );
+    }
 }
 
 #[test]
