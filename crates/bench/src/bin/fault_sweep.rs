@@ -150,6 +150,7 @@ fn main() {
         sag_factor: 1.5,
         tear_per_commit: 0.1,
         corrupt_per_restore: 0.25,
+        burst_len: 0,
     };
     let faulted_matrix = ScenarioMatrix::new()
         .environments(catalog::all())

@@ -79,6 +79,23 @@ impl Environment {
             capacitor: self.capacitor.clone(),
         }
     }
+
+    /// The same environment with its harvested power attenuated by
+    /// `factor` (see [`Harvester::scaled`]) — a device's share of a
+    /// shared RF field. The capacitor and name are untouched; scaling
+    /// by exactly `1.0` returns a bit-identical environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and non-negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Environment {
+            name: self.name.clone(),
+            harvester: self.harvester.scaled(factor),
+            capacitor: self.capacitor.clone(),
+        }
+    }
 }
 
 impl fmt::Display for Environment {
@@ -98,6 +115,17 @@ mod tests {
         assert_eq!(supply.capacitor().volts(), supply.capacitor().v_on());
         assert_eq!(env.name(), "test");
         assert!(env.to_string().contains("test"));
+    }
+
+    #[test]
+    fn scaling_attenuates_the_harvester_only() {
+        let env = Environment::new("lab", Harvester::constant(0.002), Capacitor::paper_100uf());
+        let far = env.scaled(0.25);
+        assert_eq!(far.name(), "lab");
+        assert_eq!(far.capacitor(), env.capacitor());
+        assert_eq!(far.average_power(), 0.0005);
+        // Unit scale is the bitwise identity.
+        assert_eq!(env.scaled(1.0), env);
     }
 
     #[test]

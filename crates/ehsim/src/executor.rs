@@ -2071,6 +2071,7 @@ mod tests {
             sag_factor: 1.5,
             tear_per_commit: 0.2,
             corrupt_per_restore: 0.25,
+            burst_len: 0,
         }
     }
 
@@ -2231,6 +2232,7 @@ mod tests {
             sag_factor: 1.0,
             tear_per_commit: 0.0,
             corrupt_per_restore: 1.0,
+            burst_len: 0,
         };
         let fault = FaultPlan::compile(&spec);
         let mut board = Board::msp430fr5994();

@@ -37,6 +37,15 @@ pub struct FaultSpec {
     pub tear_per_commit: f64,
     /// Probability that a restore reads a corrupt slot.
     pub corrupt_per_restore: f64,
+    /// Correlated-burst length for op faults. `0` or `1` keeps the
+    /// classic i.i.d. stream bit-identically. `L >= 2` makes storms:
+    /// the per-draw *onset* probability drops to `rate / L`, and each
+    /// onset is followed by `L - 1` forced repeats of the same fault on
+    /// the next op draws, so the long-run rate still tracks the spec
+    /// but faults arrive in seeded clusters — the bursty interference a
+    /// real RF deployment sees. Commit tears and restore corruptions
+    /// stay i.i.d. (their draws are orders of magnitude rarer).
+    pub burst_len: u32,
 }
 
 impl FaultSpec {
@@ -49,6 +58,7 @@ impl FaultSpec {
             sag_factor: 1.0,
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
+            burst_len: 0,
         }
     }
 
@@ -82,11 +92,13 @@ impl FaultSpec {
     }
 
     /// Deterministic short label for scenario names and report rows.
+    /// The burst suffix only appears when storms are armed, so every
+    /// pre-burst label is unchanged.
     pub fn label(&self) -> String {
         if self.is_none() {
             return "none".to_owned();
         }
-        format!(
+        let mut label = format!(
             "f{}:r{}:s{}x{}:t{}:c{}",
             self.seed,
             self.reset_per_op,
@@ -94,7 +106,11 @@ impl FaultSpec {
             self.sag_factor,
             self.tear_per_commit,
             self.corrupt_per_restore
-        )
+        );
+        if self.burst_len >= 2 {
+            label.push_str(&format!(":b{}", self.burst_len));
+        }
+        label
     }
 }
 
@@ -149,6 +165,7 @@ pub struct FaultPlan {
     tear_t: u64,
     corrupt_t: u64,
     sag_factor: f64,
+    burst_len: u32,
     enabled: bool,
 }
 
@@ -161,18 +178,35 @@ impl FaultPlan {
         tear_t: 0,
         corrupt_t: 0,
         sag_factor: 1.0,
+        burst_len: 0,
         enabled: false,
     };
 
     /// Compiles a validated spec. A spec with all-zero rates compiles to
     /// a disabled plan (bit-identical execution to [`FaultPlan::NONE`]).
+    ///
+    /// With `burst_len >= 2` the op-fault thresholds compile to the
+    /// storm *onset* probability `p = r / (L − r·(L − 1))` — the
+    /// renewal-theory inverse of the storm process, where each onset
+    /// consumes `L` draws and delivers `L` faults while a quiet draw
+    /// consumes one: the long-run fault rate then equals the spec's `r`
+    /// exactly for a single fault kind (reset and sag storms interact
+    /// marginally when both rates are large).
     pub fn compile(spec: &FaultSpec) -> Self {
         let threshold = |rate: f64| -> u64 {
             let t = (rate * 4_294_967_296.0).round();
             t.clamp(0.0, 4_294_967_296.0) as u64
         };
-        let reset_t = threshold(spec.reset_per_op);
-        let sag_t = threshold(spec.sag_per_op);
+        let onset = |rate: f64| -> f64 {
+            if spec.burst_len >= 2 {
+                let l = spec.burst_len as f64;
+                rate / (l - rate * (l - 1.0))
+            } else {
+                rate
+            }
+        };
+        let reset_t = threshold(onset(spec.reset_per_op));
+        let sag_t = threshold(onset(spec.sag_per_op));
         let tear_t = threshold(spec.tear_per_commit);
         let corrupt_t = threshold(spec.corrupt_per_restore);
         FaultPlan {
@@ -182,6 +216,7 @@ impl FaultPlan {
             tear_t,
             corrupt_t,
             sag_factor: spec.sag_factor,
+            burst_len: spec.burst_len,
             enabled: reset_t > 0 || sag_t > 0 || tear_t > 0 || corrupt_t > 0,
         }
     }
@@ -197,6 +232,7 @@ impl FaultPlan {
             tear_t: 0,
             corrupt_t: 0,
             sag_factor: 1.0,
+            burst_len: 0,
             enabled: true,
         }
     }
@@ -222,22 +258,40 @@ impl FaultPlan {
     /// Fresh decision stream for one run.
     #[inline]
     pub fn state(&self) -> FaultState {
-        FaultState { state: self.seed }
+        FaultState {
+            state: self.seed,
+            storm_left: 0,
+            storm_kind: OpFault::None,
+        }
     }
 
     /// One draw per op attempt. Reset takes precedence over sag: the low
     /// 32 bits decide reset, the high 32 bits decide sag, so a single
     /// draw serves both without correlation between them.
+    ///
+    /// The stream *always* advances by exactly one draw per call —
+    /// including while a storm forces repeats — so burst and i.i.d.
+    /// specs consume the decision stream at identical logical points
+    /// and the planned/reference parity guarantee is untouched.
     #[inline]
     pub fn op_fault(&self, state: &mut FaultState) -> OpFault {
         let draw = state.next();
-        if (draw & 0xFFFF_FFFF) < self.reset_t {
+        if state.storm_left > 0 {
+            state.storm_left -= 1;
+            return state.storm_kind;
+        }
+        let fault = if (draw & 0xFFFF_FFFF) < self.reset_t {
             OpFault::Reset
         } else if (draw >> 32) < self.sag_t {
             OpFault::Sag
         } else {
             OpFault::None
+        };
+        if fault != OpFault::None && self.burst_len >= 2 {
+            state.storm_left = self.burst_len - 1;
+            state.storm_kind = fault;
         }
+        fault
     }
 
     /// One draw per *successful* checkpoint commit.
@@ -253,10 +307,13 @@ impl FaultPlan {
     }
 }
 
-/// Per-run cursor into the SplitMix64 decision stream.
+/// Per-run cursor into the SplitMix64 decision stream, plus the storm
+/// countdown for correlated-burst specs (always zero for i.i.d. specs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultState {
     state: u64,
+    storm_left: u32,
+    storm_kind: OpFault,
 }
 
 impl FaultState {
@@ -389,6 +446,7 @@ mod tests {
             sag_factor: 1.0,
             tear_per_commit: 1.0,
             corrupt_per_restore: 0.0,
+            burst_len: 0,
         };
         let plan = FaultPlan::compile(&spec);
         let mut state = plan.state();
@@ -408,6 +466,7 @@ mod tests {
             sag_factor: 1.5,
             tear_per_commit: 0.2,
             corrupt_per_restore: 0.3,
+            burst_len: 0,
         };
         let plan = FaultPlan::compile(&spec);
         let mut a = plan.state();
@@ -428,6 +487,7 @@ mod tests {
             sag_factor: 1.0,
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
+            burst_len: 0,
         };
         let plan_a = FaultPlan::compile(&base);
         let plan_b = FaultPlan::compile(&FaultSpec { seed: 2, ..base });
@@ -452,6 +512,7 @@ mod tests {
             sag_factor: 1.0,
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
+            burst_len: 0,
         };
         let plan = FaultPlan::compile(&spec);
         let mut state = plan.state();
@@ -490,6 +551,7 @@ mod tests {
             sag_factor: 2.0,
             tear_per_commit: 0.03,
             corrupt_per_restore: 0.04,
+            burst_len: 0,
         };
         assert_eq!(a.label(), "f3:r0.01:s0.02x2:t0.03:c0.04");
         let b = FaultSpec { seed: 4, ..a };
@@ -498,6 +560,112 @@ mod tests {
         assert_eq!(FaultKind::TornCommit.label(), "torn_commit");
         assert_eq!(FaultKind::CorruptRestore.label(), "corrupt_restore");
         assert_eq!(FaultKind::VoltageSag.label(), "voltage_sag");
+    }
+
+    #[test]
+    fn burst_len_one_is_bit_identical_to_iid() {
+        let iid = FaultSpec {
+            seed: 11,
+            reset_per_op: 0.05,
+            sag_per_op: 0.1,
+            sag_factor: 1.5,
+            tear_per_commit: 0.02,
+            corrupt_per_restore: 0.01,
+            burst_len: 0,
+        };
+        let plan_a = FaultPlan::compile(&iid);
+        let plan_b = FaultPlan::compile(&FaultSpec {
+            burst_len: 1,
+            ..iid
+        });
+        let mut a = plan_a.state();
+        let mut b = plan_b.state();
+        for _ in 0..10_000 {
+            assert_eq!(plan_a.op_fault(&mut a), plan_b.op_fault(&mut b));
+            assert_eq!(plan_a.tears(&mut a), plan_b.tears(&mut b));
+            assert_eq!(plan_a.corrupts(&mut a), plan_b.corrupts(&mut b));
+        }
+    }
+
+    #[test]
+    fn storms_arrive_in_full_clusters() {
+        let spec = FaultSpec {
+            seed: 21,
+            reset_per_op: 0.02,
+            sag_per_op: 0.02,
+            sag_factor: 2.0,
+            tear_per_commit: 0.0,
+            corrupt_per_restore: 0.0,
+            burst_len: 8,
+        };
+        let plan = FaultPlan::compile(&spec);
+        let mut state = plan.state();
+        let draws: Vec<OpFault> = (0..200_000).map(|_| plan.op_fault(&mut state)).collect();
+        // Every fault belongs to a maximal run whose length is a
+        // multiple of the burst length (onsets can chain back to back),
+        // and each run is a single kind.
+        let mut i = 0;
+        let mut storms = 0u64;
+        while i < draws.len() {
+            if draws[i] == OpFault::None {
+                i += 1;
+                continue;
+            }
+            let kind = draws[i];
+            let mut len = 0usize;
+            while i < draws.len() && draws[i] == kind {
+                len += 1;
+                i += 1;
+            }
+            if i < draws.len() {
+                // Complete runs only: the tail may be a truncated storm.
+                assert_eq!(len % 8, 0, "storm of {kind:?} had length {len}");
+            }
+            storms += 1;
+        }
+        assert!(storms > 50, "expected many storms, saw {storms}");
+    }
+
+    #[test]
+    fn burst_long_run_rate_tracks_the_spec() {
+        let spec = FaultSpec {
+            seed: 5,
+            reset_per_op: 0.2,
+            sag_per_op: 0.0,
+            sag_factor: 1.0,
+            tear_per_commit: 0.0,
+            corrupt_per_restore: 0.0,
+            burst_len: 10,
+        };
+        let plan = FaultPlan::compile(&spec);
+        let mut state = plan.state();
+        let n = 400_000;
+        let hits = (0..n)
+            .filter(|_| plan.op_fault(&mut state) == OpFault::Reset)
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.02,
+            "bursty empirical reset rate {rate} should stay near 0.2"
+        );
+    }
+
+    #[test]
+    fn burst_label_suffix_only_appears_when_armed() {
+        let mut spec = FaultSpec {
+            seed: 3,
+            reset_per_op: 0.01,
+            sag_per_op: 0.0,
+            sag_factor: 1.0,
+            tear_per_commit: 0.0,
+            corrupt_per_restore: 0.0,
+            burst_len: 0,
+        };
+        assert!(!spec.label().contains(":b"));
+        spec.burst_len = 1;
+        assert!(!spec.label().contains(":b"));
+        spec.burst_len = 6;
+        assert!(spec.label().ends_with(":b6"), "{}", spec.label());
     }
 
     #[test]

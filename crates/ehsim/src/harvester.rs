@@ -228,6 +228,57 @@ impl Harvester {
         }
     }
 
+    /// The same waveform with every power level multiplied by `factor`
+    /// — the shape (periods, duties, slots, seeds) is untouched, only
+    /// the wattage scales. This is how a shared RF field imposes
+    /// per-device path loss: each device sees the common waveform
+    /// attenuated by its own gain. Scaling by exactly `1.0` returns a
+    /// bit-identical waveform (IEEE multiplication by one is exact), so
+    /// a lossless device is indistinguishable from an unscaled one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and non-negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "scale factor must be finite and non-negative"
+        );
+        match self {
+            Harvester::Constant { watts } => Harvester::Constant {
+                watts: watts * factor,
+            },
+            Harvester::Square {
+                watts,
+                period_s,
+                duty,
+            } => Harvester::Square {
+                watts: watts * factor,
+                period_s: *period_s,
+                duty: *duty,
+            },
+            Harvester::Sine { watts, period_s } => Harvester::Sine {
+                watts: watts * factor,
+                period_s: *period_s,
+            },
+            Harvester::Bursts {
+                watts,
+                slot_s,
+                p_on,
+                seed,
+            } => Harvester::Bursts {
+                watts: watts * factor,
+                slot_s: *slot_s,
+                p_on: *p_on,
+                seed: *seed,
+            },
+            Harvester::Trace { segments } => Harvester::Trace {
+                segments: segments.iter().map(|&(d, w)| (d, w * factor)).collect(),
+            },
+        }
+    }
+
     /// `true` for waveforms with re-seedable randomness (the burst
     /// source). Non-stochastic waveforms are pure functions of time —
     /// [`with_seed`](Self::with_seed) leaves them untouched — so any run
@@ -1067,6 +1118,33 @@ mod tests {
         assert_ne!(b, reseeded);
         let sq = Harvester::square(0.004, 0.05, 0.5);
         assert_eq!(sq.with_seed(99), sq);
+    }
+
+    #[test]
+    fn scaled_multiplies_power_and_preserves_shape() {
+        let waveforms = [
+            Harvester::constant(0.002),
+            Harvester::square(0.004, 0.05, 0.25),
+            Harvester::sine(0.002, 0.2),
+            Harvester::bursts(0.003, 0.01, 0.5, 7),
+            Harvester::trace(vec![(0.02, 0.003), (0.08, 0.0002)]),
+        ];
+        for h in &waveforms {
+            let half = h.scaled(0.5);
+            for t in [0.0, 0.013, 0.11, 2.7] {
+                assert_eq!(half.power_at(t), h.power_at(t) * 0.5, "{h} at t={t}");
+            }
+            // Scaling by exactly one is the identity, bit for bit.
+            assert_eq!(h.scaled(1.0), *h, "{h}");
+            // The dead scale yields a dead source.
+            assert_eq!(h.scaled(0.0).average_power(), 0.0, "{h}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn scaled_rejects_negative_factors() {
+        let _ = Harvester::constant(0.002).scaled(-1.0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod harvester;
 mod plan;
 mod probe;
 mod program;
+mod timeline;
 
 pub use capacitor::Capacitor;
 pub use environment::Environment;
@@ -59,6 +60,7 @@ pub use harvester::{Harvester, TraceError};
 pub use plan::{ExecutionPlan, PlannedCost};
 pub use probe::{EventRing, ExecEvent, ExecPhase, ExecProbe, NullProbe, SpanTimer};
 pub use program::{CheckpointSpec, Program, ProgramOp};
+pub use timeline::{RunTimeline, TimelineRecorder};
 
 use ehdl_device::{Board, Cost};
 

@@ -26,6 +26,13 @@
 //! finished first. Same matrix ⇒ identical sink report (dense or
 //! digest, bit for bit) at any worker count.
 //!
+//! Networked scenarios ride the same pipeline: a [`NetworkTopology`]
+//! axis splits one RF harvest field across a fleet of devices, a
+//! duty-cycled gateway polls them round-robin, and the resulting
+//! [`SloTally`] — served fraction, staleness percentiles, starvation —
+//! folds into the [`FleetDigest`] like every other counter. A
+//! single-device topology reproduces the solo executor bit for bit.
+//!
 //! ```
 //! use ehdl::ehsim::catalog;
 //! use ehdl::Strategy;
@@ -66,9 +73,10 @@ mod wire;
 
 pub use digest::{QuantileFidelity, StatsDigest};
 pub use ehdl::ehsim::{FaultSpec, FaultTally};
+pub use ehdl_netsim::{NetworkTopology, SharedField, SloOutcome, TopologyError, WorldSim};
 pub use metrics::{
     CsvSink, DigestSink, FleetDigest, FullReportSink, GroupAxis, GroupBySink, GroupedDigest,
-    JsonlSink, MetricsSink, ResilienceTally, RunRecord,
+    JsonlSink, MetricsSink, ResilienceTally, RunRecord, SloTally,
 };
 pub use profile::{CacheCounters, CacheStats, PhaseProfile};
 pub use report::{percentile, FleetReport, ScenarioReport};

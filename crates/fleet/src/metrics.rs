@@ -30,6 +30,7 @@ use crate::scenario::Scenario;
 use core::fmt;
 use ehdl::ehsim::{FaultTally, RunOutcome, RunReport};
 use ehdl::Error;
+use ehdl_netsim::SloOutcome;
 use std::io::Write;
 
 /// One telemetry event: the facts of a single intermittent run
@@ -74,6 +75,14 @@ pub trait MetricsSink {
     /// function (no `self`): workers fold without touching the sink.
     fn fold(partial: &mut Self::Partial, record: &RunRecord<'_>);
 
+    /// Folds one networked scenario's gateway-poll outcome into the
+    /// accumulator. Called at most once per scenario, after every
+    /// [`fold`](MetricsSink::fold) of that scenario and only when the
+    /// scenario's topology is networked (solo scenarios never produce
+    /// an [`SloOutcome`]). The default is a no-op so run-oriented sinks
+    /// (rows, reports) are untouched by the network layer.
+    fn fold_slo(_partial: &mut Self::Partial, _outcome: &SloOutcome) {}
+
     /// Absorbs a completed scenario's accumulator. Called on the
     /// coordinating thread in matrix order — this is where per-worker
     /// results serialize into a deterministic aggregate, and where
@@ -109,6 +118,11 @@ impl<A: MetricsSink, B: MetricsSink> MetricsSink for (A, B) {
     fn fold(partial: &mut Self::Partial, record: &RunRecord<'_>) {
         A::fold(&mut partial.0, record);
         B::fold(&mut partial.1, record);
+    }
+
+    fn fold_slo(partial: &mut Self::Partial, outcome: &SloOutcome) {
+        A::fold_slo(&mut partial.0, outcome);
+        B::fold_slo(&mut partial.1, outcome);
     }
 
     fn merge(&mut self, partial: Self::Partial) -> Result<(), Error> {
@@ -164,6 +178,7 @@ impl MetricsSink for FullReportSink {
             active_seconds: 0.0,
             charging_seconds: 0.0,
             latencies_ms: Vec::new(),
+            resilience: ResilienceTally::default(),
         }
     }
 
@@ -181,6 +196,7 @@ impl MetricsSink for FullReportSink {
         if r.outcome == RunOutcome::EnergyLimit {
             partial.energy_limited_runs += 1;
         }
+        partial.resilience.fold_run(r);
         if let Some(ms) = r.latency_ms() {
             partial.completed_runs += 1;
             partial.latencies_ms.push(ms);
@@ -252,6 +268,75 @@ pub struct FleetDigest {
     /// Fault-injection resilience counters, folded from each run's
     /// [`FaultTally`]. All-zero on fault-free sweeps.
     pub resilience: ResilienceTally,
+    /// Gateway service-level counters, folded from each networked
+    /// scenario's [`SloOutcome`]. Empty on solo-topology sweeps.
+    pub slo: SloTally,
+}
+
+/// Fleet-wide gateway service-level tally: how many polls the fleet's
+/// devices answered, how the misses split between asleep and stale,
+/// and a mergeable sketch of served-result staleness. Folded once per
+/// networked scenario from its [`SloOutcome`]; solo scenarios
+/// contribute nothing. Merged field-wise, so it composes across
+/// workers and shards exactly like the rest of [`FleetDigest`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloTally {
+    /// Networked scenarios (simulated worlds) folded.
+    pub worlds: u64,
+    /// Device slots across those worlds.
+    pub devices: u64,
+    /// Gateway polls issued.
+    pub polls: u64,
+    /// Polls answered with a fresh result.
+    pub served: u64,
+    /// Polls that found the target device dark (charging).
+    pub missed_asleep: u64,
+    /// Polls that found the device awake but its newest result older
+    /// than the freshness window (or no result at all).
+    pub missed_stale: u64,
+    /// Devices that answered zero polls in their world — the fleet's
+    /// starvation count under the shared harvest field.
+    pub starved_devices: u64,
+    /// Staleness of each served result, in seconds (poll time minus
+    /// the served inference's completion time).
+    pub staleness_s: StatsDigest,
+}
+
+impl SloTally {
+    /// Merges `other` into `self` (field-wise sums; sketches merge).
+    pub fn merge(&mut self, other: &SloTally) {
+        self.worlds += other.worlds;
+        self.devices += other.devices;
+        self.polls += other.polls;
+        self.served += other.served;
+        self.missed_asleep += other.missed_asleep;
+        self.missed_stale += other.missed_stale;
+        self.starved_devices += other.starved_devices;
+        self.staleness_s.merge(&other.staleness_s);
+    }
+
+    /// Folds one networked scenario's gateway outcome.
+    pub(crate) fn fold_outcome(&mut self, outcome: &SloOutcome) {
+        self.worlds += 1;
+        self.devices += u64::from(outcome.devices);
+        self.polls += outcome.polls;
+        self.served += outcome.served;
+        self.missed_asleep += outcome.missed_asleep;
+        self.missed_stale += outcome.missed_stale;
+        self.starved_devices += outcome.starved_devices;
+        for &s in &outcome.staleness_s {
+            self.staleness_s.record(s);
+        }
+    }
+
+    /// Fraction of polls served fresh (0.0 when no polls).
+    pub fn served_fraction(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.polls as f64
+        }
+    }
 }
 
 /// Fleet-wide resilience counters for fault-injected sweeps: how many
@@ -354,6 +439,7 @@ impl FleetDigest {
         self.accuracy.merge(&other.accuracy);
         self.dark_s.merge(&other.dark_s);
         self.resilience.merge(&other.resilience);
+        self.slo.merge(&other.slo);
     }
 
     /// Folds one run's facts (shared by [`DigestSink`], [`GroupBySink`]
@@ -420,13 +506,33 @@ impl FleetDigest {
         self.latency_ms.quantile_fidelity()
     }
 
+    /// The digest as canonical single-line JSON — the shard wire
+    /// encoding, floats carried as bit-exact hex. Two digests serialize
+    /// to identical bytes iff they are equal, so the string (or a hash
+    /// of it) doubles as a determinism checksum for bench harnesses and
+    /// CI smoke jobs.
+    pub fn to_json(&self) -> String {
+        crate::wire::digest_json(self)
+    }
+
+    /// Rebuilds a digest from [`to_json`](Self::to_json)'s output —
+    /// bit-identical, sketches included.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first syntax or schema error.
+    pub fn from_json(text: &str) -> Result<FleetDigest, String> {
+        crate::wire::digest_from(&crate::wire::Json::parse(text)?)
+    }
+
     /// Bytes this digest retains — a constant, however many scenarios
     /// were folded (the O(1)-memory claim, measurable).
     pub fn memory_bytes(&self) -> usize {
-        core::mem::size_of::<Self>() - 3 * core::mem::size_of::<StatsDigest>()
+        core::mem::size_of::<Self>() - 4 * core::mem::size_of::<StatsDigest>()
             + self.latency_ms.memory_bytes()
             + self.accuracy.memory_bytes()
             + self.dark_s.memory_bytes()
+            + self.slo.staleness_s.memory_bytes()
     }
 }
 
@@ -491,6 +597,23 @@ impl fmt::Display for FleetDigest {
                 r.silent_corruptions
             )?;
         }
+        let s = &self.slo;
+        if s.polls > 0 {
+            writeln!(
+                f,
+                "gateway: {}/{} polls served ({:.1}%), {} asleep, {} stale, \
+                 staleness p50 {:.3} s / p99 {:.3} s, {} starved of {} devices",
+                s.served,
+                s.polls,
+                s.served_fraction() * 100.0,
+                s.missed_asleep,
+                s.missed_stale,
+                s.staleness_s.p50().unwrap_or(0.0),
+                s.staleness_s.p99().unwrap_or(0.0),
+                s.starved_devices,
+                s.devices
+            )?;
+        }
         if self.latency_fidelity().tail_collapsed() {
             writeln!(
                 f,
@@ -539,6 +662,10 @@ impl MetricsSink for DigestSink {
         partial.fold_run(record);
     }
 
+    fn fold_slo(partial: &mut FleetDigest, outcome: &SloOutcome) {
+        partial.slo.fold_outcome(outcome);
+    }
+
     fn merge(&mut self, partial: FleetDigest) -> Result<(), Error> {
         self.digest.merge(&partial);
         Ok(())
@@ -571,6 +698,11 @@ pub enum GroupAxis {
     /// baseline next to each fault profile (compare recovery rate and
     /// wasted work per schedule).
     Fault,
+    /// Group by network topology label — one digest per
+    /// [`NetworkTopology`](crate::NetworkTopology) axis value, which
+    /// puts the solo baseline next to each fleet layout (compare
+    /// completion and gateway service per topology).
+    Topology,
 }
 
 impl GroupAxis {
@@ -583,6 +715,7 @@ impl GroupAxis {
             GroupAxis::Workload => scenario.workload.name().to_string(),
             GroupAxis::EnergyBudget => budget_label(scenario.energy_budget_nj),
             GroupAxis::Fault => scenario.fault.label(),
+            GroupAxis::Topology => scenario.topology.label(),
         }
     }
 
@@ -595,6 +728,7 @@ impl GroupAxis {
             GroupAxis::Workload => "workload",
             GroupAxis::EnergyBudget => "energy_budget",
             GroupAxis::Fault => "fault",
+            GroupAxis::Topology => "topology",
         }
     }
 
@@ -608,6 +742,7 @@ impl GroupAxis {
             GroupAxis::Workload,
             GroupAxis::EnergyBudget,
             GroupAxis::Fault,
+            GroupAxis::Topology,
         ]
         .into_iter()
         .find(|a| a.name() == name)
@@ -709,6 +844,10 @@ impl MetricsSink for GroupBySink {
         partial.1.fold_run(record);
     }
 
+    fn fold_slo(partial: &mut (String, FleetDigest), outcome: &SloOutcome) {
+        partial.1.slo.fold_outcome(outcome);
+    }
+
     fn merge(&mut self, (key, partial): (String, FleetDigest)) -> Result<(), Error> {
         match self.groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, digest)) => digest.merge(&partial),
@@ -729,7 +868,7 @@ impl MetricsSink for GroupBySink {
 
 /// The row fields shared by [`JsonlSink`] and [`CsvSink`], in column
 /// order.
-fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 21] {
+fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 22] {
     let s = record.scenario;
     let r = record.report;
     [
@@ -745,6 +884,7 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 21] {
                 .map_or(String::new(), |nj| nj.to_string()),
         ),
         ("fault", s.fault.label()),
+        ("topology", s.topology.label()),
         ("run", record.run.to_string()),
         ("outcome", r.outcome.label().to_string()),
         ("accuracy", record.accuracy.to_string()),
@@ -768,7 +908,7 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 21] {
 fn json_is_string(name: &str) -> bool {
     matches!(
         name,
-        "workload" | "environment" | "strategy" | "board" | "fault" | "outcome"
+        "workload" | "environment" | "strategy" | "board" | "fault" | "topology" | "outcome"
     )
 }
 
@@ -893,7 +1033,7 @@ impl<W: Write> CsvSink<W> {
 }
 
 /// The CSV column names, in order (matches [`row_fields`]).
-const CSV_COLUMNS: [&str; 21] = [
+const CSV_COLUMNS: [&str; 22] = [
     "scenario",
     "workload",
     "environment",
@@ -902,6 +1042,7 @@ const CSV_COLUMNS: [&str; 21] = [
     "seed",
     "energy_budget_nj",
     "fault",
+    "topology",
     "run",
     "outcome",
     "accuracy",
@@ -1186,6 +1327,7 @@ mod tests {
                 "strategy",
                 "board",
                 "fault",
+                "topology",
                 "outcome"
             ]
         );
@@ -1248,6 +1390,75 @@ mod tests {
         assert_eq!(digest.resilience, ResilienceTally::default());
         assert_eq!(digest.resilience.recovery_rate(), 1.0);
         assert!(!digest.to_string().contains("resilience:"));
+    }
+
+    #[test]
+    fn slo_tally_folds_gateway_outcomes_into_the_digest() {
+        let scenarios = ScenarioMatrix::new().scenarios();
+        let sink = DigestSink::new();
+        let mut partial = sink.open(&scenarios[0], 0.9);
+        let outcome = SloOutcome {
+            devices: 4,
+            polls: 10,
+            served: 7,
+            missed_asleep: 2,
+            missed_stale: 1,
+            starved_devices: 1,
+            staleness_s: vec![0.5, 1.0, 1.5, 0.5, 2.0, 1.0, 0.5],
+        };
+        DigestSink::fold_slo(&mut partial, &outcome);
+        let mut sink = sink;
+        sink.merge(partial).unwrap();
+        let digest = sink.finish().unwrap();
+        let s = &digest.slo;
+        assert_eq!(s.worlds, 1);
+        assert_eq!(s.devices, 4);
+        assert_eq!(s.polls, 10);
+        assert_eq!(s.served, 7);
+        assert_eq!(s.missed_asleep, 2);
+        assert_eq!(s.missed_stale, 1);
+        assert_eq!(s.starved_devices, 1);
+        assert_eq!(s.staleness_s.count(), 7);
+        assert!((s.served_fraction() - 0.7).abs() < 1e-12);
+        let text = digest.to_string();
+        assert!(text.contains("gateway: 7/10 polls served"), "{text}");
+        // Merging sums counters and merges the staleness sketch.
+        let mut doubled = digest.clone();
+        doubled.merge(&digest);
+        assert_eq!(doubled.slo.polls, 20);
+        assert_eq!(doubled.slo.staleness_s.count(), 14);
+        // The extra sketch stays inside the O(1) memory accounting.
+        assert!(digest.memory_bytes() >= digest.slo.staleness_s.memory_bytes());
+    }
+
+    #[test]
+    fn solo_digest_report_omits_the_gateway_line() {
+        let digest = drive(DigestSink::new());
+        assert_eq!(digest.slo, SloTally::default());
+        assert_eq!(digest.slo.served_fraction(), 0.0);
+        assert!(!digest.to_string().contains("gateway:"));
+    }
+
+    #[test]
+    fn topology_axis_groups_by_topology_label() {
+        use ehdl_netsim::NetworkTopology;
+        let scenarios = ScenarioMatrix::new()
+            .topologies(vec![
+                NetworkTopology::solo(),
+                NetworkTopology::line(4, 1.0, 0.5),
+            ])
+            .scenarios();
+        let mut sink = GroupBySink::new(GroupAxis::Topology);
+        for scenario in &scenarios {
+            let partial = sink.open(scenario, 0.5);
+            sink.merge(partial).unwrap();
+        }
+        let grouped = sink.finish().unwrap();
+        assert_eq!(grouped.groups.len(), 2);
+        assert_eq!(grouped.groups[0].0, "solo");
+        assert!(grouped.groups[1].0.starts_with("n4:"));
+        assert_eq!(GroupAxis::Topology.name(), "topology");
+        assert_eq!(GroupAxis::parse("topology"), Some(GroupAxis::Topology));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Deterministic fleet reports and percentile aggregation.
 
+use crate::metrics::ResilienceTally;
 use core::fmt;
 use ehdl::Strategy;
 
@@ -62,6 +63,9 @@ pub struct ScenarioReport {
     /// End-to-end wall-clock latency of each **completed** run, in
     /// milliseconds, ascending.
     pub latencies_ms: Vec<f64>,
+    /// Fault-injection resilience counters folded from this scenario's
+    /// runs. All-zero on fault-free sweeps.
+    pub resilience: ResilienceTally,
 }
 
 impl ScenarioReport {
@@ -177,6 +181,20 @@ impl FleetReport {
         percentile(&self.latencies_ms(), p)
     }
 
+    /// One summed [`ResilienceTally`] per strategy, in first-appearance
+    /// (matrix) order — which checkpointing discipline actually
+    /// survives injected faults, straight off the default report.
+    pub fn resilience_by_strategy(&self) -> Vec<(Strategy, ResilienceTally)> {
+        let mut groups: Vec<(Strategy, ResilienceTally)> = Vec::new();
+        for s in &self.scenarios {
+            match groups.iter_mut().find(|(st, _)| *st == s.strategy) {
+                Some((_, tally)) => tally.merge(&s.resilience),
+                None => groups.push((s.strategy, s.resilience)),
+            }
+        }
+        groups
+    }
+
     /// Approximate bytes this dense report retains: per-scenario
     /// structs, their owned strings and every per-run latency sample —
     /// the linear growth the digest sinks exist to avoid.
@@ -234,7 +252,38 @@ impl fmt::Display for FleetReport {
             percentile(&lat, 90.0).unwrap_or(0.0),
             percentile(&lat, 99.0).unwrap_or(0.0),
             lat.len()
-        )
+        )?;
+        let groups = self.resilience_by_strategy();
+        if groups.iter().any(|(_, t)| t.faulted_runs > 0) {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>9} {:>8} {:>7} {:>6} {:>8} {:>7}",
+                "resilience",
+                "recovered",
+                "faulted",
+                "resets",
+                "tears",
+                "sags",
+                "corrupt",
+                "silent"
+            )?;
+            for (strategy, t) in &groups {
+                writeln!(
+                    f,
+                    "{:<12} {:>4}/{:<4} {:>8.1}% {:>8} {:>7} {:>6} {:>8} {:>7}",
+                    strategy.name(),
+                    t.recovered_runs,
+                    t.faulted_runs,
+                    t.recovery_rate() * 100.0,
+                    t.spurious_resets,
+                    t.torn_commits,
+                    t.sag_ops,
+                    t.corrupt_restores,
+                    t.silent_corruptions
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -315,6 +364,7 @@ mod tests {
             active_seconds: 0.1,
             charging_seconds: 0.2,
             latencies_ms,
+            resilience: ResilienceTally::default(),
         }
     }
 
@@ -354,5 +404,43 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("fleet latency"));
         assert!(text.contains("ACE+FLEX"));
+    }
+
+    #[test]
+    fn resilience_footer_appears_only_on_faulted_fleets() {
+        // A fault-free fleet renders no resilience table.
+        let clean = FleetReport {
+            scenarios: vec![tiny_report(vec![1.0])],
+        };
+        assert!(!clean.to_string().contains("resilience"));
+
+        // Two strategies, one faulted each: per-strategy rows in
+        // first-appearance order.
+        let mut a = tiny_report(vec![1.0]);
+        a.resilience.faulted_runs = 4;
+        a.resilience.recovered_runs = 3;
+        a.resilience.spurious_resets = 9;
+        let mut b = tiny_report(vec![2.0]);
+        b.strategy = Strategy::Bare;
+        b.resilience.faulted_runs = 2;
+        b.resilience.recovered_runs = 2;
+        let mut a2 = tiny_report(vec![3.0]);
+        a2.resilience.faulted_runs = 1;
+        a2.resilience.recovered_runs = 0;
+        let report = FleetReport {
+            scenarios: vec![a, b, a2],
+        };
+        let groups = report.resilience_by_strategy();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, Strategy::Flex);
+        assert_eq!(groups[0].1.faulted_runs, 5);
+        assert_eq!(groups[0].1.recovered_runs, 3);
+        assert_eq!(groups[0].1.spurious_resets, 9);
+        assert_eq!(groups[1].0, Strategy::Bare);
+        assert!((groups[1].1.recovery_rate() - 1.0).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("resilience"), "{text}");
+        assert!(text.contains("3/5"), "{text}");
+        assert!(text.contains("2/2"), "{text}");
     }
 }

@@ -6,8 +6,11 @@ use crate::profile::PhaseProfile;
 use crate::report::FleetReport;
 use crate::scenario::{Scenario, ScenarioMatrix, Workload};
 use ehdl::deployment::quantized_accuracy;
-use ehdl::ehsim::{ExecPhase, ExecutionPlan, FaultPlan, IntermittentExecutor, RunTrace};
+use ehdl::ehsim::{
+    ExecPhase, ExecutionPlan, FaultPlan, IntermittentExecutor, RunTrace, TimelineRecorder,
+};
 use ehdl::{BoardSpec, Deployment, Error, Strategy};
+use ehdl_netsim::{DeviceTimeline, SharedField, WorldSim};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -462,18 +465,31 @@ impl FleetRunner {
                             .lock()
                             .expect("sink lock")
                             .open(scenario, deploy.accuracy);
-                        let result = run_scenario::<S>(
-                            scenario,
-                            &deploy,
-                            trace_key,
-                            traces,
-                            &executors[scenario.budget_key],
-                            &fault_plans[scenario.fault_key],
-                            matrix.runs,
-                            self.reference,
-                            &mut partial,
-                            local.as_mut(),
-                        );
+                        let result = if scenario.topology.is_solo() {
+                            run_scenario::<S>(
+                                scenario,
+                                &deploy,
+                                trace_key,
+                                traces,
+                                &executors[scenario.budget_key],
+                                &fault_plans[scenario.fault_key],
+                                matrix.runs,
+                                self.reference,
+                                &mut partial,
+                                local.as_mut(),
+                            )
+                        } else {
+                            run_world_scenario::<S>(
+                                scenario,
+                                &deploy,
+                                &executors[scenario.budget_key],
+                                &fault_plans[scenario.fault_key],
+                                matrix.runs,
+                                self.reference,
+                                &mut partial,
+                                local.as_mut(),
+                            )
+                        };
                         if tx.send((i, result.map(|()| partial))).is_err() {
                             break; // coordinator gone (a sibling panicked)
                         }
@@ -823,6 +839,108 @@ fn run_scenario<S: MetricsSink>(
         if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
             p.record(ExecPhase::SinkFold, t0.elapsed().as_secs_f64());
         }
+    }
+    Ok(())
+}
+
+/// Runs one networked scenario: every device of the topology executes
+/// `runs` intermittent inferences on the scenario's shared deployment
+/// and execution plan, each under its [`SharedField`] share of the
+/// harvest field, while a [`TimelineRecorder`] probe captures the
+/// device's dark intervals and completion times. The assembled
+/// [`WorldSim`] then resolves the gateway's polling schedule into one
+/// `SloOutcome`, folded via [`MetricsSink::fold_slo`].
+///
+/// Devices advance strictly in id order and never interact mid-run —
+/// the field is allocated up front and the gateway only observes
+/// recorded timelines — so the result is a pure function of the
+/// scenario at any worker count. Device 0 keeps the scenario seed
+/// (which is what makes a single-device topology reproduce the solo
+/// executor's records bit for bit); higher ids salt it so no two
+/// devices replay the same stochastic waveform.
+#[allow(clippy::too_many_arguments)]
+fn run_world_scenario<S: MetricsSink>(
+    scenario: &Scenario,
+    deploy: &DeployState,
+    executor: &IntermittentExecutor,
+    fault: &FaultPlan,
+    runs: u32,
+    reference: bool,
+    partial: &mut S::Partial,
+    mut profile: Option<&mut PhaseProfile>,
+) -> Result<(), Error> {
+    let topology = scenario.topology;
+    let field = SharedField::for_topology(&topology);
+    let mut world = WorldSim::new(topology);
+    let mut recorder = TimelineRecorder::new();
+    for device in 0..topology.devices {
+        let scale = field.scale(device);
+        // Scaling by exactly 1.0 is a bitwise identity, but skipping it
+        // keeps the single-device fast path obvious.
+        let env = if scale == 1.0 {
+            scenario.environment.clone()
+        } else {
+            scenario.environment.scaled(scale)
+        };
+        let device_seed = scenario
+            .seed
+            .wrapping_add(u64::from(device).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let mut session = if reference {
+            deploy.deployment.session()
+        } else {
+            deploy
+                .deployment
+                .session_with_plan(Arc::clone(&deploy.plan))
+        };
+        let mut timeline = DeviceTimeline::new();
+        for run in 0..u64::from(runs) {
+            let reseeded;
+            let run_env = if env.is_stochastic() {
+                reseeded = env.reseeded(mix(device_seed, run));
+                &reseeded
+            } else {
+                &env
+            };
+            let mut supply = run_env.supply();
+            let t0 = profile.is_some().then(Instant::now);
+            let r = if reference {
+                session.infer_intermittent_faulted_reference_probed(
+                    executor,
+                    &mut supply,
+                    fault,
+                    &mut recorder,
+                )
+            } else {
+                session.infer_intermittent_faulted_probed(
+                    executor,
+                    &mut supply,
+                    fault,
+                    &mut recorder,
+                )
+            };
+            if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+                p.record(ExecPhase::PlanExec, t0.elapsed().as_secs_f64());
+            }
+            timeline.push_run(&recorder.take());
+            let record = RunRecord {
+                scenario,
+                run: device * runs + run as u32,
+                accuracy: deploy.accuracy,
+                report: &r,
+            };
+            let t0 = profile.is_some().then(Instant::now);
+            S::fold(partial, &record);
+            if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+                p.record(ExecPhase::SinkFold, t0.elapsed().as_secs_f64());
+            }
+        }
+        world.add_device(device, timeline);
+    }
+    let outcome = world.resolve();
+    let t0 = profile.is_some().then(Instant::now);
+    S::fold_slo(partial, &outcome);
+    if let (Some(p), Some(t0)) = (profile, t0) {
+        p.record(ExecPhase::SinkFold, t0.elapsed().as_secs_f64());
     }
     Ok(())
 }

@@ -4,6 +4,7 @@ use ehdl::datasets::Dataset;
 use ehdl::ehsim::{catalog, Environment, ExecutorConfig, FaultSpec};
 use ehdl::nn::Model;
 use ehdl::{BoardSpec, CalibrationConfig, Strategy};
+use ehdl_netsim::NetworkTopology;
 
 /// Which paper workload a scenario deploys: a Table II model together
 /// with a slice of its synthetic dataset substitute. The slice seed
@@ -81,6 +82,12 @@ pub struct Scenario {
     /// ([`FaultSpec::none()`] on the default axis — zero behavior
     /// change).
     pub fault: FaultSpec,
+    /// The networked-world topology this scenario runs under
+    /// ([`NetworkTopology::solo()`] on the default axis — the classic
+    /// single-device path, bit-identically). Non-solo topologies run
+    /// every device of the world through the shared harvest field and
+    /// resolve the gateway's polls into SLO metrics.
+    pub topology: NetworkTopology,
     /// Index of the shared deployment this scenario runs on — scenarios
     /// that differ only in environment or energy budget share one built
     /// deployment.
@@ -97,6 +104,8 @@ pub struct Scenario {
     /// runner keys its compiled [`FaultPlan`](ehdl::ehsim::FaultPlan)s
     /// (and the trace cache) on it.
     pub(crate) fault_key: usize,
+    /// Index of this scenario's entry in the matrix's topology axis.
+    pub(crate) topology_key: usize,
 }
 
 impl Scenario {
@@ -125,6 +134,12 @@ impl Scenario {
         self.fault_key
     }
 
+    /// Index of this scenario's entry in the matrix's topology axis
+    /// (see [`ScenarioMatrix::topologies`]).
+    pub fn topology_key(&self) -> usize {
+        self.topology_key
+    }
+
     /// A stable human-readable name, unique within one matrix.
     pub fn name(&self) -> String {
         let mut name = format!(
@@ -141,6 +156,10 @@ impl Scenario {
         if !self.fault.is_none() {
             name.push('!');
             name.push_str(&self.fault.label());
+        }
+        if !self.topology.is_solo() {
+            name.push('~');
+            name.push_str(&self.topology.label());
         }
         name
     }
@@ -172,6 +191,7 @@ pub struct ScenarioMatrix {
     pub(crate) seeds: Vec<u64>,
     pub(crate) budgets: Vec<Option<f64>>,
     pub(crate) faults: Vec<FaultSpec>,
+    pub(crate) topologies: Vec<NetworkTopology>,
     pub(crate) runs: u32,
     pub(crate) calibration: CalibrationConfig,
     pub(crate) executor: ExecutorConfig,
@@ -194,6 +214,7 @@ impl ScenarioMatrix {
             seeds: vec![0],
             budgets: vec![None],
             faults: vec![FaultSpec::none()],
+            topologies: vec![NetworkTopology::solo()],
             runs: 1,
             calibration: CalibrationConfig::default(),
             executor: ExecutorConfig::default(),
@@ -254,6 +275,19 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the network-topology axis. The default axis is
+    /// `vec![NetworkTopology::solo()]` — one classic single-device
+    /// entry, bit-identical to a matrix without the axis. Non-solo
+    /// entries run their scenarios as networked worlds: every device
+    /// shares the environment's harvest field through per-device path
+    /// loss, a gateway polls for results, and the digest picks up SLO
+    /// metrics; group by [`GroupAxis::Topology`](crate::GroupAxis) to
+    /// compare service levels across fleet shapes.
+    pub fn topologies(mut self, topologies: Vec<NetworkTopology>) -> Self {
+        self.topologies = topologies;
+        self
+    }
+
     /// Intermittent runs per scenario (default 1). Each run re-seeds the
     /// environment's randomness, so stochastic environments vary per run.
     pub fn runs(mut self, runs: u32) -> Self {
@@ -291,6 +325,12 @@ impl ScenarioMatrix {
         &self.faults
     }
 
+    /// The topology axis, in expansion order (the order
+    /// [`Scenario::topology_key`] indexes).
+    pub fn topology_axis(&self) -> &[NetworkTopology] {
+        &self.topologies
+    }
+
     /// Number of scenarios the matrix expands to.
     pub fn len(&self) -> usize {
         self.environments.len()
@@ -300,6 +340,7 @@ impl ScenarioMatrix {
             * self.seeds.len()
             * self.budgets.len()
             * self.faults.len()
+            * self.topologies.len()
     }
 
     /// `true` if any axis is empty.
@@ -314,14 +355,14 @@ impl ScenarioMatrix {
     }
 
     /// Expands a contiguous slice of the cross-product, in the fixed
-    /// matrix order: workload, board, strategy, seed, fault, budget,
-    /// environment (innermost). Scenarios sharing a (workload, board,
-    /// strategy, seed) prefix share a deployment key — dense over the
-    /// whole matrix, contiguous over any contiguous index range — so
+    /// matrix order: workload, board, strategy, seed, topology, fault,
+    /// budget, environment (innermost). Scenarios sharing a (workload,
+    /// board, strategy, seed) prefix share a deployment key — dense over
+    /// the whole matrix, contiguous over any contiguous index range — so
     /// runners build each deployment once and reuse it across every
-    /// environment, budget and fault schedule. A shard worker expands
-    /// only its own range: memory stays O(shard), not O(matrix), however
-    /// large the sweep.
+    /// environment, budget, fault schedule and topology. A shard worker
+    /// expands only its own range: memory stays O(shard), not O(matrix),
+    /// however large the sweep.
     ///
     /// Indices, keys and scenarios are identical to the corresponding
     /// slice of [`scenarios`](Self::scenarios); out-of-bounds ends are
@@ -333,6 +374,7 @@ impl ScenarioMatrix {
         let ne = self.environments.len();
         let nb = self.budgets.len();
         let nf = self.faults.len();
+        let nt = self.topologies.len();
         let ns = self.seeds.len();
         let nst = self.strategies.len();
         let mut out = Vec::with_capacity(end.saturating_sub(start));
@@ -340,10 +382,11 @@ impl ScenarioMatrix {
             let environment_key = index % ne;
             let budget_key = (index / ne) % nb;
             let fault_key = (index / (ne * nb)) % nf;
-            let seed_i = (index / (ne * nb * nf)) % ns;
-            let strategy_i = (index / (ne * nb * nf * ns)) % nst;
-            let board_i = (index / (ne * nb * nf * ns * nst)) % self.boards.len();
-            let workload_i = index / (ne * nb * nf * ns * nst * self.boards.len());
+            let topology_key = (index / (ne * nb * nf)) % nt;
+            let seed_i = (index / (ne * nb * nf * nt)) % ns;
+            let strategy_i = (index / (ne * nb * nf * nt * ns)) % nst;
+            let board_i = (index / (ne * nb * nf * nt * ns * nst)) % self.boards.len();
+            let workload_i = index / (ne * nb * nf * nt * ns * nst * self.boards.len());
             out.push(Scenario {
                 index,
                 environment: self.environments[environment_key].clone(),
@@ -353,10 +396,12 @@ impl ScenarioMatrix {
                 seed: self.seeds[seed_i],
                 energy_budget_nj: self.budgets[budget_key],
                 fault: self.faults[fault_key],
-                deployment_key: index / (ne * nb * nf),
+                topology: self.topologies[topology_key],
+                deployment_key: index / (ne * nb * nf * nt),
                 environment_key,
                 budget_key,
                 fault_key,
+                topology_key,
             });
         }
         out
@@ -460,6 +505,7 @@ mod tests {
             sag_factor: 1.5,
             tear_per_commit: 0.1,
             corrupt_per_restore: 0.1,
+            burst_len: 0,
         };
         let m = ScenarioMatrix::new()
             .environments(vec![catalog::bench_supply(), catalog::office_rf()])
@@ -477,6 +523,38 @@ mod tests {
         // No-fault names are unchanged; faulted ones append the label.
         assert!(!s[0].name().contains('!'), "{}", s[0].name());
         assert!(s[4].name().contains("!f9:"), "{}", s[4].name());
+        let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn topology_axis_multiplies_the_matrix_and_shares_deployments() {
+        let fleet = NetworkTopology::line(4, 0.5, 0.25);
+        let m = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+            .faults(vec![
+                FaultSpec::none(),
+                FaultSpec {
+                    seed: 1,
+                    reset_per_op: 0.001,
+                    ..FaultSpec::none()
+                },
+            ])
+            .topologies(vec![NetworkTopology::solo(), fleet]);
+        assert_eq!(m.len(), 2 * 2 * 2);
+        let s = m.scenarios();
+        // Topologies sit between seed and fault: the first four
+        // scenarios (2 environments × 2 faults) are solo, the next
+        // four carry the fleet — all on one deployment.
+        assert!(s[..4].iter().all(|sc| sc.topology.is_solo()));
+        assert!(s[4..].iter().all(|sc| sc.topology == fleet));
+        assert!(s.iter().all(|sc| sc.deployment_key == 0));
+        assert_eq!(s[4].topology_key, 1);
+        // Solo names are unchanged; fleet ones append the label.
+        assert!(!s[0].name().contains('~'), "{}", s[0].name());
+        assert!(s[4].name().contains("~n4:"), "{}", s[4].name());
         let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
         names.sort();
         names.dedup();

@@ -854,6 +854,7 @@ fn merge_group(gd: &mut GroupedDigest, record: &ShardRecord) {
         GroupAxis::Workload => &record.workload,
         GroupAxis::EnergyBudget => &record.budget,
         GroupAxis::Fault => &record.fault,
+        GroupAxis::Topology => &record.topology,
     };
     match gd.groups.iter_mut().find(|(k, _)| k == key) {
         Some((_, digest)) => digest.merge(&record.digest),
@@ -1152,12 +1153,17 @@ impl<W: Write + Send> MetricsSink for ShardRecordSink<W> {
             board: scenario.board.name().to_string(),
             budget: budget_label(scenario.energy_budget_nj),
             fault: scenario.fault.label(),
+            topology: scenario.topology.label(),
             digest,
         }
     }
 
     fn fold(partial: &mut ShardRecord, record: &RunRecord<'_>) {
         partial.digest.fold_run(record);
+    }
+
+    fn fold_slo(partial: &mut ShardRecord, outcome: &ehdl_netsim::SloOutcome) {
+        partial.digest.slo.fold_outcome(outcome);
     }
 
     fn merge(&mut self, partial: ShardRecord) -> Result<(), Error> {

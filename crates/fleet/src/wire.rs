@@ -16,19 +16,23 @@
 //! recursive-descent parser ([`Json`]).
 
 use crate::digest::StatsDigest;
-use crate::metrics::{json_escape, FleetDigest, ResilienceTally};
+use crate::metrics::{json_escape, FleetDigest, ResilienceTally, SloTally};
 use crate::profile::{CacheCounters, CacheStats, PhaseProfile};
 use crate::scenario::{ScenarioMatrix, Workload};
 use ehdl::ehsim::{Capacitor, Environment, ExecPhase, ExecutorConfig, FaultSpec, Harvester};
 use ehdl::{BoardSpec, CalibrationConfig, ShardError, Strategy};
+use ehdl_netsim::NetworkTopology;
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
 /// Wire format version stamped into partial headers and frontiers.
 /// Version 2 added the fault-injection axis to matrix specs, the
 /// `fault` label to shard records, the `resilience` block to digests,
-/// and eviction counts to cache counters.
-pub(crate) const WIRE_VERSION: u64 = 2;
+/// and eviction counts to cache counters. Version 3 added the network
+/// topology axis to matrix specs, the `topology` label to shard
+/// records, burst lengths to fault specs, and the `slo` block to
+/// digests.
+pub(crate) const WIRE_VERSION: u64 = 3;
 
 // ------------------------------------------------------------- hashing
 
@@ -532,8 +536,29 @@ pub(crate) fn digest_json(d: &FleetDigest) -> String {
         r.detected_corruptions,
         r.silent_corruptions,
     );
-    out.push('}');
+    let s = &d.slo;
+    let _ = write!(
+        out,
+        ",\"slo\":{{\"worlds\":{},\"devices\":{},\"polls\":{},\"served\":{},\
+         \"missed_asleep\":{},\"missed_stale\":{},\"starved_devices\":{},\"staleness_s\":",
+        s.worlds, s.devices, s.polls, s.served, s.missed_asleep, s.missed_stale, s.starved_devices,
+    );
+    stats_json(&mut out, &s.staleness_s);
+    out.push_str("}}");
     out
+}
+
+fn slo_from(v: &Json) -> Result<SloTally, String> {
+    Ok(SloTally {
+        worlds: field!(v, "worlds", as_u64)?,
+        devices: field!(v, "devices", as_u64)?,
+        polls: field!(v, "polls", as_u64)?,
+        served: field!(v, "served", as_u64)?,
+        missed_asleep: field!(v, "missed_asleep", as_u64)?,
+        missed_stale: field!(v, "missed_stale", as_u64)?,
+        starved_devices: field!(v, "starved_devices", as_u64)?,
+        staleness_s: stats_from(v.req("staleness_s")?)?,
+    })
 }
 
 fn resilience_from(v: &Json) -> Result<ResilienceTally, String> {
@@ -573,6 +598,7 @@ pub(crate) fn digest_from(v: &Json) -> Result<FleetDigest, String> {
         accuracy: stats_from(v.req("accuracy")?)?,
         dark_s: stats_from(v.req("dark_s")?)?,
         resilience: resilience_from(v.req("resilience")?)?,
+        slo: slo_from(v.req("slo")?)?,
     })
 }
 
@@ -593,6 +619,7 @@ pub(crate) struct ShardRecord {
     pub board: String,
     pub budget: String,
     pub fault: String,
+    pub topology: String,
     pub digest: FleetDigest,
 }
 
@@ -600,7 +627,8 @@ impl ShardRecord {
     pub(crate) fn to_line(&self) -> String {
         format!(
             "{{\"scenario\":{},\"workload\":\"{}\",\"environment\":\"{}\",\"strategy\":\"{}\",\
-             \"board\":\"{}\",\"budget\":\"{}\",\"fault\":\"{}\",\"digest\":{}}}",
+             \"board\":\"{}\",\"budget\":\"{}\",\"fault\":\"{}\",\"topology\":\"{}\",\
+             \"digest\":{}}}",
             self.index,
             json_escape(&self.workload),
             json_escape(&self.environment),
@@ -608,6 +636,7 @@ impl ShardRecord {
             json_escape(&self.board),
             json_escape(&self.budget),
             json_escape(&self.fault),
+            json_escape(&self.topology),
             digest_json(&self.digest)
         )
     }
@@ -622,6 +651,7 @@ impl ShardRecord {
             board: field!(v, "board", as_str)?.to_string(),
             budget: field!(v, "budget", as_str)?.to_string(),
             fault: field!(v, "fault", as_str)?.to_string(),
+            topology: field!(v, "topology", as_str)?.to_string(),
             digest: digest_from(v.req("digest")?)?,
         })
     }
@@ -856,13 +886,31 @@ pub(crate) fn matrix_json(m: &ScenarioMatrix) -> Result<String, ShardError> {
         let _ = write!(
             out,
             "{{\"seed\":{},\"reset_per_op\":\"{}\",\"sag_per_op\":\"{}\",\"sag_factor\":\"{}\",\
-             \"tear_per_commit\":\"{}\",\"corrupt_per_restore\":\"{}\"}}",
+             \"tear_per_commit\":\"{}\",\"corrupt_per_restore\":\"{}\",\"burst_len\":{}}}",
             f.seed,
             f64_hex(f.reset_per_op),
             f64_hex(f.sag_per_op),
             f64_hex(f.sag_factor),
             f64_hex(f.tear_per_commit),
             f64_hex(f.corrupt_per_restore),
+            f.burst_len,
+        );
+    }
+    out.push_str("],\"topologies\":[");
+    for (i, t) in m.topologies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"devices\":{},\"spacing\":\"{}\",\"field_budget\":\"{}\",\
+             \"poll_period_s\":\"{}\",\"poll_offset_s\":\"{}\",\"freshness_s\":\"{}\"}}",
+            t.devices,
+            f64_hex(t.spacing),
+            f64_hex(t.field_budget),
+            f64_hex(t.poll_period_s),
+            f64_hex(t.poll_offset_s),
+            f64_hex(t.freshness_s),
         );
     }
     let _ = write!(
@@ -1078,7 +1126,25 @@ pub(crate) fn matrix_from(v: &Json) -> Result<ScenarioMatrix, String> {
             sag_factor: field!(f, "sag_factor", as_f64_bits)?,
             tear_per_commit: field!(f, "tear_per_commit", as_f64_bits)?,
             corrupt_per_restore: field!(f, "corrupt_per_restore", as_f64_bits)?,
+            burst_len: field!(f, "burst_len", as_u64)?
+                .try_into()
+                .map_err(|_| "burst_len out of range".to_string())?,
         });
+    }
+    let mut topologies = Vec::new();
+    for t in field!(v, "topologies", as_arr)? {
+        let topology = NetworkTopology {
+            devices: field!(t, "devices", as_u64)?
+                .try_into()
+                .map_err(|_| "devices out of range".to_string())?,
+            spacing: field!(t, "spacing", as_f64_bits)?,
+            field_budget: field!(t, "field_budget", as_f64_bits)?,
+            poll_period_s: field!(t, "poll_period_s", as_f64_bits)?,
+            poll_offset_s: field!(t, "poll_offset_s", as_f64_bits)?,
+            freshness_s: field!(t, "freshness_s", as_f64_bits)?,
+        };
+        topology.validate().map_err(|e| e.to_string())?;
+        topologies.push(topology);
     }
     let cal = v.req("calibration")?;
     let exec = v.req("executor")?;
@@ -1090,6 +1156,7 @@ pub(crate) fn matrix_from(v: &Json) -> Result<ScenarioMatrix, String> {
         seeds,
         budgets,
         faults,
+        topologies,
         runs: field!(v, "runs", as_u64)?
             .try_into()
             .map_err(|_| "runs out of range".to_string())?,
@@ -1206,6 +1273,7 @@ mod tests {
             board: "MSP430FR5994".to_string(),
             budget: "unbounded".to_string(),
             fault: "f9:r1e-3:s0:t0:c0".to_string(),
+            topology: "n4:d1:b1:p0.5:o0:f10".to_string(),
             digest: sample_digest(),
         };
         let back = ShardRecord::from_line(&record.to_line()).unwrap();
@@ -1231,6 +1299,7 @@ mod tests {
                 board: "MSP430FR5994".to_string(),
                 budget: "unbounded".to_string(),
                 fault: "none".to_string(),
+                topology: "solo".to_string(),
                 digest: sample_digest(),
             };
             writer.write_record(&record).unwrap();
@@ -1281,7 +1350,12 @@ mod tests {
                     sag_factor: 1.5,
                     tear_per_commit: 5e-2,
                     corrupt_per_restore: 0.25,
+                    burst_len: 8,
                 },
+            ])
+            .topologies(vec![
+                NetworkTopology::solo(),
+                NetworkTopology::line(4, 1.5, 0.25),
             ])
             .runs(3);
         let json = matrix_json(&matrix).unwrap();

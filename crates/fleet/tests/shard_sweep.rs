@@ -268,6 +268,7 @@ fn fault_injected_sweeps_shard_bit_identically() {
         sag_factor: 1.5,
         tear_per_commit: 0.1,
         corrupt_per_restore: 0.25,
+        burst_len: 0,
     };
     let matrix = ScenarioMatrix::new()
         .environments(vec![catalog::bench_supply(), catalog::office_rf()])

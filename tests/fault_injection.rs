@@ -27,6 +27,7 @@ fn storm(seed: u64) -> FaultSpec {
         sag_factor: 1.5,
         tear_per_commit: 0.1,
         corrupt_per_restore: 0.25,
+        burst_len: 0,
     }
 }
 
