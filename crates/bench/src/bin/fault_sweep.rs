@@ -151,6 +151,8 @@ fn main() {
         tear_per_commit: 0.1,
         corrupt_per_restore: 0.25,
         burst_len: 0,
+        flip_per_commit_bit: 0.0,
+        wear: ehdl::ehsim::WearCurve::NONE,
     };
     let faulted_matrix = ScenarioMatrix::new()
         .environments(catalog::all())

@@ -43,6 +43,7 @@ fn main() {
         poll_period_s: 0.5,
         poll_offset_s: 0.0,
         freshness_s: 10.0,
+        poll_retries: 0,
     };
     topology.validate().expect("topology is valid");
     let matrix = ScenarioMatrix::new()

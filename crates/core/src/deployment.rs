@@ -29,7 +29,7 @@ use ehdl_ace::{reference, AceProgram, QuantizedModel};
 use ehdl_compress::normalize::{self, Calibration};
 use ehdl_datasets::Dataset;
 use ehdl_device::{Board, CostTable, VoltageMonitor};
-use ehdl_ehsim::{ExecutionPlan, Program};
+use ehdl_ehsim::{ExecutionPlan, Integrity, Program};
 use ehdl_fixed::Q15;
 use ehdl_flex::strategies;
 use ehdl_nn::{Model, Tensor};
@@ -245,9 +245,17 @@ impl Deployment {
     /// Lowers the strategy program and prices it against this
     /// deployment's board into a reusable [`ExecutionPlan`].
     pub fn compile_plan(&self) -> ExecutionPlan {
+        self.compile_plan_with_integrity(Integrity::None)
+    }
+
+    /// [`compile_plan`](Self::compile_plan) with checkpoint payloads
+    /// guarded by `integrity`: durable writes are priced at the padded
+    /// word count (checksum or SECDED check bits), and sessions opened
+    /// on the plan walk the recovery ladder on every faulted restore.
+    pub fn compile_plan_with_integrity(&self, integrity: Integrity) -> ExecutionPlan {
         let board = self.board_spec.board();
         let lowered = self.strategy.lower(&self.quantized, &self.program);
-        ExecutionPlan::compile(lowered, &board)
+        ExecutionPlan::compile_with_integrity(lowered, &board, integrity)
     }
 
     /// The quantized (device) model.

@@ -314,7 +314,13 @@ impl<'d> DeviceSession<'d> {
         supply: &mut PowerSupply,
         fault: &FaultPlan,
     ) -> RunReport {
-        executor.run_unplanned_faulted(self.plan.program(), &mut self.board, supply, fault)
+        executor.run_unplanned_faulted_integrity(
+            self.plan.program(),
+            &mut self.board,
+            supply,
+            fault,
+            self.plan.integrity(),
+        )
     }
 
     /// [`infer_intermittent_faulted_reference`](Self::infer_intermittent_faulted_reference)
@@ -326,11 +332,12 @@ impl<'d> DeviceSession<'d> {
         fault: &FaultPlan,
         probe: &mut P,
     ) -> RunReport {
-        executor.run_unplanned_faulted_probed(
+        executor.run_unplanned_faulted_integrity_probed(
             self.plan.program(),
             &mut self.board,
             supply,
             fault,
+            self.plan.integrity(),
             probe,
         )
     }

@@ -1,7 +1,8 @@
 //! The intermittent executor: programs vs. the capacitor.
 
-use crate::fault::{FaultKind, FaultPlan, FaultTally, OpFault};
+use crate::fault::{FaultKind, FaultPlan, FaultState, FaultTally, OpFault};
 use crate::harvester::Harvester;
+use crate::integrity::{self, Integrity, IntegrityState, IntegrityTally, WearCurve};
 use crate::plan::ExecutionPlan;
 use crate::probe::{ExecEvent, ExecPhase, ExecProbe, NullProbe, SpanTimer};
 use crate::program::Program;
@@ -211,6 +212,11 @@ pub struct RunReport {
     /// through a faulted entry point with an enabled
     /// [`FaultPlan`](crate::FaultPlan).
     pub faults: FaultTally,
+    /// Checkpoint payload integrity accounting (bit flips, repairs,
+    /// recovery-ladder depths) — all zeros unless the run was driven
+    /// through a faulted entry point with bit-flips armed or a
+    /// non-`None` [`Integrity`] scheme.
+    pub integrity: IntegrityTally,
 }
 
 impl RunReport {
@@ -597,6 +603,19 @@ impl IntermittentExecutor {
         // corrupt restore falls back to.
         let mut prev_committed = 0usize;
 
+        // Payload-integrity machinery: live only on faulted runs with
+        // bit-flips armed or a non-`None` scheme compiled into the plan.
+        // When inactive, every restore takes the legacy corrupt branch
+        // bit-identically.
+        let scheme = plan.integrity();
+        let iactive = faulting && (fault.flips_armed() || scheme != Integrity::None);
+        let payload_bits = plan.program().restore_words() as u64 * 16;
+        let wear = WearCurve {
+            endurance_commits: fault.wear_endurance(),
+        };
+        let mut istate = IntegrityState::new();
+        let mut itally = IntegrityTally::default();
+
         let (harvester, capacitor) = supply.parts_mut();
 
         let outcome = 'run: loop {
@@ -653,6 +672,18 @@ impl IntermittentExecutor {
                             ondemand += 1;
                             span.finish(probe, ExecPhase::CheckpointRestore);
                             probe.event(ExecEvent::CheckpointCommit { t, slot });
+                            if faulting && fault.flips_armed() {
+                                commit_flips(
+                                    fault,
+                                    &mut fstate,
+                                    &mut istate,
+                                    &mut itally,
+                                    wear,
+                                    payload_bits,
+                                    t,
+                                    probe,
+                                );
+                            }
                         }
                     } else {
                         span.finish(probe, ExecPhase::CheckpointRestore);
@@ -734,6 +765,18 @@ impl IntermittentExecutor {
                         if plan.commits(i) {
                             prev_committed = committed;
                             committed = i + 1;
+                            if faulting && fault.flips_armed() {
+                                commit_flips(
+                                    fault,
+                                    &mut fstate,
+                                    &mut istate,
+                                    &mut itally,
+                                    wear,
+                                    payload_bits,
+                                    t,
+                                    probe,
+                                );
+                            }
                         }
                         i += 1;
 
@@ -882,7 +925,21 @@ impl IntermittentExecutor {
             t += restore.duration_s;
             active_cycles += restore.cycles;
             restores += 1;
-            if faulting && fault.corrupts(&mut fstate) {
+            if iactive {
+                resolve_restore_ladder(
+                    scheme,
+                    fault,
+                    &mut fstate,
+                    &mut istate,
+                    &mut itally,
+                    &mut faults,
+                    &mut committed,
+                    &mut prev_committed,
+                    &mut wasted,
+                    t,
+                    probe,
+                );
+            } else if faulting && fault.corrupts(&mut fstate) {
                 // The freshest slot reads corrupt. The commit bitset /
                 // slot versioning detects it, and the runtime falls back
                 // to the previous durable commit (cold boot if none).
@@ -905,6 +962,10 @@ impl IntermittentExecutor {
         }
         probe.event(ExecEvent::RunEnd { t, outcome });
 
+        if iactive {
+            itally.wear_max_commits = istate.max_writes();
+        }
+
         // Report only this run's share.
         let meter = diff_meters(board.meter(), &meter_before);
 
@@ -923,6 +984,7 @@ impl IntermittentExecutor {
             checkpoint_energy: meter.energy_of(Component::Checkpoint),
             meter,
             faults,
+            integrity: itally,
         }
     }
 
@@ -936,7 +998,14 @@ impl IntermittentExecutor {
         board: &mut Board,
         supply: &mut PowerSupply,
     ) -> RunReport {
-        self.run_unplanned_inner(program, board, supply, &mut NullProbe, &FaultPlan::NONE)
+        self.run_unplanned_inner(
+            program,
+            board,
+            supply,
+            &mut NullProbe,
+            &FaultPlan::NONE,
+            Integrity::None,
+        )
     }
 
     /// [`run_unplanned`](Self::run_unplanned) under a seeded
@@ -952,7 +1021,47 @@ impl IntermittentExecutor {
         supply: &mut PowerSupply,
         fault: &FaultPlan,
     ) -> RunReport {
-        self.run_unplanned_inner(program, board, supply, &mut NullProbe, fault)
+        self.run_unplanned_inner(
+            program,
+            board,
+            supply,
+            &mut NullProbe,
+            fault,
+            Integrity::None,
+        )
+    }
+
+    /// [`run_unplanned_faulted`](Self::run_unplanned_faulted) under a
+    /// checkpoint payload [`Integrity`] scheme — the reference-path twin
+    /// of [`run_plan_faulted`](Self::run_plan_faulted) on a plan
+    /// compiled with
+    /// [`compile_with_integrity`](ExecutionPlan::compile_with_integrity):
+    /// checkpoints and restores pay the scheme's padded word counts, and
+    /// restores walk the same recovery ladder, so the two paths stay
+    /// bit-identical scheme by scheme.
+    pub fn run_unplanned_faulted_integrity(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        scheme: Integrity,
+    ) -> RunReport {
+        self.run_unplanned_inner(program, board, supply, &mut NullProbe, fault, scheme)
+    }
+
+    /// [`run_unplanned_faulted_integrity`](Self::run_unplanned_faulted_integrity)
+    /// with an [`ExecProbe`] observing the run.
+    pub fn run_unplanned_faulted_integrity_probed<P: ExecProbe>(
+        &self,
+        program: &Program,
+        board: &mut Board,
+        supply: &mut PowerSupply,
+        fault: &FaultPlan,
+        scheme: Integrity,
+        probe: &mut P,
+    ) -> RunReport {
+        self.run_unplanned_inner(program, board, supply, probe, fault, scheme)
     }
 
     /// [`run_unplanned_faulted`](Self::run_unplanned_faulted) with an
@@ -965,7 +1074,7 @@ impl IntermittentExecutor {
         fault: &FaultPlan,
         probe: &mut P,
     ) -> RunReport {
-        self.run_unplanned_inner(program, board, supply, probe, fault)
+        self.run_unplanned_inner(program, board, supply, probe, fault, Integrity::None)
     }
 
     /// [`run_unplanned`](Self::run_unplanned) with an [`ExecProbe`]
@@ -983,7 +1092,14 @@ impl IntermittentExecutor {
         supply: &mut PowerSupply,
         probe: &mut P,
     ) -> RunReport {
-        self.run_unplanned_inner(program, board, supply, probe, &FaultPlan::NONE)
+        self.run_unplanned_inner(
+            program,
+            board,
+            supply,
+            probe,
+            &FaultPlan::NONE,
+            Integrity::None,
+        )
     }
 
     fn run_unplanned_inner<P: ExecProbe>(
@@ -993,6 +1109,7 @@ impl IntermittentExecutor {
         supply: &mut PowerSupply,
         probe: &mut P,
         fault: &FaultPlan,
+        scheme: Integrity,
     ) -> RunReport {
         let clock = board.costs().clock_hz;
         let monitor = board.monitor();
@@ -1022,6 +1139,15 @@ impl IntermittentExecutor {
         let mut faults = FaultTally::default();
         let mut prev_committed = 0usize;
 
+        // Payload-integrity machinery, mirroring `run_plan_inner`.
+        let iactive = faulting && (fault.flips_armed() || scheme != Integrity::None);
+        let payload_bits = program.restore_words() as u64 * 16;
+        let wear = WearCurve {
+            endurance_commits: fault.wear_endurance(),
+        };
+        let mut istate = IntegrityState::new();
+        let mut itally = IntegrityTally::default();
+
         let outcome = 'run: loop {
             if i >= n {
                 break 'run RunOutcome::Completed;
@@ -1040,7 +1166,7 @@ impl IntermittentExecutor {
             if let Some(words) = ops[i].spec.ondemand_words {
                 if committed < i && monitor.warns(supply.capacitor().volts()) {
                     let ck = DeviceOp::Checkpoint {
-                        words: words as u64,
+                        words: scheme.padded_words(words as u64),
                     };
                     let span = SpanTimer::start::<P>();
                     let committed_now = self.try_execute(
@@ -1074,6 +1200,18 @@ impl IntermittentExecutor {
                             committed = i;
                             ondemand += 1;
                             probe.event(ExecEvent::CheckpointCommit { t, slot: i as u32 });
+                            if faulting && fault.flips_armed() {
+                                commit_flips(
+                                    fault,
+                                    &mut fstate,
+                                    &mut istate,
+                                    &mut itally,
+                                    wear,
+                                    payload_bits,
+                                    t,
+                                    probe,
+                                );
+                            }
                         }
                     }
                     // If it failed, the previous checkpoint still stands;
@@ -1130,6 +1268,18 @@ impl IntermittentExecutor {
                         if pop.spec.commits {
                             prev_committed = committed;
                             committed = i + 1;
+                            if faulting && fault.flips_armed() {
+                                commit_flips(
+                                    fault,
+                                    &mut fstate,
+                                    &mut istate,
+                                    &mut itally,
+                                    wear,
+                                    payload_bits,
+                                    t,
+                                    probe,
+                                );
+                            }
                         }
                         i += 1;
                         continue;
@@ -1185,7 +1335,7 @@ impl IntermittentExecutor {
             // ---- restore ----
             let span = SpanTimer::start::<P>();
             let restore = DeviceOp::Restore {
-                words: program.restore_words() as u64,
+                words: scheme.padded_words(program.restore_words() as u64),
             };
             // Freshly booted at v_on: the restore always fits.
             let cost = board.execute(&restore);
@@ -1196,7 +1346,21 @@ impl IntermittentExecutor {
             t += cost.cycles.raw() as f64 / clock;
             active_cycles += cost.cycles.raw();
             restores += 1;
-            if faulting && fault.corrupts(&mut fstate) {
+            if iactive {
+                resolve_restore_ladder(
+                    scheme,
+                    fault,
+                    &mut fstate,
+                    &mut istate,
+                    &mut itally,
+                    &mut faults,
+                    &mut committed,
+                    &mut prev_committed,
+                    &mut wasted,
+                    t,
+                    probe,
+                );
+            } else if faulting && fault.corrupts(&mut fstate) {
                 // The freshest slot reads corrupt. The commit bitset /
                 // slot versioning detects it, and the runtime falls back
                 // to the previous durable commit (cold boot if none).
@@ -1219,6 +1383,10 @@ impl IntermittentExecutor {
         }
         probe.event(ExecEvent::RunEnd { t, outcome });
 
+        if iactive {
+            itally.wear_max_commits = istate.max_writes();
+        }
+
         // Report only this run's share.
         let meter = diff_meters(board.meter(), &meter_before);
 
@@ -1237,6 +1405,7 @@ impl IntermittentExecutor {
             checkpoint_energy: meter.energy_of(Component::Checkpoint),
             meter,
             faults,
+            integrity: itally,
         }
     }
 
@@ -1422,6 +1591,101 @@ impl StepSink for TraceRecorder {
     #[inline]
     fn restore(&mut self) {
         self.steps.push(self.op_count);
+    }
+}
+
+/// One per-commit bit-flip draw, shared verbatim by both executor paths:
+/// draws the flip count for the freshly written slot (wear-accelerated
+/// by that slot's lifetime write count), records the write in the
+/// integrity state, and tallies/probes any damage. Called only when
+/// flips are armed, so unarmed decision streams are untouched.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn commit_flips<P: ExecProbe>(
+    fault: &FaultPlan,
+    fstate: &mut FaultState,
+    istate: &mut IntegrityState,
+    itally: &mut IntegrityTally,
+    wear: WearCurve,
+    payload_bits: u64,
+    t: f64,
+    probe: &mut P,
+) {
+    let mult = wear.multiplier(istate.next_write_count());
+    let flips = fault.flips(fstate, payload_bits, mult);
+    istate.commit(flips);
+    if flips > 0 {
+        itally.flips_injected += u64::from(flips);
+        probe.event(ExecEvent::BitFlipInjected { t, flips });
+    }
+}
+
+/// One restore resolved through the recovery ladder, shared verbatim by
+/// both executor paths. Consumes the same slot-corruption draw the
+/// legacy branch takes (exactly one stream step per restore), walks
+/// [`integrity::resolve_restore`], and translates the resolution into
+/// tallies, probe events, and the commit-level fallback:
+///
+/// * rung 0/1 — the active slot stands (possibly silently wrong, or
+///   SECDED-repaired in place); no progress is lost.
+/// * rung 2 — fall back to the previous durable commit.
+/// * rung 3 — the previous slot was rejected too: cold boot, all
+///   committed progress is lost.
+#[allow(clippy::too_many_arguments)]
+fn resolve_restore_ladder<P: ExecProbe>(
+    scheme: Integrity,
+    fault: &FaultPlan,
+    fstate: &mut FaultState,
+    istate: &mut IntegrityState,
+    itally: &mut IntegrityTally,
+    faults: &mut FaultTally,
+    committed: &mut usize,
+    prev_committed: &mut usize,
+    wasted: &mut u64,
+    t: f64,
+    probe: &mut P,
+) {
+    let slot_bad = fault.corrupts(fstate);
+    if slot_bad {
+        // Slot-level metadata corruption: always detected, exactly as
+        // the legacy branch counts it.
+        faults.corrupt_restores += 1;
+        faults.detected_corruptions += 1;
+        probe.event(ExecEvent::CorruptionDetected { t });
+    }
+    let res = integrity::resolve_restore(scheme, istate, slot_bad);
+    itally.ladder[res.rung as usize] += 1;
+    if res.repairs > 0 {
+        itally.flips_repaired += u64::from(res.repairs);
+        probe.event(ExecEvent::PayloadRepaired { t });
+    }
+    if res.payload_rejects > 0 {
+        itally.flips_detected += u64::from(res.payload_rejects);
+        faults.detected_corruptions += u64::from(res.payload_rejects);
+        probe.event(ExecEvent::PayloadRejected { t });
+    }
+    if res.silent {
+        // The scheme accepted a flipped payload: the run continues from
+        // plausible-but-wrong state, and only a golden-twin diff can
+        // tell. This is the counter the crash-consistency audit exists
+        // to keep at zero for `Checksum`/`Secded`.
+        itally.silent_restores += 1;
+        faults.silent_corruptions += 1;
+        probe.event(ExecEvent::SilentRestore { t });
+    }
+    if res.rung >= 2 {
+        *wasted += (*committed - *prev_committed) as u64;
+        *committed = *prev_committed;
+        if res.rung == 3 {
+            // The fallback slot was rejected too: nothing durable
+            // remains anywhere.
+            *wasted += *committed as u64;
+            *committed = 0;
+            *prev_committed = 0;
+        }
+        if *committed == 0 {
+            faults.cold_boots += 1;
+        }
     }
 }
 
@@ -2072,6 +2336,8 @@ mod tests {
             tear_per_commit: 0.2,
             corrupt_per_restore: 0.25,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         }
     }
 
@@ -2233,6 +2499,8 @@ mod tests {
             tear_per_commit: 0.0,
             corrupt_per_restore: 1.0,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let fault = FaultPlan::compile(&spec);
         let mut board = Board::msp430fr5994();
@@ -2248,6 +2516,130 @@ mod tests {
         assert_eq!(r.faults.corrupt_restores, r.faults.cold_boots);
         assert_eq!(r.faults.silent_corruptions, 0);
         assert_eq!(r.outcome, RunOutcome::NoProgress);
+    }
+
+    #[test]
+    fn flip_storms_keep_planned_reference_parity() {
+        // The flip draw and the recovery ladder must sit at the same
+        // logical points in both executors, scheme by scheme.
+        let mut p = mixed_program(800);
+        p.set_restore_words(256);
+        let exec = IntermittentExecutor::default();
+        let spec = crate::FaultSpec {
+            flip_per_commit_bit: 2e-4,
+            wear: WearCurve {
+                endurance_commits: 10,
+            },
+            ..noisy_fault_spec(21)
+        };
+        let fault = FaultPlan::compile(&spec);
+        let mut saw_flips = false;
+        let mut saw_ladder = false;
+        for scheme in Integrity::ALL {
+            let plan =
+                ExecutionPlan::compile_with_integrity(p.clone(), &Board::msp430fr5994(), scheme);
+            for supply in [bench_supply(), weak_supply()] {
+                let mut board_a = Board::msp430fr5994();
+                let mut board_b = Board::msp430fr5994();
+                let mut sa = supply.clone();
+                let mut sb = supply.clone();
+                let planned = exec.run_plan_faulted(&plan, &mut board_a, &mut sa, &fault);
+                let reference =
+                    exec.run_unplanned_faulted_integrity(&p, &mut board_b, &mut sb, &fault, scheme);
+                assert_eq!(planned, reference, "{scheme}");
+                assert_eq!(board_a.meter(), board_b.meter());
+                saw_flips |= planned.integrity.flips_injected > 0;
+                saw_ladder |= planned.integrity.restores_resolved() > 0;
+            }
+        }
+        assert!(saw_flips, "flip coverage: at least one run must flip");
+        assert!(saw_ladder, "ladder coverage: at least one restore resolved");
+    }
+
+    #[test]
+    fn schemes_disagree_only_on_detection_not_on_the_flip_stream() {
+        // Spurious resets on the bench supply force restores without
+        // brown-outs. Every scheme faces the same per-commit upset
+        // rate; what differs is what each scheme *does* about the
+        // damage — None swallows it, Checksum rejects and falls back
+        // (re-executing, hence drawing more flips overall), SECDED
+        // repairs single-bit upsets in place.
+        let mut p = mixed_program(800);
+        p.set_restore_words(256);
+        let spec = crate::FaultSpec {
+            seed: 29,
+            reset_per_op: 0.02,
+            flip_per_commit_bit: 2e-4,
+            ..crate::FaultSpec::none()
+        };
+        let fault = FaultPlan::compile(&spec);
+        let exec = IntermittentExecutor::default();
+        let mut reports = Vec::new();
+        for scheme in Integrity::ALL {
+            let plan =
+                ExecutionPlan::compile_with_integrity(p.clone(), &Board::msp430fr5994(), scheme);
+            let mut board = Board::msp430fr5994();
+            let mut supply = bench_supply();
+            reports.push(exec.run_plan_faulted(&plan, &mut board, &mut supply, &fault));
+        }
+        let [none, checksum, secded] = &reports[..] else {
+            unreachable!()
+        };
+        for r in &reports {
+            assert!(r.integrity.flips_injected > 0, "want flip coverage");
+        }
+        // None restores damage silently and detects nothing.
+        assert!(none.integrity.silent_restores > 0);
+        assert_eq!(
+            none.faults.silent_corruptions,
+            none.integrity.silent_restores
+        );
+        assert_eq!(none.integrity.flips_detected, 0);
+        assert_eq!(none.integrity.flips_repaired, 0);
+        // Checksum detects (and never repairs); SECDED repairs singles.
+        assert_eq!(checksum.integrity.silent_restores, 0);
+        assert_eq!(checksum.faults.silent_corruptions, 0);
+        assert!(checksum.integrity.flips_detected > 0);
+        assert_eq!(checksum.integrity.flips_repaired, 0);
+        assert_eq!(secded.integrity.silent_restores, 0);
+        assert_eq!(secded.faults.silent_corruptions, 0);
+        assert!(secded.integrity.flips_repaired > 0);
+        // Every restore resolves through exactly one ladder rung.
+        for r in &reports {
+            assert_eq!(r.integrity.restores_resolved(), r.restores);
+        }
+    }
+
+    #[test]
+    fn armed_empty_integrity_changes_only_the_integrity_tally() {
+        // The wear-sweep inert baseline: flip draws armed at rate zero
+        // walk the full ladder on every restore but never land damage,
+        // so everything except the integrity telemetry is bit-identical
+        // to the unfaulted run.
+        let p = mixed_program(600);
+        let board = Board::msp430fr5994();
+        let plan = ExecutionPlan::compile(p.clone(), &board);
+        let exec = IntermittentExecutor::default();
+        let mut board_a = Board::msp430fr5994();
+        let mut sa = weak_supply();
+        let plain = exec.run_plan(&plan, &mut board_a, &mut sa);
+        let mut board_b = Board::msp430fr5994();
+        let mut sb = weak_supply();
+        let armed = exec.run_plan_faulted(
+            &plan,
+            &mut board_b,
+            &mut sb,
+            &FaultPlan::armed_empty_integrity(7),
+        );
+        let mut stripped = armed.clone();
+        stripped.integrity = plain.integrity;
+        assert_eq!(plain, stripped);
+        assert!(armed.faults.is_clean());
+        assert_eq!(armed.integrity.flips_injected, 0);
+        assert_eq!(armed.integrity.silent_restores, 0);
+        assert_eq!(armed.integrity.flips_detected, 0);
+        assert_eq!(armed.integrity.ladder, [armed.restores, 0, 0, 0]);
+        assert!(armed.integrity.wear_max_commits > 0, "commits were tracked");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::integrity::{self, WearCurve};
+
 /// Per-event fault probabilities plus the stream seed.
 ///
 /// All rates are probabilities in `[0, 1]`. `sag_factor` multiplies an
@@ -46,6 +48,16 @@ pub struct FaultSpec {
     /// real RF deployment sees. Commit tears and restore corruptions
     /// stay i.i.d. (their draws are orders of magnitude rarer).
     pub burst_len: u32,
+    /// Per-bit probability that a bit of a freshly committed checkpoint
+    /// payload flips in FRAM. `0` keeps every pre-flip stream
+    /// bit-identical (the flip draw per successful commit is only taken
+    /// when this rate is armed). Detection and repair are the integrity
+    /// scheme's job — see [`crate::Integrity`].
+    pub flip_per_commit_bit: f64,
+    /// FRAM wear-out: accelerates the flip rate with each slot's
+    /// lifetime commit count. [`WearCurve::NONE`] (the default) keeps
+    /// the rate flat.
+    pub wear: WearCurve,
 }
 
 impl FaultSpec {
@@ -59,6 +71,8 @@ impl FaultSpec {
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         }
     }
 
@@ -68,6 +82,7 @@ impl FaultSpec {
             && self.sag_per_op == 0.0
             && self.tear_per_commit == 0.0
             && self.corrupt_per_restore == 0.0
+            && self.flip_per_commit_bit == 0.0
     }
 
     /// Validates rates (`[0, 1]`, finite) and the sag factor (finite, `>= 1`).
@@ -77,6 +92,7 @@ impl FaultSpec {
             ("sag_per_op", self.sag_per_op),
             ("tear_per_commit", self.tear_per_commit),
             ("corrupt_per_restore", self.corrupt_per_restore),
+            ("flip_per_commit_bit", self.flip_per_commit_bit),
         ];
         for (field, rate) in rates {
             if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
@@ -92,8 +108,8 @@ impl FaultSpec {
     }
 
     /// Deterministic short label for scenario names and report rows.
-    /// The burst suffix only appears when storms are armed, so every
-    /// pre-burst label is unchanged.
+    /// The burst, flip, and wear suffixes only appear when the matching
+    /// mechanism is armed, so every pre-existing label is unchanged.
     pub fn label(&self) -> String {
         if self.is_none() {
             return "none".to_owned();
@@ -109,6 +125,12 @@ impl FaultSpec {
         );
         if self.burst_len >= 2 {
             label.push_str(&format!(":b{}", self.burst_len));
+        }
+        if self.flip_per_commit_bit > 0.0 {
+            label.push_str(&format!(":p{}", self.flip_per_commit_bit));
+        }
+        if self.wear.endurance_commits > 0 {
+            label.push_str(&format!(":w{}", self.wear.endurance_commits));
         }
         label
     }
@@ -166,6 +188,9 @@ pub struct FaultPlan {
     corrupt_t: u64,
     sag_factor: f64,
     burst_len: u32,
+    flip_rate: f64,
+    flips_armed: bool,
+    wear_endurance: u64,
     enabled: bool,
 }
 
@@ -179,6 +204,9 @@ impl FaultPlan {
         corrupt_t: 0,
         sag_factor: 1.0,
         burst_len: 0,
+        flip_rate: 0.0,
+        flips_armed: false,
+        wear_endurance: 0,
         enabled: false,
     };
 
@@ -209,6 +237,7 @@ impl FaultPlan {
         let sag_t = threshold(onset(spec.sag_per_op));
         let tear_t = threshold(spec.tear_per_commit);
         let corrupt_t = threshold(spec.corrupt_per_restore);
+        let flips_armed = spec.flip_per_commit_bit > 0.0;
         FaultPlan {
             seed: spec.seed,
             reset_t,
@@ -217,13 +246,19 @@ impl FaultPlan {
             corrupt_t,
             sag_factor: spec.sag_factor,
             burst_len: spec.burst_len,
-            enabled: reset_t > 0 || sag_t > 0 || tear_t > 0 || corrupt_t > 0,
+            flip_rate: spec.flip_per_commit_bit,
+            flips_armed,
+            wear_endurance: spec.wear.endurance_commits,
+            enabled: reset_t > 0 || sag_t > 0 || tear_t > 0 || corrupt_t > 0 || flips_armed,
         }
     }
 
     /// An *enabled* plan whose thresholds are all zero: the executor pays
     /// for every draw but no fault ever fires. Used by the overhead bench
     /// to measure the pure cost of the decision stream on fault-free runs.
+    /// Bit-flip draws stay unarmed so pre-flip overhead baselines are
+    /// unchanged; see [`FaultPlan::armed_empty_integrity`] for the
+    /// integrity-machinery variant.
     pub fn armed_empty(seed: u64) -> Self {
         FaultPlan {
             seed,
@@ -233,7 +268,22 @@ impl FaultPlan {
             corrupt_t: 0,
             sag_factor: 1.0,
             burst_len: 0,
+            flip_rate: 0.0,
+            flips_armed: false,
+            wear_endurance: 0,
             enabled: true,
+        }
+    }
+
+    /// [`FaultPlan::armed_empty`] with the bit-flip draw *armed* at rate
+    /// zero: the executor pays for the per-commit flip draw, the slot
+    /// wear bookkeeping, and the full recovery-ladder walk on every
+    /// restore, yet no flip ever lands. The wear-sweep bench uses this
+    /// to price the integrity machinery on otherwise clean runs.
+    pub fn armed_empty_integrity(seed: u64) -> Self {
+        FaultPlan {
+            flips_armed: true,
+            ..FaultPlan::armed_empty(seed)
         }
     }
 
@@ -304,6 +354,31 @@ impl FaultPlan {
     #[inline]
     pub fn corrupts(&self, state: &mut FaultState) -> bool {
         (state.next() & 0xFFFF_FFFF) < self.corrupt_t
+    }
+
+    /// Whether the per-commit bit-flip draw is armed. When false the
+    /// executor takes no flip draws at all, keeping pre-flip decision
+    /// streams bit-identical.
+    #[inline]
+    pub fn flips_armed(&self) -> bool {
+        self.flips_armed
+    }
+
+    /// The compiled wear-endurance figure (`0` = no wear-out).
+    #[inline]
+    pub fn wear_endurance(&self) -> u64 {
+        self.wear_endurance
+    }
+
+    /// One draw per *successful* checkpoint commit (only when
+    /// [`flips_armed`](FaultPlan::flips_armed)): how many bits of a
+    /// freshly written `bits`-bit payload flipped, wear-accelerated by
+    /// `wear_mult`. Returns 0, 1, or 2 ("two or more"). The stream
+    /// advances by exactly one draw per call on both executor paths.
+    #[inline]
+    pub fn flips(&self, state: &mut FaultState, bits: u64, wear_mult: u64) -> u32 {
+        let draw = state.next();
+        integrity::flips_from_draw(draw, self.flip_rate, bits, wear_mult)
     }
 }
 
@@ -447,6 +522,8 @@ mod tests {
             tear_per_commit: 1.0,
             corrupt_per_restore: 0.0,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let plan = FaultPlan::compile(&spec);
         let mut state = plan.state();
@@ -467,6 +544,8 @@ mod tests {
             tear_per_commit: 0.2,
             corrupt_per_restore: 0.3,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let plan = FaultPlan::compile(&spec);
         let mut a = plan.state();
@@ -488,6 +567,8 @@ mod tests {
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let plan_a = FaultPlan::compile(&base);
         let plan_b = FaultPlan::compile(&FaultSpec { seed: 2, ..base });
@@ -513,6 +594,8 @@ mod tests {
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let plan = FaultPlan::compile(&spec);
         let mut state = plan.state();
@@ -552,6 +635,8 @@ mod tests {
             tear_per_commit: 0.03,
             corrupt_per_restore: 0.04,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         assert_eq!(a.label(), "f3:r0.01:s0.02x2:t0.03:c0.04");
         let b = FaultSpec { seed: 4, ..a };
@@ -572,6 +657,8 @@ mod tests {
             tear_per_commit: 0.02,
             corrupt_per_restore: 0.01,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let plan_a = FaultPlan::compile(&iid);
         let plan_b = FaultPlan::compile(&FaultSpec {
@@ -597,6 +684,8 @@ mod tests {
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
             burst_len: 8,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let plan = FaultPlan::compile(&spec);
         let mut state = plan.state();
@@ -636,6 +725,8 @@ mod tests {
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
             burst_len: 10,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         let plan = FaultPlan::compile(&spec);
         let mut state = plan.state();
@@ -660,12 +751,108 @@ mod tests {
             tear_per_commit: 0.0,
             corrupt_per_restore: 0.0,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
         };
         assert!(!spec.label().contains(":b"));
         spec.burst_len = 1;
         assert!(!spec.label().contains(":b"));
         spec.burst_len = 6;
         assert!(spec.label().ends_with(":b6"), "{}", spec.label());
+    }
+
+    #[test]
+    fn flip_and_wear_label_suffixes_only_appear_when_armed() {
+        let mut spec = FaultSpec {
+            seed: 3,
+            reset_per_op: 0.01,
+            sag_per_op: 0.02,
+            sag_factor: 2.0,
+            tear_per_commit: 0.03,
+            corrupt_per_restore: 0.04,
+            burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: WearCurve::NONE,
+        };
+        // The pinned pre-flip label is untouched by the new fields.
+        assert_eq!(spec.label(), "f3:r0.01:s0.02x2:t0.03:c0.04");
+        spec.flip_per_commit_bit = 1e-5;
+        assert_eq!(spec.label(), "f3:r0.01:s0.02x2:t0.03:c0.04:p0.00001");
+        spec.wear = WearCurve {
+            endurance_commits: 500,
+        };
+        assert_eq!(spec.label(), "f3:r0.01:s0.02x2:t0.03:c0.04:p0.00001:w500");
+        spec.burst_len = 4;
+        assert_eq!(
+            spec.label(),
+            "f3:r0.01:s0.02x2:t0.03:c0.04:b4:p0.00001:w500"
+        );
+        // A flips-only spec is armed, not "none".
+        let flips_only = FaultSpec {
+            flip_per_commit_bit: 1e-6,
+            ..FaultSpec::none()
+        };
+        assert!(!flips_only.is_none());
+        assert!(flips_only.label().ends_with(":p0.000001"));
+        assert!(FaultPlan::compile(&flips_only).enabled());
+        assert!(FaultPlan::compile(&flips_only).flips_armed());
+    }
+
+    #[test]
+    fn flip_rate_validation_rejects_out_of_range() {
+        let mut spec = FaultSpec::none();
+        spec.flip_per_commit_bit = -0.1;
+        assert!(matches!(
+            spec.validate(),
+            Err(FaultSpecError::RateOutOfRange {
+                field: "flip_per_commit_bit",
+                ..
+            })
+        ));
+        spec.flip_per_commit_bit = 1e-4;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn armed_empty_integrity_is_enabled_but_never_flips() {
+        let plan = FaultPlan::armed_empty_integrity(9);
+        assert!(plan.enabled());
+        assert!(plan.flips_armed());
+        assert!(!FaultPlan::armed_empty(9).flips_armed());
+        let mut state = plan.state();
+        for _ in 0..1000 {
+            assert_eq!(plan.flips(&mut state, 4096, 1), 0);
+        }
+        // The flip draw consumes exactly one stream step per call.
+        let mut a = plan.state();
+        let mut b = plan.state();
+        plan.flips(&mut a, 4096, 1);
+        b.next();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flip_draws_track_the_armed_rate() {
+        let spec = FaultSpec {
+            flip_per_commit_bit: 1e-4,
+            seed: 77,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::compile(&spec);
+        let mut state = plan.state();
+        let n = 50_000;
+        let flipped = (0..n)
+            .filter(|_| plan.flips(&mut state, 1024, 1) > 0)
+            .count();
+        let rate = flipped as f64 / n as f64;
+        // P(any flip) = 1 - (1 - 1e-4)^1024 ≈ 0.0973.
+        assert!((rate - 0.0973).abs() < 0.01, "flip rate {rate}");
+        // Wear acceleration raises it.
+        let mut state = plan.state();
+        let accelerated = (0..n)
+            .filter(|_| plan.flips(&mut state, 1024, 4) > 0)
+            .count();
+        assert!(accelerated > flipped * 2, "{accelerated} vs {flipped}");
     }
 
     #[test]

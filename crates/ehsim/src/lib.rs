@@ -45,6 +45,7 @@ mod environment;
 mod executor;
 mod fault;
 mod harvester;
+mod integrity;
 mod plan;
 mod probe;
 mod program;
@@ -57,6 +58,7 @@ pub use executor::{
 };
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultSpecError, FaultState, FaultTally, OpFault};
 pub use harvester::{Harvester, TraceError};
+pub use integrity::{Integrity, IntegrityTally, WearCurve};
 pub use plan::{ExecutionPlan, PlannedCost};
 pub use probe::{EventRing, ExecEvent, ExecPhase, ExecProbe, NullProbe, SpanTimer};
 pub use program::{CheckpointSpec, Program, ProgramOp};

@@ -22,6 +22,7 @@
 //! order, and the plan-driven executor replays the same float operations
 //! the interpreter performs (see `tests/exec_plan_parity.rs`).
 
+use crate::integrity::Integrity;
 use crate::program::Program;
 use ehdl_device::{Board, Component, Cost, Cycles, DeviceOp, Energy, EnergyMeter};
 
@@ -119,6 +120,7 @@ pub struct ExecutionPlan {
     /// executor replays without per-op flag checks. Length `len() + 1`.
     plain_end: Vec<u32>,
     restore: PlannedCost,
+    integrity: Integrity,
     continuous_cost: Cost,
     continuous_meter: EnergyMeter,
 }
@@ -134,6 +136,15 @@ impl ExecutionPlan {
     /// totals in op order (bit-identical to
     /// [`run_continuous`](crate::run_continuous) on a fresh board).
     pub fn compile(program: Program, board: &Board) -> Self {
+        ExecutionPlan::compile_with_integrity(program, board, Integrity::None)
+    }
+
+    /// [`compile`](Self::compile) with a checkpoint payload integrity
+    /// scheme: every checkpoint and restore is priced at the scheme's
+    /// padded word count (see [`Integrity::padded_words`]), so stronger
+    /// guards cost real commit energy. `Integrity::None` is
+    /// bit-identical to plain [`compile`](Self::compile).
+    pub fn compile_with_integrity(program: Program, board: &Board, integrity: Integrity) -> Self {
         let clock_hz = board.costs().clock_hz;
         let n = program.len();
 
@@ -167,8 +178,13 @@ impl ExecutionPlan {
                     .iter()
                     .position(|&w| w == words)
                     .unwrap_or_else(|| {
-                        let (ck, _) =
-                            PlannedCost::price(board, &DeviceOp::Checkpoint { words }, clock_hz);
+                        let (ck, _) = PlannedCost::price(
+                            board,
+                            &DeviceOp::Checkpoint {
+                                words: integrity.padded_words(words),
+                            },
+                            clock_hz,
+                        );
                         checkpoints.push(ck);
                         checkpoint_words.push(words);
                         checkpoints.len() - 1
@@ -198,7 +214,7 @@ impl ExecutionPlan {
         let (restore, _) = PlannedCost::price(
             board,
             &DeviceOp::Restore {
-                words: program.restore_words() as u64,
+                words: integrity.padded_words(program.restore_words() as u64),
             },
             clock_hz,
         );
@@ -216,9 +232,16 @@ impl ExecutionPlan {
             checkpoints,
             plain_end,
             restore,
+            integrity,
             continuous_cost: total,
             continuous_meter: meter,
         }
+    }
+
+    /// The checkpoint payload integrity scheme the plan was priced for.
+    #[inline]
+    pub fn integrity(&self) -> Integrity {
+        self.integrity
     }
 
     /// The source program the plan was compiled from.
@@ -437,6 +460,33 @@ mod tests {
         assert_eq!(plan.restore_cost().cycles, want.cycles.raw());
         assert_eq!(plan.restore_cost().energy_nj, want.energy.nanojoules());
         assert_eq!(plan.restore_cost().cost(), want);
+    }
+
+    #[test]
+    fn integrity_schemes_inflate_only_durable_write_pricing() {
+        let p = mixed_program();
+        let board = Board::msp430fr5994();
+        let none = ExecutionPlan::compile_with_integrity(p.clone(), &board, Integrity::None);
+        assert_eq!(none, ExecutionPlan::compile(p.clone(), &board));
+        assert_eq!(none.integrity(), Integrity::None);
+        for scheme in [Integrity::Checksum, Integrity::Secded] {
+            let plan = ExecutionPlan::compile_with_integrity(p.clone(), &board, scheme);
+            assert_eq!(plan.integrity(), scheme);
+            // Checkpoints and restores pay for the scheme metadata...
+            assert!(plan.restore_cost().energy_nj > none.restore_cost().energy_nj);
+            assert!(
+                plan.ondemand_checkpoint(4).unwrap().energy_nj
+                    > none.ondemand_checkpoint(4).unwrap().energy_nj
+            );
+            // ...while the per-op compute arrays are untouched.
+            assert_eq!(plan.energy_nj, none.energy_nj);
+            assert_eq!(plan.cycles, none.cycles);
+            let want = board.cost(&DeviceOp::Restore {
+                words: scheme.padded_words(p.restore_words() as u64),
+            });
+            assert_eq!(plan.restore_cost().cycles, want.cycles.raw());
+            assert_eq!(plan.restore_cost().energy_nj, want.energy.nanojoules());
+        }
     }
 
     #[test]

@@ -87,6 +87,32 @@ pub enum ExecEvent {
         /// Sim time of the detection (after the restore completed).
         t: f64,
     },
+    /// A checkpoint commit wrote a payload with flipped bits into FRAM
+    /// (the damage is latent until a restore reads the slot).
+    BitFlipInjected {
+        /// Sim time of the commit that carried the flips.
+        t: f64,
+        /// Flipped bit count, saturating at 2 ("two or more").
+        flips: u32,
+    },
+    /// A restore's SECDED check repaired a single-bit payload flip in
+    /// place (recovery-ladder rung 1).
+    PayloadRepaired {
+        /// Sim time of the repair (after the restore completed).
+        t: f64,
+    },
+    /// A restore's payload verification rejected a slot (checksum
+    /// mismatch or SECDED double-error) — the ladder falls back.
+    PayloadRejected {
+        /// Sim time of the rejection (after the restore completed).
+        t: f64,
+    },
+    /// A restore accepted a flipped payload without noticing (scheme
+    /// `None`): execution continues from plausible-but-wrong state.
+    SilentRestore {
+        /// Sim time of the silent restore.
+        t: f64,
+    },
     /// The run ended — always the final event of a run.
     RunEnd {
         /// Total simulated wall-clock seconds.
@@ -108,6 +134,10 @@ impl ExecEvent {
             ExecEvent::EnergyLimit { .. } => "energy_limit",
             ExecEvent::FaultInjected { .. } => "fault_injected",
             ExecEvent::CorruptionDetected { .. } => "corruption_detected",
+            ExecEvent::BitFlipInjected { .. } => "bit_flip_injected",
+            ExecEvent::PayloadRepaired { .. } => "payload_repaired",
+            ExecEvent::PayloadRejected { .. } => "payload_rejected",
+            ExecEvent::SilentRestore { .. } => "silent_restore",
             ExecEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -123,6 +153,10 @@ impl ExecEvent {
             | ExecEvent::EnergyLimit { t }
             | ExecEvent::FaultInjected { t, .. }
             | ExecEvent::CorruptionDetected { t }
+            | ExecEvent::BitFlipInjected { t, .. }
+            | ExecEvent::PayloadRepaired { t }
+            | ExecEvent::PayloadRejected { t }
+            | ExecEvent::SilentRestore { t }
             | ExecEvent::RunEnd { t, .. } => t,
             ExecEvent::DarkSkip { t1, .. } => t1,
         }
@@ -366,6 +400,9 @@ impl EventRing {
                         ExecEvent::FaultInjected { kind, .. } => {
                             let _ = write!(out, "\"kind\":\"{}\"", kind.label());
                         }
+                        ExecEvent::BitFlipInjected { flips, .. } => {
+                            let _ = write!(out, "\"flips\":{flips}");
+                        }
                         _ => {}
                     }
                     out.push_str("}}");
@@ -414,11 +451,17 @@ fn write_event_json(out: &mut String, event: &ExecEvent) {
         ExecEvent::Boot { t }
         | ExecEvent::BrownOut { t }
         | ExecEvent::EnergyLimit { t }
-        | ExecEvent::CorruptionDetected { t } => {
+        | ExecEvent::CorruptionDetected { t }
+        | ExecEvent::PayloadRepaired { t }
+        | ExecEvent::PayloadRejected { t }
+        | ExecEvent::SilentRestore { t } => {
             let _ = write!(out, ",\"t\":{}", decimal(t));
         }
         ExecEvent::FaultInjected { t, kind } => {
             let _ = write!(out, ",\"t\":{},\"kind\":\"{}\"", decimal(t), kind.label());
+        }
+        ExecEvent::BitFlipInjected { t, flips } => {
+            let _ = write!(out, ",\"t\":{},\"flips\":{flips}", decimal(t));
         }
         ExecEvent::CheckpointCommit { t, slot } => {
             let _ = write!(out, ",\"t\":{},\"slot\":{slot}", decimal(t));

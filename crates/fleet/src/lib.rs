@@ -72,7 +72,7 @@ pub mod shard;
 mod wire;
 
 pub use digest::{QuantileFidelity, StatsDigest};
-pub use ehdl::ehsim::{FaultSpec, FaultTally};
+pub use ehdl::ehsim::{FaultSpec, FaultTally, Integrity, IntegrityTally, WearCurve};
 pub use ehdl_netsim::{NetworkTopology, SharedField, SloOutcome, TopologyError, WorldSim};
 pub use metrics::{
     CsvSink, DigestSink, FleetDigest, FullReportSink, GroupAxis, GroupBySink, GroupedDigest,
@@ -83,6 +83,7 @@ pub use report::{percentile, FleetReport, ScenarioReport};
 pub use runner::{mix, FleetBuilder, FleetRunner};
 pub use scenario::{Scenario, ScenarioMatrix, Workload};
 pub use shard::{
-    FailedShard, ShardCoordinator, ShardEvent, ShardEventKind, ShardRange, ShardReport,
+    retry_backoff, FailedShard, ShardCoordinator, ShardEvent, ShardEventKind, ShardRange,
+    ShardReport,
 };
 pub use wire::Json;

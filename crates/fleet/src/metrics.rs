@@ -28,7 +28,7 @@ use crate::digest::{QuantileFidelity, StatsDigest};
 use crate::report::{FleetReport, ScenarioReport};
 use crate::scenario::Scenario;
 use core::fmt;
-use ehdl::ehsim::{FaultTally, RunOutcome, RunReport};
+use ehdl::ehsim::{FaultTally, IntegrityTally, RunOutcome, RunReport};
 use ehdl::Error;
 use ehdl_netsim::SloOutcome;
 use std::io::Write;
@@ -179,6 +179,7 @@ impl MetricsSink for FullReportSink {
             charging_seconds: 0.0,
             latencies_ms: Vec::new(),
             resilience: ResilienceTally::default(),
+            integrity: IntegrityTally::default(),
         }
     }
 
@@ -197,6 +198,7 @@ impl MetricsSink for FullReportSink {
             partial.energy_limited_runs += 1;
         }
         partial.resilience.fold_run(r);
+        partial.integrity.merge(&r.integrity);
         if let Some(ms) = r.latency_ms() {
             partial.completed_runs += 1;
             partial.latencies_ms.push(ms);
@@ -271,6 +273,10 @@ pub struct FleetDigest {
     /// Gateway service-level counters, folded from each networked
     /// scenario's [`SloOutcome`]. Empty on solo-topology sweeps.
     pub slo: SloTally,
+    /// Checkpoint-payload integrity counters, folded from each run's
+    /// [`IntegrityTally`]. All-zero unless bit-flips were armed or a
+    /// non-`None` integrity scheme ran.
+    pub integrity: IntegrityTally,
 }
 
 /// Fleet-wide gateway service-level tally: how many polls the fleet's
@@ -440,6 +446,7 @@ impl FleetDigest {
         self.dark_s.merge(&other.dark_s);
         self.resilience.merge(&other.resilience);
         self.slo.merge(&other.slo);
+        self.integrity.merge(&other.integrity);
     }
 
     /// Folds one run's facts (shared by [`DigestSink`], [`GroupBySink`]
@@ -464,6 +471,7 @@ impl FleetDigest {
         self.charging_seconds += r.charging_seconds;
         self.dark_s.record(r.charging_seconds);
         self.resilience.fold_run(r);
+        self.integrity.merge(&r.integrity);
         if let Some(ms) = r.latency_ms() {
             self.latency_ms.record(ms);
         }
@@ -504,6 +512,14 @@ impl FleetDigest {
     /// of letting it read like a measurement.
     pub fn latency_fidelity(&self) -> QuantileFidelity {
         self.latency_ms.quantile_fidelity()
+    }
+
+    /// The staleness sketch's quantile resolution — the gateway-side
+    /// twin of [`latency_fidelity`](Self::latency_fidelity), consulted
+    /// by the rendered report so a collapsed staleness tail is flagged
+    /// instead of reading like a measurement.
+    pub fn staleness_fidelity(&self) -> QuantileFidelity {
+        self.slo.staleness_s.quantile_fidelity()
     }
 
     /// The digest as canonical single-line JSON — the shard wire
@@ -614,10 +630,34 @@ impl fmt::Display for FleetDigest {
                 s.devices
             )?;
         }
+        let i = &self.integrity;
+        if !i.is_empty() {
+            writeln!(
+                f,
+                "integrity: {} flips injected, {} repaired, {} detected, \
+                 {} silent restores, ladder [{} {} {} {}], wear max {} commits",
+                i.flips_injected,
+                i.flips_repaired,
+                i.flips_detected,
+                i.silent_restores,
+                i.ladder[0],
+                i.ladder[1],
+                i.ladder[2],
+                i.ladder[3],
+                i.wear_max_commits
+            )?;
+        }
         if self.latency_fidelity().tail_collapsed() {
             writeln!(
                 f,
                 "warning: latency p90 and p99 share one histogram bin \
+                 (tail clustered tighter than ~4.08%); treat them as one estimate"
+            )?;
+        }
+        if self.slo.polls > 0 && self.staleness_fidelity().tail_collapsed() {
+            writeln!(
+                f,
+                "warning: staleness p90 and p99 share one histogram bin \
                  (tail clustered tighter than ~4.08%); treat them as one estimate"
             )?;
         }
@@ -703,6 +743,11 @@ pub enum GroupAxis {
     /// puts the solo baseline next to each fleet layout (compare
     /// completion and gateway service per topology).
     Topology,
+    /// Group by checkpoint-integrity scheme — one digest per
+    /// [`Integrity`](crate::Integrity) axis value, which puts the
+    /// unguarded baseline next to each guard (compare silent-corruption
+    /// exposure and commit-energy overhead per scheme).
+    Integrity,
 }
 
 impl GroupAxis {
@@ -716,6 +761,7 @@ impl GroupAxis {
             GroupAxis::EnergyBudget => budget_label(scenario.energy_budget_nj),
             GroupAxis::Fault => scenario.fault.label(),
             GroupAxis::Topology => scenario.topology.label(),
+            GroupAxis::Integrity => scenario.integrity.label().to_string(),
         }
     }
 
@@ -729,6 +775,7 @@ impl GroupAxis {
             GroupAxis::EnergyBudget => "energy_budget",
             GroupAxis::Fault => "fault",
             GroupAxis::Topology => "topology",
+            GroupAxis::Integrity => "integrity",
         }
     }
 
@@ -743,6 +790,7 @@ impl GroupAxis {
             GroupAxis::EnergyBudget,
             GroupAxis::Fault,
             GroupAxis::Topology,
+            GroupAxis::Integrity,
         ]
         .into_iter()
         .find(|a| a.name() == name)
@@ -868,7 +916,7 @@ impl MetricsSink for GroupBySink {
 
 /// The row fields shared by [`JsonlSink`] and [`CsvSink`], in column
 /// order.
-fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 22] {
+fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 23] {
     let s = record.scenario;
     let r = record.report;
     [
@@ -885,6 +933,7 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 22] {
         ),
         ("fault", s.fault.label()),
         ("topology", s.topology.label()),
+        ("integrity", s.integrity.label().to_string()),
         ("run", record.run.to_string()),
         ("outcome", r.outcome.label().to_string()),
         ("accuracy", record.accuracy.to_string()),
@@ -908,7 +957,14 @@ fn row_fields(record: &RunRecord<'_>) -> [(&'static str, String); 22] {
 fn json_is_string(name: &str) -> bool {
     matches!(
         name,
-        "workload" | "environment" | "strategy" | "board" | "fault" | "topology" | "outcome"
+        "workload"
+            | "environment"
+            | "strategy"
+            | "board"
+            | "fault"
+            | "topology"
+            | "integrity"
+            | "outcome"
     )
 }
 
@@ -1033,7 +1089,7 @@ impl<W: Write> CsvSink<W> {
 }
 
 /// The CSV column names, in order (matches [`row_fields`]).
-const CSV_COLUMNS: [&str; 22] = [
+const CSV_COLUMNS: [&str; 23] = [
     "scenario",
     "workload",
     "environment",
@@ -1043,6 +1099,7 @@ const CSV_COLUMNS: [&str; 22] = [
     "energy_budget_nj",
     "fault",
     "topology",
+    "integrity",
     "run",
     "outcome",
     "accuracy",
@@ -1119,6 +1176,7 @@ mod tests {
             checkpoint_energy: Energy::from_nanojoules(100.0),
             meter: EnergyMeter::new(),
             faults: FaultTally::default(),
+            integrity: IntegrityTally::default(),
         }
     }
 
@@ -1328,6 +1386,7 @@ mod tests {
                 "board",
                 "fault",
                 "topology",
+                "integrity",
                 "outcome"
             ]
         );
@@ -1484,6 +1543,97 @@ mod tests {
         }
         assert!(!healthy.latency_fidelity().tail_collapsed());
         assert!(!healthy.to_string().contains("warning:"));
+    }
+
+    #[test]
+    fn integrity_tally_folds_into_the_digest_and_renders() {
+        let scenarios = ScenarioMatrix::new().scenarios();
+        let sink = DigestSink::new();
+        let mut partial = sink.open(&scenarios[0], 0.9);
+        let mut flipped = fake_report(RunOutcome::Completed, 0.1);
+        flipped.integrity = IntegrityTally {
+            flips_injected: 4,
+            flips_repaired: 1,
+            flips_detected: 2,
+            silent_restores: 0,
+            wear_max_commits: 120,
+            ladder: [3, 1, 2, 0],
+        };
+        let mut worn = fake_report(RunOutcome::Completed, 0.1);
+        worn.integrity.wear_max_commits = 80;
+        worn.integrity.ladder = [2, 0, 0, 0];
+        for (run, report) in [&flipped, &worn].into_iter().enumerate() {
+            let record = RunRecord {
+                scenario: &scenarios[0],
+                run: run as u32,
+                accuracy: 0.9,
+                report,
+            };
+            DigestSink::fold(&mut partial, &record);
+        }
+        let mut sink = sink;
+        sink.merge(partial).unwrap();
+        let digest = sink.finish().unwrap();
+        let i = digest.integrity;
+        assert_eq!(i.flips_injected, 4);
+        assert_eq!(i.flips_repaired, 1);
+        assert_eq!(i.flips_detected, 2);
+        assert_eq!(i.wear_max_commits, 120, "wear folds by max");
+        assert_eq!(i.ladder, [5, 1, 2, 0]);
+        let text = digest.to_string();
+        assert!(text.contains("integrity: 4 flips injected"), "{text}");
+        // An integrity-free digest omits the line entirely.
+        let clean = drive(DigestSink::new());
+        assert!(clean.integrity.is_empty());
+        assert!(!clean.to_string().contains("integrity:"));
+    }
+
+    #[test]
+    fn integrity_axis_groups_by_scheme_label() {
+        use ehdl::ehsim::Integrity;
+        let scenarios = ScenarioMatrix::new()
+            .integrities(vec![Integrity::None, Integrity::Secded])
+            .scenarios();
+        let mut sink = GroupBySink::new(GroupAxis::Integrity);
+        for scenario in &scenarios {
+            let partial = sink.open(scenario, 0.5);
+            sink.merge(partial).unwrap();
+        }
+        let grouped = sink.finish().unwrap();
+        assert_eq!(grouped.groups.len(), 2);
+        assert_eq!(grouped.groups[0].0, "none");
+        assert_eq!(grouped.groups[1].0, "secded");
+        assert_eq!(GroupAxis::Integrity.name(), "integrity");
+        assert_eq!(GroupAxis::parse("integrity"), Some(GroupAxis::Integrity));
+    }
+
+    #[test]
+    fn collapsed_staleness_tail_warns_in_the_rendered_report() {
+        let mut digest = FleetDigest::new();
+        digest.slo.polls = 100;
+        digest.slo.served = 100;
+        // 85 spread samples + a tail clustered tighter than one bin.
+        for i in 0..85 {
+            digest.slo.staleness_s.record(1.0 + f64::from(i));
+        }
+        for i in 0..15 {
+            digest
+                .slo
+                .staleness_s
+                .record(6700.0 * (1.0 + 1e-3 * f64::from(i)));
+        }
+        assert!(digest.staleness_fidelity().tail_collapsed());
+        let text = digest.to_string();
+        assert!(text.contains("warning: staleness p90 and p99"), "{text}");
+        // A healthy staleness spread stays silent.
+        let mut healthy = FleetDigest::new();
+        healthy.slo.polls = 100;
+        for i in 0..100 {
+            healthy.slo.staleness_s.record(1.0 + 2.0 * f64::from(i));
+        }
+        assert!(!healthy.to_string().contains("warning: staleness"));
+        // No polls → no warning even if the sketch were somehow fed.
+        assert!(!FleetDigest::new().to_string().contains("warning:"));
     }
 
     #[test]

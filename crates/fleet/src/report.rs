@@ -2,6 +2,7 @@
 
 use crate::metrics::ResilienceTally;
 use core::fmt;
+use ehdl::ehsim::IntegrityTally;
 use ehdl::Strategy;
 
 /// Nearest-rank percentile of an **ascending-sorted** slice.
@@ -66,6 +67,10 @@ pub struct ScenarioReport {
     /// Fault-injection resilience counters folded from this scenario's
     /// runs. All-zero on fault-free sweeps.
     pub resilience: ResilienceTally,
+    /// Checkpoint-payload integrity counters folded from this
+    /// scenario's runs. All-zero unless bit-flips were armed or a
+    /// non-`None` integrity scheme ran.
+    pub integrity: IntegrityTally,
 }
 
 impl ScenarioReport {
@@ -365,6 +370,7 @@ mod tests {
             charging_seconds: 0.2,
             latencies_ms,
             resilience: ResilienceTally::default(),
+            integrity: IntegrityTally::default(),
         }
     }
 

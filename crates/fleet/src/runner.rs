@@ -7,7 +7,8 @@ use crate::report::FleetReport;
 use crate::scenario::{Scenario, ScenarioMatrix, Workload};
 use ehdl::deployment::quantized_accuracy;
 use ehdl::ehsim::{
-    ExecPhase, ExecutionPlan, FaultPlan, IntermittentExecutor, RunTrace, TimelineRecorder,
+    ExecPhase, ExecutionPlan, FaultPlan, Integrity, IntermittentExecutor, RunTrace,
+    TimelineRecorder,
 };
 use ehdl::{BoardSpec, Deployment, Error, Strategy};
 use ehdl_netsim::{DeviceTimeline, SharedField, WorldSim};
@@ -95,9 +96,16 @@ struct DeployState {
 type TraceCache = Mutex<Lru<Arc<RunTrace>>>;
 
 /// The append-only store of compiled execution plans, one per
-/// (workload, board, strategy); the Vec position doubles as the stable
-/// `plan_slot` the trace-cache key is built from.
-type PlanStore = Mutex<Vec<((Workload, BoardSpec, Strategy), Arc<ExecutionPlan>)>>;
+/// (workload, board, strategy, integrity scheme) — the scheme is part
+/// of the key because it changes the plan's durable-write pricing; the
+/// Vec position doubles as the stable `plan_slot` the trace-cache key
+/// is built from.
+type PlanStore = Mutex<
+    Vec<(
+        (Workload, BoardSpec, Strategy, Integrity),
+        Arc<ExecutionPlan>,
+    )>,
+>;
 
 /// Executes a [`ScenarioMatrix`] across a fixed pool of worker threads,
 /// streaming one [`RunRecord`] per (scenario, run) into a
@@ -116,8 +124,9 @@ type PlanStore = Mutex<Vec<((Workload, BoardSpec, Strategy), Arc<ExecutionPlan>)
 ///
 /// Besides sharing each built [`Deployment`] across environments, the
 /// runner compiles one costed [`ExecutionPlan`] per (workload, board,
-/// strategy) — op costs are program- and board-derived, never data- or
-/// environment-derived — and shares it (via `Arc`) across every
+/// strategy, integrity scheme) — op costs are program-, board- and
+/// scheme-derived, never data- or environment-derived — and shares it
+/// (via `Arc`) across every
 /// environment, seed and worker, so a 10k-scenario sweep prices each
 /// distinct program exactly once. Deployments and recorded traces live
 /// in **bounded LRU caches** ([`cache_entries`](FleetBuilder::cache_entries)
@@ -330,7 +339,8 @@ impl FleetRunner {
             return sink.finish().map(|report| (report, profile));
         }
 
-        // One deployment per (workload, board, strategy, seed), built
+        // One deployment per (workload, board, strategy, seed,
+        // integrity scheme), built
         // lazily by the first worker that needs it and kept in a
         // bounded LRU (`cache_entries` deep). Accuracy only depends on
         // the deployment and its data slice, so it is priced at build
@@ -341,9 +351,10 @@ impl FleetRunner {
         // eviction never changes any report.
         let deployments: Mutex<Lru<Arc<DeployState>>> = Mutex::new(Lru::new(self.cache_entries));
 
-        // One execution plan per (workload, board, strategy), shared
-        // across seeds too: the lowered op stream and its costs depend
-        // on the model architecture and the cost table, not on the
+        // One execution plan per (workload, board, strategy,
+        // integrity scheme), shared across seeds too: the lowered op
+        // stream and its costs depend on the model architecture, the
+        // cost table and the scheme's checkpoint padding, not on the
         // calibration data, so seed-variant deployments compile
         // bit-identical plans. Plans are tiny relative to deployments
         // and their slot index keys the trace cache, so this store is
@@ -697,7 +708,12 @@ fn build_deploy_state(
         .strategy(scenario.strategy)
         .build()?;
     let accuracy = quantized_accuracy(deployment.quantized(), &data)?;
-    let key = (scenario.workload, scenario.board.clone(), scenario.strategy);
+    let key = (
+        scenario.workload,
+        scenario.board.clone(),
+        scenario.strategy,
+        scenario.integrity,
+    );
     let mut plans = plans.lock().expect("plan cache lock");
     let (plan_slot, plan) = match plans.iter().position(|(k, _)| *k == key) {
         Some(slot) => {
@@ -710,7 +726,7 @@ fn build_deploy_state(
             if let Some(p) = profile {
                 p.caches.plan.misses += 1;
             }
-            let plan = Arc::new(deployment.compile_plan());
+            let plan = Arc::new(deployment.compile_plan_with_integrity(scenario.integrity));
             plans.push((key, Arc::clone(&plan)));
             (plans.len() - 1, plan)
         }
@@ -746,7 +762,14 @@ fn run_scenario<S: MetricsSink>(
     mut profile: Option<&mut PhaseProfile>,
 ) -> Result<(), Error> {
     let mut session = if reference {
-        deploy.deployment.session()
+        // Reference mode compiles its own fresh plan per scenario, at
+        // the scenario's integrity scheme so the reference interpreter
+        // prices and recovers identically to the planned path.
+        deploy.deployment.session_with_plan(Arc::new(
+            deploy
+                .deployment
+                .compile_plan_with_integrity(scenario.integrity),
+        ))
     } else {
         deploy
             .deployment
@@ -886,7 +909,11 @@ fn run_world_scenario<S: MetricsSink>(
             .seed
             .wrapping_add(u64::from(device).wrapping_mul(0xD1B5_4A32_D192_ED03));
         let mut session = if reference {
-            deploy.deployment.session()
+            deploy.deployment.session_with_plan(Arc::new(
+                deploy
+                    .deployment
+                    .compile_plan_with_integrity(scenario.integrity),
+            ))
         } else {
             deploy
                 .deployment

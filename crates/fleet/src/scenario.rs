@@ -1,7 +1,7 @@
 //! Scenario definition and the cross-product matrix builder.
 
 use ehdl::datasets::Dataset;
-use ehdl::ehsim::{catalog, Environment, ExecutorConfig, FaultSpec};
+use ehdl::ehsim::{catalog, Environment, ExecutorConfig, FaultSpec, Integrity};
 use ehdl::nn::Model;
 use ehdl::{BoardSpec, CalibrationConfig, Strategy};
 use ehdl_netsim::NetworkTopology;
@@ -82,6 +82,12 @@ pub struct Scenario {
     /// ([`FaultSpec::none()`] on the default axis — zero behavior
     /// change).
     pub fault: FaultSpec,
+    /// The checkpoint-payload integrity scheme this scenario's plans
+    /// are compiled with ([`Integrity::None`] on the default axis —
+    /// zero behavior change). Guarded schemes pad every durable write
+    /// with check words and walk the recovery ladder on faulted
+    /// restores.
+    pub integrity: Integrity,
     /// The networked-world topology this scenario runs under
     /// ([`NetworkTopology::solo()`] on the default axis — the classic
     /// single-device path, bit-identically). Non-solo topologies run
@@ -104,6 +110,8 @@ pub struct Scenario {
     /// runner keys its compiled [`FaultPlan`](ehdl::ehsim::FaultPlan)s
     /// (and the trace cache) on it.
     pub(crate) fault_key: usize,
+    /// Index of this scenario's entry in the matrix's integrity axis.
+    pub(crate) integrity_key: usize,
     /// Index of this scenario's entry in the matrix's topology axis.
     pub(crate) topology_key: usize,
 }
@@ -134,6 +142,12 @@ impl Scenario {
         self.fault_key
     }
 
+    /// Index of this scenario's entry in the matrix's integrity axis
+    /// (see [`ScenarioMatrix::integrities`]).
+    pub fn integrity_key(&self) -> usize {
+        self.integrity_key
+    }
+
     /// Index of this scenario's entry in the matrix's topology axis
     /// (see [`ScenarioMatrix::topologies`]).
     pub fn topology_key(&self) -> usize {
@@ -156,6 +170,10 @@ impl Scenario {
         if !self.fault.is_none() {
             name.push('!');
             name.push_str(&self.fault.label());
+        }
+        if self.integrity != Integrity::None {
+            name.push('+');
+            name.push_str(self.integrity.label());
         }
         if !self.topology.is_solo() {
             name.push('~');
@@ -191,6 +209,7 @@ pub struct ScenarioMatrix {
     pub(crate) seeds: Vec<u64>,
     pub(crate) budgets: Vec<Option<f64>>,
     pub(crate) faults: Vec<FaultSpec>,
+    pub(crate) integrities: Vec<Integrity>,
     pub(crate) topologies: Vec<NetworkTopology>,
     pub(crate) runs: u32,
     pub(crate) calibration: CalibrationConfig,
@@ -214,6 +233,7 @@ impl ScenarioMatrix {
             seeds: vec![0],
             budgets: vec![None],
             faults: vec![FaultSpec::none()],
+            integrities: vec![Integrity::None],
             topologies: vec![NetworkTopology::solo()],
             runs: 1,
             calibration: CalibrationConfig::default(),
@@ -275,6 +295,18 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the checkpoint-integrity axis. The default axis is
+    /// `vec![Integrity::None]` — one unguarded entry, bit-identical to
+    /// a matrix without the axis. Guarded entries compile every plan of
+    /// their scenarios with padded durable writes (checksum or SECDED
+    /// check words) and resolve faulted restores through the recovery
+    /// ladder; group the digest by
+    /// [`GroupAxis::Integrity`](crate::GroupAxis) to compare schemes.
+    pub fn integrities(mut self, integrities: Vec<Integrity>) -> Self {
+        self.integrities = integrities;
+        self
+    }
+
     /// Replaces the network-topology axis. The default axis is
     /// `vec![NetworkTopology::solo()]` — one classic single-device
     /// entry, bit-identical to a matrix without the axis. Non-solo
@@ -325,6 +357,12 @@ impl ScenarioMatrix {
         &self.faults
     }
 
+    /// The integrity axis, in expansion order (the order
+    /// [`Scenario::integrity_key`] indexes).
+    pub fn integrity_axis(&self) -> &[Integrity] {
+        &self.integrities
+    }
+
     /// The topology axis, in expansion order (the order
     /// [`Scenario::topology_key`] indexes).
     pub fn topology_axis(&self) -> &[NetworkTopology] {
@@ -340,6 +378,7 @@ impl ScenarioMatrix {
             * self.seeds.len()
             * self.budgets.len()
             * self.faults.len()
+            * self.integrities.len()
             * self.topologies.len()
     }
 
@@ -355,14 +394,15 @@ impl ScenarioMatrix {
     }
 
     /// Expands a contiguous slice of the cross-product, in the fixed
-    /// matrix order: workload, board, strategy, seed, topology, fault,
-    /// budget, environment (innermost). Scenarios sharing a (workload,
-    /// board, strategy, seed) prefix share a deployment key — dense over
-    /// the whole matrix, contiguous over any contiguous index range — so
-    /// runners build each deployment once and reuse it across every
-    /// environment, budget, fault schedule and topology. A shard worker
-    /// expands only its own range: memory stays O(shard), not O(matrix),
-    /// however large the sweep.
+    /// matrix order: workload, board, strategy, seed, topology,
+    /// integrity, fault, budget, environment (innermost). Scenarios
+    /// sharing a (workload, board, strategy, seed, integrity) prefix
+    /// share a deployment key — dense over the whole matrix, contiguous
+    /// over any contiguous index range — so runners build each
+    /// deployment (and its integrity-priced plan) once and reuse it
+    /// across every environment, budget, fault schedule and topology. A
+    /// shard worker expands only its own range: memory stays O(shard),
+    /// not O(matrix), however large the sweep.
     ///
     /// Indices, keys and scenarios are identical to the corresponding
     /// slice of [`scenarios`](Self::scenarios); out-of-bounds ends are
@@ -374,6 +414,7 @@ impl ScenarioMatrix {
         let ne = self.environments.len();
         let nb = self.budgets.len();
         let nf = self.faults.len();
+        let ni = self.integrities.len();
         let nt = self.topologies.len();
         let ns = self.seeds.len();
         let nst = self.strategies.len();
@@ -382,11 +423,12 @@ impl ScenarioMatrix {
             let environment_key = index % ne;
             let budget_key = (index / ne) % nb;
             let fault_key = (index / (ne * nb)) % nf;
-            let topology_key = (index / (ne * nb * nf)) % nt;
-            let seed_i = (index / (ne * nb * nf * nt)) % ns;
-            let strategy_i = (index / (ne * nb * nf * nt * ns)) % nst;
-            let board_i = (index / (ne * nb * nf * nt * ns * nst)) % self.boards.len();
-            let workload_i = index / (ne * nb * nf * nt * ns * nst * self.boards.len());
+            let integrity_key = (index / (ne * nb * nf)) % ni;
+            let topology_key = (index / (ne * nb * nf * ni)) % nt;
+            let seed_i = (index / (ne * nb * nf * ni * nt)) % ns;
+            let strategy_i = (index / (ne * nb * nf * ni * nt * ns)) % nst;
+            let board_i = (index / (ne * nb * nf * ni * nt * ns * nst)) % self.boards.len();
+            let workload_i = index / (ne * nb * nf * ni * nt * ns * nst * self.boards.len());
             out.push(Scenario {
                 index,
                 environment: self.environments[environment_key].clone(),
@@ -396,11 +438,16 @@ impl ScenarioMatrix {
                 seed: self.seeds[seed_i],
                 energy_budget_nj: self.budgets[budget_key],
                 fault: self.faults[fault_key],
+                integrity: self.integrities[integrity_key],
                 topology: self.topologies[topology_key],
-                deployment_key: index / (ne * nb * nf * nt),
+                // The plan bakes the integrity scheme into its durable
+                // write pricing, so each scheme is its own deployment
+                // slot; the composite stays dense and contiguous.
+                deployment_key: (index / (ne * nb * nf * ni * nt)) * ni + integrity_key,
                 environment_key,
                 budget_key,
                 fault_key,
+                integrity_key,
                 topology_key,
             });
         }
@@ -506,6 +553,8 @@ mod tests {
             tear_per_commit: 0.1,
             corrupt_per_restore: 0.1,
             burst_len: 0,
+            flip_per_commit_bit: 0.0,
+            wear: ehdl::ehsim::WearCurve::NONE,
         };
         let m = ScenarioMatrix::new()
             .environments(vec![catalog::bench_supply(), catalog::office_rf()])
@@ -523,6 +572,42 @@ mod tests {
         // No-fault names are unchanged; faulted ones append the label.
         assert!(!s[0].name().contains('!'), "{}", s[0].name());
         assert!(s[4].name().contains("!f9:"), "{}", s[4].name());
+        let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn integrity_axis_multiplies_the_matrix_and_splits_deployments() {
+        let m = ScenarioMatrix::new()
+            .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+            .faults(vec![
+                FaultSpec::none(),
+                FaultSpec {
+                    seed: 1,
+                    reset_per_op: 0.001,
+                    ..FaultSpec::none()
+                },
+            ])
+            .integrities(vec![Integrity::None, Integrity::Secded]);
+        assert_eq!(m.len(), 2 * 2 * 2);
+        let s = m.scenarios();
+        // Integrity sits between topology and fault: the first four
+        // scenarios (2 environments × 2 faults) are unguarded, the
+        // next four carry SECDED — on a *different* deployment, since
+        // the scheme changes the plan's durable-write pricing.
+        assert!(s[..4].iter().all(|sc| sc.integrity == Integrity::None));
+        assert!(s[4..].iter().all(|sc| sc.integrity == Integrity::Secded));
+        assert!(s[..4].iter().all(|sc| sc.deployment_key == 0));
+        assert!(s[4..].iter().all(|sc| sc.deployment_key == 1));
+        assert_eq!(s[4].integrity_key, 1);
+        // Unguarded names are unchanged; guarded ones append the label.
+        // (The strategy name "ACE+FLEX" contains '+', so check for the
+        // scheme suffix itself, not the separator.)
+        assert!(!s[0].name().ends_with("+none"), "{}", s[0].name());
+        assert!(!s[0].name().ends_with("+secded"), "{}", s[0].name());
+        assert!(s[4].name().ends_with("+secded"), "{}", s[4].name());
         let mut names: Vec<String> = s.iter().map(Scenario::name).collect();
         names.sort();
         names.dedup();

@@ -214,6 +214,7 @@ pub struct ShardCoordinator {
     worker_threads: usize,
     retries: u32,
     backoff: Duration,
+    backoff_seed: u64,
     timeout: Option<Duration>,
     checkpoint_dir: Option<PathBuf>,
     group_by: Vec<GroupAxis>,
@@ -235,6 +236,7 @@ impl ShardCoordinator {
             worker_threads: 2,
             retries: 2,
             backoff: Duration::from_millis(250),
+            backoff_seed: 0,
             timeout: None,
             checkpoint_dir: None,
             group_by: Vec::new(),
@@ -271,9 +273,22 @@ impl ShardCoordinator {
         self
     }
 
-    /// Initial retry backoff; doubles per subsequent attempt.
+    /// Initial retry backoff; doubles per subsequent attempt, then a
+    /// deterministic per-(seed, shard, attempt) jitter scales each
+    /// delay into `[50%, 100%)` of its exponential slot (see
+    /// [`retry_backoff`]) so simultaneous failures never retry in
+    /// lockstep.
     pub fn backoff(mut self, backoff: Duration) -> Self {
         self.backoff = backoff;
+        self
+    }
+
+    /// Seed of the deterministic retry jitter. The same seed replays
+    /// the exact same backoff schedule — shard for shard, attempt for
+    /// attempt — so flake reproductions are bit-faithful timing-wise
+    /// too. Defaults to 0.
+    pub fn backoff_seed(mut self, seed: u64) -> Self {
+        self.backoff_seed = seed;
         self
     }
 
@@ -780,7 +795,8 @@ impl ShardCoordinator {
             });
             ShardState::Pending {
                 attempt: failures,
-                ready_at: Instant::now() + self.backoff * 2u32.saturating_pow(failures - 1),
+                ready_at: Instant::now()
+                    + retry_backoff(self.backoff, self.backoff_seed, shard, failures),
             }
         }
     }
@@ -844,6 +860,27 @@ fn heartbeat_done(store: &CheckpointStore, shard: usize) -> u64 {
         .unwrap_or(0)
 }
 
+/// The retry delay for one failed shard attempt: the classic doubling
+/// schedule (`base * 2^(attempt-1)`) scaled by a deterministic jitter
+/// in `[0.5, 1.0)` drawn from SplitMix64 over `(seed, shard, attempt)`.
+/// A pure function — the same inputs always produce the same delay, so
+/// a seeded sweep's retry timing replays exactly, while distinct shards
+/// failing at the same instant still spread out instead of thundering
+/// back in lockstep.
+pub fn retry_backoff(base: Duration, seed: u64, shard: usize, attempt: u32) -> Duration {
+    let exponential = base * 2u32.saturating_pow(attempt.saturating_sub(1));
+    let mut z = seed
+        ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 53 uniform bits → [0, 1), halved and offset into [0.5, 1.0).
+    let jitter = 0.5 + (z >> 11) as f64 / 9_007_199_254_740_992.0 / 2.0;
+    exponential.mul_f64(jitter)
+}
+
 /// Replays one scenario record into a grouped digest exactly as the
 /// in-process [`GroupBySink`](crate::GroupBySink) would.
 fn merge_group(gd: &mut GroupedDigest, record: &ShardRecord) {
@@ -855,6 +892,7 @@ fn merge_group(gd: &mut GroupedDigest, record: &ShardRecord) {
         GroupAxis::EnergyBudget => &record.budget,
         GroupAxis::Fault => &record.fault,
         GroupAxis::Topology => &record.topology,
+        GroupAxis::Integrity => &record.integrity,
     };
     match gd.groups.iter_mut().find(|(k, _)| k == key) {
         Some((_, digest)) => digest.merge(&record.digest),
@@ -1154,6 +1192,7 @@ impl<W: Write + Send> MetricsSink for ShardRecordSink<W> {
             budget: budget_label(scenario.energy_budget_nj),
             fault: scenario.fault.label(),
             topology: scenario.topology.label(),
+            integrity: scenario.integrity.label().to_string(),
             digest,
         }
     }
@@ -1184,5 +1223,54 @@ impl<W: Write + Send> MetricsSink for ShardRecordSink<W> {
     fn finish(self) -> Result<(u64, W), Error> {
         let writer = self.writer.finish().map_err(Error::from)?;
         Ok((self.written, writer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_is_a_pure_function_of_its_inputs() {
+        let base = Duration::from_millis(250);
+        for shard in [0usize, 1, 7, 500] {
+            for attempt in 1..=5u32 {
+                assert_eq!(
+                    retry_backoff(base, 42, shard, attempt),
+                    retry_backoff(base, 42, shard, attempt),
+                    "shard {shard} attempt {attempt}"
+                );
+            }
+        }
+        // A different seed replays a different (but equally fixed)
+        // schedule.
+        assert_ne!(retry_backoff(base, 42, 3, 2), retry_backoff(base, 43, 3, 2));
+    }
+
+    #[test]
+    fn retry_backoff_jitters_within_its_exponential_slot() {
+        let base = Duration::from_millis(100);
+        for attempt in 1..=6u32 {
+            let slot = base * 2u32.pow(attempt - 1);
+            for shard in 0..50usize {
+                let d = retry_backoff(base, 7, shard, attempt);
+                assert!(d >= slot / 2, "attempt {attempt} shard {shard}: {d:?}");
+                assert!(d < slot, "attempt {attempt} shard {shard}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_backoff_spreads_simultaneous_failures() {
+        // Distinct shards failing at the same attempt must not share a
+        // delay (that lockstep is exactly what jitter exists to break).
+        let base = Duration::from_millis(250);
+        let delays: Vec<Duration> = (0..8usize)
+            .map(|shard| retry_backoff(base, 0, shard, 1))
+            .collect();
+        let mut unique = delays.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), delays.len(), "{delays:?}");
     }
 }

@@ -19,7 +19,10 @@ use crate::digest::StatsDigest;
 use crate::metrics::{json_escape, FleetDigest, ResilienceTally, SloTally};
 use crate::profile::{CacheCounters, CacheStats, PhaseProfile};
 use crate::scenario::{ScenarioMatrix, Workload};
-use ehdl::ehsim::{Capacitor, Environment, ExecPhase, ExecutorConfig, FaultSpec, Harvester};
+use ehdl::ehsim::{
+    Capacitor, Environment, ExecPhase, ExecutorConfig, FaultSpec, Harvester, Integrity,
+    IntegrityTally, WearCurve,
+};
 use ehdl::{BoardSpec, CalibrationConfig, ShardError, Strategy};
 use ehdl_netsim::NetworkTopology;
 use std::fmt::Write as _;
@@ -31,8 +34,11 @@ use std::io::{self, Write};
 /// and eviction counts to cache counters. Version 3 added the network
 /// topology axis to matrix specs, the `topology` label to shard
 /// records, burst lengths to fault specs, and the `slo` block to
-/// digests.
-pub(crate) const WIRE_VERSION: u64 = 3;
+/// digests. Version 4 added the checkpoint-integrity axis to matrix
+/// specs, the `integrity` label to shard records, the `integrity`
+/// block to digests, bit-flip rates and wear curves to fault specs,
+/// and poll retries to topologies.
+pub(crate) const WIRE_VERSION: u64 = 4;
 
 // ------------------------------------------------------------- hashing
 
@@ -544,8 +550,43 @@ pub(crate) fn digest_json(d: &FleetDigest) -> String {
         s.worlds, s.devices, s.polls, s.served, s.missed_asleep, s.missed_stale, s.starved_devices,
     );
     stats_json(&mut out, &s.staleness_s);
-    out.push_str("}}");
+    out.push('}');
+    let i = &d.integrity;
+    let _ = write!(
+        out,
+        ",\"integrity\":{{\"flips_injected\":{},\"flips_repaired\":{},\"flips_detected\":{},\
+         \"silent_restores\":{},\"wear_max_commits\":{},\"ladder\":[{},{},{},{}]}}",
+        i.flips_injected,
+        i.flips_repaired,
+        i.flips_detected,
+        i.silent_restores,
+        i.wear_max_commits,
+        i.ladder[0],
+        i.ladder[1],
+        i.ladder[2],
+        i.ladder[3],
+    );
+    out.push('}');
     out
+}
+
+fn integrity_from(v: &Json) -> Result<IntegrityTally, String> {
+    let ladder_arr = field!(v, "ladder", as_arr)?;
+    if ladder_arr.len() != 4 {
+        return Err("ladder must have 4 rungs".to_string());
+    }
+    let mut ladder = [0u64; 4];
+    for (slot, rung) in ladder.iter_mut().zip(ladder_arr) {
+        *slot = rung.as_u64().ok_or_else(|| "bad ladder rung".to_string())?;
+    }
+    Ok(IntegrityTally {
+        flips_injected: field!(v, "flips_injected", as_u64)?,
+        flips_repaired: field!(v, "flips_repaired", as_u64)?,
+        flips_detected: field!(v, "flips_detected", as_u64)?,
+        silent_restores: field!(v, "silent_restores", as_u64)?,
+        wear_max_commits: field!(v, "wear_max_commits", as_u64)?,
+        ladder,
+    })
 }
 
 fn slo_from(v: &Json) -> Result<SloTally, String> {
@@ -599,6 +640,7 @@ pub(crate) fn digest_from(v: &Json) -> Result<FleetDigest, String> {
         dark_s: stats_from(v.req("dark_s")?)?,
         resilience: resilience_from(v.req("resilience")?)?,
         slo: slo_from(v.req("slo")?)?,
+        integrity: integrity_from(v.req("integrity")?)?,
     })
 }
 
@@ -620,6 +662,7 @@ pub(crate) struct ShardRecord {
     pub budget: String,
     pub fault: String,
     pub topology: String,
+    pub integrity: String,
     pub digest: FleetDigest,
 }
 
@@ -628,7 +671,7 @@ impl ShardRecord {
         format!(
             "{{\"scenario\":{},\"workload\":\"{}\",\"environment\":\"{}\",\"strategy\":\"{}\",\
              \"board\":\"{}\",\"budget\":\"{}\",\"fault\":\"{}\",\"topology\":\"{}\",\
-             \"digest\":{}}}",
+             \"integrity\":\"{}\",\"digest\":{}}}",
             self.index,
             json_escape(&self.workload),
             json_escape(&self.environment),
@@ -637,6 +680,7 @@ impl ShardRecord {
             json_escape(&self.budget),
             json_escape(&self.fault),
             json_escape(&self.topology),
+            json_escape(&self.integrity),
             digest_json(&self.digest)
         )
     }
@@ -652,6 +696,7 @@ impl ShardRecord {
             budget: field!(v, "budget", as_str)?.to_string(),
             fault: field!(v, "fault", as_str)?.to_string(),
             topology: field!(v, "topology", as_str)?.to_string(),
+            integrity: field!(v, "integrity", as_str)?.to_string(),
             digest: digest_from(v.req("digest")?)?,
         })
     }
@@ -886,7 +931,8 @@ pub(crate) fn matrix_json(m: &ScenarioMatrix) -> Result<String, ShardError> {
         let _ = write!(
             out,
             "{{\"seed\":{},\"reset_per_op\":\"{}\",\"sag_per_op\":\"{}\",\"sag_factor\":\"{}\",\
-             \"tear_per_commit\":\"{}\",\"corrupt_per_restore\":\"{}\",\"burst_len\":{}}}",
+             \"tear_per_commit\":\"{}\",\"corrupt_per_restore\":\"{}\",\"burst_len\":{},\
+             \"flip_per_commit_bit\":\"{}\",\"wear_endurance\":{}}}",
             f.seed,
             f64_hex(f.reset_per_op),
             f64_hex(f.sag_per_op),
@@ -894,6 +940,8 @@ pub(crate) fn matrix_json(m: &ScenarioMatrix) -> Result<String, ShardError> {
             f64_hex(f.tear_per_commit),
             f64_hex(f.corrupt_per_restore),
             f.burst_len,
+            f64_hex(f.flip_per_commit_bit),
+            f.wear.endurance_commits,
         );
     }
     out.push_str("],\"topologies\":[");
@@ -904,14 +952,23 @@ pub(crate) fn matrix_json(m: &ScenarioMatrix) -> Result<String, ShardError> {
         let _ = write!(
             out,
             "{{\"devices\":{},\"spacing\":\"{}\",\"field_budget\":\"{}\",\
-             \"poll_period_s\":\"{}\",\"poll_offset_s\":\"{}\",\"freshness_s\":\"{}\"}}",
+             \"poll_period_s\":\"{}\",\"poll_offset_s\":\"{}\",\"freshness_s\":\"{}\",\
+             \"poll_retries\":{}}}",
             t.devices,
             f64_hex(t.spacing),
             f64_hex(t.field_budget),
             f64_hex(t.poll_period_s),
             f64_hex(t.poll_offset_s),
             f64_hex(t.freshness_s),
+            t.poll_retries,
         );
+    }
+    out.push_str("],\"integrities\":[");
+    for (i, scheme) in m.integrities.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", scheme.label());
     }
     let _ = write!(
         out,
@@ -1129,6 +1186,10 @@ pub(crate) fn matrix_from(v: &Json) -> Result<ScenarioMatrix, String> {
             burst_len: field!(f, "burst_len", as_u64)?
                 .try_into()
                 .map_err(|_| "burst_len out of range".to_string())?,
+            flip_per_commit_bit: field!(f, "flip_per_commit_bit", as_f64_bits)?,
+            wear: WearCurve {
+                endurance_commits: field!(f, "wear_endurance", as_u64)?,
+            },
         });
     }
     let mut topologies = Vec::new();
@@ -1142,9 +1203,19 @@ pub(crate) fn matrix_from(v: &Json) -> Result<ScenarioMatrix, String> {
             poll_period_s: field!(t, "poll_period_s", as_f64_bits)?,
             poll_offset_s: field!(t, "poll_offset_s", as_f64_bits)?,
             freshness_s: field!(t, "freshness_s", as_f64_bits)?,
+            poll_retries: field!(t, "poll_retries", as_u64)?
+                .try_into()
+                .map_err(|_| "poll_retries out of range".to_string())?,
         };
         topology.validate().map_err(|e| e.to_string())?;
         topologies.push(topology);
+    }
+    let mut integrities = Vec::new();
+    for i in field!(v, "integrities", as_arr)? {
+        let label = i.as_str().ok_or_else(|| "bad integrity".to_string())?;
+        integrities.push(
+            Integrity::parse(label).ok_or_else(|| format!("unknown integrity scheme {label:?}"))?,
+        );
     }
     let cal = v.req("calibration")?;
     let exec = v.req("executor")?;
@@ -1157,6 +1228,7 @@ pub(crate) fn matrix_from(v: &Json) -> Result<ScenarioMatrix, String> {
         budgets,
         faults,
         topologies,
+        integrities,
         runs: field!(v, "runs", as_u64)?
             .try_into()
             .map_err(|_| "runs out of range".to_string())?,
@@ -1211,6 +1283,14 @@ mod tests {
                 cold_boots: 1,
                 detected_corruptions: 1,
                 silent_corruptions: 0,
+            },
+            integrity: IntegrityTally {
+                flips_injected: 5,
+                flips_repaired: 2,
+                flips_detected: 1,
+                silent_restores: 1,
+                wear_max_commits: 321,
+                ladder: [7, 2, 1, 0],
             },
         };
         let record = RunRecord {
@@ -1274,6 +1354,7 @@ mod tests {
             budget: "unbounded".to_string(),
             fault: "f9:r1e-3:s0:t0:c0".to_string(),
             topology: "n4:d1:b1:p0.5:o0:f10".to_string(),
+            integrity: "secded".to_string(),
             digest: sample_digest(),
         };
         let back = ShardRecord::from_line(&record.to_line()).unwrap();
@@ -1300,6 +1381,7 @@ mod tests {
                 budget: "unbounded".to_string(),
                 fault: "none".to_string(),
                 topology: "solo".to_string(),
+                integrity: "none".to_string(),
                 digest: sample_digest(),
             };
             writer.write_record(&record).unwrap();
@@ -1351,11 +1433,23 @@ mod tests {
                     tear_per_commit: 5e-2,
                     corrupt_per_restore: 0.25,
                     burst_len: 8,
+                    flip_per_commit_bit: 2e-4,
+                    wear: WearCurve {
+                        endurance_commits: 1_000,
+                    },
                 },
             ])
             .topologies(vec![
                 NetworkTopology::solo(),
-                NetworkTopology::line(4, 1.5, 0.25),
+                NetworkTopology {
+                    poll_retries: 2,
+                    ..NetworkTopology::line(4, 1.5, 0.25)
+                },
+            ])
+            .integrities(vec![
+                Integrity::None,
+                Integrity::Checksum,
+                Integrity::Secded,
             ])
             .runs(3);
         let json = matrix_json(&matrix).unwrap();
@@ -1373,6 +1467,56 @@ mod tests {
             fingerprint(&json, 11),
             "shard size is part of the sweep identity"
         );
+    }
+
+    #[test]
+    fn fault_labels_canonicalize_through_wire_v4_byte_identically() {
+        // The fault label is a group key and a shard-record column, so
+        // the spec that comes back off the wire must label byte-for-byte
+        // like the one that went in — flip rates and wear included.
+        let specs = vec![
+            FaultSpec::none(),
+            FaultSpec {
+                seed: 5,
+                flip_per_commit_bit: 2.5e-4,
+                ..FaultSpec::none()
+            },
+            FaultSpec {
+                seed: 6,
+                reset_per_op: 1e-3,
+                flip_per_commit_bit: 1e-5,
+                wear: WearCurve {
+                    endurance_commits: 750,
+                },
+                ..FaultSpec::none()
+            },
+            FaultSpec {
+                seed: 7,
+                tear_per_commit: 0.02,
+                burst_len: 4,
+                wear: WearCurve {
+                    endurance_commits: 10,
+                },
+                ..FaultSpec::none()
+            },
+        ];
+        let labels: Vec<String> = specs.iter().map(FaultSpec::label).collect();
+        assert!(labels[1].contains(":p0.00025"), "{}", labels[1]);
+        assert!(labels[2].ends_with(":w750"), "{}", labels[2]);
+        let matrix = ScenarioMatrix::new()
+            .faults(specs)
+            .integrities(vec![Integrity::Checksum]);
+        let json = matrix_json(&matrix).unwrap();
+        let back = matrix_from(&Json::parse(&json).unwrap()).unwrap();
+        let back_labels: Vec<String> = back.faults.iter().map(FaultSpec::label).collect();
+        assert_eq!(back_labels, labels);
+        assert_eq!(back.integrities, vec![Integrity::Checksum]);
+        // And the round trip itself stays canonical.
+        assert_eq!(matrix_json(&back).unwrap(), json);
+        // Unknown integrity labels are rejected, not silently dropped.
+        let bad = json.replace("\"checksum\"", "\"crc32\"");
+        let err = matrix_from(&Json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("crc32"), "{err}");
     }
 
     #[test]

@@ -88,6 +88,7 @@ fn single_device_topology_is_bit_identical_to_the_solo_executor() {
         poll_period_s: 0.25,
         poll_offset_s: 0.0,
         freshness_s: 10.0,
+        poll_retries: 0,
     };
     assert!(!one_device.is_solo());
     let base = ScenarioMatrix::new()

@@ -67,6 +67,11 @@ pub struct NetworkTopology {
     /// A result older than this at poll time is stale, not served
     /// (`> 0`).
     pub freshness_s: f64,
+    /// How many extra attempts a poll that finds its device asleep
+    /// gets, each one duty-cycle slot (`poll_period_s`) later, before
+    /// it counts as `missed_asleep`. `0` (the default) reproduces the
+    /// classic single-attempt gateway bit-identically.
+    pub poll_retries: u32,
 }
 
 impl NetworkTopology {
@@ -81,6 +86,7 @@ impl NetworkTopology {
             poll_period_s: 1.0,
             poll_offset_s: 0.0,
             freshness_s: 10.0,
+            poll_retries: 0,
         }
     }
 
@@ -96,6 +102,7 @@ impl NetworkTopology {
             poll_period_s,
             poll_offset_s: 0.0,
             freshness_s: 10.0,
+            poll_retries: 0,
         }
     }
 
@@ -132,7 +139,7 @@ impl NetworkTopology {
         if self.is_solo() {
             return "solo".to_owned();
         }
-        format!(
+        let mut label = format!(
             "n{}:d{}:b{}:p{}:o{}:f{}",
             self.devices,
             self.spacing,
@@ -140,7 +147,11 @@ impl NetworkTopology {
             self.poll_period_s,
             self.poll_offset_s,
             self.freshness_s
-        )
+        );
+        if self.poll_retries > 0 {
+            label.push_str(&format!(":r{}", self.poll_retries));
+        }
+        label
     }
 }
 
@@ -424,14 +435,26 @@ impl WorldSim {
             }
             let id = (k % u64::from(n)) as usize;
             outcome.polls += 1;
-            match poll_device(devices[id], t, self.topology.freshness_s) {
+            // An asleep device gets `poll_retries` further attempts,
+            // each one duty-cycle slot later, before the poll counts
+            // as missed. A retry that wakes the device resolves at the
+            // retry time (including its staleness).
+            let mut poll_t = t;
+            let mut result = poll_device(devices[id], poll_t, self.topology.freshness_s);
+            let mut retries = self.topology.poll_retries;
+            while result == PollResult::MissedAsleep && retries > 0 {
+                retries -= 1;
+                poll_t += self.topology.poll_period_s;
+                result = poll_device(devices[id], poll_t, self.topology.freshness_s);
+            }
+            match result {
                 PollResult::Served => {
                     outcome.served += 1;
                     served_by_device[id] = true;
-                    // last_completion_before(t) is Some by construction
-                    // of a served poll.
-                    let done = devices[id].last_completion_before(t).unwrap_or(t);
-                    outcome.staleness_s.push(t - done);
+                    // last_completion_before(poll_t) is Some by
+                    // construction of a served poll.
+                    let done = devices[id].last_completion_before(poll_t).unwrap_or(poll_t);
+                    outcome.staleness_s.push(poll_t - done);
                 }
                 PollResult::MissedAsleep => outcome.missed_asleep += 1,
                 PollResult::MissedStale => outcome.missed_stale += 1,
@@ -583,6 +606,47 @@ mod tests {
         assert!((slo.staleness_s[0] - 0.05).abs() < 1e-12);
         assert_eq!(slo.starved_devices, 0);
         assert!((slo.served_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poll_retries_rescue_asleep_polls_but_not_stale_ones() {
+        // Same world as `polls_resolve_served_asleep_and_stale`, but
+        // the gateway retries asleep polls once, one slot later.
+        let build_device = || {
+            let mut device = DeviceTimeline::new();
+            device.push_run(&run_timeline(&[(0.2, 0.6)], 1.0, true));
+            device.push_run(&run_timeline(&[(0.2, 0.6)], 1.0, false));
+            device
+        };
+        let mut topo = NetworkTopology::line(1, 0.0, 0.5);
+        topo.poll_offset_s = 0.05;
+        topo.freshness_s = 0.7;
+        topo.poll_retries = 1;
+        assert!(topo.validate().is_ok());
+        assert!(topo.label().ends_with(":r1"));
+        let mut world = WorldSim::new(topo);
+        world.add_device(0, build_device());
+        let slo = world.resolve();
+        // The 0.55 poll (dark) retries at 1.05 and is served with
+        // staleness 0.05; the 1.55 poll retries at 2.05 where the
+        // device idles awake but its 1.0 result is stale.
+        assert_eq!(slo.polls, 4);
+        assert_eq!(slo.served, 2);
+        assert_eq!(slo.missed_asleep, 0);
+        assert_eq!(slo.missed_stale, 2);
+        assert_eq!(slo.staleness_s.len(), 2);
+        assert!((slo.staleness_s[0] - 0.05).abs() < 1e-12);
+        assert!((slo.staleness_s[1] - 0.05).abs() < 1e-12);
+
+        // Retries disabled reproduces the classic gateway; the label
+        // carries no retry suffix.
+        topo.poll_retries = 0;
+        assert!(!topo.label().contains(":r"));
+        let mut world = WorldSim::new(topo);
+        world.add_device(0, build_device());
+        let baseline = world.resolve();
+        assert_eq!(baseline.served, 1);
+        assert_eq!(baseline.missed_asleep, 2);
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() -> Result<(), ehdl::Error> {
             poll_period_s: 0.5,
             poll_offset_s: 0.0,
             freshness_s: 10.0,
+            poll_retries: 0,
         })
         .collect();
     let matrix = ScenarioMatrix::new()
@@ -78,6 +79,7 @@ fn main() -> Result<(), ehdl::Error> {
         poll_period_s: 0.5,
         poll_offset_s: 0.0,
         freshness_s: 10.0,
+        poll_retries: 0,
     };
     let solo = FleetRunner::new(2).run_with_sink(&base.clone(), DigestSink::new())?;
     let world =

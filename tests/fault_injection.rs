@@ -6,9 +6,14 @@
 //! corrupted progress — every corrupt restore is detected and rolled
 //! back to the last good checkpoint.
 
-use ehdl::ehsim::{catalog, ExecutorConfig, FaultPlan, FaultSpec, IntermittentExecutor};
+use ehdl::ehsim::{
+    catalog, ExecutorConfig, FaultPlan, FaultSpec, Integrity, IntermittentExecutor, WearCurve,
+};
 use ehdl::prelude::*;
-use ehdl_fleet::{DigestSink, FleetRunner, JsonlSink, ScenarioMatrix, Workload};
+use ehdl_fleet::{
+    DigestSink, FleetRunner, GroupAxis, GroupBySink, JsonlSink, ScenarioMatrix, Workload,
+};
+use std::sync::Arc;
 
 fn quick_executor() -> ExecutorConfig {
     ExecutorConfig {
@@ -28,6 +33,23 @@ fn storm(seed: u64) -> FaultSpec {
         tear_per_commit: 0.1,
         corrupt_per_restore: 0.25,
         burst_len: 0,
+        flip_per_commit_bit: 0.0,
+        wear: WearCurve::NONE,
+    }
+}
+
+/// A payload-upset storm: spurious resets force restores without
+/// brown-outs, every successful commit draws a per-bit flip, and a
+/// short wear-endurance curve accelerates the rate as slots age.
+fn bit_storm(seed: u64) -> FaultSpec {
+    FaultSpec {
+        seed,
+        reset_per_op: 0.01,
+        flip_per_commit_bit: 2e-4,
+        wear: WearCurve {
+            endurance_commits: 20_000,
+        },
+        ..FaultSpec::none()
     }
 }
 
@@ -285,4 +307,135 @@ fn lru_evictions_leave_the_digest_bit_identical() {
         );
         assert_eq!(profile.caches.deployment.entries, 1, "{workers} workers");
     }
+}
+
+/// The payload-integrity audit. Under a bit-flip storm the `None`
+/// scheme restores flipped payloads as if they were good: its own
+/// in-band machinery detects nothing and repairs nothing, so the run
+/// looks clean from the device's point of view. Only the golden-twin
+/// diff catches it — the SECDED-guarded twin of the *same* deployment
+/// under the *same* storm resolves its restores through repair and
+/// fallback rungs, while the unguarded run accepts every one at rung
+/// zero despite carrying injected flips. `Checksum` and `Secded`
+/// make `silent_corruptions == 0` a property of the modeled detection
+/// scheme, and both faulted paths (compiled plan and op-by-op
+/// reference) agree bit for bit under every scheme.
+#[test]
+fn bit_flip_storm_is_silent_under_none_and_caught_only_by_the_golden_twin() {
+    let executor = IntermittentExecutor::new(quick_executor());
+    let fault = FaultPlan::compile(&bit_storm(29));
+    let deployment = har_deployment(Strategy::Sonic);
+    let environment = catalog::bench_supply();
+
+    let mut reports = Vec::new();
+    for scheme in Integrity::ALL {
+        let plan = Arc::new(deployment.compile_plan_with_integrity(scheme));
+
+        let mut planned_session = deployment.session_with_plan(Arc::clone(&plan));
+        let mut supply = environment.supply();
+        let planned = planned_session.infer_intermittent_faulted(&executor, &mut supply, &fault);
+
+        let mut reference_session = deployment.session_with_plan(Arc::clone(&plan));
+        let mut supply = environment.supply();
+        let reference =
+            reference_session.infer_intermittent_faulted_reference(&executor, &mut supply, &fault);
+
+        // Bit-identical across executor paths, flips included.
+        assert_eq!(planned, reference, "{scheme}");
+        assert!(planned.integrity.flips_injected > 0, "{scheme}: no flips");
+        assert!(planned.restores > 0, "{scheme}: storm forced no restores");
+        assert_eq!(
+            planned.integrity.restores_resolved(),
+            planned.restores,
+            "{scheme}: ladder must account for every restore"
+        );
+        assert!(
+            planned.integrity.wear_max_commits > 0,
+            "{scheme}: wear curve never tracked a commit"
+        );
+        reports.push(planned);
+    }
+    let [none, checksum, secded] = &reports[..] else {
+        unreachable!()
+    };
+
+    // The unguarded run is in-band silent: nothing detected, nothing
+    // repaired, every restore accepted at the first ladder rung…
+    assert_eq!(none.integrity.flips_detected, 0);
+    assert_eq!(none.integrity.flips_repaired, 0);
+    assert_eq!(none.integrity.ladder[0], none.restores);
+    // …yet the golden-twin bookkeeping proves corrupted payloads were
+    // restored as if they were good.
+    assert!(none.integrity.silent_restores > 0);
+    assert_eq!(
+        none.faults.silent_corruptions,
+        none.integrity.silent_restores
+    );
+    // The SECDED twin of the same deployment under the same storm
+    // resolves restores past rung zero — the diff that catches `None`.
+    assert!(
+        secded.integrity.ladder[1] + secded.integrity.ladder[2] + secded.integrity.ladder[3] > 0,
+        "twin ladder never left rung zero"
+    );
+
+    // Guarded schemes keep silent corruption at zero by construction.
+    assert_eq!(checksum.integrity.silent_restores, 0);
+    assert_eq!(checksum.faults.silent_corruptions, 0);
+    assert!(checksum.integrity.flips_detected > 0);
+    assert_eq!(
+        checksum.integrity.flips_repaired, 0,
+        "checksum cannot repair"
+    );
+    assert_eq!(secded.integrity.silent_restores, 0);
+    assert_eq!(secded.faults.silent_corruptions, 0);
+    assert!(
+        secded.integrity.flips_repaired > 0,
+        "secded repairs singles"
+    );
+}
+
+/// Fleet-level integrity determinism: a bit-flip storm swept across the
+/// full integrity axis folds to a bit-identical digest at 1, 2 and 8
+/// workers, and grouping by scheme shows silent corruption exactly
+/// where the audit predicts it — in the `none` group and nowhere else.
+#[test]
+fn integrity_axis_sweeps_are_bit_identical_across_worker_counts() {
+    let matrix = ScenarioMatrix::new()
+        .environments(vec![catalog::bench_supply(), catalog::office_rf()])
+        .strategies(vec![Strategy::Sonic])
+        .workloads(vec![Workload::Har { samples: 4 }])
+        .faults(vec![bit_storm(11)])
+        .integrities(Integrity::ALL.to_vec())
+        .executor(quick_executor());
+    assert_eq!(matrix.len(), 2 * 3);
+
+    let (one, by_scheme) = FleetRunner::builder()
+        .workers(1)
+        .sink((DigestSink::new(), GroupBySink::new(GroupAxis::Integrity)))
+        .run(&matrix)
+        .unwrap();
+    for workers in [2, 8] {
+        let (many, grouped) = FleetRunner::builder()
+            .workers(workers)
+            .sink((DigestSink::new(), GroupBySink::new(GroupAxis::Integrity)))
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(one, many, "{workers} workers");
+        assert_eq!(by_scheme, grouped, "{workers} workers");
+    }
+
+    let none = by_scheme.get("none").unwrap();
+    let checksum = by_scheme.get("checksum").unwrap();
+    let secded = by_scheme.get("secded").unwrap();
+    for (label, digest) in [("none", none), ("checksum", checksum), ("secded", secded)] {
+        assert!(digest.integrity.flips_injected > 0, "{label}: no flips");
+    }
+    assert!(none.resilience.silent_corruptions > 0);
+    assert!(none.integrity.silent_restores > 0);
+    assert_eq!(checksum.resilience.silent_corruptions, 0);
+    assert!(checksum.integrity.flips_detected > 0);
+    assert_eq!(secded.resilience.silent_corruptions, 0);
+    assert!(secded.integrity.flips_repaired > 0);
+    // The merged digest surfaces the integrity line.
+    assert!(one.to_string().contains("integrity:"), "{one}");
 }
